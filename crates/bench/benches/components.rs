@@ -1,0 +1,180 @@
+//! Component micro-benchmarks: the building blocks whose costs determine
+//! Spire's end-to-end latency (crypto, codecs, ordering, flooding,
+//! anomaly scoring).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use itcrypto::keys::KeyPair;
+use itcrypto::merkle::MerkleTree;
+use itcrypto::sha256::sha256;
+use itcrypto::stream::{open, seal};
+use mana::features::FeatureVector;
+use mana::model::GaussianModel;
+use modbus::{execute, DataStore, Request, RtuFrame, TcpFrame};
+use prime::harness::Cluster;
+use prime::replica::Timing;
+use prime::types::Config as PrimeConfig;
+use simnet::time::{SimDuration, SimTime};
+use simnet::types::{IpAddr, Port};
+use spines::config::{SpinesConfig, SpinesMode};
+use spines::daemon::SpinesDaemon;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let msg = vec![0xABu8; 1024];
+    group.bench_function("sha256_1k", |b| b.iter(|| sha256(std::hint::black_box(&msg))));
+    group.bench_function("hmac_1k", |b| {
+        b.iter(|| itcrypto::hmac::hmac_sha256(b"key", std::hint::black_box(&msg)))
+    });
+    let mut kp = KeyPair::generate(1);
+    group.bench_function("schnorr_sign", |b| b.iter(|| kp.sign(std::hint::black_box(&msg))));
+    let sig = kp.sign(&msg);
+    let pk = kp.public_key();
+    group.bench_function("schnorr_verify", |b| {
+        b.iter(|| pk.verify(std::hint::black_box(&msg), &sig))
+    });
+    let key = [7u8; 32];
+    group.bench_function("seal_open_1k", |b| {
+        b.iter(|| {
+            let boxed = seal(&key, 1, std::hint::black_box(&msg));
+            open(&key, &boxed).expect("authentic")
+        })
+    });
+    let leaves: Vec<Vec<u8>> = (0..64).map(|i| format!("point-{i}").into_bytes()).collect();
+    group.bench_function("merkle_64_leaves", |b| {
+        b.iter(|| MerkleTree::from_leaves(std::hint::black_box(&leaves)))
+    });
+    group.finish();
+}
+
+fn bench_modbus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modbus");
+    let req = Request::ReadDiscreteInputs { address: 0, count: 7 };
+    group.bench_function("pdu_encode_decode", |b| {
+        b.iter(|| {
+            let bytes = std::hint::black_box(&req).encode();
+            Request::decode(&bytes).expect("valid")
+        })
+    });
+    let rtu = RtuFrame { unit: 1, pdu: req.encode() };
+    group.bench_function("rtu_frame_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = std::hint::black_box(&rtu).encode();
+            RtuFrame::decode(&bytes).expect("valid")
+        })
+    });
+    let tcp = TcpFrame::new(1, 1, req.encode());
+    group.bench_function("tcp_frame_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = std::hint::black_box(&tcp).encode();
+            TcpFrame::decode(&bytes).expect("valid")
+        })
+    });
+    group.bench_function("server_execute_poll", |b| {
+        let mut store = DataStore::new(16, 16);
+        b.iter(|| execute(std::hint::black_box(&req), &mut store))
+    });
+    group.finish();
+}
+
+fn bench_spines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spines");
+    let daemons: Vec<(u32, IpAddr)> =
+        (0..6).map(|i| (i, IpAddr::new(10, 1, 0, (i + 1) as u8))).collect();
+    let cfg = SpinesConfig::full_mesh(daemons, Port(8100), [9; 32], SpinesMode::IntrusionTolerant);
+    group.bench_function("multicast_6_mesh", |b| {
+        b.iter_batched(
+            || SpinesDaemon::new(0, cfg.clone()),
+            |mut d| d.multicast(1, 1, Bytes::from_static(b"update-payload-64-bytes.........")),
+            BatchSize::SmallInput,
+        )
+    });
+    // Originate-and-receive: the per-hop cost including seal/open.
+    group.bench_function("one_hop_seal_open", |b| {
+        let mut sender = SpinesDaemon::new(0, cfg.clone());
+        let mut receiver = SpinesDaemon::new(1, cfg.clone());
+        receiver.subscribe(1);
+        let from = cfg.addr_of(0).expect("addr");
+        b.iter(|| {
+            let sends = sender.multicast(1, 1, Bytes::from_static(b"payload"));
+            for (to, bytes) in sends {
+                if Some(to) == cfg.addr_of(1) {
+                    receiver.on_wire(from, &bytes);
+                }
+            }
+            receiver.take_deliveries()
+        })
+    });
+    group.finish();
+}
+
+fn bench_prime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prime");
+    group.sample_size(10);
+    let fast = Timing {
+        aru_interval: SimDuration::from_millis(10),
+        pp_interval: SimDuration::from_millis(10),
+        suspect_timeout: SimDuration::from_millis(2_000),
+        checkpoint_interval: 50,
+        catchup_timeout: SimDuration::from_millis(500),
+    };
+    // End-to-end ordering: submit a batch, run to quiescence.
+    group.bench_function("order_20_updates_n4", |b| {
+        b.iter_batched(
+            || {
+                let mut cluster = Cluster::new(PrimeConfig::red_team(), 1);
+                cluster.set_timing(fast);
+                cluster
+            },
+            |mut cluster| {
+                for i in 0..20 {
+                    cluster.submit(0, format!("k{i}=v"));
+                }
+                cluster.run_for(SimDuration::from_secs(2));
+                assert_eq!(cluster.min_executed(), 20);
+                cluster
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("order_20_updates_n6", |b| {
+        b.iter_batched(
+            || {
+                let mut cluster = Cluster::new(PrimeConfig::plant(), 1);
+                cluster.set_timing(fast);
+                cluster
+            },
+            |mut cluster| {
+                for i in 0..20 {
+                    cluster.submit(0, format!("k{i}=v"));
+                }
+                cluster.run_for(SimDuration::from_secs(3));
+                assert_eq!(cluster.min_executed(), 20);
+                cluster
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_mana(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mana");
+    let windows: Vec<FeatureVector> = (0..500)
+        .map(|i| FeatureVector {
+            window_start: SimTime(i as u64 * 1_000),
+            values: [20.0, 2_000.0, 4.0, 3.0, 0.0, 1.0, 1.0, 2.0, 100.0, 6.0],
+        })
+        .collect();
+    group.bench_function("train_500_windows", |b| {
+        b.iter(|| GaussianModel::train(std::hint::black_box(&windows)))
+    });
+    let model = GaussianModel::train(&windows);
+    group.bench_function("score_window", |b| {
+        b.iter(|| model.score(std::hint::black_box(&windows[0])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto, bench_modbus, bench_spines, bench_prime, bench_mana);
+criterion_main!(benches);

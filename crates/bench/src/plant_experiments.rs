@@ -1,0 +1,205 @@
+//! Experiments E4 and E5: the power-plant test deployment (§V).
+
+use diversity::recovery::RecoveryScheduler;
+use plc::topology::Scenario;
+use prime::replica::Timing;
+use prime::types::Config as PrimeConfig;
+use redteam::lab::CommercialLab;
+use scada::commercial::CommercialHmi;
+use simnet::time::SimDuration;
+use spire::config::SpireConfig;
+use spire::deploy::Deployment;
+use spire::hardening::HardeningProfile;
+use prime::application::Application;
+use spire::latency::{measure_spire, summarize, LatencySummary, Sample};
+
+fn fast_timing() -> Timing {
+    Timing {
+        aru_interval: SimDuration::from_millis(10),
+        pp_interval: SimDuration::from_millis(10),
+        suspect_timeout: SimDuration::from_millis(2_000),
+        checkpoint_interval: 20,
+        catchup_timeout: SimDuration::from_millis(300),
+    }
+}
+
+/// E4 result: six (compressed) days of continuous plant operation.
+#[derive(Clone, Debug)]
+pub struct PlantRun {
+    /// Simulated seconds per "deployment day" (time compression factor).
+    pub seconds_per_day: u64,
+    /// Days simulated.
+    pub days: u64,
+    /// Proactive recoveries completed.
+    pub recoveries: u64,
+    /// Minimum executed update count across healthy replicas at the end.
+    pub min_executed: u64,
+    /// HMI frames applied across all three HMIs.
+    pub hmi_frames: u64,
+    /// View changes observed (0 = leader never faltered).
+    pub view_changes: u64,
+    /// Longest interval between consecutive HMI-0 display updates.
+    pub longest_display_gap: SimDuration,
+    /// Whether all healthy replicas ended with identical state digests.
+    pub replicas_consistent: bool,
+}
+
+/// E4 — the plant deployment: 6 replicas (f=1, k=1), the full 17-PLC
+/// scenario set, breaker cycle running, periodic proactive recovery, six
+/// compressed days of continuous operation.
+///
+/// Time compression: one deployment "day" is `seconds_per_day` simulated
+/// seconds (the event patterns — polls, cycle flips, recoveries — keep
+/// their relative cadence; see EXPERIMENTS.md).
+pub fn e4_plant_deployment(seed: u64, days: u64, seconds_per_day: u64) -> PlantRun {
+    // Full plant configuration but with the emulated fleet reduced to two
+    // distribution and two generation PLCs so six days stay tractable; the
+    // real + emulated mix is preserved.
+    let mut cfg = SpireConfig::plant();
+    cfg.proxies.truncate(5);
+    cfg.hmis = 3;
+    let cfg = cfg.with_cycle(Scenario::PlantSubset, SimDuration::from_millis(700), 0);
+    let mut d = Deployment::build(cfg, HardeningProfile::deployed(), seed);
+    for i in 0..6 {
+        d.replica_mut(i).set_timing(fast_timing());
+    }
+    // One proactive recovery per simulated "day-sixth", k = 1, downtime 2 s.
+    let day = SimDuration::from_secs(seconds_per_day);
+    let interval = SimDuration::from_secs((seconds_per_day / 6).max(4));
+    let mut scheduler = RecoveryScheduler::new(6, 1, interval, SimDuration::from_secs(2));
+    d.run_with_recovery(day.saturating_mul(days), &mut scheduler);
+    d.run_for(SimDuration::from_secs(5));
+
+    let min_executed =
+        (0..6).map(|i| d.replica(i).replica.exec_seq()).min().unwrap_or(0);
+    let hmi_frames: u64 = (0..3).map(|h| d.hmi(h).stats.frames_applied).sum();
+    let view_changes: u64 = (0..6).map(|i| d.replica(i).stats.view_changes).sum();
+    let digests: Vec<_> = (0..6)
+        .map(|i| (d.replica(i).replica.exec_seq(), d.replica(i).replica.app().digest()))
+        .collect();
+    let max_exec = digests.iter().map(|(e, _)| *e).max().unwrap_or(0);
+    let at_head: Vec<_> = digests.iter().filter(|(e, _)| *e == max_exec).collect();
+    let replicas_consistent = at_head.windows(2).all(|w| w[0].1 == w[1].1);
+
+    // Longest gap between display updates on HMI 0.
+    let log = &d.hmi(0).hmi.update_log;
+    let mut longest = SimDuration::ZERO;
+    for w in log.windows(2) {
+        let gap = w[1].0.since(w[0].0);
+        if gap > longest {
+            longest = gap;
+        }
+    }
+    PlantRun {
+        seconds_per_day,
+        days,
+        recoveries: scheduler.completed,
+        min_executed,
+        hmi_frames,
+        view_changes,
+        longest_display_gap: longest,
+        replicas_consistent,
+    }
+}
+
+/// E5 result: Spire vs. commercial reaction-time distributions.
+#[derive(Clone, Debug)]
+pub struct ReactionTimes {
+    /// Spire's distribution.
+    pub spire: LatencySummary,
+    /// The commercial system's distribution.
+    pub commercial: LatencySummary,
+    /// The plant's timing requirement used for the verdict (200 ms, a
+    /// typical HMI-refresh requirement; the paper gives no number).
+    pub requirement: SimDuration,
+}
+
+impl ReactionTimes {
+    /// Whether Spire met the requirement (the paper's reported outcome).
+    pub fn spire_meets_requirement(&self) -> bool {
+        self.spire.median <= self.requirement
+    }
+
+    /// Whether Spire beat the commercial system (the paper's headline).
+    pub fn spire_faster(&self) -> bool {
+        self.spire.median < self.commercial.median
+    }
+}
+
+/// E5 — the measurement device: flip a breaker, time the HMI update, for
+/// both systems.
+pub fn e5_reaction_time(seed: u64, flips: usize) -> ReactionTimes {
+    // Spire side: fast polling, plant subset.
+    let cfg = SpireConfig::minimal(PrimeConfig::plant(), Scenario::PlantSubset);
+    let mut d = Deployment::build(cfg, HardeningProfile::deployed(), seed);
+    for i in 0..6 {
+        d.replica_mut(i).set_timing(fast_timing());
+    }
+    // The §V measurement used a dedicated fast poll; 20 ms keeps the
+    // proxy's detection latency small relative to ordering.
+    d.proxy_mut(0).set_poll_interval(SimDuration::from_millis(20));
+    d.proxy_mut(0).verbose_updates = true;
+    d.run_for(SimDuration::from_secs(3));
+    let spire_samples = measure_spire(&mut d, 0, 1, 0, flips, SimDuration::from_secs(1));
+
+    // Commercial side: same topology PLC, primary-backup master pair.
+    let mut lab = CommercialLab::build(seed + 7, false);
+    lab.sim.run_for(SimDuration::from_secs(2));
+    let mut commercial_samples: Vec<Sample> = Vec::new();
+    let mut state = true;
+    for i in 0..flips {
+        // Same deterministic phase jitter as the Spire side.
+        lab.sim.run_for(SimDuration::from_micros((i as u64 * 7_919) % 100_000));
+        state = !state;
+        let flipped_at = lab.sim.now();
+        let before = lab
+            .sim
+            .process_ref::<CommercialHmi>(lab.hmi)
+            .expect("hmi")
+            .box_transitions
+            .len();
+        lab.sim
+            .process_mut::<plc::emulator::PlcEmulator>(lab.plc)
+            .expect("plc")
+            .force_breaker(0, state, flipped_at);
+        lab.sim.run_for(SimDuration::from_secs(1));
+        let hmi = lab.sim.process_ref::<CommercialHmi>(lab.hmi).expect("hmi");
+        let displayed_at = hmi
+            .box_transitions
+            .get(before..)
+            .and_then(|new| new.iter().find(|&&(_, closed)| closed == state))
+            .map(|&(t, _)| t);
+        commercial_samples.push(Sample { flipped_at, displayed_at });
+    }
+
+    ReactionTimes {
+        spire: summarize(&spire_samples),
+        commercial: summarize(&commercial_samples),
+        requirement: SimDuration::from_millis(200),
+    }
+}
+
+/// Renders E5 as the measured table.
+pub fn render_reaction(r: &ReactionTimes) -> String {
+    format!(
+        "system      samples  missed  min      median   mean     max\n\
+         spire       {:>7}  {:>6}  {:>7}  {:>7}  {:>7}  {:>7}\n\
+         commercial  {:>7}  {:>6}  {:>7}  {:>7}  {:>7}  {:>7}\n\
+         requirement: median <= {}   spire meets: {}   spire faster: {}\n",
+        r.spire.samples,
+        r.spire.missed,
+        r.spire.min.to_string(),
+        r.spire.median.to_string(),
+        r.spire.mean.to_string(),
+        r.spire.max.to_string(),
+        r.commercial.samples,
+        r.commercial.missed,
+        r.commercial.min.to_string(),
+        r.commercial.median.to_string(),
+        r.commercial.mean.to_string(),
+        r.commercial.max.to_string(),
+        r.requirement,
+        r.spire_meets_requirement(),
+        r.spire_faster(),
+    )
+}

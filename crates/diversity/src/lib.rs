@@ -1,0 +1,33 @@
+//! Software diversity, OS hardening, and proactive recovery — the
+//! defenses that make Spire's `f`-intrusion budget meaningful (§II, §III-B,
+//! §VI-A of the paper).
+//!
+//! * [`variant`] — the MultiCompiler model: compiling with a random seed
+//!   yields a variant whose attack-surface *layout* differs; an exploit is
+//!   crafted against one layout and works only there. Binary-hardening
+//!   choices (stripping debug symbols, compiling options in instead of
+//!   command-line flags/config files) multiply the attacker's work, per
+//!   the red team's own debrief (§VI-A).
+//! * [`os`] — operating-system profiles: the Ubuntu-desktop-style open
+//!   install the components originally ran on vs. the minimal CentOS
+//!   server the team ported everything to; dirtycow and the sshd exploit
+//!   work on the former and not the latter (§IV-B).
+//! * [`recovery`] — the proactive-recovery scheduler: every period, `k`
+//!   replicas are taken down, restored from clean images, and recompiled
+//!   with fresh seeds, bounding the attacker's accumulation window.
+//! * [`economics`] — the attacker-race model for the diversity ablation
+//!   (E9): how long until more than `f` replicas are simultaneously
+//!   compromised, with and without diversity and recovery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod economics;
+pub mod os;
+pub mod recovery;
+pub mod variant;
+
+pub use economics::{race, RaceConfig, RaceOutcome};
+pub use os::{CveClass, OsProfile};
+pub use recovery::RecoveryScheduler;
+pub use variant::{BinaryHardening, Exploit, MultiCompiler, Variant};

@@ -1,0 +1,87 @@
+//! Operating-system hardening profiles (§III-B, §IV-B).
+//!
+//! "The red team then tried to gain root-level access through known
+//! exploits of a shared memory vulnerability in the Linux kernel
+//! (dirtycow) and the SSH daemon, but neither was successful due to the
+//! use of the latest version of CentOS that had removed those
+//! vulnerabilities."
+
+/// Classes of known exploits the red team attempted.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CveClass {
+    /// The dirtycow copy-on-write race (CVE-2016-5195 class).
+    DirtyCow,
+    /// An SSH daemon privilege-escalation class.
+    SshDaemon,
+    /// Exploitation of a preinstalled desktop service.
+    DesktopService,
+}
+
+/// An OS installation profile.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OsProfile {
+    /// Ubuntu desktop with the "open philosophy by default": many
+    /// preinstalled services, older kernel — the environment the system
+    /// components were originally developed on.
+    UbuntuDesktop,
+    /// The latest minimal CentOS server the team ported everything to:
+    /// "essentially closed by default", patched kernel and sshd.
+    CentosMinimal,
+}
+
+impl OsProfile {
+    /// Whether a privilege-escalation attempt of the given class succeeds.
+    pub fn vulnerable_to(self, cve: CveClass) -> bool {
+        match self {
+            OsProfile::UbuntuDesktop => true,
+            OsProfile::CentosMinimal => match cve {
+                CveClass::DirtyCow | CveClass::SshDaemon => false,
+                // There are no preinstalled desktop services to attack.
+                CveClass::DesktopService => false,
+            },
+        }
+    }
+
+    /// Number of network-facing services running by default (scanning
+    /// surface MANA and port scans observe).
+    pub fn default_services(self) -> u32 {
+        match self {
+            OsProfile::UbuntuDesktop => 9,
+            OsProfile::CentosMinimal => 1, // sshd only
+        }
+    }
+
+    /// The porting cost the paper paid: components built for Ubuntu
+    /// desktop needed "considerable work" on minimal CentOS. Returns the
+    /// components requiring porting.
+    pub fn porting_work(self) -> &'static [&'static str] {
+        match self {
+            OsProfile::UbuntuDesktop => &[],
+            OsProfile::CentosMinimal => &["HMI graphics packages", "PLC communication libraries"],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ubuntu_falls_centos_stands() {
+        for cve in [CveClass::DirtyCow, CveClass::SshDaemon, CveClass::DesktopService] {
+            assert!(OsProfile::UbuntuDesktop.vulnerable_to(cve), "{cve:?}");
+            assert!(!OsProfile::CentosMinimal.vulnerable_to(cve), "{cve:?}");
+        }
+    }
+
+    #[test]
+    fn minimal_profile_smaller_surface() {
+        assert!(OsProfile::CentosMinimal.default_services() < OsProfile::UbuntuDesktop.default_services());
+    }
+
+    #[test]
+    fn porting_work_documented() {
+        assert!(OsProfile::CentosMinimal.porting_work().len() == 2);
+        assert!(OsProfile::UbuntuDesktop.porting_work().is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! The proactive-recovery scheduler.
+//!
+//! §II: "we use proactive recovery to periodically take each replica down
+//! and restore it to a known clean state with a new diverse variant of the
+//! code. ... to withstand f intrusions when k replicas may be
+//! simultaneously undergoing proactive recovery, a total of 3f + 2k + 1
+//! replicas are needed."
+
+use simnet::time::{SimDuration, SimTime};
+
+use crate::variant::{MultiCompiler, Variant};
+
+/// A scheduled recovery action.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RecoveryEvent {
+    /// Which replica goes down.
+    pub replica: u32,
+    /// When it goes down.
+    pub start: SimTime,
+    /// When it comes back (clean, with `new_variant`).
+    pub finish: SimTime,
+    /// The fresh variant it returns with.
+    pub new_variant: Variant,
+}
+
+/// Round-robin proactive-recovery scheduler: every `interval`, the next
+/// replica (at most `k` simultaneously) is rejuvenated; each rejuvenation
+/// takes `downtime` and installs a newly compiled variant.
+#[derive(Clone, Debug)]
+pub struct RecoveryScheduler {
+    n: u32,
+    k: u32,
+    interval: SimDuration,
+    downtime: SimDuration,
+    next_replica: u32,
+    next_start: SimTime,
+    seed_counter: u64,
+    in_flight: Vec<RecoveryEvent>,
+    /// Completed recoveries.
+    pub completed: u64,
+}
+
+impl RecoveryScheduler {
+    /// Creates a scheduler for `n` replicas, at most `k` down at once,
+    /// starting one recovery every `interval`, each lasting `downtime`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (use no scheduler instead) or `n == 0`.
+    pub fn new(n: u32, k: u32, interval: SimDuration, downtime: SimDuration) -> Self {
+        assert!(n > 0 && k > 0, "scheduler requires n > 0 and k > 0");
+        RecoveryScheduler {
+            n,
+            k,
+            interval,
+            downtime,
+            next_replica: 0,
+            next_start: SimTime::ZERO + interval,
+            seed_counter: 1000,
+            in_flight: Vec::new(),
+            completed: 0,
+        }
+    }
+
+    /// Advances to `now`, returning newly started recovery events. The
+    /// caller takes the replica down, and at `finish` brings it back with
+    /// `new_variant` and triggers Prime's recovery/state-transfer path.
+    pub fn poll(&mut self, now: SimTime) -> Vec<RecoveryEvent> {
+        // Retire finished recoveries.
+        let before = self.in_flight.len();
+        self.in_flight.retain(|e| e.finish > now);
+        self.completed += (before - self.in_flight.len()) as u64;
+        let mut started = Vec::new();
+        while self.next_start <= now && (self.in_flight.len() as u32) < self.k {
+            self.seed_counter += 1;
+            let event = RecoveryEvent {
+                replica: self.next_replica,
+                start: self.next_start,
+                finish: self.next_start + self.downtime,
+                new_variant: MultiCompiler::compile(self.seed_counter),
+            };
+            self.next_replica = (self.next_replica + 1) % self.n;
+            self.next_start = self.next_start + self.interval;
+            self.in_flight.push(event);
+            started.push(event);
+        }
+        started
+    }
+
+    /// Replicas currently down for recovery at `now`.
+    pub fn down_at(&self, now: SimTime) -> Vec<u32> {
+        self.in_flight
+            .iter()
+            .filter(|e| e.start <= now && now < e.finish)
+            .map(|e| e.replica)
+            .collect()
+    }
+
+    /// The rejuvenation period for a full cycle over all replicas.
+    pub fn full_cycle(&self) -> SimDuration {
+        self.interval.saturating_mul(self.n as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> RecoveryScheduler {
+        RecoveryScheduler::new(
+            6,
+            1,
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(20),
+        )
+    }
+
+    #[test]
+    fn round_robin_order() {
+        let mut s = sched();
+        let mut order = Vec::new();
+        for minute in 1..=7 {
+            for e in s.poll(SimTime(minute * 60_000_000)) {
+                order.push(e.replica);
+            }
+        }
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5, 0]);
+    }
+
+    #[test]
+    fn at_most_k_simultaneous() {
+        let mut s = RecoveryScheduler::new(6, 1, SimDuration::from_secs(10), SimDuration::from_secs(60));
+        // Downtime exceeds interval: recoveries would overlap; k=1 blocks.
+        let first = s.poll(SimTime(10_000_000));
+        assert_eq!(first.len(), 1);
+        let blocked = s.poll(SimTime(20_000_000));
+        assert!(blocked.is_empty(), "second recovery deferred while first is down");
+        assert_eq!(s.down_at(SimTime(30_000_000)), vec![0]);
+        // After the first finishes, the next can start.
+        let resumed = s.poll(SimTime(75_000_000));
+        assert_eq!(resumed.len(), 1);
+        assert_eq!(resumed[0].replica, 1);
+        assert_eq!(s.completed, 1);
+    }
+
+    #[test]
+    fn fresh_variant_each_recovery() {
+        let mut s = sched();
+        let a = s.poll(SimTime(60_000_000));
+        let b = s.poll(SimTime(120_000_000));
+        assert_ne!(a[0].new_variant.layout, b[0].new_variant.layout);
+    }
+
+    #[test]
+    fn down_at_window() {
+        let mut s = sched();
+        let events = s.poll(SimTime(60_000_000));
+        let e = events[0];
+        assert_eq!(s.down_at(e.start), vec![e.replica]);
+        assert_eq!(s.down_at(SimTime(e.finish.0 - 1)), vec![e.replica]);
+        assert!(s.down_at(e.finish).is_empty());
+    }
+
+    #[test]
+    fn full_cycle_length() {
+        assert_eq!(sched().full_cycle(), SimDuration::from_secs(360));
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 0 and k > 0")]
+    fn zero_k_panics() {
+        let _ = RecoveryScheduler::new(6, 0, SimDuration::from_secs(1), SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,145 @@
+//! The MultiCompiler variant and exploit model.
+
+use itcrypto::sha256::{sha256_concat, Digest};
+
+/// A compiled variant of a system binary. Two variants from different
+/// seeds have different layouts; an exploit binds to one layout.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Variant {
+    /// The compile-time randomization seed.
+    pub seed: u64,
+    /// The resulting attack-surface layout fingerprint.
+    pub layout: Digest,
+}
+
+/// Build-time hardening choices the red-team debrief called out (§VI-A).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BinaryHardening {
+    /// Debug symbols stripped from the executable. The red team patched
+    /// the Spines binary faster *because* symbols were present.
+    pub stripped_symbols: bool,
+    /// Options compiled into the program instead of exposed via
+    /// command-line parameters and a configuration file.
+    pub compiled_in_config: bool,
+}
+
+impl BinaryHardening {
+    /// The deployment as fielded in 2017: not stripped, options visible —
+    /// the configuration the team said they would improve.
+    pub fn deployed_2017() -> Self {
+        BinaryHardening { stripped_symbols: false, compiled_in_config: false }
+    }
+
+    /// The recommended configuration after lessons learned.
+    pub fn recommended() -> Self {
+        BinaryHardening { stripped_symbols: true, compiled_in_config: true }
+    }
+
+    /// Multiplier on the attacker's reverse-engineering effort. Calibrated
+    /// roughly: each measure individually doubles the work.
+    pub fn effort_multiplier(&self) -> f64 {
+        let mut m = 1.0;
+        if self.stripped_symbols {
+            m *= 2.0;
+        }
+        if self.compiled_in_config {
+            m *= 2.0;
+        }
+        m
+    }
+}
+
+/// The MultiCompiler: seed in, diversified variant out.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MultiCompiler;
+
+impl MultiCompiler {
+    /// "Compiles" a variant from a seed. Deterministic: the same seed
+    /// always yields the same layout (build reproducibility), different
+    /// seeds yield different layouts.
+    pub fn compile(seed: u64) -> Variant {
+        let layout = sha256_concat(&[b"multicompiler-layout", &seed.to_be_bytes()]);
+        Variant { seed, layout }
+    }
+
+    /// The undiversified baseline: every replica runs the identical build.
+    pub fn identical() -> Variant {
+        Self::compile(0)
+    }
+}
+
+/// An exploit crafted against a specific layout.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Exploit {
+    /// The layout this exploit was developed against.
+    pub target_layout: Digest,
+    /// Attacker hours spent crafting it.
+    pub crafting_hours: f64,
+}
+
+impl Exploit {
+    /// Crafts an exploit against an observed variant. `base_hours` is the
+    /// attacker's skill level (hours to exploit an unhardened, known
+    /// layout); hardening multiplies it.
+    pub fn craft(target: &Variant, base_hours: f64, hardening: BinaryHardening) -> Self {
+        Exploit {
+            target_layout: target.layout,
+            crafting_hours: base_hours * hardening.effort_multiplier(),
+        }
+    }
+
+    /// Whether this exploit compromises a replica running `variant`.
+    /// Layout must match exactly — the MultiCompiler guarantee that "it is
+    /// extremely unlikely that the same exploit will succeed in
+    /// compromising any two distinct variants" (§II).
+    pub fn works_against(&self, variant: &Variant) -> bool {
+        self.target_layout == variant.layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_variant_different_seed_different() {
+        assert_eq!(MultiCompiler::compile(7), MultiCompiler::compile(7));
+        assert_ne!(MultiCompiler::compile(7).layout, MultiCompiler::compile(8).layout);
+    }
+
+    #[test]
+    fn exploit_binds_to_layout() {
+        let a = MultiCompiler::compile(1);
+        let b = MultiCompiler::compile(2);
+        let exploit = Exploit::craft(&a, 8.0, BinaryHardening::deployed_2017());
+        assert!(exploit.works_against(&a));
+        assert!(!exploit.works_against(&b));
+    }
+
+    #[test]
+    fn identical_replicas_fall_to_one_exploit() {
+        // The no-diversity baseline: one exploit, total compromise.
+        let replicas: Vec<Variant> = (0..4).map(|_| MultiCompiler::identical()).collect();
+        let exploit = Exploit::craft(&replicas[0], 8.0, BinaryHardening::deployed_2017());
+        assert!(replicas.iter().all(|v| exploit.works_against(v)));
+    }
+
+    #[test]
+    fn diversified_replicas_need_per_replica_exploits() {
+        let replicas: Vec<Variant> = (1..=4).map(MultiCompiler::compile).collect();
+        let exploit = Exploit::craft(&replicas[0], 8.0, BinaryHardening::deployed_2017());
+        let compromised = replicas.iter().filter(|v| exploit.works_against(v)).count();
+        assert_eq!(compromised, 1);
+    }
+
+    #[test]
+    fn hardening_multiplies_effort() {
+        let v = MultiCompiler::compile(1);
+        let easy = Exploit::craft(&v, 8.0, BinaryHardening::deployed_2017());
+        let hard = Exploit::craft(&v, 8.0, BinaryHardening::recommended());
+        assert_eq!(easy.crafting_hours, 8.0);
+        assert_eq!(hard.crafting_hours, 32.0);
+        let partial = BinaryHardening { stripped_symbols: true, compiled_in_config: false };
+        assert_eq!(Exploit::craft(&v, 8.0, partial).crafting_hours, 16.0);
+    }
+}

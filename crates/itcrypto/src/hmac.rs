@@ -1,0 +1,141 @@
+//! HMAC-SHA-256 (RFC 2104), used for Spines link authentication and as the
+//! PRF behind [`crate::stream`] and key derivation.
+
+use crate::sha256::{Digest, Sha256};
+
+const BLOCK: usize = 64;
+
+/// Computes `HMAC-SHA-256(key, msg)`.
+///
+/// # Examples
+///
+/// ```
+/// use itcrypto::hmac::hmac_sha256;
+///
+/// let tag = hmac_sha256(b"key", b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(
+///     tag.to_hex(),
+///     "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8"
+/// );
+/// ```
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> Digest {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let d = crate::sha256::sha256(key);
+        k[..32].copy_from_slice(d.as_bytes());
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(msg);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(inner_digest.as_bytes());
+    outer.finalize()
+}
+
+/// Computes an HMAC over the concatenation of several parts.
+pub fn hmac_sha256_concat(key: &[u8], parts: &[&[u8]]) -> Digest {
+    let joined: Vec<u8> = parts.iter().flat_map(|p| p.iter().copied()).collect();
+    hmac_sha256(key, &joined)
+}
+
+/// Constant-time-ish tag comparison. The simulator has no real timing side
+/// channel, but the comparison is still written without early exit so the
+/// code shape matches a production implementation.
+pub fn verify_tag(expected: &Digest, actual: &Digest) -> bool {
+    let mut acc = 0u8;
+    for (a, b) in expected.as_bytes().iter().zip(actual.as_bytes()) {
+        acc |= a ^ b;
+    }
+    acc == 0
+}
+
+/// Simple HKDF-like key derivation: `derive_key(master, label)` produces a
+/// 32-byte subkey bound to `label`.
+///
+/// # Examples
+///
+/// ```
+/// use itcrypto::hmac::derive_key;
+///
+/// let link = derive_key(b"master-secret", b"spines-link-3-4");
+/// let other = derive_key(b"master-secret", b"spines-link-3-5");
+/// assert_ne!(link, other);
+/// ```
+pub fn derive_key(master: &[u8], label: &[u8]) -> [u8; 32] {
+    hmac_sha256(master, label).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            tag.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2_short_key() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            tag.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        // 131-byte key forces the key-hashing path.
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            tag.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        assert_ne!(hmac_sha256(b"k1", b"msg"), hmac_sha256(b"k2", b"msg"));
+    }
+
+    #[test]
+    fn verify_tag_accepts_equal_rejects_unequal() {
+        let a = hmac_sha256(b"k", b"m");
+        let b = hmac_sha256(b"k", b"m");
+        let c = hmac_sha256(b"k", b"n");
+        assert!(verify_tag(&a, &b));
+        assert!(!verify_tag(&a, &c));
+    }
+
+    #[test]
+    fn concat_matches_joined() {
+        let joined = hmac_sha256(b"k", b"abcdef");
+        assert_eq!(hmac_sha256_concat(b"k", &[b"abc", b"def"]), joined);
+    }
+
+    #[test]
+    fn derived_keys_are_label_separated() {
+        let a = derive_key(b"m", b"a");
+        let b = derive_key(b"m", b"b");
+        let a2 = derive_key(b"m", b"a");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,244 @@
+//! Schnorr signatures over a small safe-prime group.
+//!
+//! The group is the order-`q` subgroup of `Z_p^*` with
+//! `p = 2q + 1 = 4611686018427394499` (62 bits) and generator `g = 4`.
+//!
+//! **This is simulation-grade cryptography.** A 62-bit discrete log is
+//! entirely practical to compute; the point is not security against a real
+//! adversary but faithful *in-protocol* behaviour: signatures are
+//! transferable (any party can verify with the public key), unforgeable
+//! without the secret key by the honest-but-scripted adversaries in this
+//! repository, and deterministic given an RNG seed. The original Spire used
+//! 2048-bit RSA via OpenSSL; swapping these primitives does not change any
+//! protocol logic.
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::sha256::sha256_concat;
+
+/// Group modulus `p` (a safe prime, `p = 2q + 1`).
+pub const P: u64 = 4_611_686_018_427_394_499;
+/// Subgroup order `q` (prime).
+pub const Q: u64 = 2_305_843_009_213_697_249;
+/// Generator of the order-`q` subgroup.
+pub const G: u64 = 4;
+
+/// Multiplies modulo `p` without overflow.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Computes `base^exp mod m` by square-and-multiply.
+pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc: u64 = 1 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Deterministic Miller-Rabin primality test, exact for all `u64` using the
+/// standard 12-witness set. Used by tests to validate the group parameters.
+pub fn is_prime_u64(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n % p == 0 {
+            return n == p;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// A Schnorr signature `(e, s)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// Challenge scalar `e = H(R || pk || m) mod q`.
+    pub e: u64,
+    /// Response scalar `s = k + e*x mod q`.
+    pub s: u64,
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signature(e={:x}, s={:x})", self.e, self.s)
+    }
+}
+
+impl Signature {
+    /// Serializes the signature to 16 bytes (big-endian `e || s`).
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.e.to_be_bytes());
+        out[8..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Parses a signature from [`Signature::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8; 16]) -> Self {
+        Signature {
+            e: u64::from_be_bytes(bytes[..8].try_into().expect("8 bytes")),
+            s: u64::from_be_bytes(bytes[8..].try_into().expect("8 bytes")),
+        }
+    }
+}
+
+fn challenge(r: u64, pk: u64, msg: &[u8]) -> u64 {
+    let d = sha256_concat(&[&r.to_be_bytes(), &pk.to_be_bytes(), msg]);
+    d.prefix_u64() % Q
+}
+
+/// Signs `msg` with secret scalar `x`, using nonce source `rng`.
+pub fn sign<R: Rng>(x: u64, pk: u64, msg: &[u8], rng: &mut R) -> Signature {
+    // k must be non-zero mod q.
+    let k = rng.gen_range(1..Q);
+    let r = pow_mod(G, k, P);
+    let e = challenge(r, pk, msg);
+    let s = (k as u128 + mul_mod_q(e, x) as u128) % Q as u128;
+    Signature { e, s: s as u64 }
+}
+
+#[inline]
+fn mul_mod_q(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) % Q as u128) as u64
+}
+
+/// Verifies a signature against public key `pk = g^x mod p`.
+pub fn verify(pk: u64, msg: &[u8], sig: &Signature) -> bool {
+    if sig.e >= Q || sig.s >= Q {
+        return false;
+    }
+    // R' = g^s * pk^{-e} = g^s * pk^{q-e}
+    let gs = pow_mod(G, sig.s, P);
+    let pk_neg_e = pow_mod(pk, Q - (sig.e % Q), P);
+    let r = mul_mod(gs, pk_neg_e, P);
+    challenge(r, pk, msg) == sig.e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn group_parameters_are_valid() {
+        assert!(is_prime_u64(P));
+        assert!(is_prime_u64(Q));
+        assert_eq!(P, 2 * Q + 1);
+        // g generates the order-q subgroup: g^q == 1 and g != 1.
+        assert_eq!(pow_mod(G, Q, P), 1);
+        assert_ne!(pow_mod(G, 2, P), 1);
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = rng.gen_range(1..Q);
+        let pk = pow_mod(G, x, P);
+        for i in 0..50u32 {
+            let msg = format!("update-{i}");
+            let sig = sign(x, pk, msg.as_bytes(), &mut rng);
+            assert!(verify(pk, msg.as_bytes(), &sig));
+        }
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = rng.gen_range(1..Q);
+        let pk = pow_mod(G, x, P);
+        let sig = sign(x, pk, b"open B57", &mut rng);
+        assert!(!verify(pk, b"open B56", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x1 = rng.gen_range(1..Q);
+        let x2 = rng.gen_range(1..Q);
+        let pk1 = pow_mod(G, x1, P);
+        let pk2 = pow_mod(G, x2, P);
+        let sig = sign(x1, pk1, b"m", &mut rng);
+        assert!(!verify(pk2, b"m", &sig));
+    }
+
+    #[test]
+    fn malformed_scalars_rejected() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let x = rng.gen_range(1..Q);
+        let pk = pow_mod(G, x, P);
+        let sig = sign(x, pk, b"m", &mut rng);
+        assert!(!verify(pk, b"m", &Signature { e: Q, s: sig.s }));
+        assert!(!verify(pk, b"m", &Signature { e: sig.e, s: Q }));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = rng.gen_range(1..Q);
+        let pk = pow_mod(G, x, P);
+        let sig = sign(x, pk, b"m", &mut rng);
+        let bad = Signature { e: sig.e ^ 1, s: sig.s };
+        assert!(!verify(pk, b"m", &bad));
+        let bad2 = Signature { e: sig.e, s: (sig.s + 1) % Q };
+        assert!(!verify(pk, b"m", &bad2));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let x = rng.gen_range(1..Q);
+        let pk = pow_mod(G, x, P);
+        let sig = sign(x, pk, b"m", &mut rng);
+        assert_eq!(Signature::from_bytes(&sig.to_bytes()), sig);
+    }
+
+    #[test]
+    fn pow_mod_edge_cases() {
+        assert_eq!(pow_mod(0, 0, 5), 1); // 0^0 == 1 by convention here
+        assert_eq!(pow_mod(2, 0, 5), 1);
+        assert_eq!(pow_mod(2, 10, 1024 + 1), 1024 % 1025);
+        assert_eq!(pow_mod(7, 1, 5), 2);
+    }
+
+    #[test]
+    fn miller_rabin_known_values() {
+        assert!(is_prime_u64(2));
+        assert!(is_prime_u64(3));
+        assert!(!is_prime_u64(1));
+        assert!(!is_prime_u64(0));
+        assert!(is_prime_u64(104_729)); // 10000th prime
+        assert!(!is_prime_u64(104_730));
+        // Carmichael number 561 = 3*11*17 must be rejected.
+        assert!(!is_prime_u64(561));
+    }
+}

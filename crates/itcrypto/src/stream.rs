@@ -1,0 +1,154 @@
+//! HMAC-counter-mode stream cipher used for Spines link encryption.
+//!
+//! The keystream block `i` for nonce `n` is `HMAC-SHA-256(key, n || i)`;
+//! ciphertext is plaintext XOR keystream. This is a textbook PRF-in-counter-
+//! mode construction — real (given a strong PRF), simple, and deterministic.
+//! The red-team experiment hinges on this layer: the modified Spines daemon
+//! without the link keys cannot produce valid traffic (§IV-B).
+
+use crate::hmac::hmac_sha256;
+
+/// Encrypts or decrypts `data` in place (XOR stream, so the operation is an
+/// involution).
+///
+/// # Examples
+///
+/// ```
+/// use itcrypto::stream::xor_stream;
+///
+/// let key = [7u8; 32];
+/// let mut data = b"breaker B57 trip".to_vec();
+/// xor_stream(&key, 42, &mut data);
+/// assert_ne!(&data, b"breaker B57 trip");
+/// xor_stream(&key, 42, &mut data);
+/// assert_eq!(&data, b"breaker B57 trip");
+/// ```
+pub fn xor_stream(key: &[u8; 32], nonce: u64, data: &mut [u8]) {
+    let mut counter: u64 = 0;
+    let mut offset = 0;
+    while offset < data.len() {
+        let mut block_input = [0u8; 16];
+        block_input[..8].copy_from_slice(&nonce.to_be_bytes());
+        block_input[8..].copy_from_slice(&counter.to_be_bytes());
+        let ks = hmac_sha256(key, &block_input);
+        let take = (data.len() - offset).min(32);
+        for i in 0..take {
+            data[offset + i] ^= ks.as_bytes()[i];
+        }
+        offset += take;
+        counter += 1;
+    }
+}
+
+/// An authenticated, encrypted envelope: encrypt-then-MAC with separate keys
+/// derived from one link key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SealedBox {
+    /// Nonce used for the stream cipher (unique per message per link).
+    pub nonce: u64,
+    /// Ciphertext bytes.
+    pub ciphertext: Vec<u8>,
+    /// HMAC tag over `nonce || ciphertext`.
+    pub tag: [u8; 32],
+}
+
+/// Seals `plaintext` under `link_key` with the given `nonce`.
+pub fn seal(link_key: &[u8; 32], nonce: u64, plaintext: &[u8]) -> SealedBox {
+    let enc_key = crate::hmac::derive_key(link_key, b"enc");
+    let mac_key = crate::hmac::derive_key(link_key, b"mac");
+    let mut ciphertext = plaintext.to_vec();
+    xor_stream(&enc_key, nonce, &mut ciphertext);
+    let mut mac_input = nonce.to_be_bytes().to_vec();
+    mac_input.extend_from_slice(&ciphertext);
+    let tag = hmac_sha256(&mac_key, &mac_input).0;
+    SealedBox { nonce, ciphertext, tag }
+}
+
+/// Opens a sealed box, returning the plaintext if the tag verifies.
+pub fn open(link_key: &[u8; 32], sealed: &SealedBox) -> Option<Vec<u8>> {
+    let enc_key = crate::hmac::derive_key(link_key, b"enc");
+    let mac_key = crate::hmac::derive_key(link_key, b"mac");
+    let mut mac_input = sealed.nonce.to_be_bytes().to_vec();
+    mac_input.extend_from_slice(&sealed.ciphertext);
+    let expect = hmac_sha256(&mac_key, &mac_input);
+    if !crate::hmac::verify_tag(&expect, &crate::sha256::Digest(sealed.tag)) {
+        return None;
+    }
+    let mut plaintext = sealed.ciphertext.clone();
+    xor_stream(&enc_key, sealed.nonce, &mut plaintext);
+    Some(plaintext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: [u8; 32] = [9u8; 32];
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let sealed = seal(&KEY, 1, b"hello plant");
+        assert_eq!(open(&KEY, &sealed), Some(b"hello plant".to_vec()));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let sealed = seal(&KEY, 1, b"hello");
+        let other = [8u8; 32];
+        assert_eq!(open(&other, &sealed), None);
+    }
+
+    #[test]
+    fn tampered_ciphertext_fails() {
+        let mut sealed = seal(&KEY, 1, b"hello");
+        sealed.ciphertext[0] ^= 0xff;
+        assert_eq!(open(&KEY, &sealed), None);
+    }
+
+    #[test]
+    fn tampered_nonce_fails() {
+        let mut sealed = seal(&KEY, 1, b"hello");
+        sealed.nonce = 2;
+        assert_eq!(open(&KEY, &sealed), None);
+    }
+
+    #[test]
+    fn tampered_tag_fails() {
+        let mut sealed = seal(&KEY, 1, b"hello");
+        sealed.tag[31] ^= 1;
+        assert_eq!(open(&KEY, &sealed), None);
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext_and_by_nonce() {
+        let a = seal(&KEY, 1, b"same message");
+        let b = seal(&KEY, 2, b"same message");
+        assert_ne!(a.ciphertext, b"same message");
+        assert_ne!(a.ciphertext, b.ciphertext);
+    }
+
+    #[test]
+    fn empty_message_roundtrip() {
+        let sealed = seal(&KEY, 7, b"");
+        assert_eq!(open(&KEY, &sealed), Some(Vec::new()));
+    }
+
+    #[test]
+    fn long_message_roundtrip() {
+        let msg: Vec<u8> = (0..10_000u32).map(|x| x as u8).collect();
+        let sealed = seal(&KEY, 3, &msg);
+        assert_eq!(open(&KEY, &sealed), Some(msg));
+    }
+
+    #[test]
+    fn xor_stream_block_boundaries() {
+        // Lengths around the 32-byte block size.
+        for len in [0usize, 1, 31, 32, 33, 64, 65] {
+            let mut data: Vec<u8> = (0..len).map(|x| x as u8).collect();
+            let orig = data.clone();
+            xor_stream(&KEY, 5, &mut data);
+            xor_stream(&KEY, 5, &mut data);
+            assert_eq!(data, orig, "len={len}");
+        }
+    }
+}

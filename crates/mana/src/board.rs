@@ -1,0 +1,80 @@
+//! The situational-awareness board "tailored for power plant engineers"
+//! (§II) — a text rendering of every MANA instance's health and incidents,
+//! viewable alongside the HMI.
+
+use simnet::time::SimTime;
+
+use crate::ids::ManaInstance;
+
+/// The operator board aggregating several MANA instances.
+#[derive(Debug, Default)]
+pub struct Board;
+
+impl Board {
+    /// Renders the board for the given instances at `now`.
+    pub fn render(instances: &[&ManaInstance], now: SimTime) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== MANA situational awareness (t = {now}) ==\n"));
+        for mana in instances {
+            let status = if !mana.is_trained() {
+                "TRAINING".to_string()
+            } else if mana
+                .alerts
+                .last()
+                .is_some_and(|a| now.since(a.last_seen).as_millis() < 5_000)
+            {
+                "ALERT".to_string()
+            } else {
+                "NORMAL".to_string()
+            };
+            out.push_str(&format!(
+                "[{status:^8}] {} — {} windows scored, {} flagged, {} incidents\n",
+                mana.name,
+                mana.windows_scored,
+                mana.windows_flagged,
+                mana.alerts.len()
+            ));
+            for alert in mana.alerts.iter().rev().take(3) {
+                out.push_str(&format!(
+                    "    {} at {} (peak z = {:.1}, {} windows)\n",
+                    alert.kind.describe(),
+                    alert.start,
+                    alert.peak_z,
+                    alert.windows
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::time::SimDuration;
+
+    #[test]
+    fn renders_training_and_normal_states() {
+        let untrained = ManaInstance::new("MANA 1", SimDuration::from_millis(100));
+        let board = Board::render(&[&untrained], SimTime(1_000_000));
+        assert!(board.contains("TRAINING"));
+        assert!(board.contains("MANA 1"));
+    }
+
+    #[test]
+    fn renders_alerts() {
+        use crate::ids::{Alert, AlertKind};
+        let mut mana = ManaInstance::new("MANA 2", SimDuration::from_millis(100));
+        mana.alerts.push(Alert {
+            start: SimTime(900_000),
+            last_seen: SimTime(999_000),
+            kind: AlertKind::PortScan,
+            windows: 3,
+            peak_z: 42.0,
+        });
+        // Not trained yet so status says TRAINING, but incidents render.
+        let board = Board::render(&[&mana], SimTime(1_000_000));
+        assert!(board.contains("port scan"));
+        assert!(board.contains("1 incidents"));
+    }
+}

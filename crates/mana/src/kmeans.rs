@@ -1,0 +1,271 @@
+//! A k-means anomaly detector — MANA's second model family.
+//!
+//! The paper describes "machine learning and anomaly-based intrusion
+//! detection methods" (plural); alongside the per-feature Gaussian model,
+//! this clusters the baseline's feature vectors (z-normalized) and scores
+//! a window by its distance to the nearest centroid, in units of that
+//! cluster's typical spread. SCADA baselines have a small number of
+//! traffic modes (poll rounds, heartbeats, idle), which k-means captures
+//! directly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::features::{FeatureVector, FEATURE_COUNT};
+
+/// A trained k-means model.
+#[derive(Clone, Debug)]
+pub struct KMeansModel {
+    /// Normalization means.
+    mean: [f64; FEATURE_COUNT],
+    /// Normalization standard deviations (floored).
+    std: [f64; FEATURE_COUNT],
+    /// Cluster centroids in normalized space.
+    centroids: Vec<[f64; FEATURE_COUNT]>,
+    /// Per-cluster mean distance of training members (spread).
+    spread: Vec<f64>,
+    /// Alert threshold in spread units.
+    pub distance_threshold: f64,
+}
+
+fn normalize(v: &[f64; FEATURE_COUNT], mean: &[f64; FEATURE_COUNT], std: &[f64; FEATURE_COUNT]) -> [f64; FEATURE_COUNT] {
+    let mut out = [0.0; FEATURE_COUNT];
+    for i in 0..FEATURE_COUNT {
+        out[i] = (v[i] - mean[i]) / std[i];
+    }
+    out
+}
+
+fn dist(a: &[f64; FEATURE_COUNT], b: &[f64; FEATURE_COUNT]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+impl KMeansModel {
+    /// Fits `k` clusters on baseline windows with `iterations` of Lloyd's
+    /// algorithm, seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` is empty or `k == 0`.
+    pub fn train(windows: &[FeatureVector], k: usize, iterations: usize, seed: u64) -> Self {
+        assert!(!windows.is_empty(), "cannot train on an empty baseline");
+        assert!(k > 0, "k must be positive");
+        let k = k.min(windows.len());
+        // Normalization statistics.
+        let n = windows.len() as f64;
+        let mut mean = [0.0; FEATURE_COUNT];
+        for w in windows {
+            for i in 0..FEATURE_COUNT {
+                mean[i] += w.values[i];
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut std = [0.0; FEATURE_COUNT];
+        for w in windows {
+            for i in 0..FEATURE_COUNT {
+                let d = w.values[i] - mean[i];
+                std[i] += d * d;
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n).sqrt().max(0.5);
+        }
+        let points: Vec<[f64; FEATURE_COUNT]> =
+            windows.iter().map(|w| normalize(&w.values, &mean, &std)).collect();
+
+        // k-means++ style seeding (greedy farthest point, deterministic).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut centroids = vec![points[rng.gen_range(0..points.len())]];
+        while centroids.len() < k {
+            let (far_idx, _) = points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let d = centroids.iter().map(|c| dist(p, c)).fold(f64::MAX, f64::min);
+                    (i, d)
+                })
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .expect("nonempty");
+            centroids.push(points[far_idx]);
+        }
+
+        // Lloyd iterations.
+        let mut assignment = vec![0usize; points.len()];
+        for _ in 0..iterations {
+            for (i, p) in points.iter().enumerate() {
+                assignment[i] = centroids
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| dist(p, a).partial_cmp(&dist(p, b)).expect("finite"))
+                    .map(|(j, _)| j)
+                    .expect("nonempty");
+            }
+            let mut sums = vec![[0.0; FEATURE_COUNT]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (i, p) in points.iter().enumerate() {
+                counts[assignment[i]] += 1;
+                for f in 0..FEATURE_COUNT {
+                    sums[assignment[i]][f] += p[f];
+                }
+            }
+            for (j, c) in centroids.iter_mut().enumerate() {
+                if counts[j] > 0 {
+                    for f in 0..FEATURE_COUNT {
+                        c[f] = sums[j][f] / counts[j] as f64;
+                    }
+                }
+            }
+        }
+        // Spread per cluster (floored so empty/tight clusters stay sane).
+        let mut spread = vec![0.0f64; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (i, p) in points.iter().enumerate() {
+            spread[assignment[i]] += dist(p, &centroids[assignment[i]]);
+            counts[assignment[i]] += 1;
+        }
+        for (s, &c) in spread.iter_mut().zip(counts.iter()) {
+            *s = if c > 0 { (*s / c as f64).max(0.25) } else { 0.25 };
+        }
+        KMeansModel { mean, std, centroids, spread, distance_threshold: 8.0 }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Anomaly score: distance to the nearest centroid in units of that
+    /// cluster's training spread.
+    pub fn score(&self, window: &FeatureVector) -> f64 {
+        let p = normalize(&window.values, &self.mean, &self.std);
+        self.centroids
+            .iter()
+            .zip(self.spread.iter())
+            .map(|(c, s)| dist(&p, c) / s)
+            .fold(f64::MAX, f64::min)
+    }
+
+    /// Whether a window crosses the alert threshold.
+    pub fn is_anomalous(&self, window: &FeatureVector) -> bool {
+        self.score(window) >= self.distance_threshold
+    }
+}
+
+/// One point of a ROC curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RocPoint {
+    /// The score threshold.
+    pub threshold: f64,
+    /// True-positive rate at that threshold.
+    pub tpr: f64,
+    /// False-positive rate at that threshold.
+    pub fpr: f64,
+}
+
+/// Computes a ROC curve from `(score, is_attack)` labeled samples, and
+/// the area under it (trapezoidal).
+pub fn roc_curve(samples: &[(f64, bool)]) -> (Vec<RocPoint>, f64) {
+    let positives = samples.iter().filter(|(_, a)| *a).count().max(1) as f64;
+    let negatives = samples.iter().filter(|(_, a)| !*a).count().max(1) as f64;
+    let mut thresholds: Vec<f64> = samples.iter().map(|(s, _)| *s).collect();
+    thresholds.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    thresholds.dedup();
+    let mut points = Vec::with_capacity(thresholds.len() + 2);
+    points.push(RocPoint { threshold: f64::INFINITY, tpr: 0.0, fpr: 0.0 });
+    for &t in &thresholds {
+        let tp = samples.iter().filter(|(s, a)| *a && *s >= t).count() as f64;
+        let fp = samples.iter().filter(|(s, a)| !*a && *s >= t).count() as f64;
+        points.push(RocPoint { threshold: t, tpr: tp / positives, fpr: fp / negatives });
+    }
+    // AUC by trapezoid over (fpr, tpr).
+    let mut auc = 0.0;
+    for w in points.windows(2) {
+        auc += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+    }
+    (points, auc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::time::SimTime;
+
+    fn window(values: [f64; FEATURE_COUNT]) -> FeatureVector {
+        FeatureVector { window_start: SimTime(0), values }
+    }
+
+    /// A bimodal baseline: poll rounds and idle windows.
+    fn baseline() -> Vec<FeatureVector> {
+        let mut out = Vec::new();
+        for i in 0..100 {
+            let j = (i % 5) as f64;
+            out.push(window([20.0 + j, 2_000.0 + 10.0 * j, 4.0, 3.0, 0.0, 1.0, 1.0, 2.0, 100.0, 6.0]));
+            out.push(window([2.0, 120.0 + j, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 60.0, 1.0]));
+        }
+        out
+    }
+
+    #[test]
+    fn baseline_modes_score_low() {
+        let model = KMeansModel::train(&baseline(), 3, 10, 1);
+        assert_eq!(model.k(), 3);
+        for w in baseline() {
+            assert!(!model.is_anomalous(&w), "baseline flagged with score {}", model.score(&w));
+        }
+    }
+
+    #[test]
+    fn attack_windows_score_high() {
+        let model = KMeansModel::train(&baseline(), 3, 10, 1);
+        let scan = window([220.0, 9_000.0, 5.0, 200.0, 200.0, 1.0, 1.0, 2.0, 42.0, 205.0]);
+        let flood = window([50_000.0, 60_000_000.0, 4.0, 3.0, 0.0, 1.0, 1.0, 2.0, 1_200.0, 6.0]);
+        assert!(model.is_anomalous(&scan), "scan score {}", model.score(&scan));
+        assert!(model.is_anomalous(&flood), "flood score {}", model.score(&flood));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = KMeansModel::train(&baseline(), 3, 10, 7);
+        let b = KMeansModel::train(&baseline(), 3, 10, 7);
+        let w = window([20.0, 2_000.0, 4.0, 3.0, 0.0, 1.0, 1.0, 2.0, 100.0, 6.0]);
+        assert_eq!(a.score(&w), b.score(&w));
+    }
+
+    #[test]
+    fn k_capped_by_sample_count() {
+        let tiny = vec![window([1.0; FEATURE_COUNT]), window([2.0; FEATURE_COUNT])];
+        let model = KMeansModel::train(&tiny, 8, 5, 1);
+        assert!(model.k() <= 2);
+    }
+
+    #[test]
+    fn roc_perfect_separation_gives_auc_one() {
+        let samples: Vec<(f64, bool)> = (0..50)
+            .map(|i| (i as f64, false))
+            .chain((100..150).map(|i| (i as f64, true)))
+            .collect();
+        let (points, auc) = roc_curve(&samples);
+        assert!((auc - 1.0).abs() < 1e-9, "auc = {auc}");
+        assert_eq!(points.first().map(|p| (p.tpr, p.fpr)), Some((0.0, 0.0)));
+        let last = points.last().expect("nonempty");
+        assert_eq!((last.tpr, last.fpr), (1.0, 1.0));
+    }
+
+    #[test]
+    fn roc_random_scores_give_auc_near_half() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let samples: Vec<(f64, bool)> =
+            (0..2000).map(|i| (rng.gen::<f64>(), i % 2 == 0)).collect();
+        let (_, auc) = roc_curve(&samples);
+        assert!((auc - 0.5).abs() < 0.05, "auc = {auc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty baseline")]
+    fn empty_training_panics() {
+        let _ = KMeansModel::train(&[], 3, 5, 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! MANA — the Machine-learning Assisted Network Analyzer (§II, §III-C).
+//!
+//! MANA "translates network packet capture into data inputs for machine
+//! learning evaluation and alerts users in near real-time of any highly
+//! correlated anomalous or malicious activity". Its operational
+//! constraints, reproduced here, drive the design:
+//!
+//! * **Passive and out-of-band**: input is the metadata stream from
+//!   [`simnet`] capture taps (span ports); MANA never injects traffic.
+//! * **No protocol knowledge, no plaintext**: SCADA protocols are
+//!   proprietary and (in Spire) encrypted, so features are computed from
+//!   flow metadata only — counts, sizes, fan-out, ARP activity
+//!   ([`features`]).
+//! * **Anomaly-based**: per-feature Gaussian baselines with a
+//!   Mahalanobis-style combined score ([`model`]) plus a k-means detector
+//!   over the baseline's traffic modes ([`kmeans`]), trained on a
+//!   baseline capture (24 h at the red-team exercise, 12 h at the plant).
+//! * **Operator-facing**: alerts are correlated into incidents with a
+//!   human-readable cause ([`ids`]) and summarized on a situational-
+//!   awareness board "tailored for power plant engineers" ([`board`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod board;
+pub mod features;
+pub mod ids;
+pub mod kmeans;
+pub mod model;
+
+pub use board::Board;
+pub use features::{FeatureVector, WindowExtractor, FEATURE_COUNT, FEATURE_NAMES};
+pub use ids::{Alert, AlertKind, ManaInstance};
+pub use kmeans::{roc_curve, KMeansModel, RocPoint};
+pub use model::GaussianModel;

@@ -1,0 +1,85 @@
+//! CRC-16/MODBUS (polynomial 0x8005 reflected = 0xA001, init 0xFFFF).
+
+/// Computes the Modbus RTU CRC over `data`. The result is transmitted
+/// little-endian (low byte first) per the Modbus serial spec.
+///
+/// # Examples
+///
+/// ```
+/// use modbus::crc::crc16;
+///
+/// // Canonical check value: CRC of "123456789" is 0x4B37.
+/// assert_eq!(crc16(b"123456789"), 0x4B37);
+/// ```
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= byte as u16;
+        for _ in 0..8 {
+            if crc & 1 != 0 {
+                crc = (crc >> 1) ^ 0xA001;
+            } else {
+                crc >>= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Appends the CRC (little-endian) to a buffer.
+pub fn append_crc(buf: &mut Vec<u8>) {
+    let crc = crc16(buf);
+    buf.push((crc & 0xff) as u8);
+    buf.push((crc >> 8) as u8);
+}
+
+/// Validates and strips a trailing CRC; returns the body on success.
+pub fn check_and_strip(data: &[u8]) -> Option<&[u8]> {
+    if data.len() < 2 {
+        return None;
+    }
+    let (body, tail) = data.split_at(data.len() - 2);
+    let expect = crc16(body);
+    let got = u16::from(tail[0]) | (u16::from(tail[1]) << 8);
+    (expect == got).then_some(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // Classic example: 01 03 00 00 00 0A → CRC C5 CD.
+        let frame = [0x01u8, 0x03, 0x00, 0x00, 0x00, 0x0A];
+        let crc = crc16(&frame);
+        assert_eq!(crc & 0xff, 0xC5);
+        assert_eq!(crc >> 8, 0xCD);
+    }
+
+    #[test]
+    fn append_then_check_roundtrip() {
+        let mut buf = vec![0x11, 0x05, 0x00, 0xAC, 0xFF, 0x00];
+        append_crc(&mut buf);
+        assert_eq!(check_and_strip(&buf), Some(&buf[..buf.len() - 2]));
+    }
+
+    #[test]
+    fn corrupted_frame_rejected() {
+        let mut buf = vec![1, 2, 3, 4];
+        append_crc(&mut buf);
+        buf[1] ^= 0x80;
+        assert_eq!(check_and_strip(&buf), None);
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        assert_eq!(check_and_strip(&[0x01]), None);
+        assert_eq!(check_and_strip(&[]), None);
+    }
+
+    #[test]
+    fn empty_body_crc() {
+        assert_eq!(crc16(&[]), 0xFFFF);
+    }
+}

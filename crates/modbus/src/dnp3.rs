@@ -1,0 +1,357 @@
+//! A DNP3 subset — the other insecure field protocol the paper names
+//! (§II: "their typical, insecure industrial communication protocols,
+//! such as Modbus or DNP3").
+//!
+//! Implemented at the fidelity the proxy/RTU pairing needs: the data-link
+//! frame (0x0564 start, length, control, destination/source addresses,
+//! CRC-16 over the header and over every 16-byte body block) and an
+//! application layer with READ (class 0 static data) and DIRECT OPERATE
+//! (control relay output block) — the poll and breaker-trip operations a
+//! SCADA master issues. Like Modbus, there is no authentication: anyone
+//! who can reach the device can operate it.
+
+use crate::crc::crc16;
+
+/// DNP3 start bytes.
+const START: [u8; 2] = [0x05, 0x64];
+/// Maximum user-data length per frame body.
+const MAX_BODY: usize = 250;
+
+/// Data-link frame header control byte roles (simplified: DIR/PRM bits).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkControl {
+    /// Master → outstation request.
+    Request,
+    /// Outstation → master response.
+    Response,
+}
+
+impl LinkControl {
+    fn byte(self) -> u8 {
+        match self {
+            // DIR=1 PRM=1 FC=4 (unconfirmed user data) for requests.
+            LinkControl::Request => 0b1100_0100,
+            // DIR=0 PRM=1 FC=4 for responses.
+            LinkControl::Response => 0b0100_0100,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0b1100_0100 => Some(LinkControl::Request),
+            0b0100_0100 => Some(LinkControl::Response),
+            _ => None,
+        }
+    }
+}
+
+/// A DNP3 data-link frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LinkFrame {
+    /// Direction/role.
+    pub control: LinkControl,
+    /// Destination address.
+    pub destination: u16,
+    /// Source address.
+    pub source: u16,
+    /// Transport+application user data.
+    pub body: Vec<u8>,
+}
+
+impl LinkFrame {
+    /// Serializes with header CRC and per-16-byte-block body CRCs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body exceeds 250 bytes (fragmentation is out of
+    /// scope for this subset).
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(self.body.len() <= MAX_BODY, "body exceeds one frame");
+        let mut out = Vec::with_capacity(10 + self.body.len() + 2 * self.body.len().div_ceil(16));
+        out.extend_from_slice(&START);
+        out.push((5 + self.body.len()) as u8); // LEN counts ctrl+dst+src+body
+        out.push(self.control.byte());
+        out.extend_from_slice(&self.destination.to_le_bytes());
+        out.extend_from_slice(&self.source.to_le_bytes());
+        let header_crc = crc16(&out[..8]);
+        out.extend_from_slice(&header_crc.to_le_bytes());
+        for block in self.body.chunks(16) {
+            out.extend_from_slice(block);
+            out.extend_from_slice(&crc16(block).to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses and CRC-checks a frame.
+    pub fn decode(data: &[u8]) -> Option<LinkFrame> {
+        if data.len() < 10 || data[0..2] != START {
+            return None;
+        }
+        let len = data[2] as usize;
+        if len < 5 {
+            return None;
+        }
+        let header_crc = u16::from_le_bytes([data[8], data[9]]);
+        if crc16(&data[..8]) != header_crc {
+            return None;
+        }
+        let control = LinkControl::from_byte(data[3])?;
+        let destination = u16::from_le_bytes([data[4], data[5]]);
+        let source = u16::from_le_bytes([data[6], data[7]]);
+        let body_len = len - 5;
+        let mut body = Vec::with_capacity(body_len);
+        let mut pos = 10;
+        let mut remaining = body_len;
+        while remaining > 0 {
+            let take = remaining.min(16);
+            let block = data.get(pos..pos + take)?;
+            let crc_bytes = data.get(pos + take..pos + take + 2)?;
+            if crc16(block) != u16::from_le_bytes([crc_bytes[0], crc_bytes[1]]) {
+                return None;
+            }
+            body.extend_from_slice(block);
+            pos += take + 2;
+            remaining -= take;
+        }
+        if pos != data.len() {
+            return None;
+        }
+        Some(LinkFrame { control, destination, source, body })
+    }
+}
+
+/// Application-layer requests (the subset a SCADA master needs).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AppRequest {
+    /// READ class 0 (all static data): the integrity poll.
+    IntegrityPoll,
+    /// DIRECT OPERATE on a control relay output block.
+    DirectOperate {
+        /// Point index (breaker number).
+        index: u16,
+        /// Trip (open) or close.
+        trip: bool,
+    },
+}
+
+impl AppRequest {
+    /// Serializes into a frame body (simplified object headers).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            // FC 0x01 READ, object group 60 var 1 (class 0).
+            AppRequest::IntegrityPoll => vec![0xC0, 0x01, 60, 1],
+            // FC 0x05 DIRECT OPERATE, group 12 var 1, index, code.
+            AppRequest::DirectOperate { index, trip } => {
+                let mut v = vec![0xC0, 0x05, 12, 1];
+                v.extend_from_slice(&index.to_le_bytes());
+                v.push(if *trip { 0x81 } else { 0x41 }); // TRIP / CLOSE pulse
+                v
+            }
+        }
+    }
+
+    /// Parses a request body.
+    pub fn decode(body: &[u8]) -> Option<AppRequest> {
+        match body {
+            [0xC0, 0x01, 60, 1] => Some(AppRequest::IntegrityPoll),
+            [0xC0, 0x05, 12, 1, i0, i1, code] => Some(AppRequest::DirectOperate {
+                index: u16::from_le_bytes([*i0, *i1]),
+                trip: *code == 0x81,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Application-layer responses.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AppResponse {
+    /// Static data: binary input states (breaker positions).
+    StaticData {
+        /// Point states.
+        points: Vec<bool>,
+    },
+    /// Operate acknowledgement (echoes the control).
+    OperateAck {
+        /// Point index.
+        index: u16,
+        /// Whether the operation was accepted.
+        success: bool,
+    },
+}
+
+impl AppResponse {
+    /// Serializes into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            AppResponse::StaticData { points } => {
+                // FC 0x81 RESPONSE, group 1 var 1 (binary input), count,
+                // packed bits.
+                let mut v = vec![0xC0, 0x81, 1, 1, points.len() as u8];
+                let mut packed = vec![0u8; points.len().div_ceil(8)];
+                for (i, &p) in points.iter().enumerate() {
+                    if p {
+                        packed[i / 8] |= 1 << (i % 8);
+                    }
+                }
+                v.extend_from_slice(&packed);
+                v
+            }
+            AppResponse::OperateAck { index, success } => {
+                let mut v = vec![0xC0, 0x81, 12, 1];
+                v.extend_from_slice(&index.to_le_bytes());
+                v.push(u8::from(*success));
+                v
+            }
+        }
+    }
+
+    /// Parses a response body.
+    pub fn decode(body: &[u8]) -> Option<AppResponse> {
+        match body {
+            [0xC0, 0x81, 1, 1, count, rest @ ..] => {
+                let n = *count as usize;
+                if rest.len() != n.div_ceil(8) {
+                    return None;
+                }
+                let points = (0..n).map(|i| rest[i / 8] & (1 << (i % 8)) != 0).collect();
+                Some(AppResponse::StaticData { points })
+            }
+            [0xC0, 0x81, 12, 1, i0, i1, ok] => Some(AppResponse::OperateAck {
+                index: u16::from_le_bytes([*i0, *i1]),
+                success: *ok == 1,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Serves DNP3 requests against a Modbus-style [`crate::DataStore`]
+/// (binary inputs ↔ discrete inputs, operates ↔ coil writes) so the same
+/// emulated device can speak either protocol.
+pub fn serve(req: &AppRequest, store: &mut crate::DataStore) -> AppResponse {
+    match req {
+        AppRequest::IntegrityPoll => {
+            let points = (0..store.coil_count() as u16)
+                .map(|i| store.discrete_input(i).unwrap_or(false))
+                .collect();
+            AppResponse::StaticData { points }
+        }
+        AppRequest::DirectOperate { index, trip } => {
+            let success = store.set_coil(*index, !trip);
+            AppResponse::OperateAck { index: *index, success }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataStore;
+
+    fn roundtrip_frame(body: Vec<u8>) {
+        let f = LinkFrame { control: LinkControl::Request, destination: 10, source: 1, body };
+        let bytes = f.encode();
+        assert_eq!(LinkFrame::decode(&bytes), Some(f));
+    }
+
+    #[test]
+    fn link_frame_roundtrips_various_sizes() {
+        roundtrip_frame(vec![]);
+        roundtrip_frame(vec![1; 1]);
+        roundtrip_frame(vec![2; 16]);
+        roundtrip_frame(vec![3; 17]);
+        roundtrip_frame(vec![4; 100]);
+        roundtrip_frame(vec![5; 250]);
+    }
+
+    #[test]
+    fn corrupted_header_or_block_rejected() {
+        let f = LinkFrame {
+            control: LinkControl::Response,
+            destination: 2,
+            source: 10,
+            body: vec![7; 40],
+        };
+        let bytes = f.encode();
+        for idx in [0usize, 3, 5, 12, 30] {
+            let mut bad = bytes.clone();
+            bad[idx] ^= 0xFF;
+            assert_eq!(LinkFrame::decode(&bad), None, "flip at {idx}");
+        }
+        assert_eq!(LinkFrame::decode(&bytes[..bytes.len() - 1]), None);
+    }
+
+    #[test]
+    fn app_requests_roundtrip() {
+        for req in [
+            AppRequest::IntegrityPoll,
+            AppRequest::DirectOperate { index: 3, trip: true },
+            AppRequest::DirectOperate { index: 300, trip: false },
+        ] {
+            assert_eq!(AppRequest::decode(&req.encode()), Some(req));
+        }
+    }
+
+    #[test]
+    fn app_responses_roundtrip() {
+        for resp in [
+            AppResponse::StaticData { points: vec![true, false, true, true, false, false, true] },
+            AppResponse::StaticData { points: vec![] },
+            AppResponse::OperateAck { index: 2, success: true },
+            AppResponse::OperateAck { index: 9, success: false },
+        ] {
+            assert_eq!(AppResponse::decode(&resp.encode()), Some(resp));
+        }
+    }
+
+    #[test]
+    fn serve_integrity_poll_reads_positions() {
+        let mut store = DataStore::new(7, 7);
+        store.set_discrete_input(1, true);
+        store.set_discrete_input(4, true);
+        let resp = serve(&AppRequest::IntegrityPoll, &mut store);
+        assert_eq!(
+            resp,
+            AppResponse::StaticData {
+                points: vec![false, true, false, false, true, false, false]
+            }
+        );
+    }
+
+    #[test]
+    fn serve_direct_operate_trips_breaker() {
+        let mut store = DataStore::new(7, 7);
+        store.set_coil(2, true);
+        let resp = serve(&AppRequest::DirectOperate { index: 2, trip: true }, &mut store);
+        assert_eq!(resp, AppResponse::OperateAck { index: 2, success: true });
+        assert_eq!(store.coil(2), Some(false), "trip opened the breaker");
+        // Out-of-range operate fails but does not panic.
+        let resp = serve(&AppRequest::DirectOperate { index: 99, trip: true }, &mut store);
+        assert_eq!(resp, AppResponse::OperateAck { index: 99, success: false });
+    }
+
+    #[test]
+    fn unauthenticated_like_modbus() {
+        // The security property (or lack of it): any well-formed frame is
+        // served — there is no authentication field anywhere to check.
+        let mut store = DataStore::new(2, 2);
+        let attacker_frame = LinkFrame {
+            control: LinkControl::Request,
+            destination: 10,
+            source: 0xFFFF, // arbitrary claimed source
+            body: AppRequest::DirectOperate { index: 0, trip: true }.encode(),
+        };
+        let decoded = LinkFrame::decode(&attacker_frame.encode()).expect("valid");
+        let req = AppRequest::decode(&decoded.body).expect("valid");
+        let resp = serve(&req, &mut store);
+        assert_eq!(resp, AppResponse::OperateAck { index: 0, success: true });
+    }
+
+    #[test]
+    fn malformed_bodies_rejected() {
+        assert_eq!(AppRequest::decode(&[]), None);
+        assert_eq!(AppRequest::decode(&[0xC0, 0x01, 60]), None);
+        assert_eq!(AppResponse::decode(&[0xC0, 0x81, 1, 1, 9, 0]), None); // count/bytes mismatch
+    }
+}

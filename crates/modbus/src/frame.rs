@@ -1,0 +1,145 @@
+//! Modbus framing: RTU (serial, CRC-16) and TCP (MBAP header).
+//!
+//! The proxy↔PLC cable uses RTU framing; attackers on the operations
+//! network of the commercial system speak Modbus/TCP to the exposed PLC.
+
+use crate::crc;
+
+/// An RTU frame: unit id + PDU + CRC.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RtuFrame {
+    /// Slave/unit address (0 = broadcast).
+    pub unit: u8,
+    /// The PDU bytes (function code + data).
+    pub pdu: Vec<u8>,
+}
+
+impl RtuFrame {
+    /// Serializes with trailing CRC.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.pdu.len() + 3);
+        out.push(self.unit);
+        out.extend_from_slice(&self.pdu);
+        crc::append_crc(&mut out);
+        out
+    }
+
+    /// Parses and CRC-checks a frame.
+    pub fn decode(data: &[u8]) -> Option<RtuFrame> {
+        let body = crc::check_and_strip(data)?;
+        let (&unit, pdu) = body.split_first()?;
+        if pdu.is_empty() {
+            return None;
+        }
+        Some(RtuFrame { unit, pdu: pdu.to_vec() })
+    }
+}
+
+/// The MBAP header used by Modbus/TCP.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MbapHeader {
+    /// Transaction identifier (echoed by the server).
+    pub transaction: u16,
+    /// Protocol identifier (always 0 for Modbus).
+    pub protocol: u16,
+    /// Unit identifier.
+    pub unit: u8,
+}
+
+/// A Modbus/TCP frame: MBAP header + PDU.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TcpFrame {
+    /// The header.
+    pub header: MbapHeader,
+    /// The PDU bytes.
+    pub pdu: Vec<u8>,
+}
+
+impl TcpFrame {
+    /// Builds a frame with protocol id 0.
+    pub fn new(transaction: u16, unit: u8, pdu: Vec<u8>) -> Self {
+        TcpFrame { header: MbapHeader { transaction, protocol: 0, unit }, pdu }
+    }
+
+    /// Serializes: transaction(2) protocol(2) length(2) unit(1) pdu.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(7 + self.pdu.len());
+        out.extend_from_slice(&self.header.transaction.to_be_bytes());
+        out.extend_from_slice(&self.header.protocol.to_be_bytes());
+        out.extend_from_slice(&((self.pdu.len() + 1) as u16).to_be_bytes());
+        out.push(self.header.unit);
+        out.extend_from_slice(&self.pdu);
+        out
+    }
+
+    /// Parses a frame; checks the declared length and protocol id.
+    pub fn decode(data: &[u8]) -> Option<TcpFrame> {
+        if data.len() < 8 {
+            return None;
+        }
+        let transaction = u16::from_be_bytes([data[0], data[1]]);
+        let protocol = u16::from_be_bytes([data[2], data[3]]);
+        if protocol != 0 {
+            return None;
+        }
+        let length = u16::from_be_bytes([data[4], data[5]]) as usize;
+        if data.len() != 6 + length || length < 2 {
+            return None;
+        }
+        let unit = data[6];
+        Some(TcpFrame {
+            header: MbapHeader { transaction, protocol, unit },
+            pdu: data[7..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtu_roundtrip() {
+        let f = RtuFrame { unit: 0x11, pdu: vec![0x03, 0x00, 0x6B, 0x00, 0x03] };
+        let bytes = f.encode();
+        assert_eq!(RtuFrame::decode(&bytes), Some(f));
+    }
+
+    #[test]
+    fn rtu_bad_crc_rejected() {
+        let f = RtuFrame { unit: 1, pdu: vec![0x01, 0, 0, 0, 1] };
+        let mut bytes = f.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert_eq!(RtuFrame::decode(&bytes), None);
+    }
+
+    #[test]
+    fn rtu_empty_pdu_rejected() {
+        let mut bytes = vec![0x05u8];
+        crate::crc::append_crc(&mut bytes);
+        assert_eq!(RtuFrame::decode(&bytes), None);
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let f = TcpFrame::new(0x1234, 0xFF, vec![0x01, 0x00, 0x00, 0x00, 0x08]);
+        let bytes = f.encode();
+        assert_eq!(TcpFrame::decode(&bytes), Some(f));
+    }
+
+    #[test]
+    fn tcp_wrong_protocol_rejected() {
+        let mut bytes = TcpFrame::new(1, 1, vec![0x01]).encode();
+        bytes[3] = 7;
+        assert_eq!(TcpFrame::decode(&bytes), None);
+    }
+
+    #[test]
+    fn tcp_wrong_length_rejected() {
+        let mut bytes = TcpFrame::new(1, 1, vec![0x01, 0x02]).encode();
+        bytes[5] += 1;
+        assert_eq!(TcpFrame::decode(&bytes), None);
+        assert_eq!(TcpFrame::decode(&bytes[..5]), None);
+    }
+}

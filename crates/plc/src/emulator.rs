@@ -1,0 +1,275 @@
+//! The PLC emulator as a [`simnet`] process.
+//!
+//! Speaks Modbus/TCP framing over the simulator (on the standard port 502)
+//! whether it is attached to a switch (the exposed commercial deployment)
+//! or to a direct cable behind a proxy (the Spire deployment) — the *same
+//! device* in both experiments; only the network placement differs.
+//!
+//! Every `scan_interval` the emulator runs one scan cycle, like OpenPLC:
+//!
+//! 1. adopt any newly uploaded configuration image (if it parses),
+//! 2. map coil values through the configuration to breaker commands,
+//! 3. step breaker mechanics (operate delays),
+//! 4. publish positions to discrete inputs and currents to input
+//!    registers.
+
+use modbus::{execute, DataStore, Request, Response, TcpFrame};
+use simnet::packet::Packet;
+use simnet::process::{Context, Process};
+use simnet::time::{SimDuration, SimTime};
+use simnet::types::Port;
+
+use crate::breaker::BreakerBank;
+use crate::logic::LogicConfig;
+use crate::topology::{PowerTopology, Scenario};
+
+/// The standard Modbus port the emulator listens on.
+pub const PLC_MODBUS_PORT: Port = Port(502);
+
+const SCAN_TIMER: u64 = 1;
+
+/// An emulated PLC controlling one scenario topology.
+pub struct PlcEmulator {
+    topology: PowerTopology,
+    bank: BreakerBank,
+    store: DataStore,
+    config: LogicConfig,
+    last_adopted_image: Vec<u8>,
+    scan_interval: SimDuration,
+    /// Modbus requests answered.
+    pub requests_served: u64,
+    /// Frames that failed to parse (malformed / tampered).
+    pub invalid_frames: u64,
+    /// Configuration images adopted after upload (forensics).
+    pub configs_adopted: u64,
+    /// Breaker position changes, as `(time, breaker, closed)`.
+    pub position_log: Vec<(SimTime, u16, bool)>,
+}
+
+impl PlcEmulator {
+    /// Creates an emulator for a scenario with typical timings (10 ms scan,
+    /// 40 ms breaker operate delay).
+    pub fn new(scenario: Scenario) -> Self {
+        Self::with_timing(scenario, SimDuration::from_millis(10), SimDuration::from_millis(40))
+    }
+
+    /// Creates an emulator with explicit scan interval and operate delay.
+    pub fn with_timing(scenario: Scenario, scan_interval: SimDuration, operate_delay: SimDuration) -> Self {
+        let topology = scenario.topology();
+        let n = topology.breaker_count();
+        let mut store = DataStore::new(n.max(1), n.max(8));
+        let config = LogicConfig::factory();
+        let image = config.to_image();
+        store.config_image = image.clone();
+        store.device_id = format!("OpenPLC-emu scenario={}", scenario.tag());
+        // Coils start closed to match the initially-closed breaker bank.
+        for i in 0..n {
+            store.set_coil(i as u16, true);
+            store.set_discrete_input(i as u16, true);
+        }
+        PlcEmulator {
+            topology,
+            bank: BreakerBank::new(n, operate_delay),
+            store,
+            config,
+            last_adopted_image: image,
+            scan_interval,
+            requests_served: 0,
+            invalid_frames: 0,
+            configs_adopted: 0,
+            position_log: Vec::new(),
+        }
+    }
+
+    /// The electrical topology under control.
+    pub fn topology(&self) -> &PowerTopology {
+        &self.topology
+    }
+
+    /// Current mechanical breaker positions.
+    pub fn positions(&self) -> Vec<bool> {
+        self.bank.positions()
+    }
+
+    /// The currently active logic configuration.
+    pub fn config(&self) -> &LogicConfig {
+        &self.config
+    }
+
+    /// Direct access to the Modbus data store (tests and the direct-wire
+    /// proxy use this; network peers go through packets).
+    pub fn store(&self) -> &DataStore {
+        &self.store
+    }
+
+    /// Count of loads currently energized (derived ground truth).
+    pub fn energized_loads(&self) -> usize {
+        self.topology.energized_count(&self.bank.positions())
+    }
+
+    /// Runs one scan cycle at `now` (public so the direct-wire proxy and
+    /// unit tests can drive the device without a simulator).
+    pub fn scan(&mut self, now: SimTime) {
+        // 1. Adopt a newly uploaded config if it parses.
+        if self.store.config_image != self.last_adopted_image {
+            if let Ok(cfg) = LogicConfig::from_image(&self.store.config_image) {
+                self.config = cfg;
+                self.configs_adopted += 1;
+            }
+            self.last_adopted_image = self.store.config_image.clone();
+        }
+        // 2. Coils → commands through the logic config.
+        for i in 0..self.bank.len() {
+            let coil = self.store.coil(i as u16).unwrap_or(false);
+            if let Some(cmd) = self.config.transform_command(i, coil) {
+                self.bank.command(i, cmd, now);
+            }
+        }
+        // 3. Mechanics.
+        for idx in self.bank.step(now) {
+            let closed = self.bank.positions()[idx];
+            self.position_log.push((now, idx as u16, closed));
+        }
+        // 4. Publish feedback.
+        let positions = self.bank.positions();
+        for (i, &closed) in positions.iter().enumerate() {
+            self.store.set_discrete_input(i as u16, closed);
+            let current = self.topology.breaker_current(i as u16, &positions);
+            self.store.set_input(i as u16, current);
+        }
+    }
+
+    /// Handles one Modbus request PDU, returning the response PDU.
+    pub fn handle_request(&mut self, req: &Request) -> Response {
+        self.requests_served += 1;
+        execute(req, &mut self.store)
+    }
+
+    /// Physically operates a breaker (the §V measurement device, or a
+    /// field crew): the mechanical position changes immediately and the
+    /// coil follows, bypassing the network command path entirely. The next
+    /// scan publishes the new position to the discrete inputs.
+    pub fn force_breaker(&mut self, idx: u16, closed: bool, now: SimTime) {
+        if self.bank.force_position(idx as usize, closed) {
+            self.store.set_coil(idx, closed);
+            self.position_log.push((now, idx, closed));
+        }
+    }
+}
+
+impl Process for PlcEmulator {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.listen(PLC_MODBUS_PORT);
+        ctx.set_timer(self.scan_interval, SCAN_TIMER);
+        ctx.log("plc: online");
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: u64) {
+        if timer == SCAN_TIMER {
+            self.scan(ctx.now());
+            ctx.set_timer(self.scan_interval, SCAN_TIMER);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        if pkt.dst_port != PLC_MODBUS_PORT {
+            return;
+        }
+        let Some(frame) = TcpFrame::decode(&pkt.payload) else {
+            self.invalid_frames += 1;
+            return;
+        };
+        let Some(req) = Request::decode(&frame.pdu) else {
+            self.invalid_frames += 1;
+            return;
+        };
+        let resp = self.handle_request(&req);
+        let reply_frame = TcpFrame::new(frame.header.transaction, frame.header.unit, resp.encode());
+        let reply = Packet::udp(
+            ctx.ip(0),
+            pkt.src_ip,
+            PLC_MODBUS_PORT,
+            pkt.src_port,
+            bytes::Bytes::from(reply_frame.encode()),
+        );
+        ctx.send(0, reply);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_applies_coil_to_breaker_after_delay() {
+        let mut plc = PlcEmulator::new(Scenario::RedTeamDistribution);
+        assert_eq!(plc.energized_loads(), 4);
+        // Open the main breaker via a Modbus write.
+        let resp = plc.handle_request(&Request::WriteSingleCoil { address: 0, value: false });
+        assert_eq!(resp, Response::WriteSingleCoil { address: 0, value: false });
+        plc.scan(SimTime(10_000)); // command issued, mechanics pending
+        assert!(plc.positions()[0]);
+        plc.scan(SimTime(60_000)); // past operate delay
+        assert!(!plc.positions()[0]);
+        assert_eq!(plc.energized_loads(), 0);
+        assert_eq!(plc.position_log.len(), 1);
+        // Feedback published.
+        assert_eq!(plc.store().discrete_input(0), Some(false));
+        assert_eq!(plc.store().input(0), Some(0));
+    }
+
+    #[test]
+    fn currents_published_for_closed_breakers() {
+        let mut plc = PlcEmulator::new(Scenario::RedTeamDistribution);
+        plc.scan(SimTime(0));
+        assert_eq!(plc.store().input(0), Some(400));
+        assert_eq!(plc.store().input(1), Some(200));
+        assert_eq!(plc.store().input(3), Some(100));
+    }
+
+    #[test]
+    fn tampered_config_upload_takes_control() {
+        let mut plc = PlcEmulator::new(Scenario::RedTeamDistribution);
+        // Attacker dumps config...
+        let dump = plc.handle_request(&Request::ConfigDownload);
+        let Response::ConfigImage { image } = dump else { panic!("expected image") };
+        let mut cfg = LogicConfig::from_image(&image).expect("factory parses");
+        // ...modifies it to force every breaker open...
+        cfg.force_open_mask = 0x7F;
+        // ...and uploads it.
+        let up = plc.handle_request(&Request::ConfigUpload { image: cfg.to_image() });
+        assert_eq!(up, Response::ConfigAccepted);
+        plc.scan(SimTime(10_000));
+        plc.scan(SimTime(100_000));
+        // All breakers forced open despite coils commanding closed.
+        assert!(plc.positions().iter().all(|&p| !p));
+        assert_eq!(plc.energized_loads(), 0);
+        assert_eq!(plc.configs_adopted, 1);
+        assert!(!plc.config().is_factory());
+    }
+
+    #[test]
+    fn invalid_config_upload_is_ignored() {
+        let mut plc = PlcEmulator::new(Scenario::PlantSubset);
+        plc.handle_request(&Request::ConfigUpload { image: vec![0xde, 0xad] });
+        plc.scan(SimTime(10_000));
+        assert!(plc.config().is_factory());
+        assert_eq!(plc.configs_adopted, 0);
+    }
+
+    #[test]
+    fn device_id_names_scenario() {
+        let mut plc = PlcEmulator::new(Scenario::EmulatedGeneration(2));
+        let resp = plc.handle_request(&Request::ReadDeviceId);
+        let Response::DeviceId { text } = resp else { panic!("expected id") };
+        assert!(text.contains("gen2"));
+    }
+
+    #[test]
+    fn positions_via_modbus_poll() {
+        let mut plc = PlcEmulator::new(Scenario::PlantSubset);
+        plc.scan(SimTime(0));
+        let resp = plc.handle_request(&Request::ReadDiscreteInputs { address: 0, count: 3 });
+        assert_eq!(resp, Response::Bits { function: 0x02, values: vec![true, true, true] });
+    }
+}

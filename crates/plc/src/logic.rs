@@ -1,0 +1,179 @@
+//! The PLC's configuration image — the ladder-logic parameters that the
+//! vendor maintenance function codes (0x5A/0x5B) dump and replace.
+//!
+//! §IV-B: the red team "were able to ... perform a memory dump of the PLC
+//! to obtain its configuration. They then uploaded modified configuration
+//! files, enabling them to control the PLC." [`LogicConfig`] is that
+//! configuration: it deterministically alters how coil commands map to
+//! breaker actions, so a tampered upload really does seize control.
+
+use simnet::wire::{DecodeError, Reader, Writer};
+
+/// Magic bytes identifying a valid configuration image.
+const MAGIC: u32 = 0x504C_4331; // "PLC1"
+
+/// The deserialized PLC configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogicConfig {
+    /// Invert every coil command (close means open). A crude but visible
+    /// way for an attacker to flip the plant's state.
+    pub invert_commands: bool,
+    /// Bitmask of breakers forced open regardless of commands.
+    pub force_open_mask: u32,
+    /// Bitmask of breakers forced closed regardless of commands.
+    pub force_closed_mask: u32,
+    /// Whether commands from the master are honored at all.
+    pub accept_remote_commands: bool,
+    /// Free-form setpoint table (models the rest of the ladder program).
+    pub setpoints: Vec<u16>,
+}
+
+impl Default for LogicConfig {
+    fn default() -> Self {
+        LogicConfig {
+            invert_commands: false,
+            force_open_mask: 0,
+            force_closed_mask: 0,
+            accept_remote_commands: true,
+            setpoints: vec![0; 8],
+        }
+    }
+}
+
+impl LogicConfig {
+    /// The factory image every PLC ships with.
+    pub fn factory() -> Self {
+        Self::default()
+    }
+
+    /// Whether this config is untampered.
+    pub fn is_factory(&self) -> bool {
+        *self == Self::factory()
+    }
+
+    /// Applies the config to a commanded value for breaker `idx`:
+    /// returns `None` if remote commands are ignored, otherwise the
+    /// (possibly inverted/forced) value to apply.
+    pub fn transform_command(&self, idx: usize, closed: bool) -> Option<bool> {
+        if !self.accept_remote_commands {
+            return None;
+        }
+        let mut v = if self.invert_commands { !closed } else { closed };
+        if idx < 32 {
+            if self.force_open_mask & (1 << idx) != 0 {
+                v = false;
+            }
+            if self.force_closed_mask & (1 << idx) != 0 {
+                v = true;
+            }
+        }
+        Some(v)
+    }
+
+    /// Serializes to the image format 0x5A returns.
+    pub fn to_image(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u32(MAGIC)
+            .put_bool(self.invert_commands)
+            .put_u32(self.force_open_mask)
+            .put_u32(self.force_closed_mask)
+            .put_bool(self.accept_remote_commands)
+            .put_u16(self.setpoints.len() as u16);
+        for s in &self.setpoints {
+            w.put_u16(*s);
+        }
+        w.finish().to_vec()
+    }
+
+    /// Parses an uploaded image. Malformed images are rejected (the PLC
+    /// keeps its old configuration), matching real devices that checksum
+    /// their images.
+    pub fn from_image(image: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(image);
+        if r.get_u32()? != MAGIC {
+            return Err(DecodeError::new("config magic"));
+        }
+        let invert_commands = r.get_bool()?;
+        let force_open_mask = r.get_u32()?;
+        let force_closed_mask = r.get_u32()?;
+        let accept_remote_commands = r.get_bool()?;
+        let n = r.get_u16()? as usize;
+        let mut setpoints = Vec::with_capacity(n);
+        for _ in 0..n {
+            setpoints.push(r.get_u16()?);
+        }
+        r.expect_end()?;
+        Ok(LogicConfig {
+            invert_commands,
+            force_open_mask,
+            force_closed_mask,
+            accept_remote_commands,
+            setpoints,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_roundtrip() {
+        let cfg = LogicConfig {
+            invert_commands: true,
+            force_open_mask: 0b101,
+            force_closed_mask: 0b010,
+            accept_remote_commands: false,
+            setpoints: vec![7, 8, 9],
+        };
+        let image = cfg.to_image();
+        assert_eq!(LogicConfig::from_image(&image).expect("roundtrip"), cfg);
+    }
+
+    #[test]
+    fn factory_transform_is_identity() {
+        let cfg = LogicConfig::factory();
+        assert!(cfg.is_factory());
+        assert_eq!(cfg.transform_command(0, true), Some(true));
+        assert_eq!(cfg.transform_command(5, false), Some(false));
+    }
+
+    #[test]
+    fn inverted_commands_flip() {
+        let cfg = LogicConfig { invert_commands: true, ..Default::default() };
+        assert_eq!(cfg.transform_command(0, true), Some(false));
+        assert_eq!(cfg.transform_command(0, false), Some(true));
+        assert!(!cfg.is_factory());
+    }
+
+    #[test]
+    fn force_masks_override_commands_and_inversion() {
+        let cfg = LogicConfig {
+            invert_commands: true,
+            force_open_mask: 1 << 3,
+            force_closed_mask: 1 << 4,
+            ..Default::default()
+        };
+        assert_eq!(cfg.transform_command(3, true), Some(false));
+        assert_eq!(cfg.transform_command(3, false), Some(false));
+        assert_eq!(cfg.transform_command(4, false), Some(true));
+    }
+
+    #[test]
+    fn remote_lockout_drops_commands() {
+        let cfg = LogicConfig { accept_remote_commands: false, ..Default::default() };
+        assert_eq!(cfg.transform_command(0, true), None);
+    }
+
+    #[test]
+    fn malformed_images_rejected() {
+        assert!(LogicConfig::from_image(&[]).is_err());
+        assert!(LogicConfig::from_image(&[1, 2, 3]).is_err());
+        let mut good = LogicConfig::factory().to_image();
+        good[0] ^= 0xFF; // break magic
+        assert!(LogicConfig::from_image(&good).is_err());
+        let mut trailing = LogicConfig::factory().to_image();
+        trailing.push(0);
+        assert!(LogicConfig::from_image(&trailing).is_err());
+    }
+}

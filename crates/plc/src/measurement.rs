@@ -1,0 +1,147 @@
+//! The plant engineers' end-to-end reaction-time measurement device (§V).
+//!
+//! "The device periodically flipped a breaker and used two sensors to
+//! detect when the HMI screens of the two systems updated to reflect the
+//! change." Here the device is a Modbus client on the network that toggles
+//! one breaker coil on a fixed cadence and timestamps each flip; the HMI
+//! side records its own update timestamps, and the latency harness in the
+//! `spire` crate pairs them up.
+
+use bytes::Bytes;
+use modbus::{Request, Response, TcpFrame};
+use simnet::packet::Packet;
+use simnet::process::{Context, Process};
+use simnet::time::{SimDuration, SimTime};
+use simnet::types::{IpAddr, Port};
+
+use crate::emulator::PLC_MODBUS_PORT;
+
+const FLIP_TIMER: u64 = 1;
+const LOCAL_PORT: Port = Port(15_020);
+
+/// A recorded flip event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Flip {
+    /// When the command was sent.
+    pub at: SimTime,
+    /// The state commanded (true = close).
+    pub closed: bool,
+    /// Whether the PLC acknowledged the write.
+    pub acked: bool,
+}
+
+/// The measurement device process.
+pub struct MeasurementDevice {
+    plc: IpAddr,
+    breaker: u16,
+    period: SimDuration,
+    next_state: bool,
+    transaction: u16,
+    /// All flips issued so far.
+    pub flips: Vec<Flip>,
+    /// Maximum number of flips to perform (0 = unlimited).
+    pub max_flips: usize,
+}
+
+impl MeasurementDevice {
+    /// Creates a device that toggles `breaker` on `plc` every `period`.
+    pub fn new(plc: IpAddr, breaker: u16, period: SimDuration, max_flips: usize) -> Self {
+        MeasurementDevice {
+            plc,
+            breaker,
+            period,
+            next_state: false, // first action opens the (initially closed) breaker
+            transaction: 0,
+            flips: Vec::new(),
+            max_flips,
+        }
+    }
+
+    fn flip(&mut self, ctx: &mut Context<'_>) {
+        let req = Request::WriteSingleCoil { address: self.breaker, value: self.next_state };
+        self.transaction = self.transaction.wrapping_add(1);
+        let frame = TcpFrame::new(self.transaction, 1, req.encode());
+        let pkt = Packet::udp(
+            ctx.ip(0),
+            self.plc,
+            LOCAL_PORT,
+            PLC_MODBUS_PORT,
+            Bytes::from(frame.encode()),
+        );
+        ctx.send(0, pkt);
+        self.flips.push(Flip { at: ctx.now(), closed: self.next_state, acked: false });
+        self.next_state = !self.next_state;
+    }
+}
+
+impl Process for MeasurementDevice {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.listen(LOCAL_PORT);
+        ctx.set_timer(self.period, FLIP_TIMER);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: u64) {
+        if timer != FLIP_TIMER {
+            return;
+        }
+        if self.max_flips > 0 && self.flips.len() >= self.max_flips {
+            return;
+        }
+        self.flip(ctx);
+        ctx.set_timer(self.period, FLIP_TIMER);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, pkt: Packet) {
+        // Acknowledge the most recent flip when the echo arrives.
+        let Some(frame) = TcpFrame::decode(&pkt.payload) else { return };
+        let last_req = match self.flips.last() {
+            Some(f) => Request::WriteSingleCoil { address: self.breaker, value: f.closed },
+            None => return,
+        };
+        if let Some(Response::WriteSingleCoil { .. }) = Response::decode(&frame.pdu, &last_req) {
+            if let Some(f) = self.flips.last_mut() {
+                f.acked = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emulator::PlcEmulator;
+    use crate::topology::Scenario;
+    use simnet::{InterfaceSpec, LinkSpec, NodeSpec, Simulation, SwitchMode};
+
+    #[test]
+    fn device_flips_breaker_and_gets_acks() {
+        let mut sim = Simulation::new(11);
+        let plc_ip = IpAddr::new(10, 0, 9, 1);
+        let dev_ip = IpAddr::new(10, 0, 9, 2);
+        let plc = sim.add_node(NodeSpec::new(
+            "plc",
+            vec![InterfaceSpec::dynamic(plc_ip)],
+            Box::new(PlcEmulator::new(Scenario::PlantSubset)),
+        ));
+        let dev = sim.add_node(NodeSpec::new(
+            "meter",
+            vec![InterfaceSpec::dynamic(dev_ip)],
+            Box::new(MeasurementDevice::new(plc_ip, 1, SimDuration::from_millis(500), 6)),
+        ));
+        let sw = sim.add_switch(2, SwitchMode::Learning);
+        sim.connect(plc, 0, sw, 0, LinkSpec::lan());
+        sim.connect(dev, 0, sw, 1, LinkSpec::lan());
+        sim.run_for(SimDuration::from_secs(5));
+
+        let device = sim.process_ref::<MeasurementDevice>(dev).expect("device");
+        assert_eq!(device.flips.len(), 6);
+        assert!(device.flips.iter().all(|f| f.acked), "all writes acknowledged");
+        // Alternating open/close starting with open.
+        assert!(!device.flips[0].closed);
+        assert!(device.flips[1].closed);
+
+        let emu = sim.process_ref::<PlcEmulator>(plc).expect("plc");
+        // Breaker 1 (B57) actually moved: six commands → six operations.
+        assert!(emu.position_log.iter().filter(|(_, b, _)| *b == 1).count() >= 5);
+    }
+}

@@ -1,0 +1,56 @@
+//! Fault-injection modes for replicas.
+//!
+//! These model the replica-level failures the paper's experiments exercise:
+//! crashes (proactive recovery takes a replica down), mute leaders, and the
+//! *performance-degradation* attack Prime exists to resist — a leader that
+//! stays "correct enough" to avoid detection by classic BFT but delays
+//! ordering as much as it can.
+
+use simnet::time::SimDuration;
+
+/// How a replica (mis)behaves.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ByzMode {
+    /// Normal operation.
+    #[default]
+    Correct,
+    /// Fail-stop: the replica neither sends nor processes anything.
+    Crashed,
+    /// A leader that never proposes (classic liveness attack).
+    MuteLeader,
+    /// A leader that delays every proposal by the given extra duration —
+    /// the attack Prime's TAT mechanism detects and punishes.
+    DelayLeader(SimDuration),
+}
+
+impl ByzMode {
+    /// Whether the replica is crashed.
+    pub fn is_crashed(self) -> bool {
+        self == ByzMode::Crashed
+    }
+
+    /// Whether the replica is a mute leader.
+    pub fn is_mute_leader(self) -> bool {
+        self == ByzMode::MuteLeader
+    }
+
+    /// Whether this mode counts against the intrusion budget `f`.
+    pub fn is_byzantine(self) -> bool {
+        !matches!(self, ByzMode::Correct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(!ByzMode::Correct.is_byzantine());
+        assert!(ByzMode::Crashed.is_crashed());
+        assert!(ByzMode::MuteLeader.is_mute_leader());
+        assert!(ByzMode::DelayLeader(SimDuration::from_millis(500)).is_byzantine());
+        assert!(!ByzMode::Crashed.is_mute_leader());
+        assert_eq!(ByzMode::default(), ByzMode::Correct);
+    }
+}

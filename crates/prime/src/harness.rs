@@ -1,0 +1,491 @@
+//! A deterministic in-memory cluster harness for tests and benchmarks.
+//!
+//! Runs `n` replicas over a simulated message fabric with uniform latency
+//! and optional per-replica partitions. This is *not* the full `simnet`
+//! deployment (the `spire` crate does that); it exists so Prime's protocol
+//! logic can be exercised and benchmarked in isolation.
+
+use std::collections::{BTreeSet, BinaryHeap};
+
+use bytes::Bytes;
+use itcrypto::keys::{KeyPair, KeyRegistry, Principal};
+use simnet::time::{SimDuration, SimTime};
+use simnet::wire::Wire;
+
+use crate::application::{Application, KvApp};
+use crate::messages::SignedMsg;
+use crate::replica::{OutEvent, Replica, Timing};
+use crate::types::{Config, ReplicaId, SignedUpdate, Update};
+
+/// Seed base for replica keys (distinct from client seeds).
+const REPLICA_KEY_SEED: u64 = 0x5250; // "RP"
+const CLIENT_KEY_SEED: u64 = 0x434C; // "CL"
+
+struct QueuedMsg {
+    at: SimTime,
+    seq: u64,
+    to: ReplicaId,
+    msg: SignedMsg,
+}
+
+impl PartialEq for QueuedMsg {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedMsg {}
+impl PartialOrd for QueuedMsg {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedMsg {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic cluster of [`Replica<KvApp>`]s.
+pub struct Cluster {
+    /// The replicas (index = id).
+    pub replicas: Vec<Replica<KvApp>>,
+    config: Config,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<QueuedMsg>,
+    latency: SimDuration,
+    tick_interval: SimDuration,
+    next_tick: SimTime,
+    client_keys: Vec<KeyPair>,
+    client_seqs: Vec<u64>,
+    /// Replica ids currently partitioned away (drop all their traffic).
+    pub partitioned: BTreeSet<u32>,
+    /// Execution log per replica: (exec_seq, client, client_seq).
+    pub exec_logs: Vec<Vec<(u64, u32, u64)>>,
+}
+
+impl Cluster {
+    /// Builds a cluster for `config` with `clients` registered clients and
+    /// a uniform message latency of 1 ms.
+    pub fn new(config: Config, clients: u32) -> Self {
+        Self::with_latency(config, clients, SimDuration::from_millis(1))
+    }
+
+    /// Builds a cluster with explicit message latency.
+    pub fn with_latency(config: Config, clients: u32, latency: SimDuration) -> Self {
+        let n = config.n();
+        let mut registry = KeyRegistry::new();
+        let mut replica_keys = Vec::new();
+        for i in 0..n {
+            let kp = KeyPair::generate(REPLICA_KEY_SEED + i as u64);
+            registry.register(Principal::Replica(i), kp.public_key());
+            replica_keys.push(kp);
+        }
+        let mut client_keys = Vec::new();
+        for c in 0..clients {
+            let kp = KeyPair::generate(CLIENT_KEY_SEED + c as u64);
+            registry.register(Principal::Client(c), kp.public_key());
+            client_keys.push(kp);
+        }
+        let replicas = replica_keys
+            .into_iter()
+            .enumerate()
+            .map(|(i, key)| {
+                Replica::new(ReplicaId(i as u32), config, key, registry.clone(), KvApp::new())
+            })
+            .collect();
+        Cluster {
+            replicas,
+            config,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            latency,
+            tick_interval: SimDuration::from_millis(10),
+            next_tick: SimTime::ZERO,
+            client_keys,
+            client_seqs: vec![0; clients as usize],
+            partitioned: BTreeSet::new(),
+            exec_logs: vec![Vec::new(); n as usize],
+        }
+    }
+
+    /// Applies tighter timing to every replica (tests).
+    pub fn set_timing(&mut self, timing: Timing) {
+        for r in &mut self.replicas {
+            r.set_timing(timing);
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> Config {
+        self.config
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Signs and submits a client update to every replica (Spire clients
+    /// multicast through Spines; every replica hears every update).
+    pub fn submit(&mut self, client: u32, payload: impl Into<Bytes>) {
+        let payload = payload.into();
+        self.client_seqs[client as usize] += 1;
+        let update = Update::new(client, self.client_seqs[client as usize], payload);
+        let sig = self.client_keys[client as usize].sign(&update.to_wire());
+        let signed = SignedUpdate { update, sig };
+        let now = self.now;
+        for i in 0..self.replicas.len() {
+            if self.partitioned.contains(&(i as u32)) {
+                continue;
+            }
+            let events = self.replicas[i].submit(signed.clone(), now);
+            self.dispatch(ReplicaId(i as u32), events);
+        }
+    }
+
+    /// Submits to exactly one replica (for targeted tests).
+    pub fn submit_to(&mut self, replica: ReplicaId, client: u32, payload: impl Into<Bytes>) {
+        let payload = payload.into();
+        self.client_seqs[client as usize] += 1;
+        let update = Update::new(client, self.client_seqs[client as usize], payload);
+        let sig = self.client_keys[client as usize].sign(&update.to_wire());
+        let signed = SignedUpdate { update, sig };
+        let now = self.now;
+        let events = self.replicas[replica.0 as usize].submit(signed, now);
+        self.dispatch(replica, events);
+    }
+
+    fn dispatch(&mut self, from: ReplicaId, events: Vec<OutEvent>) {
+        for ev in events {
+            match ev {
+                OutEvent::Broadcast(msg) => {
+                    for to in 0..self.replicas.len() as u32 {
+                        if to != from.0 {
+                            self.enqueue(ReplicaId(to), msg.clone());
+                        }
+                    }
+                }
+                OutEvent::Send(to, msg) => self.enqueue(to, msg),
+                OutEvent::Execute { exec_seq, update } => {
+                    self.exec_logs[from.0 as usize].push((exec_seq, update.client, update.client_seq));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn enqueue(&mut self, to: ReplicaId, msg: SignedMsg) {
+        if self.partitioned.contains(&msg.from.0) || self.partitioned.contains(&to.0) {
+            return;
+        }
+        let at = self.now + self.latency;
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(QueuedMsg { at, seq, to, msg });
+    }
+
+    /// Runs the cluster for `dur` of virtual time.
+    pub fn run_for(&mut self, dur: SimDuration) {
+        let deadline = self.now + dur;
+        loop {
+            let next_msg_at = self.queue.peek().map(|m| m.at);
+            let next_event = match next_msg_at {
+                Some(t) if t <= self.next_tick => t,
+                _ => self.next_tick,
+            };
+            if next_event > deadline {
+                break;
+            }
+            self.now = next_event;
+            if Some(next_event) == next_msg_at {
+                let qm = self.queue.pop().expect("peeked");
+                let now = self.now;
+                let events = self.replicas[qm.to.0 as usize].on_message(qm.msg, now);
+                self.dispatch(qm.to, events);
+            } else {
+                let now = self.now;
+                for i in 0..self.replicas.len() {
+                    if self.partitioned.contains(&(i as u32)) {
+                        continue;
+                    }
+                    let events = self.replicas[i].tick(now);
+                    self.dispatch(ReplicaId(i as u32), events);
+                }
+                self.next_tick = self.next_tick + self.tick_interval;
+            }
+        }
+        self.now = deadline;
+    }
+
+    /// Triggers proactive recovery on one replica.
+    pub fn recover_replica(&mut self, id: ReplicaId) {
+        let now = self.now;
+        let events = self.replicas[id.0 as usize].recover(now);
+        self.dispatch(id, events);
+    }
+
+    /// Minimum executed count across non-partitioned, correct replicas.
+    pub fn min_executed(&self) -> u64 {
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| !self.partitioned.contains(&(*i as u32)) && !r.byz.is_byzantine())
+            .map(|(_, r)| r.exec_seq())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Asserts all correct replicas agree on what was executed at every
+    /// global execution sequence they both observed, and that replicas at
+    /// the same execution point have identical application digests.
+    /// Returns the number of distinct execution sequences checked.
+    ///
+    /// Logs are compared *by execution sequence*, not by log index: a
+    /// replica that recovered mid-run resumes from a snapshot, so its
+    /// local log legitimately starts (or has a gap) mid-stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics (test-style) on divergence.
+    pub fn assert_consistent(&self) -> usize {
+        let correct: Vec<usize> = self
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| !self.partitioned.contains(&(*i as u32)) && !r.byz.is_byzantine())
+            .map(|(i, _)| i)
+            .collect();
+        let mut agreed: std::collections::BTreeMap<u64, ((u32, u64), usize)> =
+            std::collections::BTreeMap::new();
+        for &i in &correct {
+            for &(exec_seq, client, client_seq) in &self.exec_logs[i] {
+                match agreed.get(&exec_seq) {
+                    None => {
+                        agreed.insert(exec_seq, ((client, client_seq), i));
+                    }
+                    Some(&(existing, who)) => {
+                        assert_eq!(
+                            existing,
+                            (client, client_seq),
+                            "execution diverged at seq {exec_seq}: r{who} vs r{i}"
+                        );
+                    }
+                }
+            }
+        }
+        // Replicas with equal exec counts must have equal app digests.
+        for w in correct.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if self.replicas[a].exec_seq() == self.replicas[b].exec_seq() {
+                assert_eq!(
+                    self.replicas[a].app().digest(),
+                    self.replicas[b].app().digest(),
+                    "application state diverged between r{a} and r{b}"
+                );
+            }
+        }
+        agreed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byzantine::ByzMode;
+
+    fn fast_timing() -> Timing {
+        Timing {
+            aru_interval: SimDuration::from_millis(10),
+            pp_interval: SimDuration::from_millis(10),
+            suspect_timeout: SimDuration::from_millis(400),
+            checkpoint_interval: 10,
+            catchup_timeout: SimDuration::from_millis(200),
+        }
+    }
+
+    #[test]
+    fn orders_and_executes_updates() {
+        let mut c = Cluster::new(Config::red_team(), 2);
+        c.set_timing(fast_timing());
+        for i in 0..10 {
+            c.submit(0, format!("k{i}=v{i}"));
+            c.run_for(SimDuration::from_millis(50));
+        }
+        c.run_for(SimDuration::from_millis(500));
+        assert_eq!(c.min_executed(), 10);
+        let len = c.assert_consistent();
+        assert_eq!(len, 10);
+        // Application state reflects the updates.
+        assert_eq!(c.replicas[0].app().get(b"k3"), Some(b"v3".as_ref()));
+    }
+
+    #[test]
+    fn six_replica_plant_config_works() {
+        let mut c = Cluster::new(Config::plant(), 1);
+        c.set_timing(fast_timing());
+        for i in 0..5 {
+            c.submit(0, format!("b{i}=closed"));
+        }
+        c.run_for(SimDuration::from_secs(2));
+        assert_eq!(c.min_executed(), 5);
+        c.assert_consistent();
+    }
+
+    #[test]
+    fn tolerates_one_crashed_replica() {
+        let mut c = Cluster::new(Config::red_team(), 1);
+        c.set_timing(fast_timing());
+        c.replicas[3].byz = ByzMode::Crashed;
+        for i in 0..8 {
+            c.submit(0, format!("x{i}=1"));
+            c.run_for(SimDuration::from_millis(40));
+        }
+        c.run_for(SimDuration::from_secs(1));
+        assert_eq!(c.min_executed(), 8);
+        c.assert_consistent();
+    }
+
+    #[test]
+    fn crashed_leader_triggers_view_change_and_recovers_liveness() {
+        let mut c = Cluster::new(Config::red_team(), 1);
+        c.set_timing(fast_timing());
+        // Replica 0 leads view 0; crash it.
+        c.replicas[0].byz = ByzMode::Crashed;
+        c.submit(0, "a=1");
+        c.run_for(SimDuration::from_secs(3));
+        // The remaining replicas must have moved to view ≥ 1 and executed.
+        for r in c.replicas.iter().skip(1) {
+            assert!(r.view() >= 1, "replica {:?} still in view 0", r.id());
+            assert_eq!(r.exec_seq(), 1);
+        }
+        c.assert_consistent();
+    }
+
+    #[test]
+    fn delaying_leader_is_deposed() {
+        let mut c = Cluster::new(Config::red_team(), 1);
+        c.set_timing(fast_timing());
+        c.replicas[0].byz = ByzMode::DelayLeader(SimDuration::from_secs(30));
+        for i in 0..3 {
+            c.submit(0, format!("d{i}=1"));
+        }
+        c.run_for(SimDuration::from_secs(3));
+        assert!(c.replicas[1].view() >= 1, "delaying leader was not deposed");
+        assert_eq!(c.min_executed(), 3);
+        c.assert_consistent();
+    }
+
+    #[test]
+    fn mute_leader_is_deposed() {
+        let mut c = Cluster::new(Config::red_team(), 1);
+        c.set_timing(fast_timing());
+        c.replicas[0].byz = ByzMode::MuteLeader;
+        c.submit(0, "m=1");
+        c.run_for(SimDuration::from_secs(3));
+        assert!(c.replicas[2].view() >= 1);
+        assert_eq!(c.min_executed(), 1);
+        c.assert_consistent();
+    }
+
+    #[test]
+    fn proactive_recovery_catches_up_via_state_transfer() {
+        let mut c = Cluster::new(Config::plant(), 1);
+        c.set_timing(fast_timing());
+        for i in 0..12 {
+            c.submit(0, format!("pre{i}=x"));
+            c.run_for(SimDuration::from_millis(30));
+        }
+        c.run_for(SimDuration::from_millis(500));
+        assert_eq!(c.min_executed(), 12);
+        // Recover replica 5: it wipes state and must state-transfer back.
+        c.recover_replica(ReplicaId(5));
+        c.run_for(SimDuration::from_millis(500));
+        assert_eq!(c.replicas[5].exec_seq(), 12, "recovered replica caught up");
+        assert_eq!(c.replicas[5].app().digest(), c.replicas[0].app().digest());
+        assert_eq!(c.replicas[5].stats.catchups, 1);
+        // And it continues executing new updates.
+        c.submit(0, "post=1");
+        c.run_for(SimDuration::from_millis(500));
+        assert_eq!(c.replicas[5].exec_seq(), 13);
+    }
+
+    #[test]
+    fn recovery_during_load_keeps_cluster_live() {
+        // Plant config: f=1, k=1 → can lose one to recovery and one to
+        // intrusion simultaneously.
+        let mut c = Cluster::new(Config::plant(), 1);
+        c.set_timing(fast_timing());
+        c.replicas[4].byz = ByzMode::Crashed; // the "intrusion"
+        for i in 0..5 {
+            c.submit(0, format!("w{i}=1"));
+            c.run_for(SimDuration::from_millis(30));
+        }
+        c.recover_replica(ReplicaId(5));
+        for i in 5..10 {
+            c.submit(0, format!("w{i}=1"));
+            c.run_for(SimDuration::from_millis(30));
+        }
+        c.run_for(SimDuration::from_secs(1));
+        // The four healthy replicas plus the recovered one all execute.
+        for (i, r) in c.replicas.iter().enumerate() {
+            if i != 4 {
+                assert_eq!(r.exec_seq(), 10, "replica {i}");
+            }
+        }
+        c.assert_consistent();
+    }
+
+    #[test]
+    fn partitioned_replica_catches_up_after_heal() {
+        let mut c = Cluster::new(Config::red_team(), 1);
+        c.set_timing(fast_timing());
+        c.partitioned.insert(3);
+        for i in 0..15 {
+            c.submit(0, format!("p{i}=1"));
+            c.run_for(SimDuration::from_millis(30));
+        }
+        c.run_for(SimDuration::from_millis(300));
+        assert_eq!(c.replicas[3].exec_seq(), 0);
+        // Heal; checkpoints + catch-up bring it back.
+        c.partitioned.clear();
+        c.submit(0, "heal=1");
+        c.run_for(SimDuration::from_secs(3));
+        assert!(
+            c.replicas[3].exec_seq() >= 15,
+            "partitioned replica caught up, got {}",
+            c.replicas[3].exec_seq()
+        );
+    }
+
+    #[test]
+    fn duplicate_submissions_execute_once() {
+        let mut c = Cluster::new(Config::red_team(), 1);
+        c.set_timing(fast_timing());
+        // submit() already fans out to all four replicas: each introduces
+        // the update. Execution must happen exactly once per replica.
+        c.submit(0, "only=once");
+        c.run_for(SimDuration::from_secs(1));
+        for log in &c.exec_logs {
+            assert_eq!(log.len(), 1, "executed exactly once");
+        }
+        // Each replica introduced it separately; duplicates suppressed.
+        assert!(c.replicas[0].stats.dup_suppressed > 0);
+    }
+
+    #[test]
+    fn throughput_many_updates() {
+        let mut c = Cluster::new(Config::red_team(), 4);
+        c.set_timing(fast_timing());
+        for batch in 0..20 {
+            for client in 0..4 {
+                c.submit(client, format!("c{client}b{batch}=v"));
+            }
+            c.run_for(SimDuration::from_millis(20));
+        }
+        c.run_for(SimDuration::from_secs(2));
+        assert_eq!(c.min_executed(), 80);
+        c.assert_consistent();
+    }
+}

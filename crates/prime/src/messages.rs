@@ -1,0 +1,483 @@
+//! Prime protocol messages and their signed envelope.
+
+use itcrypto::keys::{KeyPair, KeyRegistry, Principal};
+use itcrypto::schnorr::Signature;
+use itcrypto::sha256::Digest;
+use simnet::wire::{DecodeError, Reader, Wire, Writer};
+
+use crate::types::{ReplicaId, SignedUpdate};
+
+/// A signed PO-ARU vector as carried inside a pre-prepare matrix row.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AruRow {
+    /// The replica whose cumulative-ack vector this is.
+    pub replica: ReplicaId,
+    /// `vector[o]` = highest contiguous PO-Request sequence received from
+    /// origin `o` (1-based; 0 = none).
+    pub vector: Vec<u64>,
+    /// That replica's signature over the vector.
+    pub sig: Signature,
+}
+
+impl AruRow {
+    /// The byte string the signature covers.
+    pub fn signed_bytes(replica: ReplicaId, vector: &[u64]) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_raw(b"po-aru").put_u32(replica.0).put_u32(vector.len() as u32);
+        for v in vector {
+            w.put_u64(*v);
+        }
+        w.finish().to_vec()
+    }
+
+    /// Verifies the row's signature.
+    pub fn verify(&self, registry: &KeyRegistry) -> bool {
+        registry.verify(
+            Principal::Replica(self.replica.0),
+            &Self::signed_bytes(self.replica, &self.vector),
+            &self.sig,
+        )
+    }
+}
+
+impl Wire for AruRow {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.replica.0).put_u32(self.vector.len() as u32);
+        for v in &self.vector {
+            w.put_u64(*v);
+        }
+        w.put_raw(&self.sig.to_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let replica = ReplicaId(r.get_u32()?);
+        let n = r.get_u32()? as usize;
+        if n > 1024 {
+            return Err(DecodeError::new("aru vector length"));
+        }
+        let mut vector = Vec::with_capacity(n);
+        for _ in 0..n {
+            vector.push(r.get_u64()?);
+        }
+        let sig: [u8; 16] = r.get_raw(16)?.try_into().map_err(|_| DecodeError::new("sig"))?;
+        Ok(AruRow { replica, vector, sig: Signature::from_bytes(&sig) })
+    }
+}
+
+/// The Prime protocol message set.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PrimeMsg {
+    /// Pre-ordering: replica `origin` disseminates a client update under
+    /// its local sequence `po_seq` (1-based).
+    PoRequest {
+        /// Disseminating replica.
+        origin: ReplicaId,
+        /// Its local sequence for this update.
+        po_seq: u64,
+        /// The client update.
+        update: SignedUpdate,
+    },
+    /// Pre-ordering: signed cumulative-ack vector.
+    PoAru {
+        /// The signed row (reused as matrix row in pre-prepares).
+        row: AruRow,
+    },
+    /// Ordering: the leader's proposal for global sequence `seq`.
+    PrePrepare {
+        /// View this proposal belongs to.
+        view: u64,
+        /// Global ordering sequence (1-based, contiguous per view era).
+        seq: u64,
+        /// Matrix of signed PO-ARU rows.
+        matrix: Vec<AruRow>,
+    },
+    /// Ordering: endorsement of a pre-prepare.
+    Prepare {
+        /// View.
+        view: u64,
+        /// Sequence.
+        seq: u64,
+        /// Digest of the pre-prepare matrix.
+        digest: Digest,
+    },
+    /// Ordering: commit vote after a prepare certificate.
+    Commit {
+        /// View.
+        view: u64,
+        /// Sequence.
+        seq: u64,
+        /// Digest of the pre-prepare matrix.
+        digest: Digest,
+    },
+    /// Reconciliation: ask for a missing covered PO-Request.
+    PoFetch {
+        /// Origin replica of the wanted request.
+        origin: ReplicaId,
+        /// Its sequence.
+        po_seq: u64,
+    },
+    /// Reconciliation: supply a PO-Request. Carries the *original signed
+    /// envelope* from the origin so a relaying replica cannot forge the
+    /// (origin, sequence) → update binding.
+    PoData {
+        /// Wire bytes of the origin's original `SignedMsg(PoRequest)`.
+        original: Vec<u8>,
+    },
+    /// Leader suspicion for the given view (TAT bound exceeded).
+    SuspectLeader {
+        /// The suspected view.
+        view: u64,
+    },
+    /// View change vote. Carries the replica's prepared-but-uncommitted
+    /// proposal (if any) so the new leader can re-propose the *same*
+    /// matrix, preserving per-sequence agreement across views.
+    ViewChange {
+        /// The view being moved to.
+        new_view: u64,
+        /// Highest global sequence this replica has committed.
+        max_committed: u64,
+        /// Sequence of the prepared-but-uncommitted proposal (0 = none).
+        prepared_seq: u64,
+        /// View in which that proposal was prepared.
+        prepared_view: u64,
+        /// The prepared matrix (empty when `prepared_seq` is 0).
+        prepared_matrix: Vec<AruRow>,
+    },
+    /// New leader's installation message.
+    NewView {
+        /// The installed view.
+        view: u64,
+        /// First sequence the new leader will propose.
+        start_seq: u64,
+    },
+    /// Periodic application checkpoint.
+    Checkpoint {
+        /// Number of updates executed.
+        exec_seq: u64,
+        /// Application state digest at that point.
+        app_digest: Digest,
+    },
+    /// Catch-up: ask peers for current state (after recovery/partition).
+    CatchupRequest {
+        /// The requester's executed count.
+        have_exec_seq: u64,
+    },
+    /// Catch-up: a peer's state offer. Carries the *application-level*
+    /// snapshot — the §III-A signaling between replication and SCADA app.
+    CatchupReply {
+        /// Executed update count at the snapshot.
+        exec_seq: u64,
+        /// Application digest at the snapshot.
+        app_digest: Digest,
+        /// Serialized application snapshot.
+        snapshot: Vec<u8>,
+        /// Ordering sequence to resume from.
+        next_order_seq: u64,
+        /// Cumulative execution-coverage vector at the snapshot.
+        exec_cover: Vec<u64>,
+        /// View at the snapshot.
+        view: u64,
+    },
+}
+
+impl PrimeMsg {
+    fn tag(&self) -> u8 {
+        match self {
+            PrimeMsg::PoRequest { .. } => 0,
+            PrimeMsg::PoAru { .. } => 1,
+            PrimeMsg::PrePrepare { .. } => 2,
+            PrimeMsg::Prepare { .. } => 3,
+            PrimeMsg::Commit { .. } => 4,
+            PrimeMsg::PoFetch { .. } => 5,
+            PrimeMsg::PoData { .. } => 6,
+            PrimeMsg::SuspectLeader { .. } => 7,
+            PrimeMsg::ViewChange { .. } => 8,
+            PrimeMsg::NewView { .. } => 9,
+            PrimeMsg::Checkpoint { .. } => 10,
+            PrimeMsg::CatchupRequest { .. } => 11,
+            PrimeMsg::CatchupReply { .. } => 12,
+        }
+    }
+}
+
+fn put_u64_vec(w: &mut Writer, v: &[u64]) {
+    w.put_u32(v.len() as u32);
+    for x in v {
+        w.put_u64(*x);
+    }
+}
+
+fn get_u64_vec(r: &mut Reader<'_>) -> Result<Vec<u64>, DecodeError> {
+    let n = r.get_u32()? as usize;
+    if n > 4096 {
+        return Err(DecodeError::new("u64 vec length"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.get_u64()?);
+    }
+    Ok(out)
+}
+
+impl Wire for PrimeMsg {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.tag());
+        match self {
+            PrimeMsg::PoRequest { origin, po_seq, update } => {
+                w.put_u32(origin.0).put_u64(*po_seq);
+                update.encode(w);
+            }
+            PrimeMsg::PoAru { row } => row.encode(w),
+            PrimeMsg::PrePrepare { view, seq, matrix } => {
+                w.put_u64(*view).put_u64(*seq).put_u32(matrix.len() as u32);
+                for row in matrix {
+                    row.encode(w);
+                }
+            }
+            PrimeMsg::Prepare { view, seq, digest } | PrimeMsg::Commit { view, seq, digest } => {
+                w.put_u64(*view).put_u64(*seq).put_raw(digest.as_bytes());
+            }
+            PrimeMsg::PoFetch { origin, po_seq } => {
+                w.put_u32(origin.0).put_u64(*po_seq);
+            }
+            PrimeMsg::PoData { original } => {
+                w.put_bytes(original);
+            }
+            PrimeMsg::SuspectLeader { view } => {
+                w.put_u64(*view);
+            }
+            PrimeMsg::ViewChange { new_view, max_committed, prepared_seq, prepared_view, prepared_matrix } => {
+                w.put_u64(*new_view).put_u64(*max_committed).put_u64(*prepared_seq).put_u64(*prepared_view);
+                w.put_u32(prepared_matrix.len() as u32);
+                for row in prepared_matrix {
+                    row.encode(w);
+                }
+            }
+            PrimeMsg::NewView { view, start_seq } => {
+                w.put_u64(*view).put_u64(*start_seq);
+            }
+            PrimeMsg::Checkpoint { exec_seq, app_digest } => {
+                w.put_u64(*exec_seq).put_raw(app_digest.as_bytes());
+            }
+            PrimeMsg::CatchupRequest { have_exec_seq } => {
+                w.put_u64(*have_exec_seq);
+            }
+            PrimeMsg::CatchupReply { exec_seq, app_digest, snapshot, next_order_seq, exec_cover, view } => {
+                w.put_u64(*exec_seq).put_raw(app_digest.as_bytes()).put_bytes(snapshot);
+                w.put_u64(*next_order_seq);
+                put_u64_vec(w, exec_cover);
+                w.put_u64(*view);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let tag = r.get_u8()?;
+        let digest = |r: &mut Reader<'_>| -> Result<Digest, DecodeError> {
+            let raw: [u8; 32] = r.get_raw(32)?.try_into().map_err(|_| DecodeError::new("digest"))?;
+            Ok(Digest(raw))
+        };
+        Ok(match tag {
+            0 => PrimeMsg::PoRequest {
+                origin: ReplicaId(r.get_u32()?),
+                po_seq: r.get_u64()?,
+                update: SignedUpdate::decode(r)?,
+            },
+            1 => PrimeMsg::PoAru { row: AruRow::decode(r)? },
+            2 => {
+                let view = r.get_u64()?;
+                let seq = r.get_u64()?;
+                let n = r.get_u32()? as usize;
+                if n > 1024 {
+                    return Err(DecodeError::new("matrix size"));
+                }
+                let mut matrix = Vec::with_capacity(n);
+                for _ in 0..n {
+                    matrix.push(AruRow::decode(r)?);
+                }
+                PrimeMsg::PrePrepare { view, seq, matrix }
+            }
+            3 => PrimeMsg::Prepare { view: r.get_u64()?, seq: r.get_u64()?, digest: digest(r)? },
+            4 => PrimeMsg::Commit { view: r.get_u64()?, seq: r.get_u64()?, digest: digest(r)? },
+            5 => PrimeMsg::PoFetch { origin: ReplicaId(r.get_u32()?), po_seq: r.get_u64()? },
+            6 => PrimeMsg::PoData { original: r.get_bytes()? },
+            7 => PrimeMsg::SuspectLeader { view: r.get_u64()? },
+            8 => {
+                let new_view = r.get_u64()?;
+                let max_committed = r.get_u64()?;
+                let prepared_seq = r.get_u64()?;
+                let prepared_view = r.get_u64()?;
+                let n = r.get_u32()? as usize;
+                if n > 1024 {
+                    return Err(DecodeError::new("vc matrix size"));
+                }
+                let mut prepared_matrix = Vec::with_capacity(n);
+                for _ in 0..n {
+                    prepared_matrix.push(AruRow::decode(r)?);
+                }
+                PrimeMsg::ViewChange { new_view, max_committed, prepared_seq, prepared_view, prepared_matrix }
+            }
+            9 => PrimeMsg::NewView { view: r.get_u64()?, start_seq: r.get_u64()? },
+            10 => PrimeMsg::Checkpoint { exec_seq: r.get_u64()?, app_digest: digest(r)? },
+            11 => PrimeMsg::CatchupRequest { have_exec_seq: r.get_u64()? },
+            12 => PrimeMsg::CatchupReply {
+                exec_seq: r.get_u64()?,
+                app_digest: digest(r)?,
+                snapshot: r.get_bytes()?,
+                next_order_seq: r.get_u64()?,
+                exec_cover: get_u64_vec(r)?,
+                view: r.get_u64()?,
+            },
+            _ => return Err(DecodeError::new("prime message tag")),
+        })
+    }
+}
+
+/// A Prime message signed by its sending replica.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SignedMsg {
+    /// The sender.
+    pub from: ReplicaId,
+    /// The message.
+    pub msg: PrimeMsg,
+    /// Signature over `from || msg` bytes.
+    pub sig: Signature,
+}
+
+impl SignedMsg {
+    fn signed_bytes(from: ReplicaId, msg: &PrimeMsg) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_raw(b"prime").put_u32(from.0);
+        msg.encode(&mut w);
+        w.finish().to_vec()
+    }
+
+    /// Signs a message as `from`.
+    pub fn sign(from: ReplicaId, msg: PrimeMsg, key: &mut KeyPair) -> Self {
+        let sig = key.sign(&Self::signed_bytes(from, &msg));
+        SignedMsg { from, msg, sig }
+    }
+
+    /// Verifies the envelope against the registry.
+    pub fn verify(&self, registry: &KeyRegistry) -> bool {
+        registry.verify(
+            Principal::Replica(self.from.0),
+            &Self::signed_bytes(self.from, &self.msg),
+            &self.sig,
+        )
+    }
+}
+
+impl Wire for SignedMsg {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.from.0);
+        self.msg.encode(w);
+        w.put_raw(&self.sig.to_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let from = ReplicaId(r.get_u32()?);
+        let msg = PrimeMsg::decode(r)?;
+        let sig: [u8; 16] = r.get_raw(16)?.try_into().map_err(|_| DecodeError::new("sig"))?;
+        Ok(SignedMsg { from, msg, sig: Signature::from_bytes(&sig) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use itcrypto::keys::KeyPair;
+    use crate::types::Update;
+
+    fn sample_update() -> SignedUpdate {
+        let mut kp = KeyPair::generate(1);
+        let update = Update::new(1, 1, Bytes::from_static(b"u"));
+        let sig = kp.sign(&update.to_wire());
+        SignedUpdate { update, sig }
+    }
+
+    fn roundtrip(msg: PrimeMsg) {
+        let bytes = msg.to_wire();
+        assert_eq!(PrimeMsg::from_wire(&bytes).expect("roundtrip"), msg);
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        let mut kp = KeyPair::generate(2);
+        let vector = vec![3, 0, 7];
+        let sig = kp.sign(&AruRow::signed_bytes(ReplicaId(2), &vector));
+        let row = AruRow { replica: ReplicaId(2), vector, sig };
+        roundtrip(PrimeMsg::PoRequest { origin: ReplicaId(1), po_seq: 5, update: sample_update() });
+        roundtrip(PrimeMsg::PoAru { row: row.clone() });
+        roundtrip(PrimeMsg::PrePrepare { view: 1, seq: 9, matrix: vec![row.clone(), row.clone()] });
+        roundtrip(PrimeMsg::Prepare { view: 1, seq: 9, digest: Digest([7; 32]) });
+        roundtrip(PrimeMsg::Commit { view: 1, seq: 9, digest: Digest([8; 32]) });
+        roundtrip(PrimeMsg::PoFetch { origin: ReplicaId(0), po_seq: 3 });
+        roundtrip(PrimeMsg::PoData { original: vec![1, 2, 3, 4] });
+        roundtrip(PrimeMsg::SuspectLeader { view: 4 });
+        roundtrip(PrimeMsg::ViewChange {
+            new_view: 5,
+            max_committed: 10,
+            prepared_seq: 11,
+            prepared_view: 4,
+            prepared_matrix: vec![row.clone()],
+        });
+        roundtrip(PrimeMsg::NewView { view: 5, start_seq: 12 });
+        roundtrip(PrimeMsg::Checkpoint { exec_seq: 100, app_digest: Digest([9; 32]) });
+        roundtrip(PrimeMsg::CatchupRequest { have_exec_seq: 4 });
+        roundtrip(PrimeMsg::CatchupReply {
+            exec_seq: 100,
+            app_digest: Digest([1; 32]),
+            snapshot: vec![1, 2, 3],
+            next_order_seq: 50,
+            exec_cover: vec![9, 9, 9, 9],
+            view: 2,
+        });
+    }
+
+    #[test]
+    fn signed_envelope_verifies_and_detects_tamper() {
+        let mut kp = KeyPair::generate(3);
+        let mut reg = KeyRegistry::new();
+        reg.register(Principal::Replica(3), kp.public_key());
+        let msg = PrimeMsg::SuspectLeader { view: 2 };
+        let signed = SignedMsg::sign(ReplicaId(3), msg, &mut kp);
+        assert!(signed.verify(&reg));
+        // Claiming a different sender fails.
+        let mut forged = signed.clone();
+        forged.from = ReplicaId(1);
+        reg.register(Principal::Replica(1), KeyPair::generate(9).public_key());
+        assert!(!forged.verify(&reg));
+        // Tampering with the message fails.
+        let mut tampered = signed.clone();
+        tampered.msg = PrimeMsg::SuspectLeader { view: 3 };
+        assert!(!tampered.verify(&reg));
+        // Wire roundtrip preserves verification.
+        let rt = SignedMsg::from_wire(&signed.to_wire()).expect("roundtrip");
+        assert!(rt.verify(&reg));
+    }
+
+    #[test]
+    fn aru_row_verification() {
+        let mut kp = KeyPair::generate(4);
+        let mut reg = KeyRegistry::new();
+        reg.register(Principal::Replica(0), kp.public_key());
+        let vector = vec![1, 2, 3, 4];
+        let sig = kp.sign(&AruRow::signed_bytes(ReplicaId(0), &vector));
+        let row = AruRow { replica: ReplicaId(0), vector, sig };
+        assert!(row.verify(&reg));
+        let mut bad = row.clone();
+        bad.vector[0] = 99;
+        assert!(!bad.verify(&reg));
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(PrimeMsg::from_wire(&[]).is_err());
+        assert!(PrimeMsg::from_wire(&[99]).is_err());
+        let msg = PrimeMsg::SuspectLeader { view: 1 };
+        let bytes = msg.to_wire();
+        assert!(PrimeMsg::from_wire(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

@@ -1,0 +1,1137 @@
+//! The Prime replica state machine.
+//!
+//! Transport-agnostic and fully deterministic: the owner injects client
+//! updates ([`Replica::submit`]), peer messages ([`Replica::on_message`]),
+//! and time ([`Replica::tick`]); the replica returns [`OutEvent`]s to act
+//! on. In Spire the owner is a SCADA-master process that moves messages
+//! over the internal Spines network; in tests it is [`crate::Cluster`].
+//!
+//! ## Simplifications relative to the C implementation (documented per
+//! DESIGN.md)
+//!
+//! * Ordering is serialized: the leader proposes sequence `s+1` only after
+//!   committing `s`. Prime's aggregation makes this cheap — one matrix
+//!   orders every update accumulated since the last proposal — and it lets
+//!   view changes carry a single prepared certificate instead of a window.
+//! * Erasure-coded reconciliation is replaced by direct `PO-Fetch` /
+//!   `PO-Data` retransmission.
+//! * TAT measurement is simplified to a bound on *unordered eligible
+//!   updates*: if this replica knows of pre-ordered updates that remain
+//!   unordered past `suspect_timeout`, it suspects the leader. This keeps
+//!   the property that matters (a delaying leader is replaced) without the
+//!   RTT-estimation machinery.
+//!
+//! ## Incarnations
+//!
+//! Pre-order sequence numbers are *incarnation-tagged* composites
+//! ([`po_compose`]): the high bits carry the origin's incarnation (bumped
+//! on every proactive recovery, derived from the monotonic clock), the low
+//! bits a per-incarnation counter. A recovered replica therefore never
+//! collides with pre-order slots from its previous life, composite
+//! ordering keeps ARU vectors monotone across recoveries, and peers reset
+//! their per-origin contiguity tracking when they observe a new
+//! incarnation.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use itcrypto::keys::{KeyPair, KeyRegistry};
+use itcrypto::sha256::{sha256, Digest};
+use simnet::time::{SimDuration, SimTime};
+use simnet::wire::Wire;
+
+use crate::application::Application;
+use crate::byzantine::ByzMode;
+use crate::messages::{AruRow, PrimeMsg, SignedMsg};
+use crate::types::{Config, ReplicaId, SignedUpdate, Update};
+
+/// Bits of a composite pre-order sequence reserved for the counter.
+const PO_SEQ_BITS: u32 = 40;
+
+/// Builds an incarnation-tagged pre-order sequence number.
+pub fn po_compose(incarnation: u32, seq: u64) -> u64 {
+    debug_assert!(seq < (1 << PO_SEQ_BITS));
+    ((incarnation as u64) << PO_SEQ_BITS) | seq
+}
+
+/// Extracts the incarnation from a composite pre-order sequence.
+pub fn po_incarnation(composite: u64) -> u32 {
+    (composite >> PO_SEQ_BITS) as u32
+}
+
+/// Extracts the counter from a composite pre-order sequence.
+pub fn po_counter(composite: u64) -> u64 {
+    composite & ((1 << PO_SEQ_BITS) - 1)
+}
+
+/// Protocol timing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct Timing {
+    /// How often PO-ARU vectors are gossiped.
+    pub aru_interval: SimDuration,
+    /// Leader's minimum spacing between pre-prepares.
+    pub pp_interval: SimDuration,
+    /// How long eligible updates may sit unordered before suspicion.
+    pub suspect_timeout: SimDuration,
+    /// Executions between checkpoints.
+    pub checkpoint_interval: u64,
+    /// How long an execution stall may last before catch-up.
+    pub catchup_timeout: SimDuration,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing {
+            aru_interval: SimDuration::from_millis(20),
+            pp_interval: SimDuration::from_millis(30),
+            suspect_timeout: SimDuration::from_millis(2_000),
+            checkpoint_interval: 50,
+            catchup_timeout: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// Events a replica asks its owner to act on.
+#[derive(Clone, Debug)]
+pub enum OutEvent {
+    /// Send to every other replica.
+    Broadcast(SignedMsg),
+    /// Send to one replica.
+    Send(ReplicaId, SignedMsg),
+    /// An update reached its global execution point.
+    Execute {
+        /// 1-based global execution sequence.
+        exec_seq: u64,
+        /// The update.
+        update: Update,
+    },
+    /// The replica moved to a new view.
+    ViewChanged {
+        /// The new view.
+        view: u64,
+    },
+    /// The replication layer determined that application-level state
+    /// transfer is required (§III-A signaling).
+    StateTransferRequested,
+    /// A peer snapshot was installed into the application.
+    StateTransferInstalled {
+        /// Executed count after installation.
+        exec_seq: u64,
+    },
+    /// A checkpoint became stable (quorum of matching digests).
+    CheckpointStable {
+        /// Executed count at the checkpoint.
+        exec_seq: u64,
+    },
+}
+
+/// Counters for experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Updates introduced into pre-ordering by this replica.
+    pub po_introduced: u64,
+    /// Updates executed.
+    pub executed: u64,
+    /// Duplicate executions suppressed (same client seq via another origin).
+    pub dup_suppressed: u64,
+    /// Pre-prepares proposed (as leader).
+    pub proposals: u64,
+    /// Suspect messages sent.
+    pub suspects_sent: u64,
+    /// View changes completed.
+    pub view_changes: u64,
+    /// Catch-ups performed.
+    pub catchups: u64,
+    /// Messages rejected for bad signatures.
+    pub bad_sigs: u64,
+    /// Reconciliation fetches sent.
+    pub fetches: u64,
+}
+
+/// One Prime replica hosting an application.
+pub struct Replica<A: Application> {
+    id: ReplicaId,
+    config: Config,
+    registry: KeyRegistry,
+    key: KeyPair,
+    /// Fault-injection mode.
+    pub byz: ByzMode,
+    timing: Timing,
+
+    view: u64,
+    in_view_change: bool,
+    vc_target: u64,
+
+    // Pre-ordering.
+    incarnation: u32,
+    next_po_seq: u64,
+    po_store: BTreeMap<(u32, u64), SignedUpdate>,
+    /// Original signed PoRequest envelopes (served on PoFetch).
+    po_envelopes: BTreeMap<(u32, u64), SignedMsg>,
+    intro_seen: BTreeSet<(u32, u64)>,
+    /// Highest incarnation observed per origin.
+    origin_inc: Vec<u32>,
+    /// Contiguously received counter within each origin's incarnation.
+    aru_counter: Vec<u64>,
+    my_aru: Vec<u64>,
+    latest_rows: BTreeMap<u32, AruRow>,
+    last_gossiped_aru: Vec<u64>,
+    last_aru_at: SimTime,
+
+    // Ordering.
+    last_pp_at: SimTime,
+    /// seq → (view, matrix, digest) for the active proposal.
+    pre_prepares: BTreeMap<u64, (u64, Vec<AruRow>, Digest)>,
+    prepares: BTreeMap<(u64, u64, Digest), BTreeSet<u32>>,
+    commits: BTreeMap<(u64, u64, Digest), BTreeSet<u32>>,
+    sent_prepare: BTreeSet<(u64, u64)>,
+    sent_commit: BTreeSet<(u64, u64)>,
+    committed: BTreeMap<u64, Vec<AruRow>>,
+    max_committed: u64,
+    /// The prepared-but-uncommitted certificate (seq, view, matrix).
+    prepared_cert: Option<(u64, u64, Vec<AruRow>)>,
+
+    // Execution.
+    planned_through: u64,
+    plan_cover: Vec<u64>,
+    exec_plan: VecDeque<(u32, u64)>,
+    exec_seq: u64,
+    executed_clients: BTreeMap<u32, BTreeSet<u64>>,
+    stall_since: Option<SimTime>,
+    last_fetch_at: SimTime,
+
+    // Suspicion.
+    unordered_since: Option<SimTime>,
+    suspects: BTreeMap<u64, BTreeSet<u32>>,
+    sent_suspect: BTreeSet<u64>,
+
+    // View change.
+    view_changes: BTreeMap<u64, BTreeMap<u32, (u64, u64, u64, Vec<AruRow>)>>,
+
+    // Checkpoints.
+    last_checkpoint_at_exec: u64,
+    checkpoint_votes: BTreeMap<(u64, Digest), BTreeSet<u32>>,
+    stable_checkpoint: u64,
+
+    // Catch-up.
+    catching_up: bool,
+    catchup_started: SimTime,
+    catchup_attempts: u32,
+    catchup_offers: BTreeMap<(u64, Digest), (BTreeSet<u32>, PrimeMsg)>,
+
+    app: A,
+    /// Counters.
+    pub stats: ReplicaStats,
+}
+
+impl<A: Application> Replica<A> {
+    /// Creates replica `id` with its signing key, the shared registry, and
+    /// the hosted application.
+    pub fn new(id: ReplicaId, config: Config, key: KeyPair, registry: KeyRegistry, app: A) -> Self {
+        let n = config.n() as usize;
+        Replica {
+            id,
+            config,
+            registry,
+            key,
+            byz: ByzMode::Correct,
+            timing: Timing::default(),
+            view: 0,
+            in_view_change: false,
+            vc_target: 0,
+            incarnation: 0,
+            next_po_seq: 1,
+            po_store: BTreeMap::new(),
+            po_envelopes: BTreeMap::new(),
+            intro_seen: BTreeSet::new(),
+            origin_inc: vec![0; n],
+            aru_counter: vec![0; n],
+            my_aru: vec![0; n],
+            latest_rows: BTreeMap::new(),
+            last_gossiped_aru: vec![0; n],
+            last_aru_at: SimTime::ZERO,
+            last_pp_at: SimTime::ZERO,
+            pre_prepares: BTreeMap::new(),
+            prepares: BTreeMap::new(),
+            commits: BTreeMap::new(),
+            sent_prepare: BTreeSet::new(),
+            sent_commit: BTreeSet::new(),
+            committed: BTreeMap::new(),
+            max_committed: 0,
+            prepared_cert: None,
+            planned_through: 0,
+            plan_cover: vec![0; n],
+            exec_plan: VecDeque::new(),
+            exec_seq: 0,
+            executed_clients: BTreeMap::new(),
+            stall_since: None,
+            last_fetch_at: SimTime::ZERO,
+            unordered_since: None,
+            suspects: BTreeMap::new(),
+            sent_suspect: BTreeSet::new(),
+            view_changes: BTreeMap::new(),
+            last_checkpoint_at_exec: 0,
+            checkpoint_votes: BTreeMap::new(),
+            stable_checkpoint: 0,
+            catching_up: false,
+            catchup_started: SimTime::ZERO,
+            catchup_attempts: 0,
+            catchup_offers: BTreeMap::new(),
+            app,
+            stats: ReplicaStats::default(),
+        }
+    }
+
+    /// Overrides protocol timing (tests tighten timeouts).
+    pub fn set_timing(&mut self, timing: Timing) {
+        self.timing = timing;
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// The current view.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// Whether this replica currently leads.
+    pub fn is_leader(&self) -> bool {
+        self.config.leader_of(self.view) == self.id
+    }
+
+    /// Executed update count.
+    pub fn exec_seq(&self) -> u64 {
+        self.exec_seq
+    }
+
+    /// The hosted application.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Mutable application access (used by SCADA ground-truth rebuild).
+    pub fn app_mut(&mut self) -> &mut A {
+        &mut self.app
+    }
+
+    fn sign(&mut self, msg: PrimeMsg) -> SignedMsg {
+        SignedMsg::sign(self.id, msg, &mut self.key)
+    }
+
+    fn matrix_digest(matrix: &[AruRow]) -> Digest {
+        let mut w = simnet::wire::Writer::new();
+        for row in matrix {
+            row.encode(&mut w);
+        }
+        sha256(&w.finish())
+    }
+
+    /// Injects a client update received from the external network.
+    pub fn submit(&mut self, update: SignedUpdate, now: SimTime) -> Vec<OutEvent> {
+        let mut out = Vec::new();
+        if self.byz.is_crashed() {
+            return out;
+        }
+        if !update.verify(&self.registry) {
+            self.stats.bad_sigs += 1;
+            return out;
+        }
+        let ckey = (update.update.client, update.update.client_seq);
+        if self.intro_seen.contains(&ckey) || self.already_executed(ckey.0, ckey.1) {
+            return out;
+        }
+        self.intro_seen.insert(ckey);
+        let po_seq = po_compose(self.incarnation, self.next_po_seq);
+        self.next_po_seq += 1;
+        self.stats.po_introduced += 1;
+        self.po_store.insert((self.id.0, po_seq), update.clone());
+        let msg = self.sign(PrimeMsg::PoRequest { origin: self.id, po_seq, update });
+        self.po_envelopes.insert((self.id.0, po_seq), msg.clone());
+        self.advance_my_aru();
+        out.push(OutEvent::Broadcast(msg));
+        self.note_unordered(now);
+        out
+    }
+
+    fn already_executed(&self, client: u32, client_seq: u64) -> bool {
+        self.executed_clients.get(&client).is_some_and(|s| s.contains(&client_seq))
+    }
+
+    fn advance_my_aru(&mut self) {
+        // Our own slot always tracks our current incarnation.
+        self.origin_inc[self.id.0 as usize] = self.incarnation;
+        for origin in 0..self.config.n() as usize {
+            let inc = self.origin_inc[origin];
+            if po_incarnation(self.my_aru[origin]) != inc {
+                self.aru_counter[origin] = 0;
+            }
+            let mut counter = self.aru_counter[origin];
+            while self.po_store.contains_key(&(origin as u32, po_compose(inc, counter + 1))) {
+                counter += 1;
+            }
+            self.aru_counter[origin] = counter;
+            // Composite ordering keeps the vector monotone across
+            // incarnation bumps (higher incarnation dominates).
+            self.my_aru[origin] = self.my_aru[origin].max(po_compose(inc, counter));
+        }
+    }
+
+    /// Handles a signed peer message.
+    pub fn on_message(&mut self, msg: SignedMsg, now: SimTime) -> Vec<OutEvent> {
+        let mut out = Vec::new();
+        if self.byz.is_crashed() {
+            return out;
+        }
+        if msg.from == self.id || msg.from.0 >= self.config.n() {
+            return out;
+        }
+        if !msg.verify(&self.registry) {
+            self.stats.bad_sigs += 1;
+            return out;
+        }
+        let from = msg.from;
+        match msg.msg.clone() {
+            PrimeMsg::PoRequest { origin, po_seq, update } => {
+                self.accept_po_request(msg, from, origin, po_seq, update, now, &mut out);
+            }
+            PrimeMsg::PoAru { row } => {
+                self.on_po_aru(row, &mut out);
+            }
+            PrimeMsg::PrePrepare { view, seq, matrix } => {
+                self.on_pre_prepare(from, view, seq, matrix, now, &mut out);
+            }
+            PrimeMsg::Prepare { view, seq, digest } => {
+                self.on_prepare(from, view, seq, digest, now, &mut out);
+            }
+            PrimeMsg::Commit { view, seq, digest } => {
+                self.on_commit(from, view, seq, digest, now, &mut out);
+            }
+            PrimeMsg::PoFetch { origin, po_seq } => {
+                if let Some(envelope) = self.po_envelopes.get(&(origin.0, po_seq)) {
+                    let original = envelope.to_wire().to_vec();
+                    let reply = self.sign(PrimeMsg::PoData { original });
+                    out.push(OutEvent::Send(from, reply));
+                }
+            }
+            PrimeMsg::PoData { original } => {
+                self.on_po_data(&original, now, &mut out);
+            }
+            PrimeMsg::SuspectLeader { view } => {
+                self.on_suspect(from, view, now, &mut out);
+            }
+            PrimeMsg::ViewChange { new_view, max_committed, prepared_seq, prepared_view, prepared_matrix } => {
+                self.on_view_change(from, new_view, max_committed, prepared_seq, prepared_view, prepared_matrix, now, &mut out);
+            }
+            PrimeMsg::NewView { view, start_seq } => {
+                self.on_new_view(from, view, start_seq, now, &mut out);
+            }
+            PrimeMsg::Checkpoint { exec_seq, app_digest } => {
+                self.on_checkpoint(from, exec_seq, app_digest, now, &mut out);
+            }
+            PrimeMsg::CatchupRequest { have_exec_seq } => {
+                if self.exec_seq > have_exec_seq {
+                    let reply = PrimeMsg::CatchupReply {
+                        exec_seq: self.exec_seq,
+                        app_digest: self.app.digest(),
+                        snapshot: self.app.snapshot(),
+                        next_order_seq: self.planned_through + 1,
+                        exec_cover: self.plan_cover.clone(),
+                        view: self.view,
+                    };
+                    let reply = self.sign(reply);
+                    out.push(OutEvent::Send(from, reply));
+                }
+            }
+            PrimeMsg::CatchupReply { exec_seq, app_digest, snapshot, next_order_seq, exec_cover, view } => {
+                self.on_catchup_reply(from, exec_seq, app_digest, snapshot, next_order_seq, exec_cover, view, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Accepts a PO-Request whose signed envelope came from its origin —
+    /// directly or replayed inside a `PoData` reconciliation reply.
+    #[allow(clippy::too_many_arguments)]
+    fn accept_po_request(
+        &mut self,
+        envelope: SignedMsg,
+        from: ReplicaId,
+        origin: ReplicaId,
+        po_seq: u64,
+        update: SignedUpdate,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
+        // Only the origin may bind (origin, po_seq) → update: a faulty
+        // relayer must not be able to fill foreign slots.
+        if from != origin || origin.0 >= self.config.n() || po_counter(po_seq) == 0 {
+            return;
+        }
+        if !update.verify(&self.registry) {
+            self.stats.bad_sigs += 1;
+            return;
+        }
+        // Incarnation tracking: a higher incarnation from the origin means
+        // it recovered; contiguity restarts in the new incarnation.
+        let inc = po_incarnation(po_seq);
+        let o = origin.0 as usize;
+        if origin != self.id && inc > self.origin_inc[o] {
+            self.origin_inc[o] = inc;
+            self.aru_counter[o] = 0;
+        }
+        self.po_store.entry((origin.0, po_seq)).or_insert(update);
+        self.po_envelopes.entry((origin.0, po_seq)).or_insert(envelope);
+        self.advance_my_aru();
+        self.note_unordered(now);
+        self.try_execute(now, out);
+    }
+
+    fn on_po_aru(&mut self, row: AruRow, _out: &mut [OutEvent]) {
+        if row.replica.0 >= self.config.n() || row.vector.len() != self.config.n() as usize {
+            return;
+        }
+        if !row.verify(&self.registry) {
+            self.stats.bad_sigs += 1;
+            return;
+        }
+        let entry = self.latest_rows.entry(row.replica.0);
+        match entry {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(row);
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                // Keep the row with the largest total coverage (monotone).
+                let old_sum: u64 = o.get().vector.iter().sum();
+                let new_sum: u64 = row.vector.iter().sum();
+                if new_sum > old_sum {
+                    o.insert(row);
+                }
+            }
+        }
+    }
+
+    fn on_pre_prepare(
+        &mut self,
+        from: ReplicaId,
+        view: u64,
+        seq: u64,
+        matrix: Vec<AruRow>,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
+        if view != self.view || self.in_view_change {
+            return;
+        }
+        if from != self.config.leader_of(view) {
+            return;
+        }
+        if seq <= self.max_committed || seq == 0 {
+            return;
+        }
+        // Validate the matrix: enough distinct, signed rows.
+        let mut seen = BTreeSet::new();
+        for row in &matrix {
+            if row.vector.len() != self.config.n() as usize || !row.verify(&self.registry) {
+                return;
+            }
+            seen.insert(row.replica.0);
+        }
+        if (seen.len() as u32) < self.config.ordering_quorum() {
+            return;
+        }
+        let digest = Self::matrix_digest(&matrix);
+        self.pre_prepares.entry(seq).or_insert((view, matrix, digest));
+        let stored = &self.pre_prepares[&seq];
+        if stored.0 != view || stored.2 != digest {
+            return; // conflicting proposal for this seq; ignore.
+        }
+        // Leader's proposal advanced things: reset the suspicion clock.
+        self.unordered_since = Some(now);
+        if self.sent_prepare.insert((view, seq)) {
+            let prep = self.sign(PrimeMsg::Prepare { view, seq, digest });
+            self.prepares.entry((view, seq, digest)).or_default().insert(self.id.0);
+            out.push(OutEvent::Broadcast(prep));
+        }
+        self.check_prepared(view, seq, digest, now, out);
+    }
+
+    fn on_prepare(
+        &mut self,
+        from: ReplicaId,
+        view: u64,
+        seq: u64,
+        digest: Digest,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
+        if view != self.view {
+            return;
+        }
+        self.prepares.entry((view, seq, digest)).or_default().insert(from.0);
+        self.check_prepared(view, seq, digest, now, out);
+    }
+
+    fn check_prepared(&mut self, view: u64, seq: u64, digest: Digest, now: SimTime, out: &mut Vec<OutEvent>) {
+        let Some((pp_view, matrix, pp_digest)) = self.pre_prepares.get(&seq) else { return };
+        if *pp_view != view || *pp_digest != digest {
+            return;
+        }
+        let prepare_count = self
+            .prepares
+            .get(&(view, seq, digest))
+            .map_or(0, |s| s.len() as u32);
+        // The leader does not send Prepare; its pre-prepare counts.
+        let have = prepare_count + 1;
+        if have >= self.config.ordering_quorum() && self.sent_commit.insert((view, seq)) {
+            self.prepared_cert = Some((seq, view, matrix.clone()));
+            let commit = self.sign(PrimeMsg::Commit { view, seq, digest });
+            self.commits.entry((view, seq, digest)).or_default().insert(self.id.0);
+            out.push(OutEvent::Broadcast(commit));
+            self.check_committed(view, seq, digest, now, out);
+        }
+    }
+
+    fn on_commit(
+        &mut self,
+        from: ReplicaId,
+        view: u64,
+        seq: u64,
+        digest: Digest,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
+        self.commits.entry((view, seq, digest)).or_default().insert(from.0);
+        self.check_committed(view, seq, digest, now, out);
+    }
+
+    fn check_committed(&mut self, view: u64, seq: u64, digest: Digest, now: SimTime, out: &mut Vec<OutEvent>) {
+        if self.committed.contains_key(&seq) {
+            return;
+        }
+        let Some((pp_view, matrix, pp_digest)) = self.pre_prepares.get(&seq) else { return };
+        if *pp_view != view || *pp_digest != digest {
+            return;
+        }
+        let count = self.commits.get(&(view, seq, digest)).map_or(0, |s| s.len() as u32);
+        if count >= self.config.ordering_quorum() {
+            self.committed.insert(seq, matrix.clone());
+            self.max_committed = self.max_committed.max(seq);
+            if self.prepared_cert.as_ref().is_some_and(|(s, _, _)| *s == seq) {
+                self.prepared_cert = None;
+            }
+            self.extend_plan();
+            // A committed sequence beyond our contiguous plan means we
+            // missed earlier commits (partition): treat as a stall so the
+            // tick driver escalates to catch-up.
+            if self.max_committed > self.planned_through {
+                self.stall_since.get_or_insert(now);
+            } else if self.exec_plan.is_empty() {
+                self.stall_since = None;
+            }
+            self.try_execute(now, out);
+        }
+    }
+
+    /// Extends the execution plan with newly covered updates from
+    /// contiguous committed sequences.
+    fn extend_plan(&mut self) {
+        while let Some(matrix) = self.committed.get(&(self.planned_through + 1)) {
+            let n = self.config.n() as usize;
+            let threshold = self.config.coverage_threshold() as usize;
+            let mut target = self.plan_cover.clone();
+            for origin in 0..n {
+                let mut column: Vec<u64> = matrix.iter().map(|row| row.vector[origin]).collect();
+                column.sort_unstable_by(|a, b| b.cmp(a));
+                if column.len() >= threshold {
+                    target[origin] = target[origin].max(column[threshold - 1]);
+                }
+            }
+            for (origin, (&from_cover, &to_cover)) in
+                self.plan_cover.clone().iter().zip(target.iter()).enumerate()
+            {
+                if to_cover <= from_cover {
+                    continue;
+                }
+                if po_incarnation(from_cover) == po_incarnation(to_cover) {
+                    for s in from_cover + 1..=to_cover {
+                        self.exec_plan.push_back((origin as u32, s));
+                    }
+                } else {
+                    // Incarnation jump: the tail of the old incarnation is
+                    // abandoned deterministically (all replicas process the
+                    // same committed matrices in order, so all abandon the
+                    // same slots); the new incarnation executes from 1.
+                    let inc = po_incarnation(to_cover);
+                    for c in 1..=po_counter(to_cover) {
+                        self.exec_plan.push_back((origin as u32, po_compose(inc, c)));
+                    }
+                }
+            }
+            self.plan_cover = target;
+            self.planned_through += 1;
+        }
+    }
+
+    /// Drains the execution plan while updates are available.
+    fn try_execute(&mut self, now: SimTime, out: &mut Vec<OutEvent>) {
+        while let Some(&(origin, po_seq)) = self.exec_plan.front() {
+            let Some(signed) = self.po_store.get(&(origin, po_seq)) else {
+                // Missing: reconciliation.
+                self.stall_since.get_or_insert(now);
+                if now.since(self.last_fetch_at) >= SimDuration::from_millis(50) {
+                    self.last_fetch_at = now;
+                    self.stats.fetches += 1;
+                    let fetch = self.sign(PrimeMsg::PoFetch { origin: ReplicaId(origin), po_seq });
+                    out.push(OutEvent::Broadcast(fetch));
+                }
+                return;
+            };
+            let update = signed.update.clone();
+            self.exec_plan.pop_front();
+            self.stall_since = None;
+            let client_set = self.executed_clients.entry(update.client).or_default();
+            if !client_set.insert(update.client_seq) {
+                self.stats.dup_suppressed += 1;
+                continue;
+            }
+            self.exec_seq += 1;
+            self.stats.executed += 1;
+            self.app.execute(&update, self.exec_seq);
+            out.push(OutEvent::Execute { exec_seq: self.exec_seq, update });
+            // Checkpoint when due.
+            if self.exec_seq - self.last_checkpoint_at_exec >= self.timing.checkpoint_interval {
+                self.last_checkpoint_at_exec = self.exec_seq;
+                let cp = self.sign(PrimeMsg::Checkpoint {
+                    exec_seq: self.exec_seq,
+                    app_digest: self.app.digest(),
+                });
+                // Vote for our own checkpoint too.
+                self.checkpoint_votes
+                    .entry((self.exec_seq, self.app.digest()))
+                    .or_default()
+                    .insert(self.id.0);
+                out.push(OutEvent::Broadcast(cp));
+            }
+        }
+        // Plan drained: if nothing eligible remains, clear suspicion clock.
+        if !self.has_unordered_eligible() {
+            self.unordered_since = None;
+        }
+    }
+
+    fn has_unordered_eligible(&self) -> bool {
+        self.my_aru.iter().zip(self.plan_cover.iter()).any(|(a, c)| a > c)
+            || !self.exec_plan.is_empty()
+    }
+
+    fn note_unordered(&mut self, now: SimTime) {
+        if self.has_unordered_eligible() && self.unordered_since.is_none() {
+            self.unordered_since = Some(now);
+        }
+    }
+
+    fn on_po_data(&mut self, original: &[u8], now: SimTime, out: &mut Vec<OutEvent>) {
+        // The payload must be the origin's own signed PoRequest envelope.
+        let Ok(envelope) = SignedMsg::from_wire(original) else { return };
+        if !envelope.verify(&self.registry) {
+            self.stats.bad_sigs += 1;
+            return;
+        }
+        let PrimeMsg::PoRequest { origin, po_seq, update } = envelope.msg.clone() else { return };
+        let from = envelope.from;
+        self.accept_po_request(envelope, from, origin, po_seq, update, now, out);
+    }
+
+    fn on_suspect(&mut self, from: ReplicaId, view: u64, now: SimTime, out: &mut Vec<OutEvent>) {
+        if view < self.view {
+            return;
+        }
+        self.suspects.entry(view).or_default().insert(from.0);
+        let count = self.suspects[&view].len() as u32
+            + u32::from(self.sent_suspect.contains(&view));
+        if view == self.view && count >= self.config.suspect_threshold() {
+            self.start_view_change(view + 1, now, out);
+        }
+    }
+
+    fn start_view_change(&mut self, target: u64, _now: SimTime, out: &mut Vec<OutEvent>) {
+        if self.in_view_change && self.vc_target >= target {
+            return;
+        }
+        self.in_view_change = true;
+        self.vc_target = target;
+        let (prepared_seq, prepared_view, prepared_matrix) = match &self.prepared_cert {
+            Some((s, v, m)) if *s > self.max_committed => (*s, *v, m.clone()),
+            _ => (0, 0, Vec::new()),
+        };
+        let vc = PrimeMsg::ViewChange {
+            new_view: target,
+            max_committed: self.max_committed,
+            prepared_seq,
+            prepared_view,
+            prepared_matrix: prepared_matrix.clone(),
+        };
+        // Record our own vote.
+        self.view_changes
+            .entry(target)
+            .or_default()
+            .insert(self.id.0, (self.max_committed, prepared_seq, prepared_view, prepared_matrix));
+        let vc = self.sign(vc);
+        out.push(OutEvent::Broadcast(vc));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_view_change(
+        &mut self,
+        from: ReplicaId,
+        new_view: u64,
+        max_committed: u64,
+        prepared_seq: u64,
+        prepared_view: u64,
+        prepared_matrix: Vec<AruRow>,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
+        if new_view <= self.view {
+            return;
+        }
+        self.view_changes
+            .entry(new_view)
+            .or_default()
+            .insert(from.0, (max_committed, prepared_seq, prepared_view, prepared_matrix));
+        let votes = self.view_changes[&new_view].len() as u32;
+        // Join a view change once f+1 replicas are moving (can't all be faulty).
+        if votes > self.config.f && (!self.in_view_change || self.vc_target < new_view) {
+            self.start_view_change(new_view, now, out);
+        }
+        // As the new leader, install the view once a quorum has voted.
+        if votes >= self.config.ordering_quorum()
+            && self.config.leader_of(new_view) == self.id
+            && self.view < new_view
+        {
+            self.install_view(new_view, now, out);
+        }
+    }
+
+    fn install_view(&mut self, new_view: u64, now: SimTime, out: &mut Vec<OutEvent>) {
+        let votes = self.view_changes.get(&new_view).cloned().unwrap_or_default();
+        let max_committed_any = votes.values().map(|(mc, _, _, _)| *mc).max().unwrap_or(0).max(self.max_committed);
+        // Highest prepared certificate above the committed watermark, by
+        // (prepared_view, seq).
+        let best_prepared = votes
+            .values()
+            .filter(|(_, ps, _, _)| *ps > max_committed_any)
+            .max_by_key(|(_, ps, pv, _)| (*pv, *ps))
+            .cloned();
+        let start_seq = match &best_prepared {
+            Some((_, ps, _, _)) => *ps + 1,
+            None => max_committed_any + 1,
+        };
+        self.view = new_view;
+        self.in_view_change = false;
+        self.unordered_since = None;
+        self.stats.view_changes += 1;
+        out.push(OutEvent::ViewChanged { view: new_view });
+        let nv = self.sign(PrimeMsg::NewView { view: new_view, start_seq });
+        out.push(OutEvent::Broadcast(nv));
+        // Re-propose the surviving prepared matrix under the new view.
+        if let Some((_, ps, _, matrix)) = best_prepared {
+            if !matrix.is_empty() {
+                self.propose_matrix(ps, matrix, now, out);
+            }
+        }
+    }
+
+    fn on_new_view(&mut self, from: ReplicaId, view: u64, _start_seq: u64, now: SimTime, out: &mut Vec<OutEvent>) {
+        if view <= self.view || from != self.config.leader_of(view) {
+            return;
+        }
+        // Accept if we participated (sent or observed the view change).
+        let votes = self.view_changes.get(&view).map_or(0, |m| m.len() as u32);
+        if votes == 0 {
+            return;
+        }
+        self.view = view;
+        self.in_view_change = false;
+        self.unordered_since = Some(now);
+        self.stats.view_changes += 1;
+        out.push(OutEvent::ViewChanged { view });
+    }
+
+    fn on_checkpoint(&mut self, from: ReplicaId, exec_seq: u64, app_digest: Digest, now: SimTime, out: &mut Vec<OutEvent>) {
+        self.checkpoint_votes.entry((exec_seq, app_digest)).or_default().insert(from.0);
+        let votes = self.checkpoint_votes[&(exec_seq, app_digest)].len() as u32;
+        if votes >= self.config.ordering_quorum() && exec_seq > self.stable_checkpoint {
+            self.stable_checkpoint = exec_seq;
+            out.push(OutEvent::CheckpointStable { exec_seq });
+            // Garbage-collect old vote state.
+            self.checkpoint_votes.retain(|(s, _), _| *s >= exec_seq);
+            // If we are far behind a stable checkpoint, catch up.
+            if self.exec_seq + self.timing.checkpoint_interval < exec_seq {
+                self.request_catchup(now, out);
+            }
+        }
+    }
+
+    /// Requests replication + application state transfer from peers.
+    pub fn request_catchup(&mut self, now: SimTime, out: &mut Vec<OutEvent>) {
+        if self.catching_up {
+            return;
+        }
+        self.catching_up = true;
+        self.catchup_started = now;
+        self.catchup_attempts = 0;
+        self.catchup_offers.clear();
+        out.push(OutEvent::StateTransferRequested);
+        let req = self.sign(PrimeMsg::CatchupRequest { have_exec_seq: self.exec_seq });
+        out.push(OutEvent::Broadcast(req));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_catchup_reply(
+        &mut self,
+        from: ReplicaId,
+        exec_seq: u64,
+        app_digest: Digest,
+        snapshot: Vec<u8>,
+        next_order_seq: u64,
+        exec_cover: Vec<u64>,
+        view: u64,
+        out: &mut Vec<OutEvent>,
+    ) {
+        if !self.catching_up || exec_seq <= self.exec_seq {
+            return;
+        }
+        if exec_cover.len() != self.config.n() as usize {
+            return;
+        }
+        let key = (exec_seq, app_digest);
+        let offer = PrimeMsg::CatchupReply { exec_seq, app_digest, snapshot, next_order_seq, exec_cover, view };
+        let entry = self.catchup_offers.entry(key).or_insert_with(|| (BTreeSet::new(), offer));
+        entry.0.insert(from.0);
+        if entry.0.len() as u32 > self.config.f {
+            // f+1 matching offers: at least one from a correct replica.
+            let PrimeMsg::CatchupReply { exec_seq, app_digest, snapshot, next_order_seq, exec_cover, view } =
+                entry.1.clone()
+            else {
+                return;
+            };
+            self.app.install_snapshot(&snapshot);
+            if self.app.digest() != app_digest {
+                // Corrupt snapshot from a faulty replica; discard the group.
+                self.catchup_offers.remove(&key);
+                return;
+            }
+            self.exec_seq = exec_seq;
+            self.plan_cover = exec_cover;
+            self.planned_through = next_order_seq.saturating_sub(1);
+            self.max_committed = self.max_committed.max(self.planned_through);
+            self.exec_plan.clear();
+            self.view = self.view.max(view);
+            self.in_view_change = false;
+            self.catching_up = false;
+            self.stall_since = None;
+            self.last_checkpoint_at_exec = exec_seq;
+            self.stats.catchups += 1;
+            out.push(OutEvent::StateTransferInstalled { exec_seq });
+        }
+    }
+
+    /// Periodic driver: gossip PO-ARUs, propose as leader, check timeouts.
+    pub fn tick(&mut self, now: SimTime) -> Vec<OutEvent> {
+        let mut out = Vec::new();
+        if self.byz.is_crashed() {
+            return out;
+        }
+        // Gossip PO-ARU when it changed or periodically.
+        if self.my_aru != self.last_gossiped_aru
+            || now.since(self.last_aru_at) >= self.timing.aru_interval.saturating_mul(5)
+        {
+            if now.since(self.last_aru_at) >= self.timing.aru_interval {
+                self.last_aru_at = now;
+                self.last_gossiped_aru = self.my_aru.clone();
+                let vector = self.my_aru.clone();
+                let sig = self.key.sign(&AruRow::signed_bytes(self.id, &vector));
+                let row = AruRow { replica: self.id, vector, sig };
+                // Install our own row for our own proposals.
+                self.latest_rows.insert(self.id.0, row.clone());
+                let msg = self.sign(PrimeMsg::PoAru { row });
+                out.push(OutEvent::Broadcast(msg));
+            }
+        }
+        // Leader proposal.
+        if self.is_leader() && !self.in_view_change && !self.catching_up {
+            self.maybe_propose(now, &mut out);
+        }
+        // Suspicion.
+        self.note_unordered(now);
+        if let Some(since) = self.unordered_since {
+            if now.since(since) >= self.effective_suspect_timeout()
+                && !self.sent_suspect.contains(&self.view)
+                && !self.in_view_change
+            {
+                self.sent_suspect.insert(self.view);
+                self.stats.suspects_sent += 1;
+                let view = self.view;
+                let msg = self.sign(PrimeMsg::SuspectLeader { view });
+                out.push(OutEvent::Broadcast(msg));
+                // Count ourselves.
+                let count = self.suspects.entry(view).or_default().len() as u32 + 1;
+                if count >= self.config.suspect_threshold() {
+                    self.start_view_change(view + 1, now, &mut out);
+                }
+            }
+        }
+        // A committed-sequence gap is also a stall (see check_committed).
+        if self.max_committed > self.planned_through {
+            self.stall_since.get_or_insert(now);
+        }
+        // Retry catch-up: peers keep executing, so offers keyed on their
+        // exact (exec_seq, digest) may never collect f+1 matches in one
+        // round; re-request until a consistent snapshot group forms.
+        if self.catching_up && now.since(self.catchup_started) >= self.timing.catchup_timeout {
+            self.catchup_attempts += 1;
+            if self.catchup_attempts > 10 {
+                // Not enough intact peers to form an f+1 snapshot group —
+                // an assumption breach. Give up and resume participation;
+                // the application layer recovers ground truth from the
+                // field devices (§III-A), and a later stall re-triggers
+                // catch-up if peers regain consistent state.
+                self.catching_up = false;
+                self.stall_since = None;
+            } else {
+                self.catchup_started = now;
+                self.catchup_offers.clear();
+                let req = self.sign(PrimeMsg::CatchupRequest { have_exec_seq: self.exec_seq });
+                out.push(OutEvent::Broadcast(req));
+            }
+        }
+        // Execution stall → reconciliation retry / catch-up.
+        if let Some(stall) = self.stall_since {
+            if now.since(stall) >= self.timing.catchup_timeout {
+                self.stall_since = Some(now);
+                self.request_catchup(now, &mut out);
+            } else {
+                self.try_execute(now, &mut out);
+            }
+        }
+        out
+    }
+
+    fn effective_suspect_timeout(&self) -> SimDuration {
+        self.timing.suspect_timeout
+    }
+
+    fn maybe_propose(&mut self, now: SimTime, out: &mut Vec<OutEvent>) {
+        if let ByzMode::DelayLeader(extra) = self.byz {
+            if now.since(self.last_pp_at) < self.timing.pp_interval + extra {
+                return;
+            }
+        } else if now.since(self.last_pp_at) < self.timing.pp_interval {
+            return;
+        }
+        if self.byz.is_mute_leader() {
+            return;
+        }
+        // Only one outstanding proposal at a time.
+        let next_seq = self.max_committed + 1;
+        if self.pre_prepares.contains_key(&next_seq) {
+            return;
+        }
+        // Collect rows; require a quorum of distinct replicas.
+        let rows: Vec<AruRow> = self.latest_rows.values().cloned().collect();
+        if (rows.len() as u32) < self.config.ordering_quorum() {
+            return;
+        }
+        // Only propose if coverage advances.
+        let n = self.config.n() as usize;
+        let threshold = self.config.coverage_threshold() as usize;
+        let mut cover = vec![0u64; n];
+        for (origin, c) in cover.iter_mut().enumerate() {
+            let mut column: Vec<u64> = rows.iter().map(|r| r.vector[origin]).collect();
+            column.sort_unstable_by(|a, b| b.cmp(a));
+            if column.len() >= threshold {
+                *c = column[threshold - 1];
+            }
+        }
+        if cover.iter().zip(self.plan_cover.iter()).all(|(c, p)| c <= p) {
+            return;
+        }
+        self.last_pp_at = now;
+        self.propose_matrix(next_seq, rows, now, out);
+    }
+
+    fn propose_matrix(&mut self, seq: u64, matrix: Vec<AruRow>, now: SimTime, out: &mut Vec<OutEvent>) {
+        let digest = Self::matrix_digest(&matrix);
+        let view = self.view;
+        self.stats.proposals += 1;
+        self.pre_prepares.insert(seq, (view, matrix.clone(), digest));
+        // The leader counts as prepared implicitly; it still must collect
+        // the quorum of Prepares from followers.
+        let msg = self.sign(PrimeMsg::PrePrepare { view, seq, matrix });
+        out.push(OutEvent::Broadcast(msg));
+        let _ = now;
+    }
+
+    /// Proactive recovery: wipe all state (the replica restarts from a
+    /// clean, rediversified image) and rejoin via state transfer.
+    pub fn recover(&mut self, now: SimTime) -> Vec<OutEvent> {
+        let n = self.config.n() as usize;
+        // A fresh incarnation strictly above the previous one: derived
+        // from the monotonic clock (milliseconds), so no pre-order slot
+        // from the previous life can ever be reused.
+        self.incarnation = ((now.as_micros() / 1_000) as u32).max(self.incarnation + 1);
+        self.next_po_seq = 1;
+        self.po_store.clear();
+        self.po_envelopes.clear();
+        self.intro_seen.clear();
+        self.origin_inc = vec![0; n];
+        self.aru_counter = vec![0; n];
+        self.my_aru = vec![0; n];
+        self.latest_rows.clear();
+        self.last_gossiped_aru = vec![0; n];
+        self.pre_prepares.clear();
+        self.prepares.clear();
+        self.commits.clear();
+        self.sent_prepare.clear();
+        self.sent_commit.clear();
+        self.committed.clear();
+        self.max_committed = 0;
+        self.prepared_cert = None;
+        self.planned_through = 0;
+        self.plan_cover = vec![0; n];
+        self.exec_plan.clear();
+        self.exec_seq = 0;
+        self.executed_clients.clear();
+        self.stall_since = None;
+        self.unordered_since = None;
+        self.suspects.clear();
+        self.sent_suspect.clear();
+        self.view_changes.clear();
+        self.view = 0;
+        self.in_view_change = false;
+        self.last_checkpoint_at_exec = 0;
+        self.checkpoint_votes.clear();
+        self.stable_checkpoint = 0;
+        self.catching_up = false;
+        self.catchup_offers.clear();
+        self.app.install_snapshot(&[]);
+        let mut out = Vec::new();
+        self.request_catchup(now, &mut out);
+        out
+    }
+}
+
+impl<A: Application> std::fmt::Debug for Replica<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("id", &self.id)
+            .field("view", &self.view)
+            .field("exec_seq", &self.exec_seq)
+            .field("max_committed", &self.max_committed)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}

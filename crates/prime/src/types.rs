@@ -1,0 +1,225 @@
+//! Core types: replica identifiers, configurations, and client updates.
+
+use std::fmt;
+
+use bytes::Bytes;
+use itcrypto::keys::{KeyRegistry, Principal};
+use itcrypto::schnorr::Signature;
+use itcrypto::sha256::{sha256, Digest};
+use simnet::wire::{DecodeError, Reader, Wire, Writer};
+
+/// A replica index in `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReplicaId(pub u32);
+
+impl fmt::Debug for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Fault-tolerance configuration: `n = 3f + 2k + 1`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Config {
+    /// Maximum simultaneous intrusions tolerated.
+    pub f: u32,
+    /// Maximum replicas simultaneously in proactive recovery.
+    pub k: u32,
+}
+
+impl Config {
+    /// Creates a configuration.
+    pub fn new(f: u32, k: u32) -> Self {
+        Config { f, k }
+    }
+
+    /// The red-team deployment: `f = 1, k = 0` → 4 replicas (§IV-A).
+    pub fn red_team() -> Self {
+        Config::new(1, 0)
+    }
+
+    /// The plant deployment: `f = 1, k = 1` → 6 replicas (§V).
+    pub fn plant() -> Self {
+        Config::new(1, 1)
+    }
+
+    /// Total replicas `n = 3f + 2k + 1`.
+    pub fn n(&self) -> u32 {
+        3 * self.f + 2 * self.k + 1
+    }
+
+    /// Quorum for prepare/commit certificates: `2f + k + 1`.
+    pub fn ordering_quorum(&self) -> u32 {
+        2 * self.f + self.k + 1
+    }
+
+    /// Rows of a pre-prepare matrix that must cover an update before it
+    /// executes: `f + k + 1` (at least one correct, non-recovering row).
+    pub fn coverage_threshold(&self) -> u32 {
+        self.f + self.k + 1
+    }
+
+    /// Suspicions needed to depose a leader: `f + k + 1`.
+    pub fn suspect_threshold(&self) -> u32 {
+        self.f + self.k + 1
+    }
+
+    /// The leader of a view.
+    pub fn leader_of(&self, view: u64) -> ReplicaId {
+        ReplicaId((view % self.n() as u64) as u32)
+    }
+
+    /// All replica ids.
+    pub fn replicas(&self) -> impl Iterator<Item = ReplicaId> {
+        (0..self.n()).map(ReplicaId)
+    }
+}
+
+/// A client update: the unit Prime orders and the SCADA master executes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Update {
+    /// Originating client id (a proxy, HMI, or generator).
+    pub client: u32,
+    /// Client-local sequence number (for idempotence).
+    pub client_seq: u64,
+    /// Opaque application payload (a SCADA update).
+    pub payload: Bytes,
+}
+
+impl Update {
+    /// Creates an update.
+    pub fn new(client: u32, client_seq: u64, payload: impl Into<Bytes>) -> Self {
+        Update { client, client_seq, payload: payload.into() }
+    }
+
+    /// Digest over the full update.
+    pub fn digest(&self) -> Digest {
+        sha256(&self.to_wire())
+    }
+}
+
+impl Wire for Update {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.client).put_u64(self.client_seq).put_bytes(&self.payload);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Update {
+            client: r.get_u32()?,
+            client_seq: r.get_u64()?,
+            payload: Bytes::from(r.get_bytes()?),
+        })
+    }
+}
+
+/// An update signed by its originating client.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SignedUpdate {
+    /// The update.
+    pub update: Update,
+    /// Client signature over the update bytes.
+    pub sig: Signature,
+}
+
+impl SignedUpdate {
+    /// Verifies the client signature against the registry.
+    pub fn verify(&self, registry: &KeyRegistry) -> bool {
+        registry.verify(
+            Principal::Client(self.update.client),
+            &self.update.to_wire(),
+            &self.sig,
+        )
+    }
+}
+
+impl Wire for SignedUpdate {
+    fn encode(&self, w: &mut Writer) {
+        self.update.encode(w);
+        w.put_raw(&self.sig.to_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let update = Update::decode(r)?;
+        let sig_bytes: [u8; 16] =
+            r.get_raw(16)?.try_into().map_err(|_| DecodeError::new("signature"))?;
+        Ok(SignedUpdate { update, sig: Signature::from_bytes(&sig_bytes) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itcrypto::keys::KeyPair;
+
+    #[test]
+    fn replica_counts_match_paper() {
+        assert_eq!(Config::red_team().n(), 4);
+        assert_eq!(Config::plant().n(), 6);
+        assert_eq!(Config::new(2, 0).n(), 7);
+        assert_eq!(Config::new(2, 2).n(), 11);
+    }
+
+    #[test]
+    fn quorum_sizes() {
+        let c = Config::plant(); // f=1, k=1, n=6
+        assert_eq!(c.ordering_quorum(), 4);
+        assert_eq!(c.coverage_threshold(), 3);
+        assert_eq!(c.suspect_threshold(), 3);
+        let r = Config::red_team(); // f=1, k=0, n=4
+        assert_eq!(r.ordering_quorum(), 3);
+        assert_eq!(r.coverage_threshold(), 2);
+    }
+
+    #[test]
+    fn leader_rotates() {
+        let c = Config::red_team();
+        assert_eq!(c.leader_of(0), ReplicaId(0));
+        assert_eq!(c.leader_of(1), ReplicaId(1));
+        assert_eq!(c.leader_of(4), ReplicaId(0));
+        assert_eq!(c.replicas().count(), 4);
+    }
+
+    #[test]
+    fn update_wire_roundtrip_and_digest() {
+        let u = Update::new(3, 99, Bytes::from_static(b"open B57"));
+        let rt = Update::from_wire(&u.to_wire()).expect("roundtrip");
+        assert_eq!(rt, u);
+        assert_eq!(rt.digest(), u.digest());
+        let u2 = Update::new(3, 100, Bytes::from_static(b"open B57"));
+        assert_ne!(u.digest(), u2.digest());
+    }
+
+    #[test]
+    fn signed_update_verify() {
+        let mut kp = KeyPair::generate(77);
+        let mut reg = KeyRegistry::new();
+        reg.register(Principal::Client(5), kp.public_key());
+        let update = Update::new(5, 1, Bytes::from_static(b"x"));
+        let sig = kp.sign(&update.to_wire());
+        let su = SignedUpdate { update, sig };
+        assert!(su.verify(&reg));
+        // Tampered payload fails.
+        let mut bad = su.clone();
+        bad.update.payload = Bytes::from_static(b"y");
+        assert!(!bad.verify(&reg));
+        // Unknown client fails.
+        let mut unknown = su.clone();
+        unknown.update.client = 6;
+        assert!(!unknown.verify(&reg));
+        // Wire roundtrip preserves the signature.
+        let rt = SignedUpdate::from_wire(&su.to_wire()).expect("roundtrip");
+        assert!(rt.verify(&reg));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ReplicaId(3).to_string(), "r3");
+        assert_eq!(format!("{:?}", ReplicaId(3)), "r3");
+    }
+}

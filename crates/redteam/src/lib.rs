@@ -1,0 +1,32 @@
+//! The red-team framework: the attack repertoire §IV-B reports, a
+//! scripted attacker process, the Figure 3 laboratory (enterprise network
+//! plus two parallel operations networks), and the staged
+//! compromised-replica excursion.
+//!
+//! Everything here is *simulation against the reproduction's own targets*;
+//! the attacks exist so the experiments can demonstrate which defenses
+//! stop them, exactly as the exercise did:
+//!
+//! * [`attacker`] — the attacker node: port scans, ARP poisoning,
+//!   IP-spoofed injections, DoS bursts, unauthenticated Modbus
+//!   dump/upload, commercial status/command forgery, man-in-the-middle
+//!   relaying.
+//! * [`lab`] — the commercial side of Figure 3 (enterprise network trunked
+//!   to the commercial operations network) with MANA taps.
+//! * [`excursion`] — §IV-B's third-day excursion: gradually increasing
+//!   control of one Spire replica, from user-level daemon tampering to
+//!   root with source access.
+//! * [`report`] — structured attack outcomes for EXPERIMENTS.md tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacker;
+pub mod excursion;
+pub mod lab;
+pub mod report;
+
+pub use attacker::{Attacker, AttackStep};
+pub use excursion::{run_excursion, ExcursionReport, Stage};
+pub use lab::CommercialLab;
+pub use report::{AttackOutcome, AttackReport};

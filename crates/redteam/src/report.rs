@@ -1,0 +1,123 @@
+//! Structured attack outcomes for the experiment tables.
+
+use std::fmt;
+
+/// Outcome of one attack against one target system.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AttackOutcome {
+    /// The attack achieved its objective.
+    Succeeded,
+    /// The attack was attempted and defeated.
+    Defeated,
+    /// The attack could not even be attempted from the attacker's
+    /// position (no reachability/visibility).
+    NoVisibility,
+}
+
+impl fmt::Display for AttackOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttackOutcome::Succeeded => "SUCCEEDED",
+            AttackOutcome::Defeated => "defeated",
+            AttackOutcome::NoVisibility => "no visibility",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of the attack matrix.
+#[derive(Clone, Debug)]
+pub struct AttackRow {
+    /// Attack name.
+    pub attack: String,
+    /// Target system ("commercial" or "spire").
+    pub target: String,
+    /// Outcome.
+    pub outcome: AttackOutcome,
+    /// What stopped it (or what it achieved).
+    pub notes: String,
+}
+
+/// A full report.
+#[derive(Clone, Debug, Default)]
+pub struct AttackReport {
+    /// The rows.
+    pub rows: Vec<AttackRow>,
+}
+
+impl AttackReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a row.
+    pub fn add(
+        &mut self,
+        attack: impl Into<String>,
+        target: impl Into<String>,
+        outcome: AttackOutcome,
+        notes: impl Into<String>,
+    ) {
+        self.rows.push(AttackRow {
+            attack: attack.into(),
+            target: target.into(),
+            outcome,
+            notes: notes.into(),
+        });
+    }
+
+    /// Whether every attack against `target` failed.
+    pub fn target_held(&self, target: &str) -> bool {
+        self.rows
+            .iter()
+            .filter(|r| r.target == target)
+            .all(|r| r.outcome != AttackOutcome::Succeeded)
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<34} {:<12} {:<14} {}\n",
+            "attack", "target", "outcome", "notes"
+        ));
+        out.push_str(&format!("{}\n", "-".repeat(100)));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<34} {:<12} {:<14} {}\n",
+                r.attack,
+                r.target,
+                r.outcome.to_string(),
+                r.notes
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_and_judges() {
+        let mut r = AttackReport::new();
+        r.add("port scan", "spire", AttackOutcome::NoVisibility, "default-deny drops silently");
+        r.add("arp poisoning", "spire", AttackOutcome::Defeated, "static ARP tables");
+        r.add("plc config dump", "commercial", AttackOutcome::Succeeded, "unauthenticated Modbus");
+        assert!(r.target_held("spire"));
+        assert!(!r.target_held("commercial"));
+        let table = r.render();
+        assert!(table.contains("port scan"));
+        assert!(table.contains("SUCCEEDED"));
+        assert!(table.contains("no visibility"));
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(AttackOutcome::Succeeded.to_string(), "SUCCEEDED");
+        assert_eq!(AttackOutcome::Defeated.to_string(), "defeated");
+        assert_eq!(AttackOutcome::NoVisibility.to_string(), "no visibility");
+    }
+}

@@ -1,0 +1,87 @@
+//! Ground-truth recovery from field devices (§III-A).
+//!
+//! "If enough replicas crash and lose their state such that it is no
+//! longer possible to recover the system state from the remaining correct
+//! replicas, the system can automatically reset and rebuild the state by
+//! contacting the field devices. In contrast, a traditional BFT system
+//! cannot recover from this situation."
+
+use prime::types::Config;
+
+use crate::state::ScadaState;
+use crate::updates::ScadaUpdate;
+
+/// Assessment of whether master state survives an assumption breach.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BreachAssessment {
+    /// Replicas still holding intact state.
+    pub replicas_with_state: u32,
+    /// Minimum needed to trust recovered state (`f + 1`).
+    pub needed: u32,
+    /// Whether replica-based recovery is possible.
+    pub recoverable_from_replicas: bool,
+}
+
+/// Assesses a crash scenario: with fewer than `f+1` intact replicas, a
+/// matching set cannot be distinguished from `f` colluding liars, so
+/// replica-based recovery is unsafe.
+pub fn assess(config: Config, replicas_with_state: u32) -> BreachAssessment {
+    let needed = config.f + 1;
+    BreachAssessment {
+        replicas_with_state,
+        needed,
+        recoverable_from_replicas: replicas_with_state >= needed,
+    }
+}
+
+/// Rebuilds a fresh master state from direct field polls — the recovery
+/// path *only* a cyber-physical system has. Each `(scenario, positions)`
+/// pair comes from polling that scenario's PLC through its proxy.
+pub fn rebuild_from_field(polls: &[(String, Vec<bool>)]) -> ScadaState {
+    let mut state = ScadaState::new();
+    for (scenario, positions) in polls {
+        state.apply(&ScadaUpdate::FieldRebaseline {
+            scenario: scenario.clone(),
+            positions: positions.clone(),
+        });
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breach_assessment_thresholds() {
+        let c = Config::plant(); // f=1 → need 2
+        assert!(assess(c, 2).recoverable_from_replicas);
+        assert!(assess(c, 6).recoverable_from_replicas);
+        let breached = assess(c, 1);
+        assert!(!breached.recoverable_from_replicas);
+        assert_eq!(breached.needed, 2);
+        assert!(!assess(c, 0).recoverable_from_replicas);
+    }
+
+    #[test]
+    fn rebuild_reflects_device_positions() {
+        let polls = vec![
+            ("jhu".to_string(), vec![true, false, true, true, true, false, true]),
+            ("plant".to_string(), vec![true, true, false]),
+        ];
+        let state = rebuild_from_field(&polls);
+        assert_eq!(
+            state.scenario("jhu").expect("scenario").positions,
+            vec![true, false, true, true, true, false, true]
+        );
+        assert_eq!(state.scenario("plant").expect("scenario").positions, vec![true, true, false]);
+        // The rebuilt state is a valid baseline for further updates.
+        assert_eq!(state.scenario_tags().count(), 2);
+    }
+
+    #[test]
+    fn rebuild_from_nothing_is_empty() {
+        let state = rebuild_from_field(&[]);
+        assert_eq!(state.scenario_tags().count(), 0);
+    }
+}

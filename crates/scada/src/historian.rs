@@ -1,0 +1,126 @@
+//! The SCADA historian (the "PI Server" on the enterprise network in
+//! Figure 3).
+//!
+//! §III-A: "SCADA historians are more similar to traditional database
+//! applications and cannot recover historical state automatically after an
+//! assumption breach." The historian records events append-only; after a
+//! breach wipes it, [`Historian::recover_from_field`] can only restore the
+//! *current* instant — history is gone, by construction.
+
+use simnet::time::SimTime;
+
+/// One archived event.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HistoryRecord {
+    /// When the event was archived.
+    pub at: SimTime,
+    /// Scenario tag.
+    pub scenario: String,
+    /// Event description (e.g. `B57 opened`).
+    pub event: String,
+}
+
+/// Result of attempting post-breach recovery.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FieldRecovery {
+    /// Records reconstructed (only the present snapshot).
+    pub recovered_records: usize,
+    /// Records lost forever.
+    pub lost_records: usize,
+}
+
+/// An append-only event archive.
+#[derive(Clone, Debug, Default)]
+pub struct Historian {
+    records: Vec<HistoryRecord>,
+    /// Count of records lost to breaches (for reporting).
+    pub lost_to_breaches: usize,
+}
+
+impl Historian {
+    /// An empty historian.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Archives an event.
+    pub fn archive(&mut self, at: SimTime, scenario: impl Into<String>, event: impl Into<String>) {
+        self.records.push(HistoryRecord { at, scenario: scenario.into(), event: event.into() });
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[HistoryRecord] {
+        &self.records
+    }
+
+    /// Number of archived records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// An assumption breach destroys the archive.
+    pub fn breach_wipe(&mut self) {
+        self.lost_to_breaches += self.records.len();
+        self.records.clear();
+    }
+
+    /// Post-breach recovery from field devices: the devices know only
+    /// their *current* state, so exactly one snapshot record per scenario
+    /// can be reconstructed — the history itself is unrecoverable.
+    pub fn recover_from_field(
+        &mut self,
+        now: SimTime,
+        field_state: &[(String, Vec<bool>)],
+    ) -> FieldRecovery {
+        let lost = self.lost_to_breaches;
+        for (scenario, positions) in field_state {
+            let summary: Vec<String> = positions
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| format!("b{i}={}", if c { "closed" } else { "open" }))
+                .collect();
+            self.archive(now, scenario.clone(), format!("post-breach snapshot: {}", summary.join(" ")));
+        }
+        FieldRecovery { recovered_records: field_state.len(), lost_records: lost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archive_and_read() {
+        let mut h = Historian::new();
+        assert!(h.is_empty());
+        h.archive(SimTime(1), "jhu", "B57 opened");
+        h.archive(SimTime(2), "jhu", "B57 closed");
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.records()[0].event, "B57 opened");
+    }
+
+    #[test]
+    fn breach_destroys_history_recovery_restores_only_present() {
+        let mut h = Historian::new();
+        for i in 0..100 {
+            h.archive(SimTime(i), "plant", format!("event {i}"));
+        }
+        h.breach_wipe();
+        assert!(h.is_empty());
+        let result = h.recover_from_field(
+            SimTime(1_000),
+            &[("plant".to_string(), vec![true, false, true])],
+        );
+        assert_eq!(result.lost_records, 100);
+        assert_eq!(result.recovered_records, 1);
+        // Only the present snapshot exists now.
+        assert_eq!(h.len(), 1);
+        assert!(h.records()[0].event.contains("post-breach snapshot"));
+        assert!(h.records()[0].event.contains("b1=open"));
+    }
+}

@@ -1,0 +1,232 @@
+//! The SCADA master's application state.
+
+use std::collections::BTreeMap;
+
+use itcrypto::sha256::{Digest, Sha256};
+use simnet::wire::{DecodeError, Reader, Wire, Writer};
+
+use crate::updates::ScadaUpdate;
+
+/// Per-scenario live state.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ScenarioState {
+    /// Last reported breaker positions.
+    pub positions: Vec<bool>,
+    /// Last reported currents.
+    pub currents: Vec<u16>,
+    /// Highest poll sequence applied (stale polls are ignored).
+    pub last_poll_seq: u64,
+    /// Desired breaker states from ordered HMI commands (what the master
+    /// is currently trying to make true in the field).
+    pub desired: BTreeMap<u16, bool>,
+}
+
+impl Wire for ScenarioState {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.positions.len() as u32);
+        for &p in &self.positions {
+            w.put_bool(p);
+        }
+        w.put_u32(self.currents.len() as u32);
+        for &c in &self.currents {
+            w.put_u16(c);
+        }
+        w.put_u64(self.last_poll_seq);
+        w.put_u32(self.desired.len() as u32);
+        for (&b, &v) in &self.desired {
+            w.put_u16(b);
+            w.put_bool(v);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let np = r.get_u32()? as usize;
+        if np > 4096 {
+            return Err(DecodeError::new("positions length"));
+        }
+        let positions = (0..np).map(|_| r.get_bool()).collect::<Result<_, _>>()?;
+        let nc = r.get_u32()? as usize;
+        if nc > 4096 {
+            return Err(DecodeError::new("currents length"));
+        }
+        let currents = (0..nc).map(|_| r.get_u16()).collect::<Result<_, _>>()?;
+        let last_poll_seq = r.get_u64()?;
+        let nd = r.get_u32()? as usize;
+        if nd > 4096 {
+            return Err(DecodeError::new("desired length"));
+        }
+        let mut desired = BTreeMap::new();
+        for _ in 0..nd {
+            let b = r.get_u16()?;
+            let v = r.get_bool()?;
+            desired.insert(b, v);
+        }
+        Ok(ScenarioState { positions, currents, last_poll_seq, desired })
+    }
+}
+
+/// The full master state across scenarios.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ScadaState {
+    scenarios: BTreeMap<String, ScenarioState>,
+    /// Updates executed (part of the digest so replicas at different
+    /// execution points never compare equal).
+    pub executed: u64,
+}
+
+impl ScadaState {
+    /// An empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies one ordered update. Returns whether it changed state.
+    pub fn apply(&mut self, update: &ScadaUpdate) -> bool {
+        self.executed += 1;
+        match update {
+            ScadaUpdate::RtuStatus { scenario, poll_seq, positions, currents } => {
+                let s = self.scenarios.entry(scenario.clone()).or_default();
+                if *poll_seq <= s.last_poll_seq {
+                    return false; // stale poll
+                }
+                s.last_poll_seq = *poll_seq;
+                let changed = s.positions != *positions || s.currents != *currents;
+                s.positions = positions.clone();
+                s.currents = currents.clone();
+                changed
+            }
+            ScadaUpdate::HmiCommand { scenario, breaker, close } => {
+                let s = self.scenarios.entry(scenario.clone()).or_default();
+                s.desired.insert(*breaker, *close);
+                true
+            }
+            ScadaUpdate::FieldRebaseline { scenario, positions } => {
+                let s = self.scenarios.entry(scenario.clone()).or_default();
+                s.positions = positions.clone();
+                s.currents = vec![0; positions.len()];
+                s.desired.clear();
+                true
+            }
+        }
+    }
+
+    /// Live state for a scenario.
+    pub fn scenario(&self, tag: &str) -> Option<&ScenarioState> {
+        self.scenarios.get(tag)
+    }
+
+    /// All scenario tags with state.
+    pub fn scenario_tags(&self) -> impl Iterator<Item = &str> {
+        self.scenarios.keys().map(|s| s.as_str())
+    }
+
+    /// Structural digest over the whole state.
+    pub fn digest(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(&self.executed.to_be_bytes());
+        for (tag, s) in &self.scenarios {
+            h.update(tag.as_bytes());
+            h.update(&s.to_wire());
+        }
+        h.finalize()
+    }
+
+    /// Serializes the full state (application-level state transfer).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.executed);
+        w.put_u32(self.scenarios.len() as u32);
+        for (tag, s) in &self.scenarios {
+            w.put_bytes(tag.as_bytes());
+            s.encode(&mut w);
+        }
+        w.finish().to_vec()
+    }
+
+    /// Restores from a snapshot; empty/invalid input yields an empty state.
+    pub fn restore(snapshot: &[u8]) -> Self {
+        let mut r = Reader::new(snapshot);
+        let mut state = ScadaState::new();
+        let Ok(executed) = r.get_u64() else { return state };
+        let Ok(n) = r.get_u32() else { return state };
+        state.executed = executed;
+        for _ in 0..n {
+            let Ok(tag_bytes) = r.get_bytes() else { return ScadaState::new() };
+            let Ok(tag) = String::from_utf8(tag_bytes) else { return ScadaState::new() };
+            let Ok(s) = ScenarioState::decode(&mut r) else { return ScadaState::new() };
+            state.scenarios.insert(tag, s);
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status(tag: &str, seq: u64, pos: Vec<bool>) -> ScadaUpdate {
+        let currents = pos.iter().map(|&p| if p { 100 } else { 0 }).collect();
+        ScadaUpdate::RtuStatus { scenario: tag.into(), poll_seq: seq, positions: pos, currents }
+    }
+
+    #[test]
+    fn rtu_status_applies_and_stale_ignored() {
+        let mut st = ScadaState::new();
+        assert!(st.apply(&status("jhu", 2, vec![true, false])));
+        assert!(!st.apply(&status("jhu", 1, vec![false, false])), "stale poll ignored");
+        let s = st.scenario("jhu").expect("scenario");
+        assert_eq!(s.positions, vec![true, false]);
+        assert_eq!(s.last_poll_seq, 2);
+        assert_eq!(st.executed, 2);
+    }
+
+    #[test]
+    fn hmi_command_records_desired() {
+        let mut st = ScadaState::new();
+        st.apply(&ScadaUpdate::HmiCommand { scenario: "plant".into(), breaker: 1, close: false });
+        assert_eq!(st.scenario("plant").expect("scenario").desired.get(&1), Some(&false));
+    }
+
+    #[test]
+    fn rebaseline_resets_scenario() {
+        let mut st = ScadaState::new();
+        st.apply(&status("jhu", 5, vec![true, true]));
+        st.apply(&ScadaUpdate::HmiCommand { scenario: "jhu".into(), breaker: 0, close: false });
+        st.apply(&ScadaUpdate::FieldRebaseline { scenario: "jhu".into(), positions: vec![false, true] });
+        let s = st.scenario("jhu").expect("scenario");
+        assert_eq!(s.positions, vec![false, true]);
+        assert!(s.desired.is_empty());
+    }
+
+    #[test]
+    fn digest_distinguishes_states() {
+        let mut a = ScadaState::new();
+        let mut b = ScadaState::new();
+        a.apply(&status("jhu", 1, vec![true]));
+        b.apply(&status("jhu", 1, vec![false]));
+        assert_ne!(a.digest(), b.digest());
+        let mut c = ScadaState::new();
+        c.apply(&status("jhu", 1, vec![true]));
+        assert_eq!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut st = ScadaState::new();
+        st.apply(&status("jhu", 3, vec![true, false, true]));
+        st.apply(&status("gen0", 1, vec![true, true, true]));
+        st.apply(&ScadaUpdate::HmiCommand { scenario: "jhu".into(), breaker: 2, close: false });
+        let restored = ScadaState::restore(&st.snapshot());
+        assert_eq!(restored, st);
+        assert_eq!(restored.digest(), st.digest());
+    }
+
+    #[test]
+    fn restore_from_garbage_is_empty() {
+        let st = ScadaState::restore(&[1, 2, 3]);
+        assert_eq!(st.executed, 0);
+        assert_eq!(st.scenario_tags().count(), 0);
+        let st2 = ScadaState::restore(&[]);
+        assert_eq!(st2, ScadaState::new());
+    }
+}

@@ -1,0 +1,154 @@
+//! The SCADA update vocabulary carried in Prime update payloads.
+
+use simnet::wire::{DecodeError, Reader, Wire, Writer};
+
+/// A SCADA-level update, serialized into [`prime::Update::payload`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ScadaUpdate {
+    /// A field-device status report relayed by a PLC/RTU proxy.
+    RtuStatus {
+        /// Scenario tag (`jhu`, `plant`, `dist3`, `gen0`, ...).
+        scenario: String,
+        /// The proxy's poll sequence (newer polls supersede older).
+        poll_seq: u64,
+        /// Breaker positions (true = closed).
+        positions: Vec<bool>,
+        /// Breaker currents in amps.
+        currents: Vec<u16>,
+    },
+    /// A supervisory command issued by an operator at an HMI.
+    HmiCommand {
+        /// Scenario tag.
+        scenario: String,
+        /// Breaker index.
+        breaker: u16,
+        /// Desired state (true = close).
+        close: bool,
+    },
+    /// A request to re-baseline state from the field (ground-truth
+    /// restart, §III-A) — ordered like any update so all replicas
+    /// rebuild identically.
+    FieldRebaseline {
+        /// Scenario tag.
+        scenario: String,
+        /// Positions read directly from the device.
+        positions: Vec<bool>,
+    },
+}
+
+fn put_str(w: &mut Writer, s: &str) {
+    w.put_bytes(s.as_bytes());
+}
+
+fn get_str(r: &mut Reader<'_>) -> Result<String, DecodeError> {
+    String::from_utf8(r.get_bytes()?).map_err(|_| DecodeError::new("utf8 string"))
+}
+
+fn put_bools(w: &mut Writer, v: &[bool]) {
+    w.put_u32(v.len() as u32);
+    for &b in v {
+        w.put_bool(b);
+    }
+}
+
+fn get_bools(r: &mut Reader<'_>) -> Result<Vec<bool>, DecodeError> {
+    let n = r.get_u32()? as usize;
+    if n > 4096 {
+        return Err(DecodeError::new("bool vec length"));
+    }
+    (0..n).map(|_| r.get_bool()).collect()
+}
+
+impl Wire for ScadaUpdate {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ScadaUpdate::RtuStatus { scenario, poll_seq, positions, currents } => {
+                w.put_u8(0);
+                put_str(w, scenario);
+                w.put_u64(*poll_seq);
+                put_bools(w, positions);
+                w.put_u32(currents.len() as u32);
+                for c in currents {
+                    w.put_u16(*c);
+                }
+            }
+            ScadaUpdate::HmiCommand { scenario, breaker, close } => {
+                w.put_u8(1);
+                put_str(w, scenario);
+                w.put_u16(*breaker);
+                w.put_bool(*close);
+            }
+            ScadaUpdate::FieldRebaseline { scenario, positions } => {
+                w.put_u8(2);
+                put_str(w, scenario);
+                put_bools(w, positions);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.get_u8()? {
+            0 => {
+                let scenario = get_str(r)?;
+                let poll_seq = r.get_u64()?;
+                let positions = get_bools(r)?;
+                let n = r.get_u32()? as usize;
+                if n > 4096 {
+                    return Err(DecodeError::new("currents length"));
+                }
+                let mut currents = Vec::with_capacity(n);
+                for _ in 0..n {
+                    currents.push(r.get_u16()?);
+                }
+                ScadaUpdate::RtuStatus { scenario, poll_seq, positions, currents }
+            }
+            1 => ScadaUpdate::HmiCommand {
+                scenario: get_str(r)?,
+                breaker: r.get_u16()?,
+                close: r.get_bool()?,
+            },
+            2 => ScadaUpdate::FieldRebaseline { scenario: get_str(r)?, positions: get_bools(r)? },
+            _ => return Err(DecodeError::new("scada update tag")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        let updates = [
+            ScadaUpdate::RtuStatus {
+                scenario: "jhu".into(),
+                poll_seq: 42,
+                positions: vec![true, false, true],
+                currents: vec![400, 0, 200],
+            },
+            ScadaUpdate::HmiCommand { scenario: "plant".into(), breaker: 1, close: false },
+            ScadaUpdate::FieldRebaseline { scenario: "gen2".into(), positions: vec![true; 3] },
+        ];
+        for u in updates {
+            assert_eq!(ScadaUpdate::from_wire(&u.to_wire()).expect("roundtrip"), u);
+        }
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(ScadaUpdate::from_wire(&[]).is_err());
+        assert!(ScadaUpdate::from_wire(&[7]).is_err());
+        let good = ScadaUpdate::HmiCommand { scenario: "x".into(), breaker: 0, close: true }.to_wire();
+        assert!(ScadaUpdate::from_wire(&good[..good.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn non_utf8_scenario_rejected() {
+        let mut w = Writer::new();
+        w.put_u8(1);
+        w.put_bytes(&[0xFF, 0xFE]);
+        w.put_u16(0);
+        w.put_bool(true);
+        assert!(ScadaUpdate::from_wire(&w.finish()).is_err());
+    }
+}

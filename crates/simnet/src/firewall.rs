@@ -1,0 +1,189 @@
+//! Per-host firewalls.
+//!
+//! §III-B: "we configured the firewall of each machine to block all incoming
+//! and outgoing traffic other than the specific IP address and port
+//! combinations used by our protocols". [`Firewall::locked_down`] builds
+//! exactly that profile; [`Firewall::open`] models the commercial/enterprise
+//! hosts the red team walked through.
+
+use crate::packet::{Packet, TransportKind};
+use crate::types::{IpAddr, Port};
+
+/// Default verdict when no rule matches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FirewallPolicy {
+    /// Accept unmatched traffic (desktop-style "open philosophy").
+    Accept,
+    /// Silently drop unmatched traffic. No RST, no ICMP — the scanner sees
+    /// nothing, which is the "no visibility into the system" behaviour the
+    /// red team reported against Spire.
+    Drop,
+}
+
+/// A single allow rule: traffic with this peer address and local port.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AllowRule {
+    /// Remote peer address the rule permits (exact match).
+    pub peer: IpAddr,
+    /// Local port the rule permits.
+    pub local_port: Port,
+}
+
+/// Direction of traffic relative to the host.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Arriving at this host.
+    Inbound,
+    /// Leaving this host.
+    Outbound,
+}
+
+/// A host firewall.
+#[derive(Clone, Debug)]
+pub struct Firewall {
+    policy: FirewallPolicy,
+    allow: Vec<AllowRule>,
+    /// Whether IPv6 is enabled. The hardened profile turns it off; the flag
+    /// exists so the hardening-ablation experiment can toggle it (a modelled
+    /// IPv6 attack surface, see `redteam`).
+    pub ipv6_enabled: bool,
+}
+
+impl Firewall {
+    /// A fully open firewall (accept everything) with IPv6 on — the Ubuntu-
+    /// desktop-style default the paper moved away from.
+    pub fn open() -> Self {
+        Firewall { policy: FirewallPolicy::Accept, allow: Vec::new(), ipv6_enabled: true }
+    }
+
+    /// The hardened profile: default-deny both directions, IPv6 off.
+    /// Specific peer/port pairs must be added with [`Firewall::allow`].
+    pub fn locked_down() -> Self {
+        Firewall { policy: FirewallPolicy::Drop, allow: Vec::new(), ipv6_enabled: false }
+    }
+
+    /// Adds an allow rule for a peer/local-port combination (both
+    /// directions; the paper allowlists exact IP-and-port pairs).
+    pub fn allow(&mut self, peer: IpAddr, local_port: Port) -> &mut Self {
+        self.allow.push(AllowRule { peer, local_port });
+        self
+    }
+
+    /// The default policy.
+    pub fn policy(&self) -> FirewallPolicy {
+        self.policy
+    }
+
+    /// Number of explicit allow rules.
+    pub fn rule_count(&self) -> usize {
+        self.allow.len()
+    }
+
+    /// Decides whether `pkt` traveling in `dir` is permitted.
+    ///
+    /// ICMP echo replies and TCP handshake responses for allowed flows are
+    /// covered because the rule matches on the *peer* and the *local* port:
+    /// for inbound traffic the peer is the source, for outbound the
+    /// destination.
+    pub fn permits(&self, dir: Direction, pkt: &Packet) -> bool {
+        if self.policy == FirewallPolicy::Accept {
+            return true;
+        }
+        let (peer, local_port) = match dir {
+            Direction::Inbound => (pkt.src_ip, pkt.dst_port),
+            Direction::Outbound => (pkt.dst_ip, pkt.src_port),
+        };
+        self.allow.iter().any(|r| r.peer == peer && r.local_port == local_port)
+    }
+
+    /// Whether a blocked inbound SYN should elicit a RST (reachable but
+    /// closed) or nothing (default-deny drops silently).
+    pub fn responds_to_blocked_syn(&self) -> bool {
+        self.policy == FirewallPolicy::Accept
+    }
+
+    /// Convenience used by scanners: would a SYN to `local_port` from
+    /// `peer` reach the host's listener check at all?
+    pub fn syn_reaches_host(&self, peer: IpAddr, local_port: Port) -> bool {
+        self.permits(
+            Direction::Inbound,
+            &Packet {
+                src_ip: peer,
+                dst_ip: IpAddr::UNSPECIFIED,
+                src_port: Port(0),
+                dst_port: local_port,
+                kind: TransportKind::TcpSyn,
+                payload: bytes::Bytes::new(),
+            },
+        )
+    }
+}
+
+impl Default for Firewall {
+    fn default() -> Self {
+        Firewall::open()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn pkt(src: IpAddr, dst: IpAddr, sp: u16, dp: u16) -> Packet {
+        Packet::udp(src, dst, Port(sp), Port(dp), Bytes::new())
+    }
+
+    const PEER: IpAddr = IpAddr::new(10, 0, 0, 5);
+    const OTHER: IpAddr = IpAddr::new(10, 0, 0, 9);
+    const ME: IpAddr = IpAddr::new(10, 0, 0, 1);
+
+    #[test]
+    fn open_accepts_everything() {
+        let fw = Firewall::open();
+        assert!(fw.permits(Direction::Inbound, &pkt(OTHER, ME, 1, 2)));
+        assert!(fw.permits(Direction::Outbound, &pkt(ME, OTHER, 3, 4)));
+        assert!(fw.responds_to_blocked_syn());
+        assert!(fw.ipv6_enabled);
+    }
+
+    #[test]
+    fn locked_down_drops_unmatched() {
+        let fw = Firewall::locked_down();
+        assert!(!fw.permits(Direction::Inbound, &pkt(OTHER, ME, 1, 2)));
+        assert!(!fw.permits(Direction::Outbound, &pkt(ME, OTHER, 3, 4)));
+        assert!(!fw.responds_to_blocked_syn());
+        assert!(!fw.ipv6_enabled);
+    }
+
+    #[test]
+    fn allow_rule_matches_inbound_and_outbound() {
+        let mut fw = Firewall::locked_down();
+        fw.allow(PEER, Port(8100));
+        // Inbound: peer is source, local port is destination.
+        assert!(fw.permits(Direction::Inbound, &pkt(PEER, ME, 999, 8100)));
+        // Outbound: peer is destination, local port is source.
+        assert!(fw.permits(Direction::Outbound, &pkt(ME, PEER, 8100, 999)));
+        // Wrong peer or port still dropped.
+        assert!(!fw.permits(Direction::Inbound, &pkt(OTHER, ME, 999, 8100)));
+        assert!(!fw.permits(Direction::Inbound, &pkt(PEER, ME, 999, 8101)));
+    }
+
+    #[test]
+    fn syn_reaches_host_respects_rules() {
+        let mut fw = Firewall::locked_down();
+        fw.allow(PEER, Port(22));
+        assert!(fw.syn_reaches_host(PEER, Port(22)));
+        assert!(!fw.syn_reaches_host(OTHER, Port(22)));
+        assert!(!fw.syn_reaches_host(PEER, Port(23)));
+    }
+
+    #[test]
+    fn rule_count_tracks_additions() {
+        let mut fw = Firewall::locked_down();
+        assert_eq!(fw.rule_count(), 0);
+        fw.allow(PEER, Port(1)).allow(OTHER, Port(2));
+        assert_eq!(fw.rule_count(), 2);
+        assert_eq!(fw.policy(), FirewallPolicy::Drop);
+    }
+}

@@ -1,0 +1,217 @@
+//! Point-to-point links with latency, bandwidth, loss, and up/down state.
+//!
+//! Every attachment in the simulation — NIC to switch port, switch to
+//! switch, or the direct PLC-to-proxy cable from §III-B — is a link. The
+//! bandwidth model (serialization delay plus a bounded transmit queue) is
+//! what makes denial-of-service bursts *mean* something: a flooded link
+//! delays and then drops legitimate frames.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Static link parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// One-way propagation delay.
+    pub latency: SimDuration,
+    /// Capacity in bits per second. `u64::MAX` disables serialization delay.
+    pub bandwidth_bps: u64,
+    /// Independent drop probability per frame in `[0, 1]`.
+    pub loss: f64,
+    /// Maximum backlog (in frames) the transmit queue holds before tail-drop.
+    pub queue_frames: u32,
+}
+
+impl LinkSpec {
+    /// A LAN-like default: 50us latency, 1 Gbps, lossless, 256-frame queue.
+    pub fn lan() -> Self {
+        LinkSpec {
+            latency: SimDuration::from_micros(50),
+            bandwidth_bps: 1_000_000_000,
+            loss: 0.0,
+            queue_frames: 256,
+        }
+    }
+
+    /// A direct physical cable (the PLC-to-proxy wire): 5us, 100 Mbps.
+    pub fn cable() -> Self {
+        LinkSpec {
+            latency: SimDuration::from_micros(5),
+            bandwidth_bps: 100_000_000,
+            loss: 0.0,
+            queue_frames: 64,
+        }
+    }
+
+    /// A WAN-ish link for the enterprise/ISP boundary: 5ms, 100 Mbps.
+    pub fn wan() -> Self {
+        LinkSpec {
+            latency: SimDuration::from_millis(5),
+            bandwidth_bps: 100_000_000,
+            loss: 0.0,
+            queue_frames: 256,
+        }
+    }
+
+    /// Serialization delay for a frame of `bytes` length.
+    pub fn serialization(&self, bytes: usize) -> SimDuration {
+        if self.bandwidth_bps == u64::MAX {
+            return SimDuration::ZERO;
+        }
+        let bits = bytes as u64 * 8;
+        SimDuration::from_micros(bits.saturating_mul(1_000_000) / self.bandwidth_bps)
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec::lan()
+    }
+}
+
+/// Identifies a link in the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct LinkId(pub u32);
+
+/// Per-direction transmit state.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct TxState {
+    /// Time at which the transmitter becomes free.
+    pub busy_until: SimTime,
+    /// Frames currently queued (including the one in flight).
+    pub queued: u32,
+}
+
+/// Runtime state of a link.
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// Static parameters.
+    pub spec: LinkSpec,
+    /// Whether the link is passing traffic.
+    pub up: bool,
+    pub(crate) tx_ab: TxState,
+    pub(crate) tx_ba: TxState,
+    /// Frames dropped due to queue overflow (per link, both directions).
+    pub overflow_drops: u64,
+    /// Frames dropped by random loss.
+    pub loss_drops: u64,
+}
+
+impl Link {
+    /// Creates an idle link from a spec.
+    pub fn new(spec: LinkSpec) -> Self {
+        Link {
+            spec,
+            up: true,
+            tx_ab: TxState::default(),
+            tx_ba: TxState::default(),
+            overflow_drops: 0,
+            loss_drops: 0,
+        }
+    }
+
+    /// Computes the arrival time for a frame of `bytes` entering the given
+    /// direction at `now`, updating queue state. Returns `None` if the frame
+    /// is tail-dropped.
+    pub(crate) fn schedule(
+        &mut self,
+        a_to_b: bool,
+        bytes: usize,
+        now: SimTime,
+    ) -> Option<SimTime> {
+        if !self.up {
+            return None;
+        }
+        let spec = self.spec;
+        let tx = if a_to_b { &mut self.tx_ab } else { &mut self.tx_ba };
+        // Drain logically completed transmissions.
+        if tx.busy_until <= now {
+            tx.queued = 0;
+        }
+        if tx.queued >= spec.queue_frames {
+            self.overflow_drops += 1;
+            return None;
+        }
+        let start = tx.busy_until.max(now);
+        let done = start + spec.serialization(bytes);
+        tx.busy_until = done;
+        tx.queued += 1;
+        Some(done + spec.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_delay() {
+        let spec = LinkSpec { bandwidth_bps: 1_000_000, ..LinkSpec::lan() };
+        // 125 bytes = 1000 bits at 1 Mbps = 1000us.
+        assert_eq!(spec.serialization(125), SimDuration::from_micros(1000));
+        let inf = LinkSpec { bandwidth_bps: u64::MAX, ..LinkSpec::lan() };
+        assert_eq!(inf.serialization(1_000_000), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn idle_link_delivers_after_latency_plus_serialization() {
+        let mut link = Link::new(LinkSpec {
+            latency: SimDuration::from_micros(100),
+            bandwidth_bps: 8_000_000, // 1 byte/us
+            loss: 0.0,
+            queue_frames: 4,
+        });
+        let arrive = link.schedule(true, 50, SimTime(1000)).expect("delivered");
+        assert_eq!(arrive, SimTime(1000 + 50 + 100));
+    }
+
+    #[test]
+    fn back_to_back_frames_queue() {
+        let mut link = Link::new(LinkSpec {
+            latency: SimDuration::ZERO,
+            bandwidth_bps: 8_000_000,
+            loss: 0.0,
+            queue_frames: 4,
+        });
+        let t1 = link.schedule(true, 100, SimTime(0)).expect("first");
+        let t2 = link.schedule(true, 100, SimTime(0)).expect("second");
+        assert_eq!(t1, SimTime(100));
+        assert_eq!(t2, SimTime(200));
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut link = Link::new(LinkSpec {
+            latency: SimDuration::ZERO,
+            bandwidth_bps: 8_000_000,
+            loss: 0.0,
+            queue_frames: 2,
+        });
+        assert!(link.schedule(true, 1000, SimTime(0)).is_some());
+        assert!(link.schedule(true, 1000, SimTime(0)).is_some());
+        assert!(link.schedule(true, 1000, SimTime(0)).is_none());
+        assert_eq!(link.overflow_drops, 1);
+        // After the backlog clears, new frames pass again.
+        assert!(link.schedule(true, 1000, SimTime(10_000)).is_some());
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut link = Link::new(LinkSpec {
+            latency: SimDuration::ZERO,
+            bandwidth_bps: 8_000_000,
+            loss: 0.0,
+            queue_frames: 1,
+        });
+        assert!(link.schedule(true, 1000, SimTime(0)).is_some());
+        // Opposite direction has its own queue.
+        assert!(link.schedule(false, 1000, SimTime(0)).is_some());
+        assert!(link.schedule(true, 1000, SimTime(0)).is_none());
+    }
+
+    #[test]
+    fn down_link_drops_everything() {
+        let mut link = Link::new(LinkSpec::lan());
+        link.up = false;
+        assert!(link.schedule(true, 10, SimTime(0)).is_none());
+    }
+}

@@ -1,0 +1,177 @@
+//! Frames and packets.
+//!
+//! A [`Frame`] is the layer-2 unit (MAC addresses + an [`EtherPayload`]);
+//! a [`Packet`] is the layer-3/4 unit carried inside a data frame. The
+//! simulator routes frames; host firewalls and processes see packets.
+
+use bytes::Bytes;
+
+use crate::types::{IpAddr, MacAddr, Port};
+
+/// Transport-layer semantics of a packet.
+///
+/// The simulator models just enough of TCP to express the red team's port
+/// scans (SYN probing, RST vs. silent drop) — everything else is datagrams.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TransportKind {
+    /// Datagram traffic (all Spines / Prime / Modbus-TCP-ish traffic is
+    /// modeled as datagrams with application-level reliability).
+    Udp,
+    /// TCP connection-probe (SYN) — used by port scanners.
+    TcpSyn,
+    /// TCP SYN-ACK — an open port's answer to a SYN.
+    TcpSynAck,
+    /// TCP RST — a closed-but-reachable port's answer to a SYN.
+    TcpRst,
+    /// ICMP echo request.
+    Ping,
+    /// ICMP echo reply.
+    Pong,
+}
+
+/// A layer-3/4 packet.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Packet {
+    /// Source IP (may be spoofed by adversaries).
+    pub src_ip: IpAddr,
+    /// Destination IP.
+    pub dst_ip: IpAddr,
+    /// Source port.
+    pub src_port: Port,
+    /// Destination port.
+    pub dst_port: Port,
+    /// Transport semantics.
+    pub kind: TransportKind,
+    /// Application payload (often ciphertext).
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Builds a UDP-style datagram.
+    pub fn udp(src_ip: IpAddr, dst_ip: IpAddr, src_port: Port, dst_port: Port, payload: Bytes) -> Self {
+        Packet { src_ip, dst_ip, src_port, dst_port, kind: TransportKind::Udp, payload }
+    }
+
+    /// Builds a TCP SYN probe with an empty payload.
+    pub fn syn(src_ip: IpAddr, dst_ip: IpAddr, src_port: Port, dst_port: Port) -> Self {
+        Packet { src_ip, dst_ip, src_port, dst_port, kind: TransportKind::TcpSyn, payload: Bytes::new() }
+    }
+
+    /// Wire size in bytes: a nominal 42-byte header plus payload.
+    pub fn wire_size(&self) -> usize {
+        42 + self.payload.len()
+    }
+}
+
+/// ARP operation carried by an ARP frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArpOp {
+    /// "Who has `target_ip`? Tell `sender_ip`."
+    Request,
+    /// "`sender_ip` is at `sender_mac`." Unsolicited replies are gratuitous
+    /// ARP — the poisoning vector.
+    Reply,
+}
+
+/// An ARP frame body.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ArpBody {
+    /// Request or reply.
+    pub op: ArpOp,
+    /// Sender protocol address.
+    pub sender_ip: IpAddr,
+    /// Sender hardware address (what poisoning forges).
+    pub sender_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: IpAddr,
+}
+
+/// What a frame carries.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EtherPayload {
+    /// An IP packet.
+    Ip(Packet),
+    /// An ARP message.
+    Arp(ArpBody),
+}
+
+/// A layer-2 frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Frame {
+    /// Source MAC (spoofable by adversaries with raw access).
+    pub src_mac: MacAddr,
+    /// Destination MAC, possibly broadcast.
+    pub dst_mac: MacAddr,
+    /// The payload.
+    pub payload: EtherPayload,
+}
+
+impl Frame {
+    /// Wire size in bytes (14-byte Ethernet header + payload).
+    pub fn wire_size(&self) -> usize {
+        14 + match &self.payload {
+            EtherPayload::Ip(p) => p.wire_size(),
+            EtherPayload::Arp(_) => 28,
+        }
+    }
+
+    /// Convenience accessor: the IP packet, if this is a data frame.
+    pub fn packet(&self) -> Option<&Packet> {
+        match &self.payload {
+            EtherPayload::Ip(p) => Some(p),
+            EtherPayload::Arp(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NodeId;
+
+    #[test]
+    fn packet_constructors() {
+        let p = Packet::udp(
+            IpAddr::new(10, 0, 0, 1),
+            IpAddr::new(10, 0, 0, 2),
+            Port(100),
+            Port(200),
+            Bytes::from_static(b"hi"),
+        );
+        assert_eq!(p.kind, TransportKind::Udp);
+        assert_eq!(p.wire_size(), 44);
+
+        let s = Packet::syn(IpAddr::new(1, 1, 1, 1), IpAddr::new(2, 2, 2, 2), Port(5), Port(22));
+        assert_eq!(s.kind, TransportKind::TcpSyn);
+        assert!(s.payload.is_empty());
+    }
+
+    #[test]
+    fn frame_sizes_and_accessors() {
+        let mac_a = MacAddr::derived(NodeId(1), 0);
+        let mac_b = MacAddr::derived(NodeId(2), 0);
+        let pkt = Packet::udp(
+            IpAddr::new(10, 0, 0, 1),
+            IpAddr::new(10, 0, 0, 2),
+            Port(1),
+            Port(2),
+            Bytes::from_static(&[0u8; 10]),
+        );
+        let f = Frame { src_mac: mac_a, dst_mac: mac_b, payload: EtherPayload::Ip(pkt.clone()) };
+        assert_eq!(f.wire_size(), 14 + 42 + 10);
+        assert_eq!(f.packet(), Some(&pkt));
+
+        let arp = Frame {
+            src_mac: mac_a,
+            dst_mac: MacAddr::BROADCAST,
+            payload: EtherPayload::Arp(ArpBody {
+                op: ArpOp::Request,
+                sender_ip: IpAddr::new(10, 0, 0, 1),
+                sender_mac: mac_a,
+                target_ip: IpAddr::new(10, 0, 0, 2),
+            }),
+        };
+        assert_eq!(arp.wire_size(), 42);
+        assert!(arp.packet().is_none());
+    }
+}

@@ -1,0 +1,1096 @@
+//! The simulation engine: world state, event queue, and delivery semantics.
+
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::arp::{ArpMode, ArpTable};
+use crate::capture::{PacketRecord, Tap, TapId};
+use crate::firewall::{Direction, Firewall};
+use crate::link::{Link, LinkId, LinkSpec};
+use crate::packet::{ArpBody, ArpOp, EtherPayload, Frame, Packet, TransportKind};
+use crate::process::{Action, Context, Process};
+use crate::switch::{Forward, Switch, SwitchId, SwitchMode};
+use crate::time::{SimDuration, SimTime};
+use crate::types::{IpAddr, MacAddr, NodeId, Port};
+
+/// Where a link terminates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EndpointRef {
+    /// A node interface.
+    Nic {
+        /// The node.
+        node: NodeId,
+        /// Interface index on the node.
+        ifidx: usize,
+    },
+    /// A switch port.
+    SwitchPort {
+        /// The switch.
+        switch: SwitchId,
+        /// Port index on the switch.
+        port: usize,
+    },
+}
+
+/// Configuration for one interface of a new node.
+#[derive(Clone, Debug)]
+pub struct InterfaceSpec {
+    /// The interface's IP address.
+    pub ip: IpAddr,
+    /// Static (hardened) or dynamic (poisonable) ARP.
+    pub arp_mode: ArpMode,
+}
+
+impl InterfaceSpec {
+    /// Convenience: an interface with dynamic ARP.
+    pub fn dynamic(ip: IpAddr) -> Self {
+        InterfaceSpec { ip, arp_mode: ArpMode::Dynamic }
+    }
+
+    /// Convenience: an interface with static ARP.
+    pub fn static_arp(ip: IpAddr) -> Self {
+        InterfaceSpec { ip, arp_mode: ArpMode::Static }
+    }
+}
+
+/// Configuration for a new node.
+pub struct NodeSpec {
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// Host firewall.
+    pub firewall: Firewall,
+    /// Interfaces to create.
+    pub interfaces: Vec<InterfaceSpec>,
+    /// The hosted process.
+    pub process: Box<dyn Process>,
+    /// Whether the NIC delivers frames not addressed to it (attacker boxes).
+    pub promiscuous: bool,
+    /// The misfeature §III-B disables: answer ARP requests for IPs that
+    /// belong to *other* NICs on this machine.
+    pub answers_arp_for_other_ifaces: bool,
+    /// Strong-host model (strict reverse-path/interface binding): accept a
+    /// packet only if its destination IP belongs to the *arrival*
+    /// interface. Part of the §III-B host hardening; commodity hosts run
+    /// the weak-host model (false).
+    pub strict_interface_binding: bool,
+}
+
+impl NodeSpec {
+    /// A standard host: given interfaces, open firewall, not promiscuous,
+    /// with the ARP cross-answer misfeature *enabled* (the OS default the
+    /// paper had to turn off).
+    pub fn new(name: impl Into<String>, interfaces: Vec<InterfaceSpec>, process: Box<dyn Process>) -> Self {
+        NodeSpec {
+            name: name.into(),
+            firewall: Firewall::open(),
+            interfaces,
+            process,
+            promiscuous: false,
+            answers_arp_for_other_ifaces: true,
+            strict_interface_binding: false,
+        }
+    }
+
+    /// Applies the full §III-B host hardening: locked-down firewall (caller
+    /// adds allow rules), static ARP, no cross-interface ARP answers.
+    pub fn hardened(mut self) -> Self {
+        self.firewall = Firewall::locked_down();
+        self.answers_arp_for_other_ifaces = false;
+        self.strict_interface_binding = true;
+        for i in &mut self.interfaces {
+            i.arp_mode = ArpMode::Static;
+        }
+        self
+    }
+}
+
+struct Interface {
+    mac: MacAddr,
+    ip: IpAddr,
+    arp: ArpTable,
+    link: Option<LinkId>,
+    /// Packets parked while dynamic ARP resolves their next hop.
+    pending: BTreeMap<IpAddr, Vec<Packet>>,
+}
+
+struct Node {
+    #[allow(dead_code)]
+    name: String,
+    firewall: Firewall,
+    interfaces: Vec<Interface>,
+    listeners: BTreeSet<Port>,
+    process: Option<Box<dyn Process>>,
+    promiscuous: bool,
+    answers_arp_for_other_ifaces: bool,
+    strict_interface_binding: bool,
+    up: bool,
+    /// Bumped on process replacement; stale Start/Timer events are dropped.
+    generation: u32,
+    /// Inbound packets the firewall silently dropped.
+    pub firewall_drops: u64,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    FrameAt { to: EndpointRef, frame: Frame },
+    Timer { node: NodeId, timer: u64, generation: u32 },
+    Start { node: NodeId, generation: u32 },
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Aggregate counters for a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Frames handed to links.
+    pub frames_sent: u64,
+    /// Frames delivered to an endpoint.
+    pub frames_delivered: u64,
+    /// Frames dropped (loss, queues, down links/nodes, switch drops).
+    pub frames_dropped: u64,
+    /// Packets delivered to processes.
+    pub packets_to_process: u64,
+    /// Inbound packets dropped by host firewalls.
+    pub firewall_drops: u64,
+    /// ARP learn attempts rejected by static tables.
+    pub arp_rejected: u64,
+}
+
+/// The simulation world and scheduler.
+pub struct Simulation {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Event>,
+    nodes: Vec<Node>,
+    switches: Vec<Switch>,
+    links: Vec<(Link, EndpointRef, EndpointRef)>,
+    taps: Vec<(Tap, SwitchId)>,
+    rng: StdRng,
+    logs: Vec<(SimTime, NodeId, String)>,
+    stats: SimStats,
+}
+
+impl Simulation {
+    /// Creates an empty simulation with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            switches: Vec::new(),
+            links: Vec::new(),
+            taps: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            logs: Vec::new(),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// All log lines emitted so far as `(time, node, line)`.
+    pub fn logs(&self) -> &[(SimTime, NodeId, String)] {
+        &self.logs
+    }
+
+    /// Adds a node; MACs are derived deterministically. Schedules its
+    /// `on_start` at the current time.
+    pub fn add_node(&mut self, spec: NodeSpec) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let interfaces = spec
+            .interfaces
+            .into_iter()
+            .enumerate()
+            .map(|(i, ispec)| Interface {
+                mac: MacAddr::derived(id, i as u8),
+                ip: ispec.ip,
+                arp: ArpTable::new(ispec.arp_mode),
+                link: None,
+                pending: BTreeMap::new(),
+            })
+            .collect();
+        self.nodes.push(Node {
+            name: spec.name,
+            firewall: spec.firewall,
+            interfaces,
+            listeners: BTreeSet::new(),
+            process: Some(spec.process),
+            promiscuous: spec.promiscuous,
+            answers_arp_for_other_ifaces: spec.answers_arp_for_other_ifaces,
+            strict_interface_binding: spec.strict_interface_binding,
+            up: true,
+            generation: 0,
+            firewall_drops: 0,
+        });
+        self.push_event(self.now, EventKind::Start { node: id, generation: 0 });
+        id
+    }
+
+    /// Adds a switch.
+    pub fn add_switch(&mut self, port_count: usize, mode: SwitchMode) -> SwitchId {
+        let id = SwitchId(self.switches.len() as u32);
+        self.switches.push(Switch::new(id, port_count, mode));
+        id
+    }
+
+    /// Attaches a capture tap (span port) to a switch.
+    pub fn add_tap(&mut self, switch: SwitchId) -> TapId {
+        let id = TapId(self.taps.len() as u32);
+        self.taps.push((Tap::new(), switch));
+        self.switches[switch.0 as usize].taps.push(id);
+        id
+    }
+
+    /// Read access to a tap's records.
+    pub fn tap(&self, tap: TapId) -> &Tap {
+        &self.taps[tap.0 as usize].0
+    }
+
+    /// Drains a tap's buffered records.
+    pub fn drain_tap(&mut self, tap: TapId) -> Vec<PacketRecord> {
+        self.taps[tap.0 as usize].0.drain()
+    }
+
+    /// Connects a node interface to a switch port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either side is already connected or indices are invalid.
+    pub fn connect(&mut self, node: NodeId, ifidx: usize, switch: SwitchId, port: usize, spec: LinkSpec) -> LinkId {
+        assert!(self.nodes[node.0 as usize].interfaces[ifidx].link.is_none(), "interface already connected");
+        assert!(self.switches[switch.0 as usize].ports[port].is_none(), "switch port already connected");
+        let id = LinkId(self.links.len() as u32);
+        let a = EndpointRef::Nic { node, ifidx };
+        let b = EndpointRef::SwitchPort { switch, port };
+        self.links.push((Link::new(spec), a, b));
+        self.nodes[node.0 as usize].interfaces[ifidx].link = Some(id);
+        self.switches[switch.0 as usize].ports[port] = Some(id);
+        id
+    }
+
+    /// Connects two node interfaces with a direct cable (no switch) — the
+    /// paper's PLC-to-proxy wire.
+    pub fn connect_direct(&mut self, a: (NodeId, usize), b: (NodeId, usize), spec: LinkSpec) -> LinkId {
+        assert!(self.nodes[a.0 .0 as usize].interfaces[a.1].link.is_none(), "interface already connected");
+        assert!(self.nodes[b.0 .0 as usize].interfaces[b.1].link.is_none(), "interface already connected");
+        let id = LinkId(self.links.len() as u32);
+        let ea = EndpointRef::Nic { node: a.0, ifidx: a.1 };
+        let eb = EndpointRef::Nic { node: b.0, ifidx: b.1 };
+        self.links.push((Link::new(spec), ea, eb));
+        self.nodes[a.0 .0 as usize].interfaces[a.1].link = Some(id);
+        self.nodes[b.0 .0 as usize].interfaces[b.1].link = Some(id);
+        id
+    }
+
+    /// Connects two switches (inter-switch trunk, e.g. through a router
+    /// modeled as a plain link between enterprise and operations networks).
+    pub fn connect_switches(&mut self, a: (SwitchId, usize), b: (SwitchId, usize), spec: LinkSpec) -> LinkId {
+        assert!(self.switches[a.0 .0 as usize].ports[a.1].is_none(), "switch port already connected");
+        assert!(self.switches[b.0 .0 as usize].ports[b.1].is_none(), "switch port already connected");
+        let id = LinkId(self.links.len() as u32);
+        let ea = EndpointRef::SwitchPort { switch: a.0, port: a.1 };
+        let eb = EndpointRef::SwitchPort { switch: b.0, port: b.1 };
+        self.links.push((Link::new(spec), ea, eb));
+        self.switches[a.0 .0 as usize].ports[a.1] = Some(id);
+        self.switches[b.0 .0 as usize].ports[b.1] = Some(id);
+        id
+    }
+
+    /// Installs a static ARP entry on a node interface.
+    pub fn install_arp(&mut self, node: NodeId, ifidx: usize, ip: IpAddr, mac: MacAddr) {
+        self.nodes[node.0 as usize].interfaces[ifidx].arp.install(ip, mac);
+    }
+
+    /// The derived MAC of a node interface.
+    pub fn mac_of(&self, node: NodeId, ifidx: usize) -> MacAddr {
+        self.nodes[node.0 as usize].interfaces[ifidx].mac
+    }
+
+    /// The IP of a node interface.
+    pub fn ip_of(&self, node: NodeId, ifidx: usize) -> IpAddr {
+        self.nodes[node.0 as usize].interfaces[ifidx].ip
+    }
+
+    /// Takes a node up or down (crash / power off). Down nodes drop all
+    /// frames and timers.
+    pub fn set_node_up(&mut self, node: NodeId, up: bool) {
+        self.nodes[node.0 as usize].up = up;
+    }
+
+    /// Whether a node is up.
+    pub fn node_up(&self, node: NodeId) -> bool {
+        self.nodes[node.0 as usize].up
+    }
+
+    /// Takes a link up or down.
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        self.links[link.0 as usize].0.up = up;
+    }
+
+    /// Replaces a node's process (proactive recovery installs a fresh,
+    /// rediversified replica). Schedules `on_start` for the new process.
+    pub fn replace_process(&mut self, node: NodeId, process: Box<dyn Process>) {
+        let n = &mut self.nodes[node.0 as usize];
+        n.process = Some(process);
+        n.generation += 1;
+        let generation = n.generation;
+        self.push_event(self.now, EventKind::Start { node, generation });
+    }
+
+    /// Immutable access to a node's process, downcast to `T`.
+    pub fn process_ref<T: Process>(&self, node: NodeId) -> Option<&T> {
+        let p = self.nodes[node.0 as usize].process.as_deref()?;
+        (p as &dyn std::any::Any).downcast_ref::<T>()
+    }
+
+    /// Mutable access to a node's process, downcast to `T`.
+    ///
+    /// Mutating process state from outside the event loop is reserved for
+    /// test setup and attacker "hands-on-keyboard" actions.
+    pub fn process_mut<T: Process>(&mut self, node: NodeId) -> Option<&mut T> {
+        let p = self.nodes[node.0 as usize].process.as_deref_mut()?;
+        (p as &mut dyn std::any::Any).downcast_mut::<T>()
+    }
+
+    /// A node's static switch-facing state: count of inbound firewall drops.
+    pub fn firewall_drops(&self, node: NodeId) -> u64 {
+        self.nodes[node.0 as usize].firewall_drops
+    }
+
+    /// Count of ARP learn attempts rejected by a node interface (evidence
+    /// of poisoning attempts bouncing off static tables).
+    pub fn arp_rejections(&self, node: NodeId, ifidx: usize) -> u64 {
+        self.nodes[node.0 as usize].interfaces[ifidx].arp.rejected_updates
+    }
+
+    /// Resolves an IP in a node interface's ARP table (diagnostics: lets
+    /// experiments check what a host — or an attacker — has learned).
+    pub fn arp_entry(&self, node: NodeId, ifidx: usize, ip: IpAddr) -> Option<MacAddr> {
+        self.nodes[node.0 as usize].interfaces[ifidx].arp.resolve(ip)
+    }
+
+    /// Reads a switch's counters.
+    pub fn switch(&self, id: SwitchId) -> &Switch {
+        &self.switches[id.0 as usize]
+    }
+
+    /// Authorizes `mac` on `port` of a static switch (the operator — or an
+    /// attacker with physical access to patch panels — amending the static
+    /// MAC-to-port map). No-op for learning switches.
+    pub fn authorize_switch_port(&mut self, id: SwitchId, mac: MacAddr, port: usize) {
+        if let SwitchMode::Static { map, .. } = &mut self.switches[id.0 as usize].mode {
+            map.insert(mac, port);
+        }
+    }
+
+    /// Runs until the event queue is empty or `deadline` is passed.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.now = ev.at;
+            self.dispatch(ev.kind);
+            n += 1;
+        }
+        // Time always advances to the deadline even if the queue drained.
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        n
+    }
+
+    /// Runs for `dur` beyond the current time.
+    pub fn run_for(&mut self, dur: SimDuration) -> u64 {
+        let deadline = self.now + dur;
+        self.run_until(deadline)
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { at, seq, kind });
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Start { node, generation } => {
+                if self.nodes[node.0 as usize].generation == generation {
+                    self.call_process(node, |p, ctx| p.on_start(ctx));
+                }
+            }
+            EventKind::Timer { node, timer, generation } => {
+                let n = &self.nodes[node.0 as usize];
+                if n.up && n.generation == generation {
+                    self.call_process(node, |p, ctx| p.on_timer(ctx, timer));
+                }
+            }
+            EventKind::FrameAt { to, frame } => match to {
+                EndpointRef::SwitchPort { switch, port } => self.frame_at_switch(switch, port, frame),
+                EndpointRef::Nic { node, ifidx } => self.frame_at_nic(node, ifidx, frame),
+            },
+        }
+    }
+
+    /// Invokes a process callback with a fresh [`Context`], then applies the
+    /// buffered actions.
+    fn call_process<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Process, &mut Context<'_>),
+    {
+        let Some(mut process) = self.nodes[node.0 as usize].process.take() else {
+            return;
+        };
+        let interfaces: Vec<(MacAddr, IpAddr)> = self.nodes[node.0 as usize]
+            .interfaces
+            .iter()
+            .map(|i| (i.mac, i.ip))
+            .collect();
+        let mut actions = Vec::new();
+        {
+            let mut ctx = Context {
+                node,
+                now: self.now,
+                interfaces: &interfaces,
+                actions: &mut actions,
+                rng: &mut self.rng,
+            };
+            f(process.as_mut(), &mut ctx);
+        }
+        // Only put the process back if nothing replaced it meanwhile
+        // (replace_process cannot run during dispatch, so this is safe).
+        self.nodes[node.0 as usize].process = Some(process);
+        self.apply_actions(node, actions);
+    }
+
+    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::SendPacket { ifidx, packet } => self.host_send(node, ifidx, packet),
+                Action::SendRawFrame { ifidx, frame } => {
+                    self.transmit_from_nic(node, ifidx, frame);
+                }
+                Action::SetTimer { delay, timer } => {
+                    let at = self.now + delay;
+                    let generation = self.nodes[node.0 as usize].generation;
+                    self.push_event(at, EventKind::Timer { node, timer, generation });
+                }
+                Action::Listen(port) => {
+                    self.nodes[node.0 as usize].listeners.insert(port);
+                }
+                Action::Unlisten(port) => {
+                    self.nodes[node.0 as usize].listeners.remove(&port);
+                }
+                Action::Log(line) => {
+                    self.logs.push((self.now, node, line));
+                }
+            }
+        }
+    }
+
+    /// The normal host send path: outbound firewall, ARP resolution, frame
+    /// construction, transmission.
+    fn host_send(&mut self, node: NodeId, ifidx: usize, packet: Packet) {
+        {
+            let n = &mut self.nodes[node.0 as usize];
+            if !n.up {
+                return;
+            }
+            if !n.firewall.permits(Direction::Outbound, &packet) {
+                n.firewall_drops += 1;
+                self.stats.firewall_drops += 1;
+                return;
+            }
+        }
+        let dst_ip = packet.dst_ip;
+        if dst_ip == IpAddr::BROADCAST {
+            let src_mac = self.nodes[node.0 as usize].interfaces[ifidx].mac;
+            let frame = Frame { src_mac, dst_mac: MacAddr::BROADCAST, payload: EtherPayload::Ip(packet) };
+            self.transmit_from_nic(node, ifidx, frame);
+            return;
+        }
+        let (resolved, src_mac, src_ip) = {
+            let iface = &self.nodes[node.0 as usize].interfaces[ifidx];
+            (iface.arp.resolve(dst_ip), iface.mac, iface.ip)
+        };
+        match resolved {
+            Some(dst_mac) => {
+                let frame = Frame { src_mac, dst_mac, payload: EtherPayload::Ip(packet) };
+                self.transmit_from_nic(node, ifidx, frame);
+            }
+            None => {
+                let iface = &mut self.nodes[node.0 as usize].interfaces[ifidx];
+                if iface.arp.mode() == ArpMode::Static {
+                    // Hardened host: unknown peers are unreachable, full stop.
+                    self.stats.frames_dropped += 1;
+                    return;
+                }
+                // One in-flight ARP resolution per destination: further
+                // packets just park on the pending queue (hosts do not
+                // emit one ARP request per queued datagram).
+                let resolution_in_flight = iface.pending.contains_key(&dst_ip);
+                iface.pending.entry(dst_ip).or_default().push(packet);
+                if resolution_in_flight {
+                    return;
+                }
+                let frame = Frame {
+                    src_mac,
+                    dst_mac: MacAddr::BROADCAST,
+                    payload: EtherPayload::Arp(ArpBody {
+                        op: ArpOp::Request,
+                        sender_ip: src_ip,
+                        sender_mac: src_mac,
+                        target_ip: dst_ip,
+                    }),
+                };
+                self.transmit_from_nic(node, ifidx, frame);
+            }
+        }
+    }
+
+    fn transmit_from_nic(&mut self, node: NodeId, ifidx: usize, frame: Frame) {
+        if !self.nodes[node.0 as usize].up {
+            return;
+        }
+        let Some(link_id) = self.nodes[node.0 as usize].interfaces[ifidx].link else {
+            self.stats.frames_dropped += 1;
+            return;
+        };
+        let from = EndpointRef::Nic { node, ifidx };
+        self.transmit(link_id, from, frame);
+    }
+
+    fn transmit(&mut self, link_id: LinkId, from: EndpointRef, frame: Frame) {
+        self.stats.frames_sent += 1;
+        let (link, a, b) = &mut self.links[link_id.0 as usize];
+        let a_to_b = *a == from;
+        debug_assert!(a_to_b || *b == from, "endpoint not on link");
+        let to = if a_to_b { *b } else { *a };
+        let loss = link.spec.loss;
+        if loss > 0.0 && self.rng.gen::<f64>() < loss {
+            link.loss_drops += 1;
+            self.stats.frames_dropped += 1;
+            return;
+        }
+        match link.schedule(a_to_b, frame.wire_size(), self.now) {
+            Some(arrive) => self.push_event(arrive, EventKind::FrameAt { to, frame }),
+            None => self.stats.frames_dropped += 1,
+        }
+    }
+
+    fn frame_at_switch(&mut self, switch: SwitchId, ingress: usize, frame: Frame) {
+        // Span-port capture sees every frame entering the switch.
+        let tap_ids = self.switches[switch.0 as usize].taps.clone();
+        for tap_id in tap_ids {
+            let rec = PacketRecord::from_frame(self.now, switch, &frame);
+            self.taps[tap_id.0 as usize].0.record(rec);
+        }
+        let decision = self.switches[switch.0 as usize].forward(ingress, frame.src_mac, frame.dst_mac);
+        match decision {
+            Forward::Ports(ports) => {
+                for port in ports {
+                    if let Some(link_id) = self.switches[switch.0 as usize].ports[port] {
+                        let from = EndpointRef::SwitchPort { switch, port };
+                        self.transmit(link_id, from, frame.clone());
+                    }
+                }
+            }
+            Forward::Drop(_) => {
+                self.stats.frames_dropped += 1;
+            }
+        }
+    }
+
+    fn frame_at_nic(&mut self, node: NodeId, ifidx: usize, frame: Frame) {
+        if !self.nodes[node.0 as usize].up {
+            self.stats.frames_dropped += 1;
+            return;
+        }
+        self.stats.frames_delivered += 1;
+        let (my_mac, my_ip) = {
+            let iface = &self.nodes[node.0 as usize].interfaces[ifidx];
+            (iface.mac, iface.ip)
+        };
+        let addressed_to_me = frame.dst_mac == my_mac || frame.dst_mac.is_broadcast();
+        if !addressed_to_me {
+            if self.nodes[node.0 as usize].promiscuous {
+                self.call_process(node, |p, ctx| p.on_promiscuous(ctx, ifidx, &frame));
+            }
+            return;
+        }
+        match frame.payload {
+            EtherPayload::Arp(arp) => self.handle_arp(node, ifidx, my_mac, my_ip, arp),
+            EtherPayload::Ip(packet) => self.handle_ip(node, ifidx, my_mac, my_ip, packet),
+        }
+    }
+
+    fn handle_arp(&mut self, node: NodeId, ifidx: usize, my_mac: MacAddr, my_ip: IpAddr, arp: ArpBody) {
+        match arp.op {
+            ArpOp::Request => {
+                // Opportunistic learn of the requester (dynamic mode only).
+                {
+                    let iface = &mut self.nodes[node.0 as usize].interfaces[ifidx];
+                    if iface.arp.mode() == ArpMode::Dynamic {
+                        iface.arp.learn(arp.sender_ip, arp.sender_mac);
+                    }
+                }
+                let answers_cross = self.nodes[node.0 as usize].answers_arp_for_other_ifaces;
+                let owns_target = arp.target_ip == my_ip
+                    || (answers_cross
+                        && self.nodes[node.0 as usize]
+                            .interfaces
+                            .iter()
+                            .any(|i| i.ip == arp.target_ip));
+                if owns_target {
+                    let reply = Frame {
+                        src_mac: my_mac,
+                        dst_mac: arp.sender_mac,
+                        payload: EtherPayload::Arp(ArpBody {
+                            op: ArpOp::Reply,
+                            sender_ip: arp.target_ip,
+                            sender_mac: my_mac,
+                            target_ip: arp.sender_ip,
+                        }),
+                    };
+                    self.transmit_from_nic(node, ifidx, reply);
+                }
+            }
+            ArpOp::Reply => {
+                let learned = {
+                    let iface = &mut self.nodes[node.0 as usize].interfaces[ifidx];
+                    let before = iface.arp.rejected_updates;
+                    let ok = iface.arp.learn(arp.sender_ip, arp.sender_mac);
+                    if !ok {
+                        self.stats.arp_rejected += iface.arp.rejected_updates - before;
+                    }
+                    ok
+                };
+                if learned {
+                    // Flush packets that were waiting for this resolution.
+                    let ready = self.nodes[node.0 as usize].interfaces[ifidx]
+                        .pending
+                        .remove(&arp.sender_ip)
+                        .unwrap_or_default();
+                    for pkt in ready {
+                        self.host_send(node, ifidx, pkt);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_ip(&mut self, node: NodeId, ifidx: usize, _my_mac: MacAddr, my_ip: IpAddr, packet: Packet) {
+        let is_mine = if self.nodes[node.0 as usize].strict_interface_binding {
+            // Strong-host model: only the arrival interface's own address.
+            packet.dst_ip == my_ip || packet.dst_ip == IpAddr::BROADCAST
+        } else {
+            packet.dst_ip == my_ip
+                || packet.dst_ip == IpAddr::BROADCAST
+                || self.nodes[node.0 as usize].interfaces.iter().any(|i| i.ip == packet.dst_ip)
+        };
+        if !is_mine {
+            // Steered here by a poisoned ARP entry: transit traffic.
+            self.call_process(node, |p, ctx| p.on_transit(ctx, ifidx, packet));
+            return;
+        }
+        let permitted = self.nodes[node.0 as usize].firewall.permits(Direction::Inbound, &packet);
+        if !permitted {
+            let n = &mut self.nodes[node.0 as usize];
+            n.firewall_drops += 1;
+            self.stats.firewall_drops += 1;
+            if packet.kind == TransportKind::TcpSyn && n.firewall.responds_to_blocked_syn() {
+                self.respond(node, ifidx, &packet, TransportKind::TcpRst);
+            }
+            return;
+        }
+        match packet.kind {
+            TransportKind::TcpSyn => {
+                let open = self.nodes[node.0 as usize].listeners.contains(&packet.dst_port);
+                let kind = if open { TransportKind::TcpSynAck } else { TransportKind::TcpRst };
+                self.respond(node, ifidx, &packet, kind);
+                if open {
+                    self.stats.packets_to_process += 1;
+                    self.call_process(node, |p, ctx| p.on_packet(ctx, packet));
+                }
+            }
+            TransportKind::Ping => {
+                self.respond(node, ifidx, &packet, TransportKind::Pong);
+            }
+            _ => {
+                self.stats.packets_to_process += 1;
+                self.call_process(node, |p, ctx| p.on_packet(ctx, packet));
+            }
+        }
+    }
+
+    fn respond(&mut self, node: NodeId, ifidx: usize, to: &Packet, kind: TransportKind) {
+        let my_ip = self.nodes[node.0 as usize].interfaces[ifidx].ip;
+        let reply = Packet {
+            src_ip: my_ip,
+            dst_ip: to.src_ip,
+            src_port: to.dst_port,
+            dst_port: to.src_port,
+            kind,
+            payload: Bytes::new(),
+        };
+        self.host_send(node, ifidx, reply);
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("switches", &self.switches.len())
+            .field("links", &self.links.len())
+            .field("queued_events", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sends one datagram to a peer on start; records everything received.
+    struct Chatter {
+        peer: IpAddr,
+        received: Vec<Packet>,
+        send_on_start: bool,
+    }
+
+    impl Chatter {
+        fn new(peer: IpAddr, send_on_start: bool) -> Box<Self> {
+            Box::new(Chatter { peer, received: Vec::new(), send_on_start })
+        }
+    }
+
+    impl Process for Chatter {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            if self.send_on_start {
+                let pkt = Packet::udp(ctx.ip(0), self.peer, Port(1000), Port(2000), Bytes::from_static(b"hi"));
+                ctx.send(0, pkt);
+            }
+            ctx.listen(Port(2000));
+        }
+
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, pkt: Packet) {
+            self.received.push(pkt);
+        }
+    }
+
+    const IP_A: IpAddr = IpAddr::new(10, 0, 0, 1);
+    const IP_B: IpAddr = IpAddr::new(10, 0, 0, 2);
+
+    fn two_hosts_on_switch(arp: ArpMode) -> (Simulation, NodeId, NodeId) {
+        let mut sim = Simulation::new(1);
+        let spec_a = InterfaceSpec { ip: IP_A, arp_mode: arp };
+        let spec_b = InterfaceSpec { ip: IP_B, arp_mode: arp };
+        let a = sim.add_node(NodeSpec::new("a", vec![spec_a], Chatter::new(IP_B, true)));
+        let b = sim.add_node(NodeSpec::new("b", vec![spec_b], Chatter::new(IP_A, false)));
+        let sw = sim.add_switch(4, SwitchMode::Learning);
+        sim.connect(a, 0, sw, 0, LinkSpec::lan());
+        sim.connect(b, 0, sw, 1, LinkSpec::lan());
+        (sim, a, b)
+    }
+
+    #[test]
+    fn datagram_delivered_via_dynamic_arp() {
+        let (mut sim, _a, b) = two_hosts_on_switch(ArpMode::Dynamic);
+        sim.run_for(SimDuration::from_millis(10));
+        let recv = &sim.process_ref::<Chatter>(b).expect("chatter").received;
+        assert_eq!(recv.len(), 1);
+        assert_eq!(recv[0].payload.as_ref(), b"hi");
+        assert_eq!(recv[0].src_ip, IP_A);
+    }
+
+    #[test]
+    fn static_arp_without_entry_cannot_send() {
+        let (mut sim, _a, b) = two_hosts_on_switch(ArpMode::Static);
+        sim.run_for(SimDuration::from_millis(10));
+        assert!(sim.process_ref::<Chatter>(b).expect("chatter").received.is_empty());
+    }
+
+    #[test]
+    fn static_arp_with_installed_entries_works() {
+        let (mut sim, a, b) = two_hosts_on_switch(ArpMode::Static);
+        let mac_b = sim.mac_of(b, 0);
+        sim.install_arp(a, 0, IP_B, mac_b);
+        // Restart a's process behaviour by re-running start via replace.
+        sim.replace_process(a, Chatter::new(IP_B, true));
+        sim.run_for(SimDuration::from_millis(10));
+        assert_eq!(sim.process_ref::<Chatter>(b).expect("chatter").received.len(), 1);
+    }
+
+    #[test]
+    fn down_node_receives_nothing() {
+        let (mut sim, _a, b) = two_hosts_on_switch(ArpMode::Dynamic);
+        sim.set_node_up(b, false);
+        sim.run_for(SimDuration::from_millis(10));
+        assert!(sim.process_ref::<Chatter>(b).expect("chatter").received.is_empty());
+        sim.set_node_up(b, true);
+        assert!(sim.node_up(b));
+    }
+
+    #[test]
+    fn firewall_blocks_inbound() {
+        let mut sim = Simulation::new(2);
+        let a = sim.add_node(NodeSpec::new("a", vec![InterfaceSpec::dynamic(IP_A)], Chatter::new(IP_B, true)));
+        let mut spec_b = NodeSpec::new("b", vec![InterfaceSpec::dynamic(IP_B)], Chatter::new(IP_A, false));
+        spec_b.firewall = Firewall::locked_down();
+        let b = sim.add_node(spec_b);
+        let sw = sim.add_switch(2, SwitchMode::Learning);
+        sim.connect(a, 0, sw, 0, LinkSpec::lan());
+        sim.connect(b, 0, sw, 1, LinkSpec::lan());
+        sim.run_for(SimDuration::from_millis(10));
+        assert!(sim.process_ref::<Chatter>(b).expect("chatter").received.is_empty());
+        assert_eq!(sim.firewall_drops(b), 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerProc {
+            fired: Vec<u64>,
+        }
+        impl Process for TimerProc {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(5), 2);
+                ctx.set_timer(SimDuration::from_millis(1), 1);
+                ctx.set_timer(SimDuration::from_millis(9), 3);
+            }
+            fn on_timer(&mut self, _ctx: &mut Context<'_>, timer: u64) {
+                self.fired.push(timer);
+            }
+        }
+        let mut sim = Simulation::new(3);
+        let n = sim.add_node(NodeSpec::new(
+            "t",
+            vec![InterfaceSpec::dynamic(IP_A)],
+            Box::new(TimerProc { fired: vec![] }),
+        ));
+        sim.run_for(SimDuration::from_millis(20));
+        assert_eq!(sim.process_ref::<TimerProc>(n).expect("proc").fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_logs() {
+        let run = |seed| {
+            let (mut sim, _a, _b) = two_hosts_on_switch(ArpMode::Dynamic);
+            let _ = seed;
+            sim.run_for(SimDuration::from_millis(10));
+            sim.stats()
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn direct_cable_bypasses_switch() {
+        let mut sim = Simulation::new(4);
+        let a = sim.add_node(NodeSpec::new("plc", vec![InterfaceSpec::dynamic(IP_A)], Chatter::new(IP_B, true)));
+        let b = sim.add_node(NodeSpec::new("proxy", vec![InterfaceSpec::dynamic(IP_B)], Chatter::new(IP_A, false)));
+        sim.connect_direct((a, 0), (b, 0), LinkSpec::cable());
+        sim.run_for(SimDuration::from_millis(10));
+        assert_eq!(sim.process_ref::<Chatter>(b).expect("chatter").received.len(), 1);
+    }
+
+    #[test]
+    fn tap_records_switch_traffic() {
+        let mut sim = Simulation::new(5);
+        let a = sim.add_node(NodeSpec::new("a", vec![InterfaceSpec::dynamic(IP_A)], Chatter::new(IP_B, true)));
+        let b = sim.add_node(NodeSpec::new("b", vec![InterfaceSpec::dynamic(IP_B)], Chatter::new(IP_A, false)));
+        let sw = sim.add_switch(4, SwitchMode::Learning);
+        sim.connect(a, 0, sw, 0, LinkSpec::lan());
+        sim.connect(b, 0, sw, 1, LinkSpec::lan());
+        let tap = sim.add_tap(sw);
+        sim.run_for(SimDuration::from_millis(10));
+        assert!(sim.tap(tap).len() >= 3, "ARP request + reply + data");
+        let drained = sim.drain_tap(tap);
+        assert!(!drained.is_empty());
+        assert!(sim.tap(tap).is_empty());
+    }
+
+    #[test]
+    fn ping_gets_pong() {
+        struct Pinger {
+            peer: IpAddr,
+            pongs: u32,
+        }
+        impl Process for Pinger {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let pkt = Packet {
+                    src_ip: ctx.ip(0),
+                    dst_ip: self.peer,
+                    src_port: Port(0),
+                    dst_port: Port(0),
+                    kind: TransportKind::Ping,
+                    payload: Bytes::new(),
+                };
+                ctx.send(0, pkt);
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, pkt: Packet) {
+                if pkt.kind == TransportKind::Pong {
+                    self.pongs += 1;
+                }
+            }
+        }
+        let mut sim = Simulation::new(6);
+        let a = sim.add_node(NodeSpec::new("a", vec![InterfaceSpec::dynamic(IP_A)], Box::new(Pinger { peer: IP_B, pongs: 0 })));
+        let b = sim.add_node(NodeSpec::new("b", vec![InterfaceSpec::dynamic(IP_B)], Chatter::new(IP_A, false)));
+        let sw = sim.add_switch(2, SwitchMode::Learning);
+        sim.connect(a, 0, sw, 0, LinkSpec::lan());
+        sim.connect(b, 0, sw, 1, LinkSpec::lan());
+        sim.run_for(SimDuration::from_millis(10));
+        assert_eq!(sim.process_ref::<Pinger>(a).expect("pinger").pongs, 1);
+    }
+
+    #[test]
+    fn syn_to_open_port_synack_closed_rst() {
+        struct Scanner {
+            peer: IpAddr,
+            results: Vec<(Port, TransportKind)>,
+        }
+        impl Process for Scanner {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                for port in [2000u16, 2001] {
+                    let pkt = Packet::syn(ctx.ip(0), self.peer, Port(40000), Port(port));
+                    ctx.send(0, pkt);
+                }
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, pkt: Packet) {
+                self.results.push((pkt.src_port, pkt.kind));
+            }
+        }
+        let mut sim = Simulation::new(7);
+        let a = sim.add_node(NodeSpec::new(
+            "scanner",
+            vec![InterfaceSpec::dynamic(IP_A)],
+            Box::new(Scanner { peer: IP_B, results: vec![] }),
+        ));
+        let b = sim.add_node(NodeSpec::new("b", vec![InterfaceSpec::dynamic(IP_B)], Chatter::new(IP_A, false)));
+        let sw = sim.add_switch(2, SwitchMode::Learning);
+        sim.connect(a, 0, sw, 0, LinkSpec::lan());
+        sim.connect(b, 0, sw, 1, LinkSpec::lan());
+        sim.run_for(SimDuration::from_millis(10));
+        let results = &sim.process_ref::<Scanner>(a).expect("scanner").results;
+        assert_eq!(results.len(), 2);
+        let mut sorted = results.clone();
+        sorted.sort_by_key(|(p, _)| p.0);
+        assert_eq!(sorted[0], (Port(2000), TransportKind::TcpSynAck));
+        assert_eq!(sorted[1], (Port(2001), TransportKind::TcpRst));
+    }
+
+    #[test]
+    fn strict_interface_binding_drops_cross_interface_packets() {
+        // Node B has two interfaces; a packet addressed to interface 1's
+        // IP but delivered (via broadcast) to interface 0 is dropped under
+        // the strong-host model and accepted under the weak-host model.
+        struct RawSender {
+            target_ip: IpAddr,
+        }
+        impl Process for RawSender {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let pkt = Packet::udp(ctx.ip(0), self.target_ip, Port(5), Port(2000), Bytes::new());
+                let frame = crate::packet::Frame {
+                    src_mac: ctx.mac(0),
+                    dst_mac: MacAddr::BROADCAST,
+                    payload: crate::packet::EtherPayload::Ip(pkt),
+                };
+                ctx.send_raw(0, frame);
+            }
+        }
+        let other_ip = IpAddr::new(172, 16, 0, 1);
+        for (strict, expect_delivered) in [(true, 0usize), (false, 1usize)] {
+            let mut sim = Simulation::new(31);
+            let a = sim.add_node(NodeSpec::new(
+                "a",
+                vec![InterfaceSpec::dynamic(IP_A)],
+                Box::new(RawSender { target_ip: other_ip }),
+            ));
+            let mut spec_b = NodeSpec::new(
+                "b",
+                vec![InterfaceSpec::dynamic(IP_B), InterfaceSpec::dynamic(other_ip)],
+                Chatter::new(IP_A, false),
+            );
+            spec_b.strict_interface_binding = strict;
+            let b = sim.add_node(spec_b);
+            let sw = sim.add_switch(2, SwitchMode::Learning);
+            sim.connect(a, 0, sw, 0, LinkSpec::lan());
+            sim.connect(b, 0, sw, 1, LinkSpec::lan());
+            sim.run_for(SimDuration::from_millis(10));
+            let got = sim.process_ref::<Chatter>(b).expect("chatter").received.len();
+            assert_eq!(got, expect_delivered, "strict={strict}");
+        }
+    }
+
+    #[test]
+    fn locked_down_target_gives_scanner_nothing() {
+        struct Scanner {
+            peer: IpAddr,
+            responses: u32,
+        }
+        impl Process for Scanner {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                for port in 2000u16..2010 {
+                    ctx.send(0, Packet::syn(ctx.ip(0), self.peer, Port(40000), Port(port)));
+                }
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {
+                self.responses += 1;
+            }
+        }
+        let mut sim = Simulation::new(8);
+        let a = sim.add_node(NodeSpec::new(
+            "scanner",
+            vec![InterfaceSpec::dynamic(IP_A)],
+            Box::new(Scanner { peer: IP_B, responses: 0 }),
+        ));
+        let mut spec_b = NodeSpec::new("b", vec![InterfaceSpec::dynamic(IP_B)], Chatter::new(IP_A, false));
+        spec_b.firewall = Firewall::locked_down();
+        let b = sim.add_node(spec_b);
+        let sw = sim.add_switch(2, SwitchMode::Learning);
+        sim.connect(a, 0, sw, 0, LinkSpec::lan());
+        sim.connect(b, 0, sw, 1, LinkSpec::lan());
+        sim.run_for(SimDuration::from_millis(10));
+        // The red team saw *nothing*: no SYN-ACK, no RST.
+        assert_eq!(sim.process_ref::<Scanner>(a).expect("scanner").responses, 0);
+        assert_eq!(sim.firewall_drops(b), 10);
+    }
+}

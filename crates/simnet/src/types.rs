@@ -1,0 +1,139 @@
+//! Core identifier newtypes: nodes, MAC addresses, IP addresses, ports.
+
+use std::fmt;
+
+/// Identifies a host in the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A 48-bit MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Deterministically derives a MAC from a node id and interface index
+    /// (locally-administered OUI `02:53:50` = "SP" for Spire).
+    pub fn derived(node: NodeId, ifidx: u8) -> MacAddr {
+        let n = node.0.to_be_bytes();
+        MacAddr([0x02, 0x53, 0x50, n[2], n[3], ifidx])
+    }
+
+    /// Whether this is the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+/// An IPv4-style address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IpAddr(pub [u8; 4]);
+
+impl IpAddr {
+    /// The unspecified address `0.0.0.0`.
+    pub const UNSPECIFIED: IpAddr = IpAddr([0, 0, 0, 0]);
+    /// Limited broadcast `255.255.255.255`.
+    pub const BROADCAST: IpAddr = IpAddr([255, 255, 255, 255]);
+
+    /// Builds an address from four octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> IpAddr {
+        IpAddr([a, b, c, d])
+    }
+}
+
+impl fmt::Debug for IpAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+impl fmt::Display for IpAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+impl From<[u8; 4]> for IpAddr {
+    fn from(octets: [u8; 4]) -> Self {
+        IpAddr(octets)
+    }
+}
+
+/// A transport-layer port number.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Port(pub u16);
+
+impl fmt::Debug for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ":{}", self.0)
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_macs_unique_per_node_and_interface() {
+        let a = MacAddr::derived(NodeId(1), 0);
+        let b = MacAddr::derived(NodeId(1), 1);
+        let c = MacAddr::derived(NodeId(2), 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert!(!a.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_broadcast());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(IpAddr::new(10, 0, 1, 2).to_string(), "10.0.1.2");
+        assert_eq!(
+            MacAddr([2, 0x53, 0x50, 0, 1, 0]).to_string(),
+            "02:53:50:00:01:00"
+        );
+        assert_eq!(NodeId(4).to_string(), "node4");
+        assert_eq!(Port(8100).to_string(), "8100");
+    }
+
+    #[test]
+    fn ip_from_octets() {
+        let ip: IpAddr = [192, 168, 1, 1].into();
+        assert_eq!(ip, IpAddr::new(192, 168, 1, 1));
+    }
+}

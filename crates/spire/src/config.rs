@@ -1,0 +1,327 @@
+//! Deployment configuration: identities, keys, overlays, scenarios.
+
+use itcrypto::keys::{KeyPair, KeyRegistry, Principal};
+use plc::topology::Scenario;
+use prime::types::Config as PrimeConfig;
+use simnet::types::{IpAddr, Port};
+use spines::config::{SpinesConfig, SpinesMode};
+
+/// Spines port of the isolated internal (replication) network.
+pub const INTERNAL_SPINES_PORT: Port = Port(8100);
+/// Spines port of the external network.
+pub const EXTERNAL_SPINES_PORT: Port = Port(8120);
+
+/// Spines group carrying Prime protocol messages (internal network).
+pub const GROUP_PRIME: u16 = 1;
+/// Spines group carrying client updates to the masters (external).
+pub const GROUP_MASTERS: u16 = 2;
+/// Base group for per-proxy command delivery: proxy `p` listens on
+/// `GROUP_PROXY_BASE + p`.
+pub const GROUP_PROXY_BASE: u16 = 100;
+/// Base group for per-HMI frame delivery.
+pub const GROUP_HMI_BASE: u16 = 300;
+
+/// Key-generation seed bases (distinct namespaces).
+const REPLICA_SEED: u64 = 0xAA00;
+const PROXY_SEED: u64 = 0xBB00;
+const HMI_SEED: u64 = 0xCC00;
+
+/// One proxied field device.
+#[derive(Clone, Debug)]
+pub struct ProxyAssignment {
+    /// Proxy index (0-based).
+    pub index: u32,
+    /// The scenario/PLC this proxy fronts.
+    pub scenario: Scenario,
+}
+
+/// Full Spire deployment configuration.
+#[derive(Clone, Debug)]
+pub struct SpireConfig {
+    /// Prime fault configuration.
+    pub prime: PrimeConfig,
+    /// Proxied scenarios, one proxy per PLC.
+    pub proxies: Vec<ProxyAssignment>,
+    /// Number of HMIs (the plant deployment had three locations).
+    pub hmis: u32,
+    /// Master secret of the internal Spines network.
+    pub internal_secret: [u8; 32],
+    /// Master secret of the external Spines network.
+    pub external_secret: [u8; 32],
+    /// Breaker-flip cycle armed on HMI 0 at start (§IV-A's "automatic
+    /// update generation tool"): `(scenario, period, max_flips)`.
+    pub cycle: Option<(Scenario, simnet::time::SimDuration, u64)>,
+}
+
+impl SpireConfig {
+    /// The §IV red-team deployment: 4 replicas, the Figure 4 PLC plus ten
+    /// emulated distribution PLCs, one HMI.
+    pub fn red_team() -> Self {
+        let mut proxies = vec![ProxyAssignment { index: 0, scenario: Scenario::RedTeamDistribution }];
+        for i in 0..10u8 {
+            proxies.push(ProxyAssignment {
+                index: 1 + i as u32,
+                scenario: Scenario::EmulatedDistribution(i),
+            });
+        }
+        SpireConfig {
+            prime: PrimeConfig::red_team(),
+            proxies,
+            hmis: 1,
+            internal_secret: [0x1A; 32],
+            external_secret: [0x2B; 32],
+            cycle: None,
+        }
+    }
+
+    /// The §V plant deployment: 6 replicas, the plant's three real
+    /// breakers plus ten distribution and six generation PLCs, three HMIs.
+    pub fn plant() -> Self {
+        let mut proxies = vec![ProxyAssignment { index: 0, scenario: Scenario::PlantSubset }];
+        for i in 0..10u8 {
+            proxies.push(ProxyAssignment {
+                index: 1 + i as u32,
+                scenario: Scenario::EmulatedDistribution(i),
+            });
+        }
+        for i in 0..6u8 {
+            proxies.push(ProxyAssignment {
+                index: 11 + i as u32,
+                scenario: Scenario::EmulatedGeneration(i),
+            });
+        }
+        SpireConfig {
+            prime: PrimeConfig::plant(),
+            proxies,
+            hmis: 3,
+            internal_secret: [0x3C; 32],
+            external_secret: [0x4D; 32],
+            cycle: None,
+        }
+    }
+
+    /// A minimal configuration for tests: `n` per `prime_config`, one
+    /// proxied scenario, one HMI.
+    pub fn minimal(prime: PrimeConfig, scenario: Scenario) -> Self {
+        SpireConfig {
+            prime,
+            proxies: vec![ProxyAssignment { index: 0, scenario }],
+            hmis: 1,
+            internal_secret: [0x5E; 32],
+            external_secret: [0x6F; 32],
+            cycle: None,
+        }
+    }
+
+    /// Arms the breaker-flip cycle on HMI 0.
+    pub fn with_cycle(mut self, scenario: Scenario, period: simnet::time::SimDuration, max_flips: u64) -> Self {
+        self.cycle = Some((scenario, period, max_flips));
+        self
+    }
+
+    /// Replica count.
+    pub fn n(&self) -> u32 {
+        self.prime.n()
+    }
+
+    /// Internal-network IP of replica `i`.
+    pub fn internal_ip(&self, replica: u32) -> IpAddr {
+        IpAddr::new(10, 10, 0, 1 + replica as u8)
+    }
+
+    /// External-network IP of replica `i`.
+    pub fn replica_external_ip(&self, replica: u32) -> IpAddr {
+        IpAddr::new(10, 20, 0, 1 + replica as u8)
+    }
+
+    /// External-network IP of proxy `p`.
+    pub fn proxy_ip(&self, proxy: u32) -> IpAddr {
+        IpAddr::new(10, 20, 0, 51 + proxy as u8)
+    }
+
+    /// External-network IP of HMI `h`.
+    pub fn hmi_ip(&self, hmi: u32) -> IpAddr {
+        IpAddr::new(10, 20, 0, 101 + hmi as u8)
+    }
+
+    /// Cable-side IP of proxy `p` (proxy end of the PLC wire).
+    pub fn proxy_cable_ip(&self, proxy: u32) -> IpAddr {
+        IpAddr::new(192, 168, 1 + proxy as u8, 1)
+    }
+
+    /// Cable-side IP of the PLC behind proxy `p`.
+    pub fn plc_cable_ip(&self, proxy: u32) -> IpAddr {
+        IpAddr::new(192, 168, 1 + proxy as u8, 2)
+    }
+
+    /// External-daemon id of replica `i` (internal ids equal replica ids).
+    pub fn ext_daemon_of_replica(&self, replica: u32) -> u32 {
+        replica
+    }
+
+    /// External-daemon id of proxy `p`.
+    pub fn ext_daemon_of_proxy(&self, proxy: u32) -> u32 {
+        self.n() + proxy
+    }
+
+    /// External-daemon id of HMI `h`.
+    pub fn ext_daemon_of_hmi(&self, hmi: u32) -> u32 {
+        self.n() + self.proxies.len() as u32 + hmi
+    }
+
+    /// Client principal id of proxy `p` (signs RTU updates).
+    pub fn client_of_proxy(&self, proxy: u32) -> u32 {
+        proxy
+    }
+
+    /// Client principal id of HMI `h` (signs supervisory commands).
+    pub fn client_of_hmi(&self, hmi: u32) -> u32 {
+        1000 + hmi
+    }
+
+    /// Signing key pair of replica `i` (deterministic from the config).
+    pub fn replica_keypair(&self, replica: u32) -> KeyPair {
+        KeyPair::generate(REPLICA_SEED + replica as u64)
+    }
+
+    /// Signing key pair of proxy `p`'s client identity.
+    pub fn proxy_keypair(&self, proxy: u32) -> KeyPair {
+        KeyPair::generate(PROXY_SEED + proxy as u64)
+    }
+
+    /// Signing key pair of HMI `h`'s client identity.
+    pub fn hmi_keypair(&self, hmi: u32) -> KeyPair {
+        KeyPair::generate(HMI_SEED + hmi as u64)
+    }
+
+    /// The complete public-key registry all components are provisioned
+    /// with.
+    pub fn registry(&self) -> KeyRegistry {
+        let mut reg = KeyRegistry::new();
+        for i in 0..self.n() {
+            reg.register(Principal::Replica(i), self.replica_keypair(i).public_key());
+        }
+        for p in &self.proxies {
+            reg.register(
+                Principal::Client(self.client_of_proxy(p.index)),
+                self.proxy_keypair(p.index).public_key(),
+            );
+        }
+        for h in 0..self.hmis {
+            reg.register(
+                Principal::Client(self.client_of_hmi(h)),
+                self.hmi_keypair(h).public_key(),
+            );
+        }
+        reg
+    }
+
+    /// The isolated internal Spines overlay (replicas only, full mesh).
+    pub fn internal_spines(&self) -> SpinesConfig {
+        SpinesConfig::full_mesh(
+            (0..self.n()).map(|i| (i, self.internal_ip(i))),
+            INTERNAL_SPINES_PORT,
+            self.internal_secret,
+            SpinesMode::IntrusionTolerant,
+        )
+    }
+
+    /// The external Spines overlay (replicas + proxies + HMIs, full mesh).
+    pub fn external_spines(&self) -> SpinesConfig {
+        let mut daemons: Vec<(u32, IpAddr)> = (0..self.n())
+            .map(|i| (self.ext_daemon_of_replica(i), self.replica_external_ip(i)))
+            .collect();
+        for p in &self.proxies {
+            daemons.push((self.ext_daemon_of_proxy(p.index), self.proxy_ip(p.index)));
+        }
+        for h in 0..self.hmis {
+            daemons.push((self.ext_daemon_of_hmi(h), self.hmi_ip(h)));
+        }
+        SpinesConfig::full_mesh(
+            daemons,
+            EXTERNAL_SPINES_PORT,
+            self.external_secret,
+            SpinesMode::IntrusionTolerant,
+        )
+    }
+
+    /// The group a proxy listens on for master commands.
+    pub fn proxy_group(&self, proxy: u32) -> u16 {
+        GROUP_PROXY_BASE + proxy as u16
+    }
+
+    /// The group an HMI listens on for display frames.
+    pub fn hmi_group(&self, hmi: u32) -> u16 {
+        GROUP_HMI_BASE + hmi as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn red_team_shape_matches_paper() {
+        let c = SpireConfig::red_team();
+        assert_eq!(c.n(), 4);
+        assert_eq!(c.proxies.len(), 11, "one physical + ten emulated");
+        assert_eq!(c.hmis, 1);
+        assert_eq!(c.proxies[0].scenario, Scenario::RedTeamDistribution);
+    }
+
+    #[test]
+    fn plant_shape_matches_paper() {
+        let c = SpireConfig::plant();
+        assert_eq!(c.n(), 6);
+        assert_eq!(c.proxies.len(), 17, "plant subset + 10 dist + 6 gen");
+        assert_eq!(c.hmis, 3, "HMIs in three locations throughout the plant");
+    }
+
+    #[test]
+    fn addressing_is_collision_free() {
+        let c = SpireConfig::plant();
+        let mut ips = std::collections::BTreeSet::new();
+        for i in 0..c.n() {
+            assert!(ips.insert(c.internal_ip(i)));
+            assert!(ips.insert(c.replica_external_ip(i)));
+        }
+        for p in 0..c.proxies.len() as u32 {
+            assert!(ips.insert(c.proxy_ip(p)));
+            assert!(ips.insert(c.proxy_cable_ip(p)));
+            assert!(ips.insert(c.plc_cable_ip(p)));
+        }
+        for h in 0..c.hmis {
+            assert!(ips.insert(c.hmi_ip(h)));
+        }
+    }
+
+    #[test]
+    fn daemon_ids_are_disjoint() {
+        let c = SpireConfig::plant();
+        let mut ids = std::collections::BTreeSet::new();
+        for i in 0..c.n() {
+            assert!(ids.insert(c.ext_daemon_of_replica(i)));
+        }
+        for p in 0..c.proxies.len() as u32 {
+            assert!(ids.insert(c.ext_daemon_of_proxy(p)));
+        }
+        for h in 0..c.hmis {
+            assert!(ids.insert(c.ext_daemon_of_hmi(h)));
+        }
+    }
+
+    #[test]
+    fn registry_covers_all_principals() {
+        let c = SpireConfig::plant();
+        let reg = c.registry();
+        assert_eq!(reg.len() as u32, c.n() + c.proxies.len() as u32 + c.hmis);
+    }
+
+    #[test]
+    fn overlays_have_expected_membership() {
+        let c = SpireConfig::red_team();
+        assert_eq!(c.internal_spines().daemon_count(), 4);
+        assert_eq!(c.external_spines().daemon_count(), 4 + 11 + 1);
+        assert_ne!(c.internal_spines().link_key(0, 1), c.external_spines().link_key(0, 1));
+    }
+}

@@ -1,0 +1,611 @@
+//! Builds a full Spire deployment on a [`simnet::Simulation`] — Figure 2,
+//! parameterized by the [`HardeningProfile`] so the E10 ablation can
+//! weaken it one switch at a time.
+
+use std::collections::BTreeMap;
+
+use diversity::os::OsProfile;
+use plc::emulator::PlcEmulator;
+use simnet::capture::TapId;
+use simnet::firewall::Firewall;
+use simnet::link::LinkSpec;
+use simnet::sim::{InterfaceSpec, NodeSpec, Simulation};
+use simnet::switch::{SwitchId, SwitchMode};
+use simnet::time::{SimDuration, SimTime};
+use simnet::types::{MacAddr, NodeId};
+
+use crate::config::{SpireConfig, EXTERNAL_SPINES_PORT, INTERNAL_SPINES_PORT};
+use crate::hardening::HardeningProfile;
+use crate::hmi_host::HmiHost;
+use crate::proxy::{PlcProxy, PROXY_MODBUS_PORT};
+use crate::replica_host::ReplicaHost;
+
+/// Number of spare switch ports kept for attacker attachment.
+const SPARE_PORTS: usize = 4;
+
+/// A built Spire deployment.
+pub struct Deployment {
+    /// The simulation hosting everything.
+    pub sim: Simulation,
+    /// The configuration it was built from.
+    pub cfg: SpireConfig,
+    /// The hardening profile in force.
+    pub hardening: HardeningProfile,
+    /// The external (operations) switch.
+    pub external_switch: SwitchId,
+    /// The internal switch (present only when `isolated_internal`).
+    pub internal_switch: Option<SwitchId>,
+    /// Replica host nodes, by replica id.
+    pub replica_nodes: Vec<NodeId>,
+    /// Proxy nodes, by proxy index.
+    pub proxy_nodes: Vec<NodeId>,
+    /// PLC nodes, by proxy index.
+    pub plc_nodes: Vec<NodeId>,
+    /// HMI nodes, by HMI index.
+    pub hmi_nodes: Vec<NodeId>,
+    /// The MANA tap on the external switch.
+    pub external_tap: TapId,
+    /// Spare external-switch ports for attacker attachment.
+    spare_external_ports: Vec<usize>,
+    /// Spare internal-switch ports (if an internal switch exists).
+    spare_internal_ports: Vec<usize>,
+}
+
+impl Deployment {
+    /// Builds the deployment.
+    pub fn build(cfg: SpireConfig, hardening: HardeningProfile, seed: u64) -> Self {
+        let mut sim = Simulation::new(seed);
+        let n = cfg.n() as usize;
+        let n_proxies = cfg.proxies.len();
+        let n_hmis = cfg.hmis as usize;
+
+        // ---- Nodes (MACs are derived from NodeId + interface index). ----
+        let mut replica_nodes = Vec::new();
+        for i in 0..cfg.n() {
+            let interfaces = vec![
+                iface(&hardening, cfg.internal_ip(i)),
+                iface(&hardening, cfg.replica_external_ip(i)),
+            ];
+            let mut spec = NodeSpec::new(
+                format!("replica-{i}"),
+                interfaces,
+                Box::new(ReplicaHost::new(cfg.clone(), i)),
+            );
+            spec.answers_arp_for_other_ifaces = !hardening.no_cross_iface_arp;
+            spec.strict_interface_binding = hardening.firewall_lockdown;
+            spec.firewall = replica_firewall(&cfg, &hardening, i);
+            replica_nodes.push(sim.add_node(spec));
+        }
+        let mut proxy_nodes = Vec::new();
+        let mut plc_nodes = Vec::new();
+        for p in 0..n_proxies as u32 {
+            let interfaces = vec![
+                iface(&hardening, cfg.proxy_ip(p)),
+                iface(&hardening, cfg.proxy_cable_ip(p)),
+            ];
+            let mut spec = NodeSpec::new(
+                format!("proxy-{p}"),
+                interfaces,
+                Box::new(PlcProxy::new(cfg.clone(), p)),
+            );
+            spec.answers_arp_for_other_ifaces = !hardening.no_cross_iface_arp;
+            spec.strict_interface_binding = hardening.firewall_lockdown;
+            spec.firewall = proxy_firewall(&cfg, &hardening, p);
+            proxy_nodes.push(sim.add_node(spec));
+
+            // The PLC is the *unhardenable* component: no host firewall, no
+            // static ARP, speaks unauthenticated Modbus to anyone who can
+            // reach it. That is exactly why §III-B puts it behind a proxy
+            // on a direct cable.
+            let scenario = cfg.proxies[p as usize].scenario;
+            let plc_spec = NodeSpec::new(
+                format!("plc-{p}"),
+                vec![InterfaceSpec::dynamic(cfg.plc_cable_ip(p))],
+                Box::new(PlcEmulator::new(scenario)),
+            );
+            plc_nodes.push(sim.add_node(plc_spec));
+        }
+        let mut hmi_nodes = Vec::new();
+        for h in 0..cfg.hmis {
+            let mut spec = NodeSpec::new(
+                format!("hmi-{h}"),
+                vec![iface(&hardening, cfg.hmi_ip(h))],
+                Box::new(HmiHost::new(cfg.clone(), h)),
+            );
+            spec.answers_arp_for_other_ifaces = !hardening.no_cross_iface_arp;
+            spec.strict_interface_binding = hardening.firewall_lockdown;
+            spec.firewall = hmi_firewall(&cfg, &hardening);
+            hmi_nodes.push(sim.add_node(spec));
+        }
+
+        // ---- External switch: plan port assignments. ----
+        // ports: [replicas if1][proxies if0][hmis if0]
+        //        [replicas if0 if !isolated][proxy if1 + plc if0 if !behind_proxy][spares]
+        let mut plan: Vec<(NodeId, usize)> = Vec::new();
+        for (i, &node) in replica_nodes.iter().enumerate() {
+            let _ = i;
+            plan.push((node, 1));
+        }
+        for &node in &proxy_nodes {
+            plan.push((node, 0));
+        }
+        for &node in &hmi_nodes {
+            plan.push((node, 0));
+        }
+        if !hardening.isolated_internal {
+            for &node in &replica_nodes {
+                plan.push((node, 0));
+            }
+        }
+        if !hardening.plc_behind_proxy {
+            for &node in &proxy_nodes {
+                plan.push((node, 1));
+            }
+            for &node in &plc_nodes {
+                plan.push((node, 0));
+            }
+        }
+        let ext_ports = plan.len() + SPARE_PORTS;
+        let ext_mode = if hardening.static_switch {
+            let map: BTreeMap<MacAddr, usize> = plan
+                .iter()
+                .enumerate()
+                .map(|(port, &(node, ifidx))| (MacAddr::derived(node, ifidx as u8), port))
+                .collect();
+            SwitchMode::Static { map, enforce_ingress: true }
+        } else {
+            SwitchMode::Learning
+        };
+        let external_switch = sim.add_switch(ext_ports, ext_mode);
+        for (port, &(node, ifidx)) in plan.iter().enumerate() {
+            sim.connect(node, ifidx, external_switch, port, LinkSpec::lan());
+        }
+        let spare_external_ports: Vec<usize> = (plan.len()..ext_ports).collect();
+        let external_tap = sim.add_tap(external_switch);
+
+        // ---- Internal switch (isolated replication network). ----
+        let mut spare_internal_ports = Vec::new();
+        let internal_switch = if hardening.isolated_internal {
+            let int_plan: Vec<(NodeId, usize)> =
+                replica_nodes.iter().map(|&node| (node, 0)).collect();
+            let int_ports = int_plan.len() + SPARE_PORTS;
+            let mode = if hardening.static_switch {
+                let map: BTreeMap<MacAddr, usize> = int_plan
+                    .iter()
+                    .enumerate()
+                    .map(|(port, &(node, ifidx))| (MacAddr::derived(node, ifidx as u8), port))
+                    .collect();
+                SwitchMode::Static { map, enforce_ingress: true }
+            } else {
+                SwitchMode::Learning
+            };
+            let sw = sim.add_switch(int_ports, mode);
+            for (port, &(node, ifidx)) in int_plan.iter().enumerate() {
+                sim.connect(node, ifidx, sw, port, LinkSpec::lan());
+            }
+            spare_internal_ports = (int_plan.len()..int_ports).collect();
+            Some(sw)
+        } else {
+            None
+        };
+
+        // ---- PLC cables (or exposed PLCs, handled above). ----
+        if hardening.plc_behind_proxy {
+            for p in 0..n_proxies {
+                sim.connect_direct((proxy_nodes[p], 1), (plc_nodes[p], 0), LinkSpec::cable());
+            }
+        }
+
+        // ---- Static ARP provisioning. ----
+        if hardening.static_arp {
+            let ext_participants: Vec<(simnet::types::IpAddr, MacAddr)> = {
+                let mut v = Vec::new();
+                for i in 0..cfg.n() {
+                    v.push((cfg.replica_external_ip(i), MacAddr::derived(replica_nodes[i as usize], 1)));
+                }
+                for p in 0..n_proxies as u32 {
+                    v.push((cfg.proxy_ip(p), MacAddr::derived(proxy_nodes[p as usize], 0)));
+                }
+                for h in 0..cfg.hmis {
+                    v.push((cfg.hmi_ip(h), MacAddr::derived(hmi_nodes[h as usize], 0)));
+                }
+                v
+            };
+            for i in 0..n {
+                // Internal peers on if0.
+                for j in 0..n {
+                    if i != j {
+                        sim.install_arp(
+                            replica_nodes[i],
+                            0,
+                            cfg.internal_ip(j as u32),
+                            MacAddr::derived(replica_nodes[j], 0),
+                        );
+                    }
+                }
+                // External participants on if1.
+                for &(ip, mac) in &ext_participants {
+                    sim.install_arp(replica_nodes[i], 1, ip, mac);
+                }
+            }
+            for p in 0..n_proxies {
+                for &(ip, mac) in &ext_participants {
+                    sim.install_arp(proxy_nodes[p], 0, ip, mac);
+                }
+                sim.install_arp(
+                    proxy_nodes[p],
+                    1,
+                    cfg.plc_cable_ip(p as u32),
+                    MacAddr::derived(plc_nodes[p], 0),
+                );
+                // (The PLC keeps dynamic ARP — real devices cannot be
+                // provisioned with static tables.)
+            }
+            for h in 0..n_hmis {
+                for &(ip, mac) in &ext_participants {
+                    sim.install_arp(hmi_nodes[h], 0, ip, mac);
+                }
+            }
+        }
+
+        Deployment {
+            sim,
+            cfg,
+            hardening,
+            external_switch,
+            internal_switch,
+            replica_nodes,
+            proxy_nodes,
+            plc_nodes,
+            hmi_nodes,
+            external_tap,
+            spare_external_ports,
+            spare_internal_ports,
+        }
+    }
+
+    /// Runs the simulation for `dur`.
+    pub fn run_for(&mut self, dur: SimDuration) {
+        self.sim.run_for(dur);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Read access to replica host `i`.
+    pub fn replica(&self, i: u32) -> &ReplicaHost {
+        self.sim.process_ref::<ReplicaHost>(self.replica_nodes[i as usize]).expect("replica host")
+    }
+
+    /// Mutable access to replica host `i` (fault injection, daemon
+    /// manipulation — the attacker's hands-on-keyboard access).
+    pub fn replica_mut(&mut self, i: u32) -> &mut ReplicaHost {
+        self.sim.process_mut::<ReplicaHost>(self.replica_nodes[i as usize]).expect("replica host")
+    }
+
+    /// Read access to proxy `p`.
+    pub fn proxy(&self, p: u32) -> &PlcProxy {
+        self.sim.process_ref::<PlcProxy>(self.proxy_nodes[p as usize]).expect("proxy")
+    }
+
+    /// Mutable access to proxy `p`.
+    pub fn proxy_mut(&mut self, p: u32) -> &mut PlcProxy {
+        self.sim.process_mut::<PlcProxy>(self.proxy_nodes[p as usize]).expect("proxy")
+    }
+
+    /// Read access to the PLC behind proxy `p`.
+    pub fn plc(&self, p: u32) -> &PlcEmulator {
+        self.sim.process_ref::<PlcEmulator>(self.plc_nodes[p as usize]).expect("plc")
+    }
+
+    /// Mutable access to the PLC behind proxy `p` (the measurement device
+    /// physically flips breakers through this).
+    pub fn plc_mut(&mut self, p: u32) -> &mut PlcEmulator {
+        self.sim.process_mut::<PlcEmulator>(self.plc_nodes[p as usize]).expect("plc")
+    }
+
+    /// Read access to HMI `h`.
+    pub fn hmi(&self, h: u32) -> &HmiHost {
+        self.sim.process_ref::<HmiHost>(self.hmi_nodes[h as usize]).expect("hmi")
+    }
+
+    /// Mutable access to HMI `h`.
+    pub fn hmi_mut(&mut self, h: u32) -> &mut HmiHost {
+        self.sim.process_mut::<HmiHost>(self.hmi_nodes[h as usize]).expect("hmi")
+    }
+
+    /// Takes replica `i` down for proactive recovery (or a crash).
+    pub fn take_replica_down(&mut self, i: u32) {
+        self.sim.set_node_up(self.replica_nodes[i as usize], false);
+    }
+
+    /// Brings replica `i` back with a clean, re-diversified image. The new
+    /// host immediately runs Prime's recovery (catch-up + app-level state
+    /// transfer).
+    pub fn restore_replica(&mut self, i: u32) {
+        let node = self.replica_nodes[i as usize];
+        self.sim.set_node_up(node, true);
+        let mut host = ReplicaHost::new(self.cfg.clone(), i);
+        host.pending_recovery = true;
+        self.sim.replace_process(node, Box::new(host));
+    }
+
+    /// Runs the deployment for `dur` with a proactive-recovery scheduler
+    /// driving replica rejuvenation (take down → clean restart → Prime
+    /// catch-up + application state transfer), the §II long-lifetime
+    /// defense. At most one replica is down at a time per the scheduler's
+    /// `k`. Returns the number of recoveries completed.
+    pub fn run_with_recovery(
+        &mut self,
+        dur: SimDuration,
+        scheduler: &mut diversity::recovery::RecoveryScheduler,
+    ) -> u64 {
+        let deadline = self.now() + dur;
+        let step = SimDuration::from_millis(500);
+        let mut down: Option<(u32, SimTime)> = None;
+        while self.now() < deadline {
+            self.sim.run_for(step);
+            let now = self.now();
+            if let Some((replica, finish)) = down {
+                if now >= finish {
+                    self.restore_replica(replica);
+                    down = None;
+                }
+            }
+            if down.is_none() {
+                for event in scheduler.poll(now) {
+                    self.take_replica_down(event.replica);
+                    down = Some((event.replica, event.finish));
+                }
+            }
+        }
+        if let Some((replica, _)) = down {
+            self.restore_replica(replica);
+        }
+        scheduler.completed
+    }
+
+    /// The §III-A automatic system reset for assumption breaches that no
+    /// replica quorum survives: every replica restarts together from a
+    /// clean image with *empty* state (a fresh replication era). Field
+    /// polling then repopulates the SCADA state from ground truth.
+    pub fn system_reset(&mut self) {
+        for i in 0..self.cfg.n() {
+            let node = self.replica_nodes[i as usize];
+            self.sim.set_node_up(node, true);
+            let host = ReplicaHost::new(self.cfg.clone(), i);
+            self.sim.replace_process(node, Box::new(host));
+        }
+    }
+
+    /// Attaches an attacker node to the external (operations) switch on a
+    /// spare port. Returns the node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no spare ports remain.
+    pub fn attach_external_attacker(&mut self, spec: NodeSpec) -> NodeId {
+        let port = self.spare_external_ports.pop().expect("spare external port");
+        let node = self.sim.add_node(spec);
+        self.sim.connect(node, 0, self.external_switch, port, LinkSpec::lan());
+        // The attacker's own MAC is legitimate on its port (they occupy a
+        // real network drop); spoofing *other* MACs is what port security
+        // blocks.
+        let mac = MacAddr::derived(node, 0);
+        self.sim.authorize_switch_port(self.external_switch, mac, port);
+        node
+    }
+
+    /// Attaches an attacker to the internal switch (only possible when one
+    /// exists; physical isolation otherwise keeps outsiders off it).
+    pub fn attach_internal_attacker(&mut self, spec: NodeSpec) -> Option<NodeId> {
+        let sw = self.internal_switch?;
+        let port = self.spare_internal_ports.pop()?;
+        let node = self.sim.add_node(spec);
+        self.sim.connect(node, 0, sw, port, LinkSpec::lan());
+        Some(node)
+    }
+
+    /// Minimum executed count across correct replicas.
+    pub fn min_executed(&self) -> u64 {
+        (0..self.cfg.n())
+            .filter(|&i| self.sim.node_up(self.replica_nodes[i as usize]))
+            .map(|i| self.replica(i).replica.exec_seq())
+            .filter(|_| true)
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+fn iface(hardening: &HardeningProfile, ip: simnet::types::IpAddr) -> InterfaceSpec {
+    if hardening.static_arp {
+        InterfaceSpec::static_arp(ip)
+    } else {
+        InterfaceSpec::dynamic(ip)
+    }
+}
+
+fn base_firewall(hardening: &HardeningProfile) -> Firewall {
+    let mut fw = if hardening.firewall_lockdown { Firewall::locked_down() } else { Firewall::open() };
+    // The open OS profile leaves extra services listening; model that as
+    // IPv6 left on (an extra, unfirewalled surface flag).
+    fw.ipv6_enabled = hardening.os == OsProfile::UbuntuDesktop || !hardening.firewall_lockdown;
+    fw
+}
+
+fn replica_firewall(cfg: &SpireConfig, hardening: &HardeningProfile, me: u32) -> Firewall {
+    let mut fw = base_firewall(hardening);
+    if hardening.firewall_lockdown {
+        for j in 0..cfg.n() {
+            if j != me {
+                fw.allow(cfg.internal_ip(j), INTERNAL_SPINES_PORT);
+                fw.allow(cfg.replica_external_ip(j), EXTERNAL_SPINES_PORT);
+            }
+        }
+        for p in 0..cfg.proxies.len() as u32 {
+            fw.allow(cfg.proxy_ip(p), EXTERNAL_SPINES_PORT);
+        }
+        for h in 0..cfg.hmis {
+            fw.allow(cfg.hmi_ip(h), EXTERNAL_SPINES_PORT);
+        }
+    }
+    fw
+}
+
+fn proxy_firewall(cfg: &SpireConfig, hardening: &HardeningProfile, me: u32) -> Firewall {
+    let mut fw = base_firewall(hardening);
+    if hardening.firewall_lockdown {
+        for j in 0..cfg.n() {
+            fw.allow(cfg.replica_external_ip(j), EXTERNAL_SPINES_PORT);
+        }
+        for p in 0..cfg.proxies.len() as u32 {
+            if p != me {
+                fw.allow(cfg.proxy_ip(p), EXTERNAL_SPINES_PORT);
+            }
+        }
+        for h in 0..cfg.hmis {
+            fw.allow(cfg.hmi_ip(h), EXTERNAL_SPINES_PORT);
+        }
+        fw.allow(cfg.plc_cable_ip(me), PROXY_MODBUS_PORT);
+    }
+    fw
+}
+
+fn hmi_firewall(cfg: &SpireConfig, hardening: &HardeningProfile) -> Firewall {
+    let mut fw = base_firewall(hardening);
+    if hardening.firewall_lockdown {
+        for j in 0..cfg.n() {
+            fw.allow(cfg.replica_external_ip(j), EXTERNAL_SPINES_PORT);
+        }
+        for p in 0..cfg.proxies.len() as u32 {
+            fw.allow(cfg.proxy_ip(p), EXTERNAL_SPINES_PORT);
+        }
+    }
+    fw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plc::topology::Scenario;
+    use prime::replica::Timing;
+    use prime::types::Config as PrimeConfig;
+
+    fn fast_timing() -> Timing {
+        Timing {
+            aru_interval: SimDuration::from_millis(10),
+            pp_interval: SimDuration::from_millis(10),
+            suspect_timeout: SimDuration::from_millis(2_000),
+            checkpoint_interval: 20,
+            catchup_timeout: SimDuration::from_millis(300),
+        }
+    }
+
+    fn minimal_deployment() -> Deployment {
+        let cfg = SpireConfig::minimal(PrimeConfig::red_team(), Scenario::PlantSubset);
+        let mut d = Deployment::build(cfg, HardeningProfile::deployed(), 7);
+        for i in 0..4 {
+            d.replica_mut(i).set_timing(fast_timing());
+        }
+        d
+    }
+
+    #[test]
+    fn end_to_end_rtu_status_reaches_hmi() {
+        let mut d = minimal_deployment();
+        d.run_for(SimDuration::from_secs(5));
+        // The proxy polled, masters ordered the status, the HMI displays it.
+        assert!(d.proxy(0).stats.updates_sent >= 1, "proxy sent updates");
+        assert!(d.min_executed() >= 1, "replicas executed status updates");
+        let hmi = d.hmi(0);
+        assert!(hmi.stats.frames_applied >= 1, "HMI applied a vote-gated frame");
+        assert_eq!(
+            hmi.hmi.positions("plant"),
+            Some(vec![true, true, true].as_slice()),
+            "initial breaker positions shown"
+        );
+    }
+
+    #[test]
+    fn end_to_end_hmi_command_actuates_breaker() {
+        let mut d = minimal_deployment();
+        d.run_for(SimDuration::from_secs(2));
+        // Operator opens breaker B57 (index 1) from the HMI.
+        let node = d.hmi_nodes[0];
+        // Drive the command through the process API by injecting a cycle
+        // of one flip targeted at breaker... simpler: call issue_command
+        // via a one-off context is not possible from outside; use the
+        // cycle generator instead.
+        let _ = node;
+        d.hmi_mut(0).set_cycle(crate::hmi_host::CycleConfig {
+            scenario: Scenario::PlantSubset,
+            period: SimDuration::from_millis(200),
+            max_flips: 1,
+        });
+        // Re-arm by restarting the HMI process timer: the cycle only arms
+        // on start, so trigger one step manually through a fresh start.
+        let cfg = d.cfg.clone();
+        let mut host = HmiHost::new(cfg, 0);
+        host.set_cycle(crate::hmi_host::CycleConfig {
+            scenario: Scenario::PlantSubset,
+            period: SimDuration::from_millis(200),
+            max_flips: 1,
+        });
+        d.sim.replace_process(d.hmi_nodes[0], Box::new(host));
+        d.run_for(SimDuration::from_secs(5));
+        // The first cycle step opens breaker 0 (B10-1).
+        assert!(!d.plc(0).positions()[0], "breaker opened in the field");
+        assert!(d.proxy(0).stats.commands_actuated >= 1);
+        // And the new field state flowed back to the HMI display.
+        let hmi = d.hmi(0);
+        assert_eq!(hmi.hmi.positions("plant").map(|p| p[0]), Some(false));
+    }
+
+    #[test]
+    fn hardened_deployment_uses_static_infrastructure() {
+        let d = minimal_deployment();
+        let sw = d.sim.switch(d.external_switch);
+        assert!(matches!(sw.mode, SwitchMode::Static { .. }));
+        assert!(d.internal_switch.is_some());
+        assert_eq!(d.sim.firewall_drops(d.replica_nodes[0]), 0);
+    }
+
+    #[test]
+    fn unhardened_deployment_uses_learning_and_shared_network() {
+        let cfg = SpireConfig::minimal(PrimeConfig::red_team(), Scenario::PlantSubset);
+        let mut d = Deployment::build(cfg, HardeningProfile::none(), 8);
+        for i in 0..4 {
+            d.replica_mut(i).set_timing(fast_timing());
+        }
+        assert!(d.internal_switch.is_none(), "replication shares the ops network");
+        let sw = d.sim.switch(d.external_switch);
+        assert!(matches!(sw.mode, SwitchMode::Learning));
+        // The system still works without hardening — it is just exposed.
+        d.run_for(SimDuration::from_secs(5));
+        assert!(d.min_executed() >= 1);
+        assert!(d.hmi(0).stats.frames_applied >= 1);
+    }
+
+    #[test]
+    fn proactive_recovery_round_trip() {
+        let mut d = minimal_deployment();
+        d.run_for(SimDuration::from_secs(4));
+        let exec_before = d.replica(3).replica.exec_seq();
+        assert!(exec_before >= 1);
+        d.take_replica_down(3);
+        d.run_for(SimDuration::from_secs(2));
+        d.restore_replica(3);
+        d.run_for(SimDuration::from_secs(4));
+        let restored = d.replica(3);
+        assert!(
+            restored.replica.exec_seq() >= exec_before,
+            "recovered replica caught up: {} >= {exec_before}",
+            restored.replica.exec_seq()
+        );
+        assert!(restored.stats.state_transfers >= 1, "app-level state transfer ran");
+        // Meanwhile the system never stopped.
+        assert!(d.hmi(0).stats.frames_applied >= 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! The §III-B low-level hardening steps as explicit, individually
+//! toggleable switches.
+//!
+//! §VI-A: "if we had not performed the low-level network setup ... the red
+//! team would likely have been able to succeed in at least causing a
+//! denial of service without even attempting attacks at the Spines or
+//! SCADA system levels." Experiment E10 flips each switch off one at a
+//! time and re-runs the red-team attacks.
+
+use diversity::os::OsProfile;
+use diversity::variant::BinaryHardening;
+
+/// The full hardening profile of a Spire deployment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HardeningProfile {
+    /// Static ARP tables on every host (vs. dynamic/poisonable).
+    pub static_arp: bool,
+    /// Static MAC-to-port maps with ingress enforcement on switches
+    /// (vs. learning switches).
+    pub static_switch: bool,
+    /// Default-deny host firewalls with explicit allow rules
+    /// (vs. open firewalls).
+    pub firewall_lockdown: bool,
+    /// Replication runs on a physically separate internal network
+    /// (vs. sharing the external operations network).
+    pub isolated_internal: bool,
+    /// The PLC connects only to its proxy over a direct cable
+    /// (vs. sitting on the operations network switch).
+    pub plc_behind_proxy: bool,
+    /// NICs do not answer ARP for other NICs' addresses.
+    pub no_cross_iface_arp: bool,
+    /// Operating system profile on all hosts.
+    pub os: OsProfile,
+    /// Binary hardening of the deployed executables.
+    pub binary: BinaryHardening,
+}
+
+impl HardeningProfile {
+    /// The full §III-B deployment profile (what Spire actually ran with;
+    /// binaries were *not* yet stripped in 2017 — §VI-A's lesson).
+    pub fn deployed() -> Self {
+        HardeningProfile {
+            static_arp: true,
+            static_switch: true,
+            firewall_lockdown: true,
+            isolated_internal: true,
+            plc_behind_proxy: true,
+            no_cross_iface_arp: true,
+            os: OsProfile::CentosMinimal,
+            binary: BinaryHardening::deployed_2017(),
+        }
+    }
+
+    /// Everything off: the commercial / default posture.
+    pub fn none() -> Self {
+        HardeningProfile {
+            static_arp: false,
+            static_switch: false,
+            firewall_lockdown: false,
+            isolated_internal: false,
+            plc_behind_proxy: false,
+            no_cross_iface_arp: false,
+            os: OsProfile::UbuntuDesktop,
+            binary: BinaryHardening::deployed_2017(),
+        }
+    }
+
+    /// Returns `deployed()` with one named switch turned off — the E10
+    /// ablation. Valid names: `static_arp`, `static_switch`,
+    /// `firewall_lockdown`, `isolated_internal`, `plc_behind_proxy`,
+    /// `no_cross_iface_arp`, `os`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown switch name (experiment configuration error).
+    pub fn without(switch: &str) -> Self {
+        let mut p = Self::deployed();
+        match switch {
+            "static_arp" => p.static_arp = false,
+            "static_switch" => p.static_switch = false,
+            "firewall_lockdown" => p.firewall_lockdown = false,
+            "isolated_internal" => p.isolated_internal = false,
+            "plc_behind_proxy" => p.plc_behind_proxy = false,
+            "no_cross_iface_arp" => p.no_cross_iface_arp = false,
+            "os" => p.os = OsProfile::UbuntuDesktop,
+            other => panic!("unknown hardening switch: {other}"),
+        }
+        p
+    }
+
+    /// All ablatable switch names (drives E10).
+    pub fn switch_names() -> &'static [&'static str] {
+        &[
+            "static_arp",
+            "static_switch",
+            "firewall_lockdown",
+            "isolated_internal",
+            "plc_behind_proxy",
+            "no_cross_iface_arp",
+            "os",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployed_has_everything_on() {
+        let p = HardeningProfile::deployed();
+        assert!(p.static_arp && p.static_switch && p.firewall_lockdown);
+        assert!(p.isolated_internal && p.plc_behind_proxy && p.no_cross_iface_arp);
+        assert_eq!(p.os, OsProfile::CentosMinimal);
+    }
+
+    #[test]
+    fn without_toggles_exactly_one() {
+        for &name in HardeningProfile::switch_names() {
+            let p = HardeningProfile::without(name);
+            assert_ne!(p, HardeningProfile::deployed(), "switch {name} had no effect");
+        }
+        assert!(!HardeningProfile::without("static_arp").static_arp);
+        assert_eq!(HardeningProfile::without("os").os, OsProfile::UbuntuDesktop);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown hardening switch")]
+    fn unknown_switch_panics() {
+        let _ = HardeningProfile::without("bogus");
+    }
+}

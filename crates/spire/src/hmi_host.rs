@@ -1,0 +1,205 @@
+//! The HMI host process: vote-gated display plus the red-team exercise's
+//! breaker-cycle update generator.
+//!
+//! §IV-A: "we were also required to develop an automatic update generation
+//! tool for Spire that would cycle through the breakers, flipping each
+//! periodically in a predetermined cycle that the red team would attempt
+//! to disrupt." [`CycleConfig`] is that tool.
+
+use bytes::Bytes;
+use itcrypto::keys::KeyPair;
+use plc::topology::Scenario;
+use prime::types::{SignedUpdate, Update};
+use scada::hmi::{Hmi, HmiUpdate};
+use scada::updates::ScadaUpdate;
+use simnet::packet::Packet;
+use simnet::process::{Context, Process};
+use simnet::time::SimDuration;
+use simnet::types::IpAddr;
+use simnet::wire::Wire;
+use spines::daemon::SpinesDaemon;
+
+use crate::config::{SpireConfig, EXTERNAL_SPINES_PORT, GROUP_MASTERS};
+use crate::messages::ExternalMsg;
+
+const CYCLE_TIMER: u64 = 1;
+
+/// The predetermined breaker-flip cycle.
+#[derive(Clone, Debug)]
+pub struct CycleConfig {
+    /// Scenario whose breakers are cycled.
+    pub scenario: Scenario,
+    /// Time between flips.
+    pub period: SimDuration,
+    /// Stop after this many flips (0 = run forever).
+    pub max_flips: u64,
+}
+
+/// Counters for experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HmiStats {
+    /// Supervisory commands issued.
+    pub commands_sent: u64,
+    /// Display frames applied after `f+1` votes.
+    pub frames_applied: u64,
+    /// Frames received but still below the vote threshold.
+    pub frames_pending: u64,
+}
+
+/// One HMI location.
+pub struct HmiHost {
+    cfg: SpireConfig,
+    index: u32,
+    /// The external Spines daemon.
+    pub external: SpinesDaemon,
+    key: KeyPair,
+    client: u32,
+    client_seq: u64,
+    /// The display state (rendering, reaction-time log, sensor box).
+    pub hmi: Hmi,
+    votes: crate::vote::VoteCollector<(String, Vec<bool>, Vec<u16>, u64)>,
+    cycle: Option<CycleConfig>,
+    cycle_breaker: u16,
+    cycle_state: Vec<bool>,
+    /// Counters.
+    pub stats: HmiStats,
+}
+
+impl HmiHost {
+    /// Creates HMI host `index`.
+    pub fn new(cfg: SpireConfig, index: u32) -> Self {
+        let mut external = SpinesDaemon::new(cfg.ext_daemon_of_hmi(index), cfg.external_spines());
+        external.subscribe(cfg.hmi_group(index));
+        let key = cfg.hmi_keypair(index);
+        let client = cfg.client_of_hmi(index);
+        let f = cfg.prime.f;
+        let mut host = HmiHost {
+            cfg,
+            index,
+            external,
+            key,
+            client,
+            client_seq: 0,
+            hmi: Hmi::new(),
+            votes: crate::vote::VoteCollector::new(f + 1),
+            cycle: None,
+            cycle_breaker: 0,
+            cycle_state: Vec::new(),
+            stats: HmiStats::default(),
+        };
+        if index == 0 {
+            if let Some((scenario, period, max_flips)) = host.cfg.cycle {
+                host.set_cycle(CycleConfig { scenario, period, max_flips });
+            }
+        }
+        host
+    }
+
+    /// HMI index.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Arms the breaker-cycle generator.
+    pub fn set_cycle(&mut self, cycle: CycleConfig) {
+        self.cycle_state = vec![true; cycle.scenario.topology().breaker_count()];
+        self.cycle = Some(cycle);
+    }
+
+    fn flush_sends(ctx: &mut Context<'_>, sends: Vec<(IpAddr, Bytes)>) {
+        for (addr, bytes) in sends {
+            let pkt = Packet::udp(ctx.ip(0), addr, EXTERNAL_SPINES_PORT, EXTERNAL_SPINES_PORT, bytes);
+            ctx.send(0, pkt);
+        }
+    }
+
+    /// Issues one supervisory command (operator action or cycle step).
+    pub fn issue_command(&mut self, ctx: &mut Context<'_>, scenario: &str, breaker: u16, close: bool) {
+        let scada_update = ScadaUpdate::HmiCommand {
+            scenario: scenario.to_string(),
+            breaker,
+            close,
+        };
+        self.client_seq += 1;
+        let update = Update::new(self.client, self.client_seq, Bytes::from(scada_update.to_wire().to_vec()));
+        let sig = self.key.sign(&update.to_wire());
+        let msg = ExternalMsg::ClientUpdate(SignedUpdate { update, sig });
+        let sends = self.external.multicast(GROUP_MASTERS, 1, Bytes::from(msg.to_wire().to_vec()));
+        Self::flush_sends(ctx, sends);
+        self.stats.commands_sent += 1;
+    }
+
+    fn cycle_step(&mut self, ctx: &mut Context<'_>) {
+        let Some(cycle) = self.cycle.clone() else { return };
+        if cycle.max_flips > 0 && self.stats.commands_sent >= cycle.max_flips {
+            return;
+        }
+        let breaker = self.cycle_breaker;
+        let next_state = !self.cycle_state[breaker as usize];
+        self.cycle_state[breaker as usize] = next_state;
+        let tag = cycle.scenario.tag();
+        self.issue_command(ctx, &tag, breaker, next_state);
+        self.cycle_breaker = (self.cycle_breaker + 1) % self.cycle_state.len() as u16;
+        ctx.set_timer(cycle.period, CYCLE_TIMER);
+    }
+
+    fn drain_deliveries(&mut self, ctx: &mut Context<'_>) {
+        for delivery in self.external.take_deliveries() {
+            let Ok(msg) = ExternalMsg::from_wire(&delivery.payload) else { continue };
+            let ExternalMsg::HmiFrame { replica, scenario, positions, currents, exec_seq } = msg
+            else {
+                continue;
+            };
+            let key = (scenario.clone(), positions.clone(), currents.clone(), exec_seq);
+            if self.votes.vote(key, replica) {
+                self.stats.frames_applied += 1;
+                self.hmi.apply(HmiUpdate { scenario, positions, currents }, ctx.now());
+            } else {
+                self.stats.frames_pending += 1;
+            }
+        }
+    }
+}
+
+impl Process for HmiHost {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.listen(EXTERNAL_SPINES_PORT);
+        if let Some(cycle) = &self.cycle {
+            ctx.set_timer(cycle.period, CYCLE_TIMER);
+        }
+        ctx.log(format!("hmi {} online", self.index));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: u64) {
+        if timer == CYCLE_TIMER {
+            self.cycle_step(ctx);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        if pkt.dst_port != EXTERNAL_SPINES_PORT {
+            return;
+        }
+        let sends = self.external.on_wire(pkt.src_ip, &pkt.payload);
+        Self::flush_sends(ctx, sends);
+        self.drain_deliveries(ctx);
+    }
+}
+
+impl std::fmt::Debug for HmiHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HmiHost")
+            .field("index", &self.index)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+// cfg is read by deploy/latency helpers; silence the "never read" lint on
+// the field until those land.
+impl HmiHost {
+    /// The deployment configuration this host was built from.
+    pub fn config(&self) -> &SpireConfig {
+        &self.cfg
+    }
+}

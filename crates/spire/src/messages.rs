@@ -1,0 +1,156 @@
+//! External-network message vocabulary (what flows inside Spines
+//! payloads between replicas, proxies, and HMIs).
+
+use prime::types::SignedUpdate;
+use simnet::wire::{DecodeError, Reader, Wire, Writer};
+
+/// A message on the external Spines network.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExternalMsg {
+    /// A client update (RTU status or HMI command) toward the masters.
+    /// The inner update is client-signed; Prime verifies it.
+    ClientUpdate(SignedUpdate),
+    /// A replica-issued breaker command toward a proxy. Proxies act on
+    /// `f+1` matching copies from distinct replicas (matched on all
+    /// fields, including `exec_seq`).
+    PlcCommand {
+        /// Sending replica.
+        replica: u32,
+        /// Scenario tag.
+        scenario: String,
+        /// Breaker index.
+        breaker: u16,
+        /// Desired state.
+        close: bool,
+        /// Execution sequence of the ordered command.
+        exec_seq: u64,
+    },
+    /// A replica-issued display frame toward an HMI (also `f+1` gated).
+    HmiFrame {
+        /// Sending replica.
+        replica: u32,
+        /// Scenario tag.
+        scenario: String,
+        /// Breaker positions.
+        positions: Vec<bool>,
+        /// Currents.
+        currents: Vec<u16>,
+        /// Execution sequence of the status that produced this frame.
+        exec_seq: u64,
+    },
+}
+
+impl Wire for ExternalMsg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ExternalMsg::ClientUpdate(u) => {
+                w.put_u8(0);
+                u.encode(w);
+            }
+            ExternalMsg::PlcCommand { replica, scenario, breaker, close, exec_seq } => {
+                w.put_u8(1).put_u32(*replica);
+                w.put_bytes(scenario.as_bytes());
+                w.put_u16(*breaker).put_bool(*close).put_u64(*exec_seq);
+            }
+            ExternalMsg::HmiFrame { replica, scenario, positions, currents, exec_seq } => {
+                w.put_u8(2).put_u32(*replica);
+                w.put_bytes(scenario.as_bytes());
+                w.put_u32(positions.len() as u32);
+                for &p in positions {
+                    w.put_bool(p);
+                }
+                w.put_u32(currents.len() as u32);
+                for &c in currents {
+                    w.put_u16(c);
+                }
+                w.put_u64(*exec_seq);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let get_str = |r: &mut Reader<'_>| -> Result<String, DecodeError> {
+            String::from_utf8(r.get_bytes()?).map_err(|_| DecodeError::new("utf8"))
+        };
+        Ok(match r.get_u8()? {
+            0 => ExternalMsg::ClientUpdate(SignedUpdate::decode(r)?),
+            1 => ExternalMsg::PlcCommand {
+                replica: r.get_u32()?,
+                scenario: get_str(r)?,
+                breaker: r.get_u16()?,
+                close: r.get_bool()?,
+                exec_seq: r.get_u64()?,
+            },
+            2 => {
+                let replica = r.get_u32()?;
+                let scenario = get_str(r)?;
+                let np = r.get_u32()? as usize;
+                if np > 4096 {
+                    return Err(DecodeError::new("positions length"));
+                }
+                let positions = (0..np).map(|_| r.get_bool()).collect::<Result<_, _>>()?;
+                let nc = r.get_u32()? as usize;
+                if nc > 4096 {
+                    return Err(DecodeError::new("currents length"));
+                }
+                let currents = (0..nc).map(|_| r.get_u16()).collect::<Result<_, _>>()?;
+                let exec_seq = r.get_u64()?;
+                ExternalMsg::HmiFrame { replica, scenario, positions, currents, exec_seq }
+            }
+            _ => return Err(DecodeError::new("external message tag")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use itcrypto::keys::KeyPair;
+    use prime::types::Update;
+
+    fn signed_update() -> SignedUpdate {
+        let mut kp = KeyPair::generate(1);
+        let update = Update::new(0, 1, Bytes::from_static(b"payload"));
+        let sig = kp.sign(&update.to_wire());
+        SignedUpdate { update, sig }
+    }
+
+    #[test]
+    fn roundtrips() {
+        let msgs = [
+            ExternalMsg::ClientUpdate(signed_update()),
+            ExternalMsg::PlcCommand {
+                replica: 2,
+                scenario: "jhu".into(),
+                breaker: 3,
+                close: true,
+                exec_seq: 42,
+            },
+            ExternalMsg::HmiFrame {
+                replica: 1,
+                scenario: "plant".into(),
+                positions: vec![true, false],
+                currents: vec![100, 0],
+                exec_seq: 7,
+            },
+        ];
+        for m in msgs {
+            assert_eq!(ExternalMsg::from_wire(&m.to_wire()).expect("roundtrip"), m);
+        }
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(ExternalMsg::from_wire(&[9]).is_err());
+        let good = ExternalMsg::PlcCommand {
+            replica: 0,
+            scenario: "x".into(),
+            breaker: 0,
+            close: false,
+            exec_seq: 0,
+        }
+        .to_wire();
+        assert!(ExternalMsg::from_wire(&good[..good.len() - 2]).is_err());
+    }
+}

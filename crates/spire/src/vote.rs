@@ -1,0 +1,107 @@
+//! `f+1` matching-message voting.
+//!
+//! A single compromised SCADA master can emit arbitrary commands and
+//! display frames. Proxies and HMIs therefore act only once `f+1`
+//! *identical* messages (matched on every field including the execution
+//! sequence) have arrived from *distinct* replicas — at least one of which
+//! must be correct.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Collects votes keyed by message content; fires once per key when the
+/// threshold of distinct voters is reached.
+#[derive(Clone, Debug)]
+pub struct VoteCollector<K: Ord + Clone> {
+    threshold: u32,
+    votes: BTreeMap<K, BTreeSet<u32>>,
+    fired: BTreeSet<K>,
+    /// Keys that reached threshold (monotone counter for stats).
+    pub decisions: u64,
+}
+
+impl<K: Ord + Clone> VoteCollector<K> {
+    /// Creates a collector requiring `threshold` distinct voters.
+    pub fn new(threshold: u32) -> Self {
+        VoteCollector { threshold, votes: BTreeMap::new(), fired: BTreeSet::new(), decisions: 0 }
+    }
+
+    /// Records a vote from `voter` for `key`. Returns `true` exactly once
+    /// per key: when the threshold is first reached.
+    pub fn vote(&mut self, key: K, voter: u32) -> bool {
+        if self.fired.contains(&key) {
+            return false;
+        }
+        let set = self.votes.entry(key.clone()).or_default();
+        set.insert(voter);
+        if set.len() as u32 >= self.threshold {
+            self.fired.insert(key.clone());
+            self.votes.remove(&key);
+            self.decisions += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of keys still below threshold.
+    pub fn pending(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// Drops vote state for keys older than the retention horizon, using a
+    /// caller-supplied predicate (e.g. exec_seq below a watermark).
+    pub fn retain<F: FnMut(&K) -> bool>(&mut self, mut keep: F) {
+        self.votes.retain(|k, _| keep(k));
+        self.fired.retain(|k| keep(k));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_exactly_once_at_threshold() {
+        let mut v = VoteCollector::new(2);
+        assert!(!v.vote("cmd", 0));
+        assert!(v.vote("cmd", 1), "second distinct voter fires");
+        assert!(!v.vote("cmd", 2), "already fired");
+        assert_eq!(v.decisions, 1);
+    }
+
+    #[test]
+    fn duplicate_voter_does_not_count_twice() {
+        let mut v = VoteCollector::new(2);
+        assert!(!v.vote("cmd", 0));
+        assert!(!v.vote("cmd", 0), "same replica repeating itself");
+        assert!(v.vote("cmd", 1));
+    }
+
+    #[test]
+    fn different_content_is_a_different_key() {
+        // A faulty replica voting for a *different* command cannot merge
+        // with honest votes.
+        let mut v = VoteCollector::new(2);
+        assert!(!v.vote(("open", 1u64), 0));
+        assert!(!v.vote(("close", 1u64), 1), "conflicting content, no quorum");
+        assert!(v.vote(("open", 1u64), 2));
+        assert_eq!(v.pending(), 1, "the lying vote is still parked");
+    }
+
+    #[test]
+    fn retain_garbage_collects() {
+        let mut v = VoteCollector::new(3);
+        for seq in 0u64..10 {
+            v.vote(seq, 0);
+        }
+        assert_eq!(v.pending(), 10);
+        v.retain(|&seq| seq >= 8);
+        assert_eq!(v.pending(), 2);
+    }
+
+    #[test]
+    fn threshold_one_fires_immediately() {
+        let mut v = VoteCollector::new(1);
+        assert!(v.vote("x", 5));
+    }
+}

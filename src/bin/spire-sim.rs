@@ -1,0 +1,129 @@
+//! `spire-sim` — run any of the reproduction's experiments from the
+//! command line.
+//!
+//! ```text
+//! spire-sim <command> [--seed N]
+//!
+//! commands:
+//!   figures        build and print Figures 1, 2 and 4
+//!   e1             red team vs. the commercial SCADA system
+//!   e2             red team vs. Spire (network attacks)
+//!   e3             compromised-replica excursion
+//!   e4 [--days N]  plant deployment, N compressed days (default 6)
+//!   e5             end-to-end reaction time, Spire vs. commercial
+//!   e6             assumption breach + ground-truth recovery
+//!   e7             MANA detection (incidents + board)
+//!   e7b            MANA ROC curves (both model families)
+//!   e8             replica-requirement ablation (3f+1 vs 3f+2k+1)
+//!   e9             diversity/recovery race
+//!   e10            hardening ablation matrix
+//!   all            everything above, in order
+//! ```
+
+use std::process::ExitCode;
+
+use bench::figures::{fig1_conventional, fig2_spire, fig4_hmi};
+use bench::mana_experiment::{e7_mana_detection, e7_roc, render_mana, render_roc};
+use bench::plant_experiments::{e4_plant_deployment, e5_reaction_time, render_reaction};
+use bench::recovery_experiments::{
+    e6_ground_truth, e8_recovery_ablation, e9_diversity_ablation, render_diversity,
+};
+use bench::redteam_experiments::{
+    e10_hardening_ablation, e1_commercial_attacks, e2_spire_network_attacks,
+    e3_replica_excursion, render_ablation,
+};
+
+struct Options {
+    seed: u64,
+    days: u64,
+}
+
+fn parse_flags(args: &[String]) -> Options {
+    let mut opts = Options { seed: 42, days: 6 };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" if i + 1 < args.len() => {
+                opts.seed = args[i + 1].parse().unwrap_or(42);
+                i += 1;
+            }
+            "--days" if i + 1 < args.len() => {
+                opts.days = args[i + 1].parse().unwrap_or(6);
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn run(command: &str, opts: &Options) -> bool {
+    match command {
+        "figures" => {
+            println!("{}", fig1_conventional(opts.seed));
+            println!("{}", fig2_spire(opts.seed + 1));
+            println!("{}", fig4_hmi(opts.seed + 2));
+        }
+        "e1" => println!("{}", e1_commercial_attacks(opts.seed).render()),
+        "e2" => {
+            let r = e2_spire_network_attacks(opts.seed);
+            println!("{}", r.report.render());
+            println!(
+                "frames {} -> {}   arp rejections {}   spines auth failures {}",
+                r.frames_before, r.frames_after, r.arp_rejections, r.spines_auth_failures
+            );
+        }
+        "e3" => {
+            let r = e3_replica_excursion(opts.seed);
+            for s in &r.stages {
+                println!(
+                    "stage {}: {:<55} disrupted: {:<5}  {}",
+                    s.number, s.action, s.disrupted_service, s.evidence
+                );
+            }
+            println!("spire survived: {}", r.spire_survived());
+        }
+        "e4" => {
+            let r = e4_plant_deployment(opts.seed, opts.days, 30);
+            println!("{r:#?}");
+        }
+        "e5" => println!("{}", render_reaction(&e5_reaction_time(opts.seed, 10))),
+        "e6" => println!("{:#?}", e6_ground_truth(opts.seed)),
+        "e7" => println!("{}", render_mana(&e7_mana_detection(opts.seed))),
+        "e7b" => println!("{}", render_roc(&e7_roc(opts.seed))),
+        "e8" => {
+            for arm in e8_recovery_ablation(opts.seed) {
+                println!(
+                    "{:<36} n={}   executed: {:>3}   live: {}",
+                    arm.label, arm.n, arm.executed_during_window, arm.stayed_live
+                );
+            }
+        }
+        "e9" => println!("{}", render_diversity(&e9_diversity_ablation(opts.seed, 20))),
+        "e10" => println!("{}", render_ablation(&e10_hardening_ablation(opts.seed))),
+        "all" => {
+            for c in ["figures", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10"] {
+                println!("\n===== {c} =====\n");
+                run(c, opts);
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("usage: spire-sim <figures|e1..e10|e7b|all> [--seed N] [--days N]");
+        return ExitCode::FAILURE;
+    };
+    let opts = parse_flags(&args[1..]);
+    if run(command, &opts) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("unknown command: {command}");
+        ExitCode::FAILURE
+    }
+}

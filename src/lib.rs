@@ -1,0 +1,17 @@
+//! Umbrella crate for the Spire reproduction workspace.
+//!
+//! Re-exports the public crates so root-level examples and integration tests
+//! can use a single dependency. See the individual crates for documentation:
+//! [`spire`], [`prime`], [`spines`], [`scada`], [`mana`], [`redteam`].
+
+pub use diversity;
+pub use itcrypto;
+pub use mana;
+pub use modbus;
+pub use plc;
+pub use prime;
+pub use redteam;
+pub use scada;
+pub use simnet;
+pub use spines;
+pub use spire;

@@ -1,0 +1,125 @@
+//! Randomized fault-schedule tests ("chaos"): random update submissions
+//! interleaved with crashes and proactive recoveries — always within the
+//! tolerance bounds (at most `f` Byzantine plus `k` recovering at once) —
+//! must never break agreement or halt execution.
+
+use prime::byzantine::ByzMode;
+use prime::harness::Cluster;
+use prime::replica::Timing;
+use prime::types::{Config, ReplicaId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::time::SimDuration;
+
+fn fast_timing() -> Timing {
+    Timing {
+        aru_interval: SimDuration::from_millis(10),
+        pp_interval: SimDuration::from_millis(10),
+        suspect_timeout: SimDuration::from_millis(600),
+        checkpoint_interval: 15,
+        catchup_timeout: SimDuration::from_millis(250),
+    }
+}
+
+/// One chaos run: random ops against a plant-config cluster.
+fn chaos_run(seed: u64) {
+    let config = Config::plant(); // f = 1, k = 1, n = 6
+    let mut c = Cluster::new(config, 2);
+    c.set_timing(fast_timing());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut crashed: Option<u32> = None;
+    let mut submitted = 0u64;
+
+    for _round in 0..40 {
+        match rng.gen_range(0..10) {
+            // Mostly: submit updates.
+            0..=5 => {
+                let client = rng.gen_range(0..2);
+                submitted += 1;
+                c.submit(client, format!("chaos{submitted}=v"));
+            }
+            // Crash one replica (the single tolerated intrusion).
+            6 => {
+                if crashed.is_none() {
+                    let victim = rng.gen_range(0..6u32);
+                    c.replicas[victim as usize].byz = ByzMode::Crashed;
+                    crashed = Some(victim);
+                }
+            }
+            // Heal the crash (attacker evicted / machine replaced).
+            7 => {
+                if let Some(victim) = crashed.take() {
+                    c.replicas[victim as usize].byz = ByzMode::Correct;
+                    // A healed replica lost its state: recover it.
+                    c.recover_replica(ReplicaId(victim));
+                }
+            }
+            // Proactive recovery of a random healthy replica.
+            8 => {
+                let candidate = rng.gen_range(0..6u32);
+                if crashed != Some(candidate) {
+                    c.recover_replica(ReplicaId(candidate));
+                }
+            }
+            // Let time pass.
+            _ => {}
+        }
+        c.run_for(SimDuration::from_millis(rng.gen_range(50..300)));
+    }
+    // Heal everything and quiesce.
+    if let Some(victim) = crashed.take() {
+        c.replicas[victim as usize].byz = ByzMode::Correct;
+        c.recover_replica(ReplicaId(victim));
+    }
+    c.run_for(SimDuration::from_secs(6));
+
+    // Agreement: identical execution prefixes and state digests.
+    let executed = c.assert_consistent();
+    assert!(executed > 0, "seed {seed}: nothing executed");
+    // Liveness: every submitted update executed at every replica.
+    assert_eq!(
+        c.min_executed(),
+        submitted,
+        "seed {seed}: not all updates executed (submitted {submitted})"
+    );
+}
+
+#[test]
+fn chaos_seed_1() {
+    chaos_run(1);
+}
+
+#[test]
+fn chaos_seed_2() {
+    chaos_run(2);
+}
+
+#[test]
+fn chaos_seed_3() {
+    chaos_run(3);
+}
+
+#[test]
+fn chaos_seed_4() {
+    chaos_run(4);
+}
+
+#[test]
+fn chaos_with_delaying_leader() {
+    // The Prime-specific attack mixed into chaos: the view-0 leader delays
+    // massively; the cluster must depose it and stay consistent.
+    let mut c = Cluster::new(Config::plant(), 1);
+    c.set_timing(fast_timing());
+    c.replicas[0].byz = ByzMode::DelayLeader(SimDuration::from_secs(60));
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut submitted = 0;
+    for _ in 0..20 {
+        submitted += 1;
+        c.submit(0, format!("d{submitted}=v"));
+        c.run_for(SimDuration::from_millis(rng.gen_range(50..200)));
+    }
+    c.run_for(SimDuration::from_secs(5));
+    assert!(c.replicas[1].view() >= 1, "delaying leader deposed");
+    assert_eq!(c.min_executed(), submitted);
+    c.assert_consistent();
+}

@@ -1,0 +1,223 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use itcrypto::merkle::MerkleTree;
+use itcrypto::sha256::{sha256, Sha256};
+use itcrypto::stream::{open, seal};
+use modbus::crc::{check_and_strip, crc16};
+use modbus::{Request, Response};
+use plc::logic::LogicConfig;
+use plc::topology::fig4_topology;
+use prime::types::{Config, Update};
+use scada::state::ScadaState;
+use scada::updates::ScadaUpdate;
+use simnet::wire::Wire;
+use spines::fairness::FairQueue;
+use spines::message::{Destination, MsgKind, SpinesMsg};
+
+proptest! {
+    // ---- crypto ----
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..4096), split in 0usize..4096) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn sealed_boxes_roundtrip_and_reject_tamper(
+        key in any::<[u8; 32]>(),
+        nonce in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..512),
+        flip_byte in any::<u8>(),
+        flip_at in any::<usize>(),
+    ) {
+        let sealed = seal(&key, nonce, &msg);
+        prop_assert_eq!(open(&key, &sealed), Some(msg.clone()));
+        if !sealed.ciphertext.is_empty() && flip_byte != 0 {
+            let mut bad = sealed.clone();
+            let i = flip_at % bad.ciphertext.len();
+            bad.ciphertext[i] ^= flip_byte;
+            prop_assert_eq!(open(&key, &bad), None);
+        }
+    }
+
+    #[test]
+    fn merkle_proofs_verify_and_bind(leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..40), idx in any::<usize>()) {
+        let tree = MerkleTree::from_leaves(&leaves);
+        let i = idx % leaves.len();
+        let proof = tree.prove(i).expect("index in range");
+        prop_assert!(MerkleTree::verify(tree.root(), &leaves[i], &proof));
+        // The proof must not verify a different leaf value.
+        let mut other = leaves[i].clone();
+        other.push(0xAB);
+        prop_assert!(!MerkleTree::verify(tree.root(), &other, &proof));
+    }
+
+    // ---- wire codecs: decoding arbitrary bytes must never panic ----
+
+    #[test]
+    fn spines_msg_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = SpinesMsg::from_wire(&data);
+    }
+
+    #[test]
+    fn prime_msg_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = prime::messages::PrimeMsg::from_wire(&data);
+    }
+
+    #[test]
+    fn scada_update_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = ScadaUpdate::from_wire(&data);
+    }
+
+    #[test]
+    fn modbus_request_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Request::decode(&data);
+    }
+
+    #[test]
+    fn modbus_response_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256), count in 1u16..50) {
+        let req = Request::ReadCoils { address: 0, count };
+        let _ = Response::decode(&data, &req);
+    }
+
+    #[test]
+    fn plc_config_image_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = LogicConfig::from_image(&data);
+    }
+
+    #[test]
+    fn spines_msg_roundtrip(
+        src in any::<u32>(),
+        seq in any::<u64>(),
+        daemon_dst in any::<bool>(),
+        dst_val in any::<u32>(),
+        priority in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let msg = SpinesMsg {
+            src,
+            seq,
+            dst: if daemon_dst { Destination::Daemon(dst_val) } else { Destination::Group(dst_val as u16) },
+            priority,
+            kind: MsgKind::Data,
+            payload: bytes::Bytes::from(payload),
+        };
+        prop_assert_eq!(SpinesMsg::from_wire(&msg.to_wire()).expect("roundtrip"), msg);
+    }
+
+    #[test]
+    fn prime_update_roundtrip(client in any::<u32>(), seq in any::<u64>(), payload in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let u = Update::new(client, seq, bytes::Bytes::from(payload));
+        prop_assert_eq!(Update::from_wire(&u.to_wire()).expect("roundtrip"), u);
+    }
+
+    // ---- CRC ----
+
+    #[test]
+    fn crc_roundtrip_and_single_bitflip_detected(mut body in proptest::collection::vec(any::<u8>(), 1..64), bit in any::<u8>(), at in any::<usize>()) {
+        modbus::crc::append_crc(&mut body);
+        prop_assert!(check_and_strip(&body).is_some());
+        let i = at % body.len();
+        let mask = 1u8 << (bit % 8);
+        body[i] ^= mask;
+        // A single bit flip is always detected by CRC-16.
+        prop_assert!(check_and_strip(&body).is_none());
+        let _ = crc16(&body);
+    }
+
+    // ---- power topology ----
+
+    #[test]
+    fn closing_breakers_is_monotone(closed in proptest::collection::vec(any::<bool>(), 7), extra in 0usize..7) {
+        let topo = fig4_topology();
+        let before = topo.energized_count(&closed);
+        let mut more = closed.clone();
+        more[extra] = true;
+        let after = topo.energized_count(&more);
+        prop_assert!(after >= before, "closing a breaker must never darken a load");
+    }
+
+    #[test]
+    fn breaker_currents_zero_when_open(closed in proptest::collection::vec(any::<bool>(), 7)) {
+        let topo = fig4_topology();
+        for b in 0..7u16 {
+            if !closed[b as usize] {
+                prop_assert_eq!(topo.breaker_current(b, &closed), 0);
+            }
+        }
+    }
+
+    // ---- SCADA state ----
+
+    #[test]
+    fn scada_state_snapshot_roundtrip(polls in proptest::collection::vec((any::<u8>(), proptest::collection::vec(any::<bool>(), 0..8)), 0..10)) {
+        let mut st = ScadaState::new();
+        for (i, (tag, positions)) in polls.iter().enumerate() {
+            let currents = positions.iter().map(|&p| u16::from(p) * 100).collect();
+            st.apply(&ScadaUpdate::RtuStatus {
+                scenario: format!("s{tag}"),
+                poll_seq: i as u64 + 1,
+                positions: positions.clone(),
+                currents,
+            });
+        }
+        let restored = ScadaState::restore(&st.snapshot());
+        prop_assert_eq!(restored.digest(), st.digest());
+        prop_assert_eq!(restored, st);
+    }
+
+    // ---- fairness queue ----
+
+    #[test]
+    fn fair_queue_conserves_items(pushes in proptest::collection::vec((0u32..8, any::<u16>()), 0..200), budget in 1usize..50) {
+        let mut q = FairQueue::new(1_000);
+        for &(src, v) in &pushes {
+            q.push(src, v);
+        }
+        let mut drained = 0usize;
+        loop {
+            let batch = q.drain(budget);
+            if batch.is_empty() {
+                break;
+            }
+            drained += batch.len();
+        }
+        prop_assert_eq!(drained, pushes.len());
+        prop_assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fair_queue_serves_all_sources_within_budget(n_per_src in 1usize..20) {
+        // With k sources and budget >= k, every source is served each round.
+        let mut q = FairQueue::new(1_000);
+        for src in 0..5u32 {
+            for i in 0..n_per_src {
+                q.push(src, i);
+            }
+        }
+        let batch = q.drain(5);
+        let sources: std::collections::BTreeSet<u32> = batch.iter().map(|i| i.src).collect();
+        prop_assert_eq!(sources.len(), 5, "one item from each source per round");
+    }
+
+    // ---- prime configuration arithmetic ----
+
+    #[test]
+    fn prime_quorums_intersect_in_a_correct_replica(f in 0u32..4, k in 0u32..4) {
+        let c = Config::new(f, k);
+        let n = c.n();
+        let q = c.ordering_quorum();
+        // Any two quorums intersect in at least f+1 replicas → ≥1 correct.
+        prop_assert!(2 * q >= n + f + 1, "quorum intersection must beat f (n={n}, q={q})");
+        // Coverage threshold guarantees at least one correct, non-recovering row.
+        prop_assert!(c.coverage_threshold() >= f + k + 1);
+        // Liveness: a quorum must survive f byzantine + k recovering.
+        prop_assert!(n - f - k >= q, "quorum reachable with f+k unavailable");
+    }
+}
