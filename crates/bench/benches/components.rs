@@ -22,12 +22,16 @@ use spines::daemon::SpinesDaemon;
 fn bench_crypto(c: &mut Criterion) {
     let mut group = c.benchmark_group("crypto");
     let msg = vec![0xABu8; 1024];
-    group.bench_function("sha256_1k", |b| b.iter(|| sha256(std::hint::black_box(&msg))));
+    group.bench_function("sha256_1k", |b| {
+        b.iter(|| sha256(std::hint::black_box(&msg)))
+    });
     group.bench_function("hmac_1k", |b| {
         b.iter(|| itcrypto::hmac::hmac_sha256(b"key", std::hint::black_box(&msg)))
     });
     let mut kp = KeyPair::generate(1);
-    group.bench_function("schnorr_sign", |b| b.iter(|| kp.sign(std::hint::black_box(&msg))));
+    group.bench_function("schnorr_sign", |b| {
+        b.iter(|| kp.sign(std::hint::black_box(&msg)))
+    });
     let sig = kp.sign(&msg);
     let pk = kp.public_key();
     group.bench_function("schnorr_verify", |b| {
@@ -49,14 +53,20 @@ fn bench_crypto(c: &mut Criterion) {
 
 fn bench_modbus(c: &mut Criterion) {
     let mut group = c.benchmark_group("modbus");
-    let req = Request::ReadDiscreteInputs { address: 0, count: 7 };
+    let req = Request::ReadDiscreteInputs {
+        address: 0,
+        count: 7,
+    };
     group.bench_function("pdu_encode_decode", |b| {
         b.iter(|| {
             let bytes = std::hint::black_box(&req).encode();
             Request::decode(&bytes).expect("valid")
         })
     });
-    let rtu = RtuFrame { unit: 1, pdu: req.encode() };
+    let rtu = RtuFrame {
+        unit: 1,
+        pdu: req.encode(),
+    };
     group.bench_function("rtu_frame_roundtrip", |b| {
         b.iter(|| {
             let bytes = std::hint::black_box(&rtu).encode();
@@ -79,13 +89,20 @@ fn bench_modbus(c: &mut Criterion) {
 
 fn bench_spines(c: &mut Criterion) {
     let mut group = c.benchmark_group("spines");
-    let daemons: Vec<(u32, IpAddr)> =
-        (0..6).map(|i| (i, IpAddr::new(10, 1, 0, (i + 1) as u8))).collect();
+    let daemons: Vec<(u32, IpAddr)> = (0..6)
+        .map(|i| (i, IpAddr::new(10, 1, 0, (i + 1) as u8)))
+        .collect();
     let cfg = SpinesConfig::full_mesh(daemons, Port(8100), [9; 32], SpinesMode::IntrusionTolerant);
     group.bench_function("multicast_6_mesh", |b| {
         b.iter_batched(
             || SpinesDaemon::new(0, cfg.clone()),
-            |mut d| d.multicast(1, 1, Bytes::from_static(b"update-payload-64-bytes.........")),
+            |mut d| {
+                d.multicast(
+                    1,
+                    1,
+                    Bytes::from_static(b"update-payload-64-bytes........."),
+                )
+            },
             BatchSize::SmallInput,
         )
     });
@@ -176,5 +193,12 @@ fn bench_mana(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_crypto, bench_modbus, bench_spines, bench_prime, bench_mana);
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_modbus,
+    bench_spines,
+    bench_prime,
+    bench_mana
+);
 criterion_main!(benches);

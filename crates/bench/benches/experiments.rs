@@ -16,8 +16,8 @@ use bench::recovery_experiments::{
     e6_ground_truth, e8_recovery_ablation, e9_diversity_ablation, render_diversity,
 };
 use bench::redteam_experiments::{
-    e10_hardening_ablation, e1_commercial_attacks, e2_spire_network_attacks,
-    e3_replica_excursion, render_ablation,
+    e10_hardening_ablation, e1_commercial_attacks, e2_spire_network_attacks, e3_replica_excursion,
+    render_ablation,
 };
 
 fn banner(title: &str) {
@@ -86,7 +86,10 @@ fn print_all_tables(c: &mut Criterion) {
     );
 
     banner("E5 — end-to-end reaction time: Spire vs. commercial (§V)");
-    println!("{}", render_reaction(&timed("e5", || e5_reaction_time(55, 10))));
+    println!(
+        "{}",
+        render_reaction(&timed("e5", || e5_reaction_time(55, 10)))
+    );
 
     banner("E6 — assumption breach and ground-truth recovery (§III-A)");
     let run = timed("e6", || e6_ground_truth(66));
@@ -119,10 +122,16 @@ fn print_all_tables(c: &mut Criterion) {
     }
 
     banner("E9 — diversity/recovery race (§II)");
-    println!("{}", render_diversity(&timed("e9", || e9_diversity_ablation(99, 20))));
+    println!(
+        "{}",
+        render_diversity(&timed("e9", || e9_diversity_ablation(99, 20)))
+    );
 
     banner("E10 — hardening ablation: which attack lands when a §III-B step is skipped");
-    println!("{}", render_ablation(&timed("e10", || e10_hardening_ablation(110))));
+    println!(
+        "{}",
+        render_ablation(&timed("e10", || e10_hardening_ablation(110)))
+    );
 
     // Keep Criterion happy with one trivial benchmark in this group.
     let mut group = c.benchmark_group("tables");
@@ -139,11 +148,19 @@ fn print_all_tables(c: &mut Criterion) {
 fn time_light_experiments(c: &mut Criterion) {
     let mut group = c.benchmark_group("experiments");
     group.sample_size(10);
-    group.bench_function("e1_commercial_attacks", |b| b.iter(|| e1_commercial_attacks(11)));
-    group.bench_function("e5_reaction_time_4_flips", |b| b.iter(|| e5_reaction_time(55, 4)));
+    group.bench_function("e1_commercial_attacks", |b| {
+        b.iter(|| e1_commercial_attacks(11))
+    });
+    group.bench_function("e5_reaction_time_4_flips", |b| {
+        b.iter(|| e5_reaction_time(55, 4))
+    });
     group.bench_function("e6_ground_truth", |b| b.iter(|| e6_ground_truth(66)));
-    group.bench_function("e8_recovery_ablation", |b| b.iter(|| e8_recovery_ablation(88)));
-    group.bench_function("e9_diversity_5_trials", |b| b.iter(|| e9_diversity_ablation(99, 5)));
+    group.bench_function("e8_recovery_ablation", |b| {
+        b.iter(|| e8_recovery_ablation(88))
+    });
+    group.bench_function("e9_diversity_5_trials", |b| {
+        b.iter(|| e9_diversity_ablation(99, 5))
+    });
     group.bench_function("fig1_conventional", |b| b.iter(|| fig1_conventional(1)));
     group.finish();
 }

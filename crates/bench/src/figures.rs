@@ -58,7 +58,11 @@ pub fn fig2_spire(seed: u64) -> String {
 /// SCADA state after the breaker cycle ran for a while.
 pub fn fig4_hmi(seed: u64) -> String {
     let cfg = SpireConfig::minimal(PrimeConfig::red_team(), Scenario::RedTeamDistribution)
-        .with_cycle(Scenario::RedTeamDistribution, SimDuration::from_millis(400), 3);
+        .with_cycle(
+            Scenario::RedTeamDistribution,
+            SimDuration::from_millis(400),
+            3,
+        );
     let mut d = Deployment::build(cfg, HardeningProfile::deployed(), seed);
     for i in 0..4 {
         d.replica_mut(i).set_timing(prime::replica::Timing {

@@ -41,7 +41,11 @@ pub struct ManaRun {
 /// team's attacks appear as classified incidents.
 pub fn e7_mana_detection(seed: u64) -> ManaRun {
     let cfg = SpireConfig::minimal(PrimeConfig::red_team(), Scenario::RedTeamDistribution)
-        .with_cycle(Scenario::RedTeamDistribution, SimDuration::from_millis(500), 0);
+        .with_cycle(
+            Scenario::RedTeamDistribution,
+            SimDuration::from_millis(500),
+            0,
+        );
     let mut d = Deployment::build(cfg, HardeningProfile::deployed(), seed);
     for i in 0..4 {
         d.replica_mut(i).set_timing(Timing {
@@ -77,24 +81,33 @@ pub fn e7_mana_detection(seed: u64) -> ManaRun {
     let t0 = d.now();
     let replica_ext = d.cfg.replica_external_ip(0);
     let mut attacker = Attacker::new();
-    attacker.schedule(t0 + SimDuration::from_millis(500), AttackStep::PortScan {
-        target: replica_ext,
-        from_port: 8000,
-        to_port: 8400,
-    });
-    attacker.schedule(t0 + SimDuration::from_secs(3), AttackStep::ArpPoison {
-        victim: d.cfg.hmi_ip(0),
-        claim_ip: replica_ext,
-        count: 60,
-    });
-    attacker.schedule(t0 + SimDuration::from_secs(6), AttackStep::DosBurst {
-        target: replica_ext,
-        port: EXTERNAL_SPINES_PORT,
-        pps: 3_000,
-        duration: SimDuration::from_secs(2),
-        spoof_src: None,
-        payload: 700,
-    });
+    attacker.schedule(
+        t0 + SimDuration::from_millis(500),
+        AttackStep::PortScan {
+            target: replica_ext,
+            from_port: 8000,
+            to_port: 8400,
+        },
+    );
+    attacker.schedule(
+        t0 + SimDuration::from_secs(3),
+        AttackStep::ArpPoison {
+            victim: d.cfg.hmi_ip(0),
+            claim_ip: replica_ext,
+            count: 60,
+        },
+    );
+    attacker.schedule(
+        t0 + SimDuration::from_secs(6),
+        AttackStep::DosBurst {
+            target: replica_ext,
+            port: EXTERNAL_SPINES_PORT,
+            pps: 3_000,
+            duration: SimDuration::from_secs(2),
+            spoof_src: None,
+            payload: 700,
+        },
+    );
     let mut spec = NodeSpec::new(
         "red-team",
         vec![InterfaceSpec::dynamic(IpAddr::new(10, 20, 0, 66))],
@@ -141,7 +154,11 @@ pub struct RocRun {
 /// compute ROC curves.
 pub fn e7_roc(seed: u64) -> RocRun {
     let cfg = SpireConfig::minimal(PrimeConfig::red_team(), Scenario::RedTeamDistribution)
-        .with_cycle(Scenario::RedTeamDistribution, SimDuration::from_millis(500), 0);
+        .with_cycle(
+            Scenario::RedTeamDistribution,
+            SimDuration::from_millis(500),
+            0,
+        );
     let mut d = Deployment::build(cfg, HardeningProfile::deployed(), seed);
     let window = SimDuration::from_millis(250);
     let mut extractor = WindowExtractor::new(window);
@@ -158,19 +175,36 @@ pub fn e7_roc(seed: u64) -> RocRun {
     let replica_ext = d.cfg.replica_external_ip(0);
     let mut attacker = Attacker::new();
     let scan_at = t0 + SimDuration::from_millis(500);
-    attacker.schedule(scan_at, AttackStep::PortScan { target: replica_ext, from_port: 8000, to_port: 8400 });
+    attacker.schedule(
+        scan_at,
+        AttackStep::PortScan {
+            target: replica_ext,
+            from_port: 8000,
+            to_port: 8400,
+        },
+    );
     let arp_at = t0 + SimDuration::from_secs(3);
-    attacker.schedule(arp_at, AttackStep::ArpPoison { victim: d.cfg.hmi_ip(0), claim_ip: replica_ext, count: 60 });
+    attacker.schedule(
+        arp_at,
+        AttackStep::ArpPoison {
+            victim: d.cfg.hmi_ip(0),
+            claim_ip: replica_ext,
+            count: 60,
+        },
+    );
     let dos_at = t0 + SimDuration::from_secs(6);
     let dos_len = SimDuration::from_secs(2);
-    attacker.schedule(dos_at, AttackStep::DosBurst {
-        target: replica_ext,
-        port: EXTERNAL_SPINES_PORT,
-        pps: 3_000,
-        duration: dos_len,
-        spoof_src: None,
-        payload: 700,
-    });
+    attacker.schedule(
+        dos_at,
+        AttackStep::DosBurst {
+            target: replica_ext,
+            port: EXTERNAL_SPINES_PORT,
+            pps: 3_000,
+            duration: dos_len,
+            spoof_src: None,
+            payload: 700,
+        },
+    );
     let mut spec = NodeSpec::new(
         "red-team",
         vec![InterfaceSpec::dynamic(IpAddr::new(10, 20, 0, 66))],
@@ -195,8 +229,10 @@ pub fn e7_roc(seed: u64) -> RocRun {
             (w, attack)
         })
         .collect();
-    let gaussian_samples: Vec<(f64, bool)> =
-        labeled.iter().map(|(w, a)| (gaussian.score(w).max_z, *a)).collect();
+    let gaussian_samples: Vec<(f64, bool)> = labeled
+        .iter()
+        .map(|(w, a)| (gaussian.score(w).max_z, *a))
+        .collect();
     let kmeans_samples: Vec<(f64, bool)> =
         labeled.iter().map(|(w, a)| (kmeans.score(w), *a)).collect();
     let (curve_gaussian, auc_gaussian) = roc_curve(&gaussian_samples);

@@ -2,6 +2,7 @@
 
 use diversity::recovery::RecoveryScheduler;
 use plc::topology::Scenario;
+use prime::application::Application;
 use prime::replica::Timing;
 use prime::types::Config as PrimeConfig;
 use redteam::lab::CommercialLab;
@@ -10,7 +11,6 @@ use simnet::time::SimDuration;
 use spire::config::SpireConfig;
 use spire::deploy::Deployment;
 use spire::hardening::HardeningProfile;
-use prime::application::Application;
 use spire::latency::{measure_spire, summarize, LatencySummary, Sample};
 
 fn fast_timing() -> Timing {
@@ -42,6 +42,8 @@ pub struct PlantRun {
     pub longest_display_gap: SimDuration,
     /// Whether all healthy replicas ended with identical state digests.
     pub replicas_consistent: bool,
+    /// Full metrics/journal snapshot of the run.
+    pub obs: obs::ObsReport,
 }
 
 /// E4 — the plant deployment: 6 replicas (f=1, k=1), the full 17-PLC
@@ -52,14 +54,32 @@ pub struct PlantRun {
 /// seconds (the event patterns — polls, cycle flips, recoveries — keep
 /// their relative cadence; see EXPERIMENTS.md).
 pub fn e4_plant_deployment(seed: u64, days: u64, seconds_per_day: u64) -> PlantRun {
+    e4_plant_deployment_traced(seed, days, seconds_per_day, false)
+}
+
+/// [`e4_plant_deployment`] with the journal optionally echoed live to
+/// stdout (`spire-sim e4 --trace`).
+pub fn e4_plant_deployment_traced(
+    seed: u64,
+    days: u64,
+    seconds_per_day: u64,
+    trace: bool,
+) -> PlantRun {
     // Full plant configuration but with the emulated fleet reduced to two
     // distribution and two generation PLCs so six days stay tractable; the
     // real + emulated mix is preserved.
     let mut cfg = SpireConfig::plant();
     cfg.proxies.truncate(5);
     cfg.hmis = 3;
-    let cfg = cfg.with_cycle(Scenario::PlantSubset, SimDuration::from_millis(700), 0);
+    // The deployment's LAN links are lossless with fixed latency, so the
+    // seed must enter through the workload: a seed-derived sub-millisecond
+    // phase on the cycle period makes distinct seeds produce distinct
+    // event streams (and journal digests) while identical seeds reproduce
+    // byte-identically.
+    let period = SimDuration::from_micros(700_000 + seed % 1_000);
+    let cfg = cfg.with_cycle(Scenario::PlantSubset, period, 0);
     let mut d = Deployment::build(cfg, HardeningProfile::deployed(), seed);
+    d.obs.set_trace(trace);
     for i in 0..6 {
         d.replica_mut(i).set_timing(fast_timing());
     }
@@ -70,12 +90,23 @@ pub fn e4_plant_deployment(seed: u64, days: u64, seconds_per_day: u64) -> PlantR
     d.run_with_recovery(day.saturating_mul(days), &mut scheduler);
     d.run_for(SimDuration::from_secs(5));
 
-    let min_executed =
-        (0..6).map(|i| d.replica(i).replica.exec_seq()).min().unwrap_or(0);
-    let hmi_frames: u64 = (0..3).map(|h| d.hmi(h).stats.frames_applied).sum();
-    let view_changes: u64 = (0..6).map(|i| d.replica(i).stats.view_changes).sum();
+    let min_executed = (0..6)
+        .map(|i| d.replica(i).replica.exec_seq())
+        .min()
+        .unwrap_or(0);
+    let hmi_frames: u64 = (0..3)
+        .map(|h| d.obs.counter_value(&format!("hmi.{h}.frames_applied")))
+        .sum();
+    let view_changes =
+        d.obs
+            .journal_count(|e| matches!(e, obs::Event::ViewChange { .. })) as u64;
     let digests: Vec<_> = (0..6)
-        .map(|i| (d.replica(i).replica.exec_seq(), d.replica(i).replica.app().digest()))
+        .map(|i| {
+            (
+                d.replica(i).replica.exec_seq(),
+                d.replica(i).replica.app().digest(),
+            )
+        })
         .collect();
     let max_exec = digests.iter().map(|(e, _)| *e).max().unwrap_or(0);
     let at_head: Vec<_> = digests.iter().filter(|(e, _)| *e == max_exec).collect();
@@ -99,6 +130,7 @@ pub fn e4_plant_deployment(seed: u64, days: u64, seconds_per_day: u64) -> PlantR
         view_changes,
         longest_display_gap: longest,
         replicas_consistent,
+        obs: d.obs.report(),
     }
 }
 
@@ -112,6 +144,9 @@ pub struct ReactionTimes {
     /// The plant's timing requirement used for the verdict (200 ms, a
     /// typical HMI-refresh requirement; the paper gives no number).
     pub requirement: SimDuration,
+    /// Metrics snapshot of the Spire-side run, including the
+    /// `e5.spire.reaction_us` and `e5.commercial.reaction_us` histograms.
+    pub obs: obs::ObsReport,
 }
 
 impl ReactionTimes {
@@ -137,7 +172,8 @@ pub fn e5_reaction_time(seed: u64, flips: usize) -> ReactionTimes {
     }
     // The §V measurement used a dedicated fast poll; 20 ms keeps the
     // proxy's detection latency small relative to ordering.
-    d.proxy_mut(0).set_poll_interval(SimDuration::from_millis(20));
+    d.proxy_mut(0)
+        .set_poll_interval(SimDuration::from_millis(20));
     d.proxy_mut(0).verbose_updates = true;
     d.run_for(SimDuration::from_secs(3));
     let spire_samples = measure_spire(&mut d, 0, 1, 0, flips, SimDuration::from_secs(1));
@@ -149,7 +185,8 @@ pub fn e5_reaction_time(seed: u64, flips: usize) -> ReactionTimes {
     let mut state = true;
     for i in 0..flips {
         // Same deterministic phase jitter as the Spire side.
-        lab.sim.run_for(SimDuration::from_micros((i as u64 * 7_919) % 100_000));
+        lab.sim
+            .run_for(SimDuration::from_micros((i as u64 * 7_919) % 100_000));
         state = !state;
         let flipped_at = lab.sim.now();
         let before = lab
@@ -169,13 +206,23 @@ pub fn e5_reaction_time(seed: u64, flips: usize) -> ReactionTimes {
             .get(before..)
             .and_then(|new| new.iter().find(|&&(_, closed)| closed == state))
             .map(|&(t, _)| t);
-        commercial_samples.push(Sample { flipped_at, displayed_at });
+        let sample = Sample {
+            flipped_at,
+            displayed_at,
+        };
+        if let Some(reaction) = sample.reaction() {
+            d.obs
+                .histogram("e5.commercial.reaction_us")
+                .record(reaction.as_micros());
+        }
+        commercial_samples.push(sample);
     }
 
     ReactionTimes {
         spire: summarize(&spire_samples),
         commercial: summarize(&commercial_samples),
         requirement: SimDuration::from_millis(200),
+        obs: d.obs.report(),
     }
 }
 

@@ -48,8 +48,11 @@ pub struct GroundTruthRun {
 /// replicas (beyond any BFT bound), show that replica-based recovery is
 /// impossible, then rebuild the master state by polling the field devices.
 pub fn e6_ground_truth(seed: u64) -> GroundTruthRun {
-    let cfg = SpireConfig::minimal(PrimeConfig::plant(), Scenario::RedTeamDistribution)
-        .with_cycle(Scenario::RedTeamDistribution, SimDuration::from_millis(500), 6);
+    let cfg = SpireConfig::minimal(PrimeConfig::plant(), Scenario::RedTeamDistribution).with_cycle(
+        Scenario::RedTeamDistribution,
+        SimDuration::from_millis(500),
+        6,
+    );
     let mut d = Deployment::build(cfg, HardeningProfile::deployed(), seed);
     for i in 0..6 {
         d.replica_mut(i).set_timing(fast_timing());
@@ -78,9 +81,9 @@ pub fn e6_ground_truth(seed: u64) -> GroundTruthRun {
         .map(|p| (d.proxy(p).scenario().tag(), d.plc(p).positions()))
         .collect();
     let rebuilt = rebuild_from_field(&field_polls);
-    let field_rebuild_correct = field_polls.iter().all(|(tag, positions)| {
-        rebuilt.scenario(tag).map(|s| &s.positions) == Some(positions)
-    });
+    let field_rebuild_correct = field_polls
+        .iter()
+        .all(|(tag, positions)| rebuilt.scenario(tag).map(|s| &s.positions) == Some(positions));
     let recovery = historian.recover_from_field(d.now(), &field_polls);
 
     GroundTruthRun {
@@ -113,7 +116,10 @@ pub struct RecoveryArm {
 pub fn e8_recovery_ablation(_seed: u64) -> Vec<RecoveryArm> {
     let mut arms = Vec::new();
     for (label, config) in [
-        ("3f+1 (n=4, no recovery margin)".to_string(), PrimeConfig::new(1, 0)),
+        (
+            "3f+1 (n=4, no recovery margin)".to_string(),
+            PrimeConfig::new(1, 0),
+        ),
         ("3f+2k+1 (n=6, k=1)".to_string(), PrimeConfig::plant()),
     ] {
         let mut c = Cluster::new(config, 1);
@@ -177,7 +183,11 @@ pub fn e9_diversity_ablation(seed: u64, trials: u64) -> Vec<DiversityRow> {
         for (defense, diversity, recovery) in [
             ("identical replicas", false, None),
             ("diversity only", true, None),
-            ("diversity + recovery (30 min cycle)", true, Some((SimDuration::from_secs(1800), SimDuration::from_secs(300), 1))),
+            (
+                "diversity + recovery (30 min cycle)",
+                true,
+                Some((SimDuration::from_secs(1800), SimDuration::from_secs(300), 1)),
+            ),
         ] {
             let cfg = RaceConfig {
                 n: 6,
@@ -188,8 +198,7 @@ pub fn e9_diversity_ablation(seed: u64, trials: u64) -> Vec<DiversityRow> {
                 hardening: BinaryHardening::deployed_2017(),
                 horizon,
             };
-            let outcomes: Vec<RaceOutcome> =
-                (0..trials).map(|t| race(cfg, seed + t)).collect();
+            let outcomes: Vec<RaceOutcome> = (0..trials).map(|t| race(cfg, seed + t)).collect();
             let mut breach_hours: Vec<f64> = outcomes
                 .iter()
                 .filter_map(|o| o.breach_at.map(|t| t.as_secs_f64() / 3600.0))
@@ -227,7 +236,8 @@ pub fn render_diversity(rows: &[DiversityRow]) -> String {
             "{:<38} {:>14.1} {:>20} {:>16.2}\n",
             r.defense,
             r.exploit_hours,
-            r.median_breach_hours.map_or("> horizon".to_string(), |h| format!("{h:.1}")),
+            r.median_breach_hours
+                .map_or("> horizon".to_string(), |h| format!("{h:.1}")),
             r.breach_fraction
         ));
     }

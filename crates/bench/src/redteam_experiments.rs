@@ -35,7 +35,11 @@ fn fast_timing() -> Timing {
 /// scenario, breaker cycle running.
 fn spire_target(hardening: HardeningProfile, seed: u64) -> Deployment {
     let cfg = SpireConfig::minimal(PrimeConfig::red_team(), Scenario::RedTeamDistribution)
-        .with_cycle(Scenario::RedTeamDistribution, SimDuration::from_millis(500), 0);
+        .with_cycle(
+            Scenario::RedTeamDistribution,
+            SimDuration::from_millis(500),
+            0,
+        );
     let mut d = Deployment::build(cfg, hardening, seed);
     for i in 0..4 {
         d.replica_mut(i).set_timing(fast_timing());
@@ -53,28 +57,64 @@ pub fn e1_commercial_attacks(seed: u64) -> AttackReport {
     let mut lab = CommercialLab::build(seed, true);
     let mut attacker = Attacker::new();
     attacker.schedule(SimTime(500_000), AttackStep::ModbusDump { plc: addr::PLC });
-    let node = lab.attach_enterprise_attacker(CommercialLab::attacker_spec(addr::ENTERPRISE_ATTACKER, attacker));
+    let node = lab.attach_enterprise_attacker(CommercialLab::attacker_spec(
+        addr::ENTERPRISE_ATTACKER,
+        attacker,
+    ));
     lab.sim.run_for(SimDuration::from_secs(2));
-    let dumped = lab.sim.process_ref::<Attacker>(node).expect("attacker").observed.dumped_config.clone();
+    let dumped = lab
+        .sim
+        .process_ref::<Attacker>(node)
+        .expect("attacker")
+        .observed
+        .dumped_config
+        .clone();
     report.add(
         "PLC memory dump (enterprise net)",
         "commercial",
-        if dumped.is_some() { AttackOutcome::Succeeded } else { AttackOutcome::Defeated },
+        if dumped.is_some() {
+            AttackOutcome::Succeeded
+        } else {
+            AttackOutcome::Defeated
+        },
         "unauthenticated Modbus through the boundary firewall",
     );
     if let Some(image) = dumped {
         let mut cfg = LogicConfig::from_image(&image).expect("factory image parses");
         cfg.force_open_mask = 0x7F;
         let mut uploader = Attacker::new();
-        uploader.schedule(SimTime(2_100_000), AttackStep::ModbusUpload { plc: addr::PLC, image: cfg.to_image() });
-        let n2 = lab.attach_enterprise_attacker(CommercialLab::attacker_spec(IpAddr::new(10, 40, 0, 67), uploader));
+        uploader.schedule(
+            SimTime(2_100_000),
+            AttackStep::ModbusUpload {
+                plc: addr::PLC,
+                image: cfg.to_image(),
+            },
+        );
+        let n2 = lab.attach_enterprise_attacker(CommercialLab::attacker_spec(
+            IpAddr::new(10, 40, 0, 67),
+            uploader,
+        ));
         lab.sim.run_for(SimDuration::from_secs(3));
-        let acked = lab.sim.process_ref::<Attacker>(n2).expect("attacker").observed.upload_acked;
-        let plc_taken = lab.sim.process_ref::<PlcEmulator>(lab.plc).expect("plc").energized_loads() == 0;
+        let acked = lab
+            .sim
+            .process_ref::<Attacker>(n2)
+            .expect("attacker")
+            .observed
+            .upload_acked;
+        let plc_taken = lab
+            .sim
+            .process_ref::<PlcEmulator>(lab.plc)
+            .expect("plc")
+            .energized_loads()
+            == 0;
         report.add(
             "PLC config upload → control device",
             "commercial",
-            if acked && plc_taken { AttackOutcome::Succeeded } else { AttackOutcome::Defeated },
+            if acked && plc_taken {
+                AttackOutcome::Succeeded
+            } else {
+                AttackOutcome::Defeated
+            },
             "modified configuration forced every breaker open",
         );
     }
@@ -84,25 +124,61 @@ pub fn e1_commercial_attacks(seed: u64) -> AttackReport {
     let mut lab2 = CommercialLab::build(seed + 1, true);
     lab2.sim.run_for(SimDuration::from_secs(1));
     let mut mitm = Attacker::new();
-    mitm.schedule(SimTime(1_100_000), AttackStep::ArpPoison { victim: addr::PRIMARY, claim_ip: addr::HMI, count: 5 });
-    mitm.schedule(SimTime(1_500_000), AttackStep::InjectCommercialCommand { master: addr::PRIMARY, breaker: 0, close: false });
-    mitm.mitm = Some(MitmConfig { rewrite_status_all_closed: true, forward: true });
+    mitm.schedule(
+        SimTime(1_100_000),
+        AttackStep::ArpPoison {
+            victim: addr::PRIMARY,
+            claim_ip: addr::HMI,
+            count: 5,
+        },
+    );
+    mitm.schedule(
+        SimTime(1_500_000),
+        AttackStep::InjectCommercialCommand {
+            master: addr::PRIMARY,
+            breaker: 0,
+            close: false,
+        },
+    );
+    mitm.mitm = Some(MitmConfig {
+        rewrite_status_all_closed: true,
+        forward: true,
+    });
     let node = lab2.attach_ops_attacker(CommercialLab::attacker_spec(addr::OPS_ATTACKER, mitm));
     lab2.sim.run_for(SimDuration::from_secs(4));
-    let plc_open = !lab2.sim.process_ref::<PlcEmulator>(lab2.plc).expect("plc").positions()[0];
-    let hmi = lab2.sim.process_ref::<CommercialHmi>(lab2.hmi).expect("hmi");
+    let plc_open = !lab2
+        .sim
+        .process_ref::<PlcEmulator>(lab2.plc)
+        .expect("plc")
+        .positions()[0];
+    let hmi = lab2
+        .sim
+        .process_ref::<CommercialHmi>(lab2.hmi)
+        .expect("hmi");
     let operator_blind = hmi.positions == vec![true; 7];
-    let obs = &lab2.sim.process_ref::<Attacker>(node).expect("attacker").observed;
+    let obs = &lab2
+        .sim
+        .process_ref::<Attacker>(node)
+        .expect("attacker")
+        .observed;
     report.add(
         "unauthenticated command injection",
         "commercial",
-        if plc_open { AttackOutcome::Succeeded } else { AttackOutcome::Defeated },
+        if plc_open {
+            AttackOutcome::Succeeded
+        } else {
+            AttackOutcome::Defeated
+        },
         "master accepts supervisory commands from anyone",
     );
     report.add(
         "ARP MITM: forge HMI updates",
         "commercial",
-        if operator_blind && obs.rewritten >= 1 { AttackOutcome::Succeeded } else { AttackOutcome::Defeated },
+        if operator_blind && obs.rewritten >= 1 {
+            AttackOutcome::Succeeded
+        } else {
+            AttackOutcome::Defeated
+        },
         "operator display shows forged all-closed state",
     );
     report
@@ -134,35 +210,52 @@ pub fn e2_spire_network_attacks(seed: u64) -> E2Result {
     let mut attacker = Attacker::new();
     let replica_ext = d.cfg.replica_external_ip(0);
     let hmi_ip = d.cfg.hmi_ip(0);
-    attacker.schedule(t0 + SimDuration::from_millis(100), AttackStep::PortScan {
-        target: replica_ext,
-        from_port: 8000,
-        to_port: 8300,
-    });
-    attacker.schedule(t0 + SimDuration::from_millis(600), AttackStep::ArpPoison {
-        victim: hmi_ip,
-        claim_ip: replica_ext,
-        count: 20,
-    });
-    attacker.schedule(t0 + SimDuration::from_millis(1_200), AttackStep::SpinesProbe {
-        target: replica_ext,
-        port: EXTERNAL_SPINES_PORT,
-        payload: vec![1; 200],
-    });
+    attacker.schedule(
+        t0 + SimDuration::from_millis(100),
+        AttackStep::PortScan {
+            target: replica_ext,
+            from_port: 8000,
+            to_port: 8300,
+        },
+    );
+    attacker.schedule(
+        t0 + SimDuration::from_millis(600),
+        AttackStep::ArpPoison {
+            victim: hmi_ip,
+            claim_ip: replica_ext,
+            count: 20,
+        },
+    );
+    attacker.schedule(
+        t0 + SimDuration::from_millis(1_200),
+        AttackStep::SpinesProbe {
+            target: replica_ext,
+            port: EXTERNAL_SPINES_PORT,
+            payload: vec![1; 200],
+        },
+    );
     // IP-spoofed injection: forge an allowed peer's source address.
-    attacker.schedule(t0 + SimDuration::from_millis(1_500), AttackStep::DosBurst {
-        target: replica_ext,
-        port: EXTERNAL_SPINES_PORT,
-        pps: 2_000,
-        duration: SimDuration::from_secs(2),
-        spoof_src: Some(d.cfg.proxy_ip(0)),
-        payload: 400,
-    });
+    attacker.schedule(
+        t0 + SimDuration::from_millis(1_500),
+        AttackStep::DosBurst {
+            target: replica_ext,
+            port: EXTERNAL_SPINES_PORT,
+            pps: 2_000,
+            duration: SimDuration::from_secs(2),
+            spoof_src: Some(d.cfg.proxy_ip(0)),
+            payload: 400,
+        },
+    );
     let node = d.attach_external_attacker(attacker_spec(attacker));
     d.run_for(SimDuration::from_secs(6));
     let frames_after = d.hmi(0).stats.frames_applied;
 
-    let obs = d.sim.process_ref::<Attacker>(node).expect("attacker").observed.clone();
+    let obs = d
+        .sim
+        .process_ref::<Attacker>(node)
+        .expect("attacker")
+        .observed
+        .clone();
     let arp_rejections: u64 = (0..d.cfg.n())
         .map(|i| d.sim.arp_rejections(d.replica_nodes[i as usize], 1))
         .chain(std::iter::once(d.sim.arp_rejections(d.hmi_nodes[0], 0)))
@@ -175,28 +268,57 @@ pub fn e2_spire_network_attacks(seed: u64) -> E2Result {
     report.add(
         "port scan (300 ports)",
         "spire",
-        if obs.scan_results.is_empty() { AttackOutcome::NoVisibility } else { AttackOutcome::Succeeded },
-        format!("{} SYNs sent, {} responses — default-deny drops silently", obs.syns_sent, obs.scan_results.len()),
+        if obs.scan_results.is_empty() {
+            AttackOutcome::NoVisibility
+        } else {
+            AttackOutcome::Succeeded
+        },
+        format!(
+            "{} SYNs sent, {} responses — default-deny drops silently",
+            obs.syns_sent,
+            obs.scan_results.len()
+        ),
     );
     report.add(
         "ARP poisoning",
         "spire",
-        if arp_rejections > 0 { AttackOutcome::Defeated } else { AttackOutcome::Succeeded },
+        if arp_rejections > 0 {
+            AttackOutcome::Defeated
+        } else {
+            AttackOutcome::Succeeded
+        },
         format!("static ARP tables rejected {arp_rejections} gratuitous replies"),
     );
     report.add(
         "unauthenticated Spines injection",
         "spire",
-        if obs.spines_probes_sent > 0 && frames_after > frames_before { AttackOutcome::Defeated } else { AttackOutcome::Succeeded },
+        if obs.spines_probes_sent > 0 && frames_after > frames_before {
+            AttackOutcome::Defeated
+        } else {
+            AttackOutcome::Succeeded
+        },
         "link authentication rejects outsider frames",
     );
     report.add(
         "DoS burst (spoofed source)",
         "spire",
-        if frames_after > frames_before { AttackOutcome::Defeated } else { AttackOutcome::Succeeded },
-        format!("{} packets sent; breaker cycle continued", obs.dos_packets_sent),
+        if frames_after > frames_before {
+            AttackOutcome::Defeated
+        } else {
+            AttackOutcome::Succeeded
+        },
+        format!(
+            "{} packets sent; breaker cycle continued",
+            obs.dos_packets_sent
+        ),
     );
-    E2Result { report, frames_before, frames_after, arp_rejections, spines_auth_failures }
+    E2Result {
+        report,
+        frames_before,
+        frames_after,
+        arp_rejections,
+        spines_auth_failures,
+    }
 }
 
 fn attacker_spec(attacker: Attacker) -> NodeSpec {
@@ -271,39 +393,64 @@ fn run_ablation_case(label: String, profile: HardeningProfile, seed: u64) -> Abl
 
     let mut attacker = Attacker::new();
     // Scan a range spanning the Spines ports.
-    attacker.schedule(t0 + SimDuration::from_millis(100), AttackStep::PortScan {
-        target: replica_ext,
-        from_port: 8110,
-        to_port: 8150,
-    });
+    attacker.schedule(
+        t0 + SimDuration::from_millis(100),
+        AttackStep::PortScan {
+            target: replica_ext,
+            from_port: 8110,
+            to_port: 8150,
+        },
+    );
     // Poison the proxy's view of replica 0 (would reroute its updates).
-    attacker.schedule(t0 + SimDuration::from_millis(400), AttackStep::ArpPoison {
-        victim: proxy_ip,
-        claim_ip: replica_ext,
-        count: 10,
-    });
+    attacker.schedule(
+        t0 + SimDuration::from_millis(400),
+        AttackStep::ArpPoison {
+            victim: proxy_ip,
+            claim_ip: replica_ext,
+            count: 10,
+        },
+    );
     // Claim the proxy's MAC (CAM takeover on a learning switch).
-    attacker.schedule(t0 + SimDuration::from_millis(600), AttackStep::MacSpoof {
-        impersonate: proxy_mac,
-        count: 5,
-    });
+    attacker.schedule(
+        t0 + SimDuration::from_millis(600),
+        AttackStep::MacSpoof {
+            impersonate: proxy_mac,
+            count: 5,
+        },
+    );
     // Probe the replication network with a forged internal-peer source:
     // the firewall trusts the peer, so only physical isolation (or the
     // strong-host model) keeps this away from the internal daemon.
-    attacker.schedule(t0 + SimDuration::from_millis(800), AttackStep::SpoofedProbe {
-        target: replica_int,
-        port: INTERNAL_SPINES_PORT,
-        spoof_src: peer_int,
-        payload: vec![2; 64],
-    });
+    attacker.schedule(
+        t0 + SimDuration::from_millis(800),
+        AttackStep::SpoofedProbe {
+            target: replica_int,
+            port: INTERNAL_SPINES_PORT,
+            spoof_src: peer_int,
+            payload: vec![2; 64],
+        },
+    );
     // Ask who owns the internal address (cross-interface ARP leak).
-    attacker.schedule(t0 + SimDuration::from_millis(1_000), AttackStep::Ping { target: replica_int });
+    attacker.schedule(
+        t0 + SimDuration::from_millis(1_000),
+        AttackStep::Ping {
+            target: replica_int,
+        },
+    );
     // Try the PLC directly (only reachable when not behind the proxy).
-    attacker.schedule(t0 + SimDuration::from_millis(1_200), AttackStep::ModbusDump { plc: plc_cable });
+    attacker.schedule(
+        t0 + SimDuration::from_millis(1_200),
+        AttackStep::ModbusDump { plc: plc_cable },
+    );
     let node = d.attach_external_attacker(attacker_spec(attacker));
     d.run_for(SimDuration::from_secs(4));
 
-    let obs = d.sim.process_ref::<Attacker>(node).expect("attacker").observed.clone();
+    let obs = d
+        .sim
+        .process_ref::<Attacker>(node)
+        .expect("attacker")
+        .observed
+        .clone();
     let internal_auth_failures: u64 = (0..d.cfg.n())
         .map(|i| d.replica(i).internal.stats.auth_failures + d.replica(i).internal.stats.malformed)
         .sum();
@@ -313,7 +460,10 @@ fn run_ablation_case(label: String, profile: HardeningProfile, seed: u64) -> Abl
     // CAM takeover: the switch now maps the proxy's MAC to a different port.
     let mac_spoof_accepted = match &d.sim.switch(d.external_switch).mode {
         simnet::switch::SwitchMode::Learning => {
-            d.sim.switch(d.external_switch).cam_entry(proxy_mac).is_some()
+            d.sim
+                .switch(d.external_switch)
+                .cam_entry(proxy_mac)
+                .is_some()
                 && d.sim.switch(d.external_switch).ingress_violations == 0
         }
         simnet::switch::SwitchMode::Static { .. } => false,
@@ -329,7 +479,10 @@ fn run_ablation_case(label: String, profile: HardeningProfile, seed: u64) -> Abl
         internal_reachable: internal_auth_failures > 0,
         internal_addr_leaked,
         plc_exposed: obs.device_id.is_some(),
-        root_escalation: d.hardening.os.vulnerable_to(diversity::os::CveClass::DirtyCow),
+        root_escalation: d
+            .hardening
+            .os
+            .vulnerable_to(diversity::os::CveClass::DirtyCow),
         service_progressed: d.hmi(0).stats.frames_applied > frames_before,
     }
 }
@@ -339,7 +492,15 @@ pub fn render_ablation(rows: &[AblationRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<22} {:>6} {:>7} {:>9} {:>9} {:>9} {:>7} {:>6} {:>8}\n",
-        "disabled switch", "scan", "poison", "mac-spoof", "int-reach", "addr-leak", "plc", "root", "svc-ok"
+        "disabled switch",
+        "scan",
+        "poison",
+        "mac-spoof",
+        "int-reach",
+        "addr-leak",
+        "plc",
+        "root",
+        "svc-ok"
     ));
     out.push_str(&format!("{}\n", "-".repeat(94)));
     for r in rows {

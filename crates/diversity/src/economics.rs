@@ -57,7 +57,13 @@ pub fn race(config: RaceConfig, seed: u64) -> RaceOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
     let step = SimDuration::from_secs(60); // 1-minute resolution
     let mut variants: Vec<Variant> = (0..config.n)
-        .map(|i| if config.diversity { MultiCompiler::compile(1 + i as u64) } else { MultiCompiler::identical() })
+        .map(|i| {
+            if config.diversity {
+                MultiCompiler::compile(1 + i as u64)
+            } else {
+                MultiCompiler::identical()
+            }
+        })
         .collect();
     let mut compromised: Vec<bool> = vec![false; config.n as usize];
     let mut scheduler = config
@@ -73,7 +79,7 @@ pub fn race(config: RaceConfig, seed: u64) -> RaceOutcome {
     let mut max_simultaneous = 0;
     let mut now = SimTime::ZERO;
     while now.0 < config.horizon.0 {
-        now = now + step;
+        now += step;
         // Proactive recovery wipes compromises and re-diversifies.
         if let Some(s) = scheduler.as_mut() {
             for event in s.poll(now) {
@@ -110,10 +116,18 @@ pub fn race(config: RaceConfig, seed: u64) -> RaceOutcome {
         let simultaneous = compromised.iter().filter(|&&c| c).count() as u32;
         max_simultaneous = max_simultaneous.max(simultaneous);
         if simultaneous > config.f {
-            return RaceOutcome { breach_at: Some(now), exploits_crafted, max_simultaneous };
+            return RaceOutcome {
+                breach_at: Some(now),
+                exploits_crafted,
+                max_simultaneous,
+            };
         }
     }
-    RaceOutcome { breach_at: None, exploits_crafted, max_simultaneous }
+    RaceOutcome {
+        breach_at: None,
+        exploits_crafted,
+        max_simultaneous,
+    }
 }
 
 fn sample_effort(rng: &mut StdRng, config: &RaceConfig) -> f64 {
@@ -145,7 +159,10 @@ mod tests {
 
     #[test]
     fn identical_replicas_breach_immediately_after_first_exploit() {
-        let cfg = RaceConfig { diversity: false, ..base() };
+        let cfg = RaceConfig {
+            diversity: false,
+            ..base()
+        };
         let out = race(cfg, 1);
         let breach = out.breach_at.expect("identical replicas must fall");
         assert_eq!(out.max_simultaneous, 6, "one exploit took everything");
@@ -157,15 +174,32 @@ mod tests {
     #[test]
     fn diversity_without_recovery_breaches_eventually() {
         let out = race(base(), 2);
-        assert!(out.breach_at.is_some(), "accumulation is inevitable without recovery");
-        assert!(out.exploits_crafted >= 2, "needed multiple distinct exploits");
+        assert!(
+            out.breach_at.is_some(),
+            "accumulation is inevitable without recovery"
+        );
+        assert!(
+            out.exploits_crafted >= 2,
+            "needed multiple distinct exploits"
+        );
     }
 
     #[test]
     fn diversity_beats_identical_on_time_to_breach() {
-        let ident = race(RaceConfig { diversity: false, ..base() }, 3).breach_at.expect("breach");
+        let ident = race(
+            RaceConfig {
+                diversity: false,
+                ..base()
+            },
+            3,
+        )
+        .breach_at
+        .expect("breach");
         let divers = race(base(), 3).breach_at.expect("breach");
-        assert!(divers > ident, "diversity bought time: {divers:?} vs {ident:?}");
+        assert!(
+            divers > ident,
+            "diversity bought time: {divers:?} vs {ident:?}"
+        );
     }
 
     #[test]
@@ -190,19 +224,32 @@ mod tests {
         // A 30-minute attacker against a 24h recovery cycle still wins.
         let cfg = RaceConfig {
             exploit_hours_mean: 0.5,
-            recovery: Some((SimDuration::from_secs(4 * 3600), SimDuration::from_secs(300), 1)),
+            recovery: Some((
+                SimDuration::from_secs(4 * 3600),
+                SimDuration::from_secs(300),
+                1,
+            )),
             ..base()
         };
         let out = race(cfg, 5);
-        assert!(out.breach_at.is_some(), "recovery too slow for this attacker");
+        assert!(
+            out.breach_at.is_some(),
+            "recovery too slow for this attacker"
+        );
     }
 
     #[test]
     fn hardening_delays_breach() {
         let soft = race(base(), 6).breach_at.expect("breach");
-        let hard_cfg = RaceConfig { hardening: BinaryHardening::recommended(), ..base() };
+        let hard_cfg = RaceConfig {
+            hardening: BinaryHardening::recommended(),
+            ..base()
+        };
         let hard = race(hard_cfg, 6).breach_at.expect("breach");
-        assert!(hard > soft, "hardening multiplied attacker work: {hard:?} vs {soft:?}");
+        assert!(
+            hard > soft,
+            "hardening multiplied attacker work: {hard:?} vs {soft:?}"
+        );
     }
 
     #[test]

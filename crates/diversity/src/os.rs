@@ -68,7 +68,11 @@ mod tests {
 
     #[test]
     fn ubuntu_falls_centos_stands() {
-        for cve in [CveClass::DirtyCow, CveClass::SshDaemon, CveClass::DesktopService] {
+        for cve in [
+            CveClass::DirtyCow,
+            CveClass::SshDaemon,
+            CveClass::DesktopService,
+        ] {
             assert!(OsProfile::UbuntuDesktop.vulnerable_to(cve), "{cve:?}");
             assert!(!OsProfile::CentosMinimal.vulnerable_to(cve), "{cve:?}");
         }
@@ -76,7 +80,10 @@ mod tests {
 
     #[test]
     fn minimal_profile_smaller_surface() {
-        assert!(OsProfile::CentosMinimal.default_services() < OsProfile::UbuntuDesktop.default_services());
+        assert!(
+            OsProfile::CentosMinimal.default_services()
+                < OsProfile::UbuntuDesktop.default_services()
+        );
     }
 
     #[test]

@@ -80,7 +80,7 @@ impl RecoveryScheduler {
                 new_variant: MultiCompiler::compile(self.seed_counter),
             };
             self.next_replica = (self.next_replica + 1) % self.n;
-            self.next_start = self.next_start + self.interval;
+            self.next_start += self.interval;
             self.in_flight.push(event);
             started.push(event);
         }
@@ -107,12 +107,7 @@ mod tests {
     use super::*;
 
     fn sched() -> RecoveryScheduler {
-        RecoveryScheduler::new(
-            6,
-            1,
-            SimDuration::from_secs(60),
-            SimDuration::from_secs(20),
-        )
+        RecoveryScheduler::new(6, 1, SimDuration::from_secs(60), SimDuration::from_secs(20))
     }
 
     #[test]
@@ -129,12 +124,16 @@ mod tests {
 
     #[test]
     fn at_most_k_simultaneous() {
-        let mut s = RecoveryScheduler::new(6, 1, SimDuration::from_secs(10), SimDuration::from_secs(60));
+        let mut s =
+            RecoveryScheduler::new(6, 1, SimDuration::from_secs(10), SimDuration::from_secs(60));
         // Downtime exceeds interval: recoveries would overlap; k=1 blocks.
         let first = s.poll(SimTime(10_000_000));
         assert_eq!(first.len(), 1);
         let blocked = s.poll(SimTime(20_000_000));
-        assert!(blocked.is_empty(), "second recovery deferred while first is down");
+        assert!(
+            blocked.is_empty(),
+            "second recovery deferred while first is down"
+        );
         assert_eq!(s.down_at(SimTime(30_000_000)), vec![0]);
         // After the first finishes, the next can start.
         let resumed = s.poll(SimTime(75_000_000));

@@ -27,12 +27,18 @@ impl BinaryHardening {
     /// The deployment as fielded in 2017: not stripped, options visible —
     /// the configuration the team said they would improve.
     pub fn deployed_2017() -> Self {
-        BinaryHardening { stripped_symbols: false, compiled_in_config: false }
+        BinaryHardening {
+            stripped_symbols: false,
+            compiled_in_config: false,
+        }
     }
 
     /// The recommended configuration after lessons learned.
     pub fn recommended() -> Self {
-        BinaryHardening { stripped_symbols: true, compiled_in_config: true }
+        BinaryHardening {
+            stripped_symbols: true,
+            compiled_in_config: true,
+        }
     }
 
     /// Multiplier on the attacker's reverse-engineering effort. Calibrated
@@ -104,7 +110,10 @@ mod tests {
     #[test]
     fn same_seed_same_variant_different_seed_different() {
         assert_eq!(MultiCompiler::compile(7), MultiCompiler::compile(7));
-        assert_ne!(MultiCompiler::compile(7).layout, MultiCompiler::compile(8).layout);
+        assert_ne!(
+            MultiCompiler::compile(7).layout,
+            MultiCompiler::compile(8).layout
+        );
     }
 
     #[test]
@@ -139,7 +148,10 @@ mod tests {
         let hard = Exploit::craft(&v, 8.0, BinaryHardening::recommended());
         assert_eq!(easy.crafting_hours, 8.0);
         assert_eq!(hard.crafting_hours, 32.0);
-        let partial = BinaryHardening { stripped_symbols: true, compiled_in_config: false };
+        let partial = BinaryHardening {
+            stripped_symbols: true,
+            compiled_in_config: false,
+        };
         assert_eq!(Exploit::craft(&v, 8.0, partial).crafting_hours, 16.0);
     }
 }

@@ -188,7 +188,9 @@ mod tests {
         let kp1 = KeyPair::generate(1);
         let kp2 = KeyPair::generate(2);
         let mut reg = KeyRegistry::new();
-        assert!(reg.register(Principal::Daemon(3), kp1.public_key()).is_none());
+        assert!(reg
+            .register(Principal::Daemon(3), kp1.public_key())
+            .is_none());
         let old = reg.register(Principal::Daemon(3), kp2.public_key());
         assert_eq!(old, Some(kp1.public_key()));
         assert_eq!(reg.lookup(Principal::Daemon(3)), Some(kp2.public_key()));
@@ -213,7 +215,10 @@ mod tests {
         let mut reg = KeyRegistry::new();
         assert!(reg.is_empty());
         for i in 0..4 {
-            reg.register(Principal::Replica(i), KeyPair::generate(i as u64).public_key());
+            reg.register(
+                Principal::Replica(i),
+                KeyPair::generate(i as u64).public_key(),
+            );
         }
         assert_eq!(reg.len(), 4);
         assert_eq!(reg.iter().count(), 4);

@@ -61,7 +61,10 @@ impl MerkleTree {
         B: AsRef<[u8]>,
     {
         let leaf_hashes: Vec<Digest> = leaves.into_iter().map(|l| hash_leaf(l.as_ref())).collect();
-        assert!(!leaf_hashes.is_empty(), "merkle tree requires at least one leaf");
+        assert!(
+            !leaf_hashes.is_empty(),
+            "merkle tree requires at least one leaf"
+        );
         let mut levels = vec![leaf_hashes];
         while levels.last().expect("nonempty").len() > 1 {
             let prev = levels.last().expect("nonempty");
@@ -96,7 +99,11 @@ impl MerkleTree {
         let mut path = Vec::new();
         let mut idx = index;
         for level in &self.levels[..self.levels.len() - 1] {
-            let sibling = if idx % 2 == 0 { idx + 1 } else { idx - 1 };
+            let sibling = if idx.is_multiple_of(2) {
+                idx + 1
+            } else {
+                idx - 1
+            };
             if sibling < level.len() {
                 path.push((level[sibling], sibling < idx));
             }

@@ -168,8 +168,12 @@ impl Sha256 {
         let mut pad = Vec::with_capacity(72);
         pad.push(0x80u8);
         let msg_len = self.buf_len + 1;
-        let zeros = if msg_len <= 56 { 56 - msg_len } else { 120 - msg_len };
-        pad.extend(std::iter::repeat(0u8).take(zeros));
+        let zeros = if msg_len <= 56 {
+            56 - msg_len
+        } else {
+            120 - msg_len
+        };
+        pad.extend(std::iter::repeat_n(0u8, zeros));
         pad.extend_from_slice(&bit_len.to_be_bytes());
         // Reuse update, but avoid double-counting length.
         let save = self.total_len;
@@ -336,8 +340,8 @@ mod tests {
     #[test]
     fn prefix_u64_is_big_endian() {
         let d = Digest([
-            0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
-            0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+            0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+            0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
         ]);
         assert_eq!(d.prefix_u64(), 0x0102030405060708);
     }

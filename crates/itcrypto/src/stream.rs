@@ -61,7 +61,11 @@ pub fn seal(link_key: &[u8; 32], nonce: u64, plaintext: &[u8]) -> SealedBox {
     let mut mac_input = nonce.to_be_bytes().to_vec();
     mac_input.extend_from_slice(&ciphertext);
     let tag = hmac_sha256(&mac_key, &mac_input).0;
-    SealedBox { nonce, ciphertext, tag }
+    SealedBox {
+        nonce,
+        ciphertext,
+        tag,
+    }
 }
 
 /// Opens a sealed box, returning the plaintext if the tag verifies.

@@ -62,9 +62,16 @@ impl FeatureVector {
         values[1] = bytes as f64;
         values[2] = sources.len() as f64;
         values[3] = dst_ports.len() as f64;
-        values[8] = if records.is_empty() { 0.0 } else { bytes as f64 / records.len() as f64 };
+        values[8] = if records.is_empty() {
+            0.0
+        } else {
+            bytes as f64 / records.len() as f64
+        };
         values[9] = flows.len() as f64;
-        FeatureVector { window_start, values }
+        FeatureVector {
+            window_start,
+            values,
+        }
     }
 }
 
@@ -79,7 +86,11 @@ pub struct WindowExtractor {
 impl WindowExtractor {
     /// Creates an extractor with the given window length.
     pub fn new(window: SimDuration) -> Self {
-        WindowExtractor { window, current_start: SimTime::ZERO, buffer: Vec::new() }
+        WindowExtractor {
+            window,
+            current_start: SimTime::ZERO,
+            buffer: Vec::new(),
+        }
     }
 
     /// Feeds records (must be time-ordered, as capture taps produce them);
@@ -88,9 +99,12 @@ impl WindowExtractor {
         let mut out = Vec::new();
         for r in records {
             while r.time >= self.current_start + self.window {
-                out.push(FeatureVector::from_records(self.current_start, &self.buffer));
+                out.push(FeatureVector::from_records(
+                    self.current_start,
+                    &self.buffer,
+                ));
                 self.buffer.clear();
-                self.current_start = self.current_start + self.window;
+                self.current_start += self.window;
             }
             self.buffer.push(r);
         }
@@ -102,9 +116,12 @@ impl WindowExtractor {
     pub fn flush_until(&mut self, now: SimTime) -> Vec<FeatureVector> {
         let mut out = Vec::new();
         while now >= self.current_start + self.window {
-            out.push(FeatureVector::from_records(self.current_start, &self.buffer));
+            out.push(FeatureVector::from_records(
+                self.current_start,
+                &self.buffer,
+            ));
             self.buffer.clear();
-            self.current_start = self.current_start + self.window;
+            self.current_start += self.window;
         }
         out
     }

@@ -10,7 +10,6 @@ use simnet::time::{SimDuration, SimTime};
 use crate::features::{FeatureVector, WindowExtractor};
 use crate::model::{GaussianModel, Score};
 
-
 /// Classification of an alert, derived from the dominant feature.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum AlertKind {
@@ -168,7 +167,13 @@ impl ManaInstance {
                 return;
             }
         }
-        self.alerts.push(Alert { start: at, last_seen: at, kind, windows: 1, peak_z: score.max_z });
+        self.alerts.push(Alert {
+            start: at,
+            last_seen: at,
+            kind,
+            windows: 1,
+            peak_z: score.max_z,
+        });
     }
 
     /// False-positive rate since training (flagged / scored).
@@ -219,7 +224,12 @@ mod tests {
     }
 
     fn syn_record(t: u64, dport: u16) -> PacketRecord {
-        let pkt = Packet::syn(IpAddr::new(10, 0, 0, 66), IpAddr::new(10, 0, 0, 99), Port(666), Port(dport));
+        let pkt = Packet::syn(
+            IpAddr::new(10, 0, 0, 66),
+            IpAddr::new(10, 0, 0, 99),
+            Port(666),
+            Port(dport),
+        );
         let frame = Frame {
             src_mac: MacAddr::derived(NodeId(66), 0),
             dst_mac: MacAddr::derived(NodeId(99), 0),
@@ -313,7 +323,10 @@ mod tests {
         traffic.sort_by_key(|r| r.time);
         mana.ingest(traffic);
         mana.advance_to(SimTime(70_000 * MS));
-        assert!(mana.alerts.iter().any(|a| a.kind == AlertKind::TrafficFlood));
+        assert!(mana
+            .alerts
+            .iter()
+            .any(|a| a.kind == AlertKind::TrafficFlood));
     }
 
     #[test]
@@ -328,9 +341,17 @@ mod tests {
         traffic.sort_by_key(|r| r.time);
         mana.ingest(traffic);
         mana.advance_to(SimTime(63_000 * MS));
-        let floods: Vec<&Alert> =
-            mana.alerts.iter().filter(|a| a.kind == AlertKind::TrafficFlood).collect();
-        assert_eq!(floods.len(), 1, "one correlated incident, got {:?}", mana.alerts);
+        let floods: Vec<&Alert> = mana
+            .alerts
+            .iter()
+            .filter(|a| a.kind == AlertKind::TrafficFlood)
+            .collect();
+        assert_eq!(
+            floods.len(),
+            1,
+            "one correlated incident, got {:?}",
+            mana.alerts
+        );
         assert!(floods[0].windows >= 5);
     }
 
@@ -340,14 +361,24 @@ mod tests {
         let mut traffic = baseline_traffic(60_000, 62_000);
         let attack_start = 61_000u64;
         for (i, port) in (2000u16..2400).enumerate() {
-            traffic.push(syn_record((attack_start + (i as u64 * 100) / 400) * MS, port));
+            traffic.push(syn_record(
+                (attack_start + (i as u64 * 100) / 400) * MS,
+                port,
+            ));
         }
         traffic.sort_by_key(|r| r.time);
         mana.ingest(traffic);
         mana.advance_to(SimTime(62_000 * MS));
-        let alert = mana.alerts.iter().find(|a| a.kind == AlertKind::PortScan).expect("detected");
+        let alert = mana
+            .alerts
+            .iter()
+            .find(|a| a.kind == AlertKind::PortScan)
+            .expect("detected");
         let latency_ms = alert.start.as_millis().saturating_sub(attack_start);
-        assert!(latency_ms <= 200, "near-real-time detection, got {latency_ms} ms");
+        assert!(
+            latency_ms <= 200,
+            "near-real-time detection, got {latency_ms} ms"
+        );
     }
 
     #[test]

@@ -28,7 +28,11 @@ pub struct KMeansModel {
     pub distance_threshold: f64,
 }
 
-fn normalize(v: &[f64; FEATURE_COUNT], mean: &[f64; FEATURE_COUNT], std: &[f64; FEATURE_COUNT]) -> [f64; FEATURE_COUNT] {
+fn normalize(
+    v: &[f64; FEATURE_COUNT],
+    mean: &[f64; FEATURE_COUNT],
+    std: &[f64; FEATURE_COUNT],
+) -> [f64; FEATURE_COUNT] {
     let mut out = [0.0; FEATURE_COUNT];
     for i in 0..FEATURE_COUNT {
         out[i] = (v[i] - mean[i]) / std[i];
@@ -37,7 +41,11 @@ fn normalize(v: &[f64; FEATURE_COUNT], mean: &[f64; FEATURE_COUNT], std: &[f64; 
 }
 
 fn dist(a: &[f64; FEATURE_COUNT], b: &[f64; FEATURE_COUNT]) -> f64 {
-    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 impl KMeansModel {
@@ -55,8 +63,8 @@ impl KMeansModel {
         let n = windows.len() as f64;
         let mut mean = [0.0; FEATURE_COUNT];
         for w in windows {
-            for i in 0..FEATURE_COUNT {
-                mean[i] += w.values[i];
+            for (m, &v) in mean.iter_mut().zip(w.values.iter()) {
+                *m += v;
             }
         }
         for m in &mut mean {
@@ -72,8 +80,10 @@ impl KMeansModel {
         for s in &mut std {
             *s = (*s / n).sqrt().max(0.5);
         }
-        let points: Vec<[f64; FEATURE_COUNT]> =
-            windows.iter().map(|w| normalize(&w.values, &mean, &std)).collect();
+        let points: Vec<[f64; FEATURE_COUNT]> = windows
+            .iter()
+            .map(|w| normalize(&w.values, &mean, &std))
+            .collect();
 
         // k-means++ style seeding (greedy farthest point, deterministic).
         let mut rng = StdRng::seed_from_u64(seed);
@@ -83,7 +93,10 @@ impl KMeansModel {
                 .iter()
                 .enumerate()
                 .map(|(i, p)| {
-                    let d = centroids.iter().map(|c| dist(p, c)).fold(f64::MAX, f64::min);
+                    let d = centroids
+                        .iter()
+                        .map(|c| dist(p, c))
+                        .fold(f64::MAX, f64::min);
                     (i, d)
                 })
                 .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
@@ -126,9 +139,19 @@ impl KMeansModel {
             counts[assignment[i]] += 1;
         }
         for (s, &c) in spread.iter_mut().zip(counts.iter()) {
-            *s = if c > 0 { (*s / c as f64).max(0.25) } else { 0.25 };
+            *s = if c > 0 {
+                (*s / c as f64).max(0.25)
+            } else {
+                0.25
+            };
         }
-        KMeansModel { mean, std, centroids, spread, distance_threshold: 8.0 }
+        KMeansModel {
+            mean,
+            std,
+            centroids,
+            spread,
+            distance_threshold: 8.0,
+        }
     }
 
     /// Number of clusters.
@@ -173,11 +196,19 @@ pub fn roc_curve(samples: &[(f64, bool)]) -> (Vec<RocPoint>, f64) {
     thresholds.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
     thresholds.dedup();
     let mut points = Vec::with_capacity(thresholds.len() + 2);
-    points.push(RocPoint { threshold: f64::INFINITY, tpr: 0.0, fpr: 0.0 });
+    points.push(RocPoint {
+        threshold: f64::INFINITY,
+        tpr: 0.0,
+        fpr: 0.0,
+    });
     for &t in &thresholds {
         let tp = samples.iter().filter(|(s, a)| *a && *s >= t).count() as f64;
         let fp = samples.iter().filter(|(s, a)| !*a && *s >= t).count() as f64;
-        points.push(RocPoint { threshold: t, tpr: tp / positives, fpr: fp / negatives });
+        points.push(RocPoint {
+            threshold: t,
+            tpr: tp / positives,
+            fpr: fp / negatives,
+        });
     }
     // AUC by trapezoid over (fpr, tpr).
     let mut auc = 0.0;
@@ -193,7 +224,10 @@ mod tests {
     use simnet::time::SimTime;
 
     fn window(values: [f64; FEATURE_COUNT]) -> FeatureVector {
-        FeatureVector { window_start: SimTime(0), values }
+        FeatureVector {
+            window_start: SimTime(0),
+            values,
+        }
     }
 
     /// A bimodal baseline: poll rounds and idle windows.
@@ -201,8 +235,30 @@ mod tests {
         let mut out = Vec::new();
         for i in 0..100 {
             let j = (i % 5) as f64;
-            out.push(window([20.0 + j, 2_000.0 + 10.0 * j, 4.0, 3.0, 0.0, 1.0, 1.0, 2.0, 100.0, 6.0]));
-            out.push(window([2.0, 120.0 + j, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 60.0, 1.0]));
+            out.push(window([
+                20.0 + j,
+                2_000.0 + 10.0 * j,
+                4.0,
+                3.0,
+                0.0,
+                1.0,
+                1.0,
+                2.0,
+                100.0,
+                6.0,
+            ]));
+            out.push(window([
+                2.0,
+                120.0 + j,
+                1.0,
+                1.0,
+                0.0,
+                0.0,
+                0.0,
+                0.0,
+                60.0,
+                1.0,
+            ]));
         }
         out
     }
@@ -212,17 +268,42 @@ mod tests {
         let model = KMeansModel::train(&baseline(), 3, 10, 1);
         assert_eq!(model.k(), 3);
         for w in baseline() {
-            assert!(!model.is_anomalous(&w), "baseline flagged with score {}", model.score(&w));
+            assert!(
+                !model.is_anomalous(&w),
+                "baseline flagged with score {}",
+                model.score(&w)
+            );
         }
     }
 
     #[test]
     fn attack_windows_score_high() {
         let model = KMeansModel::train(&baseline(), 3, 10, 1);
-        let scan = window([220.0, 9_000.0, 5.0, 200.0, 200.0, 1.0, 1.0, 2.0, 42.0, 205.0]);
-        let flood = window([50_000.0, 60_000_000.0, 4.0, 3.0, 0.0, 1.0, 1.0, 2.0, 1_200.0, 6.0]);
-        assert!(model.is_anomalous(&scan), "scan score {}", model.score(&scan));
-        assert!(model.is_anomalous(&flood), "flood score {}", model.score(&flood));
+        let scan = window([
+            220.0, 9_000.0, 5.0, 200.0, 200.0, 1.0, 1.0, 2.0, 42.0, 205.0,
+        ]);
+        let flood = window([
+            50_000.0,
+            60_000_000.0,
+            4.0,
+            3.0,
+            0.0,
+            1.0,
+            1.0,
+            2.0,
+            1_200.0,
+            6.0,
+        ]);
+        assert!(
+            model.is_anomalous(&scan),
+            "scan score {}",
+            model.score(&scan)
+        );
+        assert!(
+            model.is_anomalous(&flood),
+            "flood score {}",
+            model.score(&flood)
+        );
     }
 
     #[test]
@@ -257,8 +338,7 @@ mod tests {
     fn roc_random_scores_give_auc_near_half() {
         use rand::Rng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let samples: Vec<(f64, bool)> =
-            (0..2000).map(|i| (rng.gen::<f64>(), i % 2 == 0)).collect();
+        let samples: Vec<(f64, bool)> = (0..2000).map(|i| (rng.gen::<f64>(), i % 2 == 0)).collect();
         let (_, auc) = roc_curve(&samples);
         assert!((auc - 0.5).abs() < 0.05, "auc = {auc}");
     }

@@ -74,7 +74,12 @@ impl GaussianModel {
         for i in 0..FEATURE_COUNT {
             std[i] = (var[i] / n).sqrt().max(STD_FLOOR);
         }
-        GaussianModel { mean, std, trained_windows: windows.len(), z_threshold: 6.0 }
+        GaussianModel {
+            mean,
+            std,
+            trained_windows: windows.len(),
+            z_threshold: 6.0,
+        }
     }
 
     /// Scores one window.
@@ -83,15 +88,20 @@ impl GaussianModel {
         let mut max_z = 0.0f64;
         let mut top = 0;
         let mut sum_sq = 0.0f64;
-        for i in 0..FEATURE_COUNT {
-            z[i] = ((window.values[i] - self.mean[i]) / self.std[i]).abs();
-            sum_sq += z[i] * z[i];
-            if z[i] > max_z {
-                max_z = z[i];
+        for (i, zi) in z.iter_mut().enumerate() {
+            *zi = ((window.values[i] - self.mean[i]) / self.std[i]).abs();
+            sum_sq += *zi * *zi;
+            if *zi > max_z {
+                max_z = *zi;
                 top = i;
             }
         }
-        Score { z, max_z, top_feature: top, combined: (sum_sq / FEATURE_COUNT as f64).sqrt() }
+        Score {
+            z,
+            max_z,
+            top_feature: top,
+            combined: (sum_sq / FEATURE_COUNT as f64).sqrt(),
+        }
     }
 
     /// Whether a score crosses the alert threshold.
@@ -111,7 +121,10 @@ mod tests {
     use simnet::time::SimTime;
 
     fn window(values: [f64; FEATURE_COUNT]) -> FeatureVector {
-        FeatureVector { window_start: SimTime(0), values }
+        FeatureVector {
+            window_start: SimTime(0),
+            values,
+        }
     }
 
     /// A steady SCADA baseline: ~20 packets, ~2000 bytes, 4 sources.
@@ -119,7 +132,18 @@ mod tests {
         (0..200)
             .map(|i| {
                 let j = ((i % 5) as f64 - 2.0) * jitter;
-                window([20.0 + j, 2_000.0 + 10.0 * j, 4.0, 3.0, 0.0, 1.0, 1.0, 2.0, 100.0, 6.0])
+                window([
+                    20.0 + j,
+                    2_000.0 + 10.0 * j,
+                    4.0,
+                    3.0,
+                    0.0,
+                    1.0,
+                    1.0,
+                    2.0,
+                    100.0,
+                    6.0,
+                ])
             })
             .collect()
     }
@@ -137,11 +161,17 @@ mod tests {
     fn port_scan_window_flags_unique_ports() {
         let model = GaussianModel::train(&baseline(1.0));
         // A scan touches 200 distinct ports with many SYNs.
-        let scan = window([220.0, 9_000.0, 5.0, 200.0, 200.0, 1.0, 1.0, 2.0, 42.0, 205.0]);
+        let scan = window([
+            220.0, 9_000.0, 5.0, 200.0, 200.0, 1.0, 1.0, 2.0, 42.0, 205.0,
+        ]);
         let s = model.score(&scan);
         assert!(model.is_anomalous(&s));
         // The scan-specific features individually cross the threshold.
-        assert!(s.z[3] >= model.z_threshold, "unique_dst_ports z = {}", s.z[3]);
+        assert!(
+            s.z[3] >= model.z_threshold,
+            "unique_dst_ports z = {}",
+            s.z[3]
+        );
         assert!(s.z[4] >= model.z_threshold, "syn_count z = {}", s.z[4]);
     }
 
@@ -151,13 +181,28 @@ mod tests {
         let storm = window([120.0, 5_000.0, 4.0, 3.0, 0.0, 2.0, 100.0, 102.0, 42.0, 6.0]);
         let s = model.score(&storm);
         assert!(model.is_anomalous(&s));
-        assert!(s.z[6] >= model.z_threshold, "arp_reply_count z = {}", s.z[6]);
+        assert!(
+            s.z[6] >= model.z_threshold,
+            "arp_reply_count z = {}",
+            s.z[6]
+        );
     }
 
     #[test]
     fn dos_burst_flags_volume() {
         let model = GaussianModel::train(&baseline(1.0));
-        let burst = window([50_000.0, 60_000_000.0, 4.0, 3.0, 0.0, 1.0, 1.0, 2.0, 1_200.0, 6.0]);
+        let burst = window([
+            50_000.0,
+            60_000_000.0,
+            4.0,
+            3.0,
+            0.0,
+            1.0,
+            1.0,
+            2.0,
+            1_200.0,
+            6.0,
+        ]);
         let s = model.score(&burst);
         assert!(model.is_anomalous(&s));
         assert!(s.z[0] >= model.z_threshold && s.z[1] >= model.z_threshold);
@@ -167,7 +212,9 @@ mod tests {
     fn constant_features_do_not_divide_by_zero() {
         // All-identical training data: stds hit the floor, scores finite.
         let model = GaussianModel::train(&baseline(0.0));
-        let s = model.score(&window([20.0, 2_000.0, 4.0, 3.0, 0.0, 1.0, 1.0, 2.0, 100.0, 6.0]));
+        let s = model.score(&window([
+            20.0, 2_000.0, 4.0, 3.0, 0.0, 1.0, 1.0, 2.0, 100.0, 6.0,
+        ]));
         assert!(s.max_z.is_finite());
         assert!(!model.is_anomalous(&s));
     }

@@ -116,7 +116,12 @@ impl LinkFrame {
         if pos != data.len() {
             return None;
         }
-        Some(LinkFrame { control, destination, source, body })
+        Some(LinkFrame {
+            control,
+            destination,
+            source,
+            body,
+        })
     }
 }
 
@@ -239,7 +244,10 @@ pub fn serve(req: &AppRequest, store: &mut crate::DataStore) -> AppResponse {
         }
         AppRequest::DirectOperate { index, trip } => {
             let success = store.set_coil(*index, !trip);
-            AppResponse::OperateAck { index: *index, success }
+            AppResponse::OperateAck {
+                index: *index,
+                success,
+            }
         }
     }
 }
@@ -250,7 +258,12 @@ mod tests {
     use crate::DataStore;
 
     fn roundtrip_frame(body: Vec<u8>) {
-        let f = LinkFrame { control: LinkControl::Request, destination: 10, source: 1, body };
+        let f = LinkFrame {
+            control: LinkControl::Request,
+            destination: 10,
+            source: 1,
+            body,
+        };
         let bytes = f.encode();
         assert_eq!(LinkFrame::decode(&bytes), Some(f));
     }
@@ -286,8 +299,14 @@ mod tests {
     fn app_requests_roundtrip() {
         for req in [
             AppRequest::IntegrityPoll,
-            AppRequest::DirectOperate { index: 3, trip: true },
-            AppRequest::DirectOperate { index: 300, trip: false },
+            AppRequest::DirectOperate {
+                index: 3,
+                trip: true,
+            },
+            AppRequest::DirectOperate {
+                index: 300,
+                trip: false,
+            },
         ] {
             assert_eq!(AppRequest::decode(&req.encode()), Some(req));
         }
@@ -296,10 +315,18 @@ mod tests {
     #[test]
     fn app_responses_roundtrip() {
         for resp in [
-            AppResponse::StaticData { points: vec![true, false, true, true, false, false, true] },
+            AppResponse::StaticData {
+                points: vec![true, false, true, true, false, false, true],
+            },
             AppResponse::StaticData { points: vec![] },
-            AppResponse::OperateAck { index: 2, success: true },
-            AppResponse::OperateAck { index: 9, success: false },
+            AppResponse::OperateAck {
+                index: 2,
+                success: true,
+            },
+            AppResponse::OperateAck {
+                index: 9,
+                success: false,
+            },
         ] {
             assert_eq!(AppResponse::decode(&resp.encode()), Some(resp));
         }
@@ -323,12 +350,36 @@ mod tests {
     fn serve_direct_operate_trips_breaker() {
         let mut store = DataStore::new(7, 7);
         store.set_coil(2, true);
-        let resp = serve(&AppRequest::DirectOperate { index: 2, trip: true }, &mut store);
-        assert_eq!(resp, AppResponse::OperateAck { index: 2, success: true });
+        let resp = serve(
+            &AppRequest::DirectOperate {
+                index: 2,
+                trip: true,
+            },
+            &mut store,
+        );
+        assert_eq!(
+            resp,
+            AppResponse::OperateAck {
+                index: 2,
+                success: true
+            }
+        );
         assert_eq!(store.coil(2), Some(false), "trip opened the breaker");
         // Out-of-range operate fails but does not panic.
-        let resp = serve(&AppRequest::DirectOperate { index: 99, trip: true }, &mut store);
-        assert_eq!(resp, AppResponse::OperateAck { index: 99, success: false });
+        let resp = serve(
+            &AppRequest::DirectOperate {
+                index: 99,
+                trip: true,
+            },
+            &mut store,
+        );
+        assert_eq!(
+            resp,
+            AppResponse::OperateAck {
+                index: 99,
+                success: false
+            }
+        );
     }
 
     #[test]
@@ -340,12 +391,22 @@ mod tests {
             control: LinkControl::Request,
             destination: 10,
             source: 0xFFFF, // arbitrary claimed source
-            body: AppRequest::DirectOperate { index: 0, trip: true }.encode(),
+            body: AppRequest::DirectOperate {
+                index: 0,
+                trip: true,
+            }
+            .encode(),
         };
         let decoded = LinkFrame::decode(&attacker_frame.encode()).expect("valid");
         let req = AppRequest::decode(&decoded.body).expect("valid");
         let resp = serve(&req, &mut store);
-        assert_eq!(resp, AppResponse::OperateAck { index: 0, success: true });
+        assert_eq!(
+            resp,
+            AppResponse::OperateAck {
+                index: 0,
+                success: true
+            }
+        );
     }
 
     #[test]

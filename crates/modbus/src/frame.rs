@@ -31,7 +31,10 @@ impl RtuFrame {
         if pdu.is_empty() {
             return None;
         }
-        Some(RtuFrame { unit, pdu: pdu.to_vec() })
+        Some(RtuFrame {
+            unit,
+            pdu: pdu.to_vec(),
+        })
     }
 }
 
@@ -58,7 +61,14 @@ pub struct TcpFrame {
 impl TcpFrame {
     /// Builds a frame with protocol id 0.
     pub fn new(transaction: u16, unit: u8, pdu: Vec<u8>) -> Self {
-        TcpFrame { header: MbapHeader { transaction, protocol: 0, unit }, pdu }
+        TcpFrame {
+            header: MbapHeader {
+                transaction,
+                protocol: 0,
+                unit,
+            },
+            pdu,
+        }
     }
 
     /// Serializes: transaction(2) protocol(2) length(2) unit(1) pdu.
@@ -88,7 +98,11 @@ impl TcpFrame {
         }
         let unit = data[6];
         Some(TcpFrame {
-            header: MbapHeader { transaction, protocol, unit },
+            header: MbapHeader {
+                transaction,
+                protocol,
+                unit,
+            },
             pdu: data[7..].to_vec(),
         })
     }
@@ -100,14 +114,20 @@ mod tests {
 
     #[test]
     fn rtu_roundtrip() {
-        let f = RtuFrame { unit: 0x11, pdu: vec![0x03, 0x00, 0x6B, 0x00, 0x03] };
+        let f = RtuFrame {
+            unit: 0x11,
+            pdu: vec![0x03, 0x00, 0x6B, 0x00, 0x03],
+        };
         let bytes = f.encode();
         assert_eq!(RtuFrame::decode(&bytes), Some(f));
     }
 
     #[test]
     fn rtu_bad_crc_rejected() {
-        let f = RtuFrame { unit: 1, pdu: vec![0x01, 0, 0, 0, 1] };
+        let f = RtuFrame {
+            unit: 1,
+            pdu: vec![0x01, 0, 0, 0, 1],
+        };
         let mut bytes = f.encode();
         let last = bytes.len() - 1;
         bytes[last] ^= 0x01;

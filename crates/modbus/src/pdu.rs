@@ -285,7 +285,9 @@ impl Request {
                 if rest.len() != 2 + len {
                     return None;
                 }
-                Request::ConfigUpload { image: rest[2..].to_vec() }
+                Request::ConfigUpload {
+                    image: rest[2..].to_vec(),
+                }
             }
             _ => return None,
         })
@@ -445,18 +447,24 @@ impl Response {
                 let values = (0..*count as usize)
                     .map(|i| body.get(i / 8).is_some_and(|b| b & (1 << (i % 8)) != 0))
                     .collect();
-                Response::Bits { function: fc, values }
+                Response::Bits {
+                    function: fc,
+                    values,
+                }
             }
             (0x03 | 0x04, _) => {
                 let byte_count = *rest.first()? as usize;
-                if byte_count % 2 != 0 || rest.len() != 1 + byte_count {
+                if !byte_count.is_multiple_of(2) || rest.len() != 1 + byte_count {
                     return None;
                 }
                 let values = rest[1..]
                     .chunks(2)
                     .map(|c| u16::from_be_bytes([c[0], c[1]]))
                     .collect();
-                Response::Registers { function: fc, values }
+                Response::Registers {
+                    function: fc,
+                    values,
+                }
             }
             (0x05, _) => {
                 if rest.len() != 4 {
@@ -499,7 +507,9 @@ impl Response {
                 if rest.len() != 1 + len {
                     return None;
                 }
-                Response::DeviceId { text: String::from_utf8(rest[1..].to_vec()).ok()? }
+                Response::DeviceId {
+                    text: String::from_utf8(rest[1..].to_vec()).ok()?,
+                }
             }
             (0x5A, _) => {
                 if rest.len() < 2 {
@@ -509,7 +519,9 @@ impl Response {
                 if rest.len() != 2 + len {
                     return None;
                 }
-                Response::ConfigImage { image: rest[2..].to_vec() }
+                Response::ConfigImage {
+                    image: rest[2..].to_vec(),
+                }
             }
             (0x5B, _) => {
                 if rest != [0x00] {
@@ -533,21 +545,47 @@ mod tests {
 
     #[test]
     fn request_roundtrips() {
-        roundtrip_req(Request::ReadCoils { address: 0, count: 7 });
-        roundtrip_req(Request::ReadDiscreteInputs { address: 3, count: 16 });
-        roundtrip_req(Request::ReadHoldingRegisters { address: 100, count: 10 });
-        roundtrip_req(Request::ReadInputRegisters { address: 5, count: 1 });
-        roundtrip_req(Request::WriteSingleCoil { address: 6, value: true });
-        roundtrip_req(Request::WriteSingleCoil { address: 6, value: false });
-        roundtrip_req(Request::WriteSingleRegister { address: 2, value: 0xBEEF });
+        roundtrip_req(Request::ReadCoils {
+            address: 0,
+            count: 7,
+        });
+        roundtrip_req(Request::ReadDiscreteInputs {
+            address: 3,
+            count: 16,
+        });
+        roundtrip_req(Request::ReadHoldingRegisters {
+            address: 100,
+            count: 10,
+        });
+        roundtrip_req(Request::ReadInputRegisters {
+            address: 5,
+            count: 1,
+        });
+        roundtrip_req(Request::WriteSingleCoil {
+            address: 6,
+            value: true,
+        });
+        roundtrip_req(Request::WriteSingleCoil {
+            address: 6,
+            value: false,
+        });
+        roundtrip_req(Request::WriteSingleRegister {
+            address: 2,
+            value: 0xBEEF,
+        });
         roundtrip_req(Request::WriteMultipleCoils {
             address: 1,
             values: vec![true, false, true, true, false, true, false, false, true],
         });
-        roundtrip_req(Request::WriteMultipleRegisters { address: 9, values: vec![1, 2, 3] });
+        roundtrip_req(Request::WriteMultipleRegisters {
+            address: 9,
+            values: vec![1, 2, 3],
+        });
         roundtrip_req(Request::ReadDeviceId);
         roundtrip_req(Request::ConfigDownload);
-        roundtrip_req(Request::ConfigUpload { image: vec![9, 8, 7] });
+        roundtrip_req(Request::ConfigUpload {
+            image: vec![9, 8, 7],
+        });
     }
 
     fn roundtrip_resp(req: Request, resp: Response) {
@@ -558,30 +596,61 @@ mod tests {
     #[test]
     fn response_roundtrips() {
         roundtrip_resp(
-            Request::ReadCoils { address: 0, count: 3 },
-            Response::Bits { function: 0x01, values: vec![true, false, true] },
+            Request::ReadCoils {
+                address: 0,
+                count: 3,
+            },
+            Response::Bits {
+                function: 0x01,
+                values: vec![true, false, true],
+            },
         );
         roundtrip_resp(
-            Request::ReadHoldingRegisters { address: 0, count: 2 },
-            Response::Registers { function: 0x03, values: vec![0xAB, 0xCD] },
+            Request::ReadHoldingRegisters {
+                address: 0,
+                count: 2,
+            },
+            Response::Registers {
+                function: 0x03,
+                values: vec![0xAB, 0xCD],
+            },
         );
         roundtrip_resp(
-            Request::WriteSingleCoil { address: 4, value: true },
-            Response::WriteSingleCoil { address: 4, value: true },
+            Request::WriteSingleCoil {
+                address: 4,
+                value: true,
+            },
+            Response::WriteSingleCoil {
+                address: 4,
+                value: true,
+            },
         );
         roundtrip_resp(
-            Request::WriteMultipleRegisters { address: 1, values: vec![5, 6] },
-            Response::WriteMultipleRegisters { address: 1, count: 2 },
+            Request::WriteMultipleRegisters {
+                address: 1,
+                values: vec![5, 6],
+            },
+            Response::WriteMultipleRegisters {
+                address: 1,
+                count: 2,
+            },
         );
         roundtrip_resp(
             Request::ReadDeviceId,
-            Response::DeviceId { text: "ACME BreakerMaster 9000 fw1.2".into() },
+            Response::DeviceId {
+                text: "ACME BreakerMaster 9000 fw1.2".into(),
+            },
         );
         roundtrip_resp(
             Request::ConfigDownload,
-            Response::ConfigImage { image: vec![1, 2, 3, 4] },
+            Response::ConfigImage {
+                image: vec![1, 2, 3, 4],
+            },
         );
-        roundtrip_resp(Request::ConfigUpload { image: vec![] }, Response::ConfigAccepted);
+        roundtrip_resp(
+            Request::ConfigUpload { image: vec![] },
+            Response::ConfigAccepted,
+        );
     }
 
     #[test]
@@ -593,7 +662,13 @@ mod tests {
         let bytes = resp.encode();
         assert_eq!(bytes[0], 0x83);
         assert_eq!(
-            Response::decode(&bytes, &Request::ReadHoldingRegisters { address: 0, count: 1 }),
+            Response::decode(
+                &bytes,
+                &Request::ReadHoldingRegisters {
+                    address: 0,
+                    count: 1
+                }
+            ),
             Some(resp)
         );
     }
@@ -603,7 +678,7 @@ mod tests {
         assert_eq!(Request::decode(&[]), None);
         assert_eq!(Request::decode(&[0x01, 0x00]), None); // truncated
         assert_eq!(Request::decode(&[0x63]), None); // unknown fc
-        // 0x05 with invalid coil value.
+                                                    // 0x05 with invalid coil value.
         assert_eq!(Request::decode(&[0x05, 0, 1, 0x12, 0x34]), None);
         // 0x0F with inconsistent byte count.
         assert_eq!(Request::decode(&[0x0F, 0, 0, 0, 8, 2, 0xFF, 0xFF]), None);
@@ -611,18 +686,33 @@ mod tests {
 
     #[test]
     fn response_function_mismatch_rejected() {
-        let resp = Response::Registers { function: 0x03, values: vec![1] };
+        let resp = Response::Registers {
+            function: 0x03,
+            values: vec![1],
+        };
         let bytes = resp.encode();
         assert_eq!(
-            Response::decode(&bytes, &Request::ReadCoils { address: 0, count: 1 }),
+            Response::decode(
+                &bytes,
+                &Request::ReadCoils {
+                    address: 0,
+                    count: 1
+                }
+            ),
             None
         );
     }
 
     #[test]
     fn exception_display() {
-        assert_eq!(ExceptionCode::IllegalFunction.to_string(), "illegal function");
-        assert_eq!(ExceptionCode::from_code(0x02), Some(ExceptionCode::IllegalDataAddress));
+        assert_eq!(
+            ExceptionCode::IllegalFunction.to_string(),
+            "illegal function"
+        );
+        assert_eq!(
+            ExceptionCode::from_code(0x02),
+            Some(ExceptionCode::IllegalDataAddress)
+        );
         assert_eq!(ExceptionCode::from_code(0x99), None);
     }
 

@@ -120,14 +120,20 @@ fn range_ok(address: u16, count: u16, len: usize, max: u16) -> bool {
 /// Executes a request against a data store, producing the response a
 /// compliant server would send.
 pub fn execute(req: &Request, store: &mut DataStore) -> Response {
-    let exception = |code| Response::Exception { function: req.function_code(), code };
+    let exception = |code| Response::Exception {
+        function: req.function_code(),
+        code,
+    };
     match req {
         Request::ReadCoils { address, count } => {
             if !range_ok(*address, *count, store.coils.len(), MAX_BITS) {
                 return exception(ExceptionCode::IllegalDataAddress);
             }
             let values = store.coils[*address as usize..(*address + *count) as usize].to_vec();
-            Response::Bits { function: 0x01, values }
+            Response::Bits {
+                function: 0x01,
+                values,
+            }
         }
         Request::ReadDiscreteInputs { address, count } => {
             if !range_ok(*address, *count, store.discrete_inputs.len(), MAX_BITS) {
@@ -135,33 +141,48 @@ pub fn execute(req: &Request, store: &mut DataStore) -> Response {
             }
             let values =
                 store.discrete_inputs[*address as usize..(*address + *count) as usize].to_vec();
-            Response::Bits { function: 0x02, values }
+            Response::Bits {
+                function: 0x02,
+                values,
+            }
         }
         Request::ReadHoldingRegisters { address, count } => {
             if !range_ok(*address, *count, store.holding.len(), MAX_REGS) {
                 return exception(ExceptionCode::IllegalDataAddress);
             }
             let values = store.holding[*address as usize..(*address + *count) as usize].to_vec();
-            Response::Registers { function: 0x03, values }
+            Response::Registers {
+                function: 0x03,
+                values,
+            }
         }
         Request::ReadInputRegisters { address, count } => {
             if !range_ok(*address, *count, store.input.len(), MAX_REGS) {
                 return exception(ExceptionCode::IllegalDataAddress);
             }
             let values = store.input[*address as usize..(*address + *count) as usize].to_vec();
-            Response::Registers { function: 0x04, values }
+            Response::Registers {
+                function: 0x04,
+                values,
+            }
         }
         Request::WriteSingleCoil { address, value } => {
             if !store.set_coil(*address, *value) {
                 return exception(ExceptionCode::IllegalDataAddress);
             }
-            Response::WriteSingleCoil { address: *address, value: *value }
+            Response::WriteSingleCoil {
+                address: *address,
+                value: *value,
+            }
         }
         Request::WriteSingleRegister { address, value } => {
             if !store.set_holding(*address, *value) {
                 return exception(ExceptionCode::IllegalDataAddress);
             }
-            Response::WriteSingleRegister { address: *address, value: *value }
+            Response::WriteSingleRegister {
+                address: *address,
+                value: *value,
+            }
         }
         Request::WriteMultipleCoils { address, values } => {
             if values.is_empty()
@@ -172,7 +193,10 @@ pub fn execute(req: &Request, store: &mut DataStore) -> Response {
             for (i, v) in values.iter().enumerate() {
                 store.coils[*address as usize + i] = *v;
             }
-            Response::WriteMultipleCoils { address: *address, count: values.len() as u16 }
+            Response::WriteMultipleCoils {
+                address: *address,
+                count: values.len() as u16,
+            }
         }
         Request::WriteMultipleRegisters { address, values } => {
             if values.is_empty()
@@ -183,10 +207,17 @@ pub fn execute(req: &Request, store: &mut DataStore) -> Response {
             for (i, v) in values.iter().enumerate() {
                 store.holding[*address as usize + i] = *v;
             }
-            Response::WriteMultipleRegisters { address: *address, count: values.len() as u16 }
+            Response::WriteMultipleRegisters {
+                address: *address,
+                count: values.len() as u16,
+            }
         }
-        Request::ReadDeviceId => Response::DeviceId { text: store.device_id.clone() },
-        Request::ConfigDownload => Response::ConfigImage { image: store.config_image.clone() },
+        Request::ReadDeviceId => Response::DeviceId {
+            text: store.device_id.clone(),
+        },
+        Request::ConfigDownload => Response::ConfigImage {
+            image: store.config_image.clone(),
+        },
         Request::ConfigUpload { image } => {
             store.config_image = image.clone();
             store.config_uploads += 1;
@@ -203,22 +234,55 @@ mod tests {
     fn read_write_coils() {
         let mut s = DataStore::new(8, 4);
         assert_eq!(
-            execute(&Request::WriteSingleCoil { address: 2, value: true }, &mut s),
-            Response::WriteSingleCoil { address: 2, value: true }
+            execute(
+                &Request::WriteSingleCoil {
+                    address: 2,
+                    value: true
+                },
+                &mut s
+            ),
+            Response::WriteSingleCoil {
+                address: 2,
+                value: true
+            }
         );
         assert_eq!(
-            execute(&Request::ReadCoils { address: 0, count: 4 }, &mut s),
-            Response::Bits { function: 0x01, values: vec![false, false, true, false] }
+            execute(
+                &Request::ReadCoils {
+                    address: 0,
+                    count: 4
+                },
+                &mut s
+            ),
+            Response::Bits {
+                function: 0x01,
+                values: vec![false, false, true, false]
+            }
         );
     }
 
     #[test]
     fn read_write_registers() {
         let mut s = DataStore::new(4, 8);
-        execute(&Request::WriteMultipleRegisters { address: 1, values: vec![10, 20, 30] }, &mut s);
+        execute(
+            &Request::WriteMultipleRegisters {
+                address: 1,
+                values: vec![10, 20, 30],
+            },
+            &mut s,
+        );
         assert_eq!(
-            execute(&Request::ReadHoldingRegisters { address: 0, count: 5 }, &mut s),
-            Response::Registers { function: 0x03, values: vec![0, 10, 20, 30, 0] }
+            execute(
+                &Request::ReadHoldingRegisters {
+                    address: 0,
+                    count: 5
+                },
+                &mut s
+            ),
+            Response::Registers {
+                function: 0x03,
+                values: vec![0, 10, 20, 30, 0]
+            }
         );
     }
 
@@ -226,16 +290,43 @@ mod tests {
     fn out_of_range_gives_exception() {
         let mut s = DataStore::new(4, 4);
         assert_eq!(
-            execute(&Request::ReadCoils { address: 2, count: 5 }, &mut s),
-            Response::Exception { function: 0x01, code: ExceptionCode::IllegalDataAddress }
+            execute(
+                &Request::ReadCoils {
+                    address: 2,
+                    count: 5
+                },
+                &mut s
+            ),
+            Response::Exception {
+                function: 0x01,
+                code: ExceptionCode::IllegalDataAddress
+            }
         );
         assert_eq!(
-            execute(&Request::WriteSingleRegister { address: 9, value: 1 }, &mut s),
-            Response::Exception { function: 0x06, code: ExceptionCode::IllegalDataAddress }
+            execute(
+                &Request::WriteSingleRegister {
+                    address: 9,
+                    value: 1
+                },
+                &mut s
+            ),
+            Response::Exception {
+                function: 0x06,
+                code: ExceptionCode::IllegalDataAddress
+            }
         );
         assert_eq!(
-            execute(&Request::ReadHoldingRegisters { address: 0, count: 0 }, &mut s),
-            Response::Exception { function: 0x03, code: ExceptionCode::IllegalDataAddress }
+            execute(
+                &Request::ReadHoldingRegisters {
+                    address: 0,
+                    count: 0
+                },
+                &mut s
+            ),
+            Response::Exception {
+                function: 0x03,
+                code: ExceptionCode::IllegalDataAddress
+            }
         );
     }
 
@@ -245,12 +336,30 @@ mod tests {
         s.set_discrete_input(1, true);
         s.set_input(2, 555);
         assert_eq!(
-            execute(&Request::ReadDiscreteInputs { address: 0, count: 2 }, &mut s),
-            Response::Bits { function: 0x02, values: vec![false, true] }
+            execute(
+                &Request::ReadDiscreteInputs {
+                    address: 0,
+                    count: 2
+                },
+                &mut s
+            ),
+            Response::Bits {
+                function: 0x02,
+                values: vec![false, true]
+            }
         );
         assert_eq!(
-            execute(&Request::ReadInputRegisters { address: 2, count: 1 }, &mut s),
-            Response::Registers { function: 0x04, values: vec![555] }
+            execute(
+                &Request::ReadInputRegisters {
+                    address: 2,
+                    count: 1
+                },
+                &mut s
+            ),
+            Response::Registers {
+                function: 0x04,
+                values: vec![555]
+            }
         );
     }
 
@@ -261,8 +370,18 @@ mod tests {
         let mut s = DataStore::new(4, 4);
         s.config_image = vec![1, 2, 3];
         let dump = execute(&Request::ConfigDownload, &mut s);
-        assert_eq!(dump, Response::ConfigImage { image: vec![1, 2, 3] });
-        let upload = execute(&Request::ConfigUpload { image: vec![66, 66] }, &mut s);
+        assert_eq!(
+            dump,
+            Response::ConfigImage {
+                image: vec![1, 2, 3]
+            }
+        );
+        let upload = execute(
+            &Request::ConfigUpload {
+                image: vec![66, 66],
+            },
+            &mut s,
+        );
         assert_eq!(upload, Response::ConfigAccepted);
         assert_eq!(s.config_image, vec![66, 66]);
         assert_eq!(s.config_uploads, 1);
@@ -274,7 +393,9 @@ mod tests {
         s.device_id = "ACME 9000".into();
         assert_eq!(
             execute(&Request::ReadDeviceId, &mut s),
-            Response::DeviceId { text: "ACME 9000".into() }
+            Response::DeviceId {
+                text: "ACME 9000".into()
+            }
         );
     }
 

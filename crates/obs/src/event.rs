@@ -1,0 +1,214 @@
+//! Typed journal records and their canonical byte encoding.
+//!
+//! The journal is the run's narrative: every security- or
+//! availability-relevant occurrence lands here as a typed record with
+//! the simulated timestamp. The byte encoding is fixed (tag byte +
+//! little-endian fields) so a run hashes to a stable digest — the
+//! determinism tests compare digests across same-seed runs.
+
+use std::fmt;
+
+/// Why the network layer dropped a frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropKind {
+    /// Random link loss.
+    Loss,
+    /// Rejected by a firewall rule.
+    Firewall,
+    /// ARP request from an unauthorized address.
+    Arp,
+    /// Destination NIC or port not present.
+    NoRoute,
+}
+
+impl DropKind {
+    fn tag(self) -> u8 {
+        match self {
+            DropKind::Loss => 0,
+            DropKind::Firewall => 1,
+            DropKind::Arp => 2,
+            DropKind::NoRoute => 3,
+        }
+    }
+}
+
+/// One structured journal record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// The network dropped a frame at `node`.
+    PacketDrop {
+        /// Node (switch or host) where the drop happened.
+        node: u32,
+        /// Drop cause.
+        kind: DropKind,
+    },
+    /// A Spines daemon rejected an unauthenticated or forged message.
+    AuthFailure {
+        /// Rejecting daemon id.
+        daemon: u32,
+    },
+    /// A Prime replica installed a new view.
+    ViewChange {
+        /// Replica that installed the view.
+        replica: u32,
+        /// The installed view number.
+        view: u64,
+    },
+    /// A replica was taken down for proactive or reactive recovery.
+    RecoveryStart {
+        /// Recovering replica id.
+        replica: u32,
+    },
+    /// A recovered replica rejoined with state transferred.
+    RecoveryEnd {
+        /// Recovered replica id.
+        replica: u32,
+    },
+    /// An HMI emitted a display frame after collecting enough votes.
+    FrameEmit {
+        /// Emitting HMI id.
+        hmi: u32,
+        /// Frame sequence number that crossed the vote threshold.
+        seq: u64,
+    },
+}
+
+impl Event {
+    /// Appends the canonical encoding: tag byte, then fields in
+    /// little-endian. Field widths are fixed per variant.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Event::PacketDrop { node, kind } => {
+                out.push(1);
+                out.extend_from_slice(&node.to_le_bytes());
+                out.push(kind.tag());
+            }
+            Event::AuthFailure { daemon } => {
+                out.push(2);
+                out.extend_from_slice(&daemon.to_le_bytes());
+            }
+            Event::ViewChange { replica, view } => {
+                out.push(3);
+                out.extend_from_slice(&replica.to_le_bytes());
+                out.extend_from_slice(&view.to_le_bytes());
+            }
+            Event::RecoveryStart { replica } => {
+                out.push(4);
+                out.extend_from_slice(&replica.to_le_bytes());
+            }
+            Event::RecoveryEnd { replica } => {
+                out.push(5);
+                out.extend_from_slice(&replica.to_le_bytes());
+            }
+            Event::FrameEmit { hmi, seq } => {
+                out.push(6);
+                out.extend_from_slice(&hmi.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+            }
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::PacketDrop { node, kind } => write!(f, "drop at node {node} ({kind:?})"),
+            Event::AuthFailure { daemon } => write!(f, "auth failure at daemon {daemon}"),
+            Event::ViewChange { replica, view } => {
+                write!(f, "replica {replica} installed view {view}")
+            }
+            Event::RecoveryStart { replica } => write!(f, "recovery of replica {replica} begins"),
+            Event::RecoveryEnd { replica } => write!(f, "replica {replica} recovered"),
+            Event::FrameEmit { hmi, seq } => write!(f, "hmi {hmi} emitted frame {seq}"),
+        }
+    }
+}
+
+/// An [`Event`] plus the simulated time it was journaled at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Simulated time in microseconds.
+    pub at_us: u64,
+    /// The record itself.
+    pub event: Event,
+}
+
+impl TimedEvent {
+    /// Appends timestamp then event encoding.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.at_us.to_le_bytes());
+        self.event.encode_into(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodings_are_distinct_per_variant_and_payload() {
+        let events = [
+            Event::PacketDrop {
+                node: 1,
+                kind: DropKind::Loss,
+            },
+            Event::PacketDrop {
+                node: 1,
+                kind: DropKind::Firewall,
+            },
+            Event::PacketDrop {
+                node: 2,
+                kind: DropKind::Loss,
+            },
+            Event::AuthFailure { daemon: 1 },
+            Event::ViewChange {
+                replica: 1,
+                view: 1,
+            },
+            Event::ViewChange {
+                replica: 1,
+                view: 2,
+            },
+            Event::RecoveryStart { replica: 1 },
+            Event::RecoveryEnd { replica: 1 },
+            Event::FrameEmit { hmi: 0, seq: 9 },
+        ];
+        let encoded: Vec<Vec<u8>> = events
+            .iter()
+            .map(|e| {
+                let mut buf = Vec::new();
+                e.encode_into(&mut buf);
+                buf
+            })
+            .collect();
+        for i in 0..encoded.len() {
+            for j in (i + 1)..encoded.len() {
+                assert_ne!(encoded[i], encoded[j], "{:?} vs {:?}", events[i], events[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn timed_encoding_prefixes_timestamp() {
+        let rec = TimedEvent {
+            at_us: 0x0102,
+            event: Event::AuthFailure { daemon: 7 },
+        };
+        let mut buf = Vec::new();
+        rec.encode_into(&mut buf);
+        assert_eq!(&buf[..8], &0x0102u64.to_le_bytes());
+        assert_eq!(buf[8], 2);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let s = format!(
+            "{}",
+            Event::ViewChange {
+                replica: 3,
+                view: 4
+            }
+        );
+        assert!(s.contains("replica 3") && s.contains("view 4"));
+    }
+}

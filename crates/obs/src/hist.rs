@@ -1,0 +1,235 @@
+//! Log-linear latency histogram.
+//!
+//! Values 0–31 get exact buckets; above that, each power-of-two range
+//! is split into 16 linear sub-buckets (HDR-histogram style), bounding
+//! relative error at ~6%. That is plenty for asserting shapes like
+//! "median reaction under 200 ms" while keeping the whole structure a
+//! flat array of counts — deterministic, allocation-free recording.
+
+/// Exact buckets for values below this threshold.
+const LINEAR_LIMIT: u64 = 32;
+/// Sub-buckets per power-of-two range above the linear region.
+const SUBBUCKETS: usize = 16;
+/// Smallest exponent in the log region (2^5 == LINEAR_LIMIT).
+const FIRST_EXP: u32 = 5;
+/// Total bucket count: 32 exact + 16 per exponent 5..=63.
+const BUCKETS: usize = LINEAR_LIMIT as usize + (64 - FIRST_EXP as usize) * SUBBUCKETS;
+
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_LIMIT {
+        return v as usize;
+    }
+    let k = 63 - v.leading_zeros();
+    let sub = ((v >> (k - 4)) & 0xF) as usize;
+    LINEAR_LIMIT as usize + (k - FIRST_EXP) as usize * SUBBUCKETS + sub
+}
+
+/// Largest value mapping to bucket `idx` (inclusive upper edge).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < LINEAR_LIMIT as usize {
+        return idx as u64;
+    }
+    let b = idx - LINEAR_LIMIT as usize;
+    let k = FIRST_EXP + (b / SUBBUCKETS) as u32;
+    let sub = (b % SUBBUCKETS) as u64;
+    let width = 1u64 << (k - 4);
+    let lower = (16 + sub) << (k - 4);
+    lower + (width - 1)
+}
+
+/// A histogram of non-negative integer samples (microseconds, sizes).
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all bucket counts — equals [`count`](Self::count) by
+    /// construction; exposed so tests can assert conservation.
+    pub fn bucket_total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Value at quantile `q ∈ [0, 1]`: the upper edge of the bucket
+    /// holding the rank-`⌈q·n⌉` sample, clamped to the observed
+    /// min/max. Monotone in `q`, so `p50 ≤ p99 ≤ max` always holds.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Snapshot of the headline statistics.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            min: self.min(),
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+            max: self.max(),
+            mean: self.mean(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Histogram({:?})", self.summary())
+    }
+}
+
+/// Headline statistics of one histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Sample count.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Median (bucket upper edge).
+    pub p50: u64,
+    /// 99th percentile (bucket upper edge).
+    pub p99: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+    /// Mean, rounded down.
+    pub mean: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_domain_in_order() {
+        // Every value maps to a bucket whose upper edge is >= the value,
+        // and bucket upper edges are non-decreasing in index.
+        let probes = [0, 1, 31, 32, 33, 100, 1_000, 65_535, 1 << 40, u64::MAX];
+        for &v in &probes {
+            let idx = bucket_index(v);
+            assert!(bucket_upper(idx) >= v, "upper({idx}) < {v}");
+            if idx > 0 {
+                assert!(bucket_upper(idx - 1) < v, "v {v} belongs in a lower bucket");
+            }
+        }
+        for idx in 1..BUCKETS {
+            assert!(bucket_upper(idx) > bucket_upper(idx - 1));
+        }
+    }
+
+    #[test]
+    fn exact_in_linear_region() {
+        let mut h = Histogram::new();
+        for v in [0u64, 5, 17, 31] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.bucket_total(), 4);
+    }
+
+    #[test]
+    fn relative_error_bounded_in_log_region() {
+        let mut h = Histogram::new();
+        let v = 70_000u64; // ~70 ms in µs
+        h.record(v);
+        let q = h.quantile(0.5);
+        assert!(q >= v);
+        assert!((q - v) as f64 / v as f64 <= 0.0625, "q={q}");
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_clamped() {
+        let mut h = Histogram::new();
+        for i in 1..=1_000u64 {
+            h.record(i * 37);
+        }
+        let s = h.summary();
+        assert!(s.min <= s.p50 && s.p50 <= s.p99 && s.p99 <= s.max);
+        assert_eq!(s.max, 37_000);
+        assert_eq!(s.count, 1_000);
+        assert_eq!(h.quantile(0.0), h.min());
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(
+            s,
+            HistogramSummary {
+                count: 0,
+                min: 0,
+                p50: 0,
+                p99: 0,
+                max: 0,
+                mean: 0
+            }
+        );
+    }
+}

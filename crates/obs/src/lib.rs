@@ -1,0 +1,402 @@
+//! Deterministic observability for the simulated Spire deployment.
+//!
+//! The paper's evidence is observational — view-change counts over six
+//! days, auth-failure tallies during the red-team excursion, reaction
+//! latency distributions — so the reproduction needs one source of
+//! truth for telemetry instead of ad-hoc counters scattered per crate.
+//! This crate provides it:
+//!
+//! * a metrics registry ([`ObsHub`]) of named counters, gauges, and
+//!   log-scale latency [`Histogram`]s, stamped with **simulated** time;
+//! * an append-only structured [`Event`] journal whose byte encoding is
+//!   deterministic for a given seed and hashable into a single run
+//!   digest ([`ObsHub::journal_digest`]);
+//! * a renderable per-run snapshot ([`ObsReport`]).
+//!
+//! Components hold a private hub by default, so unit tests need no
+//! wiring; a deployment replaces it with one shared hub via each
+//! component's `attach_obs`, making every counter and journal record
+//! land in the same registry. Handles are `Rc`-shared: the simulation
+//! is single-threaded and hot paths (per-frame drop accounting) want a
+//! cached `Counter` rather than a name lookup.
+
+pub mod event;
+pub mod hist;
+pub mod report;
+
+pub use event::{Event, TimedEvent};
+pub use hist::{Histogram, HistogramSummary};
+pub use report::ObsReport;
+
+use itcrypto::sha256::{Digest, Sha256};
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A named monotone counter. Cloning shares the underlying cell, so
+/// hot paths cache the handle instead of re-resolving the name.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get() + n);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// A named instantaneous value (last write wins).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Rc<Cell<i64>>);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.set(v);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.get()
+    }
+}
+
+/// A shared histogram handle (see [`Histogram`] for the bucketing).
+#[derive(Clone, Debug, Default)]
+pub struct HistogramHandle(Rc<RefCell<Histogram>>);
+
+impl HistogramHandle {
+    /// Records one sample (typically microseconds of simulated time).
+    pub fn record(&self, value: u64) {
+        self.0.borrow_mut().record(value);
+    }
+
+    /// Snapshot of count/min/p50/p99/max/mean.
+    pub fn summary(&self) -> HistogramSummary {
+        self.0.borrow().summary()
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (clamped to observed min/max).
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.0.borrow().quantile(q)
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.borrow().count()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Simulated time in microseconds, advanced by the scheduler.
+    now_us: Cell<u64>,
+    counters: RefCell<BTreeMap<String, Counter>>,
+    gauges: RefCell<BTreeMap<String, Gauge>>,
+    histograms: RefCell<BTreeMap<String, HistogramHandle>>,
+    journal: RefCell<Vec<TimedEvent>>,
+    /// When set, journal appends are echoed to stdout (`--trace`).
+    trace: Cell<bool>,
+}
+
+/// The observability hub: metrics registry + event journal, stamped
+/// with simulated time. Cheap to clone; clones share all state.
+#[derive(Clone, Default)]
+pub struct ObsHub {
+    inner: Rc<Inner>,
+}
+
+impl ObsHub {
+    /// Creates an empty hub at simulated time zero.
+    pub fn new() -> Self {
+        ObsHub::default()
+    }
+
+    /// Whether two handles share the same underlying registry.
+    pub fn same_hub(&self, other: &ObsHub) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    // ---- simulated clock ----
+
+    /// Advances the simulated clock; called by the scheduler on dispatch.
+    pub fn set_now_us(&self, now_us: u64) {
+        self.inner.now_us.set(now_us);
+    }
+
+    /// Current simulated time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.inner.now_us.get()
+    }
+
+    // ---- metrics registry ----
+
+    /// Returns the counter registered under `name`, creating it at zero.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut reg = self.inner.counters.borrow_mut();
+        if let Some(c) = reg.get(name) {
+            return c.clone();
+        }
+        let c = Counter::default();
+        reg.insert(name.to_string(), c.clone());
+        c
+    }
+
+    /// Current value of counter `name` (zero if never registered).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner
+            .counters
+            .borrow()
+            .get(name)
+            .map_or(0, Counter::get)
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.inner
+            .counters
+            .borrow()
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, c)| c.get())
+            .sum()
+    }
+
+    /// Returns the gauge registered under `name`, creating it at zero.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut reg = self.inner.gauges.borrow_mut();
+        if let Some(g) = reg.get(name) {
+            return g.clone();
+        }
+        let g = Gauge::default();
+        reg.insert(name.to_string(), g.clone());
+        g
+    }
+
+    /// Returns the histogram registered under `name`, creating it empty.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut reg = self.inner.histograms.borrow_mut();
+        if let Some(h) = reg.get(name) {
+            return h.clone();
+        }
+        let h = HistogramHandle::default();
+        reg.insert(name.to_string(), h.clone());
+        h
+    }
+
+    // ---- event journal ----
+
+    /// Enables/disables echoing journal records to stdout as they land.
+    pub fn set_trace(&self, on: bool) {
+        self.inner.trace.set(on);
+    }
+
+    /// Appends `event` to the journal at the current simulated time.
+    pub fn journal(&self, event: Event) {
+        let rec = TimedEvent {
+            at_us: self.now_us(),
+            event,
+        };
+        if self.inner.trace.get() {
+            println!("[{:>12.6}s] {}", rec.at_us as f64 / 1e6, rec.event);
+        }
+        self.inner.journal.borrow_mut().push(rec);
+    }
+
+    /// Number of journal records.
+    pub fn journal_len(&self) -> usize {
+        self.inner.journal.borrow().len()
+    }
+
+    /// A copy of the journal (tests and report rendering).
+    pub fn journal_records(&self) -> Vec<TimedEvent> {
+        self.inner.journal.borrow().clone()
+    }
+
+    /// Number of journal records matching `pred`.
+    pub fn journal_count(&self, pred: impl Fn(&Event) -> bool) -> usize {
+        self.inner
+            .journal
+            .borrow()
+            .iter()
+            .filter(|r| pred(&r.event))
+            .count()
+    }
+
+    /// SHA-256 over the canonical byte encoding of every journal
+    /// record, in order: the run's identity. Two runs with the same
+    /// seed must produce byte-identical digests.
+    pub fn journal_digest(&self) -> Digest {
+        let mut h = Sha256::new();
+        let mut buf = Vec::with_capacity(64);
+        for rec in self.inner.journal.borrow().iter() {
+            buf.clear();
+            rec.encode_into(&mut buf);
+            h.update(&buf);
+        }
+        h.finalize()
+    }
+
+    // ---- reporting ----
+
+    /// Snapshot of every metric plus the journal digest.
+    pub fn report(&self) -> ObsReport {
+        ObsReport {
+            counters: self
+                .inner
+                .counters
+                .borrow()
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .inner
+                .gauges
+                .borrow()
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .inner
+                .histograms
+                .borrow()
+                .iter()
+                .filter(|(_, h)| h.count() > 0)
+                .map(|(name, h)| (name.clone(), h.summary()))
+                .collect(),
+            journal_len: self.journal_len(),
+            journal_digest: self.journal_digest().to_hex(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ObsHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsHub")
+            .field("now_us", &self.now_us())
+            .field("counters", &self.inner.counters.borrow().len())
+            .field("journal_len", &self.journal_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_state_across_handles() {
+        let hub = ObsHub::new();
+        let a = hub.counter("net.drops");
+        let b = hub.counter("net.drops");
+        a.inc();
+        b.add(2);
+        assert_eq!(hub.counter_value("net.drops"), 3);
+        assert_eq!(hub.counter_value("unregistered"), 0);
+    }
+
+    #[test]
+    fn counter_sum_matches_prefix() {
+        let hub = ObsHub::new();
+        hub.counter("spines.0.sealed").add(5);
+        hub.counter("spines.1.sealed").add(7);
+        hub.counter("prime.0.ordered").add(100);
+        assert_eq!(hub.counter_sum("spines."), 12);
+        assert_eq!(hub.counter_sum("prime."), 100);
+        assert_eq!(hub.counter_sum("nothing."), 0);
+    }
+
+    #[test]
+    fn journal_stamps_simulated_time_and_digests_deterministically() {
+        let make = || {
+            let hub = ObsHub::new();
+            hub.set_now_us(1_000);
+            hub.journal(Event::ViewChange {
+                replica: 1,
+                view: 2,
+            });
+            hub.set_now_us(2_500);
+            hub.journal(Event::AuthFailure { daemon: 3 });
+            hub
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a.journal_digest(), b.journal_digest());
+        assert_eq!(a.journal_records()[0].at_us, 1_000);
+        assert_eq!(a.journal_records()[1].at_us, 2_500);
+
+        // Any difference — order, payload, or timestamp — changes the digest.
+        let c = ObsHub::new();
+        c.set_now_us(1_000);
+        c.journal(Event::ViewChange {
+            replica: 1,
+            view: 3,
+        });
+        c.set_now_us(2_500);
+        c.journal(Event::AuthFailure { daemon: 3 });
+        assert_ne!(a.journal_digest(), c.journal_digest());
+    }
+
+    #[test]
+    fn journal_count_filters_by_kind() {
+        let hub = ObsHub::new();
+        hub.journal(Event::ViewChange {
+            replica: 0,
+            view: 1,
+        });
+        hub.journal(Event::RecoveryStart { replica: 2 });
+        hub.journal(Event::ViewChange {
+            replica: 1,
+            view: 1,
+        });
+        assert_eq!(
+            hub.journal_count(|e| matches!(e, Event::ViewChange { .. })),
+            2
+        );
+        assert_eq!(
+            hub.journal_count(|e| matches!(e, Event::RecoveryEnd { .. })),
+            0
+        );
+    }
+
+    #[test]
+    fn report_snapshots_metrics_and_renders() {
+        let hub = ObsHub::new();
+        hub.counter("a.count").add(4);
+        hub.gauge("b.level").set(-2);
+        hub.histogram("c.latency_us").record(150);
+        hub.journal(Event::PacketDrop {
+            node: 1,
+            kind: event::DropKind::Loss,
+        });
+        let r = hub.report();
+        assert_eq!(r.counters, vec![("a.count".to_string(), 4)]);
+        assert_eq!(r.gauges, vec![("b.level".to_string(), -2)]);
+        assert_eq!(r.histograms.len(), 1);
+        assert_eq!(r.journal_len, 1);
+        let text = r.render();
+        assert!(text.contains("a.count"));
+        assert!(text.contains("c.latency_us"));
+        assert!(text.contains(&r.journal_digest[..16]));
+    }
+
+    #[test]
+    fn clones_share_hub_identity() {
+        let hub = ObsHub::new();
+        let clone = hub.clone();
+        assert!(hub.same_hub(&clone));
+        assert!(!hub.same_hub(&ObsHub::new()));
+        clone.counter("x").inc();
+        assert_eq!(hub.counter_value("x"), 1);
+    }
+}

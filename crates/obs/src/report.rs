@@ -1,0 +1,122 @@
+//! Per-run observability snapshot and its table rendering.
+
+use crate::hist::HistogramSummary;
+
+/// Everything a run recorded, snapshotted: counters, gauges, histogram
+/// summaries, and the journal's length and digest. This is what
+/// experiments return and the CLI prints under `--metrics`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObsReport {
+    /// Counter name → value, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → value, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram name → summary, sorted by name; empty histograms omitted.
+    pub histograms: Vec<(String, HistogramSummary)>,
+    /// Number of journal records.
+    pub journal_len: usize,
+    /// Hex SHA-256 digest of the journal encoding — the run's identity.
+    pub journal_digest: String,
+}
+
+impl ObsReport {
+    /// Value of a counter in this snapshot (zero if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Summary of a histogram in this snapshot, if it recorded samples.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// Renders the snapshot as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("observability report\n");
+        out.push_str("--------------------\n");
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<40} {v:>12}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<40} {v:>12}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(&format!(
+                "histograms:\n  {:<40} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                "name", "count", "p50", "p99", "max", "mean"
+            ));
+            for (name, s) in &self.histograms {
+                out.push_str(&format!(
+                    "  {:<40} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                    name, s.count, s.p50, s.p99, s.max, s.mean
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "journal: {} records, digest {}\n",
+            self.journal_len, self.journal_digest
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ObsReport {
+        ObsReport {
+            counters: vec![("net.delivered".into(), 42)],
+            gauges: vec![("replicas.up".into(), 6)],
+            histograms: vec![(
+                "hmi.reaction_us".into(),
+                HistogramSummary {
+                    count: 10,
+                    min: 50,
+                    p50: 70,
+                    p99: 90,
+                    max: 95,
+                    mean: 71,
+                },
+            )],
+            journal_len: 3,
+            journal_digest: "abcd".repeat(16),
+        }
+    }
+
+    #[test]
+    fn lookups_find_recorded_entries() {
+        let r = sample();
+        assert_eq!(r.counter("net.delivered"), 42);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.histogram("hmi.reaction_us").map(|s| s.p50), Some(70));
+        assert!(r.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn render_contains_every_section() {
+        let text = sample().render();
+        for needle in [
+            "counters:",
+            "gauges:",
+            "histograms:",
+            "net.delivered",
+            "3 records",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -24,7 +24,12 @@ pub struct Breaker {
 
 impl Breaker {
     fn new(closed: bool) -> Self {
-        Breaker { commanded: closed, position: closed, operating_until: None, operations: 0 }
+        Breaker {
+            commanded: closed,
+            position: closed,
+            operating_until: None,
+            operations: 0,
+        }
     }
 }
 
@@ -39,7 +44,10 @@ impl BreakerBank {
     /// Creates `count` breakers, all initially closed, with the given
     /// mechanical operate delay.
     pub fn new(count: usize, operate_delay: SimDuration) -> Self {
-        BreakerBank { breakers: vec![Breaker::new(true); count], operate_delay }
+        BreakerBank {
+            breakers: vec![Breaker::new(true); count],
+            operate_delay,
+        }
     }
 
     /// Number of breakers.
@@ -128,10 +136,10 @@ mod tests {
         assert!(b.command(0, false, SimTime(0)));
         // Immediately after the command, position unchanged.
         assert_eq!(b.step(SimTime(10_000)), Vec::<usize>::new());
-        assert_eq!(b.positions()[0], true);
+        assert!(b.positions()[0]);
         // After the operate delay, the position follows.
         assert_eq!(b.step(SimTime(40_000)), vec![0]);
-        assert_eq!(b.positions()[0], false);
+        assert!(!b.positions()[0]);
         assert_eq!(b.breaker(0).expect("idx").operations, 1);
     }
 

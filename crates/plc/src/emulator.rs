@@ -50,11 +50,19 @@ impl PlcEmulator {
     /// Creates an emulator for a scenario with typical timings (10 ms scan,
     /// 40 ms breaker operate delay).
     pub fn new(scenario: Scenario) -> Self {
-        Self::with_timing(scenario, SimDuration::from_millis(10), SimDuration::from_millis(40))
+        Self::with_timing(
+            scenario,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(40),
+        )
     }
 
     /// Creates an emulator with explicit scan interval and operate delay.
-    pub fn with_timing(scenario: Scenario, scan_interval: SimDuration, operate_delay: SimDuration) -> Self {
+    pub fn with_timing(
+        scenario: Scenario,
+        scan_interval: SimDuration,
+        operate_delay: SimDuration,
+    ) -> Self {
         let topology = scenario.topology();
         let n = topology.breaker_count();
         let mut store = DataStore::new(n.max(1), n.max(8));
@@ -205,8 +213,17 @@ mod tests {
         let mut plc = PlcEmulator::new(Scenario::RedTeamDistribution);
         assert_eq!(plc.energized_loads(), 4);
         // Open the main breaker via a Modbus write.
-        let resp = plc.handle_request(&Request::WriteSingleCoil { address: 0, value: false });
-        assert_eq!(resp, Response::WriteSingleCoil { address: 0, value: false });
+        let resp = plc.handle_request(&Request::WriteSingleCoil {
+            address: 0,
+            value: false,
+        });
+        assert_eq!(
+            resp,
+            Response::WriteSingleCoil {
+                address: 0,
+                value: false
+            }
+        );
         plc.scan(SimTime(10_000)); // command issued, mechanics pending
         assert!(plc.positions()[0]);
         plc.scan(SimTime(60_000)); // past operate delay
@@ -232,12 +249,16 @@ mod tests {
         let mut plc = PlcEmulator::new(Scenario::RedTeamDistribution);
         // Attacker dumps config...
         let dump = plc.handle_request(&Request::ConfigDownload);
-        let Response::ConfigImage { image } = dump else { panic!("expected image") };
+        let Response::ConfigImage { image } = dump else {
+            panic!("expected image")
+        };
         let mut cfg = LogicConfig::from_image(&image).expect("factory parses");
         // ...modifies it to force every breaker open...
         cfg.force_open_mask = 0x7F;
         // ...and uploads it.
-        let up = plc.handle_request(&Request::ConfigUpload { image: cfg.to_image() });
+        let up = plc.handle_request(&Request::ConfigUpload {
+            image: cfg.to_image(),
+        });
         assert_eq!(up, Response::ConfigAccepted);
         plc.scan(SimTime(10_000));
         plc.scan(SimTime(100_000));
@@ -251,7 +272,9 @@ mod tests {
     #[test]
     fn invalid_config_upload_is_ignored() {
         let mut plc = PlcEmulator::new(Scenario::PlantSubset);
-        plc.handle_request(&Request::ConfigUpload { image: vec![0xde, 0xad] });
+        plc.handle_request(&Request::ConfigUpload {
+            image: vec![0xde, 0xad],
+        });
         plc.scan(SimTime(10_000));
         assert!(plc.config().is_factory());
         assert_eq!(plc.configs_adopted, 0);
@@ -261,7 +284,9 @@ mod tests {
     fn device_id_names_scenario() {
         let mut plc = PlcEmulator::new(Scenario::EmulatedGeneration(2));
         let resp = plc.handle_request(&Request::ReadDeviceId);
-        let Response::DeviceId { text } = resp else { panic!("expected id") };
+        let Response::DeviceId { text } = resp else {
+            panic!("expected id")
+        };
         assert!(text.contains("gen2"));
     }
 
@@ -269,7 +294,16 @@ mod tests {
     fn positions_via_modbus_poll() {
         let mut plc = PlcEmulator::new(Scenario::PlantSubset);
         plc.scan(SimTime(0));
-        let resp = plc.handle_request(&Request::ReadDiscreteInputs { address: 0, count: 3 });
-        assert_eq!(resp, Response::Bits { function: 0x02, values: vec![true, true, true] });
+        let resp = plc.handle_request(&Request::ReadDiscreteInputs {
+            address: 0,
+            count: 3,
+        });
+        assert_eq!(
+            resp,
+            Response::Bits {
+                function: 0x02,
+                values: vec![true, true, true]
+            }
+        );
     }
 }

@@ -58,7 +58,11 @@ impl LogicConfig {
         if !self.accept_remote_commands {
             return None;
         }
-        let mut v = if self.invert_commands { !closed } else { closed };
+        let mut v = if self.invert_commands {
+            !closed
+        } else {
+            closed
+        };
         if idx < 32 {
             if self.force_open_mask & (1 << idx) != 0 {
                 v = false;
@@ -140,7 +144,10 @@ mod tests {
 
     #[test]
     fn inverted_commands_flip() {
-        let cfg = LogicConfig { invert_commands: true, ..Default::default() };
+        let cfg = LogicConfig {
+            invert_commands: true,
+            ..Default::default()
+        };
         assert_eq!(cfg.transform_command(0, true), Some(false));
         assert_eq!(cfg.transform_command(0, false), Some(true));
         assert!(!cfg.is_factory());
@@ -161,7 +168,10 @@ mod tests {
 
     #[test]
     fn remote_lockout_drops_commands() {
-        let cfg = LogicConfig { accept_remote_commands: false, ..Default::default() };
+        let cfg = LogicConfig {
+            accept_remote_commands: false,
+            ..Default::default()
+        };
         assert_eq!(cfg.transform_command(0, true), None);
     }
 

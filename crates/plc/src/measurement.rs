@@ -58,7 +58,10 @@ impl MeasurementDevice {
     }
 
     fn flip(&mut self, ctx: &mut Context<'_>) {
-        let req = Request::WriteSingleCoil { address: self.breaker, value: self.next_state };
+        let req = Request::WriteSingleCoil {
+            address: self.breaker,
+            value: self.next_state,
+        };
         self.transaction = self.transaction.wrapping_add(1);
         let frame = TcpFrame::new(self.transaction, 1, req.encode());
         let pkt = Packet::udp(
@@ -69,7 +72,11 @@ impl MeasurementDevice {
             Bytes::from(frame.encode()),
         );
         ctx.send(0, pkt);
-        self.flips.push(Flip { at: ctx.now(), closed: self.next_state, acked: false });
+        self.flips.push(Flip {
+            at: ctx.now(),
+            closed: self.next_state,
+            acked: false,
+        });
         self.next_state = !self.next_state;
     }
 }
@@ -93,9 +100,14 @@ impl Process for MeasurementDevice {
 
     fn on_packet(&mut self, _ctx: &mut Context<'_>, pkt: Packet) {
         // Acknowledge the most recent flip when the echo arrives.
-        let Some(frame) = TcpFrame::decode(&pkt.payload) else { return };
+        let Some(frame) = TcpFrame::decode(&pkt.payload) else {
+            return;
+        };
         let last_req = match self.flips.last() {
-            Some(f) => Request::WriteSingleCoil { address: self.breaker, value: f.closed },
+            Some(f) => Request::WriteSingleCoil {
+                address: self.breaker,
+                value: f.closed,
+            },
             None => return,
         };
         if let Some(Response::WriteSingleCoil { .. }) = Response::decode(&frame.pdu, &last_req) {
@@ -126,7 +138,12 @@ mod tests {
         let dev = sim.add_node(NodeSpec::new(
             "meter",
             vec![InterfaceSpec::dynamic(dev_ip)],
-            Box::new(MeasurementDevice::new(plc_ip, 1, SimDuration::from_millis(500), 6)),
+            Box::new(MeasurementDevice::new(
+                plc_ip,
+                1,
+                SimDuration::from_millis(500),
+                6,
+            )),
         ));
         let sw = sim.add_switch(2, SwitchMode::Learning);
         sim.connect(plc, 0, sw, 0, LinkSpec::lan());
@@ -135,7 +152,10 @@ mod tests {
 
         let device = sim.process_ref::<MeasurementDevice>(dev).expect("device");
         assert_eq!(device.flips.len(), 6);
-        assert!(device.flips.iter().all(|f| f.acked), "all writes acknowledged");
+        assert!(
+            device.flips.iter().all(|f| f.acked),
+            "all writes acknowledged"
+        );
         // Alternating open/close starting with open.
         assert!(!device.flips[0].closed);
         assert!(device.flips[1].closed);

@@ -62,7 +62,12 @@ impl PowerTopology {
 
     /// Adds a breaker-guarded edge.
     pub fn add_breaker(&mut self, breaker: u16, name: impl Into<String>, a: BusNode, b: BusNode) {
-        self.edges.push(BreakerEdge { breaker, name: name.into(), a, b });
+        self.edges.push(BreakerEdge {
+            breaker,
+            name: name.into(),
+            a,
+            b,
+        });
     }
 
     /// All breaker edges.
@@ -77,12 +82,18 @@ impl PowerTopology {
 
     /// The breaker index for a named breaker, if present.
     pub fn breaker_by_name(&self, name: &str) -> Option<u16> {
-        self.edges.iter().find(|e| e.name == name).map(|e| e.breaker)
+        self.edges
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.breaker)
     }
 
     /// Breaker name for an index.
     pub fn breaker_name(&self, breaker: u16) -> Option<&str> {
-        self.edges.iter().find(|e| e.breaker == breaker).map(|e| e.name.as_str())
+        self.edges
+            .iter()
+            .find(|e| e.breaker == breaker)
+            .map(|e| e.name.as_str())
     }
 
     /// Named loads as `(id, name)` pairs.
@@ -122,7 +133,10 @@ impl PowerTopology {
 
     /// Count of energized loads.
     pub fn energized_count(&self, closed: &[bool]) -> usize {
-        self.energized_loads(closed).values().filter(|&&v| v).count()
+        self.energized_loads(closed)
+            .values()
+            .filter(|&&v| v)
+            .count()
     }
 
     /// A nominal current (amps) per closed source-side breaker: proportional
@@ -146,7 +160,12 @@ impl PowerTopology {
 
 impl fmt::Display for PowerTopology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "topology: {} breakers, {} loads", self.edges.len(), self.load_names.len())?;
+        writeln!(
+            f,
+            "topology: {} breakers, {} loads",
+            self.edges.len(),
+            self.load_names.len()
+        )?;
         for e in &self.edges {
             writeln!(f, "  {} [{}]: {:?} -- {:?}", e.name, e.breaker, e.a, e.b)?;
         }
@@ -319,7 +338,7 @@ mod tests {
     #[test]
     fn all_open_nothing_energized() {
         let t = fig4_topology();
-        assert_eq!(t.energized_count(&vec![false; 7]), 0);
+        assert_eq!(t.energized_count(&[false; 7]), 0);
         // Short state vectors are treated as open.
         assert_eq!(t.energized_count(&[]), 0);
     }
@@ -359,8 +378,14 @@ mod tests {
     fn scenario_builders() {
         assert_eq!(Scenario::RedTeamDistribution.topology().breaker_count(), 7);
         assert_eq!(Scenario::PlantSubset.topology().breaker_count(), 3);
-        assert_eq!(Scenario::EmulatedDistribution(3).topology().breaker_count(), 5);
-        assert_eq!(Scenario::EmulatedGeneration(5).topology().breaker_count(), 3);
+        assert_eq!(
+            Scenario::EmulatedDistribution(3).topology().breaker_count(),
+            5
+        );
+        assert_eq!(
+            Scenario::EmulatedGeneration(5).topology().breaker_count(),
+            3
+        );
         assert_eq!(Scenario::RedTeamDistribution.tag(), "jhu");
         assert_eq!(Scenario::EmulatedDistribution(7).tag(), "dist7");
         assert_eq!(Scenario::EmulatedGeneration(2).tag(), "gen2");

@@ -69,10 +69,12 @@ impl Application for KvApp {
         let payload = update.payload.as_ref();
         match payload.iter().position(|&b| b == b'=') {
             Some(i) => {
-                self.entries.insert(payload[..i].to_vec(), payload[i + 1..].to_vec());
+                self.entries
+                    .insert(payload[..i].to_vec(), payload[i + 1..].to_vec());
             }
             None => {
-                self.entries.insert(payload.to_vec(), self.executed.to_be_bytes().to_vec());
+                self.entries
+                    .insert(payload.to_vec(), self.executed.to_be_bytes().to_vec());
             }
         }
     }
@@ -112,15 +114,23 @@ impl Application for KvApp {
         let n = u32::from_be_bytes(snapshot[8..12].try_into().expect("4 bytes")) as usize;
         let mut pos = 12;
         for _ in 0..n {
-            let Some(klen_bytes) = snapshot.get(pos..pos + 4) else { return };
+            let Some(klen_bytes) = snapshot.get(pos..pos + 4) else {
+                return;
+            };
             let klen = u32::from_be_bytes(klen_bytes.try_into().expect("4 bytes")) as usize;
             pos += 4;
-            let Some(k) = snapshot.get(pos..pos + klen) else { return };
+            let Some(k) = snapshot.get(pos..pos + klen) else {
+                return;
+            };
             pos += klen;
-            let Some(vlen_bytes) = snapshot.get(pos..pos + 4) else { return };
+            let Some(vlen_bytes) = snapshot.get(pos..pos + 4) else {
+                return;
+            };
             let vlen = u32::from_be_bytes(vlen_bytes.try_into().expect("4 bytes")) as usize;
             pos += 4;
-            let Some(v) = snapshot.get(pos..pos + vlen) else { return };
+            let Some(v) = snapshot.get(pos..pos + vlen) else {
+                return;
+            };
             pos += vlen;
             self.entries.insert(k.to_vec(), v.to_vec());
         }

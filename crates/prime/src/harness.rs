@@ -91,7 +91,13 @@ impl Cluster {
             .into_iter()
             .enumerate()
             .map(|(i, key)| {
-                Replica::new(ReplicaId(i as u32), config, key, registry.clone(), KvApp::new())
+                Replica::new(
+                    ReplicaId(i as u32),
+                    config,
+                    key,
+                    registry.clone(),
+                    KvApp::new(),
+                )
             })
             .collect();
         Cluster {
@@ -169,7 +175,11 @@ impl Cluster {
                 }
                 OutEvent::Send(to, msg) => self.enqueue(to, msg),
                 OutEvent::Execute { exec_seq, update } => {
-                    self.exec_logs[from.0 as usize].push((exec_seq, update.client, update.client_seq));
+                    self.exec_logs[from.0 as usize].push((
+                        exec_seq,
+                        update.client,
+                        update.client_seq,
+                    ));
                 }
                 _ => {}
             }
@@ -213,7 +223,7 @@ impl Cluster {
                     let events = self.replicas[i].tick(now);
                     self.dispatch(ReplicaId(i as u32), events);
                 }
-                self.next_tick = self.next_tick + self.tick_interval;
+                self.next_tick += self.tick_interval;
             }
         }
         self.now = deadline;

@@ -23,7 +23,9 @@ impl AruRow {
     /// The byte string the signature covers.
     pub fn signed_bytes(replica: ReplicaId, vector: &[u64]) -> Vec<u8> {
         let mut w = Writer::new();
-        w.put_raw(b"po-aru").put_u32(replica.0).put_u32(vector.len() as u32);
+        w.put_raw(b"po-aru")
+            .put_u32(replica.0)
+            .put_u32(vector.len() as u32);
         for v in vector {
             w.put_u64(*v);
         }
@@ -59,8 +61,15 @@ impl Wire for AruRow {
         for _ in 0..n {
             vector.push(r.get_u64()?);
         }
-        let sig: [u8; 16] = r.get_raw(16)?.try_into().map_err(|_| DecodeError::new("sig"))?;
-        Ok(AruRow { replica, vector, sig: Signature::from_bytes(&sig) })
+        let sig: [u8; 16] = r
+            .get_raw(16)?
+            .try_into()
+            .map_err(|_| DecodeError::new("sig"))?;
+        Ok(AruRow {
+            replica,
+            vector,
+            sig: Signature::from_bytes(&sig),
+        })
     }
 }
 
@@ -223,7 +232,11 @@ impl Wire for PrimeMsg {
     fn encode(&self, w: &mut Writer) {
         w.put_u8(self.tag());
         match self {
-            PrimeMsg::PoRequest { origin, po_seq, update } => {
+            PrimeMsg::PoRequest {
+                origin,
+                po_seq,
+                update,
+            } => {
                 w.put_u32(origin.0).put_u64(*po_seq);
                 update.encode(w);
             }
@@ -246,8 +259,17 @@ impl Wire for PrimeMsg {
             PrimeMsg::SuspectLeader { view } => {
                 w.put_u64(*view);
             }
-            PrimeMsg::ViewChange { new_view, max_committed, prepared_seq, prepared_view, prepared_matrix } => {
-                w.put_u64(*new_view).put_u64(*max_committed).put_u64(*prepared_seq).put_u64(*prepared_view);
+            PrimeMsg::ViewChange {
+                new_view,
+                max_committed,
+                prepared_seq,
+                prepared_view,
+                prepared_matrix,
+            } => {
+                w.put_u64(*new_view)
+                    .put_u64(*max_committed)
+                    .put_u64(*prepared_seq)
+                    .put_u64(*prepared_view);
                 w.put_u32(prepared_matrix.len() as u32);
                 for row in prepared_matrix {
                     row.encode(w);
@@ -256,14 +278,26 @@ impl Wire for PrimeMsg {
             PrimeMsg::NewView { view, start_seq } => {
                 w.put_u64(*view).put_u64(*start_seq);
             }
-            PrimeMsg::Checkpoint { exec_seq, app_digest } => {
+            PrimeMsg::Checkpoint {
+                exec_seq,
+                app_digest,
+            } => {
                 w.put_u64(*exec_seq).put_raw(app_digest.as_bytes());
             }
             PrimeMsg::CatchupRequest { have_exec_seq } => {
                 w.put_u64(*have_exec_seq);
             }
-            PrimeMsg::CatchupReply { exec_seq, app_digest, snapshot, next_order_seq, exec_cover, view } => {
-                w.put_u64(*exec_seq).put_raw(app_digest.as_bytes()).put_bytes(snapshot);
+            PrimeMsg::CatchupReply {
+                exec_seq,
+                app_digest,
+                snapshot,
+                next_order_seq,
+                exec_cover,
+                view,
+            } => {
+                w.put_u64(*exec_seq)
+                    .put_raw(app_digest.as_bytes())
+                    .put_bytes(snapshot);
                 w.put_u64(*next_order_seq);
                 put_u64_vec(w, exec_cover);
                 w.put_u64(*view);
@@ -274,7 +308,10 @@ impl Wire for PrimeMsg {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         let tag = r.get_u8()?;
         let digest = |r: &mut Reader<'_>| -> Result<Digest, DecodeError> {
-            let raw: [u8; 32] = r.get_raw(32)?.try_into().map_err(|_| DecodeError::new("digest"))?;
+            let raw: [u8; 32] = r
+                .get_raw(32)?
+                .try_into()
+                .map_err(|_| DecodeError::new("digest"))?;
             Ok(Digest(raw))
         };
         Ok(match tag {
@@ -283,7 +320,9 @@ impl Wire for PrimeMsg {
                 po_seq: r.get_u64()?,
                 update: SignedUpdate::decode(r)?,
             },
-            1 => PrimeMsg::PoAru { row: AruRow::decode(r)? },
+            1 => PrimeMsg::PoAru {
+                row: AruRow::decode(r)?,
+            },
             2 => {
                 let view = r.get_u64()?;
                 let seq = r.get_u64()?;
@@ -297,10 +336,23 @@ impl Wire for PrimeMsg {
                 }
                 PrimeMsg::PrePrepare { view, seq, matrix }
             }
-            3 => PrimeMsg::Prepare { view: r.get_u64()?, seq: r.get_u64()?, digest: digest(r)? },
-            4 => PrimeMsg::Commit { view: r.get_u64()?, seq: r.get_u64()?, digest: digest(r)? },
-            5 => PrimeMsg::PoFetch { origin: ReplicaId(r.get_u32()?), po_seq: r.get_u64()? },
-            6 => PrimeMsg::PoData { original: r.get_bytes()? },
+            3 => PrimeMsg::Prepare {
+                view: r.get_u64()?,
+                seq: r.get_u64()?,
+                digest: digest(r)?,
+            },
+            4 => PrimeMsg::Commit {
+                view: r.get_u64()?,
+                seq: r.get_u64()?,
+                digest: digest(r)?,
+            },
+            5 => PrimeMsg::PoFetch {
+                origin: ReplicaId(r.get_u32()?),
+                po_seq: r.get_u64()?,
+            },
+            6 => PrimeMsg::PoData {
+                original: r.get_bytes()?,
+            },
             7 => PrimeMsg::SuspectLeader { view: r.get_u64()? },
             8 => {
                 let new_view = r.get_u64()?;
@@ -315,11 +367,25 @@ impl Wire for PrimeMsg {
                 for _ in 0..n {
                     prepared_matrix.push(AruRow::decode(r)?);
                 }
-                PrimeMsg::ViewChange { new_view, max_committed, prepared_seq, prepared_view, prepared_matrix }
+                PrimeMsg::ViewChange {
+                    new_view,
+                    max_committed,
+                    prepared_seq,
+                    prepared_view,
+                    prepared_matrix,
+                }
             }
-            9 => PrimeMsg::NewView { view: r.get_u64()?, start_seq: r.get_u64()? },
-            10 => PrimeMsg::Checkpoint { exec_seq: r.get_u64()?, app_digest: digest(r)? },
-            11 => PrimeMsg::CatchupRequest { have_exec_seq: r.get_u64()? },
+            9 => PrimeMsg::NewView {
+                view: r.get_u64()?,
+                start_seq: r.get_u64()?,
+            },
+            10 => PrimeMsg::Checkpoint {
+                exec_seq: r.get_u64()?,
+                app_digest: digest(r)?,
+            },
+            11 => PrimeMsg::CatchupRequest {
+                have_exec_seq: r.get_u64()?,
+            },
             12 => PrimeMsg::CatchupReply {
                 exec_seq: r.get_u64()?,
                 app_digest: digest(r)?,
@@ -378,17 +444,24 @@ impl Wire for SignedMsg {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         let from = ReplicaId(r.get_u32()?);
         let msg = PrimeMsg::decode(r)?;
-        let sig: [u8; 16] = r.get_raw(16)?.try_into().map_err(|_| DecodeError::new("sig"))?;
-        Ok(SignedMsg { from, msg, sig: Signature::from_bytes(&sig) })
+        let sig: [u8; 16] = r
+            .get_raw(16)?
+            .try_into()
+            .map_err(|_| DecodeError::new("sig"))?;
+        Ok(SignedMsg {
+            from,
+            msg,
+            sig: Signature::from_bytes(&sig),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::Update;
     use bytes::Bytes;
     use itcrypto::keys::KeyPair;
-    use crate::types::Update;
 
     fn sample_update() -> SignedUpdate {
         let mut kp = KeyPair::generate(1);
@@ -407,14 +480,39 @@ mod tests {
         let mut kp = KeyPair::generate(2);
         let vector = vec![3, 0, 7];
         let sig = kp.sign(&AruRow::signed_bytes(ReplicaId(2), &vector));
-        let row = AruRow { replica: ReplicaId(2), vector, sig };
-        roundtrip(PrimeMsg::PoRequest { origin: ReplicaId(1), po_seq: 5, update: sample_update() });
+        let row = AruRow {
+            replica: ReplicaId(2),
+            vector,
+            sig,
+        };
+        roundtrip(PrimeMsg::PoRequest {
+            origin: ReplicaId(1),
+            po_seq: 5,
+            update: sample_update(),
+        });
         roundtrip(PrimeMsg::PoAru { row: row.clone() });
-        roundtrip(PrimeMsg::PrePrepare { view: 1, seq: 9, matrix: vec![row.clone(), row.clone()] });
-        roundtrip(PrimeMsg::Prepare { view: 1, seq: 9, digest: Digest([7; 32]) });
-        roundtrip(PrimeMsg::Commit { view: 1, seq: 9, digest: Digest([8; 32]) });
-        roundtrip(PrimeMsg::PoFetch { origin: ReplicaId(0), po_seq: 3 });
-        roundtrip(PrimeMsg::PoData { original: vec![1, 2, 3, 4] });
+        roundtrip(PrimeMsg::PrePrepare {
+            view: 1,
+            seq: 9,
+            matrix: vec![row.clone(), row.clone()],
+        });
+        roundtrip(PrimeMsg::Prepare {
+            view: 1,
+            seq: 9,
+            digest: Digest([7; 32]),
+        });
+        roundtrip(PrimeMsg::Commit {
+            view: 1,
+            seq: 9,
+            digest: Digest([8; 32]),
+        });
+        roundtrip(PrimeMsg::PoFetch {
+            origin: ReplicaId(0),
+            po_seq: 3,
+        });
+        roundtrip(PrimeMsg::PoData {
+            original: vec![1, 2, 3, 4],
+        });
         roundtrip(PrimeMsg::SuspectLeader { view: 4 });
         roundtrip(PrimeMsg::ViewChange {
             new_view: 5,
@@ -423,8 +521,14 @@ mod tests {
             prepared_view: 4,
             prepared_matrix: vec![row.clone()],
         });
-        roundtrip(PrimeMsg::NewView { view: 5, start_seq: 12 });
-        roundtrip(PrimeMsg::Checkpoint { exec_seq: 100, app_digest: Digest([9; 32]) });
+        roundtrip(PrimeMsg::NewView {
+            view: 5,
+            start_seq: 12,
+        });
+        roundtrip(PrimeMsg::Checkpoint {
+            exec_seq: 100,
+            app_digest: Digest([9; 32]),
+        });
         roundtrip(PrimeMsg::CatchupRequest { have_exec_seq: 4 });
         roundtrip(PrimeMsg::CatchupReply {
             exec_seq: 100,
@@ -465,7 +569,11 @@ mod tests {
         reg.register(Principal::Replica(0), kp.public_key());
         let vector = vec![1, 2, 3, 4];
         let sig = kp.sign(&AruRow::signed_bytes(ReplicaId(0), &vector));
-        let row = AruRow { replica: ReplicaId(0), vector, sig };
+        let row = AruRow {
+            replica: ReplicaId(0),
+            vector,
+            sig,
+        };
         assert!(row.verify(&reg));
         let mut bad = row.clone();
         bad.vector[0] = 99;

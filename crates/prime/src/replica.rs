@@ -147,6 +147,10 @@ pub struct ReplicaStats {
     pub fetches: u64,
 }
 
+/// Per-view votes: sender → (max committed, prepared seq, prepared view,
+/// prepared matrix).
+type ViewChangeVotes = BTreeMap<u32, (u64, u64, u64, Vec<AruRow>)>;
+
 /// One Prime replica hosting an application.
 pub struct Replica<A: Application> {
     id: ReplicaId,
@@ -205,7 +209,7 @@ pub struct Replica<A: Application> {
     sent_suspect: BTreeSet<u64>,
 
     // View change.
-    view_changes: BTreeMap<u64, BTreeMap<u32, (u64, u64, u64, Vec<AruRow>)>>,
+    view_changes: BTreeMap<u64, ViewChangeVotes>,
 
     // Checkpoints.
     last_checkpoint_at_exec: u64,
@@ -221,6 +225,21 @@ pub struct Replica<A: Application> {
     app: A,
     /// Counters.
     pub stats: ReplicaStats,
+
+    // Observability: hub for journal records (detached until
+    // `attach_obs`) plus cached registry counter handles.
+    obs: obs::ObsHub,
+    c_view_changes: obs::Counter,
+    c_executed: obs::Counter,
+    c_suspects_sent: obs::Counter,
+}
+
+fn prime_counters(hub: &obs::ObsHub, id: ReplicaId) -> [obs::Counter; 3] {
+    [
+        hub.counter(&format!("prime.r{}.view_changes", id.0)),
+        hub.counter(&format!("prime.r{}.executed", id.0)),
+        hub.counter(&format!("prime.r{}.suspects_sent", id.0)),
+    ]
 }
 
 impl<A: Application> Replica<A> {
@@ -228,6 +247,8 @@ impl<A: Application> Replica<A> {
     /// the hosted application.
     pub fn new(id: ReplicaId, config: Config, key: KeyPair, registry: KeyRegistry, app: A) -> Self {
         let n = config.n() as usize;
+        let hub = obs::ObsHub::new();
+        let [view_changes, executed, suspects_sent] = prime_counters(&hub, id);
         Replica {
             id,
             config,
@@ -278,7 +299,24 @@ impl<A: Application> Replica<A> {
             catchup_offers: BTreeMap::new(),
             app,
             stats: ReplicaStats::default(),
+            obs: hub.clone(),
+            c_view_changes: view_changes,
+            c_executed: executed,
+            c_suspects_sent: suspects_sent,
         }
+    }
+
+    /// Redirects this replica's metrics and journal records to a shared
+    /// deployment hub. Accumulated counts carry over.
+    pub fn attach_obs(&mut self, hub: &obs::ObsHub) {
+        let [view_changes, executed, suspects_sent] = prime_counters(hub, self.id);
+        view_changes.add(self.c_view_changes.get());
+        executed.add(self.c_executed.get());
+        suspects_sent.add(self.c_suspects_sent.get());
+        self.obs = hub.clone();
+        self.c_view_changes = view_changes;
+        self.c_executed = executed;
+        self.c_suspects_sent = suspects_sent;
     }
 
     /// Overrides protocol timing (tests tighten timeouts).
@@ -347,7 +385,11 @@ impl<A: Application> Replica<A> {
         self.next_po_seq += 1;
         self.stats.po_introduced += 1;
         self.po_store.insert((self.id.0, po_seq), update.clone());
-        let msg = self.sign(PrimeMsg::PoRequest { origin: self.id, po_seq, update });
+        let msg = self.sign(PrimeMsg::PoRequest {
+            origin: self.id,
+            po_seq,
+            update,
+        });
         self.po_envelopes.insert((self.id.0, po_seq), msg.clone());
         self.advance_my_aru();
         out.push(OutEvent::Broadcast(msg));
@@ -356,7 +398,9 @@ impl<A: Application> Replica<A> {
     }
 
     fn already_executed(&self, client: u32, client_seq: u64) -> bool {
-        self.executed_clients.get(&client).is_some_and(|s| s.contains(&client_seq))
+        self.executed_clients
+            .get(&client)
+            .is_some_and(|s| s.contains(&client_seq))
     }
 
     fn advance_my_aru(&mut self) {
@@ -368,7 +412,10 @@ impl<A: Application> Replica<A> {
                 self.aru_counter[origin] = 0;
             }
             let mut counter = self.aru_counter[origin];
-            while self.po_store.contains_key(&(origin as u32, po_compose(inc, counter + 1))) {
+            while self
+                .po_store
+                .contains_key(&(origin as u32, po_compose(inc, counter + 1)))
+            {
                 counter += 1;
             }
             self.aru_counter[origin] = counter;
@@ -393,7 +440,11 @@ impl<A: Application> Replica<A> {
         }
         let from = msg.from;
         match msg.msg.clone() {
-            PrimeMsg::PoRequest { origin, po_seq, update } => {
+            PrimeMsg::PoRequest {
+                origin,
+                po_seq,
+                update,
+            } => {
                 self.accept_po_request(msg, from, origin, po_seq, update, now, &mut out);
             }
             PrimeMsg::PoAru { row } => {
@@ -421,13 +472,31 @@ impl<A: Application> Replica<A> {
             PrimeMsg::SuspectLeader { view } => {
                 self.on_suspect(from, view, now, &mut out);
             }
-            PrimeMsg::ViewChange { new_view, max_committed, prepared_seq, prepared_view, prepared_matrix } => {
-                self.on_view_change(from, new_view, max_committed, prepared_seq, prepared_view, prepared_matrix, now, &mut out);
+            PrimeMsg::ViewChange {
+                new_view,
+                max_committed,
+                prepared_seq,
+                prepared_view,
+                prepared_matrix,
+            } => {
+                self.on_view_change(
+                    from,
+                    new_view,
+                    max_committed,
+                    prepared_seq,
+                    prepared_view,
+                    prepared_matrix,
+                    now,
+                    &mut out,
+                );
             }
             PrimeMsg::NewView { view, start_seq } => {
                 self.on_new_view(from, view, start_seq, now, &mut out);
             }
-            PrimeMsg::Checkpoint { exec_seq, app_digest } => {
+            PrimeMsg::Checkpoint {
+                exec_seq,
+                app_digest,
+            } => {
                 self.on_checkpoint(from, exec_seq, app_digest, now, &mut out);
             }
             PrimeMsg::CatchupRequest { have_exec_seq } => {
@@ -444,8 +513,24 @@ impl<A: Application> Replica<A> {
                     out.push(OutEvent::Send(from, reply));
                 }
             }
-            PrimeMsg::CatchupReply { exec_seq, app_digest, snapshot, next_order_seq, exec_cover, view } => {
-                self.on_catchup_reply(from, exec_seq, app_digest, snapshot, next_order_seq, exec_cover, view, &mut out);
+            PrimeMsg::CatchupReply {
+                exec_seq,
+                app_digest,
+                snapshot,
+                next_order_seq,
+                exec_cover,
+                view,
+            } => {
+                self.on_catchup_reply(
+                    from,
+                    exec_seq,
+                    app_digest,
+                    snapshot,
+                    next_order_seq,
+                    exec_cover,
+                    view,
+                    &mut out,
+                );
             }
         }
         out
@@ -482,7 +567,9 @@ impl<A: Application> Replica<A> {
             self.aru_counter[o] = 0;
         }
         self.po_store.entry((origin.0, po_seq)).or_insert(update);
-        self.po_envelopes.entry((origin.0, po_seq)).or_insert(envelope);
+        self.po_envelopes
+            .entry((origin.0, po_seq))
+            .or_insert(envelope);
         self.advance_my_aru();
         self.note_unordered(now);
         self.try_execute(now, out);
@@ -542,7 +629,9 @@ impl<A: Application> Replica<A> {
             return;
         }
         let digest = Self::matrix_digest(&matrix);
-        self.pre_prepares.entry(seq).or_insert((view, matrix, digest));
+        self.pre_prepares
+            .entry(seq)
+            .or_insert((view, matrix, digest));
         let stored = &self.pre_prepares[&seq];
         if stored.0 != view || stored.2 != digest {
             return; // conflicting proposal for this seq; ignore.
@@ -551,7 +640,10 @@ impl<A: Application> Replica<A> {
         self.unordered_since = Some(now);
         if self.sent_prepare.insert((view, seq)) {
             let prep = self.sign(PrimeMsg::Prepare { view, seq, digest });
-            self.prepares.entry((view, seq, digest)).or_default().insert(self.id.0);
+            self.prepares
+                .entry((view, seq, digest))
+                .or_default()
+                .insert(self.id.0);
             out.push(OutEvent::Broadcast(prep));
         }
         self.check_prepared(view, seq, digest, now, out);
@@ -569,12 +661,24 @@ impl<A: Application> Replica<A> {
         if view != self.view {
             return;
         }
-        self.prepares.entry((view, seq, digest)).or_default().insert(from.0);
+        self.prepares
+            .entry((view, seq, digest))
+            .or_default()
+            .insert(from.0);
         self.check_prepared(view, seq, digest, now, out);
     }
 
-    fn check_prepared(&mut self, view: u64, seq: u64, digest: Digest, now: SimTime, out: &mut Vec<OutEvent>) {
-        let Some((pp_view, matrix, pp_digest)) = self.pre_prepares.get(&seq) else { return };
+    fn check_prepared(
+        &mut self,
+        view: u64,
+        seq: u64,
+        digest: Digest,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
+        let Some((pp_view, matrix, pp_digest)) = self.pre_prepares.get(&seq) else {
+            return;
+        };
         if *pp_view != view || *pp_digest != digest {
             return;
         }
@@ -587,7 +691,10 @@ impl<A: Application> Replica<A> {
         if have >= self.config.ordering_quorum() && self.sent_commit.insert((view, seq)) {
             self.prepared_cert = Some((seq, view, matrix.clone()));
             let commit = self.sign(PrimeMsg::Commit { view, seq, digest });
-            self.commits.entry((view, seq, digest)).or_default().insert(self.id.0);
+            self.commits
+                .entry((view, seq, digest))
+                .or_default()
+                .insert(self.id.0);
             out.push(OutEvent::Broadcast(commit));
             self.check_committed(view, seq, digest, now, out);
         }
@@ -602,23 +709,42 @@ impl<A: Application> Replica<A> {
         now: SimTime,
         out: &mut Vec<OutEvent>,
     ) {
-        self.commits.entry((view, seq, digest)).or_default().insert(from.0);
+        self.commits
+            .entry((view, seq, digest))
+            .or_default()
+            .insert(from.0);
         self.check_committed(view, seq, digest, now, out);
     }
 
-    fn check_committed(&mut self, view: u64, seq: u64, digest: Digest, now: SimTime, out: &mut Vec<OutEvent>) {
+    fn check_committed(
+        &mut self,
+        view: u64,
+        seq: u64,
+        digest: Digest,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
         if self.committed.contains_key(&seq) {
             return;
         }
-        let Some((pp_view, matrix, pp_digest)) = self.pre_prepares.get(&seq) else { return };
+        let Some((pp_view, matrix, pp_digest)) = self.pre_prepares.get(&seq) else {
+            return;
+        };
         if *pp_view != view || *pp_digest != digest {
             return;
         }
-        let count = self.commits.get(&(view, seq, digest)).map_or(0, |s| s.len() as u32);
+        let count = self
+            .commits
+            .get(&(view, seq, digest))
+            .map_or(0, |s| s.len() as u32);
         if count >= self.config.ordering_quorum() {
             self.committed.insert(seq, matrix.clone());
             self.max_committed = self.max_committed.max(seq);
-            if self.prepared_cert.as_ref().is_some_and(|(s, _, _)| *s == seq) {
+            if self
+                .prepared_cert
+                .as_ref()
+                .is_some_and(|(s, _, _)| *s == seq)
+            {
                 self.prepared_cert = None;
             }
             self.extend_plan();
@@ -641,15 +767,19 @@ impl<A: Application> Replica<A> {
             let n = self.config.n() as usize;
             let threshold = self.config.coverage_threshold() as usize;
             let mut target = self.plan_cover.clone();
-            for origin in 0..n {
+            for (origin, cover) in target.iter_mut().enumerate().take(n) {
                 let mut column: Vec<u64> = matrix.iter().map(|row| row.vector[origin]).collect();
                 column.sort_unstable_by(|a, b| b.cmp(a));
                 if column.len() >= threshold {
-                    target[origin] = target[origin].max(column[threshold - 1]);
+                    *cover = (*cover).max(column[threshold - 1]);
                 }
             }
-            for (origin, (&from_cover, &to_cover)) in
-                self.plan_cover.clone().iter().zip(target.iter()).enumerate()
+            for (origin, (&from_cover, &to_cover)) in self
+                .plan_cover
+                .clone()
+                .iter()
+                .zip(target.iter())
+                .enumerate()
             {
                 if to_cover <= from_cover {
                     continue;
@@ -665,7 +795,8 @@ impl<A: Application> Replica<A> {
                     // same slots); the new incarnation executes from 1.
                     let inc = po_incarnation(to_cover);
                     for c in 1..=po_counter(to_cover) {
-                        self.exec_plan.push_back((origin as u32, po_compose(inc, c)));
+                        self.exec_plan
+                            .push_back((origin as u32, po_compose(inc, c)));
                     }
                 }
             }
@@ -683,7 +814,10 @@ impl<A: Application> Replica<A> {
                 if now.since(self.last_fetch_at) >= SimDuration::from_millis(50) {
                     self.last_fetch_at = now;
                     self.stats.fetches += 1;
-                    let fetch = self.sign(PrimeMsg::PoFetch { origin: ReplicaId(origin), po_seq });
+                    let fetch = self.sign(PrimeMsg::PoFetch {
+                        origin: ReplicaId(origin),
+                        po_seq,
+                    });
                     out.push(OutEvent::Broadcast(fetch));
                 }
                 return;
@@ -698,8 +832,12 @@ impl<A: Application> Replica<A> {
             }
             self.exec_seq += 1;
             self.stats.executed += 1;
+            self.c_executed.inc();
             self.app.execute(&update, self.exec_seq);
-            out.push(OutEvent::Execute { exec_seq: self.exec_seq, update });
+            out.push(OutEvent::Execute {
+                exec_seq: self.exec_seq,
+                update,
+            });
             // Checkpoint when due.
             if self.exec_seq - self.last_checkpoint_at_exec >= self.timing.checkpoint_interval {
                 self.last_checkpoint_at_exec = self.exec_seq;
@@ -722,7 +860,10 @@ impl<A: Application> Replica<A> {
     }
 
     fn has_unordered_eligible(&self) -> bool {
-        self.my_aru.iter().zip(self.plan_cover.iter()).any(|(a, c)| a > c)
+        self.my_aru
+            .iter()
+            .zip(self.plan_cover.iter())
+            .any(|(a, c)| a > c)
             || !self.exec_plan.is_empty()
     }
 
@@ -734,12 +875,21 @@ impl<A: Application> Replica<A> {
 
     fn on_po_data(&mut self, original: &[u8], now: SimTime, out: &mut Vec<OutEvent>) {
         // The payload must be the origin's own signed PoRequest envelope.
-        let Ok(envelope) = SignedMsg::from_wire(original) else { return };
+        let Ok(envelope) = SignedMsg::from_wire(original) else {
+            return;
+        };
         if !envelope.verify(&self.registry) {
             self.stats.bad_sigs += 1;
             return;
         }
-        let PrimeMsg::PoRequest { origin, po_seq, update } = envelope.msg.clone() else { return };
+        let PrimeMsg::PoRequest {
+            origin,
+            po_seq,
+            update,
+        } = envelope.msg.clone()
+        else {
+            return;
+        };
         let from = envelope.from;
         self.accept_po_request(envelope, from, origin, po_seq, update, now, out);
     }
@@ -749,8 +899,8 @@ impl<A: Application> Replica<A> {
             return;
         }
         self.suspects.entry(view).or_default().insert(from.0);
-        let count = self.suspects[&view].len() as u32
-            + u32::from(self.sent_suspect.contains(&view));
+        let count =
+            self.suspects[&view].len() as u32 + u32::from(self.sent_suspect.contains(&view));
         if view == self.view && count >= self.config.suspect_threshold() {
             self.start_view_change(view + 1, now, out);
         }
@@ -774,10 +924,15 @@ impl<A: Application> Replica<A> {
             prepared_matrix: prepared_matrix.clone(),
         };
         // Record our own vote.
-        self.view_changes
-            .entry(target)
-            .or_default()
-            .insert(self.id.0, (self.max_committed, prepared_seq, prepared_view, prepared_matrix));
+        self.view_changes.entry(target).or_default().insert(
+            self.id.0,
+            (
+                self.max_committed,
+                prepared_seq,
+                prepared_view,
+                prepared_matrix,
+            ),
+        );
         let vc = self.sign(vc);
         out.push(OutEvent::Broadcast(vc));
     }
@@ -797,10 +952,10 @@ impl<A: Application> Replica<A> {
         if new_view <= self.view {
             return;
         }
-        self.view_changes
-            .entry(new_view)
-            .or_default()
-            .insert(from.0, (max_committed, prepared_seq, prepared_view, prepared_matrix));
+        self.view_changes.entry(new_view).or_default().insert(
+            from.0,
+            (max_committed, prepared_seq, prepared_view, prepared_matrix),
+        );
         let votes = self.view_changes[&new_view].len() as u32;
         // Join a view change once f+1 replicas are moving (can't all be faulty).
         if votes > self.config.f && (!self.in_view_change || self.vc_target < new_view) {
@@ -816,8 +971,17 @@ impl<A: Application> Replica<A> {
     }
 
     fn install_view(&mut self, new_view: u64, now: SimTime, out: &mut Vec<OutEvent>) {
-        let votes = self.view_changes.get(&new_view).cloned().unwrap_or_default();
-        let max_committed_any = votes.values().map(|(mc, _, _, _)| *mc).max().unwrap_or(0).max(self.max_committed);
+        let votes = self
+            .view_changes
+            .get(&new_view)
+            .cloned()
+            .unwrap_or_default();
+        let max_committed_any = votes
+            .values()
+            .map(|(mc, _, _, _)| *mc)
+            .max()
+            .unwrap_or(0)
+            .max(self.max_committed);
         // Highest prepared certificate above the committed watermark, by
         // (prepared_view, seq).
         let best_prepared = votes
@@ -833,8 +997,16 @@ impl<A: Application> Replica<A> {
         self.in_view_change = false;
         self.unordered_since = None;
         self.stats.view_changes += 1;
+        self.c_view_changes.inc();
+        self.obs.journal(obs::Event::ViewChange {
+            replica: self.id.0,
+            view: new_view,
+        });
         out.push(OutEvent::ViewChanged { view: new_view });
-        let nv = self.sign(PrimeMsg::NewView { view: new_view, start_seq });
+        let nv = self.sign(PrimeMsg::NewView {
+            view: new_view,
+            start_seq,
+        });
         out.push(OutEvent::Broadcast(nv));
         // Re-propose the surviving prepared matrix under the new view.
         if let Some((_, ps, _, matrix)) = best_prepared {
@@ -844,7 +1016,14 @@ impl<A: Application> Replica<A> {
         }
     }
 
-    fn on_new_view(&mut self, from: ReplicaId, view: u64, _start_seq: u64, now: SimTime, out: &mut Vec<OutEvent>) {
+    fn on_new_view(
+        &mut self,
+        from: ReplicaId,
+        view: u64,
+        _start_seq: u64,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
         if view <= self.view || from != self.config.leader_of(view) {
             return;
         }
@@ -857,11 +1036,26 @@ impl<A: Application> Replica<A> {
         self.in_view_change = false;
         self.unordered_since = Some(now);
         self.stats.view_changes += 1;
+        self.c_view_changes.inc();
+        self.obs.journal(obs::Event::ViewChange {
+            replica: self.id.0,
+            view,
+        });
         out.push(OutEvent::ViewChanged { view });
     }
 
-    fn on_checkpoint(&mut self, from: ReplicaId, exec_seq: u64, app_digest: Digest, now: SimTime, out: &mut Vec<OutEvent>) {
-        self.checkpoint_votes.entry((exec_seq, app_digest)).or_default().insert(from.0);
+    fn on_checkpoint(
+        &mut self,
+        from: ReplicaId,
+        exec_seq: u64,
+        app_digest: Digest,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
+        self.checkpoint_votes
+            .entry((exec_seq, app_digest))
+            .or_default()
+            .insert(from.0);
         let votes = self.checkpoint_votes[&(exec_seq, app_digest)].len() as u32;
         if votes >= self.config.ordering_quorum() && exec_seq > self.stable_checkpoint {
             self.stable_checkpoint = exec_seq;
@@ -885,7 +1079,9 @@ impl<A: Application> Replica<A> {
         self.catchup_attempts = 0;
         self.catchup_offers.clear();
         out.push(OutEvent::StateTransferRequested);
-        let req = self.sign(PrimeMsg::CatchupRequest { have_exec_seq: self.exec_seq });
+        let req = self.sign(PrimeMsg::CatchupRequest {
+            have_exec_seq: self.exec_seq,
+        });
         out.push(OutEvent::Broadcast(req));
     }
 
@@ -908,13 +1104,29 @@ impl<A: Application> Replica<A> {
             return;
         }
         let key = (exec_seq, app_digest);
-        let offer = PrimeMsg::CatchupReply { exec_seq, app_digest, snapshot, next_order_seq, exec_cover, view };
-        let entry = self.catchup_offers.entry(key).or_insert_with(|| (BTreeSet::new(), offer));
+        let offer = PrimeMsg::CatchupReply {
+            exec_seq,
+            app_digest,
+            snapshot,
+            next_order_seq,
+            exec_cover,
+            view,
+        };
+        let entry = self
+            .catchup_offers
+            .entry(key)
+            .or_insert_with(|| (BTreeSet::new(), offer));
         entry.0.insert(from.0);
         if entry.0.len() as u32 > self.config.f {
             // f+1 matching offers: at least one from a correct replica.
-            let PrimeMsg::CatchupReply { exec_seq, app_digest, snapshot, next_order_seq, exec_cover, view } =
-                entry.1.clone()
+            let PrimeMsg::CatchupReply {
+                exec_seq,
+                app_digest,
+                snapshot,
+                next_order_seq,
+                exec_cover,
+                view,
+            } = entry.1.clone()
             else {
                 return;
             };
@@ -946,20 +1158,23 @@ impl<A: Application> Replica<A> {
             return out;
         }
         // Gossip PO-ARU when it changed or periodically.
-        if self.my_aru != self.last_gossiped_aru
-            || now.since(self.last_aru_at) >= self.timing.aru_interval.saturating_mul(5)
+        if (self.my_aru != self.last_gossiped_aru
+            || now.since(self.last_aru_at) >= self.timing.aru_interval.saturating_mul(5))
+            && now.since(self.last_aru_at) >= self.timing.aru_interval
         {
-            if now.since(self.last_aru_at) >= self.timing.aru_interval {
-                self.last_aru_at = now;
-                self.last_gossiped_aru = self.my_aru.clone();
-                let vector = self.my_aru.clone();
-                let sig = self.key.sign(&AruRow::signed_bytes(self.id, &vector));
-                let row = AruRow { replica: self.id, vector, sig };
-                // Install our own row for our own proposals.
-                self.latest_rows.insert(self.id.0, row.clone());
-                let msg = self.sign(PrimeMsg::PoAru { row });
-                out.push(OutEvent::Broadcast(msg));
-            }
+            self.last_aru_at = now;
+            self.last_gossiped_aru = self.my_aru.clone();
+            let vector = self.my_aru.clone();
+            let sig = self.key.sign(&AruRow::signed_bytes(self.id, &vector));
+            let row = AruRow {
+                replica: self.id,
+                vector,
+                sig,
+            };
+            // Install our own row for our own proposals.
+            self.latest_rows.insert(self.id.0, row.clone());
+            let msg = self.sign(PrimeMsg::PoAru { row });
+            out.push(OutEvent::Broadcast(msg));
         }
         // Leader proposal.
         if self.is_leader() && !self.in_view_change && !self.catching_up {
@@ -974,6 +1189,7 @@ impl<A: Application> Replica<A> {
             {
                 self.sent_suspect.insert(self.view);
                 self.stats.suspects_sent += 1;
+                self.c_suspects_sent.inc();
                 let view = self.view;
                 let msg = self.sign(PrimeMsg::SuspectLeader { view });
                 out.push(OutEvent::Broadcast(msg));
@@ -1004,7 +1220,9 @@ impl<A: Application> Replica<A> {
             } else {
                 self.catchup_started = now;
                 self.catchup_offers.clear();
-                let req = self.sign(PrimeMsg::CatchupRequest { have_exec_seq: self.exec_seq });
+                let req = self.sign(PrimeMsg::CatchupRequest {
+                    have_exec_seq: self.exec_seq,
+                });
                 out.push(OutEvent::Broadcast(req));
             }
         }
@@ -1056,18 +1274,29 @@ impl<A: Application> Replica<A> {
                 *c = column[threshold - 1];
             }
         }
-        if cover.iter().zip(self.plan_cover.iter()).all(|(c, p)| c <= p) {
+        if cover
+            .iter()
+            .zip(self.plan_cover.iter())
+            .all(|(c, p)| c <= p)
+        {
             return;
         }
         self.last_pp_at = now;
         self.propose_matrix(next_seq, rows, now, out);
     }
 
-    fn propose_matrix(&mut self, seq: u64, matrix: Vec<AruRow>, now: SimTime, out: &mut Vec<OutEvent>) {
+    fn propose_matrix(
+        &mut self,
+        seq: u64,
+        matrix: Vec<AruRow>,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
         let digest = Self::matrix_digest(&matrix);
         let view = self.view;
         self.stats.proposals += 1;
-        self.pre_prepares.insert(seq, (view, matrix.clone(), digest));
+        self.pre_prepares
+            .insert(seq, (view, matrix.clone(), digest));
         // The leader counts as prepared implicitly; it still must collect
         // the quorum of Prepares from followers.
         let msg = self.sign(PrimeMsg::PrePrepare { view, seq, matrix });

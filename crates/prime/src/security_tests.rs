@@ -34,7 +34,13 @@ fn registry_and_keys(n: u32, clients: u32) -> (KeyRegistry, Vec<KeyPair>, Vec<Ke
 fn replica(id: u32) -> (Replica<KvApp>, Vec<KeyPair>, Vec<KeyPair>) {
     let config = Config::red_team();
     let (reg, rkeys, ckeys) = registry_and_keys(config.n(), 2);
-    let r = Replica::new(ReplicaId(id), config, rkeys[id as usize].clone(), reg, KvApp::new());
+    let r = Replica::new(
+        ReplicaId(id),
+        config,
+        rkeys[id as usize].clone(),
+        reg,
+        KvApp::new(),
+    );
     (r, rkeys, ckeys)
 }
 
@@ -50,7 +56,7 @@ fn po_composite_arithmetic() {
     assert_eq!(po_incarnation(c), 3);
     assert_eq!(po_counter(c), 41);
     // Higher incarnation always dominates any counter of a lower one.
-    assert!(po_compose(2, 0) > po_compose(1, u64::MAX & ((1 << 40) - 1)));
+    assert!(po_compose(2, 0) > po_compose(1, (1 << 40) - 1));
 }
 
 #[test]
@@ -80,11 +86,18 @@ fn po_request_relayed_by_non_origin_is_ignored() {
     // Replica 2 tries to bind a slot in replica 1's pre-order space.
     let (mut r0, mut rk, mut ck) = replica(0);
     let update = signed_update(&mut ck, 0, 1);
-    let msg = PrimeMsg::PoRequest { origin: ReplicaId(1), po_seq: po_compose(0, 1), update };
+    let msg = PrimeMsg::PoRequest {
+        origin: ReplicaId(1),
+        po_seq: po_compose(0, 1),
+        update,
+    };
     let signed = SignedMsg::sign(ReplicaId(2), msg, &mut rk[2]);
     let _ = r0.on_message(signed, SimTime(0));
     // The slot must remain unbound: an honest fetch would find nothing.
-    let fetch = PrimeMsg::PoFetch { origin: ReplicaId(1), po_seq: po_compose(0, 1) };
+    let fetch = PrimeMsg::PoFetch {
+        origin: ReplicaId(1),
+        po_seq: po_compose(0, 1),
+    };
     let signed_fetch = SignedMsg::sign(ReplicaId(3), fetch, &mut rk[3]);
     let out = r0.on_message(signed_fetch, SimTime(1));
     assert!(out.is_empty(), "no PoData reply for an unbound slot");
@@ -95,9 +108,15 @@ fn po_data_with_forged_inner_envelope_rejected() {
     let (mut r0, mut rk, mut ck) = replica(0);
     // Inner envelope claims origin replica 1 but is signed by replica 2.
     let update = signed_update(&mut ck, 0, 1);
-    let inner = PrimeMsg::PoRequest { origin: ReplicaId(1), po_seq: po_compose(0, 1), update };
+    let inner = PrimeMsg::PoRequest {
+        origin: ReplicaId(1),
+        po_seq: po_compose(0, 1),
+        update,
+    };
     let forged_inner = SignedMsg::sign(ReplicaId(1), inner, &mut rk[2]); // wrong key
-    let po_data = PrimeMsg::PoData { original: forged_inner.to_wire().to_vec() };
+    let po_data = PrimeMsg::PoData {
+        original: forged_inner.to_wire().to_vec(),
+    };
     let outer = SignedMsg::sign(ReplicaId(2), po_data, &mut rk[2]);
     let before = r0.stats.bad_sigs;
     let _ = r0.on_message(outer, SimTime(0));
@@ -110,8 +129,16 @@ fn pre_prepare_from_non_leader_ignored() {
     // View 0's leader is replica 0; replica 2 proposes anyway.
     let row_vec = vec![0u64; 4];
     let sig = rk[2].sign(&AruRow::signed_bytes(ReplicaId(2), &row_vec));
-    let row = AruRow { replica: ReplicaId(2), vector: row_vec, sig };
-    let pp = PrimeMsg::PrePrepare { view: 0, seq: 1, matrix: vec![row.clone(), row.clone(), row.clone()] };
+    let row = AruRow {
+        replica: ReplicaId(2),
+        vector: row_vec,
+        sig,
+    };
+    let pp = PrimeMsg::PrePrepare {
+        view: 0,
+        seq: 1,
+        matrix: vec![row.clone(), row.clone(), row.clone()],
+    };
     let signed = SignedMsg::sign(ReplicaId(2), pp, &mut rk[2]);
     let out = r1.on_message(signed, SimTime(0));
     // No Prepare is emitted for a usurper's proposal.
@@ -130,8 +157,16 @@ fn pre_prepare_with_undersized_matrix_ignored() {
     // Only 2 rows < ordering quorum (3 for n=4).
     let row_vec = vec![0u64; 4];
     let sig = rk[0].sign(&AruRow::signed_bytes(ReplicaId(0), &row_vec));
-    let row = AruRow { replica: ReplicaId(0), vector: row_vec, sig };
-    let pp = PrimeMsg::PrePrepare { view: 0, seq: 1, matrix: vec![row.clone(), row] };
+    let row = AruRow {
+        replica: ReplicaId(0),
+        vector: row_vec,
+        sig,
+    };
+    let pp = PrimeMsg::PrePrepare {
+        view: 0,
+        seq: 1,
+        matrix: vec![row.clone(), row],
+    };
     let signed = SignedMsg::sign(ReplicaId(0), pp, &mut rk[0]);
     let out = r1.on_message(signed, SimTime(0));
     assert!(

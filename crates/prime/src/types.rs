@@ -95,7 +95,11 @@ pub struct Update {
 impl Update {
     /// Creates an update.
     pub fn new(client: u32, client_seq: u64, payload: impl Into<Bytes>) -> Self {
-        Update { client, client_seq, payload: payload.into() }
+        Update {
+            client,
+            client_seq,
+            payload: payload.into(),
+        }
     }
 
     /// Digest over the full update.
@@ -106,7 +110,9 @@ impl Update {
 
 impl Wire for Update {
     fn encode(&self, w: &mut Writer) {
-        w.put_u32(self.client).put_u64(self.client_seq).put_bytes(&self.payload);
+        w.put_u32(self.client)
+            .put_u64(self.client_seq)
+            .put_bytes(&self.payload);
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
@@ -146,9 +152,14 @@ impl Wire for SignedUpdate {
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         let update = Update::decode(r)?;
-        let sig_bytes: [u8; 16] =
-            r.get_raw(16)?.try_into().map_err(|_| DecodeError::new("signature"))?;
-        Ok(SignedUpdate { update, sig: Signature::from_bytes(&sig_bytes) })
+        let sig_bytes: [u8; 16] = r
+            .get_raw(16)?
+            .try_into()
+            .map_err(|_| DecodeError::new("signature"))?;
+        Ok(SignedUpdate {
+            update,
+            sig: Signature::from_bytes(&sig_bytes),
+        })
     }
 }
 

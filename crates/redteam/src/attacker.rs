@@ -202,20 +202,34 @@ impl Attacker {
     fn send_modbus(&mut self, ctx: &mut Context<'_>, plc: IpAddr, req: Request) {
         self.transaction = self.transaction.wrapping_add(1);
         let frame = TcpFrame::new(self.transaction, 1, req.encode());
-        let pkt = Packet::udp(ctx.ip(0), plc, ATTACK_PORT, PLC_MODBUS_PORT, Bytes::from(frame.encode()));
+        let pkt = Packet::udp(
+            ctx.ip(0),
+            plc,
+            ATTACK_PORT,
+            PLC_MODBUS_PORT,
+            Bytes::from(frame.encode()),
+        );
         ctx.send(0, pkt);
     }
 
     fn execute(&mut self, ctx: &mut Context<'_>, idx: usize) {
         let step = self.plan[idx].step.clone();
         match step {
-            AttackStep::PortScan { target, from_port, to_port } => {
+            AttackStep::PortScan {
+                target,
+                from_port,
+                to_port,
+            } => {
                 for port in from_port..=to_port {
                     self.observed.syns_sent += 1;
                     ctx.send(0, Packet::syn(ctx.ip(0), target, ATTACK_PORT, Port(port)));
                 }
             }
-            AttackStep::ArpPoison { victim: _, claim_ip, count } => {
+            AttackStep::ArpPoison {
+                victim: _,
+                claim_ip,
+                count,
+            } => {
                 // Gratuitous replies broadcast onto the segment.
                 for _ in 0..count {
                     self.observed.arp_replies_sent += 1;
@@ -245,25 +259,58 @@ impl Attacker {
             AttackStep::ModbusUpload { plc, image } => {
                 self.send_modbus(ctx, plc, Request::ConfigUpload { image });
             }
-            AttackStep::SpoofCommercialStatus { hmi, positions, seq } => {
+            AttackStep::SpoofCommercialStatus {
+                hmi,
+                positions,
+                seq,
+            } => {
                 self.observed.statuses_spoofed += 1;
                 let currents = vec![0; positions.len()];
-                let status = CommercialStatus { seq, positions, currents };
-                let pkt = Packet::udp(ctx.ip(0), hmi, ATTACK_PORT, HMI_PORT, Bytes::from(status.to_wire().to_vec()));
+                let status = CommercialStatus {
+                    seq,
+                    positions,
+                    currents,
+                };
+                let pkt = Packet::udp(
+                    ctx.ip(0),
+                    hmi,
+                    ATTACK_PORT,
+                    HMI_PORT,
+                    Bytes::from(status.to_wire().to_vec()),
+                );
                 ctx.send(0, pkt);
             }
-            AttackStep::InjectCommercialCommand { master, breaker, close } => {
+            AttackStep::InjectCommercialCommand {
+                master,
+                breaker,
+                close,
+            } => {
                 self.observed.commands_injected += 1;
                 let cmd = CommercialCommand { breaker, close };
-                let pkt = Packet::udp(ctx.ip(0), master, ATTACK_PORT, MASTER_PORT, Bytes::from(cmd.to_wire().to_vec()));
+                let pkt = Packet::udp(
+                    ctx.ip(0),
+                    master,
+                    ATTACK_PORT,
+                    MASTER_PORT,
+                    Bytes::from(cmd.to_wire().to_vec()),
+                );
                 ctx.send(0, pkt);
             }
-            AttackStep::SpinesProbe { target, port, payload } => {
+            AttackStep::SpinesProbe {
+                target,
+                port,
+                payload,
+            } => {
                 self.observed.spines_probes_sent += 1;
                 let pkt = Packet::udp(ctx.ip(0), target, ATTACK_PORT, port, Bytes::from(payload));
                 ctx.send(0, pkt);
             }
-            AttackStep::SpoofedProbe { target, port, spoof_src, payload } => {
+            AttackStep::SpoofedProbe {
+                target,
+                port,
+                spoof_src,
+                payload,
+            } => {
                 self.observed.spines_probes_sent += 1;
                 let pkt = Packet::udp(spoof_src, target, ATTACK_PORT, port, Bytes::from(payload));
                 let frame = Frame {
@@ -308,11 +355,19 @@ impl Attacker {
     }
 
     fn dos_packet(&mut self, ctx: &mut Context<'_>, idx: usize) {
-        let AttackStep::DosBurst { target, port, spoof_src, payload, .. } = self.plan[idx].step.clone()
+        let AttackStep::DosBurst {
+            target,
+            port,
+            spoof_src,
+            payload,
+            ..
+        } = self.plan[idx].step.clone()
         else {
             return;
         };
-        let Some((_, remaining, interval)) = self.bursting else { return };
+        let Some((_, remaining, interval)) = self.bursting else {
+            return;
+        };
         if remaining == 0 {
             self.bursting = None;
             return;
@@ -323,11 +378,27 @@ impl Attacker {
             // Spoofed source requires a raw frame (the OS path would use
             // our own address); the destination MAC must be guessed or
             // learned — use broadcast to let the switch deliver it.
-            let pkt = Packet::udp(src, target, ATTACK_PORT, port, Bytes::from(vec![0u8; payload]));
-            let frame = Frame { src_mac: ctx.mac(0), dst_mac: MacAddr::BROADCAST, payload: EtherPayload::Ip(pkt) };
+            let pkt = Packet::udp(
+                src,
+                target,
+                ATTACK_PORT,
+                port,
+                Bytes::from(vec![0u8; payload]),
+            );
+            let frame = Frame {
+                src_mac: ctx.mac(0),
+                dst_mac: MacAddr::BROADCAST,
+                payload: EtherPayload::Ip(pkt),
+            };
             ctx.send_raw(0, frame);
         } else {
-            let pkt = Packet::udp(src, target, ATTACK_PORT, port, Bytes::from(vec![0u8; payload]));
+            let pkt = Packet::udp(
+                src,
+                target,
+                ATTACK_PORT,
+                port,
+                Bytes::from(vec![0u8; payload]),
+            );
             ctx.send(0, pkt);
         }
         self.bursting = Some((idx, remaining - 1, interval));
@@ -370,9 +441,9 @@ impl Process for Attacker {
             TransportKind::Pong => self.observed.pongs_received += 1,
             TransportKind::TcpSynAck => self.observed.scan_results.push((pkt.src_port.0, true)),
             TransportKind::TcpRst => self.observed.scan_results.push((pkt.src_port.0, false)),
-            TransportKind::Udp => {
+            TransportKind::Udp
                 // Possibly a Modbus reply to a dump.
-                if pkt.src_port == PLC_MODBUS_PORT {
+                if pkt.src_port == PLC_MODBUS_PORT => {
                     if let Some(frame) = TcpFrame::decode(&pkt.payload) {
                         if let Some(Response::DeviceId { text }) =
                             Response::decode(&frame.pdu, &Request::ReadDeviceId)
@@ -396,7 +467,6 @@ impl Process for Attacker {
                         }
                     }
                 }
-            }
             _ => {}
         }
     }
@@ -404,7 +474,9 @@ impl Process for Attacker {
     fn on_transit(&mut self, ctx: &mut Context<'_>, _ifidx: usize, pkt: Packet) {
         // Traffic steered to us by ARP poisoning.
         self.observed.intercepted += 1;
-        let Some(mitm) = self.mitm.clone() else { return };
+        let Some(mitm) = self.mitm.clone() else {
+            return;
+        };
         if !mitm.forward {
             return;
         }
@@ -426,7 +498,6 @@ impl Process for Attacker {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,8 +505,20 @@ mod tests {
     #[test]
     fn schedule_accumulates() {
         let mut a = Attacker::new();
-        a.schedule(SimTime(0), AttackStep::PortScan { target: IpAddr::new(1, 1, 1, 1), from_port: 1, to_port: 10 });
-        a.schedule(SimTime(5), AttackStep::ModbusDump { plc: IpAddr::new(2, 2, 2, 2) });
+        a.schedule(
+            SimTime(0),
+            AttackStep::PortScan {
+                target: IpAddr::new(1, 1, 1, 1),
+                from_port: 1,
+                to_port: 10,
+            },
+        );
+        a.schedule(
+            SimTime(5),
+            AttackStep::ModbusDump {
+                plc: IpAddr::new(2, 2, 2, 2),
+            },
+        );
         assert_eq!(a.plan.len(), 2);
     }
 }

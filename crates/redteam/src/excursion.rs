@@ -56,9 +56,9 @@ impl ExcursionReport {
 /// Measures whether the deployment keeps making display progress over a
 /// window (the service-liveness probe between stages).
 fn service_progresses(d: &mut Deployment, window: SimDuration) -> (bool, u64) {
-    let before = d.hmi(0).stats.frames_applied;
+    let before = d.obs.counter_value("hmi.0.frames_applied");
     d.run_for(window);
-    let after = d.hmi(0).stats.frames_applied;
+    let after = d.obs.counter_value("hmi.0.frames_applied");
     (after > before, after)
 }
 
@@ -68,7 +68,7 @@ fn service_progresses(d: &mut Deployment, window: SimDuration) -> (bool, u64) {
 pub fn run_excursion(d: &mut Deployment, victim: u32) -> ExcursionReport {
     let probe = SimDuration::from_secs(3);
     let mut stages = Vec::new();
-    let frames_before = d.hmi(0).stats.frames_applied;
+    let frames_before = d.obs.counter_value("hmi.0.frames_applied");
 
     // Stage 1: user access — stop the Spines daemons on the victim.
     {
@@ -95,7 +95,10 @@ pub fn run_excursion(d: &mut Deployment, victim: u32) -> ExcursionReport {
     let (progressed, _) = service_progresses(d, probe);
     let auth_failures: u64 = (0..d.cfg.n())
         .filter(|&i| i != victim)
-        .map(|i| d.replica(i).internal.stats.auth_failures)
+        .map(|i| {
+            d.obs
+                .counter_value(&format!("spines.int.r{i}.auth_failures"))
+        })
         .sum();
     stages.push(Stage {
         number: 2,
@@ -126,14 +129,19 @@ pub fn run_excursion(d: &mut Deployment, victim: u32) -> ExcursionReport {
         let host = d.replica_mut(victim);
         host.internal.has_keys = true;
         host.external.has_keys = true;
-        let _ = host.internal.send_legacy_diag(bytes::Bytes::from_static(b"exploit"));
+        let _ = host
+            .internal
+            .send_legacy_diag(bytes::Bytes::from_static(b"exploit"));
         // (The returned wire sends are dropped here: the daemon emits them
         // on its next real I/O; for the stage verdict what matters is the
         // peers' handling, exercised via the live network below.)
     }
     let (progressed, _) = service_progresses(d, probe);
     let ignored: u64 = (0..d.cfg.n())
-        .map(|i| d.replica(i).internal.stats.legacy_diag_ignored)
+        .map(|i| {
+            d.obs
+                .counter_value(&format!("spines.int.r{i}.legacy_diag_ignored"))
+        })
         .sum();
     stages.push(Stage {
         number: 4,
@@ -159,8 +167,16 @@ pub fn run_excursion(d: &mut Deployment, victim: u32) -> ExcursionReport {
         evidence: "within the f = 1 intrusion budget; ordering continues".into(),
     });
 
-    ExcursionReport { stages, frames_before, frames_after }
+    ExcursionReport {
+        stages,
+        frames_before,
+        frames_after,
+    }
 }
+
+// ReplicaHost is used through Deployment accessors; keep the import used.
+#[allow(unused_imports)]
+use ReplicaHost as _ReplicaHostUsed;
 
 #[cfg(test)]
 mod tests {
@@ -193,6 +209,7 @@ mod tests {
         });
         let cfg2 = d.cfg.clone();
         let mut host = spire::hmi_host::HmiHost::new(cfg2, 0);
+        host.attach_obs(&d.obs);
         host.set_cycle(CycleConfig {
             scenario: Scenario::RedTeamDistribution,
             period: SimDuration::from_millis(500),
@@ -200,10 +217,16 @@ mod tests {
         });
         d.sim.replace_process(d.hmi_nodes[0], Box::new(host));
         d.run_for(SimDuration::from_secs(3));
-        assert!(d.hmi(0).stats.frames_applied > 0, "cycle running before excursion");
+        assert!(
+            d.hmi(0).stats.frames_applied > 0,
+            "cycle running before excursion"
+        );
 
         let report = run_excursion(&mut d, 3);
-        assert!(report.spire_survived(), "excursion must not disrupt Spire: {report:#?}");
+        assert!(
+            report.spire_survived(),
+            "excursion must not disrupt Spire: {report:#?}"
+        );
         assert_eq!(report.stages.len(), 5);
         assert!(report.stages[2].evidence.contains("dirtycow failed"));
         // With one replica Byzantine (crashed), remaining 3 of 4 suffice.
@@ -222,7 +245,3 @@ mod tests {
         assert!(report.stages[2].evidence.contains("dirtycow SUCCEEDED"));
     }
 }
-
-// ReplicaHost is used through Deployment accessors; keep the import used.
-#[allow(unused_imports)]
-use ReplicaHost as _ReplicaHostUsed;

@@ -82,12 +82,24 @@ impl CommercialLab {
         let primary = sim.add_node(NodeSpec::new(
             "commercial-primary",
             vec![InterfaceSpec::dynamic(addr::PRIMARY)],
-            Box::new(CommercialMaster::new(MasterRole::Primary, addr::PLC, addr::HMI, addr::BACKUP, 7)),
+            Box::new(CommercialMaster::new(
+                MasterRole::Primary,
+                addr::PLC,
+                addr::HMI,
+                addr::BACKUP,
+                7,
+            )),
         ));
         let backup = sim.add_node(NodeSpec::new(
             "commercial-backup",
             vec![InterfaceSpec::dynamic(addr::BACKUP)],
-            Box::new(CommercialMaster::new(MasterRole::Backup, addr::PLC, addr::HMI, addr::PRIMARY, 7)),
+            Box::new(CommercialMaster::new(
+                MasterRole::Backup,
+                addr::PLC,
+                addr::HMI,
+                addr::PRIMARY,
+                7,
+            )),
         ));
         let hmi = sim.add_node(NodeSpec::new(
             "commercial-hmi",
@@ -136,9 +148,13 @@ impl CommercialLab {
 
     /// Attaches an attacker to the enterprise network (phase 1 position).
     pub fn attach_enterprise_attacker(&mut self, spec: NodeSpec) -> NodeId {
-        let port = self.spare_enterprise_ports.pop().expect("spare enterprise port");
+        let port = self
+            .spare_enterprise_ports
+            .pop()
+            .expect("spare enterprise port");
         let node = self.sim.add_node(spec);
-        self.sim.connect(node, 0, self.enterprise_switch, port, LinkSpec::lan());
+        self.sim
+            .connect(node, 0, self.enterprise_switch, port, LinkSpec::lan());
         node
     }
 
@@ -146,14 +162,19 @@ impl CommercialLab {
     pub fn attach_ops_attacker(&mut self, spec: NodeSpec) -> NodeId {
         let port = self.spare_ops_ports.pop().expect("spare ops port");
         let node = self.sim.add_node(spec);
-        self.sim.connect(node, 0, self.ops_switch, port, LinkSpec::lan());
+        self.sim
+            .connect(node, 0, self.ops_switch, port, LinkSpec::lan());
         node
     }
 
     /// Convenience: standard attacker node spec (promiscuous, open
     /// firewall, dynamic ARP).
     pub fn attacker_spec(ip: IpAddr, attacker: crate::attacker::Attacker) -> NodeSpec {
-        let mut spec = NodeSpec::new("red-team", vec![InterfaceSpec::dynamic(ip)], Box::new(attacker));
+        let mut spec = NodeSpec::new(
+            "red-team",
+            vec![InterfaceSpec::dynamic(ip)],
+            Box::new(attacker),
+        );
         spec.promiscuous = true;
         spec
     }
@@ -187,16 +208,26 @@ mod tests {
         ));
         lab.sim.run_for(SimDuration::from_secs(2));
         // The dump succeeded across the boundary.
-        let obs = &lab.sim.process_ref::<Attacker>(node).expect("attacker").observed;
+        let obs = &lab
+            .sim
+            .process_ref::<Attacker>(node)
+            .expect("attacker")
+            .observed;
         assert!(obs.device_id.is_some(), "device identification read");
-        let config = obs.dumped_config.clone().expect("config dumped from enterprise network");
+        let config = obs
+            .dumped_config
+            .clone()
+            .expect("config dumped from enterprise network");
         // Phase 2: modify and upload — force all breakers open.
         let mut cfg = plc::logic::LogicConfig::from_image(&config).expect("parses");
         cfg.force_open_mask = 0x7F;
         let mut attacker2 = Attacker::new();
         attacker2.schedule(
             SimTime(2_100_000),
-            AttackStep::ModbusUpload { plc: addr::PLC, image: cfg.to_image() },
+            AttackStep::ModbusUpload {
+                plc: addr::PLC,
+                image: cfg.to_image(),
+            },
         );
         let node2 = lab.attach_enterprise_attacker(CommercialLab::attacker_spec(
             IpAddr::new(10, 40, 0, 67),
@@ -204,11 +235,19 @@ mod tests {
         ));
         lab.sim.run_for(SimDuration::from_secs(3));
         assert!(
-            lab.sim.process_ref::<Attacker>(node2).expect("attacker").observed.upload_acked,
+            lab.sim
+                .process_ref::<Attacker>(node2)
+                .expect("attacker")
+                .observed
+                .upload_acked,
             "upload acknowledged"
         );
         let plc = lab.sim.process_ref::<PlcEmulator>(lab.plc).expect("plc");
-        assert_eq!(plc.energized_loads(), 0, "attacker opened every breaker via config");
+        assert_eq!(
+            plc.energized_loads(),
+            0,
+            "attacker opened every breaker via config"
+        );
         assert!(!plc.config().is_factory());
     }
 
@@ -222,7 +261,11 @@ mod tests {
             attacker,
         ));
         lab.sim.run_for(SimDuration::from_secs(2));
-        let obs = &lab.sim.process_ref::<Attacker>(node).expect("attacker").observed;
+        let obs = &lab
+            .sim
+            .process_ref::<Attacker>(node)
+            .expect("attacker")
+            .observed;
         assert!(obs.device_id.is_none(), "no path to the operations network");
     }
 
@@ -237,27 +280,47 @@ mod tests {
         // frames for the HMI are steered through the attacker.
         attacker.schedule(
             SimTime(1_100_000),
-            AttackStep::ArpPoison { victim: addr::PRIMARY, claim_ip: addr::HMI, count: 5 },
+            AttackStep::ArpPoison {
+                victim: addr::PRIMARY,
+                claim_ip: addr::HMI,
+                count: 5,
+            },
         );
         // Then open a breaker via unauthenticated command...
         attacker.schedule(
             SimTime(1_500_000),
-            AttackStep::InjectCommercialCommand { master: addr::PRIMARY, breaker: 0, close: false },
+            AttackStep::InjectCommercialCommand {
+                master: addr::PRIMARY,
+                breaker: 0,
+                close: false,
+            },
         );
         attacker.mitm = Some(crate::attacker::MitmConfig {
             rewrite_status_all_closed: true,
             forward: true,
         });
-        let node = lab.attach_ops_attacker(CommercialLab::attacker_spec(addr::OPS_ATTACKER, attacker));
+        let node =
+            lab.attach_ops_attacker(CommercialLab::attacker_spec(addr::OPS_ATTACKER, attacker));
         lab.sim.run_for(SimDuration::from_secs(4));
         // The breaker is really open...
         let plc = lab.sim.process_ref::<PlcEmulator>(lab.plc).expect("plc");
         assert!(!plc.positions()[0], "B10-1 opened by injected command");
         // ...but the operator's screen says everything is closed.
         let hmi = lab.sim.process_ref::<CommercialHmi>(lab.hmi).expect("hmi");
-        assert_eq!(hmi.positions, vec![true; 7], "operator sees forged all-closed state");
-        let obs = &lab.sim.process_ref::<Attacker>(node).expect("attacker").observed;
-        assert!(obs.intercepted >= 1, "status traffic steered through attacker");
+        assert_eq!(
+            hmi.positions,
+            vec![true; 7],
+            "operator sees forged all-closed state"
+        );
+        let obs = &lab
+            .sim
+            .process_ref::<Attacker>(node)
+            .expect("attacker")
+            .observed;
+        assert!(
+            obs.intercepted >= 1,
+            "status traffic steered through attacker"
+        );
         assert!(obs.rewritten >= 1, "status frames rewritten in flight");
     }
 }

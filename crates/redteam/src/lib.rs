@@ -26,7 +26,7 @@ pub mod excursion;
 pub mod lab;
 pub mod report;
 
-pub use attacker::{Attacker, AttackStep};
+pub use attacker::{AttackStep, Attacker};
 pub use excursion::{run_excursion, ExcursionReport, Stage};
 pub use lab::CommercialLab;
 pub use report::{AttackOutcome, AttackReport};

@@ -103,9 +103,24 @@ mod tests {
     #[test]
     fn report_accumulates_and_judges() {
         let mut r = AttackReport::new();
-        r.add("port scan", "spire", AttackOutcome::NoVisibility, "default-deny drops silently");
-        r.add("arp poisoning", "spire", AttackOutcome::Defeated, "static ARP tables");
-        r.add("plc config dump", "commercial", AttackOutcome::Succeeded, "unauthenticated Modbus");
+        r.add(
+            "port scan",
+            "spire",
+            AttackOutcome::NoVisibility,
+            "default-deny drops silently",
+        );
+        r.add(
+            "arp poisoning",
+            "spire",
+            AttackOutcome::Defeated,
+            "static ARP tables",
+        );
+        r.add(
+            "plc config dump",
+            "commercial",
+            AttackOutcome::Succeeded,
+            "unauthenticated Modbus",
+        );
         assert!(r.target_held("spire"));
         assert!(!r.target_held("commercial"));
         let table = r.render();

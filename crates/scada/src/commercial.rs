@@ -63,7 +63,11 @@ impl Wire for CommercialStatus {
             return Err(DecodeError::new("currents length"));
         }
         let currents = (0..nc).map(|_| r.get_u16()).collect::<Result<_, _>>()?;
-        Ok(CommercialStatus { seq, positions, currents })
+        Ok(CommercialStatus {
+            seq,
+            positions,
+            currents,
+        })
     }
 }
 
@@ -87,7 +91,10 @@ impl Wire for CommercialCommand {
         if r.get_u8()? != 0xC7 {
             return Err(DecodeError::new("command marker"));
         }
-        Ok(CommercialCommand { breaker: r.get_u16()?, close: r.get_bool()? })
+        Ok(CommercialCommand {
+            breaker: r.get_u16()?,
+            close: r.get_bool()?,
+        })
     }
 }
 
@@ -124,7 +131,13 @@ pub struct CommercialMaster {
 
 impl CommercialMaster {
     /// Creates a master. `peer` is the other master of the pair.
-    pub fn new(role: MasterRole, plc: IpAddr, hmi: IpAddr, peer: IpAddr, breaker_count: u16) -> Self {
+    pub fn new(
+        role: MasterRole,
+        plc: IpAddr,
+        hmi: IpAddr,
+        peer: IpAddr,
+        breaker_count: u16,
+    ) -> Self {
         CommercialMaster {
             role,
             plc,
@@ -145,7 +158,13 @@ impl CommercialMaster {
     fn send_modbus(&mut self, ctx: &mut Context<'_>, req: Request) {
         self.transaction = self.transaction.wrapping_add(1);
         let frame = TcpFrame::new(self.transaction, 1, req.encode());
-        let pkt = Packet::udp(ctx.ip(0), self.plc, MASTER_PORT, PLC_MODBUS_PORT, Bytes::from(frame.encode()));
+        let pkt = Packet::udp(
+            ctx.ip(0),
+            self.plc,
+            MASTER_PORT,
+            PLC_MODBUS_PORT,
+            Bytes::from(frame.encode()),
+        );
         ctx.send(0, pkt);
     }
 }
@@ -164,11 +183,17 @@ impl Process for CommercialMaster {
                 if self.role == MasterRole::Primary {
                     self.send_modbus(
                         ctx,
-                        Request::ReadDiscreteInputs { address: 0, count: self.breaker_count },
+                        Request::ReadDiscreteInputs {
+                            address: 0,
+                            count: self.breaker_count,
+                        },
                     );
                     self.send_modbus(
                         ctx,
-                        Request::ReadInputRegisters { address: 0, count: self.breaker_count },
+                        Request::ReadInputRegisters {
+                            address: 0,
+                            count: self.breaker_count,
+                        },
                     );
                 }
                 ctx.set_timer(self.poll_interval, POLL_TIMER);
@@ -192,9 +217,17 @@ impl Process for CommercialMaster {
         // Modbus responses from the PLC.
         if pkt.src_port == PLC_MODBUS_PORT {
             if let Some(frame) = TcpFrame::decode(&pkt.payload) {
-                let positions_req = Request::ReadDiscreteInputs { address: 0, count: self.breaker_count };
-                let currents_req = Request::ReadInputRegisters { address: 0, count: self.breaker_count };
-                if let Some(Response::Bits { values, .. }) = Response::decode(&frame.pdu, &positions_req) {
+                let positions_req = Request::ReadDiscreteInputs {
+                    address: 0,
+                    count: self.breaker_count,
+                };
+                let currents_req = Request::ReadInputRegisters {
+                    address: 0,
+                    count: self.breaker_count,
+                };
+                if let Some(Response::Bits { values, .. }) =
+                    Response::decode(&frame.pdu, &positions_req)
+                {
                     let changed = self.positions != values;
                     self.positions = values;
                     if changed || self.status_seq == 0 {
@@ -206,7 +239,8 @@ impl Process for CommercialMaster {
                         };
                         let bytes = Bytes::from(status.to_wire().to_vec());
                         // Unauthenticated push to HMI + heartbeat to peer.
-                        let to_hmi = Packet::udp(ctx.ip(0), self.hmi, MASTER_PORT, HMI_PORT, bytes.clone());
+                        let to_hmi =
+                            Packet::udp(ctx.ip(0), self.hmi, MASTER_PORT, HMI_PORT, bytes.clone());
                         ctx.send(0, to_hmi);
                     }
                     // Heartbeat to the backup every poll regardless.
@@ -242,7 +276,13 @@ impl Process for CommercialMaster {
         if let Ok(cmd) = CommercialCommand::from_wire(&pkt.payload) {
             if self.role == MasterRole::Primary {
                 self.commands_executed += 1;
-                self.send_modbus(ctx, Request::WriteSingleCoil { address: cmd.breaker, value: cmd.close });
+                self.send_modbus(
+                    ctx,
+                    Request::WriteSingleCoil {
+                        address: cmd.breaker,
+                        value: cmd.close,
+                    },
+                );
             }
         }
     }
@@ -300,7 +340,9 @@ impl Process for CommercialHmi {
     }
 
     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
-        let Ok(status) = CommercialStatus::from_wire(&pkt.payload) else { return };
+        let Ok(status) = CommercialStatus::from_wire(&pkt.payload) else {
+            return;
+        };
         // No authentication: the HMI has no way to tell master from forger.
         if pkt.src_ip != self.master {
             self.spoofed_accepted += 1;
@@ -333,7 +375,13 @@ mod tests {
     const BACKUP_IP: IpAddr = IpAddr::new(10, 2, 0, 3);
     const HMI_IP: IpAddr = IpAddr::new(10, 2, 0, 4);
 
-    fn build() -> (Simulation, simnet::NodeId, simnet::NodeId, simnet::NodeId, simnet::NodeId) {
+    fn build() -> (
+        Simulation,
+        simnet::NodeId,
+        simnet::NodeId,
+        simnet::NodeId,
+        simnet::NodeId,
+    ) {
         let mut sim = Simulation::new(42);
         let plc = sim.add_node(NodeSpec::new(
             "plc",
@@ -343,12 +391,24 @@ mod tests {
         let primary = sim.add_node(NodeSpec::new(
             "primary",
             vec![InterfaceSpec::dynamic(PRIMARY_IP)],
-            Box::new(CommercialMaster::new(MasterRole::Primary, PLC_IP, HMI_IP, BACKUP_IP, 7)),
+            Box::new(CommercialMaster::new(
+                MasterRole::Primary,
+                PLC_IP,
+                HMI_IP,
+                BACKUP_IP,
+                7,
+            )),
         ));
         let backup = sim.add_node(NodeSpec::new(
             "backup",
             vec![InterfaceSpec::dynamic(BACKUP_IP)],
-            Box::new(CommercialMaster::new(MasterRole::Backup, PLC_IP, HMI_IP, PRIMARY_IP, 7)),
+            Box::new(CommercialMaster::new(
+                MasterRole::Backup,
+                PLC_IP,
+                HMI_IP,
+                PRIMARY_IP,
+                7,
+            )),
         ));
         let hmi = sim.add_node(NodeSpec::new(
             "hmi",
@@ -392,7 +452,10 @@ mod tests {
         }
         impl Process for Attacker {
             fn on_start(&mut self, ctx: &mut Context<'_>) {
-                let cmd = CommercialCommand { breaker: 0, close: false };
+                let cmd = CommercialCommand {
+                    breaker: 0,
+                    close: false,
+                };
                 let pkt = Packet::udp(
                     ctx.ip(0),
                     self.master,
@@ -413,7 +476,9 @@ mod tests {
         let sw = simnet::SwitchId(0);
         sim.connect(atk, 0, sw, 4, LinkSpec::lan());
         sim.run_for(SimDuration::from_secs(2));
-        let m = sim.process_ref::<CommercialMaster>(primary).expect("master");
+        let m = sim
+            .process_ref::<CommercialMaster>(primary)
+            .expect("master");
         assert!(m.commands_executed >= 1, "attacker command executed");
         let p = sim.process_ref::<PlcEmulator>(plc).expect("plc");
         assert!(!p.positions()[0], "breaker B10-1 opened by attacker");
@@ -428,7 +493,11 @@ mod tests {
             fn on_start(&mut self, ctx: &mut Context<'_>) {
                 // Tell the operator everything is fine (all closed) with a
                 // high sequence so it sticks.
-                let status = CommercialStatus { seq: 10_000, positions: vec![true; 7], currents: vec![0; 7] };
+                let status = CommercialStatus {
+                    seq: 10_000,
+                    positions: vec![true; 7],
+                    currents: vec![0; 7],
+                };
                 let pkt = Packet::udp(
                     ctx.ip(0),
                     self.hmi,

@@ -66,7 +66,10 @@ mod tests {
     #[test]
     fn rebuild_reflects_device_positions() {
         let polls = vec![
-            ("jhu".to_string(), vec![true, false, true, true, true, false, true]),
+            (
+                "jhu".to_string(),
+                vec![true, false, true, true, true, false, true],
+            ),
             ("plant".to_string(), vec![true, true, false]),
         ];
         let state = rebuild_from_field(&polls);
@@ -74,7 +77,10 @@ mod tests {
             state.scenario("jhu").expect("scenario").positions,
             vec![true, false, true, true, true, false, true]
         );
-        assert_eq!(state.scenario("plant").expect("scenario").positions, vec![true, true, false]);
+        assert_eq!(
+            state.scenario("plant").expect("scenario").positions,
+            vec![true, true, false]
+        );
         // The rebuilt state is a valid baseline for further updates.
         assert_eq!(state.scenario_tags().count(), 2);
     }

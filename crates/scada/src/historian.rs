@@ -45,7 +45,11 @@ impl Historian {
 
     /// Archives an event.
     pub fn archive(&mut self, at: SimTime, scenario: impl Into<String>, event: impl Into<String>) {
-        self.records.push(HistoryRecord { at, scenario: scenario.into(), event: event.into() });
+        self.records.push(HistoryRecord {
+            at,
+            scenario: scenario.into(),
+            event: event.into(),
+        });
     }
 
     /// All records.
@@ -84,9 +88,16 @@ impl Historian {
                 .enumerate()
                 .map(|(i, &c)| format!("b{i}={}", if c { "closed" } else { "open" }))
                 .collect();
-            self.archive(now, scenario.clone(), format!("post-breach snapshot: {}", summary.join(" ")));
+            self.archive(
+                now,
+                scenario.clone(),
+                format!("post-breach snapshot: {}", summary.join(" ")),
+            );
         }
-        FieldRecovery { recovered_records: field_state.len(), lost_records: lost }
+        FieldRecovery {
+            recovered_records: field_state.len(),
+            lost_records: lost,
+        }
     }
 }
 

@@ -56,7 +56,11 @@ impl Hmi {
     pub fn set_sensor_breaker(&mut self, scenario: impl Into<String>, breaker: u16) {
         let scenario = scenario.into();
         if let Some(pane) = self.panes.get(&scenario) {
-            self.box_white = pane.positions.get(breaker as usize).copied().unwrap_or(false);
+            self.box_white = pane
+                .positions
+                .get(breaker as usize)
+                .copied()
+                .unwrap_or(false);
         }
         self.sensor_breaker = Some((scenario, breaker));
     }
@@ -107,8 +111,16 @@ impl Hmi {
             return out;
         };
         for edge in topology.breakers() {
-            let closed = pane.positions.get(edge.breaker as usize).copied().unwrap_or(false);
-            let current = pane.currents.get(edge.breaker as usize).copied().unwrap_or(0);
+            let closed = pane
+                .positions
+                .get(edge.breaker as usize)
+                .copied()
+                .unwrap_or(false);
+            let current = pane
+                .currents
+                .get(edge.breaker as usize)
+                .copied()
+                .unwrap_or(0);
             let mark = if closed { "[■]" } else { "[ ]" };
             out.push_str(&format!("  {mark} {:<7} {:>4} A\n", edge.name, current));
         }
@@ -129,14 +141,21 @@ mod tests {
 
     fn frame(tag: &str, positions: Vec<bool>) -> HmiUpdate {
         let currents = positions.iter().map(|&p| u16::from(p) * 100).collect();
-        HmiUpdate { scenario: tag.into(), positions, currents }
+        HmiUpdate {
+            scenario: tag.into(),
+            positions,
+            currents,
+        }
     }
 
     #[test]
     fn apply_tracks_changes_and_log() {
         let mut hmi = Hmi::new();
         assert!(hmi.apply(frame("jhu", vec![true; 7]), SimTime(10)));
-        assert!(!hmi.apply(frame("jhu", vec![true; 7]), SimTime(20)), "no visible change");
+        assert!(
+            !hmi.apply(frame("jhu", vec![true; 7]), SimTime(20)),
+            "no visible change"
+        );
         assert!(hmi.apply(frame("jhu", vec![false; 7]), SimTime(30)));
         assert_eq!(hmi.update_log.len(), 3);
         assert_eq!(hmi.update_count("jhu"), 3);
@@ -154,7 +173,10 @@ mod tests {
         assert!(!hmi.box_is_white());
         // Untracked scenario does not move the box.
         hmi.apply(frame("jhu", vec![true; 7]), SimTime(300));
-        assert_eq!(hmi.box_transitions, vec![(SimTime(100), true), (SimTime(200), false)]);
+        assert_eq!(
+            hmi.box_transitions,
+            vec![(SimTime(100), true), (SimTime(200), false)]
+        );
     }
 
     #[test]

@@ -85,7 +85,11 @@ impl Application for ScadaApp {
         };
         let changed = self.state.apply(&scada_update);
         match scada_update {
-            ScadaUpdate::HmiCommand { scenario, breaker, close } => {
+            ScadaUpdate::HmiCommand {
+                scenario,
+                breaker,
+                close,
+            } => {
                 self.actions.push_back(MasterAction::PlcCommand {
                     scenario,
                     breaker,
@@ -132,12 +136,21 @@ mod tests {
     #[test]
     fn hmi_command_emits_plc_action() {
         let mut app = ScadaApp::new();
-        let cmd = ScadaUpdate::HmiCommand { scenario: "jhu".into(), breaker: 1, close: false };
+        let cmd = ScadaUpdate::HmiCommand {
+            scenario: "jhu".into(),
+            breaker: 1,
+            close: false,
+        };
         app.execute(&prime_update(1, &cmd), 1);
         let actions = app.take_actions();
         assert_eq!(
             actions,
-            vec![MasterAction::PlcCommand { scenario: "jhu".into(), breaker: 1, close: false, exec_seq: 1 }]
+            vec![MasterAction::PlcCommand {
+                scenario: "jhu".into(),
+                breaker: 1,
+                close: false,
+                exec_seq: 1
+            }]
         );
         assert!(app.take_actions().is_empty(), "actions drained");
     }
@@ -186,7 +199,10 @@ mod tests {
         let mut b = ScadaApp::new();
         b.install_snapshot(&snap);
         assert_eq!(a.digest(), b.digest());
-        assert_eq!(b.state().scenario("jhu").expect("scenario").positions, vec![true; 7]);
+        assert_eq!(
+            b.state().scenario("jhu").expect("scenario").positions,
+            vec![true; 7]
+        );
     }
 
     #[test]
@@ -195,6 +211,9 @@ mod tests {
         let before = app.digest();
         app.force_rebaseline("plant", vec![true, false, true]);
         assert_ne!(app.digest(), before);
-        assert_eq!(app.state().scenario("plant").expect("scenario").positions, vec![true, false, true]);
+        assert_eq!(
+            app.state().scenario("plant").expect("scenario").positions,
+            vec![true, false, true]
+        );
     }
 }

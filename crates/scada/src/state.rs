@@ -61,7 +61,12 @@ impl Wire for ScenarioState {
             let v = r.get_bool()?;
             desired.insert(b, v);
         }
-        Ok(ScenarioState { positions, currents, last_poll_seq, desired })
+        Ok(ScenarioState {
+            positions,
+            currents,
+            last_poll_seq,
+            desired,
+        })
     }
 }
 
@@ -84,7 +89,12 @@ impl ScadaState {
     pub fn apply(&mut self, update: &ScadaUpdate) -> bool {
         self.executed += 1;
         match update {
-            ScadaUpdate::RtuStatus { scenario, poll_seq, positions, currents } => {
+            ScadaUpdate::RtuStatus {
+                scenario,
+                poll_seq,
+                positions,
+                currents,
+            } => {
                 let s = self.scenarios.entry(scenario.clone()).or_default();
                 if *poll_seq <= s.last_poll_seq {
                     return false; // stale poll
@@ -95,12 +105,19 @@ impl ScadaState {
                 s.currents = currents.clone();
                 changed
             }
-            ScadaUpdate::HmiCommand { scenario, breaker, close } => {
+            ScadaUpdate::HmiCommand {
+                scenario,
+                breaker,
+                close,
+            } => {
                 let s = self.scenarios.entry(scenario.clone()).or_default();
                 s.desired.insert(*breaker, *close);
                 true
             }
-            ScadaUpdate::FieldRebaseline { scenario, positions } => {
+            ScadaUpdate::FieldRebaseline {
+                scenario,
+                positions,
+            } => {
                 let s = self.scenarios.entry(scenario.clone()).or_default();
                 s.positions = positions.clone();
                 s.currents = vec![0; positions.len()];
@@ -147,13 +164,21 @@ impl ScadaState {
     pub fn restore(snapshot: &[u8]) -> Self {
         let mut r = Reader::new(snapshot);
         let mut state = ScadaState::new();
-        let Ok(executed) = r.get_u64() else { return state };
+        let Ok(executed) = r.get_u64() else {
+            return state;
+        };
         let Ok(n) = r.get_u32() else { return state };
         state.executed = executed;
         for _ in 0..n {
-            let Ok(tag_bytes) = r.get_bytes() else { return ScadaState::new() };
-            let Ok(tag) = String::from_utf8(tag_bytes) else { return ScadaState::new() };
-            let Ok(s) = ScenarioState::decode(&mut r) else { return ScadaState::new() };
+            let Ok(tag_bytes) = r.get_bytes() else {
+                return ScadaState::new();
+            };
+            let Ok(tag) = String::from_utf8(tag_bytes) else {
+                return ScadaState::new();
+            };
+            let Ok(s) = ScenarioState::decode(&mut r) else {
+                return ScadaState::new();
+            };
             state.scenarios.insert(tag, s);
         }
         state
@@ -166,14 +191,22 @@ mod tests {
 
     fn status(tag: &str, seq: u64, pos: Vec<bool>) -> ScadaUpdate {
         let currents = pos.iter().map(|&p| if p { 100 } else { 0 }).collect();
-        ScadaUpdate::RtuStatus { scenario: tag.into(), poll_seq: seq, positions: pos, currents }
+        ScadaUpdate::RtuStatus {
+            scenario: tag.into(),
+            poll_seq: seq,
+            positions: pos,
+            currents,
+        }
     }
 
     #[test]
     fn rtu_status_applies_and_stale_ignored() {
         let mut st = ScadaState::new();
         assert!(st.apply(&status("jhu", 2, vec![true, false])));
-        assert!(!st.apply(&status("jhu", 1, vec![false, false])), "stale poll ignored");
+        assert!(
+            !st.apply(&status("jhu", 1, vec![false, false])),
+            "stale poll ignored"
+        );
         let s = st.scenario("jhu").expect("scenario");
         assert_eq!(s.positions, vec![true, false]);
         assert_eq!(s.last_poll_seq, 2);
@@ -183,16 +216,30 @@ mod tests {
     #[test]
     fn hmi_command_records_desired() {
         let mut st = ScadaState::new();
-        st.apply(&ScadaUpdate::HmiCommand { scenario: "plant".into(), breaker: 1, close: false });
-        assert_eq!(st.scenario("plant").expect("scenario").desired.get(&1), Some(&false));
+        st.apply(&ScadaUpdate::HmiCommand {
+            scenario: "plant".into(),
+            breaker: 1,
+            close: false,
+        });
+        assert_eq!(
+            st.scenario("plant").expect("scenario").desired.get(&1),
+            Some(&false)
+        );
     }
 
     #[test]
     fn rebaseline_resets_scenario() {
         let mut st = ScadaState::new();
         st.apply(&status("jhu", 5, vec![true, true]));
-        st.apply(&ScadaUpdate::HmiCommand { scenario: "jhu".into(), breaker: 0, close: false });
-        st.apply(&ScadaUpdate::FieldRebaseline { scenario: "jhu".into(), positions: vec![false, true] });
+        st.apply(&ScadaUpdate::HmiCommand {
+            scenario: "jhu".into(),
+            breaker: 0,
+            close: false,
+        });
+        st.apply(&ScadaUpdate::FieldRebaseline {
+            scenario: "jhu".into(),
+            positions: vec![false, true],
+        });
         let s = st.scenario("jhu").expect("scenario");
         assert_eq!(s.positions, vec![false, true]);
         assert!(s.desired.is_empty());
@@ -215,7 +262,11 @@ mod tests {
         let mut st = ScadaState::new();
         st.apply(&status("jhu", 3, vec![true, false, true]));
         st.apply(&status("gen0", 1, vec![true, true, true]));
-        st.apply(&ScadaUpdate::HmiCommand { scenario: "jhu".into(), breaker: 2, close: false });
+        st.apply(&ScadaUpdate::HmiCommand {
+            scenario: "jhu".into(),
+            breaker: 2,
+            close: false,
+        });
         let restored = ScadaState::restore(&st.snapshot());
         assert_eq!(restored, st);
         assert_eq!(restored.digest(), st.digest());

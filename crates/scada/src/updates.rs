@@ -62,7 +62,12 @@ fn get_bools(r: &mut Reader<'_>) -> Result<Vec<bool>, DecodeError> {
 impl Wire for ScadaUpdate {
     fn encode(&self, w: &mut Writer) {
         match self {
-            ScadaUpdate::RtuStatus { scenario, poll_seq, positions, currents } => {
+            ScadaUpdate::RtuStatus {
+                scenario,
+                poll_seq,
+                positions,
+                currents,
+            } => {
                 w.put_u8(0);
                 put_str(w, scenario);
                 w.put_u64(*poll_seq);
@@ -72,13 +77,20 @@ impl Wire for ScadaUpdate {
                     w.put_u16(*c);
                 }
             }
-            ScadaUpdate::HmiCommand { scenario, breaker, close } => {
+            ScadaUpdate::HmiCommand {
+                scenario,
+                breaker,
+                close,
+            } => {
                 w.put_u8(1);
                 put_str(w, scenario);
                 w.put_u16(*breaker);
                 w.put_bool(*close);
             }
-            ScadaUpdate::FieldRebaseline { scenario, positions } => {
+            ScadaUpdate::FieldRebaseline {
+                scenario,
+                positions,
+            } => {
                 w.put_u8(2);
                 put_str(w, scenario);
                 put_bools(w, positions);
@@ -100,14 +112,22 @@ impl Wire for ScadaUpdate {
                 for _ in 0..n {
                     currents.push(r.get_u16()?);
                 }
-                ScadaUpdate::RtuStatus { scenario, poll_seq, positions, currents }
+                ScadaUpdate::RtuStatus {
+                    scenario,
+                    poll_seq,
+                    positions,
+                    currents,
+                }
             }
             1 => ScadaUpdate::HmiCommand {
                 scenario: get_str(r)?,
                 breaker: r.get_u16()?,
                 close: r.get_bool()?,
             },
-            2 => ScadaUpdate::FieldRebaseline { scenario: get_str(r)?, positions: get_bools(r)? },
+            2 => ScadaUpdate::FieldRebaseline {
+                scenario: get_str(r)?,
+                positions: get_bools(r)?,
+            },
             _ => return Err(DecodeError::new("scada update tag")),
         })
     }
@@ -126,8 +146,15 @@ mod tests {
                 positions: vec![true, false, true],
                 currents: vec![400, 0, 200],
             },
-            ScadaUpdate::HmiCommand { scenario: "plant".into(), breaker: 1, close: false },
-            ScadaUpdate::FieldRebaseline { scenario: "gen2".into(), positions: vec![true; 3] },
+            ScadaUpdate::HmiCommand {
+                scenario: "plant".into(),
+                breaker: 1,
+                close: false,
+            },
+            ScadaUpdate::FieldRebaseline {
+                scenario: "gen2".into(),
+                positions: vec![true; 3],
+            },
         ];
         for u in updates {
             assert_eq!(ScadaUpdate::from_wire(&u.to_wire()).expect("roundtrip"), u);
@@ -138,7 +165,12 @@ mod tests {
     fn malformed_rejected() {
         assert!(ScadaUpdate::from_wire(&[]).is_err());
         assert!(ScadaUpdate::from_wire(&[7]).is_err());
-        let good = ScadaUpdate::HmiCommand { scenario: "x".into(), breaker: 0, close: true }.to_wire();
+        let good = ScadaUpdate::HmiCommand {
+            scenario: "x".into(),
+            breaker: 0,
+            close: true,
+        }
+        .to_wire();
         assert!(ScadaUpdate::from_wire(&good[..good.len() - 1]).is_err());
     }
 

@@ -36,7 +36,11 @@ pub struct ArpTable {
 impl ArpTable {
     /// Creates an empty table in the given mode.
     pub fn new(mode: ArpMode) -> Self {
-        ArpTable { mode, entries: BTreeMap::new(), rejected_updates: 0 }
+        ArpTable {
+            mode,
+            entries: BTreeMap::new(),
+            rejected_updates: 0,
+        }
     }
 
     /// The table's mode.

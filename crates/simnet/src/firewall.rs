@@ -53,13 +53,21 @@ impl Firewall {
     /// A fully open firewall (accept everything) with IPv6 on — the Ubuntu-
     /// desktop-style default the paper moved away from.
     pub fn open() -> Self {
-        Firewall { policy: FirewallPolicy::Accept, allow: Vec::new(), ipv6_enabled: true }
+        Firewall {
+            policy: FirewallPolicy::Accept,
+            allow: Vec::new(),
+            ipv6_enabled: true,
+        }
     }
 
     /// The hardened profile: default-deny both directions, IPv6 off.
     /// Specific peer/port pairs must be added with [`Firewall::allow`].
     pub fn locked_down() -> Self {
-        Firewall { policy: FirewallPolicy::Drop, allow: Vec::new(), ipv6_enabled: false }
+        Firewall {
+            policy: FirewallPolicy::Drop,
+            allow: Vec::new(),
+            ipv6_enabled: false,
+        }
     }
 
     /// Adds an allow rule for a peer/local-port combination (both
@@ -93,7 +101,9 @@ impl Firewall {
             Direction::Inbound => (pkt.src_ip, pkt.dst_port),
             Direction::Outbound => (pkt.dst_ip, pkt.src_port),
         };
-        self.allow.iter().any(|r| r.peer == peer && r.local_port == local_port)
+        self.allow
+            .iter()
+            .any(|r| r.peer == peer && r.local_port == local_port)
     }
 
     /// Whether a blocked inbound SYN should elicit a RST (reachable but

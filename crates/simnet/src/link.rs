@@ -112,17 +112,16 @@ impl Link {
     /// Computes the arrival time for a frame of `bytes` entering the given
     /// direction at `now`, updating queue state. Returns `None` if the frame
     /// is tail-dropped.
-    pub(crate) fn schedule(
-        &mut self,
-        a_to_b: bool,
-        bytes: usize,
-        now: SimTime,
-    ) -> Option<SimTime> {
+    pub(crate) fn schedule(&mut self, a_to_b: bool, bytes: usize, now: SimTime) -> Option<SimTime> {
         if !self.up {
             return None;
         }
         let spec = self.spec;
-        let tx = if a_to_b { &mut self.tx_ab } else { &mut self.tx_ba };
+        let tx = if a_to_b {
+            &mut self.tx_ab
+        } else {
+            &mut self.tx_ba
+        };
         // Drain logically completed transmissions.
         if tx.busy_until <= now {
             tx.queued = 0;
@@ -145,10 +144,16 @@ mod tests {
 
     #[test]
     fn serialization_delay() {
-        let spec = LinkSpec { bandwidth_bps: 1_000_000, ..LinkSpec::lan() };
+        let spec = LinkSpec {
+            bandwidth_bps: 1_000_000,
+            ..LinkSpec::lan()
+        };
         // 125 bytes = 1000 bits at 1 Mbps = 1000us.
         assert_eq!(spec.serialization(125), SimDuration::from_micros(1000));
-        let inf = LinkSpec { bandwidth_bps: u64::MAX, ..LinkSpec::lan() };
+        let inf = LinkSpec {
+            bandwidth_bps: u64::MAX,
+            ..LinkSpec::lan()
+        };
         assert_eq!(inf.serialization(1_000_000), SimDuration::ZERO);
     }
 

@@ -48,13 +48,33 @@ pub struct Packet {
 
 impl Packet {
     /// Builds a UDP-style datagram.
-    pub fn udp(src_ip: IpAddr, dst_ip: IpAddr, src_port: Port, dst_port: Port, payload: Bytes) -> Self {
-        Packet { src_ip, dst_ip, src_port, dst_port, kind: TransportKind::Udp, payload }
+    pub fn udp(
+        src_ip: IpAddr,
+        dst_ip: IpAddr,
+        src_port: Port,
+        dst_port: Port,
+        payload: Bytes,
+    ) -> Self {
+        Packet {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            kind: TransportKind::Udp,
+            payload,
+        }
     }
 
     /// Builds a TCP SYN probe with an empty payload.
     pub fn syn(src_ip: IpAddr, dst_ip: IpAddr, src_port: Port, dst_port: Port) -> Self {
-        Packet { src_ip, dst_ip, src_port, dst_port, kind: TransportKind::TcpSyn, payload: Bytes::new() }
+        Packet {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            kind: TransportKind::TcpSyn,
+            payload: Bytes::new(),
+        }
     }
 
     /// Wire size in bytes: a nominal 42-byte header plus payload.
@@ -141,7 +161,12 @@ mod tests {
         assert_eq!(p.kind, TransportKind::Udp);
         assert_eq!(p.wire_size(), 44);
 
-        let s = Packet::syn(IpAddr::new(1, 1, 1, 1), IpAddr::new(2, 2, 2, 2), Port(5), Port(22));
+        let s = Packet::syn(
+            IpAddr::new(1, 1, 1, 1),
+            IpAddr::new(2, 2, 2, 2),
+            Port(5),
+            Port(22),
+        );
         assert_eq!(s.kind, TransportKind::TcpSyn);
         assert!(s.payload.is_empty());
     }
@@ -157,7 +182,11 @@ mod tests {
             Port(2),
             Bytes::from_static(&[0u8; 10]),
         );
-        let f = Frame { src_mac: mac_a, dst_mac: mac_b, payload: EtherPayload::Ip(pkt.clone()) };
+        let f = Frame {
+            src_mac: mac_a,
+            dst_mac: mac_b,
+            payload: EtherPayload::Ip(pkt.clone()),
+        };
         assert_eq!(f.wire_size(), 14 + 42 + 10);
         assert_eq!(f.packet(), Some(&pkt));
 

@@ -3,6 +3,8 @@
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use bytes::Bytes;
+use obs::event::DropKind;
+use obs::{Event as ObsEvent, ObsHub};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -15,6 +17,10 @@ use crate::process::{Action, Context, Process};
 use crate::switch::{Forward, Switch, SwitchId, SwitchMode};
 use crate::time::{SimDuration, SimTime};
 use crate::types::{IpAddr, MacAddr, NodeId, Port};
+
+/// How long a host waits on an unanswered ARP request before
+/// re-broadcasting it (see [`EventKind::ArpRetry`]).
+const ARP_RETRY_INTERVAL: SimDuration = SimDuration::from_millis(250);
 
 /// Where a link terminates.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -47,12 +53,18 @@ pub struct InterfaceSpec {
 impl InterfaceSpec {
     /// Convenience: an interface with dynamic ARP.
     pub fn dynamic(ip: IpAddr) -> Self {
-        InterfaceSpec { ip, arp_mode: ArpMode::Dynamic }
+        InterfaceSpec {
+            ip,
+            arp_mode: ArpMode::Dynamic,
+        }
     }
 
     /// Convenience: an interface with static ARP.
     pub fn static_arp(ip: IpAddr) -> Self {
-        InterfaceSpec { ip, arp_mode: ArpMode::Static }
+        InterfaceSpec {
+            ip,
+            arp_mode: ArpMode::Static,
+        }
     }
 }
 
@@ -82,7 +94,11 @@ impl NodeSpec {
     /// A standard host: given interfaces, open firewall, not promiscuous,
     /// with the ARP cross-answer misfeature *enabled* (the OS default the
     /// paper had to turn off).
-    pub fn new(name: impl Into<String>, interfaces: Vec<InterfaceSpec>, process: Box<dyn Process>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        interfaces: Vec<InterfaceSpec>,
+        process: Box<dyn Process>,
+    ) -> Self {
         NodeSpec {
             name: name.into(),
             firewall: Firewall::open(),
@@ -135,9 +151,28 @@ struct Node {
 
 #[derive(Debug)]
 enum EventKind {
-    FrameAt { to: EndpointRef, frame: Frame },
-    Timer { node: NodeId, timer: u64, generation: u32 },
-    Start { node: NodeId, generation: u32 },
+    FrameAt {
+        to: EndpointRef,
+        frame: Frame,
+    },
+    Timer {
+        node: NodeId,
+        timer: u64,
+        generation: u32,
+    },
+    Start {
+        node: NodeId,
+        generation: u32,
+    },
+    /// Re-sends an ARP request if a resolution is still outstanding;
+    /// without this, one lost request/reply frame on a lossy link would
+    /// park the destination's packets forever.
+    ArpRetry {
+        node: NodeId,
+        ifidx: usize,
+        dst_ip: IpAddr,
+        generation: u32,
+    },
 }
 
 struct Event {
@@ -164,7 +199,7 @@ impl Ord for Event {
     }
 }
 
-/// Aggregate counters for a run.
+/// Aggregate counters for a run, derived from the [`ObsHub`] registry.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Frames handed to links.
@@ -181,6 +216,30 @@ pub struct SimStats {
     pub arp_rejected: u64,
 }
 
+/// Cached handles for the engine's hot-path counters, re-registered
+/// whenever the hub changes (see [`Simulation::attach_obs`]).
+struct NetCounters {
+    frames_sent: obs::Counter,
+    frames_delivered: obs::Counter,
+    frames_dropped: obs::Counter,
+    packets_to_process: obs::Counter,
+    firewall_drops: obs::Counter,
+    arp_rejected: obs::Counter,
+}
+
+impl NetCounters {
+    fn from_hub(hub: &ObsHub) -> Self {
+        NetCounters {
+            frames_sent: hub.counter("net.frames_sent"),
+            frames_delivered: hub.counter("net.frames_delivered"),
+            frames_dropped: hub.counter("net.frames_dropped"),
+            packets_to_process: hub.counter("net.packets_to_process"),
+            firewall_drops: hub.counter("net.firewall_drops"),
+            arp_rejected: hub.counter("net.arp_rejected"),
+        }
+    }
+}
+
 /// The simulation world and scheduler.
 pub struct Simulation {
     now: SimTime,
@@ -192,12 +251,17 @@ pub struct Simulation {
     taps: Vec<(Tap, SwitchId)>,
     rng: StdRng,
     logs: Vec<(SimTime, NodeId, String)>,
-    stats: SimStats,
+    obs: ObsHub,
+    net: NetCounters,
 }
 
 impl Simulation {
-    /// Creates an empty simulation with a deterministic RNG seed.
+    /// Creates an empty simulation with a deterministic RNG seed. Metrics
+    /// land on a private [`ObsHub`] until [`Simulation::attach_obs`]
+    /// replaces it with a deployment-wide one.
     pub fn new(seed: u64) -> Self {
+        let obs = ObsHub::new();
+        let net = NetCounters::from_hub(&obs);
         Simulation {
             now: SimTime::ZERO,
             seq: 0,
@@ -208,7 +272,8 @@ impl Simulation {
             taps: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             logs: Vec::new(),
-            stats: SimStats::default(),
+            obs,
+            net,
         }
     }
 
@@ -217,9 +282,39 @@ impl Simulation {
         self.now
     }
 
-    /// Aggregate counters.
+    /// The observability hub this engine stamps and counts into.
+    pub fn obs(&self) -> &ObsHub {
+        &self.obs
+    }
+
+    /// Redirects all engine metrics and journal records to `hub` (a
+    /// deployment shares one hub across the engine and every host
+    /// process). Values already accumulated carry over.
+    pub fn attach_obs(&mut self, hub: &ObsHub) {
+        let fresh = NetCounters::from_hub(hub);
+        fresh.frames_sent.add(self.net.frames_sent.get());
+        fresh.frames_delivered.add(self.net.frames_delivered.get());
+        fresh.frames_dropped.add(self.net.frames_dropped.get());
+        fresh
+            .packets_to_process
+            .add(self.net.packets_to_process.get());
+        fresh.firewall_drops.add(self.net.firewall_drops.get());
+        fresh.arp_rejected.add(self.net.arp_rejected.get());
+        hub.set_now_us(self.now.as_micros());
+        self.obs = hub.clone();
+        self.net = fresh;
+    }
+
+    /// Aggregate counters (a registry snapshot, kept for API stability).
     pub fn stats(&self) -> SimStats {
-        self.stats
+        SimStats {
+            frames_sent: self.net.frames_sent.get(),
+            frames_delivered: self.net.frames_delivered.get(),
+            frames_dropped: self.net.frames_dropped.get(),
+            packets_to_process: self.net.packets_to_process.get(),
+            firewall_drops: self.net.firewall_drops.get(),
+            arp_rejected: self.net.arp_rejected.get(),
+        }
     }
 
     /// All log lines emitted so far as `(time, node, line)`.
@@ -256,7 +351,13 @@ impl Simulation {
             generation: 0,
             firewall_drops: 0,
         });
-        self.push_event(self.now, EventKind::Start { node: id, generation: 0 });
+        self.push_event(
+            self.now,
+            EventKind::Start {
+                node: id,
+                generation: 0,
+            },
+        );
         id
     }
 
@@ -290,9 +391,22 @@ impl Simulation {
     /// # Panics
     ///
     /// Panics if either side is already connected or indices are invalid.
-    pub fn connect(&mut self, node: NodeId, ifidx: usize, switch: SwitchId, port: usize, spec: LinkSpec) -> LinkId {
-        assert!(self.nodes[node.0 as usize].interfaces[ifidx].link.is_none(), "interface already connected");
-        assert!(self.switches[switch.0 as usize].ports[port].is_none(), "switch port already connected");
+    pub fn connect(
+        &mut self,
+        node: NodeId,
+        ifidx: usize,
+        switch: SwitchId,
+        port: usize,
+        spec: LinkSpec,
+    ) -> LinkId {
+        assert!(
+            self.nodes[node.0 as usize].interfaces[ifidx].link.is_none(),
+            "interface already connected"
+        );
+        assert!(
+            self.switches[switch.0 as usize].ports[port].is_none(),
+            "switch port already connected"
+        );
         let id = LinkId(self.links.len() as u32);
         let a = EndpointRef::Nic { node, ifidx };
         let b = EndpointRef::SwitchPort { switch, port };
@@ -304,12 +418,29 @@ impl Simulation {
 
     /// Connects two node interfaces with a direct cable (no switch) — the
     /// paper's PLC-to-proxy wire.
-    pub fn connect_direct(&mut self, a: (NodeId, usize), b: (NodeId, usize), spec: LinkSpec) -> LinkId {
-        assert!(self.nodes[a.0 .0 as usize].interfaces[a.1].link.is_none(), "interface already connected");
-        assert!(self.nodes[b.0 .0 as usize].interfaces[b.1].link.is_none(), "interface already connected");
+    pub fn connect_direct(
+        &mut self,
+        a: (NodeId, usize),
+        b: (NodeId, usize),
+        spec: LinkSpec,
+    ) -> LinkId {
+        assert!(
+            self.nodes[a.0 .0 as usize].interfaces[a.1].link.is_none(),
+            "interface already connected"
+        );
+        assert!(
+            self.nodes[b.0 .0 as usize].interfaces[b.1].link.is_none(),
+            "interface already connected"
+        );
         let id = LinkId(self.links.len() as u32);
-        let ea = EndpointRef::Nic { node: a.0, ifidx: a.1 };
-        let eb = EndpointRef::Nic { node: b.0, ifidx: b.1 };
+        let ea = EndpointRef::Nic {
+            node: a.0,
+            ifidx: a.1,
+        };
+        let eb = EndpointRef::Nic {
+            node: b.0,
+            ifidx: b.1,
+        };
         self.links.push((Link::new(spec), ea, eb));
         self.nodes[a.0 .0 as usize].interfaces[a.1].link = Some(id);
         self.nodes[b.0 .0 as usize].interfaces[b.1].link = Some(id);
@@ -318,12 +449,29 @@ impl Simulation {
 
     /// Connects two switches (inter-switch trunk, e.g. through a router
     /// modeled as a plain link between enterprise and operations networks).
-    pub fn connect_switches(&mut self, a: (SwitchId, usize), b: (SwitchId, usize), spec: LinkSpec) -> LinkId {
-        assert!(self.switches[a.0 .0 as usize].ports[a.1].is_none(), "switch port already connected");
-        assert!(self.switches[b.0 .0 as usize].ports[b.1].is_none(), "switch port already connected");
+    pub fn connect_switches(
+        &mut self,
+        a: (SwitchId, usize),
+        b: (SwitchId, usize),
+        spec: LinkSpec,
+    ) -> LinkId {
+        assert!(
+            self.switches[a.0 .0 as usize].ports[a.1].is_none(),
+            "switch port already connected"
+        );
+        assert!(
+            self.switches[b.0 .0 as usize].ports[b.1].is_none(),
+            "switch port already connected"
+        );
         let id = LinkId(self.links.len() as u32);
-        let ea = EndpointRef::SwitchPort { switch: a.0, port: a.1 };
-        let eb = EndpointRef::SwitchPort { switch: b.0, port: b.1 };
+        let ea = EndpointRef::SwitchPort {
+            switch: a.0,
+            port: a.1,
+        };
+        let eb = EndpointRef::SwitchPort {
+            switch: b.0,
+            port: b.1,
+        };
         self.links.push((Link::new(spec), ea, eb));
         self.switches[a.0 .0 as usize].ports[a.1] = Some(id);
         self.switches[b.0 .0 as usize].ports[b.1] = Some(id);
@@ -332,7 +480,9 @@ impl Simulation {
 
     /// Installs a static ARP entry on a node interface.
     pub fn install_arp(&mut self, node: NodeId, ifidx: usize, ip: IpAddr, mac: MacAddr) {
-        self.nodes[node.0 as usize].interfaces[ifidx].arp.install(ip, mac);
+        self.nodes[node.0 as usize].interfaces[ifidx]
+            .arp
+            .install(ip, mac);
     }
 
     /// The derived MAC of a node interface.
@@ -394,13 +544,17 @@ impl Simulation {
     /// Count of ARP learn attempts rejected by a node interface (evidence
     /// of poisoning attempts bouncing off static tables).
     pub fn arp_rejections(&self, node: NodeId, ifidx: usize) -> u64 {
-        self.nodes[node.0 as usize].interfaces[ifidx].arp.rejected_updates
+        self.nodes[node.0 as usize].interfaces[ifidx]
+            .arp
+            .rejected_updates
     }
 
     /// Resolves an IP in a node interface's ARP table (diagnostics: lets
     /// experiments check what a host — or an attacker — has learned).
     pub fn arp_entry(&self, node: NodeId, ifidx: usize, ip: IpAddr) -> Option<MacAddr> {
-        self.nodes[node.0 as usize].interfaces[ifidx].arp.resolve(ip)
+        self.nodes[node.0 as usize].interfaces[ifidx]
+            .arp
+            .resolve(ip)
     }
 
     /// Reads a switch's counters.
@@ -427,12 +581,14 @@ impl Simulation {
             }
             let ev = self.queue.pop().expect("peeked");
             self.now = ev.at;
+            self.obs.set_now_us(self.now.as_micros());
             self.dispatch(ev.kind);
             n += 1;
         }
         // Time always advances to the deadline even if the queue drained.
         if self.now < deadline {
             self.now = deadline;
+            self.obs.set_now_us(self.now.as_micros());
         }
         n
     }
@@ -456,16 +612,30 @@ impl Simulation {
                     self.call_process(node, |p, ctx| p.on_start(ctx));
                 }
             }
-            EventKind::Timer { node, timer, generation } => {
+            EventKind::Timer {
+                node,
+                timer,
+                generation,
+            } => {
                 let n = &self.nodes[node.0 as usize];
                 if n.up && n.generation == generation {
                     self.call_process(node, |p, ctx| p.on_timer(ctx, timer));
                 }
             }
             EventKind::FrameAt { to, frame } => match to {
-                EndpointRef::SwitchPort { switch, port } => self.frame_at_switch(switch, port, frame),
+                EndpointRef::SwitchPort { switch, port } => {
+                    self.frame_at_switch(switch, port, frame)
+                }
                 EndpointRef::Nic { node, ifidx } => self.frame_at_nic(node, ifidx, frame),
             },
+            EventKind::ArpRetry {
+                node,
+                ifidx,
+                dst_ip,
+                generation,
+            } => {
+                self.arp_retry(node, ifidx, dst_ip, generation);
+            }
         }
     }
 
@@ -510,7 +680,14 @@ impl Simulation {
                 Action::SetTimer { delay, timer } => {
                     let at = self.now + delay;
                     let generation = self.nodes[node.0 as usize].generation;
-                    self.push_event(at, EventKind::Timer { node, timer, generation });
+                    self.push_event(
+                        at,
+                        EventKind::Timer {
+                            node,
+                            timer,
+                            generation,
+                        },
+                    );
                 }
                 Action::Listen(port) => {
                     self.nodes[node.0 as usize].listeners.insert(port);
@@ -535,14 +712,22 @@ impl Simulation {
             }
             if !n.firewall.permits(Direction::Outbound, &packet) {
                 n.firewall_drops += 1;
-                self.stats.firewall_drops += 1;
+                self.net.firewall_drops.inc();
+                self.obs.journal(ObsEvent::PacketDrop {
+                    node: node.0,
+                    kind: DropKind::Firewall,
+                });
                 return;
             }
         }
         let dst_ip = packet.dst_ip;
         if dst_ip == IpAddr::BROADCAST {
             let src_mac = self.nodes[node.0 as usize].interfaces[ifidx].mac;
-            let frame = Frame { src_mac, dst_mac: MacAddr::BROADCAST, payload: EtherPayload::Ip(packet) };
+            let frame = Frame {
+                src_mac,
+                dst_mac: MacAddr::BROADCAST,
+                payload: EtherPayload::Ip(packet),
+            };
             self.transmit_from_nic(node, ifidx, frame);
             return;
         }
@@ -552,14 +737,18 @@ impl Simulation {
         };
         match resolved {
             Some(dst_mac) => {
-                let frame = Frame { src_mac, dst_mac, payload: EtherPayload::Ip(packet) };
+                let frame = Frame {
+                    src_mac,
+                    dst_mac,
+                    payload: EtherPayload::Ip(packet),
+                };
                 self.transmit_from_nic(node, ifidx, frame);
             }
             None => {
                 let iface = &mut self.nodes[node.0 as usize].interfaces[ifidx];
                 if iface.arp.mode() == ArpMode::Static {
                     // Hardened host: unknown peers are unreachable, full stop.
-                    self.stats.frames_dropped += 1;
+                    self.net.frames_dropped.inc();
                     return;
                 }
                 // One in-flight ARP resolution per destination: further
@@ -581,8 +770,73 @@ impl Simulation {
                     }),
                 };
                 self.transmit_from_nic(node, ifidx, frame);
+                let generation = self.nodes[node.0 as usize].generation;
+                let at = self.now + ARP_RETRY_INTERVAL;
+                self.push_event(
+                    at,
+                    EventKind::ArpRetry {
+                        node,
+                        ifidx,
+                        dst_ip,
+                        generation,
+                    },
+                );
             }
         }
+    }
+
+    /// Fires while an ARP resolution is outstanding: re-broadcasts the
+    /// request (the first one may have been lost) or, if the mapping
+    /// arrived through an opportunistic learn that bypassed the reply
+    /// path, flushes the parked packets directly.
+    fn arp_retry(&mut self, node: NodeId, ifidx: usize, dst_ip: IpAddr, generation: u32) {
+        let (still_pending, resolved, src_mac, src_ip) = {
+            let n = &self.nodes[node.0 as usize];
+            if !n.up || n.generation != generation {
+                return;
+            }
+            let iface = &n.interfaces[ifidx];
+            (
+                iface.pending.contains_key(&dst_ip),
+                iface.arp.resolve(dst_ip).is_some(),
+                iface.mac,
+                iface.ip,
+            )
+        };
+        if !still_pending {
+            return;
+        }
+        if resolved {
+            let ready = self.nodes[node.0 as usize].interfaces[ifidx]
+                .pending
+                .remove(&dst_ip)
+                .unwrap_or_default();
+            for pkt in ready {
+                self.host_send(node, ifidx, pkt);
+            }
+            return;
+        }
+        let frame = Frame {
+            src_mac,
+            dst_mac: MacAddr::BROADCAST,
+            payload: EtherPayload::Arp(ArpBody {
+                op: ArpOp::Request,
+                sender_ip: src_ip,
+                sender_mac: src_mac,
+                target_ip: dst_ip,
+            }),
+        };
+        self.transmit_from_nic(node, ifidx, frame);
+        let at = self.now + ARP_RETRY_INTERVAL;
+        self.push_event(
+            at,
+            EventKind::ArpRetry {
+                node,
+                ifidx,
+                dst_ip,
+                generation,
+            },
+        );
     }
 
     fn transmit_from_nic(&mut self, node: NodeId, ifidx: usize, frame: Frame) {
@@ -590,7 +844,7 @@ impl Simulation {
             return;
         }
         let Some(link_id) = self.nodes[node.0 as usize].interfaces[ifidx].link else {
-            self.stats.frames_dropped += 1;
+            self.net.frames_dropped.inc();
             return;
         };
         let from = EndpointRef::Nic { node, ifidx };
@@ -598,7 +852,7 @@ impl Simulation {
     }
 
     fn transmit(&mut self, link_id: LinkId, from: EndpointRef, frame: Frame) {
-        self.stats.frames_sent += 1;
+        self.net.frames_sent.inc();
         let (link, a, b) = &mut self.links[link_id.0 as usize];
         let a_to_b = *a == from;
         debug_assert!(a_to_b || *b == from, "endpoint not on link");
@@ -606,12 +860,12 @@ impl Simulation {
         let loss = link.spec.loss;
         if loss > 0.0 && self.rng.gen::<f64>() < loss {
             link.loss_drops += 1;
-            self.stats.frames_dropped += 1;
+            self.net.frames_dropped.inc();
             return;
         }
         match link.schedule(a_to_b, frame.wire_size(), self.now) {
             Some(arrive) => self.push_event(arrive, EventKind::FrameAt { to, frame }),
-            None => self.stats.frames_dropped += 1,
+            None => self.net.frames_dropped.inc(),
         }
     }
 
@@ -622,7 +876,8 @@ impl Simulation {
             let rec = PacketRecord::from_frame(self.now, switch, &frame);
             self.taps[tap_id.0 as usize].0.record(rec);
         }
-        let decision = self.switches[switch.0 as usize].forward(ingress, frame.src_mac, frame.dst_mac);
+        let decision =
+            self.switches[switch.0 as usize].forward(ingress, frame.src_mac, frame.dst_mac);
         match decision {
             Forward::Ports(ports) => {
                 for port in ports {
@@ -633,17 +888,17 @@ impl Simulation {
                 }
             }
             Forward::Drop(_) => {
-                self.stats.frames_dropped += 1;
+                self.net.frames_dropped.inc();
             }
         }
     }
 
     fn frame_at_nic(&mut self, node: NodeId, ifidx: usize, frame: Frame) {
         if !self.nodes[node.0 as usize].up {
-            self.stats.frames_dropped += 1;
+            self.net.frames_dropped.inc();
             return;
         }
-        self.stats.frames_delivered += 1;
+        self.net.frames_delivered.inc();
         let (my_mac, my_ip) = {
             let iface = &self.nodes[node.0 as usize].interfaces[ifidx];
             (iface.mac, iface.ip)
@@ -661,7 +916,14 @@ impl Simulation {
         }
     }
 
-    fn handle_arp(&mut self, node: NodeId, ifidx: usize, my_mac: MacAddr, my_ip: IpAddr, arp: ArpBody) {
+    fn handle_arp(
+        &mut self,
+        node: NodeId,
+        ifidx: usize,
+        my_mac: MacAddr,
+        my_ip: IpAddr,
+        arp: ArpBody,
+    ) {
         match arp.op {
             ArpOp::Request => {
                 // Opportunistic learn of the requester (dynamic mode only).
@@ -697,8 +959,13 @@ impl Simulation {
                     let iface = &mut self.nodes[node.0 as usize].interfaces[ifidx];
                     let before = iface.arp.rejected_updates;
                     let ok = iface.arp.learn(arp.sender_ip, arp.sender_mac);
-                    if !ok {
-                        self.stats.arp_rejected += iface.arp.rejected_updates - before;
+                    let rejected = iface.arp.rejected_updates - before;
+                    if !ok && rejected > 0 {
+                        self.net.arp_rejected.add(rejected);
+                        self.obs.journal(ObsEvent::PacketDrop {
+                            node: node.0,
+                            kind: DropKind::Arp,
+                        });
                     }
                     ok
                 };
@@ -716,25 +983,41 @@ impl Simulation {
         }
     }
 
-    fn handle_ip(&mut self, node: NodeId, ifidx: usize, _my_mac: MacAddr, my_ip: IpAddr, packet: Packet) {
+    fn handle_ip(
+        &mut self,
+        node: NodeId,
+        ifidx: usize,
+        _my_mac: MacAddr,
+        my_ip: IpAddr,
+        packet: Packet,
+    ) {
         let is_mine = if self.nodes[node.0 as usize].strict_interface_binding {
             // Strong-host model: only the arrival interface's own address.
             packet.dst_ip == my_ip || packet.dst_ip == IpAddr::BROADCAST
         } else {
             packet.dst_ip == my_ip
                 || packet.dst_ip == IpAddr::BROADCAST
-                || self.nodes[node.0 as usize].interfaces.iter().any(|i| i.ip == packet.dst_ip)
+                || self.nodes[node.0 as usize]
+                    .interfaces
+                    .iter()
+                    .any(|i| i.ip == packet.dst_ip)
         };
         if !is_mine {
             // Steered here by a poisoned ARP entry: transit traffic.
             self.call_process(node, |p, ctx| p.on_transit(ctx, ifidx, packet));
             return;
         }
-        let permitted = self.nodes[node.0 as usize].firewall.permits(Direction::Inbound, &packet);
+        let permitted = self.nodes[node.0 as usize]
+            .firewall
+            .permits(Direction::Inbound, &packet);
         if !permitted {
             let n = &mut self.nodes[node.0 as usize];
             n.firewall_drops += 1;
-            self.stats.firewall_drops += 1;
+            self.net.firewall_drops.inc();
+            self.obs.journal(ObsEvent::PacketDrop {
+                node: node.0,
+                kind: DropKind::Firewall,
+            });
             if packet.kind == TransportKind::TcpSyn && n.firewall.responds_to_blocked_syn() {
                 self.respond(node, ifidx, &packet, TransportKind::TcpRst);
             }
@@ -742,11 +1025,17 @@ impl Simulation {
         }
         match packet.kind {
             TransportKind::TcpSyn => {
-                let open = self.nodes[node.0 as usize].listeners.contains(&packet.dst_port);
-                let kind = if open { TransportKind::TcpSynAck } else { TransportKind::TcpRst };
+                let open = self.nodes[node.0 as usize]
+                    .listeners
+                    .contains(&packet.dst_port);
+                let kind = if open {
+                    TransportKind::TcpSynAck
+                } else {
+                    TransportKind::TcpRst
+                };
                 self.respond(node, ifidx, &packet, kind);
                 if open {
-                    self.stats.packets_to_process += 1;
+                    self.net.packets_to_process.inc();
                     self.call_process(node, |p, ctx| p.on_packet(ctx, packet));
                 }
             }
@@ -754,7 +1043,7 @@ impl Simulation {
                 self.respond(node, ifidx, &packet, TransportKind::Pong);
             }
             _ => {
-                self.stats.packets_to_process += 1;
+                self.net.packets_to_process.inc();
                 self.call_process(node, |p, ctx| p.on_packet(ctx, packet));
             }
         }
@@ -799,14 +1088,24 @@ mod tests {
 
     impl Chatter {
         fn new(peer: IpAddr, send_on_start: bool) -> Box<Self> {
-            Box::new(Chatter { peer, received: Vec::new(), send_on_start })
+            Box::new(Chatter {
+                peer,
+                received: Vec::new(),
+                send_on_start,
+            })
         }
     }
 
     impl Process for Chatter {
         fn on_start(&mut self, ctx: &mut Context<'_>) {
             if self.send_on_start {
-                let pkt = Packet::udp(ctx.ip(0), self.peer, Port(1000), Port(2000), Bytes::from_static(b"hi"));
+                let pkt = Packet::udp(
+                    ctx.ip(0),
+                    self.peer,
+                    Port(1000),
+                    Port(2000),
+                    Bytes::from_static(b"hi"),
+                );
                 ctx.send(0, pkt);
             }
             ctx.listen(Port(2000));
@@ -822,8 +1121,14 @@ mod tests {
 
     fn two_hosts_on_switch(arp: ArpMode) -> (Simulation, NodeId, NodeId) {
         let mut sim = Simulation::new(1);
-        let spec_a = InterfaceSpec { ip: IP_A, arp_mode: arp };
-        let spec_b = InterfaceSpec { ip: IP_B, arp_mode: arp };
+        let spec_a = InterfaceSpec {
+            ip: IP_A,
+            arp_mode: arp,
+        };
+        let spec_b = InterfaceSpec {
+            ip: IP_B,
+            arp_mode: arp,
+        };
         let a = sim.add_node(NodeSpec::new("a", vec![spec_a], Chatter::new(IP_B, true)));
         let b = sim.add_node(NodeSpec::new("b", vec![spec_b], Chatter::new(IP_A, false)));
         let sw = sim.add_switch(4, SwitchMode::Learning);
@@ -846,7 +1151,11 @@ mod tests {
     fn static_arp_without_entry_cannot_send() {
         let (mut sim, _a, b) = two_hosts_on_switch(ArpMode::Static);
         sim.run_for(SimDuration::from_millis(10));
-        assert!(sim.process_ref::<Chatter>(b).expect("chatter").received.is_empty());
+        assert!(sim
+            .process_ref::<Chatter>(b)
+            .expect("chatter")
+            .received
+            .is_empty());
     }
 
     #[test]
@@ -857,7 +1166,13 @@ mod tests {
         // Restart a's process behaviour by re-running start via replace.
         sim.replace_process(a, Chatter::new(IP_B, true));
         sim.run_for(SimDuration::from_millis(10));
-        assert_eq!(sim.process_ref::<Chatter>(b).expect("chatter").received.len(), 1);
+        assert_eq!(
+            sim.process_ref::<Chatter>(b)
+                .expect("chatter")
+                .received
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -865,7 +1180,11 @@ mod tests {
         let (mut sim, _a, b) = two_hosts_on_switch(ArpMode::Dynamic);
         sim.set_node_up(b, false);
         sim.run_for(SimDuration::from_millis(10));
-        assert!(sim.process_ref::<Chatter>(b).expect("chatter").received.is_empty());
+        assert!(sim
+            .process_ref::<Chatter>(b)
+            .expect("chatter")
+            .received
+            .is_empty());
         sim.set_node_up(b, true);
         assert!(sim.node_up(b));
     }
@@ -873,15 +1192,27 @@ mod tests {
     #[test]
     fn firewall_blocks_inbound() {
         let mut sim = Simulation::new(2);
-        let a = sim.add_node(NodeSpec::new("a", vec![InterfaceSpec::dynamic(IP_A)], Chatter::new(IP_B, true)));
-        let mut spec_b = NodeSpec::new("b", vec![InterfaceSpec::dynamic(IP_B)], Chatter::new(IP_A, false));
+        let a = sim.add_node(NodeSpec::new(
+            "a",
+            vec![InterfaceSpec::dynamic(IP_A)],
+            Chatter::new(IP_B, true),
+        ));
+        let mut spec_b = NodeSpec::new(
+            "b",
+            vec![InterfaceSpec::dynamic(IP_B)],
+            Chatter::new(IP_A, false),
+        );
         spec_b.firewall = Firewall::locked_down();
         let b = sim.add_node(spec_b);
         let sw = sim.add_switch(2, SwitchMode::Learning);
         sim.connect(a, 0, sw, 0, LinkSpec::lan());
         sim.connect(b, 0, sw, 1, LinkSpec::lan());
         sim.run_for(SimDuration::from_millis(10));
-        assert!(sim.process_ref::<Chatter>(b).expect("chatter").received.is_empty());
+        assert!(sim
+            .process_ref::<Chatter>(b)
+            .expect("chatter")
+            .received
+            .is_empty());
         assert_eq!(sim.firewall_drops(b), 1);
     }
 
@@ -907,7 +1238,10 @@ mod tests {
             Box::new(TimerProc { fired: vec![] }),
         ));
         sim.run_for(SimDuration::from_millis(20));
-        assert_eq!(sim.process_ref::<TimerProc>(n).expect("proc").fired, vec![1, 2, 3]);
+        assert_eq!(
+            sim.process_ref::<TimerProc>(n).expect("proc").fired,
+            vec![1, 2, 3]
+        );
     }
 
     #[test]
@@ -924,18 +1258,40 @@ mod tests {
     #[test]
     fn direct_cable_bypasses_switch() {
         let mut sim = Simulation::new(4);
-        let a = sim.add_node(NodeSpec::new("plc", vec![InterfaceSpec::dynamic(IP_A)], Chatter::new(IP_B, true)));
-        let b = sim.add_node(NodeSpec::new("proxy", vec![InterfaceSpec::dynamic(IP_B)], Chatter::new(IP_A, false)));
+        let a = sim.add_node(NodeSpec::new(
+            "plc",
+            vec![InterfaceSpec::dynamic(IP_A)],
+            Chatter::new(IP_B, true),
+        ));
+        let b = sim.add_node(NodeSpec::new(
+            "proxy",
+            vec![InterfaceSpec::dynamic(IP_B)],
+            Chatter::new(IP_A, false),
+        ));
         sim.connect_direct((a, 0), (b, 0), LinkSpec::cable());
         sim.run_for(SimDuration::from_millis(10));
-        assert_eq!(sim.process_ref::<Chatter>(b).expect("chatter").received.len(), 1);
+        assert_eq!(
+            sim.process_ref::<Chatter>(b)
+                .expect("chatter")
+                .received
+                .len(),
+            1
+        );
     }
 
     #[test]
     fn tap_records_switch_traffic() {
         let mut sim = Simulation::new(5);
-        let a = sim.add_node(NodeSpec::new("a", vec![InterfaceSpec::dynamic(IP_A)], Chatter::new(IP_B, true)));
-        let b = sim.add_node(NodeSpec::new("b", vec![InterfaceSpec::dynamic(IP_B)], Chatter::new(IP_A, false)));
+        let a = sim.add_node(NodeSpec::new(
+            "a",
+            vec![InterfaceSpec::dynamic(IP_A)],
+            Chatter::new(IP_B, true),
+        ));
+        let b = sim.add_node(NodeSpec::new(
+            "b",
+            vec![InterfaceSpec::dynamic(IP_B)],
+            Chatter::new(IP_A, false),
+        ));
         let sw = sim.add_switch(4, SwitchMode::Learning);
         sim.connect(a, 0, sw, 0, LinkSpec::lan());
         sim.connect(b, 0, sw, 1, LinkSpec::lan());
@@ -972,8 +1328,19 @@ mod tests {
             }
         }
         let mut sim = Simulation::new(6);
-        let a = sim.add_node(NodeSpec::new("a", vec![InterfaceSpec::dynamic(IP_A)], Box::new(Pinger { peer: IP_B, pongs: 0 })));
-        let b = sim.add_node(NodeSpec::new("b", vec![InterfaceSpec::dynamic(IP_B)], Chatter::new(IP_A, false)));
+        let a = sim.add_node(NodeSpec::new(
+            "a",
+            vec![InterfaceSpec::dynamic(IP_A)],
+            Box::new(Pinger {
+                peer: IP_B,
+                pongs: 0,
+            }),
+        ));
+        let b = sim.add_node(NodeSpec::new(
+            "b",
+            vec![InterfaceSpec::dynamic(IP_B)],
+            Chatter::new(IP_A, false),
+        ));
         let sw = sim.add_switch(2, SwitchMode::Learning);
         sim.connect(a, 0, sw, 0, LinkSpec::lan());
         sim.connect(b, 0, sw, 1, LinkSpec::lan());
@@ -1002,9 +1369,16 @@ mod tests {
         let a = sim.add_node(NodeSpec::new(
             "scanner",
             vec![InterfaceSpec::dynamic(IP_A)],
-            Box::new(Scanner { peer: IP_B, results: vec![] }),
+            Box::new(Scanner {
+                peer: IP_B,
+                results: vec![],
+            }),
         ));
-        let b = sim.add_node(NodeSpec::new("b", vec![InterfaceSpec::dynamic(IP_B)], Chatter::new(IP_A, false)));
+        let b = sim.add_node(NodeSpec::new(
+            "b",
+            vec![InterfaceSpec::dynamic(IP_B)],
+            Chatter::new(IP_A, false),
+        ));
         let sw = sim.add_switch(2, SwitchMode::Learning);
         sim.connect(a, 0, sw, 0, LinkSpec::lan());
         sim.connect(b, 0, sw, 1, LinkSpec::lan());
@@ -1042,11 +1416,16 @@ mod tests {
             let a = sim.add_node(NodeSpec::new(
                 "a",
                 vec![InterfaceSpec::dynamic(IP_A)],
-                Box::new(RawSender { target_ip: other_ip }),
+                Box::new(RawSender {
+                    target_ip: other_ip,
+                }),
             ));
             let mut spec_b = NodeSpec::new(
                 "b",
-                vec![InterfaceSpec::dynamic(IP_B), InterfaceSpec::dynamic(other_ip)],
+                vec![
+                    InterfaceSpec::dynamic(IP_B),
+                    InterfaceSpec::dynamic(other_ip),
+                ],
                 Chatter::new(IP_A, false),
             );
             spec_b.strict_interface_binding = strict;
@@ -1055,7 +1434,11 @@ mod tests {
             sim.connect(a, 0, sw, 0, LinkSpec::lan());
             sim.connect(b, 0, sw, 1, LinkSpec::lan());
             sim.run_for(SimDuration::from_millis(10));
-            let got = sim.process_ref::<Chatter>(b).expect("chatter").received.len();
+            let got = sim
+                .process_ref::<Chatter>(b)
+                .expect("chatter")
+                .received
+                .len();
             assert_eq!(got, expect_delivered, "strict={strict}");
         }
     }
@@ -1069,7 +1452,10 @@ mod tests {
         impl Process for Scanner {
             fn on_start(&mut self, ctx: &mut Context<'_>) {
                 for port in 2000u16..2010 {
-                    ctx.send(0, Packet::syn(ctx.ip(0), self.peer, Port(40000), Port(port)));
+                    ctx.send(
+                        0,
+                        Packet::syn(ctx.ip(0), self.peer, Port(40000), Port(port)),
+                    );
                 }
             }
             fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {
@@ -1080,9 +1466,16 @@ mod tests {
         let a = sim.add_node(NodeSpec::new(
             "scanner",
             vec![InterfaceSpec::dynamic(IP_A)],
-            Box::new(Scanner { peer: IP_B, responses: 0 }),
+            Box::new(Scanner {
+                peer: IP_B,
+                responses: 0,
+            }),
         ));
-        let mut spec_b = NodeSpec::new("b", vec![InterfaceSpec::dynamic(IP_B)], Chatter::new(IP_A, false));
+        let mut spec_b = NodeSpec::new(
+            "b",
+            vec![InterfaceSpec::dynamic(IP_B)],
+            Chatter::new(IP_A, false),
+        );
         spec_b.firewall = Firewall::locked_down();
         let b = sim.add_node(spec_b);
         let sw = sim.add_switch(2, SwitchMode::Learning);

@@ -92,12 +92,7 @@ impl Switch {
 
     /// Computes where a frame entering on `ingress` with the given MACs
     /// goes. Mutates learning state / violation counters.
-    pub fn forward(
-        &mut self,
-        ingress: usize,
-        src_mac: MacAddr,
-        dst_mac: MacAddr,
-    ) -> Forward {
+    pub fn forward(&mut self, ingress: usize, src_mac: MacAddr, dst_mac: MacAddr) -> Forward {
         match &self.mode {
             SwitchMode::Learning => {
                 self.cam.insert(src_mac, ingress);
@@ -110,7 +105,10 @@ impl Switch {
                     None => Forward::Ports(self.all_except(ingress)),
                 }
             }
-            SwitchMode::Static { map, enforce_ingress } => {
+            SwitchMode::Static {
+                map,
+                enforce_ingress,
+            } => {
                 if *enforce_ingress {
                     match map.get(&src_mac) {
                         Some(&owner) if owner == ingress => {}
@@ -167,7 +165,14 @@ mod tests {
     fn static_sw(assignments: &[(u32, usize)], enforce: bool) -> Switch {
         let ports = assignments.iter().map(|&(_, p)| p).max().unwrap_or(0) + 1;
         let map = assignments.iter().map(|&(m, p)| (mac(m), p)).collect();
-        let mut sw = Switch::new(SwitchId(0), ports, SwitchMode::Static { map, enforce_ingress: enforce });
+        let mut sw = Switch::new(
+            SwitchId(0),
+            ports,
+            SwitchMode::Static {
+                map,
+                enforce_ingress: enforce,
+            },
+        );
         for p in 0..ports {
             sw.ports[p] = Some(crate::link::LinkId(p as u32));
         }
@@ -178,10 +183,7 @@ mod tests {
     fn learning_floods_unknown_then_forwards() {
         let mut sw = learning(4);
         // Unknown destination: flood to all other ports.
-        assert_eq!(
-            sw.forward(0, mac(1), mac(2)),
-            Forward::Ports(vec![1, 2, 3])
-        );
+        assert_eq!(sw.forward(0, mac(1), mac(2)), Forward::Ports(vec![1, 2, 3]));
         // Now the switch heard mac(2) on port 1; unicast goes there only.
         sw.forward(1, mac(2), mac(1));
         assert_eq!(sw.forward(0, mac(1), mac(2)), Forward::Ports(vec![1]));
@@ -201,7 +203,7 @@ mod tests {
     fn learning_is_poisonable_by_cam_override() {
         let mut sw = learning(3);
         sw.forward(0, mac(1), MacAddr::BROADCAST); // mac1 at port 0
-        // Attacker on port 2 claims mac(1).
+                                                   // Attacker on port 2 claims mac(1).
         sw.forward(2, mac(1), MacAddr::BROADCAST);
         assert_eq!(sw.cam_entry(mac(1)), Some(2));
         // Traffic for mac(1) now goes to the attacker.
@@ -248,7 +250,10 @@ mod tests {
     #[test]
     fn hairpin_to_same_port_dropped() {
         let mut sw = static_sw(&[(1, 0), (2, 0)], false);
-        assert_eq!(sw.forward(0, mac(1), mac(2)), Forward::Drop(DropReason::DeadPort));
+        assert_eq!(
+            sw.forward(0, mac(1), mac(2)),
+            Forward::Drop(DropReason::DeadPort)
+        );
     }
 
     #[test]

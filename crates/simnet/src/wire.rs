@@ -265,7 +265,14 @@ mod tests {
 
     #[test]
     fn trailing_bytes_fail_strict_decode() {
-        let s = Sample { a: 0, b: 0, c: 0, d: 0, e: false, f: vec![] };
+        let s = Sample {
+            a: 0,
+            b: 0,
+            c: 0,
+            d: 0,
+            e: false,
+            f: vec![],
+        };
         let mut bytes = s.to_wire().to_vec();
         bytes.push(0);
         assert!(Sample::from_wire(&bytes).is_err());

@@ -47,7 +47,13 @@ impl SpinesConfig {
                 edges.insert((a, b));
             }
         }
-        SpinesConfig { daemons, edges, port, master_secret, mode }
+        SpinesConfig {
+            daemons,
+            edges,
+            port,
+            master_secret,
+            mode,
+        }
     }
 
     /// Builds an overlay with explicit edges.
@@ -62,7 +68,13 @@ impl SpinesConfig {
             .into_iter()
             .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
             .collect();
-        SpinesConfig { daemons: daemons.into_iter().collect(), edges, port, master_secret, mode }
+        SpinesConfig {
+            daemons: daemons.into_iter().collect(),
+            edges,
+            port,
+            master_secret,
+            mode,
+        }
     }
 
     /// The neighbors of a daemon in the overlay.
@@ -95,7 +107,10 @@ impl SpinesConfig {
 
     /// Daemon id for an IP address, if the address belongs to the overlay.
     pub fn id_of(&self, addr: IpAddr) -> Option<u32> {
-        self.daemons.iter().find(|(_, &a)| a == addr).map(|(&id, _)| id)
+        self.daemons
+            .iter()
+            .find(|(_, &a)| a == addr)
+            .map(|(&id, _)| id)
     }
 
     /// Number of daemons.
@@ -109,12 +124,15 @@ mod tests {
     use super::*;
 
     fn addrs(n: u32) -> Vec<(u32, IpAddr)> {
-        (0..n).map(|i| (i, IpAddr::new(10, 1, 0, (i + 1) as u8))).collect()
+        (0..n)
+            .map(|i| (i, IpAddr::new(10, 1, 0, (i + 1) as u8)))
+            .collect()
     }
 
     #[test]
     fn full_mesh_edges() {
-        let cfg = SpinesConfig::full_mesh(addrs(4), Port(8100), [0; 32], SpinesMode::IntrusionTolerant);
+        let cfg =
+            SpinesConfig::full_mesh(addrs(4), Port(8100), [0; 32], SpinesMode::IntrusionTolerant);
         assert_eq!(cfg.edges.len(), 6);
         assert_eq!(cfg.neighbors(0), vec![1, 2, 3]);
         assert_eq!(cfg.daemon_count(), 4);
@@ -137,11 +155,13 @@ mod tests {
 
     #[test]
     fn link_keys_symmetric_and_distinct() {
-        let cfg = SpinesConfig::full_mesh(addrs(3), Port(8100), [7; 32], SpinesMode::IntrusionTolerant);
+        let cfg =
+            SpinesConfig::full_mesh(addrs(3), Port(8100), [7; 32], SpinesMode::IntrusionTolerant);
         assert_eq!(cfg.link_key(0, 1), cfg.link_key(1, 0));
         assert_ne!(cfg.link_key(0, 1), cfg.link_key(0, 2));
         // Different master secret → different keys.
-        let other = SpinesConfig::full_mesh(addrs(3), Port(8100), [8; 32], SpinesMode::IntrusionTolerant);
+        let other =
+            SpinesConfig::full_mesh(addrs(3), Port(8100), [8; 32], SpinesMode::IntrusionTolerant);
         assert_ne!(cfg.link_key(0, 1), other.link_key(0, 1));
     }
 

@@ -54,6 +54,38 @@ pub struct DaemonStats {
     pub malformed: u64,
 }
 
+/// Cached registry counter handles mirroring [`DaemonStats`], plus the
+/// seal/open tallies that only exist in the registry. Re-registered under
+/// a deployment scope by [`SpinesDaemon::attach_obs`].
+struct DaemonObs {
+    originated: obs::Counter,
+    forwarded: obs::Counter,
+    delivered: obs::Counter,
+    auth_failures: obs::Counter,
+    duplicates: obs::Counter,
+    legacy_diag_ignored: obs::Counter,
+    malformed: obs::Counter,
+    sealed: obs::Counter,
+    opened: obs::Counter,
+}
+
+impl DaemonObs {
+    fn from_hub(hub: &obs::ObsHub, scope: &str) -> Self {
+        let c = |metric: &str| hub.counter(&format!("{scope}.{metric}"));
+        DaemonObs {
+            originated: c("originated"),
+            forwarded: c("forwarded"),
+            delivered: c("delivered"),
+            auth_failures: c("auth_failures"),
+            duplicates: c("duplicates"),
+            legacy_diag_ignored: c("legacy_diag_ignored"),
+            malformed: c("malformed"),
+            sealed: c("sealed"),
+            opened: c("opened"),
+        }
+    }
+}
+
 /// Wire envelope: mode tag + either plaintext (legacy) or a sealed box.
 enum LinkFrame {
     Legacy(Vec<u8>),
@@ -67,7 +99,10 @@ impl Wire for LinkFrame {
                 w.put_u8(0).put_bytes(bytes);
             }
             LinkFrame::Sealed(sb) => {
-                w.put_u8(1).put_u64(sb.nonce).put_bytes(&sb.ciphertext).put_raw(&sb.tag);
+                w.put_u8(1)
+                    .put_u64(sb.nonce)
+                    .put_bytes(&sb.ciphertext)
+                    .put_raw(&sb.tag);
             }
         }
     }
@@ -78,9 +113,15 @@ impl Wire for LinkFrame {
             1 => {
                 let nonce = r.get_u64()?;
                 let ciphertext = r.get_bytes()?;
-                let tag: [u8; 32] =
-                    r.get_raw(32)?.try_into().map_err(|_| DecodeError::new("tag"))?;
-                Ok(LinkFrame::Sealed(SealedBox { nonce, ciphertext, tag }))
+                let tag: [u8; 32] = r
+                    .get_raw(32)?
+                    .try_into()
+                    .map_err(|_| DecodeError::new("tag"))?;
+                Ok(LinkFrame::Sealed(SealedBox {
+                    nonce,
+                    ciphertext,
+                    tag,
+                }))
             }
             _ => Err(DecodeError::new("link frame tag")),
         }
@@ -109,6 +150,9 @@ pub struct SpinesDaemon {
     pub legacy_compromised: bool,
     /// Counters.
     pub stats: DaemonStats,
+    /// Observability hub (detached until [`SpinesDaemon::attach_obs`]).
+    obs: obs::ObsHub,
+    c: DaemonObs,
 }
 
 impl SpinesDaemon {
@@ -119,6 +163,8 @@ impl SpinesDaemon {
     /// Panics if `id` is not in the configuration.
     pub fn new(id: u32, cfg: SpinesConfig) -> Self {
         assert!(cfg.daemons.contains_key(&id), "daemon id not in config");
+        let hub = obs::ObsHub::new();
+        let counters = DaemonObs::from_hub(&hub, &format!("spines.d{id}"));
         SpinesDaemon {
             cfg,
             id,
@@ -133,7 +179,29 @@ impl SpinesDaemon {
             has_keys: true,
             legacy_compromised: false,
             stats: DaemonStats::default(),
+            obs: hub,
+            c: counters,
         }
+    }
+
+    /// Joins the shared deployment hub, re-registering this daemon's
+    /// counters as `{scope}.{metric}` and carrying over any tallies
+    /// accumulated while detached.
+    pub fn attach_obs(&mut self, hub: &obs::ObsHub, scope: &str) {
+        let fresh = DaemonObs::from_hub(hub, scope);
+        fresh.originated.add(self.c.originated.get());
+        fresh.forwarded.add(self.c.forwarded.get());
+        fresh.delivered.add(self.c.delivered.get());
+        fresh.auth_failures.add(self.c.auth_failures.get());
+        fresh.duplicates.add(self.c.duplicates.get());
+        fresh
+            .legacy_diag_ignored
+            .add(self.c.legacy_diag_ignored.get());
+        fresh.malformed.add(self.c.malformed.get());
+        fresh.sealed.add(self.c.sealed.get());
+        fresh.opened.add(self.c.opened.get());
+        self.obs = hub.clone();
+        self.c = fresh;
     }
 
     /// This daemon's id.
@@ -191,9 +259,17 @@ impl SpinesDaemon {
         if !self.running {
             return Vec::new();
         }
-        let msg = SpinesMsg { src: self.id, seq: self.next_seq, dst, priority, kind, payload };
+        let msg = SpinesMsg {
+            src: self.id,
+            seq: self.next_seq,
+            dst,
+            priority,
+            kind,
+            payload,
+        };
         self.next_seq += 1;
         self.stats.originated += 1;
+        self.c.originated.inc();
         self.remember(msg.src, msg.seq);
         // Local delivery for group messages we subscribe to.
         self.maybe_deliver(&msg);
@@ -209,20 +285,32 @@ impl SpinesDaemon {
         let Some(neighbor) = self.cfg.id_of(from) else {
             // Not a configured daemon: outsiders can't speak overlay.
             self.stats.auth_failures += 1;
+            self.c.auth_failures.inc();
+            self.obs
+                .journal(obs::Event::AuthFailure { daemon: self.id });
             return Vec::new();
         };
         let msg = match self.decode_frame(neighbor, data) {
             Ok(m) => m,
             Err(failure) => {
                 match failure {
-                    FrameFailure::Auth => self.stats.auth_failures += 1,
-                    FrameFailure::Malformed => self.stats.malformed += 1,
+                    FrameFailure::Auth => {
+                        self.stats.auth_failures += 1;
+                        self.c.auth_failures.inc();
+                        self.obs
+                            .journal(obs::Event::AuthFailure { daemon: self.id });
+                    }
+                    FrameFailure::Malformed => {
+                        self.stats.malformed += 1;
+                        self.c.malformed.inc();
+                    }
                 }
                 return Vec::new();
             }
         };
         if self.seen.contains(&(msg.src, msg.seq)) {
             self.stats.duplicates += 1;
+            self.c.duplicates.inc();
             return Vec::new();
         }
         self.remember(msg.src, msg.seq);
@@ -243,7 +331,9 @@ impl SpinesDaemon {
         let plaintext = match (self.cfg.mode, frame) {
             (SpinesMode::IntrusionTolerant, LinkFrame::Sealed(sb)) => {
                 let key = self.cfg.link_key(self.id, neighbor);
-                open(&key, &sb).ok_or(FrameFailure::Auth)?
+                let plain = open(&key, &sb).ok_or(FrameFailure::Auth)?;
+                self.c.opened.inc();
+                plain
             }
             (SpinesMode::Legacy, LinkFrame::Legacy(bytes)) => bytes,
             // Mode mismatch: an unencrypted daemon talking to an
@@ -262,6 +352,7 @@ impl SpinesDaemon {
                 };
                 if for_me {
                     self.stats.delivered += 1;
+                    self.c.delivered.inc();
                     self.deliveries.push(Delivery {
                         src: msg.src,
                         dst: msg.dst,
@@ -279,6 +370,7 @@ impl SpinesDaemon {
                     // code that is disabled when Spines is run in
                     // intrusion-tolerant mode".
                     self.stats.legacy_diag_ignored += 1;
+                    self.c.legacy_diag_ignored.inc();
                 }
             },
         }
@@ -290,7 +382,9 @@ impl SpinesDaemon {
             if Some(neighbor) == exclude {
                 continue;
             }
-            let Some(addr) = self.cfg.addr_of(neighbor) else { continue };
+            let Some(addr) = self.cfg.addr_of(neighbor) else {
+                continue;
+            };
             let plaintext = msg.to_wire();
             let frame = match self.cfg.mode {
                 SpinesMode::Legacy => LinkFrame::Legacy(plaintext.to_vec()),
@@ -304,10 +398,12 @@ impl SpinesDaemon {
                         // seals with the wrong key material.
                         [0u8; 32]
                     };
+                    self.c.sealed.inc();
                     LinkFrame::Sealed(seal(&key, *nonce, &plaintext))
                 }
             };
             self.stats.forwarded += 1;
+            self.c.forwarded.inc();
             out.push((addr, frame.to_wire()));
         }
         out
@@ -346,8 +442,9 @@ mod tests {
     use simnet::types::Port;
 
     fn cfg(n: u32, mode: SpinesMode) -> SpinesConfig {
-        let daemons: Vec<(u32, IpAddr)> =
-            (0..n).map(|i| (i, IpAddr::new(10, 1, 0, (i + 1) as u8))).collect();
+        let daemons: Vec<(u32, IpAddr)> = (0..n)
+            .map(|i| (i, IpAddr::new(10, 1, 0, (i + 1) as u8)))
+            .collect();
         SpinesConfig::full_mesh(daemons, Port(8100), [9; 32], mode)
     }
 
@@ -477,13 +574,16 @@ mod tests {
         let mut a = SpinesDaemon::new(0, c.clone());
         a.running = false;
         assert!(a.multicast(1, 1, Bytes::from_static(b"x")).is_empty());
-        assert!(a.on_wire(c.addr_of(1).expect("addr"), b"anything").is_empty());
+        assert!(a
+            .on_wire(c.addr_of(1).expect("addr"), b"anything")
+            .is_empty());
     }
 
     #[test]
     fn multihop_line_topology_floods_end_to_end() {
-        let daemons: Vec<(u32, IpAddr)> =
-            (0..4).map(|i| (i, IpAddr::new(10, 1, 0, (i + 1) as u8))).collect();
+        let daemons: Vec<(u32, IpAddr)> = (0..4)
+            .map(|i| (i, IpAddr::new(10, 1, 0, (i + 1) as u8)))
+            .collect();
         let c = SpinesConfig::with_edges(
             daemons,
             [(0, 1), (1, 2), (2, 3)],
@@ -519,7 +619,10 @@ mod tests {
         for (_to, bytes) in sends {
             peer.on_wire(from, &bytes);
         }
-        assert!(peer.take_deliveries().is_empty(), "reused seq silently dropped");
+        assert!(
+            peer.take_deliveries().is_empty(),
+            "reused seq silently dropped"
+        );
         // Restart with a clock-derived base: delivery resumes.
         let mut fixed = SpinesDaemon::new(0, c.clone());
         fixed.set_seq_base(1_000_000);
@@ -533,7 +636,10 @@ mod tests {
     #[test]
     fn legacy_frame_rejected_by_it_network() {
         let ci = cfg(2, SpinesMode::IntrusionTolerant);
-        let cl = SpinesConfig { mode: SpinesMode::Legacy, ..ci.clone() };
+        let cl = SpinesConfig {
+            mode: SpinesMode::Legacy,
+            ..ci.clone()
+        };
         let mut legacy = SpinesDaemon::new(0, cl);
         let mut it = SpinesDaemon::new(1, ci.clone());
         it.subscribe(2);

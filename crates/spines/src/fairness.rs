@@ -109,7 +109,10 @@ mod tests {
             assert!(q.push(1, i));
         }
         let out = q.drain(10);
-        assert_eq!(out.iter().map(|i| i.value).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            out.iter().map(|i| i.value).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
         assert!(q.is_empty());
     }
 
@@ -138,7 +141,10 @@ mod tests {
         // With a budget of 20, source 1 still gets ~half the service.
         let out = q.drain(20);
         let from_1 = out.iter().filter(|i| i.src == 1).count();
-        assert_eq!(from_1, 10, "legitimate source fully served within one drain");
+        assert_eq!(
+            from_1, 10,
+            "legitimate source fully served within one drain"
+        );
         let from_66 = out.iter().filter(|i| i.src == 66).count();
         assert_eq!(from_66, 10);
     }

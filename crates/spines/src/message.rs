@@ -75,7 +75,14 @@ impl Wire for SpinesMsg {
             _ => return Err(DecodeError::new("message kind")),
         };
         let payload = Bytes::from(r.get_bytes()?);
-        Ok(SpinesMsg { src, seq, dst, priority, kind, payload })
+        Ok(SpinesMsg {
+            src,
+            seq,
+            dst,
+            priority,
+            kind,
+            payload,
+        })
     }
 }
 

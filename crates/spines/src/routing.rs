@@ -54,7 +54,11 @@ pub fn disjoint_paths(cfg: &SpinesConfig, s: u32, t: u32) -> u32 {
     }
     let mut capacity: BTreeMap<(Node, Node), i32> = BTreeMap::new();
     let mut adj: BTreeMap<Node, BTreeSet<Node>> = BTreeMap::new();
-    let add_edge = |a: Node, b: Node, cap: i32, capacity: &mut BTreeMap<(Node, Node), i32>, adj: &mut BTreeMap<Node, BTreeSet<Node>>| {
+    let add_edge = |a: Node,
+                    b: Node,
+                    cap: i32,
+                    capacity: &mut BTreeMap<(Node, Node), i32>,
+                    adj: &mut BTreeMap<Node, BTreeSet<Node>>| {
         *capacity.entry((a, b)).or_insert(0) += cap;
         capacity.entry((b, a)).or_insert(0);
         adj.entry(a).or_default().insert(b);
@@ -134,11 +138,19 @@ mod tests {
     use simnet::types::{IpAddr, Port};
 
     fn addrs(n: u32) -> Vec<(u32, IpAddr)> {
-        (0..n).map(|i| (i, IpAddr::new(10, 1, 0, (i + 1) as u8))).collect()
+        (0..n)
+            .map(|i| (i, IpAddr::new(10, 1, 0, (i + 1) as u8)))
+            .collect()
     }
 
     fn with_edges(n: u32, edges: &[(u32, u32)]) -> SpinesConfig {
-        SpinesConfig::with_edges(addrs(n), edges.iter().copied(), Port(8100), [1; 32], SpinesMode::IntrusionTolerant)
+        SpinesConfig::with_edges(
+            addrs(n),
+            edges.iter().copied(),
+            Port(8100),
+            [1; 32],
+            SpinesMode::IntrusionTolerant,
+        )
     }
 
     #[test]
@@ -161,7 +173,8 @@ mod tests {
 
     #[test]
     fn full_mesh_has_maximal_disjoint_paths() {
-        let cfg = SpinesConfig::full_mesh(addrs(6), Port(8100), [1; 32], SpinesMode::IntrusionTolerant);
+        let cfg =
+            SpinesConfig::full_mesh(addrs(6), Port(8100), [1; 32], SpinesMode::IntrusionTolerant);
         // Direct edge + 4 two-hop paths through the other daemons.
         assert_eq!(disjoint_paths(&cfg, 0, 5), 5);
         assert_eq!(resilience(&cfg), 5);
@@ -200,7 +213,8 @@ mod tests {
     #[test]
     fn deployment_overlays_are_maximally_resilient() {
         // The internal overlay of the plant config: 6-daemon full mesh.
-        let cfg = SpinesConfig::full_mesh(addrs(6), Port(8100), [1; 32], SpinesMode::IntrusionTolerant);
+        let cfg =
+            SpinesConfig::full_mesh(addrs(6), Port(8100), [1; 32], SpinesMode::IntrusionTolerant);
         // f = 1 compromised daemon cannot partition correct daemons —
         // with room to spare.
         assert!(resilience(&cfg) > 1);

@@ -57,7 +57,10 @@ impl SpireConfig {
     /// The §IV red-team deployment: 4 replicas, the Figure 4 PLC plus ten
     /// emulated distribution PLCs, one HMI.
     pub fn red_team() -> Self {
-        let mut proxies = vec![ProxyAssignment { index: 0, scenario: Scenario::RedTeamDistribution }];
+        let mut proxies = vec![ProxyAssignment {
+            index: 0,
+            scenario: Scenario::RedTeamDistribution,
+        }];
         for i in 0..10u8 {
             proxies.push(ProxyAssignment {
                 index: 1 + i as u32,
@@ -77,7 +80,10 @@ impl SpireConfig {
     /// The §V plant deployment: 6 replicas, the plant's three real
     /// breakers plus ten distribution and six generation PLCs, three HMIs.
     pub fn plant() -> Self {
-        let mut proxies = vec![ProxyAssignment { index: 0, scenario: Scenario::PlantSubset }];
+        let mut proxies = vec![ProxyAssignment {
+            index: 0,
+            scenario: Scenario::PlantSubset,
+        }];
         for i in 0..10u8 {
             proxies.push(ProxyAssignment {
                 index: 1 + i as u32,
@@ -114,7 +120,12 @@ impl SpireConfig {
     }
 
     /// Arms the breaker-flip cycle on HMI 0.
-    pub fn with_cycle(mut self, scenario: Scenario, period: simnet::time::SimDuration, max_flips: u64) -> Self {
+    pub fn with_cycle(
+        mut self,
+        scenario: Scenario,
+        period: simnet::time::SimDuration,
+        max_flips: u64,
+    ) -> Self {
         self.cycle = Some((scenario, period, max_flips));
         self
     }
@@ -322,6 +333,9 @@ mod tests {
         let c = SpireConfig::red_team();
         assert_eq!(c.internal_spines().daemon_count(), 4);
         assert_eq!(c.external_spines().daemon_count(), 4 + 11 + 1);
-        assert_ne!(c.internal_spines().link_key(0, 1), c.external_spines().link_key(0, 1));
+        assert_ne!(
+            c.internal_spines().link_key(0, 1),
+            c.external_spines().link_key(0, 1)
+        );
     }
 }

@@ -27,6 +27,9 @@ const SPARE_PORTS: usize = 4;
 pub struct Deployment {
     /// The simulation hosting everything.
     pub sim: Simulation,
+    /// The shared observability hub: every host's metrics and journal
+    /// records land here under deployment-wide names.
+    pub obs: obs::ObsHub,
     /// The configuration it was built from.
     pub cfg: SpireConfig,
     /// The hardening profile in force.
@@ -55,6 +58,8 @@ impl Deployment {
     /// Builds the deployment.
     pub fn build(cfg: SpireConfig, hardening: HardeningProfile, seed: u64) -> Self {
         let mut sim = Simulation::new(seed);
+        let obs = obs::ObsHub::new();
+        sim.attach_obs(&obs);
         let n = cfg.n() as usize;
         let n_proxies = cfg.proxies.len();
         let n_hmis = cfg.hmis as usize;
@@ -66,11 +71,9 @@ impl Deployment {
                 iface(&hardening, cfg.internal_ip(i)),
                 iface(&hardening, cfg.replica_external_ip(i)),
             ];
-            let mut spec = NodeSpec::new(
-                format!("replica-{i}"),
-                interfaces,
-                Box::new(ReplicaHost::new(cfg.clone(), i)),
-            );
+            let mut host = ReplicaHost::new(cfg.clone(), i);
+            host.attach_obs(&obs);
+            let mut spec = NodeSpec::new(format!("replica-{i}"), interfaces, Box::new(host));
             spec.answers_arp_for_other_ifaces = !hardening.no_cross_iface_arp;
             spec.strict_interface_binding = hardening.firewall_lockdown;
             spec.firewall = replica_firewall(&cfg, &hardening, i);
@@ -83,11 +86,9 @@ impl Deployment {
                 iface(&hardening, cfg.proxy_ip(p)),
                 iface(&hardening, cfg.proxy_cable_ip(p)),
             ];
-            let mut spec = NodeSpec::new(
-                format!("proxy-{p}"),
-                interfaces,
-                Box::new(PlcProxy::new(cfg.clone(), p)),
-            );
+            let mut proxy = PlcProxy::new(cfg.clone(), p);
+            proxy.attach_obs(&obs);
+            let mut spec = NodeSpec::new(format!("proxy-{p}"), interfaces, Box::new(proxy));
             spec.answers_arp_for_other_ifaces = !hardening.no_cross_iface_arp;
             spec.strict_interface_binding = hardening.firewall_lockdown;
             spec.firewall = proxy_firewall(&cfg, &hardening, p);
@@ -107,10 +108,12 @@ impl Deployment {
         }
         let mut hmi_nodes = Vec::new();
         for h in 0..cfg.hmis {
+            let mut hmi = HmiHost::new(cfg.clone(), h);
+            hmi.attach_obs(&obs);
             let mut spec = NodeSpec::new(
                 format!("hmi-{h}"),
                 vec![iface(&hardening, cfg.hmi_ip(h))],
-                Box::new(HmiHost::new(cfg.clone(), h)),
+                Box::new(hmi),
             );
             spec.answers_arp_for_other_ifaces = !hardening.no_cross_iface_arp;
             spec.strict_interface_binding = hardening.firewall_lockdown;
@@ -152,7 +155,10 @@ impl Deployment {
                 .enumerate()
                 .map(|(port, &(node, ifidx))| (MacAddr::derived(node, ifidx as u8), port))
                 .collect();
-            SwitchMode::Static { map, enforce_ingress: true }
+            SwitchMode::Static {
+                map,
+                enforce_ingress: true,
+            }
         } else {
             SwitchMode::Learning
         };
@@ -175,7 +181,10 @@ impl Deployment {
                     .enumerate()
                     .map(|(port, &(node, ifidx))| (MacAddr::derived(node, ifidx as u8), port))
                     .collect();
-                SwitchMode::Static { map, enforce_ingress: true }
+                SwitchMode::Static {
+                    map,
+                    enforce_ingress: true,
+                }
             } else {
                 SwitchMode::Learning
             };
@@ -201,10 +210,16 @@ impl Deployment {
             let ext_participants: Vec<(simnet::types::IpAddr, MacAddr)> = {
                 let mut v = Vec::new();
                 for i in 0..cfg.n() {
-                    v.push((cfg.replica_external_ip(i), MacAddr::derived(replica_nodes[i as usize], 1)));
+                    v.push((
+                        cfg.replica_external_ip(i),
+                        MacAddr::derived(replica_nodes[i as usize], 1),
+                    ));
                 }
                 for p in 0..n_proxies as u32 {
-                    v.push((cfg.proxy_ip(p), MacAddr::derived(proxy_nodes[p as usize], 0)));
+                    v.push((
+                        cfg.proxy_ip(p),
+                        MacAddr::derived(proxy_nodes[p as usize], 0),
+                    ));
                 }
                 for h in 0..cfg.hmis {
                     v.push((cfg.hmi_ip(h), MacAddr::derived(hmi_nodes[h as usize], 0)));
@@ -241,15 +256,16 @@ impl Deployment {
                 // (The PLC keeps dynamic ARP — real devices cannot be
                 // provisioned with static tables.)
             }
-            for h in 0..n_hmis {
+            for &hmi_node in hmi_nodes.iter().take(n_hmis) {
                 for &(ip, mac) in &ext_participants {
-                    sim.install_arp(hmi_nodes[h], 0, ip, mac);
+                    sim.install_arp(hmi_node, 0, ip, mac);
                 }
             }
         }
 
         Deployment {
             sim,
+            obs,
             cfg,
             hardening,
             external_switch,
@@ -276,48 +292,65 @@ impl Deployment {
 
     /// Read access to replica host `i`.
     pub fn replica(&self, i: u32) -> &ReplicaHost {
-        self.sim.process_ref::<ReplicaHost>(self.replica_nodes[i as usize]).expect("replica host")
+        self.sim
+            .process_ref::<ReplicaHost>(self.replica_nodes[i as usize])
+            .expect("replica host")
     }
 
     /// Mutable access to replica host `i` (fault injection, daemon
     /// manipulation — the attacker's hands-on-keyboard access).
     pub fn replica_mut(&mut self, i: u32) -> &mut ReplicaHost {
-        self.sim.process_mut::<ReplicaHost>(self.replica_nodes[i as usize]).expect("replica host")
+        self.sim
+            .process_mut::<ReplicaHost>(self.replica_nodes[i as usize])
+            .expect("replica host")
     }
 
     /// Read access to proxy `p`.
     pub fn proxy(&self, p: u32) -> &PlcProxy {
-        self.sim.process_ref::<PlcProxy>(self.proxy_nodes[p as usize]).expect("proxy")
+        self.sim
+            .process_ref::<PlcProxy>(self.proxy_nodes[p as usize])
+            .expect("proxy")
     }
 
     /// Mutable access to proxy `p`.
     pub fn proxy_mut(&mut self, p: u32) -> &mut PlcProxy {
-        self.sim.process_mut::<PlcProxy>(self.proxy_nodes[p as usize]).expect("proxy")
+        self.sim
+            .process_mut::<PlcProxy>(self.proxy_nodes[p as usize])
+            .expect("proxy")
     }
 
     /// Read access to the PLC behind proxy `p`.
     pub fn plc(&self, p: u32) -> &PlcEmulator {
-        self.sim.process_ref::<PlcEmulator>(self.plc_nodes[p as usize]).expect("plc")
+        self.sim
+            .process_ref::<PlcEmulator>(self.plc_nodes[p as usize])
+            .expect("plc")
     }
 
     /// Mutable access to the PLC behind proxy `p` (the measurement device
     /// physically flips breakers through this).
     pub fn plc_mut(&mut self, p: u32) -> &mut PlcEmulator {
-        self.sim.process_mut::<PlcEmulator>(self.plc_nodes[p as usize]).expect("plc")
+        self.sim
+            .process_mut::<PlcEmulator>(self.plc_nodes[p as usize])
+            .expect("plc")
     }
 
     /// Read access to HMI `h`.
     pub fn hmi(&self, h: u32) -> &HmiHost {
-        self.sim.process_ref::<HmiHost>(self.hmi_nodes[h as usize]).expect("hmi")
+        self.sim
+            .process_ref::<HmiHost>(self.hmi_nodes[h as usize])
+            .expect("hmi")
     }
 
     /// Mutable access to HMI `h`.
     pub fn hmi_mut(&mut self, h: u32) -> &mut HmiHost {
-        self.sim.process_mut::<HmiHost>(self.hmi_nodes[h as usize]).expect("hmi")
+        self.sim
+            .process_mut::<HmiHost>(self.hmi_nodes[h as usize])
+            .expect("hmi")
     }
 
     /// Takes replica `i` down for proactive recovery (or a crash).
     pub fn take_replica_down(&mut self, i: u32) {
+        self.obs.journal(obs::Event::RecoveryStart { replica: i });
         self.sim.set_node_up(self.replica_nodes[i as usize], false);
     }
 
@@ -328,6 +361,7 @@ impl Deployment {
         let node = self.replica_nodes[i as usize];
         self.sim.set_node_up(node, true);
         let mut host = ReplicaHost::new(self.cfg.clone(), i);
+        host.attach_obs(&self.obs);
         host.pending_recovery = true;
         self.sim.replace_process(node, Box::new(host));
     }
@@ -375,7 +409,8 @@ impl Deployment {
         for i in 0..self.cfg.n() {
             let node = self.replica_nodes[i as usize];
             self.sim.set_node_up(node, true);
-            let host = ReplicaHost::new(self.cfg.clone(), i);
+            let mut host = ReplicaHost::new(self.cfg.clone(), i);
+            host.attach_obs(&self.obs);
             self.sim.replace_process(node, Box::new(host));
         }
     }
@@ -387,14 +422,19 @@ impl Deployment {
     ///
     /// Panics when no spare ports remain.
     pub fn attach_external_attacker(&mut self, spec: NodeSpec) -> NodeId {
-        let port = self.spare_external_ports.pop().expect("spare external port");
+        let port = self
+            .spare_external_ports
+            .pop()
+            .expect("spare external port");
         let node = self.sim.add_node(spec);
-        self.sim.connect(node, 0, self.external_switch, port, LinkSpec::lan());
+        self.sim
+            .connect(node, 0, self.external_switch, port, LinkSpec::lan());
         // The attacker's own MAC is legitimate on its port (they occupy a
         // real network drop); spoofing *other* MACs is what port security
         // blocks.
         let mac = MacAddr::derived(node, 0);
-        self.sim.authorize_switch_port(self.external_switch, mac, port);
+        self.sim
+            .authorize_switch_port(self.external_switch, mac, port);
         node
     }
 
@@ -428,7 +468,11 @@ fn iface(hardening: &HardeningProfile, ip: simnet::types::IpAddr) -> InterfaceSp
 }
 
 fn base_firewall(hardening: &HardeningProfile) -> Firewall {
-    let mut fw = if hardening.firewall_lockdown { Firewall::locked_down() } else { Firewall::open() };
+    let mut fw = if hardening.firewall_lockdown {
+        Firewall::locked_down()
+    } else {
+        Firewall::open()
+    };
     // The open OS profile leaves extra services listening; model that as
     // IPv6 left on (an extra, unfirewalled surface flag).
     fw.ipv6_enabled = hardening.os == OsProfile::UbuntuDesktop || !hardening.firewall_lockdown;
@@ -520,7 +564,10 @@ mod tests {
         assert!(d.proxy(0).stats.updates_sent >= 1, "proxy sent updates");
         assert!(d.min_executed() >= 1, "replicas executed status updates");
         let hmi = d.hmi(0);
-        assert!(hmi.stats.frames_applied >= 1, "HMI applied a vote-gated frame");
+        assert!(
+            hmi.stats.frames_applied >= 1,
+            "HMI applied a vote-gated frame"
+        );
         assert_eq!(
             hmi.hmi.positions("plant"),
             Some(vec![true, true, true].as_slice()),
@@ -579,7 +626,10 @@ mod tests {
         for i in 0..4 {
             d.replica_mut(i).set_timing(fast_timing());
         }
-        assert!(d.internal_switch.is_none(), "replication shares the ops network");
+        assert!(
+            d.internal_switch.is_none(),
+            "replication shares the ops network"
+        );
         let sw = d.sim.switch(d.external_switch);
         assert!(matches!(sw.mode, SwitchMode::Learning));
         // The system still works without hardening — it is just exposed.
@@ -604,7 +654,10 @@ mod tests {
             "recovered replica caught up: {} >= {exec_before}",
             restored.replica.exec_seq()
         );
-        assert!(restored.stats.state_transfers >= 1, "app-level state transfer ran");
+        assert!(
+            restored.stats.state_transfers >= 1,
+            "app-level state transfer ran"
+        );
         // Meanwhile the system never stopped.
         assert!(d.hmi(0).stats.frames_applied >= 1);
     }

@@ -118,7 +118,11 @@ mod tests {
     fn without_toggles_exactly_one() {
         for &name in HardeningProfile::switch_names() {
             let p = HardeningProfile::without(name);
-            assert_ne!(p, HardeningProfile::deployed(), "switch {name} had no effect");
+            assert_ne!(
+                p,
+                HardeningProfile::deployed(),
+                "switch {name} had no effect"
+            );
         }
         assert!(!HardeningProfile::without("static_arp").static_arp);
         assert_eq!(HardeningProfile::without("os").os, OsProfile::UbuntuDesktop);

@@ -63,6 +63,19 @@ pub struct HmiHost {
     cycle_state: Vec<bool>,
     /// Counters.
     pub stats: HmiStats,
+    /// Observability hub (detached until [`HmiHost::attach_obs`]).
+    obs: obs::ObsHub,
+    c_frames_applied: obs::Counter,
+    c_frames_pending: obs::Counter,
+    c_commands_sent: obs::Counter,
+}
+
+fn hmi_counters(hub: &obs::ObsHub, index: u32) -> [obs::Counter; 3] {
+    [
+        hub.counter(&format!("hmi.{index}.frames_applied")),
+        hub.counter(&format!("hmi.{index}.frames_pending")),
+        hub.counter(&format!("hmi.{index}.commands_sent")),
+    ]
 }
 
 impl HmiHost {
@@ -73,6 +86,8 @@ impl HmiHost {
         let key = cfg.hmi_keypair(index);
         let client = cfg.client_of_hmi(index);
         let f = cfg.prime.f;
+        let hub = obs::ObsHub::new();
+        let [frames_applied, frames_pending, commands_sent] = hmi_counters(&hub, index);
         let mut host = HmiHost {
             cfg,
             index,
@@ -86,10 +101,18 @@ impl HmiHost {
             cycle_breaker: 0,
             cycle_state: Vec::new(),
             stats: HmiStats::default(),
+            obs: hub,
+            c_frames_applied: frames_applied,
+            c_frames_pending: frames_pending,
+            c_commands_sent: commands_sent,
         };
         if index == 0 {
             if let Some((scenario, period, max_flips)) = host.cfg.cycle {
-                host.set_cycle(CycleConfig { scenario, period, max_flips });
+                host.set_cycle(CycleConfig {
+                    scenario,
+                    period,
+                    max_flips,
+                });
             }
         }
         host
@@ -100,6 +123,21 @@ impl HmiHost {
         self.index
     }
 
+    /// Joins the shared deployment hub, carrying over any counts
+    /// accumulated while detached.
+    pub fn attach_obs(&mut self, hub: &obs::ObsHub) {
+        let [frames_applied, frames_pending, commands_sent] = hmi_counters(hub, self.index);
+        frames_applied.add(self.c_frames_applied.get());
+        frames_pending.add(self.c_frames_pending.get());
+        commands_sent.add(self.c_commands_sent.get());
+        self.external
+            .attach_obs(hub, &format!("spines.ext.hmi{}", self.index));
+        self.obs = hub.clone();
+        self.c_frames_applied = frames_applied;
+        self.c_frames_pending = frames_pending;
+        self.c_commands_sent = commands_sent;
+    }
+
     /// Arms the breaker-cycle generator.
     pub fn set_cycle(&mut self, cycle: CycleConfig) {
         self.cycle_state = vec![true; cycle.scenario.topology().breaker_count()];
@@ -108,29 +146,50 @@ impl HmiHost {
 
     fn flush_sends(ctx: &mut Context<'_>, sends: Vec<(IpAddr, Bytes)>) {
         for (addr, bytes) in sends {
-            let pkt = Packet::udp(ctx.ip(0), addr, EXTERNAL_SPINES_PORT, EXTERNAL_SPINES_PORT, bytes);
+            let pkt = Packet::udp(
+                ctx.ip(0),
+                addr,
+                EXTERNAL_SPINES_PORT,
+                EXTERNAL_SPINES_PORT,
+                bytes,
+            );
             ctx.send(0, pkt);
         }
     }
 
     /// Issues one supervisory command (operator action or cycle step).
-    pub fn issue_command(&mut self, ctx: &mut Context<'_>, scenario: &str, breaker: u16, close: bool) {
+    pub fn issue_command(
+        &mut self,
+        ctx: &mut Context<'_>,
+        scenario: &str,
+        breaker: u16,
+        close: bool,
+    ) {
         let scada_update = ScadaUpdate::HmiCommand {
             scenario: scenario.to_string(),
             breaker,
             close,
         };
         self.client_seq += 1;
-        let update = Update::new(self.client, self.client_seq, Bytes::from(scada_update.to_wire().to_vec()));
+        let update = Update::new(
+            self.client,
+            self.client_seq,
+            Bytes::from(scada_update.to_wire().to_vec()),
+        );
         let sig = self.key.sign(&update.to_wire());
         let msg = ExternalMsg::ClientUpdate(SignedUpdate { update, sig });
-        let sends = self.external.multicast(GROUP_MASTERS, 1, Bytes::from(msg.to_wire().to_vec()));
+        let sends = self
+            .external
+            .multicast(GROUP_MASTERS, 1, Bytes::from(msg.to_wire().to_vec()));
         Self::flush_sends(ctx, sends);
         self.stats.commands_sent += 1;
+        self.c_commands_sent.inc();
     }
 
     fn cycle_step(&mut self, ctx: &mut Context<'_>) {
-        let Some(cycle) = self.cycle.clone() else { return };
+        let Some(cycle) = self.cycle.clone() else {
+            return;
+        };
         if cycle.max_flips > 0 && self.stats.commands_sent >= cycle.max_flips {
             return;
         }
@@ -145,17 +204,43 @@ impl HmiHost {
 
     fn drain_deliveries(&mut self, ctx: &mut Context<'_>) {
         for delivery in self.external.take_deliveries() {
-            let Ok(msg) = ExternalMsg::from_wire(&delivery.payload) else { continue };
-            let ExternalMsg::HmiFrame { replica, scenario, positions, currents, exec_seq } = msg
+            let Ok(msg) = ExternalMsg::from_wire(&delivery.payload) else {
+                continue;
+            };
+            let ExternalMsg::HmiFrame {
+                replica,
+                scenario,
+                positions,
+                currents,
+                exec_seq,
+            } = msg
             else {
                 continue;
             };
-            let key = (scenario.clone(), positions.clone(), currents.clone(), exec_seq);
+            let key = (
+                scenario.clone(),
+                positions.clone(),
+                currents.clone(),
+                exec_seq,
+            );
             if self.votes.vote(key, replica) {
                 self.stats.frames_applied += 1;
-                self.hmi.apply(HmiUpdate { scenario, positions, currents }, ctx.now());
+                self.c_frames_applied.inc();
+                self.obs.journal(obs::Event::FrameEmit {
+                    hmi: self.index,
+                    seq: exec_seq,
+                });
+                self.hmi.apply(
+                    HmiUpdate {
+                        scenario,
+                        positions,
+                        currents,
+                    },
+                    ctx.now(),
+                );
             } else {
                 self.stats.frames_pending += 1;
+                self.c_frames_pending.inc();
             }
         }
     }

@@ -49,8 +49,7 @@ pub struct LatencySummary {
 ///
 /// Panics if no sample completed (nothing to summarize).
 pub fn summarize(samples: &[Sample]) -> LatencySummary {
-    let mut reactions: Vec<SimDuration> =
-        samples.iter().filter_map(|s| s.reaction()).collect();
+    let mut reactions: Vec<SimDuration> = samples.iter().filter_map(|s| s.reaction()).collect();
     assert!(!reactions.is_empty(), "no completed samples to summarize");
     reactions.sort_unstable();
     let sum: u64 = reactions.iter().map(|d| d.as_micros()).sum();
@@ -94,7 +93,16 @@ pub fn measure_spire(
             .get(seen_transitions..)
             .and_then(|new| new.iter().find(|&&(_, white)| white == state))
             .map(|&(t, _)| t);
-        samples.push(Sample { flipped_at, displayed_at });
+        let sample = Sample {
+            flipped_at,
+            displayed_at,
+        };
+        if let Some(reaction) = sample.reaction() {
+            d.obs
+                .histogram("e5.spire.reaction_us")
+                .record(reaction.as_micros());
+        }
+        samples.push(sample);
     }
     samples
 }
@@ -106,10 +114,22 @@ mod tests {
     #[test]
     fn summarize_computes_distribution() {
         let samples = vec![
-            Sample { flipped_at: SimTime(0), displayed_at: Some(SimTime(100_000)) },
-            Sample { flipped_at: SimTime(1_000_000), displayed_at: Some(SimTime(1_300_000)) },
-            Sample { flipped_at: SimTime(2_000_000), displayed_at: Some(SimTime(2_200_000)) },
-            Sample { flipped_at: SimTime(3_000_000), displayed_at: None },
+            Sample {
+                flipped_at: SimTime(0),
+                displayed_at: Some(SimTime(100_000)),
+            },
+            Sample {
+                flipped_at: SimTime(1_000_000),
+                displayed_at: Some(SimTime(1_300_000)),
+            },
+            Sample {
+                flipped_at: SimTime(2_000_000),
+                displayed_at: Some(SimTime(2_200_000)),
+            },
+            Sample {
+                flipped_at: SimTime(3_000_000),
+                displayed_at: None,
+            },
         ];
         let s = summarize(&samples);
         assert_eq!(s.samples, 4);
@@ -123,7 +143,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "no completed samples")]
     fn summarize_empty_panics() {
-        let samples = vec![Sample { flipped_at: SimTime(0), displayed_at: None }];
+        let samples = vec![Sample {
+            flipped_at: SimTime(0),
+            displayed_at: None,
+        }];
         let _ = summarize(&samples);
     }
 }

@@ -47,12 +47,24 @@ impl Wire for ExternalMsg {
                 w.put_u8(0);
                 u.encode(w);
             }
-            ExternalMsg::PlcCommand { replica, scenario, breaker, close, exec_seq } => {
+            ExternalMsg::PlcCommand {
+                replica,
+                scenario,
+                breaker,
+                close,
+                exec_seq,
+            } => {
                 w.put_u8(1).put_u32(*replica);
                 w.put_bytes(scenario.as_bytes());
                 w.put_u16(*breaker).put_bool(*close).put_u64(*exec_seq);
             }
-            ExternalMsg::HmiFrame { replica, scenario, positions, currents, exec_seq } => {
+            ExternalMsg::HmiFrame {
+                replica,
+                scenario,
+                positions,
+                currents,
+                exec_seq,
+            } => {
                 w.put_u8(2).put_u32(*replica);
                 w.put_bytes(scenario.as_bytes());
                 w.put_u32(positions.len() as u32);
@@ -95,7 +107,13 @@ impl Wire for ExternalMsg {
                 }
                 let currents = (0..nc).map(|_| r.get_u16()).collect::<Result<_, _>>()?;
                 let exec_seq = r.get_u64()?;
-                ExternalMsg::HmiFrame { replica, scenario, positions, currents, exec_seq }
+                ExternalMsg::HmiFrame {
+                    replica,
+                    scenario,
+                    positions,
+                    currents,
+                    exec_seq,
+                }
             }
             _ => return Err(DecodeError::new("external message tag")),
         })

@@ -77,12 +77,25 @@ pub struct PlcProxy {
     votes: crate::vote::VoteCollector<(String, u16, bool, u64)>,
     /// Counters.
     pub stats: ProxyStats,
+    c_updates_sent: obs::Counter,
+    c_commands_actuated: obs::Counter,
+}
+
+fn proxy_counters(hub: &obs::ObsHub, index: u32) -> [obs::Counter; 2] {
+    [
+        hub.counter(&format!("proxy.{index}.updates_sent")),
+        hub.counter(&format!("proxy.{index}.commands_actuated")),
+    ]
 }
 
 impl PlcProxy {
     /// Creates proxy `index` for its configured scenario.
     pub fn new(cfg: SpireConfig, index: u32) -> Self {
-        let assignment = cfg.proxies.iter().find(|p| p.index == index).expect("proxy in config");
+        let assignment = cfg
+            .proxies
+            .iter()
+            .find(|p| p.index == index)
+            .expect("proxy in config");
         let scenario = assignment.scenario;
         let breaker_count = scenario.topology().breaker_count() as u16;
         let mut external = SpinesDaemon::new(cfg.ext_daemon_of_proxy(index), cfg.external_spines());
@@ -91,6 +104,8 @@ impl PlcProxy {
         let client = cfg.client_of_proxy(index);
         let plc_addr = cfg.plc_cable_ip(index);
         let f = cfg.prime.f;
+        let hub = obs::ObsHub::new();
+        let [updates_sent, commands_actuated] = proxy_counters(&hub, index);
         PlcProxy {
             cfg,
             index,
@@ -112,7 +127,21 @@ impl PlcProxy {
             polls_since_update: 0,
             votes: crate::vote::VoteCollector::new(f + 1),
             stats: ProxyStats::default(),
+            c_updates_sent: updates_sent,
+            c_commands_actuated: commands_actuated,
         }
+    }
+
+    /// Joins the shared deployment hub, carrying over any counts
+    /// accumulated while detached.
+    pub fn attach_obs(&mut self, hub: &obs::ObsHub) {
+        let [updates_sent, commands_actuated] = proxy_counters(hub, self.index);
+        updates_sent.add(self.c_updates_sent.get());
+        commands_actuated.add(self.c_commands_actuated.get());
+        self.external
+            .attach_obs(hub, &format!("spines.ext.proxy{}", self.index));
+        self.c_updates_sent = updates_sent;
+        self.c_commands_actuated = commands_actuated;
     }
 
     /// The proxied scenario.
@@ -150,7 +179,13 @@ impl PlcProxy {
 
     fn flush_sends(ctx: &mut Context<'_>, sends: Vec<(IpAddr, Bytes)>) {
         for (addr, bytes) in sends {
-            let pkt = Packet::udp(ctx.ip(0), addr, EXTERNAL_SPINES_PORT, EXTERNAL_SPINES_PORT, bytes);
+            let pkt = Packet::udp(
+                ctx.ip(0),
+                addr,
+                EXTERNAL_SPINES_PORT,
+                EXTERNAL_SPINES_PORT,
+                bytes,
+            );
             ctx.send(0, pkt);
         }
     }
@@ -174,7 +209,11 @@ impl PlcProxy {
             currents: self.currents.clone(),
         };
         self.client_seq += 1;
-        let update = Update::new(self.client, self.client_seq, Bytes::from(scada_update.to_wire().to_vec()));
+        let update = Update::new(
+            self.client,
+            self.client_seq,
+            Bytes::from(scada_update.to_wire().to_vec()),
+        );
         let sig = self.key.sign(&update.to_wire());
         let msg = ExternalMsg::ClientUpdate(SignedUpdate { update, sig });
         let sends = self.external.multicast(
@@ -184,12 +223,21 @@ impl PlcProxy {
         );
         Self::flush_sends(ctx, sends);
         self.stats.updates_sent += 1;
+        self.c_updates_sent.inc();
     }
 
     fn drain_deliveries(&mut self, ctx: &mut Context<'_>) {
         for delivery in self.external.take_deliveries() {
-            let Ok(msg) = ExternalMsg::from_wire(&delivery.payload) else { continue };
-            let ExternalMsg::PlcCommand { replica, scenario, breaker, close, exec_seq } = msg
+            let Ok(msg) = ExternalMsg::from_wire(&delivery.payload) else {
+                continue;
+            };
+            let ExternalMsg::PlcCommand {
+                replica,
+                scenario,
+                breaker,
+                close,
+                exec_seq,
+            } = msg
             else {
                 continue;
             };
@@ -199,7 +247,14 @@ impl PlcProxy {
             let key = (scenario, breaker, close, exec_seq);
             if self.votes.vote(key, replica) {
                 self.stats.commands_actuated += 1;
-                self.send_modbus(ctx, Request::WriteSingleCoil { address: breaker, value: close });
+                self.c_commands_actuated.inc();
+                self.send_modbus(
+                    ctx,
+                    Request::WriteSingleCoil {
+                        address: breaker,
+                        value: close,
+                    },
+                );
             } else {
                 self.stats.commands_pending += 1;
             }
@@ -212,7 +267,11 @@ impl Process for PlcProxy {
         ctx.listen(EXTERNAL_SPINES_PORT);
         ctx.listen(PROXY_MODBUS_PORT);
         ctx.set_timer(self.poll_interval, POLL_TIMER);
-        ctx.log(format!("plc-proxy {} online ({})", self.index, self.scenario.tag()));
+        ctx.log(format!(
+            "plc-proxy {} online ({})",
+            self.index,
+            self.scenario.tag()
+        ));
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, timer: u64) {
@@ -221,7 +280,13 @@ impl Process for PlcProxy {
         }
         // Start a poll round: positions first, currents on reply.
         self.outstanding = Some(Outstanding::Positions);
-        self.send_modbus(ctx, Request::ReadDiscreteInputs { address: 0, count: self.breaker_count });
+        self.send_modbus(
+            ctx,
+            Request::ReadDiscreteInputs {
+                address: 0,
+                count: self.breaker_count,
+            },
+        );
         ctx.set_timer(self.poll_interval, POLL_TIMER);
     }
 
@@ -235,21 +300,32 @@ impl Process for PlcProxy {
         if pkt.dst_port != PROXY_MODBUS_PORT || pkt.src_ip != self.plc_addr {
             return;
         }
-        let Some(frame) = TcpFrame::decode(&pkt.payload) else { return };
+        let Some(frame) = TcpFrame::decode(&pkt.payload) else {
+            return;
+        };
         match self.outstanding {
             Some(Outstanding::Positions) => {
-                let req = Request::ReadDiscreteInputs { address: 0, count: self.breaker_count };
+                let req = Request::ReadDiscreteInputs {
+                    address: 0,
+                    count: self.breaker_count,
+                };
                 if let Some(Response::Bits { values, .. }) = Response::decode(&frame.pdu, &req) {
                     self.positions = values;
                     self.outstanding = Some(Outstanding::Currents);
                     self.send_modbus(
                         ctx,
-                        Request::ReadInputRegisters { address: 0, count: self.breaker_count },
+                        Request::ReadInputRegisters {
+                            address: 0,
+                            count: self.breaker_count,
+                        },
                     );
                 }
             }
             Some(Outstanding::Currents) => {
-                let req = Request::ReadInputRegisters { address: 0, count: self.breaker_count };
+                let req = Request::ReadInputRegisters {
+                    address: 0,
+                    count: self.breaker_count,
+                };
                 if let Some(Response::Registers { values, .. }) = Response::decode(&frame.pdu, &req)
                 {
                     self.currents = values;

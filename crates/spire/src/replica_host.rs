@@ -16,7 +16,9 @@ use simnet::wire::Wire;
 use spines::daemon::SpinesDaemon;
 use spines::message::Destination;
 
-use crate::config::{SpireConfig, EXTERNAL_SPINES_PORT, GROUP_MASTERS, GROUP_PRIME, INTERNAL_SPINES_PORT};
+use crate::config::{
+    SpireConfig, EXTERNAL_SPINES_PORT, GROUP_MASTERS, GROUP_PRIME, INTERNAL_SPINES_PORT,
+};
 use crate::messages::ExternalMsg;
 
 const TICK_TIMER: u64 = 1;
@@ -53,6 +55,8 @@ pub struct ReplicaHost {
     pub pending_recovery: bool,
     /// Counters.
     pub stats: HostStats,
+    /// Observability hub (detached until [`ReplicaHost::attach_obs`]).
+    obs: obs::ObsHub,
 }
 
 impl ReplicaHost {
@@ -77,7 +81,19 @@ impl ReplicaHost {
             replica,
             pending_recovery: false,
             stats: HostStats::default(),
+            obs: obs::ObsHub::new(),
         }
+    }
+
+    /// Joins the shared deployment hub: the Prime replica and both Spines
+    /// daemons re-register their metrics under deployment-wide names.
+    pub fn attach_obs(&mut self, hub: &obs::ObsHub) {
+        self.replica.attach_obs(hub);
+        self.internal
+            .attach_obs(hub, &format!("spines.int.r{}", self.id));
+        self.external
+            .attach_obs(hub, &format!("spines.ext.r{}", self.id));
+        self.obs = hub.clone();
     }
 
     /// This replica's id.
@@ -109,12 +125,17 @@ impl ReplicaHost {
         for event in events {
             match event {
                 OutEvent::Broadcast(msg) => {
-                    let sends =
-                        self.internal.multicast(GROUP_PRIME, 1, Bytes::from(msg.to_wire().to_vec()));
+                    let sends = self.internal.multicast(
+                        GROUP_PRIME,
+                        1,
+                        Bytes::from(msg.to_wire().to_vec()),
+                    );
                     Self::flush_sends(ctx, 0, INTERNAL_SPINES_PORT, sends);
                 }
                 OutEvent::Send(to, msg) => {
-                    let sends = self.internal.unicast(to.0, 1, Bytes::from(msg.to_wire().to_vec()));
+                    let sends = self
+                        .internal
+                        .unicast(to.0, 1, Bytes::from(msg.to_wire().to_vec()));
                     Self::flush_sends(ctx, 0, INTERNAL_SPINES_PORT, sends);
                 }
                 OutEvent::Execute { .. } => {
@@ -125,10 +146,15 @@ impl ReplicaHost {
                     ctx.log(format!("replica {} moved to view {view}", self.id));
                 }
                 OutEvent::StateTransferRequested => {
-                    ctx.log(format!("replica {} requested app-level state transfer", self.id));
+                    ctx.log(format!(
+                        "replica {} requested app-level state transfer",
+                        self.id
+                    ));
                 }
                 OutEvent::StateTransferInstalled { exec_seq } => {
                     self.stats.state_transfers += 1;
+                    self.obs
+                        .journal(obs::Event::RecoveryEnd { replica: self.id });
                     ctx.log(format!(
                         "replica {} installed app state at exec {exec_seq}",
                         self.id
@@ -141,7 +167,12 @@ impl ReplicaHost {
         let actions = self.replica.app_mut().take_actions();
         for action in actions {
             match action {
-                MasterAction::PlcCommand { scenario, breaker, close, exec_seq } => {
+                MasterAction::PlcCommand {
+                    scenario,
+                    breaker,
+                    close,
+                    exec_seq,
+                } => {
                     self.stats.plc_commands_sent += 1;
                     let Some(proxy) = self
                         .cfg
@@ -161,10 +192,16 @@ impl ReplicaHost {
                     };
                     let group = self.cfg.proxy_group(proxy);
                     let sends =
-                        self.external.multicast(group, 1, Bytes::from(msg.to_wire().to_vec()));
+                        self.external
+                            .multicast(group, 1, Bytes::from(msg.to_wire().to_vec()));
                     Self::flush_sends(ctx, 1, EXTERNAL_SPINES_PORT, sends);
                 }
-                MasterAction::HmiFrame { scenario, positions, currents, exec_seq } => {
+                MasterAction::HmiFrame {
+                    scenario,
+                    positions,
+                    currents,
+                    exec_seq,
+                } => {
                     self.stats.hmi_frames_sent += 1;
                     for h in 0..self.cfg.hmis {
                         let msg = ExternalMsg::HmiFrame {
@@ -176,7 +213,8 @@ impl ReplicaHost {
                         };
                         let group = self.cfg.hmi_group(h);
                         let sends =
-                            self.external.multicast(group, 1, Bytes::from(msg.to_wire().to_vec()));
+                            self.external
+                                .multicast(group, 1, Bytes::from(msg.to_wire().to_vec()));
                         Self::flush_sends(ctx, 1, EXTERNAL_SPINES_PORT, sends);
                     }
                 }

@@ -22,7 +22,12 @@ pub struct VoteCollector<K: Ord + Clone> {
 impl<K: Ord + Clone> VoteCollector<K> {
     /// Creates a collector requiring `threshold` distinct voters.
     pub fn new(threshold: u32) -> Self {
-        VoteCollector { threshold, votes: BTreeMap::new(), fired: BTreeSet::new(), decisions: 0 }
+        VoteCollector {
+            threshold,
+            votes: BTreeMap::new(),
+            fired: BTreeSet::new(),
+            decisions: 0,
+        }
     }
 
     /// Records a vote from `voter` for `key`. Returns `true` exactly once
@@ -83,7 +88,10 @@ mod tests {
         // with honest votes.
         let mut v = VoteCollector::new(2);
         assert!(!v.vote(("open", 1u64), 0));
-        assert!(!v.vote(("close", 1u64), 1), "conflicting content, no quorum");
+        assert!(
+            !v.vote(("close", 1u64), 1),
+            "conflicting content, no quorum"
+        );
         assert!(v.vote(("open", 1u64), 2));
         assert_eq!(v.pending(), 1, "the lying vote is still parked");
     }

@@ -26,6 +26,12 @@ fn main() {
     );
     println!();
     println!("the historian is the contrast case (§III-A):");
-    println!("  records lost in the breach:      {}", run.historian_records_lost);
-    println!("  records recoverable from field:  {} (the present snapshot only)", run.historian_records_recovered);
+    println!(
+        "  records lost in the breach:      {}",
+        run.historian_records_lost
+    );
+    println!(
+        "  records recoverable from field:  {} (the present snapshot only)",
+        run.historian_records_recovered
+    );
 }

@@ -15,11 +15,23 @@ fn main() {
         run.days, run.seconds_per_day
     );
     println!("proactive recoveries completed: {}", run.recoveries);
-    println!("minimum updates executed across replicas: {}", run.min_executed);
-    println!("display frames across the 3 HMI locations: {}", run.hmi_frames);
+    println!(
+        "minimum updates executed across replicas: {}",
+        run.min_executed
+    );
+    println!(
+        "display frames across the 3 HMI locations: {}",
+        run.hmi_frames
+    );
     println!("view changes (leader replacements): {}", run.view_changes);
-    println!("longest gap between display updates: {}", run.longest_display_gap);
-    println!("replica state digests consistent: {}\n", run.replicas_consistent);
+    println!(
+        "longest gap between display updates: {}",
+        run.longest_display_gap
+    );
+    println!(
+        "replica state digests consistent: {}\n",
+        run.replicas_consistent
+    );
 
     println!("== The measurement device: breaker flip → HMI update ==\n");
     let reaction = e5_reaction_time(2018, 10);

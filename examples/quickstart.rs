@@ -16,7 +16,11 @@ fn main() {
     // distribution topology; the automatic breaker-flip cycle from the
     // red-team exercise.
     let cfg = SpireConfig::minimal(PrimeConfig::red_team(), Scenario::RedTeamDistribution)
-        .with_cycle(Scenario::RedTeamDistribution, SimDuration::from_millis(500), 6);
+        .with_cycle(
+            Scenario::RedTeamDistribution,
+            SimDuration::from_millis(500),
+            6,
+        );
     let mut deployment = Deployment::build(cfg, HardeningProfile::deployed(), 42);
 
     println!("running 10 simulated seconds of SCADA operation...\n");

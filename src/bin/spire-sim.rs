@@ -18,44 +18,65 @@
 //!   e9             diversity/recovery race
 //!   e10            hardening ablation matrix
 //!   all            everything above, in order
+//!
+//! flags:
+//!   --seed N       simulation seed (default 42)
+//!   --days N       e4 compressed days (default 6)
+//!   --metrics      print the metrics registry + journal digest after
+//!                  e4/e5 (see EXPERIMENTS.md, "Observability")
+//!   --trace        echo journal records live as the simulation runs
 //! ```
 
 use std::process::ExitCode;
 
 use bench::figures::{fig1_conventional, fig2_spire, fig4_hmi};
 use bench::mana_experiment::{e7_mana_detection, e7_roc, render_mana, render_roc};
-use bench::plant_experiments::{e4_plant_deployment, e5_reaction_time, render_reaction};
+use bench::plant_experiments::{e4_plant_deployment_traced, e5_reaction_time, render_reaction};
 use bench::recovery_experiments::{
     e6_ground_truth, e8_recovery_ablation, e9_diversity_ablation, render_diversity,
 };
 use bench::redteam_experiments::{
-    e10_hardening_ablation, e1_commercial_attacks, e2_spire_network_attacks,
-    e3_replica_excursion, render_ablation,
+    e10_hardening_ablation, e1_commercial_attacks, e2_spire_network_attacks, e3_replica_excursion,
+    render_ablation,
 };
 
 struct Options {
     seed: u64,
     days: u64,
+    metrics: bool,
+    trace: bool,
 }
 
-fn parse_flags(args: &[String]) -> Options {
-    let mut opts = Options { seed: 42, days: 6 };
+fn parse_flags(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        seed: 42,
+        days: 6,
+        metrics: false,
+        trace: false,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--seed" if i + 1 < args.len() => {
-                opts.seed = args[i + 1].parse().unwrap_or(42);
+            flag @ ("--seed" | "--days") => {
                 i += 1;
+                let value = args
+                    .get(i)
+                    .ok_or_else(|| format!("{flag} requires a value"))?;
+                let parsed = value
+                    .parse()
+                    .map_err(|_| format!("{flag}: not a number: {value}"))?;
+                match flag {
+                    "--seed" => opts.seed = parsed,
+                    _ => opts.days = parsed,
+                }
             }
-            "--days" if i + 1 < args.len() => {
-                opts.days = args[i + 1].parse().unwrap_or(6);
-                i += 1;
-            }
-            _ => {}
+            "--metrics" => opts.metrics = true,
+            "--trace" => opts.trace = true,
+            other => return Err(format!("unknown flag: {other}")),
         }
         i += 1;
     }
-    opts
+    Ok(opts)
 }
 
 fn run(command: &str, opts: &Options) -> bool {
@@ -85,10 +106,31 @@ fn run(command: &str, opts: &Options) -> bool {
             println!("spire survived: {}", r.spire_survived());
         }
         "e4" => {
-            let r = e4_plant_deployment(opts.seed, opts.days, 30);
-            println!("{r:#?}");
+            let r = e4_plant_deployment_traced(opts.seed, opts.days, 30, opts.trace);
+            println!(
+                "days: {} ({} s/day)   recoveries: {}   min executed: {}\n\
+                 hmi frames: {}   view changes: {}   longest display gap: {}\n\
+                 replicas consistent: {}",
+                r.days,
+                r.seconds_per_day,
+                r.recoveries,
+                r.min_executed,
+                r.hmi_frames,
+                r.view_changes,
+                r.longest_display_gap,
+                r.replicas_consistent,
+            );
+            if opts.metrics {
+                println!("\n{}", r.obs.render());
+            }
         }
-        "e5" => println!("{}", render_reaction(&e5_reaction_time(opts.seed, 10))),
+        "e5" => {
+            let r = e5_reaction_time(opts.seed, 10);
+            println!("{}", render_reaction(&r));
+            if opts.metrics {
+                println!("{}", r.obs.render());
+            }
+        }
         "e6" => println!("{:#?}", e6_ground_truth(opts.seed)),
         "e7" => println!("{}", render_mana(&e7_mana_detection(opts.seed))),
         "e7b" => println!("{}", render_roc(&e7_roc(opts.seed))),
@@ -100,10 +142,15 @@ fn run(command: &str, opts: &Options) -> bool {
                 );
             }
         }
-        "e9" => println!("{}", render_diversity(&e9_diversity_ablation(opts.seed, 20))),
+        "e9" => println!(
+            "{}",
+            render_diversity(&e9_diversity_ablation(opts.seed, 20))
+        ),
         "e10" => println!("{}", render_ablation(&e10_hardening_ablation(opts.seed))),
         "all" => {
-            for c in ["figures", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10"] {
+            for c in [
+                "figures", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10",
+            ] {
                 println!("\n===== {c} =====\n");
                 run(c, opts);
             }
@@ -116,10 +163,21 @@ fn run(command: &str, opts: &Options) -> bool {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: spire-sim <figures|e1..e10|e7b|all> [--seed N] [--days N]");
+        eprintln!(
+            "usage: spire-sim <figures|e1..e10|e7b|all> [--seed N] [--days N] [--metrics] [--trace]"
+        );
         return ExitCode::FAILURE;
     };
-    let opts = parse_flags(&args[1..]);
+    let opts = match parse_flags(&args[1..]) {
+        Ok(opts) => opts,
+        Err(err) => {
+            eprintln!("{err}");
+            eprintln!(
+                "usage: spire-sim <figures|e1..e10|e7b|all> [--seed N] [--days N] [--metrics] [--trace]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
     if run(command, &opts) {
         ExitCode::SUCCESS
     } else {

@@ -39,12 +39,10 @@ fn chaos_run(seed: u64) {
                 c.submit(client, format!("chaos{submitted}=v"));
             }
             // Crash one replica (the single tolerated intrusion).
-            6 => {
-                if crashed.is_none() {
-                    let victim = rng.gen_range(0..6u32);
-                    c.replicas[victim as usize].byz = ByzMode::Crashed;
-                    crashed = Some(victim);
-                }
+            6 if crashed.is_none() => {
+                let victim = rng.gen_range(0..6u32);
+                c.replicas[victim as usize].byz = ByzMode::Crashed;
+                crashed = Some(victim);
             }
             // Heal the crash (attacker evicted / machine replaced).
             7 => {

@@ -6,6 +6,7 @@ use itcrypto::merkle::MerkleTree;
 use itcrypto::sha256::{sha256, Sha256};
 use itcrypto::stream::{open, seal};
 use modbus::crc::{check_and_strip, crc16};
+use modbus::dnp3::{AppRequest, AppResponse, LinkControl, LinkFrame};
 use modbus::{Request, Response};
 use plc::logic::LogicConfig;
 use plc::topology::fig4_topology;
@@ -117,6 +118,100 @@ proptest! {
         prop_assert_eq!(Update::from_wire(&u.to_wire()).expect("roundtrip"), u);
     }
 
+    // ---- DNP3 ----
+
+    #[test]
+    fn dnp3_link_frame_roundtrip(
+        is_request in any::<bool>(),
+        destination in any::<u16>(),
+        source in any::<u16>(),
+        body in proptest::collection::vec(any::<u8>(), 0..251),
+    ) {
+        let frame = LinkFrame {
+            control: if is_request { LinkControl::Request } else { LinkControl::Response },
+            destination,
+            source,
+            body,
+        };
+        prop_assert_eq!(LinkFrame::decode(&frame.encode()).expect("roundtrip"), frame);
+    }
+
+    #[test]
+    fn dnp3_link_frame_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = LinkFrame::decode(&data);
+    }
+
+    #[test]
+    fn dnp3_app_request_roundtrip(poll in any::<bool>(), index in any::<u16>(), trip in any::<bool>()) {
+        let req = if poll {
+            AppRequest::IntegrityPoll
+        } else {
+            AppRequest::DirectOperate { index, trip }
+        };
+        prop_assert_eq!(AppRequest::decode(&req.encode()).expect("roundtrip"), req);
+    }
+
+    #[test]
+    fn dnp3_app_response_roundtrip(
+        static_data in any::<bool>(),
+        points in proptest::collection::vec(any::<bool>(), 0..100),
+        index in any::<u16>(),
+        success in any::<bool>(),
+    ) {
+        let resp = if static_data {
+            AppResponse::StaticData { points }
+        } else {
+            AppResponse::OperateAck { index, success }
+        };
+        prop_assert_eq!(AppResponse::decode(&resp.encode()).expect("roundtrip"), resp);
+    }
+
+    // ---- obs histograms ----
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_counts_conserved(
+        values in proptest::collection::vec(0u64..10_000_000, 1..300),
+    ) {
+        let hub = obs::ObsHub::new();
+        let h = hub.histogram("prop.test");
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.summary();
+        prop_assert_eq!(s.count, values.len() as u64, "every sample counted");
+        prop_assert!(s.min <= s.p50, "min <= p50 ({} <= {})", s.min, s.p50);
+        prop_assert!(s.p50 <= s.p99, "p50 <= p99 ({} <= {})", s.p50, s.p99);
+        prop_assert!(s.p99 <= s.max, "p99 <= max ({} <= {})", s.p99, s.max);
+        let lo = *values.iter().min().expect("nonempty");
+        let hi = *values.iter().max().expect("nonempty");
+        prop_assert_eq!(s.min, lo, "min is exact");
+        prop_assert_eq!(s.max, hi, "max is exact");
+        prop_assert!(s.mean >= lo && s.mean <= hi, "mean within sample range");
+        // Quantiles are monotone in q and clamped to the sample range.
+        let mut prev = 0u64;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!(v >= prev, "quantile monotone at q={q}");
+            prop_assert!(v >= lo && v <= hi, "quantile clamped at q={q}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn histogram_relative_error_bounded(value in 1u64..1_000_000_000) {
+        // Log-linear buckets with 16 sub-buckets per power of two keep the
+        // upper-edge estimate within ~6.25% of the true value. A far-out
+        // second sample keeps the clamp-to-max from hiding the bucket edge.
+        let hub = obs::ObsHub::new();
+        let h = hub.histogram("prop.err");
+        h.record(value);
+        h.record(value.saturating_mul(1_000));
+        let est = h.quantile(0.5);
+        prop_assert!(est >= value, "upper edge never under-reports");
+        let err = (est - value) as f64 / value as f64;
+        prop_assert!(err <= 0.0625 + 1e-9, "relative error {err} at {value}");
+    }
+
     // ---- CRC ----
 
     #[test]
@@ -214,9 +309,9 @@ proptest! {
         let n = c.n();
         let q = c.ordering_quorum();
         // Any two quorums intersect in at least f+1 replicas → ≥1 correct.
-        prop_assert!(2 * q >= n + f + 1, "quorum intersection must beat f (n={n}, q={q})");
+        prop_assert!(2 * q > n + f, "quorum intersection must beat f (n={n}, q={q})");
         // Coverage threshold guarantees at least one correct, non-recovering row.
-        prop_assert!(c.coverage_threshold() >= f + k + 1);
+        prop_assert!(c.coverage_threshold() > f + k);
         // Liveness: a quorum must survive f byzantine + k recovering.
         prop_assert!(n - f - k >= q, "quorum reachable with f+k unavailable");
     }

@@ -28,7 +28,11 @@ fn fast_timing() -> Timing {
 
 fn cycling_deployment(seed: u64) -> Deployment {
     let cfg = SpireConfig::minimal(PrimeConfig::red_team(), Scenario::RedTeamDistribution)
-        .with_cycle(Scenario::RedTeamDistribution, SimDuration::from_millis(400), 0);
+        .with_cycle(
+            Scenario::RedTeamDistribution,
+            SimDuration::from_millis(400),
+            0,
+        );
     let mut d = Deployment::build(cfg, HardeningProfile::deployed(), seed);
     for i in 0..4 {
         d.replica_mut(i).set_timing(fast_timing());
@@ -42,6 +46,13 @@ fn leader_crash_in_full_deployment_triggers_view_change_and_service_continues() 
     d.run_for(SimDuration::from_secs(3));
     let frames_before = d.hmi(0).stats.frames_applied;
     assert!(frames_before > 0);
+    // A healthy leader means no view changes so far.
+    assert_eq!(
+        d.obs
+            .journal_count(|e| matches!(e, obs::Event::ViewChange { .. })),
+        0,
+        "no view changes before the fault"
+    );
 
     // Replica 0 leads view 0; kill its whole node (host + daemons).
     d.take_replica_down(0);
@@ -49,10 +60,66 @@ fn leader_crash_in_full_deployment_triggers_view_change_and_service_continues() 
 
     // The remaining replicas suspected the silent leader and moved on.
     for i in 1..4 {
-        assert!(d.replica(i).replica.view() >= 1, "replica {i} still in view 0");
+        assert!(
+            d.replica(i).replica.view() >= 1,
+            "replica {i} still in view 0"
+        );
     }
+    // Every surviving replica journaled its view installation.
+    let view_changes = d
+        .obs
+        .journal_count(|e| matches!(e, obs::Event::ViewChange { .. }));
+    assert!(
+        view_changes >= 3,
+        "3 surviving replicas journal view changes, got {view_changes}"
+    );
+    for i in 1..4 {
+        assert!(
+            d.obs.journal_count(
+                |e| matches!(e, obs::Event::ViewChange { replica, .. } if *replica == i)
+            ) >= 1,
+            "replica {i} journaled its view change"
+        );
+    }
+    // The crash itself was journaled as a recovery start.
+    assert_eq!(
+        d.obs
+            .journal_count(|e| matches!(e, obs::Event::RecoveryStart { replica: 0 })),
+        1
+    );
     let frames_after = d.hmi(0).stats.frames_applied;
-    assert!(frames_after > frames_before, "display updates resumed after the view change");
+    assert!(
+        frames_after > frames_before,
+        "display updates resumed after the view change"
+    );
+}
+
+#[test]
+fn fault_free_run_journals_no_view_changes() {
+    let mut d = cycling_deployment(7005);
+    d.run_for(SimDuration::from_secs(8));
+    assert!(d.hmi(0).stats.frames_applied > 0, "service live");
+    assert_eq!(
+        d.obs
+            .journal_count(|e| matches!(e, obs::Event::ViewChange { .. })),
+        0,
+        "a stable leader never causes view changes"
+    );
+    assert_eq!(
+        d.obs.journal_count(|e| matches!(
+            e,
+            obs::Event::RecoveryStart { .. } | obs::Event::RecoveryEnd { .. }
+        )),
+        0,
+        "no recoveries scheduled in a plain run"
+    );
+    // But the journal is not empty: vote-gated frame emissions are there.
+    assert!(
+        d.obs
+            .journal_count(|e| matches!(e, obs::Event::FrameEmit { .. }))
+            > 0,
+        "frame emissions journaled"
+    );
 }
 
 #[test]
@@ -62,7 +129,11 @@ fn vote_gating_survives_interception_of_one_replica() {
     // still act correctly on the remaining replicas' matching messages.
     let profile = HardeningProfile::without("static_arp");
     let cfg = SpireConfig::minimal(PrimeConfig::red_team(), Scenario::RedTeamDistribution)
-        .with_cycle(Scenario::RedTeamDistribution, SimDuration::from_millis(400), 0);
+        .with_cycle(
+            Scenario::RedTeamDistribution,
+            SimDuration::from_millis(400),
+            0,
+        );
     let mut d = Deployment::build(cfg, profile, 7002);
     for i in 0..4 {
         d.replica_mut(i).set_timing(fast_timing());
@@ -91,12 +162,22 @@ fn vote_gating_survives_interception_of_one_replica() {
     let node = d.attach_external_attacker(spec);
     d.run_for(SimDuration::from_secs(5));
 
-    let obs = &d.sim.process_ref::<Attacker>(node).expect("attacker").observed;
-    assert!(obs.intercepted > 0, "attacker really did steal replica 0's frames");
+    let obs = &d
+        .sim
+        .process_ref::<Attacker>(node)
+        .expect("attacker")
+        .observed;
+    assert!(
+        obs.intercepted > 0,
+        "attacker really did steal replica 0's frames"
+    );
     // Display still advances and still shows the truth: 3 of 4 replicas
     // supply matching frames, and f+1 = 2 suffice.
     let frames_after = d.hmi(0).stats.frames_applied;
-    assert!(frames_after > frames_before, "vote gating masked the interception");
+    assert!(
+        frames_after > frames_before,
+        "vote gating masked the interception"
+    );
 }
 
 #[test]
@@ -145,7 +226,11 @@ fn simnet_link_loss_counted_and_tolerated() {
                 ctx.set_timer(SimDuration::from_millis(10), 1);
             }
         }
-        fn on_packet(&mut self, _ctx: &mut simnet::process::Context<'_>, pkt: simnet::packet::Packet) {
+        fn on_packet(
+            &mut self,
+            _ctx: &mut simnet::process::Context<'_>,
+            pkt: simnet::packet::Packet,
+        ) {
             if pkt.kind == simnet::packet::TransportKind::Pong {
                 self.pongs += 1;
             }
@@ -158,7 +243,11 @@ fn simnet_link_loss_counted_and_tolerated() {
     let a = sim.add_node(NodeSpec::new(
         "a",
         vec![InterfaceSpec::dynamic(IpAddr::new(10, 0, 0, 1))],
-        Box::new(Pinger { peer: IpAddr::new(10, 0, 0, 2), pongs: 0, sent: 0 }),
+        Box::new(Pinger {
+            peer: IpAddr::new(10, 0, 0, 2),
+            pongs: 0,
+            sent: 0,
+        }),
     ));
     let b = sim.add_node(NodeSpec::new(
         "b",
@@ -166,7 +255,10 @@ fn simnet_link_loss_counted_and_tolerated() {
         Box::new(Silent),
     ));
     let sw = sim.add_switch(2, SwitchMode::Learning);
-    let lossy = LinkSpec { loss: 0.2, ..LinkSpec::lan() };
+    let lossy = LinkSpec {
+        loss: 0.2,
+        ..LinkSpec::lan()
+    };
     sim.connect(a, 0, sw, 0, lossy);
     sim.connect(b, 0, sw, 1, LinkSpec::lan());
     sim.run_for(SimDuration::from_secs(5));
@@ -183,7 +275,10 @@ fn simnet_link_loss_counted_and_tolerated() {
 fn figures_render_expected_content() {
     let f1 = fig1_conventional(61);
     assert!(f1.contains("primary master"));
-    assert!(f1.contains("true"), "commercial HMI shows closed breakers: {f1}");
+    assert!(
+        f1.contains("true"),
+        "commercial HMI shows closed breakers: {f1}"
+    );
 
     let f2 = fig2_spire(62);
     assert!(f2.contains("6 SCADA-master replicas"));
@@ -206,9 +301,15 @@ fn plant_scale_deployment_all_seventeen_plcs() {
     d.run_for(SimDuration::from_secs(4));
     assert_eq!(d.cfg.proxies.len(), 17);
     for p in 0..17 {
-        assert!(d.proxy(p).stats.updates_sent >= 1, "proxy {p} reported status");
+        assert!(
+            d.proxy(p).stats.updates_sent >= 1,
+            "proxy {p} reported status"
+        );
     }
-    assert!(d.min_executed() >= 17, "every scenario's status ordered at least once");
+    assert!(
+        d.min_executed() >= 17,
+        "every scenario's status ordered at least once"
+    );
     // All three HMI locations display.
     for h in 0..3 {
         assert!(d.hmi(h).stats.frames_applied >= 1, "hmi {h} live");
@@ -232,11 +333,18 @@ fn breach_then_system_reset_repopulates_state_from_field() {
     d.system_reset();
     d.run_for(SimDuration::from_secs(8));
     let execs: Vec<u64> = (0..4).map(|i| d.replica(i).replica.exec_seq()).collect();
-    assert!(execs.iter().all(|&e| e > 0), "all replicas executing again: {execs:?}");
+    assert!(
+        execs.iter().all(|&e| e > 0),
+        "all replicas executing again: {execs:?}"
+    );
     // The fresh era's state reflects the field truth (polls repopulated it).
     let plc_positions = d.plc(0).positions();
     let shown = d.hmi(0).hmi.positions("jhu").map(|p| p.to_vec());
-    assert_eq!(shown, Some(plc_positions), "display matches physical ground truth");
+    assert_eq!(
+        shown,
+        Some(plc_positions),
+        "display matches physical ground truth"
+    );
     let _ = survivor_stalled;
     let _ = SimTime::ZERO;
 }

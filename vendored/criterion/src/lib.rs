@@ -1,0 +1,183 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use — benchmark
+//! groups, `Bencher::iter`/`iter_batched`, `criterion_group!` /
+//! `criterion_main!` — backed by a simple wall-clock timer instead of
+//! the real crate's statistical machinery. Each benchmark reports the
+//! best-of-samples mean time per iteration to stdout. Good enough to
+//! keep `cargo bench` working and relative costs visible without
+//! crates.io access.
+
+use std::time::Instant;
+
+const DEFAULT_SAMPLES: usize = 20;
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, DEFAULT_SAMPLES, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing sample configuration.
+pub struct BenchmarkGroup {
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timing samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints the per-iteration cost.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.samples, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            elapsed_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            best_ns = best_ns.min(b.elapsed_ns / b.iters as f64);
+        }
+    }
+    if best_ns.is_finite() {
+        println!("{name:<32} {}", format_ns(best_ns));
+    } else {
+        println!("{name:<32} (no iterations)");
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:10.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:10.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:10.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:10.2}  s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// How batched setup values are amortized. Only a hint here; all
+/// variants behave identically in this stand-in.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    elapsed_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        let once = start.elapsed().as_nanos() as f64;
+        // Scale iteration count so each sample costs roughly a millisecond.
+        let reps = if once > 0.0 {
+            ((1_000_000.0 / once) as u64).clamp(1, 10_000)
+        } else {
+            1_000
+        };
+        std::hint::black_box(out);
+        let start = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos() as f64;
+        self.iters += reps + 1;
+        self.elapsed_ns += once;
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        self.elapsed_ns += start.elapsed().as_nanos() as f64;
+        self.iters += 1;
+    }
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        let mut ran = 0u64;
+        group.bench_function("add", |b| b.iter(|| ran += 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

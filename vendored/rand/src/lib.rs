@@ -1,0 +1,261 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Only the API surface this workspace uses is provided: `StdRng`
+//! seeded via `SeedableRng::seed_from_u64`, and the [`Rng`] methods
+//! `gen`, `gen_range`, and `gen_bool`. The generator is xoshiro256++
+//! seeded through SplitMix64 — deterministic, high-quality, and stable
+//! across platforms, which is all the simulation needs. Streams differ
+//! from the real crate's ChaCha12 `StdRng`; nothing here depends on the
+//! specific stream, only on determinism for a given seed.
+
+use std::ops::Range;
+
+/// A seedable random number generator.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types a generator can produce uniformly at random via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Samples one value from `rng`.
+    fn sample(rng: &mut rngs::StdRng) -> Self;
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from uniformly. Generic
+/// over the output type (rather than an associated type) so that the
+/// expected result type drives inference of unsuffixed range literals,
+/// matching the real crate.
+pub trait SampleRange<T> {
+    /// Samples one value in the range from `rng`.
+    fn sample_range(self, rng: &mut rngs::StdRng) -> T;
+}
+
+/// The user-facing generator interface.
+pub trait Rng {
+    /// Returns the next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` uniformly (integers over their full
+    /// range, `f64` in `[0, 1)`, `bool` fair).
+    fn gen<T: Standard>(&mut self) -> T;
+
+    /// Samples uniformly from `range` (half-open, like the real crate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SampleRange, SeedableRng, Standard};
+
+    /// The standard deterministic generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+
+        pub(crate) fn raw_next(&mut self) -> u64 {
+            let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, per the xoshiro authors' seeding advice.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.raw_next()
+        }
+
+        fn gen<T: Standard>(&mut self) -> T {
+            T::sample(self)
+        }
+
+        fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+            range.sample_range(self)
+        }
+
+        fn gen_bool(&mut self, p: f64) -> bool {
+            let v: f64 = self.gen();
+            v < p
+        }
+    }
+}
+
+use rngs::StdRng;
+
+impl Standard for u64 {
+    fn sample(rng: &mut StdRng) -> u64 {
+        rng.raw_next()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut StdRng) -> u32 {
+        (rng.raw_next() >> 32) as u32
+    }
+}
+
+impl Standard for u16 {
+    fn sample(rng: &mut StdRng) -> u16 {
+        (rng.raw_next() >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn sample(rng: &mut StdRng) -> u8 {
+        (rng.raw_next() >> 56) as u8
+    }
+}
+
+impl Standard for usize {
+    fn sample(rng: &mut StdRng) -> usize {
+        rng.raw_next() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut StdRng) -> bool {
+        rng.raw_next() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut StdRng) -> f64 {
+        // 53 uniform bits into [0, 1).
+        (rng.raw_next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<const N: usize> Standard for [u8; N] {
+    fn sample(rng: &mut StdRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for chunk in out.chunks_mut(8) {
+            let bytes = rng.raw_next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        out
+    }
+}
+
+/// Uniform integer in `[0, bound)` by rejection sampling (unbiased).
+fn uniform_below(rng: &mut StdRng, bound: u64) -> u64 {
+    assert!(bound > 0, "cannot sample from an empty range");
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.raw_next();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {
+        $(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_range(self, rng: &mut StdRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample from an empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    let off = uniform_below(rng, span);
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_range(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let unit: f64 = f64::sample(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17u64);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(0.05..1.0);
+            assert!((0.05..1.0).contains(&f));
+            let i = rng.gen_range(-5..5i32);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range_and_varied() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        // Mean of 1000 uniform draws is near 0.5.
+        assert!((sum / 1000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn byte_arrays_fill_every_lane() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: [u8; 32] = rng.gen();
+        assert!(a.iter().any(|&b| b != 0));
+        let b: [u8; 5] = rng.gen();
+        assert_eq!(b.len(), 5);
+    }
+}
