@@ -10,7 +10,15 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings denied)"
+# Gate our own crates only; vendored/* are third-party code.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace \
+    --exclude bytes --exclude criterion --exclude proptest --exclude rand
+
 echo "==> cargo test --workspace"
 cargo test -q --workspace
+
+echo "==> trace determinism"
+cargo test -q --test observability e5_same_seed_yields_identical_span_trees_and_digest
 
 echo "All checks passed."

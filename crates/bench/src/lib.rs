@@ -18,7 +18,7 @@ pub mod redteam_experiments;
 
 pub use figures::{fig1_conventional, fig2_spire, fig4_hmi};
 pub use mana_experiment::e7_mana_detection;
-pub use plant_experiments::{e4_plant_deployment, e5_reaction_time};
+pub use plant_experiments::{e4_plant_deployment, e5_reaction_time, e5_reaction_time_traced};
 pub use recovery_experiments::{e6_ground_truth, e8_recovery_ablation, e9_diversity_ablation};
 pub use redteam_experiments::{
     e10_hardening_ablation, e1_commercial_attacks, e2_spire_network_attacks, e3_replica_excursion,

@@ -54,16 +54,19 @@ pub struct PlantRun {
 /// seconds (the event patterns — polls, cycle flips, recoveries — keep
 /// their relative cadence; see EXPERIMENTS.md).
 pub fn e4_plant_deployment(seed: u64, days: u64, seconds_per_day: u64) -> PlantRun {
-    e4_plant_deployment_traced(seed, days, seconds_per_day, false)
+    e4_plant_deployment_traced(seed, days, seconds_per_day, false, false)
 }
 
 /// [`e4_plant_deployment`] with the journal optionally echoed live to
-/// stdout (`spire-sim e4 --trace`).
+/// stdout (`spire-sim e4 --trace`) and causal span tracing optionally
+/// enabled (`--trace-export`; every cycle command then journals its
+/// span tree).
 pub fn e4_plant_deployment_traced(
     seed: u64,
     days: u64,
     seconds_per_day: u64,
     trace: bool,
+    span_tracing: bool,
 ) -> PlantRun {
     // Full plant configuration but with the emulated fleet reduced to two
     // distribution and two generation PLCs so six days stay tractable; the
@@ -80,6 +83,7 @@ pub fn e4_plant_deployment_traced(
     let cfg = cfg.with_cycle(Scenario::PlantSubset, period, 0);
     let mut d = Deployment::build(cfg, HardeningProfile::deployed(), seed);
     d.obs.set_trace(trace);
+    d.obs.set_tracing(span_tracing);
     for i in 0..6 {
         d.replica_mut(i).set_timing(fast_timing());
     }
@@ -145,8 +149,16 @@ pub struct ReactionTimes {
     /// typical HMI-refresh requirement; the paper gives no number).
     pub requirement: SimDuration,
     /// Metrics snapshot of the Spire-side run, including the
-    /// `e5.spire.reaction_us` and `e5.commercial.reaction_us` histograms.
+    /// `e5.spire.reaction_us` and `e5.commercial.reaction_us` histograms
+    /// and the journaled span trees of every measured flip.
     pub obs: obs::ObsReport,
+    /// Per-stage attribution of Spire's reaction path (detect →
+    /// publish → overlay → Prime ordering → deliver → render), from
+    /// the causal traces of the measured flips.
+    pub spire_stages: Option<obs::trace::StageBreakdown>,
+    /// Per-stage attribution of the commercial reaction path (detect →
+    /// poll → render).
+    pub commercial_stages: Option<obs::trace::StageBreakdown>,
 }
 
 impl ReactionTimes {
@@ -164,9 +176,23 @@ impl ReactionTimes {
 /// E5 — the measurement device: flip a breaker, time the HMI update, for
 /// both systems.
 pub fn e5_reaction_time(seed: u64, flips: usize) -> ReactionTimes {
+    e5_reaction_time_traced(seed, flips, false)
+}
+
+/// [`e5_reaction_time`] with the journal optionally echoed live to
+/// stdout (`spire-sim e5 --trace`).
+///
+/// Causal span tracing is always on for E5: each flip's trace follows
+/// the breaker change from the PLC through the proxy, the external
+/// overlay, Prime's ordering rounds, and the HMI vote to the rendered
+/// display, and the per-stage p50 shares are asserted to telescope to
+/// the measured end-to-end reaction.
+pub fn e5_reaction_time_traced(seed: u64, flips: usize, trace: bool) -> ReactionTimes {
     // Spire side: fast polling, plant subset.
     let cfg = SpireConfig::minimal(PrimeConfig::plant(), Scenario::PlantSubset);
     let mut d = Deployment::build(cfg, HardeningProfile::deployed(), seed);
+    d.obs.set_trace(trace);
+    d.obs.set_tracing(true);
     for i in 0..6 {
         d.replica_mut(i).set_timing(fast_timing());
     }
@@ -175,12 +201,21 @@ pub fn e5_reaction_time(seed: u64, flips: usize) -> ReactionTimes {
     d.proxy_mut(0)
         .set_poll_interval(SimDuration::from_millis(20));
     d.proxy_mut(0).verbose_updates = true;
+    // As in E4, the seed must enter through the workload: a seed-derived
+    // sub-millisecond phase shifts every flip relative to the 20 ms poll
+    // schedule, so distinct seeds produce distinct detect latencies (and
+    // journal digests) while identical seeds reproduce exactly.
+    let phase = SimDuration::from_micros(seed % 1_000);
     d.run_for(SimDuration::from_secs(3));
+    d.run_for(phase);
     let spire_samples = measure_spire(&mut d, 0, 1, 0, flips, SimDuration::from_secs(1));
 
     // Commercial side: same topology PLC, primary-backup master pair.
     let mut lab = CommercialLab::build(seed + 7, false);
+    lab.obs.set_trace(trace);
+    lab.obs.set_tracing(true);
     lab.sim.run_for(SimDuration::from_secs(2));
+    lab.sim.run_for(phase);
     let mut commercial_samples: Vec<Sample> = Vec::new();
     let mut state = true;
     for i in 0..flips {
@@ -218,17 +253,40 @@ pub fn e5_reaction_time(seed: u64, flips: usize) -> ReactionTimes {
         commercial_samples.push(sample);
     }
 
+    let spire = summarize(&spire_samples);
+    let commercial = summarize(&commercial_samples);
+    let spire_stages = obs::trace::stage_breakdown(&d.obs.journal_records(), obs::Stage::Detect);
+    let commercial_stages =
+        obs::trace::stage_breakdown(&lab.obs.journal_records(), obs::Stage::Detect);
+    // The stage shares must telescope: each column sums to its chain's
+    // end-to-end total, and when every flip completed, the p50 chain is
+    // the median flip, so its total matches the measured median.
+    for (summary, stages) in [(&spire, &spire_stages), (&commercial, &commercial_stages)] {
+        let Some(b) = stages else { continue };
+        assert_eq!(b.p50_sum_us(), b.p50_total_us, "stage shares telescope");
+        if summary.missed == 0 && b.chains == summary.samples as u64 {
+            assert!(
+                b.p50_total_us.abs_diff(summary.median.as_micros()) <= 1,
+                "p50 chain total {}us != median reaction {}us",
+                b.p50_total_us,
+                summary.median.as_micros(),
+            );
+        }
+    }
     ReactionTimes {
-        spire: summarize(&spire_samples),
-        commercial: summarize(&commercial_samples),
+        spire,
+        commercial,
         requirement: SimDuration::from_millis(200),
         obs: d.obs.report(),
+        spire_stages,
+        commercial_stages,
     }
 }
 
-/// Renders E5 as the measured table.
+/// Renders E5 as the measured table, with the per-stage reaction-path
+/// attribution of each system when tracing captured it.
 pub fn render_reaction(r: &ReactionTimes) -> String {
-    format!(
+    let mut out = format!(
         "system      samples  missed  min      median   mean     max\n\
          spire       {:>7}  {:>6}  {:>7}  {:>7}  {:>7}  {:>7}\n\
          commercial  {:>7}  {:>6}  {:>7}  {:>7}  {:>7}  {:>7}\n\
@@ -248,5 +306,34 @@ pub fn render_reaction(r: &ReactionTimes) -> String {
         r.requirement,
         r.spire_meets_requirement(),
         r.spire_faster(),
-    )
+    );
+    use std::fmt::Write as _;
+    for (label, stages) in [
+        ("spire", &r.spire_stages),
+        ("commercial", &r.commercial_stages),
+    ] {
+        let Some(b) = stages else { continue };
+        let _ = write!(out, "\n{label} reaction path ({} chains):\n", b.chains);
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>6} {:>9} {:>9}",
+            "stage", "count", "p50_us", "p99_us"
+        );
+        for row in &b.rows {
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>6} {:>9} {:>9}",
+                row.stage.name(),
+                row.count,
+                row.p50_us,
+                row.p99_us
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>6} {:>9} {:>9}",
+            "total", "", b.p50_total_us, b.p99_total_us
+        );
+    }
+    out
 }

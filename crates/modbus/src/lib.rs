@@ -43,4 +43,4 @@ pub mod server;
 
 pub use frame::{MbapHeader, RtuFrame, TcpFrame};
 pub use pdu::{ExceptionCode, Request, Response};
-pub use server::{execute, DataStore};
+pub use server::{execute, execute_traced, is_write, DataStore};

@@ -1,5 +1,8 @@
 //! The server-side data model and request executor every emulated PLC uses.
 
+use obs::trace::{Stage, TraceCtx};
+use obs::ObsHub;
+
 use crate::pdu::{ExceptionCode, Request, Response};
 
 /// Maximum bits readable in one request (per spec).
@@ -226,6 +229,42 @@ pub fn execute(req: &Request, store: &mut DataStore) -> Response {
     }
 }
 
+/// Whether a request mutates server state (coil/register writes and
+/// configuration uploads).
+pub fn is_write(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::WriteSingleCoil { .. }
+            | Request::WriteSingleRegister { .. }
+            | Request::WriteMultipleCoils { .. }
+            | Request::WriteMultipleRegisters { .. }
+            | Request::ConfigUpload { .. }
+    )
+}
+
+/// [`execute`] plus causal tracing: successful write requests stamp an
+/// instant [`Stage::ModbusWrite`] span under `parent` (the delivering
+/// proxy's context carried on the request packet), returning the span
+/// so the device can parent the eventual mechanical actuation on it.
+/// Reads and failed writes stamp nothing; with tracing disabled this
+/// is exactly [`execute`].
+pub fn execute_traced(
+    req: &Request,
+    store: &mut DataStore,
+    hub: &ObsHub,
+    parent: Option<TraceCtx>,
+    node: u32,
+) -> (Response, Option<TraceCtx>) {
+    let resp = execute(req, store);
+    let write_ok = is_write(req) && !matches!(resp, Response::Exception { .. });
+    let span = if write_ok {
+        hub.instant_span(parent, Stage::ModbusWrite, node)
+    } else {
+        None
+    };
+    (resp, span)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,6 +424,41 @@ mod tests {
         assert_eq!(upload, Response::ConfigAccepted);
         assert_eq!(s.config_image, vec![66, 66]);
         assert_eq!(s.config_uploads, 1);
+    }
+
+    #[test]
+    fn execute_traced_stamps_only_successful_writes() {
+        let hub = ObsHub::new();
+        hub.set_tracing(true);
+        let root = hub.start_root(Stage::Command, 0);
+        let mut s = DataStore::new(4, 4);
+        let write = Request::WriteSingleCoil {
+            address: 1,
+            value: true,
+        };
+        let read = Request::ReadCoils {
+            address: 0,
+            count: 2,
+        };
+        let bad = Request::WriteSingleCoil {
+            address: 99,
+            value: true,
+        };
+        assert!(is_write(&write) && is_write(&bad) && !is_write(&read));
+        let (resp, span) = execute_traced(&write, &mut s, &hub, root, 3);
+        assert_eq!(resp, execute(&write.clone(), &mut DataStore::new(4, 4)));
+        assert!(span.is_some(), "successful write stamped");
+        let (_, span) = execute_traced(&read, &mut s, &hub, root, 3);
+        assert!(span.is_none(), "reads never stamp");
+        let (resp, span) = execute_traced(&bad, &mut s, &hub, root, 3);
+        assert!(matches!(resp, Response::Exception { .. }));
+        assert!(span.is_none(), "failed writes never stamp");
+        // Tracing off: identical to `execute`, no journal growth.
+        let before = hub.journal_len();
+        hub.set_tracing(false);
+        let (_, span) = execute_traced(&write, &mut s, &hub, None, 3);
+        assert!(span.is_none());
+        assert_eq!(hub.journal_len(), before);
     }
 
     #[test]

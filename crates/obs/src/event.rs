@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use crate::trace::{SpanId, Stage, TraceId};
+
 /// Why the network layer dropped a frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DropKind {
@@ -71,6 +73,36 @@ pub enum Event {
         /// Frame sequence number that crossed the vote threshold.
         seq: u64,
     },
+    /// A causal-tracing span began (the record's timestamp is the span
+    /// start). Span trees fold into the run digest like any other event.
+    SpanStart {
+        /// Trace this span belongs to.
+        trace: TraceId,
+        /// The span's id (unique within the run).
+        span: SpanId,
+        /// Parent span, `None` for a trace root.
+        parent: Option<SpanId>,
+        /// Pipeline stage the span attributes time to.
+        stage: Stage,
+        /// Component id (replica/proxy/HMI index) that stamped it.
+        node: u32,
+    },
+    /// A causal-tracing span ended (the record's timestamp is the end).
+    SpanEnd {
+        /// Trace the span belongs to.
+        trace: TraceId,
+        /// The ending span.
+        span: SpanId,
+    },
+    /// The scheduler handed the hub a clock earlier than the current one.
+    /// The hub keeps the monotonic clock (span durations can never
+    /// underflow) and journals the rejected value instead.
+    ClockSkew {
+        /// The monotonic clock that was kept, in microseconds.
+        from_us: u64,
+        /// The rejected earlier timestamp, in microseconds.
+        to_us: u64,
+    },
 }
 
 impl Event {
@@ -105,6 +137,31 @@ impl Event {
                 out.extend_from_slice(&hmi.to_le_bytes());
                 out.extend_from_slice(&seq.to_le_bytes());
             }
+            Event::SpanStart {
+                trace,
+                span,
+                parent,
+                stage,
+                node,
+            } => {
+                out.push(7);
+                out.extend_from_slice(&trace.0.to_le_bytes());
+                out.extend_from_slice(&span.0.to_le_bytes());
+                // Span ids start at 1, so 0 encodes "root".
+                out.extend_from_slice(&parent.map_or(0, |p| p.0).to_le_bytes());
+                out.push(stage.tag());
+                out.extend_from_slice(&node.to_le_bytes());
+            }
+            Event::SpanEnd { trace, span } => {
+                out.push(8);
+                out.extend_from_slice(&trace.0.to_le_bytes());
+                out.extend_from_slice(&span.0.to_le_bytes());
+            }
+            Event::ClockSkew { from_us, to_us } => {
+                out.push(9);
+                out.extend_from_slice(&from_us.to_le_bytes());
+                out.extend_from_slice(&to_us.to_le_bytes());
+            }
         }
     }
 }
@@ -120,6 +177,23 @@ impl fmt::Display for Event {
             Event::RecoveryStart { replica } => write!(f, "recovery of replica {replica} begins"),
             Event::RecoveryEnd { replica } => write!(f, "replica {replica} recovered"),
             Event::FrameEmit { hmi, seq } => write!(f, "hmi {hmi} emitted frame {seq}"),
+            Event::SpanStart {
+                trace,
+                span,
+                parent,
+                stage,
+                node,
+            } => match parent {
+                Some(p) => write!(
+                    f,
+                    "span t{trace}.s{span} {stage} at node {node} (parent s{p})"
+                ),
+                None => write!(f, "span t{trace}.s{span} {stage} at node {node} (root)"),
+            },
+            Event::SpanEnd { trace, span } => write!(f, "span t{trace}.s{span} end"),
+            Event::ClockSkew { from_us, to_us } => {
+                write!(f, "clock skew rejected: {from_us}us -> {to_us}us")
+            }
         }
     }
 }
@@ -172,6 +246,39 @@ mod tests {
             Event::RecoveryStart { replica: 1 },
             Event::RecoveryEnd { replica: 1 },
             Event::FrameEmit { hmi: 0, seq: 9 },
+            Event::SpanStart {
+                trace: TraceId(1),
+                span: SpanId(1),
+                parent: None,
+                stage: Stage::Detect,
+                node: 0,
+            },
+            Event::SpanStart {
+                trace: TraceId(1),
+                span: SpanId(1),
+                parent: Some(SpanId(1)),
+                stage: Stage::Detect,
+                node: 0,
+            },
+            Event::SpanStart {
+                trace: TraceId(1),
+                span: SpanId(1),
+                parent: None,
+                stage: Stage::Render,
+                node: 0,
+            },
+            Event::SpanEnd {
+                trace: TraceId(1),
+                span: SpanId(1),
+            },
+            Event::SpanEnd {
+                trace: TraceId(1),
+                span: SpanId(2),
+            },
+            Event::ClockSkew {
+                from_us: 2,
+                to_us: 1,
+            },
         ];
         let encoded: Vec<Vec<u8>> = events
             .iter()

@@ -23,10 +23,12 @@
 pub mod event;
 pub mod hist;
 pub mod report;
+pub mod trace;
 
 pub use event::{Event, TimedEvent};
 pub use hist::{Histogram, HistogramSummary};
 pub use report::ObsReport;
+pub use trace::{SpanId, Stage, TraceCtx, TraceId};
 
 use itcrypto::sha256::{Digest, Sha256};
 use std::cell::{Cell, RefCell};
@@ -107,6 +109,12 @@ struct Inner {
     journal: RefCell<Vec<TimedEvent>>,
     /// When set, journal appends are echoed to stdout (`--trace`).
     trace: Cell<bool>,
+    /// When set, span APIs allocate ids and journal start/end records.
+    tracing: Cell<bool>,
+    /// Last allocated trace id (ids start at 1).
+    last_trace: Cell<u64>,
+    /// Last allocated span id (ids start at 1; 0 encodes "root").
+    last_span: Cell<u64>,
 }
 
 /// The observability hub: metrics registry + event journal, stamped
@@ -129,8 +137,20 @@ impl ObsHub {
 
     // ---- simulated clock ----
 
-    /// Advances the simulated clock; called by the scheduler on dispatch.
+    /// Advances the simulated clock; called by the scheduler on
+    /// dispatch. The clock is clamped to monotonic: a caller handing
+    /// in an earlier time (e.g. a component attached from a second,
+    /// younger simulation) is journaled as a [`Event::ClockSkew`] and
+    /// otherwise ignored, so span durations can never underflow.
     pub fn set_now_us(&self, now_us: u64) {
+        let cur = self.inner.now_us.get();
+        if now_us < cur {
+            self.journal(Event::ClockSkew {
+                from_us: cur,
+                to_us: now_us,
+            });
+            return;
+        }
         self.inner.now_us.set(now_us);
     }
 
@@ -247,6 +267,94 @@ impl ObsHub {
         h.finalize()
     }
 
+    // ---- causal tracing ----
+
+    /// Enables/disables causal tracing. Off by default: untraced runs
+    /// journal no span records and keep their historical digests.
+    pub fn set_tracing(&self, on: bool) {
+        self.inner.tracing.set(on);
+    }
+
+    /// Whether span APIs are live.
+    pub fn tracing(&self) -> bool {
+        self.inner.tracing.get()
+    }
+
+    /// Opens a new trace: allocates a trace id, journals the root
+    /// span's start at the current simulated time, and returns the
+    /// context to propagate. `None` while tracing is disabled.
+    pub fn start_root(&self, stage: trace::Stage, node: u32) -> Option<TraceCtx> {
+        if !self.tracing() {
+            return None;
+        }
+        let trace = TraceId(self.inner.last_trace.get() + 1);
+        self.inner.last_trace.set(trace.0);
+        Some(self.open_span(trace, None, stage, node))
+    }
+
+    /// Opens a child span under `parent`. `None` when tracing is
+    /// disabled or the causal context was lost (`parent` is `None`) —
+    /// spans never start mid-air.
+    pub fn start_span(
+        &self,
+        parent: Option<TraceCtx>,
+        stage: trace::Stage,
+        node: u32,
+    ) -> Option<TraceCtx> {
+        if !self.tracing() {
+            return None;
+        }
+        let parent = parent?;
+        Some(self.open_span(parent.trace, Some(parent.span), stage, node))
+    }
+
+    /// Opens and immediately closes a child span: a zero-duration
+    /// milestone that still anchors further children (overlay hops,
+    /// executes, renders).
+    pub fn instant_span(
+        &self,
+        parent: Option<TraceCtx>,
+        stage: trace::Stage,
+        node: u32,
+    ) -> Option<TraceCtx> {
+        let ctx = self.start_span(parent, stage, node);
+        self.end_span(ctx);
+        ctx
+    }
+
+    /// Journals the end of `ctx`'s span at the current simulated time.
+    /// No-op for `None` or while tracing is disabled.
+    pub fn end_span(&self, ctx: Option<TraceCtx>) {
+        if !self.tracing() {
+            return;
+        }
+        if let Some(ctx) = ctx {
+            self.journal(Event::SpanEnd {
+                trace: ctx.trace,
+                span: ctx.span,
+            });
+        }
+    }
+
+    fn open_span(
+        &self,
+        trace: TraceId,
+        parent: Option<SpanId>,
+        stage: trace::Stage,
+        node: u32,
+    ) -> TraceCtx {
+        let span = SpanId(self.inner.last_span.get() + 1);
+        self.inner.last_span.set(span.0);
+        self.journal(Event::SpanStart {
+            trace,
+            span,
+            parent,
+            stage,
+            node,
+        });
+        TraceCtx { trace, span }
+    }
+
     // ---- reporting ----
 
     /// Snapshot of every metric plus the journal digest.
@@ -274,8 +382,10 @@ impl ObsHub {
                 .filter(|(_, h)| h.count() > 0)
                 .map(|(name, h)| (name.clone(), h.summary()))
                 .collect(),
+            critical_paths: trace::critical_paths(&self.inner.journal.borrow()),
             journal_len: self.journal_len(),
             journal_digest: self.journal_digest().to_hex(),
+            journal: self.journal_records(),
         }
     }
 }
@@ -388,6 +498,26 @@ mod tests {
         assert!(text.contains("a.count"));
         assert!(text.contains("c.latency_us"));
         assert!(text.contains(&r.journal_digest[..16]));
+    }
+
+    #[test]
+    fn clock_never_moves_backwards() {
+        let hub = ObsHub::new();
+        hub.set_now_us(5_000);
+        hub.set_now_us(1_200); // rejected: journaled, clock kept
+        assert_eq!(hub.now_us(), 5_000);
+        assert_eq!(
+            hub.journal_records(),
+            vec![TimedEvent {
+                at_us: 5_000,
+                event: Event::ClockSkew {
+                    from_us: 5_000,
+                    to_us: 1_200,
+                },
+            }]
+        );
+        hub.set_now_us(6_000); // forward motion still works
+        assert_eq!(hub.now_us(), 6_000);
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Per-run observability snapshot and its table rendering.
 
+use crate::event::TimedEvent;
 use crate::hist::HistogramSummary;
+use crate::trace::StageBreakdown;
 
 /// Everything a run recorded, snapshotted: counters, gauges, histogram
-/// summaries, and the journal's length and digest. This is what
-/// experiments return and the CLI prints under `--metrics`.
+/// summaries, critical-path tables, and the journal itself (with its
+/// length and digest). This is what experiments return and the CLI
+/// prints under `--metrics`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ObsReport {
     /// Counter name → value, sorted by name.
@@ -13,10 +16,16 @@ pub struct ObsReport {
     pub gauges: Vec<(String, i64)>,
     /// Histogram name → summary, sorted by name; empty histograms omitted.
     pub histograms: Vec<(String, HistogramSummary)>,
+    /// Per-root-stage latency attribution assembled from the journaled
+    /// span trees; empty when the run traced nothing.
+    pub critical_paths: Vec<StageBreakdown>,
     /// Number of journal records.
     pub journal_len: usize,
     /// Hex SHA-256 digest of the journal encoding — the run's identity.
     pub journal_digest: String,
+    /// The journal records themselves (`--trace-export` renders these
+    /// as Chrome trace-event JSON after the run).
+    pub journal: Vec<TimedEvent>,
 }
 
 impl ObsReport {
@@ -65,6 +74,27 @@ impl ObsReport {
                 ));
             }
         }
+        if !self.critical_paths.is_empty() {
+            for b in &self.critical_paths {
+                out.push_str(&format!(
+                    "critical path from '{}' ({} chains):\n  {:<40} {:>8} {:>10} {:>10}\n",
+                    b.root, b.chains, "stage", "count", "p50_us", "p99_us"
+                ));
+                for row in &b.rows {
+                    out.push_str(&format!(
+                        "  {:<40} {:>8} {:>10} {:>10}\n",
+                        row.stage.name(),
+                        row.count,
+                        row.p50_us,
+                        row.p99_us
+                    ));
+                }
+                out.push_str(&format!(
+                    "  {:<40} {:>8} {:>10} {:>10}\n",
+                    "total", "", b.p50_total_us, b.p99_total_us
+                ));
+            }
+        }
         out.push_str(&format!(
             "journal: {} records, digest {}\n",
             self.journal_len, self.journal_digest
@@ -92,8 +122,10 @@ mod tests {
                     mean: 71,
                 },
             )],
+            critical_paths: Vec::new(),
             journal_len: 3,
             journal_digest: "abcd".repeat(16),
+            journal: Vec::new(),
         }
     }
 

@@ -1,0 +1,674 @@
+//! Deterministic causal tracing: Dapper-style span trees over the
+//! journal.
+//!
+//! A *trace* follows one root cause — a breaker flip detected by a PLC,
+//! or a command issued by an HMI — through every component it touches.
+//! Components stamp *spans* (stage + node + start/end) into the shared
+//! [`crate::ObsHub`] journal using the existing record encoding, so
+//! span trees fold into the run digest and inherit the per-seed
+//! determinism guarantee: ids are allocated from hub-local counters and
+//! timestamps come from the simulated clock.
+//!
+//! This module is the read side: it reassembles span trees from journal
+//! records, extracts the causal chain of each trace, attributes
+//! end-to-end latency to pipeline stages, and renders Chrome
+//! trace-event JSON for Perfetto.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::event::{Event, TimedEvent};
+
+/// Identifies one causal trace (one root command or breaker flip).
+/// Allocated sequentially from 1 by the hub.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+/// Identifies one span. Unique across the whole run (not per trace),
+/// allocated sequentially from 1 by the hub; 0 is reserved to encode
+/// "no parent" in the journal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The active trace context: which span the current causal step is
+/// inside. Carried as metadata on simulated packets (zero wire size)
+/// and passed as the parent when a component opens a child span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceCtx {
+    /// The trace the context belongs to.
+    pub trace: TraceId,
+    /// The span new children should attach under.
+    pub span: SpanId,
+}
+
+/// Pipeline stage a span attributes latency to. The fixed `tag` feeds
+/// the journal encoding; `name` feeds reports and Chrome export.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// PLC-side detection: breaker flip until the change is handed to a
+    /// poll response (scan latency + poll interval).
+    Detect,
+    /// Proxy signs and multicasts the status update into external Spines.
+    Publish,
+    /// One overlay hop: an external Spines daemon received a routed
+    /// message (instant).
+    SpinesHop,
+    /// Prime pre-ordering: update received until it lands in a proposal.
+    PrimeQueue,
+    /// Prime ordering round 1: pre-prepare accepted, prepare sent.
+    PrimePrePrepare,
+    /// Prime ordering round 2: prepare quorum reached, commit sent.
+    PrimePrepare,
+    /// Prime ordering round 3: commit quorum reached.
+    PrimeCommit,
+    /// The ordered update reached the SCADA application (instant).
+    PrimeExecute,
+    /// Receiver-side voting: f+1 matching copies crossed the threshold.
+    Deliver,
+    /// HMI display state updated (instant; terminal for status traces).
+    Render,
+    /// An HMI operator command was issued (root of command traces).
+    Command,
+    /// Modbus server executed a write request (instant).
+    ModbusWrite,
+    /// Breaker mechanically actuated (instant; terminal for command
+    /// traces).
+    Actuate,
+    /// Commercial SCADA master observed a change in a poll response
+    /// (instant).
+    Poll,
+}
+
+impl Stage {
+    /// Canonical encoding tag. Fixed forever — feeds the run digest.
+    pub fn tag(self) -> u8 {
+        match self {
+            Stage::Detect => 0,
+            Stage::Publish => 1,
+            Stage::SpinesHop => 2,
+            Stage::PrimeQueue => 3,
+            Stage::PrimePrePrepare => 4,
+            Stage::PrimePrepare => 5,
+            Stage::PrimeCommit => 6,
+            Stage::PrimeExecute => 7,
+            Stage::Deliver => 8,
+            Stage::Render => 9,
+            Stage::Command => 10,
+            Stage::ModbusWrite => 11,
+            Stage::Actuate => 12,
+            Stage::Poll => 13,
+        }
+    }
+
+    /// Stable report / Chrome-export name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Detect => "detect",
+            Stage::Publish => "publish",
+            Stage::SpinesHop => "spines.hop",
+            Stage::PrimeQueue => "prime.queue",
+            Stage::PrimePrePrepare => "prime.preprepare",
+            Stage::PrimePrepare => "prime.prepare",
+            Stage::PrimeCommit => "prime.commit",
+            Stage::PrimeExecute => "prime.execute",
+            Stage::Deliver => "deliver",
+            Stage::Render => "render",
+            Stage::Command => "command",
+            Stage::ModbusWrite => "modbus.write",
+            Stage::Actuate => "actuate",
+            Stage::Poll => "poll",
+        }
+    }
+
+    /// Whether this stage ends a causal chain (a display rendered or a
+    /// breaker actuated). Chain extraction anchors on the latest
+    /// terminal span so stray late spans (duplicate overlay deliveries
+    /// after the vote crossed) don't extend the critical path.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Stage::Render | Stage::Actuate)
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One assembled span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// The span's id.
+    pub id: SpanId,
+    /// Parent span, `None` for the trace root.
+    pub parent: Option<SpanId>,
+    /// Stage the span attributes time to.
+    pub stage: Stage,
+    /// Component id that stamped it.
+    pub node: u32,
+    /// Start timestamp (simulated µs).
+    pub start_us: u64,
+    /// End timestamp. The assembler clamps so the span never outlives
+    /// its parent and unclosed spans end at the journal's last record.
+    pub end_us: u64,
+    /// Whether an explicit `SpanEnd` was journaled.
+    pub closed: bool,
+}
+
+impl Span {
+    /// Span duration in simulated µs.
+    pub fn duration_us(&self) -> u64 {
+        self.end_us - self.start_us
+    }
+}
+
+/// All spans of one trace, in journal (= start time) order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    /// The trace id.
+    pub id: TraceId,
+    /// The trace's spans, start-ordered.
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// The trace's root span (first parentless span), if any.
+    pub fn root(&self) -> Option<&Span> {
+        self.spans.iter().find(|s| s.parent.is_none())
+    }
+
+    /// Looks a span up by id.
+    pub fn span(&self, id: SpanId) -> Option<&Span> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+
+    /// The causal chain, root first: the parent path of the
+    /// latest-started terminal-stage span ([`Stage::is_terminal`]), or
+    /// of the latest-started span overall when no terminal stage was
+    /// reached. Latest-started ties break toward the higher span id.
+    pub fn chain(&self) -> Vec<&Span> {
+        let tip = self
+            .spans
+            .iter()
+            .filter(|s| s.stage.is_terminal())
+            .max_by_key(|s| (s.start_us, s.id))
+            .or_else(|| self.spans.iter().max_by_key(|s| (s.start_us, s.id)));
+        let mut path = Vec::new();
+        let mut cur = tip;
+        while let Some(span) = cur {
+            path.push(span);
+            cur = span.parent.and_then(|p| self.span(p));
+        }
+        path.reverse();
+        path
+    }
+
+    /// End-to-end latency of the causal chain: terminal span end minus
+    /// root span start. `None` for an empty trace.
+    pub fn chain_total_us(&self) -> Option<u64> {
+        let chain = self.chain();
+        let first = chain.first()?;
+        let last = chain.last()?;
+        Some(last.end_us - first.start_us)
+    }
+}
+
+/// Result of reassembling span trees from the journal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assembly {
+    /// Traces in id order.
+    pub traces: Vec<Trace>,
+    /// `SpanEnd` records whose span was never started (should be zero;
+    /// the well-formedness proptest pins this).
+    pub orphan_ends: usize,
+}
+
+/// Reassembles span trees from journal records. Unclosed spans are
+/// ended at the journal's last timestamp; every span's end is clamped
+/// so children nest within their parents.
+pub fn assemble(records: &[TimedEvent]) -> Assembly {
+    let mut traces: BTreeMap<u64, Trace> = BTreeMap::new();
+    // span id -> (trace id, index within that trace's span vector)
+    let mut index: BTreeMap<u64, (u64, usize)> = BTreeMap::new();
+    let mut orphan_ends = 0usize;
+    let mut last_ts = 0u64;
+    for rec in records {
+        last_ts = last_ts.max(rec.at_us);
+        match rec.event {
+            Event::SpanStart {
+                trace,
+                span,
+                parent,
+                stage,
+                node,
+            } => {
+                let t = traces.entry(trace.0).or_insert_with(|| Trace {
+                    id: trace,
+                    spans: Vec::new(),
+                });
+                index.insert(span.0, (trace.0, t.spans.len()));
+                t.spans.push(Span {
+                    id: span,
+                    parent,
+                    stage,
+                    node,
+                    start_us: rec.at_us,
+                    end_us: rec.at_us, // provisional until SpanEnd / clamp
+                    closed: false,
+                });
+            }
+            Event::SpanEnd { span, .. } => match index.get(&span.0) {
+                Some(&(trace, i)) => {
+                    let s = &mut traces.get_mut(&trace).expect("indexed trace").spans[i];
+                    s.end_us = rec.at_us.max(s.start_us);
+                    s.closed = true;
+                }
+                None => orphan_ends += 1,
+            },
+            _ => {}
+        }
+    }
+    for trace in traces.values_mut() {
+        // First extend unclosed spans to the end of the journal, then
+        // clamp children into their parents. Spans are start-ordered
+        // and parents always start first, so one forward pass settles
+        // every parent end before its children are clamped against it.
+        for span in &mut trace.spans {
+            if !span.closed {
+                span.end_us = last_ts.max(span.start_us);
+            }
+        }
+        for i in 0..trace.spans.len() {
+            if let Some(parent) = trace.spans[i].parent {
+                if let Some(p) = trace.spans.iter().position(|s| s.id == parent) {
+                    let parent_end = trace.spans[p].end_us;
+                    let s = &mut trace.spans[i];
+                    s.end_us = s.end_us.min(parent_end).max(s.start_us);
+                }
+            }
+        }
+    }
+    Assembly {
+        traces: traces.into_values().collect(),
+        orphan_ends,
+    }
+}
+
+/// One row of a stage-attribution table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageRow {
+    /// The attributed stage.
+    pub stage: Stage,
+    /// How many times the stage appears across all aggregated chains.
+    pub count: u64,
+    /// The stage's share of the median-total chain (µs).
+    pub p50_us: u64,
+    /// The stage's share of the p99-total chain (µs).
+    pub p99_us: u64,
+}
+
+/// Per-stage latency attribution for one family of traces (same root
+/// stage).
+///
+/// Quantile semantics: the `p50_us` column is the stage split of the
+/// *chain whose end-to-end total is the median total* (upper median,
+/// matching the experiment summaries), and likewise `p99_us` for the
+/// p99-total chain. Each column therefore telescopes exactly — the
+/// rows sum to `p50_total_us` / `p99_total_us` with zero rounding
+/// error, unlike per-stage quantiles, which need not sum to any
+/// observed end-to-end latency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageBreakdown {
+    /// Root stage of the aggregated traces.
+    pub root: Stage,
+    /// Number of complete chains aggregated.
+    pub chains: u64,
+    /// Stage rows in causal order (the p50 chain's stage sequence).
+    pub rows: Vec<StageRow>,
+    /// End-to-end total of the median chain; the `p50_us` column sums
+    /// to exactly this.
+    pub p50_total_us: u64,
+    /// End-to-end total of the p99 chain.
+    pub p99_total_us: u64,
+}
+
+impl StageBreakdown {
+    /// Sum of the `p50_us` column (equals `p50_total_us` by
+    /// construction; the E5 assertions pin it).
+    pub fn p50_sum_us(&self) -> u64 {
+        self.rows.iter().map(|r| r.p50_us).sum()
+    }
+
+    /// The summed p50 shares of every row whose stage satisfies `pred`.
+    pub fn p50_share_us(&self, pred: impl Fn(Stage) -> bool) -> u64 {
+        self.rows
+            .iter()
+            .filter(|r| pred(r.stage))
+            .map(|r| r.p50_us)
+            .sum()
+    }
+}
+
+/// Per-chain stage split: each span's share is the gap to the next
+/// chain span's start (the handoff latency), and the terminal span
+/// contributes its own duration. The shares telescope to
+/// [`Trace::chain_total_us`].
+fn chain_shares<'t>(chain: &[&'t Span]) -> Vec<(&'t Span, u64)> {
+    let mut shares = Vec::with_capacity(chain.len());
+    for (i, span) in chain.iter().enumerate() {
+        let share = match chain.get(i + 1) {
+            Some(next) => next.start_us - span.start_us,
+            None => span.duration_us(),
+        };
+        shares.push((*span, share));
+    }
+    shares
+}
+
+/// Builds the per-stage attribution over every chain rooted at `root`.
+/// Returns `None` when no such trace exists. See [`StageBreakdown`]
+/// for the quantile-chain semantics.
+pub fn stage_breakdown(records: &[TimedEvent], root: Stage) -> Option<StageBreakdown> {
+    let assembly = assemble(records);
+    let mut chains: Vec<Vec<&Span>> = assembly
+        .traces
+        .iter()
+        .filter(|t| t.root().map(|r| r.stage) == Some(root))
+        .map(|t| t.chain())
+        .filter(|c| !c.is_empty())
+        .collect();
+    if chains.is_empty() {
+        return None;
+    }
+    let total = |c: &[&Span]| c[c.len() - 1].end_us - c[0].start_us;
+    chains.sort_by_key(|c| total(c));
+    let n = chains.len();
+    // Upper-median index, matching `latency::summarize`'s median pick.
+    let p50 = &chains[n / 2];
+    let p99 = &chains[(n * 99 / 100).min(n - 1)];
+    let p50_shares = chain_shares(p50);
+    let p99_shares = chain_shares(p99);
+    let mut rows = Vec::with_capacity(p50_shares.len());
+    for (i, (span, share)) in p50_shares.iter().enumerate() {
+        // The p99 chain usually has the identical stage sequence; fall
+        // back to the first matching stage when topologies differ.
+        let p99_us = p99_shares
+            .get(i)
+            .filter(|(s, _)| s.stage == span.stage)
+            .or_else(|| p99_shares.iter().find(|(s, _)| s.stage == span.stage))
+            .map_or(0, |(_, share)| *share);
+        let count = chains
+            .iter()
+            .flat_map(|c| c.iter())
+            .filter(|s| s.stage == span.stage)
+            .count() as u64;
+        rows.push(StageRow {
+            stage: span.stage,
+            count,
+            p50_us: *share,
+            p99_us,
+        });
+    }
+    Some(StageBreakdown {
+        root,
+        chains: n as u64,
+        rows,
+        p50_total_us: total(p50),
+        p99_total_us: total(p99),
+    })
+}
+
+/// The critical-path tables of a run: one [`StageBreakdown`] per root
+/// stage present in the journal, in stage-tag order. Empty when the
+/// run journaled no spans (tracing off).
+pub fn critical_paths(records: &[TimedEvent]) -> Vec<StageBreakdown> {
+    let mut roots: Vec<Stage> = assemble(records)
+        .traces
+        .iter()
+        .filter_map(|t| t.root().map(|r| r.stage))
+        .collect();
+    roots.sort_by_key(|s| s.tag());
+    roots.dedup();
+    roots
+        .into_iter()
+        .filter_map(|root| stage_breakdown(records, root))
+        .collect()
+}
+
+/// Renders the journal's spans as Chrome trace-event JSON, loadable in
+/// Perfetto or `chrome://tracing`: one `"X"` (complete) event per span
+/// with `ts`/`dur` in µs, `pid` = trace id, `tid` = stamping node, plus
+/// a `process_name` metadata record per trace. All names are static
+/// ASCII, so no JSON escaping is required.
+pub fn chrome_trace_json(records: &[TimedEvent]) -> String {
+    use std::fmt::Write as _;
+    let assembly = assemble(records);
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+    for trace in &assembly.traces {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+             \"args\":{{\"name\":\"trace {}\"}}}}",
+            trace.id, trace.id
+        );
+        for span in &trace.spans {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":{},\"tid\":{},\"args\":{{\"span\":{},\"parent\":{}}}}}",
+                span.stage,
+                if span.closed { "span" } else { "span.unclosed" },
+                span.start_us,
+                span.duration_us(),
+                trace.id,
+                span.node,
+                span.id,
+                span.parent.map_or(0, |p| p.0),
+            );
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObsHub;
+
+    fn spanning_hub() -> ObsHub {
+        let hub = ObsHub::new();
+        hub.set_tracing(true);
+        hub
+    }
+
+    #[test]
+    fn disabled_hub_allocates_nothing() {
+        let hub = ObsHub::new();
+        assert!(hub.start_root(Stage::Detect, 0).is_none());
+        assert!(hub.start_span(None, Stage::Publish, 0).is_none());
+        assert_eq!(hub.journal_len(), 0);
+    }
+
+    #[test]
+    fn span_ids_are_sequential_and_journaled() {
+        let hub = spanning_hub();
+        let root = hub.start_root(Stage::Detect, 3).expect("tracing on");
+        assert_eq!(root.trace, TraceId(1));
+        assert_eq!(root.span, SpanId(1));
+        hub.set_now_us(50);
+        let child = hub
+            .start_span(Some(root), Stage::Publish, 4)
+            .expect("parent present");
+        assert_eq!(child.trace, TraceId(1));
+        assert_eq!(child.span, SpanId(2));
+        hub.set_now_us(80);
+        hub.end_span(Some(child));
+        hub.end_span(Some(root));
+        assert_eq!(hub.journal_len(), 4);
+    }
+
+    #[test]
+    fn start_span_without_parent_is_a_noop() {
+        let hub = spanning_hub();
+        assert!(hub.start_span(None, Stage::Publish, 0).is_none());
+        assert_eq!(hub.journal_len(), 0);
+    }
+
+    #[test]
+    fn assembler_rebuilds_the_tree_and_closes_stragglers() {
+        let hub = spanning_hub();
+        let root = hub.start_root(Stage::Detect, 0).unwrap();
+        hub.set_now_us(10);
+        let child = hub.start_span(Some(root), Stage::Publish, 1).unwrap();
+        hub.set_now_us(25);
+        hub.end_span(Some(child));
+        // Root is left unclosed; a later unrelated record moves time on.
+        hub.set_now_us(40);
+        hub.counter("tick").add(1);
+        let _ = hub.start_root(Stage::Command, 2).unwrap();
+        let assembly = assemble(&hub.journal_records());
+        assert_eq!(assembly.orphan_ends, 0);
+        assert_eq!(assembly.traces.len(), 2);
+        let t = &assembly.traces[0];
+        assert_eq!(t.id, TraceId(1));
+        assert_eq!(t.spans.len(), 2);
+        let r = t.root().expect("root");
+        assert_eq!(r.stage, Stage::Detect);
+        assert!(!r.closed);
+        assert_eq!(r.end_us, 40, "unclosed span runs to the last record");
+        let c = t.span(child.span).expect("child");
+        assert!(c.closed);
+        assert_eq!((c.start_us, c.end_us), (10, 25));
+    }
+
+    #[test]
+    fn children_are_clamped_into_their_parents() {
+        let hub = spanning_hub();
+        let root = hub.start_root(Stage::Detect, 0).unwrap();
+        hub.set_now_us(10);
+        let child = hub.start_span(Some(root), Stage::Publish, 0).unwrap();
+        hub.set_now_us(20);
+        hub.end_span(Some(root)); // parent ends before child
+        hub.set_now_us(90);
+        hub.end_span(Some(child));
+        let assembly = assemble(&hub.journal_records());
+        let t = &assembly.traces[0];
+        assert_eq!(t.span(child.span).unwrap().end_us, 20, "clamped to parent");
+    }
+
+    #[test]
+    fn chain_follows_parents_and_prefers_terminal_spans() {
+        let hub = spanning_hub();
+        let root = hub.start_root(Stage::Detect, 0).unwrap();
+        hub.set_now_us(10);
+        let mid = hub.instant_span(Some(root), Stage::Deliver, 1).unwrap();
+        hub.set_now_us(15);
+        let _ = hub.instant_span(Some(mid), Stage::Render, 1).unwrap();
+        // A stray non-terminal span starts later than the render.
+        hub.set_now_us(22);
+        let _ = hub.instant_span(Some(root), Stage::SpinesHop, 2).unwrap();
+        hub.end_span(Some(root));
+        let assembly = assemble(&hub.journal_records());
+        let chain = assembly.traces[0].chain();
+        let stages: Vec<Stage> = chain.iter().map(|s| s.stage).collect();
+        assert_eq!(stages, [Stage::Detect, Stage::Deliver, Stage::Render]);
+        assert_eq!(assembly.traces[0].chain_total_us(), Some(15));
+    }
+
+    #[test]
+    fn breakdown_columns_telescope_to_their_chain_totals() {
+        let hub = spanning_hub();
+        // Three chains with totals 10, 30, 20 — median total 20.
+        for (i, total) in [(0u64, 10u64), (1, 30), (2, 20)] {
+            let base = i * 1_000;
+            hub.set_now_us(base);
+            let root = hub.start_root(Stage::Detect, 0).unwrap();
+            hub.set_now_us(base + total / 2);
+            let mid = hub.instant_span(Some(root), Stage::Deliver, 1).unwrap();
+            hub.set_now_us(base + total);
+            let _ = hub.instant_span(Some(mid), Stage::Render, 1).unwrap();
+            hub.end_span(Some(root));
+        }
+        let b = stage_breakdown(&hub.journal_records(), Stage::Detect).expect("traces");
+        assert_eq!(b.chains, 3);
+        assert_eq!(b.p50_total_us, 20, "upper-median chain");
+        assert_eq!(b.p99_total_us, 30);
+        assert_eq!(b.p50_sum_us(), b.p50_total_us);
+        assert_eq!(b.rows.iter().map(|r| r.p99_us).sum::<u64>(), b.p99_total_us);
+        let stages: Vec<Stage> = b.rows.iter().map(|r| r.stage).collect();
+        assert_eq!(stages, [Stage::Detect, Stage::Deliver, Stage::Render]);
+        assert!(b.rows.iter().all(|r| r.count == 3));
+    }
+
+    #[test]
+    fn chrome_export_is_valid_and_complete() {
+        let hub = spanning_hub();
+        let root = hub.start_root(Stage::Command, 7).unwrap();
+        hub.set_now_us(12);
+        let w = hub.instant_span(Some(root), Stage::ModbusWrite, 8).unwrap();
+        hub.set_now_us(30);
+        let _ = hub.instant_span(Some(w), Stage::Actuate, 8).unwrap();
+        hub.end_span(Some(root));
+        let json = chrome_trace_json(&hub.journal_records());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 1);
+        assert!(json.contains("\"name\":\"modbus.write\""));
+        assert!(json.contains("\"ts\":12"));
+        // Balanced braces — cheap structural validity check on top of
+        // the full parse done by the CLI integration test.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn stage_tags_are_unique() {
+        let all = [
+            Stage::Detect,
+            Stage::Publish,
+            Stage::SpinesHop,
+            Stage::PrimeQueue,
+            Stage::PrimePrePrepare,
+            Stage::PrimePrepare,
+            Stage::PrimeCommit,
+            Stage::PrimeExecute,
+            Stage::Deliver,
+            Stage::Render,
+            Stage::Command,
+            Stage::ModbusWrite,
+            Stage::Actuate,
+            Stage::Poll,
+        ];
+        let mut tags: Vec<u8> = all.iter().map(|s| s.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), all.len());
+        let mut names: Vec<&str> = all.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+}

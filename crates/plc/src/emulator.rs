@@ -13,7 +13,9 @@
 //! 4. publish positions to discrete inputs and currents to input
 //!    registers.
 
-use modbus::{execute, DataStore, Request, Response, TcpFrame};
+use modbus::{execute, execute_traced, DataStore, Request, Response, TcpFrame};
+use obs::trace::{Stage, TraceCtx};
+use obs::ObsHub;
 use simnet::packet::Packet;
 use simnet::process::{Context, Process};
 use simnet::time::{SimDuration, SimTime};
@@ -44,6 +46,18 @@ pub struct PlcEmulator {
     pub configs_adopted: u64,
     /// Breaker position changes, as `(time, breaker, closed)`.
     pub position_log: Vec<(SimTime, u16, bool)>,
+    /// Observability hub (private by default; deployments share theirs
+    /// via [`PlcEmulator::attach_obs`]).
+    obs: ObsHub,
+    /// Component id used on journaled spans (the proxy/PLC index).
+    trace_node: u32,
+    /// Detect span opened by a physical flip, not yet published.
+    armed_trace: Option<TraceCtx>,
+    /// Detect span whose position change a scan has published; handed
+    /// to the next positions poll.
+    visible_trace: Option<TraceCtx>,
+    /// Modbus-write span of a commanded operation awaiting mechanics.
+    pending_cmd_trace: Option<TraceCtx>,
 }
 
 impl PlcEmulator {
@@ -86,7 +100,19 @@ impl PlcEmulator {
             invalid_frames: 0,
             configs_adopted: 0,
             position_log: Vec::new(),
+            obs: ObsHub::new(),
+            trace_node: 0,
+            armed_trace: None,
+            visible_trace: None,
+            pending_cmd_trace: None,
         }
+    }
+
+    /// Replaces the private hub with the deployment's shared one and
+    /// records the PLC's index for span attribution.
+    pub fn attach_obs(&mut self, hub: &ObsHub, node: u32) {
+        self.obs = hub.clone();
+        self.trace_node = node;
     }
 
     /// The electrical topology under control.
@@ -137,6 +163,10 @@ impl PlcEmulator {
         for idx in self.bank.step(now) {
             let closed = self.bank.positions()[idx];
             self.position_log.push((now, idx as u16, closed));
+            // A commanded operation completed its operate delay: the
+            // mechanical actuation terminates the command trace.
+            let cmd = self.pending_cmd_trace.take();
+            let _ = self.obs.instant_span(cmd, Stage::Actuate, self.trace_node);
         }
         // 4. Publish feedback.
         let positions = self.bank.positions();
@@ -144,6 +174,11 @@ impl PlcEmulator {
             self.store.set_discrete_input(i as u16, closed);
             let current = self.topology.breaker_current(i as u16, &positions);
             self.store.set_input(i as u16, current);
+        }
+        // A physically flipped position is now visible to polls; the
+        // next positions read carries its Detect span onward.
+        if self.armed_trace.is_some() {
+            self.visible_trace = self.armed_trace.take();
         }
     }
 
@@ -161,7 +196,22 @@ impl PlcEmulator {
         if self.bank.force_position(idx as usize, closed) {
             self.store.set_coil(idx, closed);
             self.position_log.push((now, idx, closed));
+            // Root a status trace at the physical event. Ends when a
+            // positions poll picks the change up.
+            self.armed_trace = self.obs.start_root(Stage::Detect, self.trace_node);
         }
+    }
+
+    /// [`PlcEmulator::handle_request`] for network requests: writes
+    /// stamp Modbus-write spans under the request packet's context.
+    fn handle_request_traced(&mut self, req: &Request, parent: Option<TraceCtx>) -> Response {
+        self.requests_served += 1;
+        let (resp, write_span) =
+            execute_traced(req, &mut self.store, &self.obs, parent, self.trace_node);
+        if write_span.is_some() {
+            self.pending_cmd_trace = write_span;
+        }
+        resp
     }
 }
 
@@ -191,7 +241,15 @@ impl Process for PlcEmulator {
             self.invalid_frames += 1;
             return;
         };
-        let resp = self.handle_request(&req);
+        let resp = self.handle_request_traced(&req, ctx.trace());
+        if matches!(req, Request::ReadDiscreteInputs { .. }) {
+            if let Some(detect) = self.visible_trace.take() {
+                // This poll observes the flipped position: close the
+                // Detect span and let the reply carry it to the poller.
+                self.obs.end_span(Some(detect));
+                ctx.set_trace(Some(detect));
+            }
+        }
         let reply_frame = TcpFrame::new(frame.header.transaction, frame.header.unit, resp.encode());
         let reply = Packet::udp(
             ctx.ip(0),

@@ -174,7 +174,9 @@ impl Cluster {
                     }
                 }
                 OutEvent::Send(to, msg) => self.enqueue(to, msg),
-                OutEvent::Execute { exec_seq, update } => {
+                OutEvent::Execute {
+                    exec_seq, update, ..
+                } => {
                     self.exec_logs[from.0 as usize].push((
                         exec_seq,
                         update.client,

@@ -103,6 +103,10 @@ pub enum OutEvent {
         exec_seq: u64,
         /// The update.
         update: Update,
+        /// Causal-trace context of the execution (the instant
+        /// `prime.execute` span), for the host to stamp on outgoing
+        /// application messages. `None` for untraced updates.
+        trace: Option<obs::TraceCtx>,
     },
     /// The replica moved to a new view.
     ViewChanged {
@@ -232,6 +236,14 @@ pub struct Replica<A: Application> {
     c_view_changes: obs::Counter,
     c_executed: obs::Counter,
     c_suspects_sent: obs::Counter,
+
+    // Causal tracing: the context the host set before `submit`, the
+    // pre-ordering ("queue") span per in-flight traced update (keyed
+    // like `intro_seen`), and the latest ordering-phase span per
+    // global sequence.
+    incoming_trace: Option<obs::TraceCtx>,
+    trace_queue: BTreeMap<(u32, u64), obs::TraceCtx>,
+    trace_phase: BTreeMap<u64, obs::TraceCtx>,
 }
 
 fn prime_counters(hub: &obs::ObsHub, id: ReplicaId) -> [obs::Counter; 3] {
@@ -303,7 +315,17 @@ impl<A: Application> Replica<A> {
             c_view_changes: view_changes,
             c_executed: executed,
             c_suspects_sent: suspects_sent,
+            incoming_trace: None,
+            trace_queue: BTreeMap::new(),
+            trace_phase: BTreeMap::new(),
         }
+    }
+
+    /// Sets the causal-trace context for the next [`Replica::submit`]
+    /// call — the hosting process's ambient context for the packet
+    /// that carried the update. Consumed by `submit`.
+    pub fn set_incoming_trace(&mut self, trace: Option<obs::TraceCtx>) {
+        self.incoming_trace = trace;
     }
 
     /// Redirects this replica's metrics and journal records to a shared
@@ -369,6 +391,9 @@ impl<A: Application> Replica<A> {
     /// Injects a client update received from the external network.
     pub fn submit(&mut self, update: SignedUpdate, now: SimTime) -> Vec<OutEvent> {
         let mut out = Vec::new();
+        // Always consume the pending context so it cannot leak onto an
+        // unrelated later submission.
+        let intro_trace = self.incoming_trace.take();
         if self.byz.is_crashed() {
             return out;
         }
@@ -381,6 +406,13 @@ impl<A: Application> Replica<A> {
             return out;
         }
         self.intro_seen.insert(ckey);
+        // Pre-ordering span: open until this update executes here.
+        if let Some(q) = self
+            .obs
+            .start_span(intro_trace, obs::Stage::PrimeQueue, self.id.0)
+        {
+            self.trace_queue.insert(ckey, q);
+        }
         let po_seq = po_compose(self.incarnation, self.next_po_seq);
         self.next_po_seq += 1;
         self.stats.po_introduced += 1;
@@ -639,6 +671,9 @@ impl<A: Application> Replica<A> {
         // Leader's proposal advanced things: reset the suspicion clock.
         self.unordered_since = Some(now);
         if self.sent_prepare.insert((view, seq)) {
+            if !self.trace_phase.contains_key(&seq) {
+                self.trace_ordering_phase(seq, obs::Stage::PrimePrePrepare);
+            }
             let prep = self.sign(PrimeMsg::Prepare { view, seq, digest });
             self.prepares
                 .entry((view, seq, digest))
@@ -666,6 +701,23 @@ impl<A: Application> Replica<A> {
             .or_default()
             .insert(from.0);
         self.check_prepared(view, seq, digest, now, out);
+    }
+
+    /// Opens the next ordering-phase span for `seq`, ending the
+    /// previous one. The first phase (pre-prepare) parents on the
+    /// oldest traced in-flight update — exact when a single traced
+    /// update is in flight (the E5 measurement), approximate under
+    /// concurrent traced load.
+    fn trace_ordering_phase(&mut self, seq: u64, stage: obs::Stage) {
+        let parent = match self.trace_phase.get(&seq) {
+            Some(prev) => Some(*prev),
+            None => self.trace_queue.values().next().copied(),
+        };
+        if let Some(span) = self.obs.start_span(parent, stage, self.id.0) {
+            if let Some(prev) = self.trace_phase.insert(seq, span) {
+                self.obs.end_span(Some(prev));
+            }
+        }
     }
 
     fn check_prepared(
@@ -696,6 +748,7 @@ impl<A: Application> Replica<A> {
                 .or_default()
                 .insert(self.id.0);
             out.push(OutEvent::Broadcast(commit));
+            self.trace_ordering_phase(seq, obs::Stage::PrimePrepare);
             self.check_committed(view, seq, digest, now, out);
         }
     }
@@ -739,6 +792,7 @@ impl<A: Application> Replica<A> {
             .map_or(0, |s| s.len() as u32);
         if count >= self.config.ordering_quorum() {
             self.committed.insert(seq, matrix.clone());
+            self.trace_ordering_phase(seq, obs::Stage::PrimeCommit);
             self.max_committed = self.max_committed.max(seq);
             if self
                 .prepared_cert
@@ -757,6 +811,13 @@ impl<A: Application> Replica<A> {
                 self.stall_since = None;
             }
             self.try_execute(now, out);
+            // Ordering-phase spans for sequences at or below this one
+            // have served their purpose; drop them, ending any still
+            // open so the journal stays balanced.
+            let keep = self.trace_phase.split_off(&(seq + 1));
+            for (_, span) in std::mem::replace(&mut self.trace_phase, keep) {
+                self.obs.end_span(Some(span));
+            }
         }
     }
 
@@ -834,9 +895,30 @@ impl<A: Application> Replica<A> {
             self.stats.executed += 1;
             self.c_executed.inc();
             self.app.execute(&update, self.exec_seq);
+            // Close the update's pre-ordering span and stamp the
+            // execution instant, parented on the latest ordering phase
+            // (falling back to the queue span under catch-up paths
+            // that bypass the three-phase rounds).
+            let queue = self.trace_queue.remove(&(update.client, update.client_seq));
+            let trace = if queue.is_some() {
+                let parent = self
+                    .trace_phase
+                    .iter()
+                    .next_back()
+                    .map(|(_, ctx)| *ctx)
+                    .or(queue);
+                let span = self
+                    .obs
+                    .instant_span(parent, obs::Stage::PrimeExecute, self.id.0);
+                self.obs.end_span(queue);
+                span
+            } else {
+                None
+            };
             out.push(OutEvent::Execute {
                 exec_seq: self.exec_seq,
                 update,
+                trace,
             });
             // Checkpoint when due.
             if self.exec_seq - self.last_checkpoint_at_exec >= self.timing.checkpoint_interval {
@@ -1297,6 +1379,9 @@ impl<A: Application> Replica<A> {
         self.stats.proposals += 1;
         self.pre_prepares
             .insert(seq, (view, matrix.clone(), digest));
+        if !self.trace_phase.contains_key(&seq) {
+            self.trace_ordering_phase(seq, obs::Stage::PrimePrePrepare);
+        }
         // The leader counts as prepared implicitly; it still must collect
         // the quorum of Prepares from followers.
         let msg = self.sign(PrimeMsg::PrePrepare { view, seq, matrix });
@@ -1316,6 +1401,9 @@ impl<A: Application> Replica<A> {
         self.po_store.clear();
         self.po_envelopes.clear();
         self.intro_seen.clear();
+        self.incoming_trace = None;
+        self.trace_queue.clear();
+        self.trace_phase.clear();
         self.origin_inc = vec![0; n];
         self.aru_counter = vec![0; n];
         self.my_aru = vec![0; n];

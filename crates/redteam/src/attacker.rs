@@ -348,6 +348,7 @@ impl Attacker {
                     dst_port: Port(0),
                     kind: TransportKind::Ping,
                     payload: Bytes::new(),
+                    trace: None,
                 };
                 ctx.send(0, pkt);
             }

@@ -40,6 +40,8 @@ pub mod addr {
 pub struct CommercialLab {
     /// The simulation.
     pub sim: Simulation,
+    /// The lab-wide observability hub (metrics, journal, trace spans).
+    pub obs: obs::ObsHub,
     /// Enterprise switch.
     pub enterprise_switch: SwitchId,
     /// Commercial operations switch.
@@ -72,6 +74,8 @@ impl CommercialLab {
     /// false severs the networks).
     pub fn build(seed: u64, boundary_open: bool) -> Self {
         let mut sim = Simulation::new(seed);
+        let obs = obs::ObsHub::new();
+        sim.attach_obs(&obs);
         // All commercial/enterprise hosts: dynamic ARP, open firewalls —
         // "NIST-recommended best practices" did not include any of §III-B.
         let plc = sim.add_node(NodeSpec::new(
@@ -130,8 +134,23 @@ impl CommercialLab {
         let enterprise_tap = sim.add_tap(enterprise_switch);
         let ops_tap = sim.add_tap(ops_switch);
 
+        // Join every traced component to the lab hub, labelled by node.
+        if let Some(p) = sim.process_mut::<PlcEmulator>(plc) {
+            p.attach_obs(&obs, plc.0);
+        }
+        if let Some(m) = sim.process_mut::<CommercialMaster>(primary) {
+            m.attach_obs(&obs, primary.0);
+        }
+        if let Some(m) = sim.process_mut::<CommercialMaster>(backup) {
+            m.attach_obs(&obs, backup.0);
+        }
+        if let Some(h) = sim.process_mut::<CommercialHmi>(hmi) {
+            h.attach_obs(&obs, hmi.0);
+        }
+
         CommercialLab {
             sim,
+            obs,
             enterprise_switch,
             ops_switch,
             plc,

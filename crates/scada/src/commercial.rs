@@ -127,6 +127,8 @@ pub struct CommercialMaster {
     pub commands_executed: u64,
     /// Failovers performed.
     pub failovers: u64,
+    obs: obs::ObsHub,
+    trace_node: u32,
 }
 
 impl CommercialMaster {
@@ -152,7 +154,16 @@ impl CommercialMaster {
             last_peer_heartbeat: SimTime::ZERO,
             commands_executed: 0,
             failovers: 0,
+            obs: obs::ObsHub::new(),
+            trace_node: 0,
         }
+    }
+
+    /// Joins a shared observability hub; `node` labels this master's
+    /// trace spans.
+    pub fn attach_obs(&mut self, hub: &obs::ObsHub, node: u32) {
+        self.obs = hub.clone();
+        self.trace_node = node;
     }
 
     fn send_modbus(&mut self, ctx: &mut Context<'_>, req: Request) {
@@ -231,6 +242,14 @@ impl Process for CommercialMaster {
                     let changed = self.positions != values;
                     self.positions = values;
                     if changed || self.status_seq == 0 {
+                        // The poll observed a field change; the status
+                        // push to the HMI continues its trace.
+                        let poll =
+                            self.obs
+                                .instant_span(ctx.trace(), obs::Stage::Poll, self.trace_node);
+                        if poll.is_some() {
+                            ctx.set_trace(poll);
+                        }
                         self.status_seq += 1;
                         let status = CommercialStatus {
                             seq: self.status_seq,
@@ -304,6 +323,8 @@ pub struct CommercialHmi {
     pub box_transitions: Vec<(SimTime, bool)>,
     /// Breaker index driving the measurement box.
     pub sensor_breaker: u16,
+    obs: obs::ObsHub,
+    trace_node: u32,
 }
 
 impl CommercialHmi {
@@ -317,7 +338,16 @@ impl CommercialHmi {
             spoofed_accepted: 0,
             box_transitions: Vec::new(),
             sensor_breaker: 0,
+            obs: obs::ObsHub::new(),
+            trace_node: 0,
         }
+    }
+
+    /// Joins a shared observability hub; `node` labels this HMI's
+    /// trace spans.
+    pub fn attach_obs(&mut self, hub: &obs::ObsHub, node: u32) {
+        self.obs = hub.clone();
+        self.trace_node = node;
     }
 
     /// Sends an operator command toward the (believed) master.
@@ -358,6 +388,8 @@ impl Process for CommercialHmi {
         if let (Some(n), o) = (new_box, old_box) {
             if o != Some(n) {
                 self.box_transitions.push((ctx.now(), n));
+                self.obs
+                    .instant_span(ctx.trace(), obs::Stage::Render, self.trace_node);
             }
         }
     }

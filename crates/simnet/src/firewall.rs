@@ -124,6 +124,7 @@ impl Firewall {
                 dst_port: local_port,
                 kind: TransportKind::TcpSyn,
                 payload: bytes::Bytes::new(),
+                trace: None,
             },
         )
     }

@@ -5,6 +5,7 @@
 //! simulator routes frames; host firewalls and processes see packets.
 
 use bytes::Bytes;
+use obs::trace::TraceCtx;
 
 use crate::types::{IpAddr, MacAddr, Port};
 
@@ -44,6 +45,10 @@ pub struct Packet {
     pub kind: TransportKind,
     /// Application payload (often ciphertext).
     pub payload: Bytes,
+    /// Causal-tracing context riding along as metadata. Not part of the
+    /// wire image: zero bytes of [`Packet::wire_size`], so traced and
+    /// untraced runs have identical timing.
+    pub trace: Option<TraceCtx>,
 }
 
 impl Packet {
@@ -62,6 +67,7 @@ impl Packet {
             dst_port,
             kind: TransportKind::Udp,
             payload,
+            trace: None,
         }
     }
 
@@ -74,6 +80,7 @@ impl Packet {
             dst_port,
             kind: TransportKind::TcpSyn,
             payload: Bytes::new(),
+            trace: None,
         }
     }
 

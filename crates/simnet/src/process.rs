@@ -3,6 +3,7 @@
 
 use std::any::Any;
 
+use obs::trace::TraceCtx;
 use rand::rngs::StdRng;
 
 use crate::packet::{Frame, Packet};
@@ -53,6 +54,9 @@ pub struct Context<'a> {
     pub(crate) interfaces: &'a [(MacAddr, IpAddr)],
     pub(crate) actions: &'a mut Vec<Action>,
     pub(crate) rng: &'a mut StdRng,
+    /// Ambient causal-trace context: pre-set to the incoming packet's
+    /// context for `on_packet`/`on_transit`, adjustable by the process.
+    pub(crate) trace: Option<TraceCtx>,
 }
 
 impl<'a> Context<'a> {
@@ -94,8 +98,25 @@ impl<'a> Context<'a> {
         self.rng
     }
 
-    /// Sends a packet through the normal host stack.
-    pub fn send(&mut self, ifidx: usize, packet: Packet) {
+    /// The ambient causal-trace context: the incoming packet's context
+    /// for packet callbacks, unless the process overrode it.
+    pub fn trace(&self) -> Option<TraceCtx> {
+        self.trace
+    }
+
+    /// Overrides the ambient trace context for the rest of the
+    /// callback; subsequent [`Context::send`]s stamp it on packets.
+    pub fn set_trace(&mut self, trace: Option<TraceCtx>) {
+        self.trace = trace;
+    }
+
+    /// Sends a packet through the normal host stack. Packets without
+    /// an explicit trace context inherit the ambient one, so causality
+    /// propagates through request/response relays untouched.
+    pub fn send(&mut self, ifidx: usize, mut packet: Packet) {
+        if packet.trace.is_none() {
+            packet.trace = self.trace;
+        }
         self.actions.push(Action::SendPacket { ifidx, packet });
     }
 
@@ -183,6 +204,7 @@ mod tests {
             interfaces: &interfaces,
             actions: &mut actions,
             rng: &mut rng,
+            trace: None,
         };
         assert_eq!(ctx.node(), NodeId(3));
         assert_eq!(ctx.now(), SimTime(77));
@@ -206,6 +228,7 @@ mod tests {
             interfaces: &interfaces,
             actions: &mut actions,
             rng: &mut rng,
+            trace: None,
         };
         let mut p = Nop;
         p.on_start(&mut ctx);

@@ -661,6 +661,7 @@ impl Simulation {
                 interfaces: &interfaces,
                 actions: &mut actions,
                 rng: &mut self.rng,
+                trace: None,
             };
             f(process.as_mut(), &mut ctx);
         }
@@ -1004,7 +1005,11 @@ impl Simulation {
         };
         if !is_mine {
             // Steered here by a poisoned ARP entry: transit traffic.
-            self.call_process(node, |p, ctx| p.on_transit(ctx, ifidx, packet));
+            let trace = packet.trace;
+            self.call_process(node, move |p, ctx| {
+                ctx.trace = trace;
+                p.on_transit(ctx, ifidx, packet);
+            });
             return;
         }
         let permitted = self.nodes[node.0 as usize]
@@ -1036,7 +1041,11 @@ impl Simulation {
                 self.respond(node, ifidx, &packet, kind);
                 if open {
                     self.net.packets_to_process.inc();
-                    self.call_process(node, |p, ctx| p.on_packet(ctx, packet));
+                    let trace = packet.trace;
+                    self.call_process(node, move |p, ctx| {
+                        ctx.trace = trace;
+                        p.on_packet(ctx, packet);
+                    });
                 }
             }
             TransportKind::Ping => {
@@ -1044,7 +1053,11 @@ impl Simulation {
             }
             _ => {
                 self.net.packets_to_process.inc();
-                self.call_process(node, |p, ctx| p.on_packet(ctx, packet));
+                let trace = packet.trace;
+                self.call_process(node, move |p, ctx| {
+                    ctx.trace = trace;
+                    p.on_packet(ctx, packet);
+                });
             }
         }
     }
@@ -1058,6 +1071,7 @@ impl Simulation {
             dst_port: to.src_port,
             kind,
             payload: Bytes::new(),
+            trace: to.trace,
         };
         self.host_send(node, ifidx, reply);
     }
@@ -1318,6 +1332,7 @@ mod tests {
                     dst_port: Port(0),
                     kind: TransportKind::Ping,
                     payload: Bytes::new(),
+                    trace: None,
                 };
                 ctx.send(0, pkt);
             }

@@ -209,6 +209,16 @@ impl SpinesDaemon {
         self.id
     }
 
+    /// Journals one overlay-hop forwarding span: an instant
+    /// [`obs::Stage::SpinesHop`] child of `parent`, attributed to
+    /// `node` (the hosting component's id). Hosts call this when a
+    /// traced packet reaches their daemon's port, so each overlay hop
+    /// of a traced message appears in the span tree. No-op (returning
+    /// `None`) when tracing is off or the packet carried no context.
+    pub fn trace_hop(&self, parent: Option<obs::TraceCtx>, node: u32) -> Option<obs::TraceCtx> {
+        self.obs.instant_span(parent, obs::Stage::SpinesHop, node)
+    }
+
     /// The overlay configuration.
     pub fn config(&self) -> &SpinesConfig {
         &self.cfg

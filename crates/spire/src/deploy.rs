@@ -104,7 +104,11 @@ impl Deployment {
                 vec![InterfaceSpec::dynamic(cfg.plc_cable_ip(p))],
                 Box::new(PlcEmulator::new(scenario)),
             );
-            plc_nodes.push(sim.add_node(plc_spec));
+            let plc_node = sim.add_node(plc_spec);
+            if let Some(plc) = sim.process_mut::<PlcEmulator>(plc_node) {
+                plc.attach_obs(&obs, plc_node.0);
+            }
+            plc_nodes.push(plc_node);
         }
         let mut hmi_nodes = Vec::new();
         for h in 0..cfg.hmis {

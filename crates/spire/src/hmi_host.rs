@@ -68,6 +68,9 @@ pub struct HmiHost {
     c_frames_applied: obs::Counter,
     c_frames_pending: obs::Counter,
     c_commands_sent: obs::Counter,
+    /// Simulation node id used to label trace spans (derived from the
+    /// deterministic node-creation order in `deploy::build`).
+    trace_node: u32,
 }
 
 fn hmi_counters(hub: &obs::ObsHub, index: u32) -> [obs::Counter; 3] {
@@ -88,6 +91,7 @@ impl HmiHost {
         let f = cfg.prime.f;
         let hub = obs::ObsHub::new();
         let [frames_applied, frames_pending, commands_sent] = hmi_counters(&hub, index);
+        let trace_node = cfg.n() + 2 * cfg.proxies.len() as u32 + index;
         let mut host = HmiHost {
             cfg,
             index,
@@ -105,6 +109,7 @@ impl HmiHost {
             c_frames_applied: frames_applied,
             c_frames_pending: frames_pending,
             c_commands_sent: commands_sent,
+            trace_node,
         };
         if index == 0 {
             if let Some((scenario, period, max_flips)) = host.cfg.cycle {
@@ -165,6 +170,12 @@ impl HmiHost {
         breaker: u16,
         close: bool,
     ) {
+        // A supervisory command roots a fresh trace: everything from
+        // here to the breaker's mechanical actuation hangs off it.
+        let root = self.obs.start_root(obs::Stage::Command, self.trace_node);
+        if root.is_some() {
+            ctx.set_trace(root);
+        }
         let scada_update = ScadaUpdate::HmiCommand {
             scenario: scenario.to_string(),
             breaker,
@@ -182,6 +193,7 @@ impl HmiHost {
             .external
             .multicast(GROUP_MASTERS, 1, Bytes::from(msg.to_wire().to_vec()));
         Self::flush_sends(ctx, sends);
+        self.obs.end_span(root);
         self.stats.commands_sent += 1;
         self.c_commands_sent.inc();
     }
@@ -230,7 +242,12 @@ impl HmiHost {
                     hmi: self.index,
                     seq: exec_seq,
                 });
-                self.hmi.apply(
+                // The f+1-th matching frame releases the display update;
+                // the winning vote's context parents the delivery.
+                let deliver =
+                    self.obs
+                        .instant_span(ctx.trace(), obs::Stage::Deliver, self.trace_node);
+                let changed = self.hmi.apply(
                     HmiUpdate {
                         scenario,
                         positions,
@@ -238,6 +255,10 @@ impl HmiHost {
                     },
                     ctx.now(),
                 );
+                if changed {
+                    self.obs
+                        .instant_span(deliver, obs::Stage::Render, self.trace_node);
+                }
             } else {
                 self.stats.frames_pending += 1;
                 self.c_frames_pending.inc();
@@ -264,6 +285,9 @@ impl Process for HmiHost {
     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
         if pkt.dst_port != EXTERNAL_SPINES_PORT {
             return;
+        }
+        if let Some(hop) = self.external.trace_hop(ctx.trace(), self.trace_node) {
+            ctx.set_trace(Some(hop));
         }
         let sends = self.external.on_wire(pkt.src_ip, &pkt.payload);
         Self::flush_sends(ctx, sends);

@@ -79,6 +79,10 @@ pub struct PlcProxy {
     pub stats: ProxyStats,
     c_updates_sent: obs::Counter,
     c_commands_actuated: obs::Counter,
+    obs: obs::ObsHub,
+    /// Simulation node id used to label trace spans (derived from the
+    /// deterministic node-creation order in `deploy::build`).
+    trace_node: u32,
 }
 
 fn proxy_counters(hub: &obs::ObsHub, index: u32) -> [obs::Counter; 2] {
@@ -106,6 +110,7 @@ impl PlcProxy {
         let f = cfg.prime.f;
         let hub = obs::ObsHub::new();
         let [updates_sent, commands_actuated] = proxy_counters(&hub, index);
+        let trace_node = cfg.n() + 2 * index;
         PlcProxy {
             cfg,
             index,
@@ -129,6 +134,8 @@ impl PlcProxy {
             stats: ProxyStats::default(),
             c_updates_sent: updates_sent,
             c_commands_actuated: commands_actuated,
+            obs: hub,
+            trace_node,
         }
     }
 
@@ -142,6 +149,7 @@ impl PlcProxy {
             .attach_obs(hub, &format!("spines.ext.proxy{}", self.index));
         self.c_updates_sent = updates_sent;
         self.c_commands_actuated = commands_actuated;
+        self.obs = hub.clone();
     }
 
     /// The proxied scenario.
@@ -202,6 +210,14 @@ impl PlcProxy {
         }
         self.polls_since_update = 0;
         self.last_sent_positions = self.positions.clone();
+        // The proxy turns field state into a signed client update here;
+        // the span covers signing plus the first overlay transmission.
+        let publish = self
+            .obs
+            .start_span(ctx.trace(), obs::Stage::Publish, self.trace_node);
+        if publish.is_some() {
+            ctx.set_trace(publish);
+        }
         let scada_update = ScadaUpdate::RtuStatus {
             scenario: self.scenario.tag(),
             poll_seq: self.poll_seq,
@@ -222,6 +238,7 @@ impl PlcProxy {
             Bytes::from(msg.to_wire().to_vec()),
         );
         Self::flush_sends(ctx, sends);
+        self.obs.end_span(publish);
         self.stats.updates_sent += 1;
         self.c_updates_sent.inc();
     }
@@ -248,6 +265,14 @@ impl PlcProxy {
             if self.votes.vote(key, replica) {
                 self.stats.commands_actuated += 1;
                 self.c_commands_actuated.inc();
+                // The f+1-th matching replica command releases the
+                // actuation; the winning vote's context parents it.
+                let deliver =
+                    self.obs
+                        .instant_span(ctx.trace(), obs::Stage::Deliver, self.trace_node);
+                if deliver.is_some() {
+                    ctx.set_trace(deliver);
+                }
                 self.send_modbus(
                     ctx,
                     Request::WriteSingleCoil {
@@ -292,6 +317,9 @@ impl Process for PlcProxy {
 
     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
         if pkt.dst_port == EXTERNAL_SPINES_PORT {
+            if let Some(hop) = self.external.trace_hop(ctx.trace(), self.trace_node) {
+                ctx.set_trace(Some(hop));
+            }
             let sends = self.external.on_wire(pkt.src_ip, &pkt.payload);
             Self::flush_sends(ctx, sends);
             self.drain_deliveries(ctx);

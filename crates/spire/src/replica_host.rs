@@ -138,8 +138,13 @@ impl ReplicaHost {
                         .unicast(to.0, 1, Bytes::from(msg.to_wire().to_vec()));
                     Self::flush_sends(ctx, 0, INTERNAL_SPINES_PORT, sends);
                 }
-                OutEvent::Execute { .. } => {
+                OutEvent::Execute { trace, .. } => {
                     self.stats.executed += 1;
+                    // Outgoing application messages (commands/frames)
+                    // produced by this execution inherit its context.
+                    if trace.is_some() {
+                        ctx.set_trace(trace);
+                    }
                 }
                 OutEvent::ViewChanged { view } => {
                     self.stats.view_changes += 1;
@@ -238,6 +243,7 @@ impl ReplicaHost {
             if let Ok(ExternalMsg::ClientUpdate(update)) = ExternalMsg::from_wire(&delivery.payload)
             {
                 self.stats.updates_submitted += 1;
+                self.replica.set_incoming_trace(ctx.trace());
                 let events = self.replica.submit(update, ctx.now());
                 self.route_events(ctx, events);
             }
@@ -279,6 +285,9 @@ impl Process for ReplicaHost {
             let sends = self.internal.on_wire(pkt.src_ip, &pkt.payload);
             Self::flush_sends(ctx, 0, INTERNAL_SPINES_PORT, sends);
         } else if pkt.dst_port == EXTERNAL_SPINES_PORT {
+            if let Some(hop) = self.external.trace_hop(ctx.trace(), self.id) {
+                ctx.set_trace(Some(hop));
+            }
             let sends = self.external.on_wire(pkt.src_ip, &pkt.payload);
             Self::flush_sends(ctx, 1, EXTERNAL_SPINES_PORT, sends);
         }

@@ -25,13 +25,19 @@
 //!   --metrics      print the metrics registry + journal digest after
 //!                  e4/e5 (see EXPERIMENTS.md, "Observability")
 //!   --trace        echo journal records live as the simulation runs
+//!   --trace-export FILE
+//!                  write the causal span trees of e4/e5 as Chrome
+//!                  trace-event JSON (open in Perfetto; see
+//!                  EXPERIMENTS.md, "Tracing")
 //! ```
 
 use std::process::ExitCode;
 
 use bench::figures::{fig1_conventional, fig2_spire, fig4_hmi};
 use bench::mana_experiment::{e7_mana_detection, e7_roc, render_mana, render_roc};
-use bench::plant_experiments::{e4_plant_deployment_traced, e5_reaction_time, render_reaction};
+use bench::plant_experiments::{
+    e4_plant_deployment_traced, e5_reaction_time_traced, render_reaction,
+};
 use bench::recovery_experiments::{
     e6_ground_truth, e8_recovery_ablation, e9_diversity_ablation, render_diversity,
 };
@@ -45,6 +51,7 @@ struct Options {
     days: u64,
     metrics: bool,
     trace: bool,
+    trace_export: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Options, String> {
@@ -53,6 +60,7 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
         days: 6,
         metrics: false,
         trace: false,
+        trace_export: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -72,11 +80,27 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
             }
             "--metrics" => opts.metrics = true,
             "--trace" => opts.trace = true,
+            "--trace-export" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .ok_or_else(|| "--trace-export requires a file path".to_string())?;
+                opts.trace_export = Some(path.clone());
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
         i += 1;
     }
     Ok(opts)
+}
+
+/// Writes the journal's span trees as Chrome trace-event JSON.
+fn export_trace(path: &str, journal: &[obs::TimedEvent]) {
+    let json = obs::trace::chrome_trace_json(journal);
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("trace written to {path} (open in https://ui.perfetto.dev)"),
+        Err(err) => eprintln!("failed to write {path}: {err}"),
+    }
 }
 
 fn run(command: &str, opts: &Options) -> bool {
@@ -106,7 +130,13 @@ fn run(command: &str, opts: &Options) -> bool {
             println!("spire survived: {}", r.spire_survived());
         }
         "e4" => {
-            let r = e4_plant_deployment_traced(opts.seed, opts.days, 30, opts.trace);
+            let r = e4_plant_deployment_traced(
+                opts.seed,
+                opts.days,
+                30,
+                opts.trace,
+                opts.trace_export.is_some(),
+            );
             println!(
                 "days: {} ({} s/day)   recoveries: {}   min executed: {}\n\
                  hmi frames: {}   view changes: {}   longest display gap: {}\n\
@@ -123,12 +153,18 @@ fn run(command: &str, opts: &Options) -> bool {
             if opts.metrics {
                 println!("\n{}", r.obs.render());
             }
+            if let Some(path) = &opts.trace_export {
+                export_trace(path, &r.obs.journal);
+            }
         }
         "e5" => {
-            let r = e5_reaction_time(opts.seed, 10);
+            let r = e5_reaction_time_traced(opts.seed, 10, opts.trace);
             println!("{}", render_reaction(&r));
             if opts.metrics {
                 println!("{}", r.obs.render());
+            }
+            if let Some(path) = &opts.trace_export {
+                export_trace(path, &r.obs.journal);
             }
         }
         "e6" => println!("{:#?}", e6_ground_truth(opts.seed)),
@@ -160,28 +196,40 @@ fn run(command: &str, opts: &Options) -> bool {
     true
 }
 
+/// Every runnable experiment id, as listed by usage and unknown-command
+/// errors.
+const COMMANDS: &[&str] = &[
+    "figures", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10", "all",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: spire-sim <{}> [--seed N] [--days N] [--metrics] [--trace] [--trace-export FILE]",
+        COMMANDS.join("|")
+    )
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!(
-            "usage: spire-sim <figures|e1..e10|e7b|all> [--seed N] [--days N] [--metrics] [--trace]"
-        );
+        eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
     let opts = match parse_flags(&args[1..]) {
         Ok(opts) => opts,
         Err(err) => {
             eprintln!("{err}");
-            eprintln!(
-                "usage: spire-sim <figures|e1..e10|e7b|all> [--seed N] [--days N] [--metrics] [--trace]"
-            );
+            eprintln!("{}", usage());
             return ExitCode::FAILURE;
         }
     };
     if run(command, &opts) {
         ExitCode::SUCCESS
     } else {
-        eprintln!("unknown command: {command}");
+        eprintln!(
+            "unknown command: {command}\navailable commands: {}",
+            COMMANDS.join(" ")
+        );
         ExitCode::FAILURE
     }
 }

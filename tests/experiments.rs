@@ -122,6 +122,64 @@ fn e5_reaction_histograms_pin_the_paper_outcome() {
 }
 
 #[test]
+fn e5_prime_ordering_dominates_the_reaction_path() {
+    // The span-level attribution pins WHERE Spire's reaction time goes:
+    // Prime's ordering pipeline (queueing for the next pre-prepare plus
+    // the three-phase agreement), not the Spines overlay and not the
+    // field devices, is the dominant stage — the cost of intrusion
+    // tolerance is the ordering latency, exactly as the paper argues.
+    let r = e5_reaction_time(505, 8);
+    let spire = r.spire_stages.as_ref().expect("spire path traced");
+    assert_eq!(spire.chains, 8, "every flip produced a complete chain");
+    let prime = spire.p50_share_us(|s| {
+        matches!(
+            s,
+            obs::Stage::PrimeQueue
+                | obs::Stage::PrimePrePrepare
+                | obs::Stage::PrimePrepare
+                | obs::Stage::PrimeCommit
+                | obs::Stage::PrimeExecute
+        )
+    });
+    let detect = spire.p50_share_us(|s| s == obs::Stage::Detect);
+    let network = spire.p50_share_us(|s| {
+        matches!(
+            s,
+            obs::Stage::Publish | obs::Stage::SpinesHop | obs::Stage::Deliver
+        )
+    });
+    assert!(
+        prime > detect,
+        "ordering {prime} us dominates detection {detect} us"
+    );
+    assert!(
+        prime > 10 * network.max(1),
+        "ordering {prime} us dwarfs network transit {network} us"
+    );
+    // The shares are an exact decomposition of the recorded median.
+    assert_eq!(spire.p50_sum_us(), spire.p50_total_us);
+    let p50 = r.spire.median.as_micros() as u64;
+    assert!(
+        spire.p50_total_us.abs_diff(p50) <= 1,
+        "chain total {} us vs recorded median {} us",
+        spire.p50_total_us,
+        p50
+    );
+    // The commercial path has no ordering stage at all: its latency is
+    // pure detection (the slow serial poll loop).
+    let comm = r
+        .commercial_stages
+        .as_ref()
+        .expect("commercial path traced");
+    let comm_detect = comm.p50_share_us(|s| s == obs::Stage::Detect);
+    assert!(
+        comm_detect * 2 > comm.p50_total_us,
+        "commercial latency is detection-bound: {comm_detect} of {}",
+        comm.p50_total_us
+    );
+}
+
+#[test]
 fn e6_ground_truth_recovery_after_breach() {
     let run = e6_ground_truth(606);
     assert!(!run.replica_recovery_possible, "1 intact replica < f+1 = 2");

@@ -3,7 +3,7 @@
 //! digest), different seeds must not, and the registry must agree with
 //! the legacy stats structs it mirrors.
 
-use bench::plant_experiments::e4_plant_deployment;
+use bench::plant_experiments::{e4_plant_deployment, e5_reaction_time};
 use plc::topology::Scenario;
 use prime::types::Config as PrimeConfig;
 use simnet::time::SimDuration;
@@ -33,6 +33,36 @@ fn e4_different_seeds_yield_different_digests() {
     assert_ne!(
         a.obs.journal_digest, b.obs.journal_digest,
         "different seeds perturb event timing, changing the journal"
+    );
+}
+
+#[test]
+fn e5_same_seed_yields_identical_span_trees_and_digest() {
+    // E5 runs with span tracing enabled, so this pins determinism of
+    // the whole tracing pipeline: id allocation, packet-borne context
+    // propagation, and journaled start/end records.
+    let a = e5_reaction_time(4242, 4);
+    let b = e5_reaction_time(4242, 4);
+    assert_eq!(
+        a.obs.journal_digest, b.obs.journal_digest,
+        "same seed, same journal digest with tracing enabled"
+    );
+    let ta = obs::trace::assemble(&a.obs.journal);
+    let tb = obs::trace::assemble(&b.obs.journal);
+    assert_eq!(ta.orphan_ends, 0, "every journaled end had a start");
+    assert!(!ta.traces.is_empty(), "the measured flips produced traces");
+    assert_eq!(ta, tb, "same seed, identical assembled span trees");
+    assert_eq!(a.spire_stages, b.spire_stages);
+    assert_eq!(a.commercial_stages, b.commercial_stages);
+}
+
+#[test]
+fn e5_different_seeds_yield_different_digests() {
+    let a = e5_reaction_time(4242, 4);
+    let b = e5_reaction_time(4243, 4);
+    assert_ne!(
+        a.obs.journal_digest, b.obs.journal_digest,
+        "different seeds perturb span timing, changing the journal"
     );
 }
 

@@ -212,6 +212,90 @@ proptest! {
         prop_assert!(err <= 0.0625 + 1e-9, "relative error {err} at {value}");
     }
 
+    // ---- causal span trees ----
+
+    #[test]
+    fn span_trees_well_formed_under_arbitrary_interleavings(
+        ops in proptest::collection::vec((0u8..4, any::<usize>(), 1u64..5_000), 0..150),
+    ) {
+        // Drive the span API with an arbitrary interleaving of root
+        // starts, child starts (under any live-or-dead span), instant
+        // spans, and out-of-order ends, then reassemble the journal:
+        // every end must match a start, every trace must have exactly
+        // one root, and children must nest within their parents.
+        let hub = obs::ObsHub::new();
+        hub.set_tracing(true);
+        let mut now = 0u64;
+        let mut open: Vec<obs::TraceCtx> = Vec::new();
+        let mut started: Vec<obs::TraceCtx> = Vec::new();
+        let mut roots = 0u64;
+        for &(op, idx, dt) in &ops {
+            now += dt;
+            hub.set_now_us(now);
+            match op {
+                0 => {
+                    let ctx = hub
+                        .start_root(obs::Stage::Command, (idx % 7) as u32)
+                        .expect("tracing is on");
+                    open.push(ctx);
+                    started.push(ctx);
+                    roots += 1;
+                }
+                1 if !started.is_empty() => {
+                    let parent = started[idx % started.len()];
+                    if let Some(ctx) =
+                        hub.start_span(Some(parent), obs::Stage::SpinesHop, (idx % 7) as u32)
+                    {
+                        open.push(ctx);
+                        started.push(ctx);
+                    }
+                }
+                2 if !open.is_empty() => {
+                    let ctx = open.swap_remove(idx % open.len());
+                    hub.end_span(Some(ctx));
+                }
+                3 if !started.is_empty() => {
+                    let parent = started[idx % started.len()];
+                    hub.instant_span(Some(parent), obs::Stage::Deliver, (idx % 7) as u32);
+                }
+                _ => {}
+            }
+        }
+        let asm = obs::trace::assemble(&hub.journal_records());
+        prop_assert_eq!(asm.orphan_ends, 0, "every journaled end had a start");
+        prop_assert_eq!(
+            asm.traces.len() as u64,
+            roots,
+            "one assembled trace per injected root"
+        );
+        for trace in &asm.traces {
+            let mut parentless = 0usize;
+            for span in &trace.spans {
+                prop_assert!(span.end_us >= span.start_us, "span ends after it starts");
+                match span.parent {
+                    None => parentless += 1,
+                    Some(p) => {
+                        let parent = trace.span(p).expect("parent assembled in the same trace");
+                        prop_assert!(
+                            span.start_us >= parent.start_us,
+                            "child {:?} starts within its parent",
+                            span.id
+                        );
+                        // The clamp prefers end >= start over nesting: a
+                        // child started after its parent already ended
+                        // collapses to zero duration instead.
+                        prop_assert!(
+                            span.end_us <= parent.end_us || span.end_us == span.start_us,
+                            "child {:?} clamped into its parent",
+                            span.id
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(parentless, 1, "exactly one root per trace");
+        }
+    }
+
     // ---- CRC ----
 
     #[test]

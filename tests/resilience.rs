@@ -221,6 +221,7 @@ fn simnet_link_loss_counted_and_tolerated() {
                     dst_port: simnet::types::Port(0),
                     kind: simnet::packet::TransportKind::Ping,
                     payload: bytes::Bytes::new(),
+                    trace: None,
                 };
                 ctx.send(0, pkt);
                 ctx.set_timer(SimDuration::from_millis(10), 1);
