@@ -21,4 +21,11 @@ cargo test -q --workspace
 echo "==> trace determinism"
 cargo test -q --test observability e5_same_seed_yields_identical_span_trees_and_digest
 
+echo "==> bench smoke (one E11 ramp step + golden digest pin)"
+# A single-step saturation run proves the bench/e11 CLI path works end
+# to end; the golden-digest tests prove hot-path optimizations remain
+# observationally invisible (byte-identical journals and reports).
+cargo run -q --release --bin spire-sim -- e11 --steps 1 >/dev/null
+cargo test -q --release --test golden_digests
+
 echo "All checks passed."

@@ -1,0 +1,345 @@
+//! Determinism fingerprints and the wall-clock bench harness.
+//!
+//! Every experiment is deterministic from its seed, and most of them run
+//! on top of the event journal; [`RunMeta`] captures the journal digest
+//! plus the simulator's event count for each deployment an experiment
+//! builds. [`experiment_fingerprint`] folds those captures (plus the
+//! rendered result tables) into a single hex digest per experiment, which
+//! `tests/golden_digests.rs` pins at [`GOLDEN_SEED`] so performance work
+//! cannot silently change observable behavior.
+//!
+//! [`run_bench`] times every experiment wall-clock and reports
+//! sim-events/sec, seeding the `BENCH_*.json` trajectory that the
+//! ROADMAP's "as fast as the hardware allows" north star asks for.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use itcrypto::sha256::sha256;
+use simnet::sim::Simulation;
+
+use crate::mana_experiment::{e7_mana_detection, e7_roc, render_mana, render_roc};
+use crate::plant_experiments::{e4_plant_deployment, e5_reaction_time, render_reaction};
+use crate::recovery_experiments::{
+    e6_ground_truth, e8_recovery_ablation, e9_diversity_ablation, render_diversity,
+};
+use crate::redteam_experiments::{
+    e10_hardening_ablation_meta, e1_commercial_attacks_meta, e2_spire_network_attacks,
+    e3_replica_excursion_meta, render_ablation,
+};
+use crate::saturation::{e11_default_rates, e11_saturation, render_saturation};
+
+/// The seed at which the golden digests in `tests/golden_digests.rs` are
+/// pinned.
+pub const GOLDEN_SEED: u64 = 42;
+
+/// Determinism capture for one deployment (or lab) an experiment built:
+/// the event-journal digest plus the simulator's processed-event count.
+#[derive(Clone, Debug)]
+pub struct RunMeta {
+    /// Which deployment within the experiment this captures.
+    pub label: String,
+    /// Hex journal digest (`ObsHub::journal_digest`) at the end of the run.
+    pub journal_digest: String,
+    /// Total simulator events processed by the run.
+    pub sim_events: u64,
+}
+
+impl RunMeta {
+    /// Captures the fingerprint inputs of a finished run.
+    pub fn capture(label: &str, obs: &obs::ObsHub, sim: &Simulation) -> Self {
+        Self {
+            label: label.to_string(),
+            journal_digest: obs.journal_digest().to_hex(),
+            sim_events: sim.events_processed(),
+        }
+    }
+}
+
+fn meta_lines(out: &mut String, metas: &[RunMeta]) {
+    for m in metas {
+        let _ = writeln!(out, "{} {} {}", m.label, m.journal_digest, m.sim_events);
+    }
+}
+
+/// Runs experiment `id` ("e1".."e10", "e7b") at `seed` — at a reduced size
+/// where the full run would be slow — and folds its journal digests,
+/// event counts, and rendered result into one hex digest.
+///
+/// Any behavioral drift (different message bytes, different event order,
+/// different verdicts) changes the digest; pure performance work does not.
+///
+/// # Panics
+/// Panics on an unknown experiment id.
+pub fn experiment_fingerprint(id: &str, seed: u64) -> String {
+    let mut text = format!("{id} seed={seed}\n");
+    match id {
+        "e1" => {
+            let (report, metas) = e1_commercial_attacks_meta(seed);
+            meta_lines(&mut text, &metas);
+            text.push_str(&report.render());
+        }
+        "e2" => {
+            let r = e2_spire_network_attacks(seed);
+            meta_lines(&mut text, std::slice::from_ref(&r.meta));
+            text.push_str(&r.report.render());
+            let _ = writeln!(
+                text,
+                "frames {} -> {}  arp_rejections {}  spines_auth_failures {}",
+                r.frames_before, r.frames_after, r.arp_rejections, r.spines_auth_failures
+            );
+        }
+        "e3" => {
+            let (report, meta) = e3_replica_excursion_meta(seed);
+            meta_lines(&mut text, std::slice::from_ref(&meta));
+            let _ = writeln!(text, "{report:#?}");
+        }
+        "e4" => {
+            let run = e4_plant_deployment(seed, 1, 6);
+            meta_lines(&mut text, std::slice::from_ref(&run.meta));
+            let _ = writeln!(
+                text,
+                "recoveries {} min_executed {} hmi_frames {} view_changes {} gap {} consistent {}",
+                run.recoveries,
+                run.min_executed,
+                run.hmi_frames,
+                run.view_changes,
+                run.longest_display_gap,
+                run.replicas_consistent
+            );
+        }
+        "e5" => {
+            let r = e5_reaction_time(seed, 4);
+            meta_lines(&mut text, &r.meta);
+            text.push_str(&render_reaction(&r));
+        }
+        "e6" => {
+            let run = e6_ground_truth(seed);
+            meta_lines(&mut text, std::slice::from_ref(&run.meta));
+            let _ = writeln!(text, "{run:#?}");
+        }
+        "e7" => {
+            let run = e7_mana_detection(seed);
+            meta_lines(&mut text, std::slice::from_ref(&run.meta));
+            text.push_str(&render_mana(&run));
+        }
+        "e7b" => {
+            let run = e7_roc(seed);
+            meta_lines(&mut text, std::slice::from_ref(&run.meta));
+            text.push_str(&render_roc(&run));
+        }
+        "e8" => {
+            // Cluster-based: no simnet journal; the arm table is the record.
+            let arms = e8_recovery_ablation(seed);
+            let _ = writeln!(text, "{arms:#?}");
+        }
+        "e9" => {
+            // Pure computation; the rendered table is the record.
+            text.push_str(&render_diversity(&e9_diversity_ablation(seed, 5)));
+        }
+        "e10" => {
+            let (rows, metas) = e10_hardening_ablation_meta(seed);
+            meta_lines(&mut text, &metas);
+            text.push_str(&render_ablation(&rows));
+        }
+        other => panic!("unknown experiment id: {other}"),
+    }
+    sha256(text.as_bytes()).to_hex()
+}
+
+/// The experiment ids covered by [`experiment_fingerprint`], in run order.
+pub const FINGERPRINTED: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10",
+];
+
+/// One timed experiment in a bench run.
+#[derive(Clone, Debug)]
+pub struct BenchEntry {
+    /// Experiment id.
+    pub name: String,
+    /// Wall-clock milliseconds for the full experiment.
+    pub wall_ms: f64,
+    /// Simulator events processed (absent for Cluster-only / pure runs).
+    pub sim_events: Option<u64>,
+    /// `sim_events / wall seconds` — the engine-throughput trajectory.
+    pub events_per_sec: Option<f64>,
+}
+
+/// A full `spire-sim bench` run: every experiment timed at one seed.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// The seed every experiment ran at.
+    pub seed: u64,
+    /// Per-experiment timings, in run order.
+    pub entries: Vec<BenchEntry>,
+}
+
+fn entry(name: &str, wall_ms: f64, sim_events: Option<u64>) -> BenchEntry {
+    BenchEntry {
+        name: name.to_string(),
+        wall_ms,
+        sim_events,
+        events_per_sec: sim_events.map(|e| e as f64 / (wall_ms / 1000.0)),
+    }
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1000.0)
+}
+
+/// Times e1–e11 wall-clock at `seed` (e4 at its tier-1 size, e5 at 8
+/// flips, e9 at 20 trials, e11 over the default rate ramp) and reports
+/// sim-events/sec wherever a simulator ran.
+pub fn run_bench(seed: u64) -> BenchReport {
+    let mut entries = Vec::new();
+
+    let ((_, metas), ms) = timed(|| e1_commercial_attacks_meta(seed));
+    entries.push(entry(
+        "e1",
+        ms,
+        Some(metas.iter().map(|m| m.sim_events).sum()),
+    ));
+
+    let (r, ms) = timed(|| e2_spire_network_attacks(seed));
+    entries.push(entry("e2", ms, Some(r.meta.sim_events)));
+
+    let ((_, meta), ms) = timed(|| e3_replica_excursion_meta(seed));
+    entries.push(entry("e3", ms, Some(meta.sim_events)));
+
+    let (run, ms) = timed(|| e4_plant_deployment(seed, 1, 30));
+    entries.push(entry("e4", ms, Some(run.meta.sim_events)));
+
+    let (r, ms) = timed(|| e5_reaction_time(seed, 8));
+    entries.push(entry(
+        "e5",
+        ms,
+        Some(r.meta.iter().map(|m| m.sim_events).sum()),
+    ));
+
+    let (run, ms) = timed(|| e6_ground_truth(seed));
+    entries.push(entry("e6", ms, Some(run.meta.sim_events)));
+
+    let (run, ms) = timed(|| e7_mana_detection(seed));
+    entries.push(entry("e7", ms, Some(run.meta.sim_events)));
+
+    let (run, ms) = timed(|| e7_roc(seed));
+    entries.push(entry("e7b", ms, Some(run.meta.sim_events)));
+
+    let (_, ms) = timed(|| e8_recovery_ablation(seed));
+    entries.push(entry("e8", ms, None));
+
+    let (_, ms) = timed(|| e9_diversity_ablation(seed, 20));
+    entries.push(entry("e9", ms, None));
+
+    let ((_, metas), ms) = timed(|| e10_hardening_ablation_meta(seed));
+    entries.push(entry(
+        "e10",
+        ms,
+        Some(metas.iter().map(|m| m.sim_events).sum()),
+    ));
+
+    let (_, ms) = timed(|| e11_saturation(seed, &e11_default_rates()));
+    entries.push(entry("e11", ms, None));
+
+    BenchReport { seed, entries }
+}
+
+/// Renders the bench report as a table.
+pub fn render_bench(r: &BenchReport) -> String {
+    let mut out = format!("bench at seed {}\n", r.seed);
+    let _ = writeln!(
+        out,
+        "{:<6} {:>10} {:>12} {:>14}",
+        "exp", "wall_ms", "sim_events", "events/sec"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(46));
+    for e in &r.entries {
+        let _ = writeln!(
+            out,
+            "{:<6} {:>10.1} {:>12} {:>14}",
+            e.name,
+            e.wall_ms,
+            e.sim_events.map_or("-".into(), |v| v.to_string()),
+            e.events_per_sec.map_or("-".into(), |v| format!("{v:.0}")),
+        );
+    }
+    let total: f64 = r.entries.iter().map(|e| e.wall_ms).sum();
+    let _ = writeln!(out, "total  {total:>10.1}");
+    out
+}
+
+/// Serializes the bench report as JSON (`spire-sim bench --json FILE`).
+///
+/// Hand-rolled: the workspace deliberately has no serde dependency, and
+/// the schema is five fixed keys.
+pub fn bench_json(r: &BenchReport) -> String {
+    let mut out = String::from("{\n  \"schema\": \"spire-bench-v1\",\n");
+    let _ = writeln!(out, "  \"seed\": {},", r.seed);
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in r.entries.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"sim_events\": {}, \"events_per_sec\": {}}}",
+            e.name,
+            e.wall_ms,
+            e.sim_events.map_or("null".into(), |v| v.to_string()),
+            e.events_per_sec
+                .map_or("null".into(), |v| format!("{v:.1}")),
+        );
+        out.push_str(if i + 1 < r.entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs E11 once and renders it (the `spire-sim e11` body, shared with
+/// tests).
+pub fn e11_report(seed: u64, steps: usize) -> String {
+    let rates = e11_default_rates();
+    let rates = &rates[..steps.clamp(1, rates.len())];
+    render_saturation(&e11_saturation(seed, rates))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_stable_within_a_process() {
+        // Cheapest experiment with a deployment: same seed, same digest;
+        // different seed, different digest.
+        let a = experiment_fingerprint("e9", 7);
+        let b = experiment_fingerprint("e9", 7);
+        let c = experiment_fingerprint("e9", 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bench_json_is_wellformed_enough() {
+        let r = BenchReport {
+            seed: 1,
+            entries: vec![
+                BenchEntry {
+                    name: "e8".into(),
+                    wall_ms: 12.5,
+                    sim_events: None,
+                    events_per_sec: None,
+                },
+                BenchEntry {
+                    name: "e4".into(),
+                    wall_ms: 100.0,
+                    sim_events: Some(5000),
+                    events_per_sec: Some(50_000.0),
+                },
+            ],
+        };
+        let json = bench_json(&r);
+        assert!(json.contains("\"schema\": \"spire-bench-v1\""));
+        assert!(json.contains("\"sim_events\": null"));
+        assert!(json.contains("\"sim_events\": 5000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -11,15 +11,19 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod harness;
 pub mod mana_experiment;
 pub mod plant_experiments;
 pub mod recovery_experiments;
 pub mod redteam_experiments;
+pub mod saturation;
 
 pub use figures::{fig1_conventional, fig2_spire, fig4_hmi};
+pub use harness::{experiment_fingerprint, run_bench, RunMeta, GOLDEN_SEED};
 pub use mana_experiment::e7_mana_detection;
 pub use plant_experiments::{e4_plant_deployment, e5_reaction_time, e5_reaction_time_traced};
 pub use recovery_experiments::{e6_ground_truth, e8_recovery_ablation, e9_diversity_ablation};
 pub use redteam_experiments::{
     e10_hardening_ablation, e1_commercial_attacks, e2_spire_network_attacks, e3_replica_excursion,
 };
+pub use saturation::{e11_default_rates, e11_saturation};

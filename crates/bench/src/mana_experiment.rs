@@ -1,6 +1,7 @@
 //! Experiment E7: MANA trained on the deployment's own baseline traffic,
 //! then exposed to the red-team attack sequence.
 
+use crate::harness::RunMeta;
 use mana::features::{FeatureVector, WindowExtractor};
 use mana::ids::{AlertKind, ManaInstance};
 use mana::kmeans::{roc_curve, KMeansModel, RocPoint};
@@ -35,6 +36,8 @@ pub struct ManaRun {
     pub incidents: usize,
     /// The rendered situational-awareness board.
     pub board: String,
+    /// Determinism capture of the deployment (digest + event count).
+    pub meta: RunMeta,
 }
 
 /// E7 — train on the operations network baseline, then watch the red
@@ -131,6 +134,7 @@ pub fn e7_mana_detection(seed: u64) -> ManaRun {
         detected_flood: detected(AlertKind::TrafficFlood),
         incidents: mana.alerts.len() - incidents_before_attack,
         board,
+        meta: RunMeta::capture("e7.deployment", &d.obs, &d.sim),
     }
 }
 
@@ -147,6 +151,8 @@ pub struct RocRun {
     pub auc_kmeans: f64,
     /// The Gaussian model's ROC points (the figure's series).
     pub curve_gaussian: Vec<RocPoint>,
+    /// Determinism capture of the deployment (digest + event count).
+    pub meta: RunMeta,
 }
 
 /// E7b — the detection-quality figure: label every monitored window by
@@ -243,6 +249,7 @@ pub fn e7_roc(seed: u64) -> RocRun {
         auc_gaussian,
         auc_kmeans,
         curve_gaussian,
+        meta: RunMeta::capture("e7b.deployment", &d.obs, &d.sim),
     }
 }
 

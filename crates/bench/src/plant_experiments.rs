@@ -1,5 +1,6 @@
 //! Experiments E4 and E5: the power-plant test deployment (§V).
 
+use crate::harness::RunMeta;
 use diversity::recovery::RecoveryScheduler;
 use plc::topology::Scenario;
 use prime::application::Application;
@@ -44,6 +45,8 @@ pub struct PlantRun {
     pub replicas_consistent: bool,
     /// Full metrics/journal snapshot of the run.
     pub obs: obs::ObsReport,
+    /// Determinism capture of the deployment (digest + event count).
+    pub meta: RunMeta,
 }
 
 /// E4 — the plant deployment: 6 replicas (f=1, k=1), the full 17-PLC
@@ -134,6 +137,7 @@ pub fn e4_plant_deployment_traced(
         view_changes,
         longest_display_gap: longest,
         replicas_consistent,
+        meta: RunMeta::capture("e4.deployment", &d.obs, &d.sim),
         obs: d.obs.report(),
     }
 }
@@ -159,6 +163,8 @@ pub struct ReactionTimes {
     /// Per-stage attribution of the commercial reaction path (detect →
     /// poll → render).
     pub commercial_stages: Option<obs::trace::StageBreakdown>,
+    /// Determinism captures: the Spire deployment and the commercial lab.
+    pub meta: Vec<RunMeta>,
 }
 
 impl ReactionTimes {
@@ -277,6 +283,10 @@ pub fn e5_reaction_time_traced(seed: u64, flips: usize, trace: bool) -> Reaction
         spire,
         commercial,
         requirement: SimDuration::from_millis(200),
+        meta: vec![
+            RunMeta::capture("e5.spire", &d.obs, &d.sim),
+            RunMeta::capture("e5.commercial", &lab.obs, &lab.sim),
+        ],
         obs: d.obs.report(),
         spire_stages,
         commercial_stages,

@@ -1,6 +1,7 @@
 //! Experiments E6, E8, E9: ground-truth recovery, the 3f+2k+1 ablation,
 //! and the diversity/recovery race.
 
+use crate::harness::RunMeta;
 use diversity::economics::{race, RaceConfig, RaceOutcome};
 use diversity::variant::BinaryHardening;
 use plc::topology::Scenario;
@@ -42,6 +43,8 @@ pub struct GroundTruthRun {
     pub historian_records_lost: usize,
     /// Historian records reconstructed from the field (present state only).
     pub historian_records_recovered: usize,
+    /// Determinism capture of the deployment (digest + event count).
+    pub meta: RunMeta,
 }
 
 /// E6 — assumption breach and ground-truth recovery: crash five of six
@@ -94,6 +97,7 @@ pub fn e6_ground_truth(seed: u64) -> GroundTruthRun {
         field_rebuild_correct,
         historian_records_lost: recovery.lost_records,
         historian_records_recovered: recovery.recovered_records,
+        meta: RunMeta::capture("e6.deployment", &d.obs, &d.sim),
     }
 }
 

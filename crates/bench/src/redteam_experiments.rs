@@ -1,6 +1,7 @@
 //! Experiments E1–E3 and E10: the red-team exercise (§IV) and the
 //! hardening ablation (§VI-A).
 
+use crate::harness::RunMeta;
 use plc::emulator::PlcEmulator;
 use plc::logic::LogicConfig;
 use plc::topology::Scenario;
@@ -50,6 +51,12 @@ fn spire_target(hardening: HardeningProfile, seed: u64) -> Deployment {
 /// E1 — the red team against the commercial system: every attack from
 /// §IV-B's first two paragraphs, executed and verified.
 pub fn e1_commercial_attacks(seed: u64) -> AttackReport {
+    e1_commercial_attacks_meta(seed).0
+}
+
+/// [`e1_commercial_attacks`] plus the determinism captures of both labs
+/// (the golden-digest and bench inputs).
+pub fn e1_commercial_attacks_meta(seed: u64) -> (AttackReport, Vec<RunMeta>) {
     let mut report = AttackReport::new();
 
     // Phase 1: from the enterprise network — dump, then re-upload PLC
@@ -181,7 +188,11 @@ pub fn e1_commercial_attacks(seed: u64) -> AttackReport {
         },
         "operator display shows forged all-closed state",
     );
-    report
+    let metas = vec![
+        RunMeta::capture("e1.enterprise-lab", &lab.obs, &lab.sim),
+        RunMeta::capture("e1.ops-lab", &lab2.obs, &lab2.sim),
+    ];
+    (report, metas)
 }
 
 /// Result of E2 including service-continuity evidence.
@@ -197,6 +208,8 @@ pub struct E2Result {
     pub arp_rejections: u64,
     /// Spoofed/keyless frames rejected by Spines link crypto.
     pub spines_auth_failures: u64,
+    /// Determinism capture of the deployment (digest + event count).
+    pub meta: RunMeta,
 }
 
 /// E2 — the same network attacks against Spire: port scan, ARP poisoning,
@@ -318,6 +331,7 @@ pub fn e2_spire_network_attacks(seed: u64) -> E2Result {
         frames_after,
         arp_rejections,
         spines_auth_failures,
+        meta: RunMeta::capture("e2.deployment", &d.obs, &d.sim),
     }
 }
 
@@ -333,9 +347,16 @@ fn attacker_spec(attacker: Attacker) -> NodeSpec {
 
 /// E3 — the compromised-replica excursion (§IV-B, day 3).
 pub fn e3_replica_excursion(seed: u64) -> ExcursionReport {
+    e3_replica_excursion_meta(seed).0
+}
+
+/// [`e3_replica_excursion`] plus the deployment's determinism capture.
+pub fn e3_replica_excursion_meta(seed: u64) -> (ExcursionReport, RunMeta) {
     let mut d = spire_target(HardeningProfile::deployed(), seed);
     d.run_for(SimDuration::from_secs(4));
-    run_excursion(&mut d, 3)
+    let report = run_excursion(&mut d, 3);
+    let meta = RunMeta::capture("e3.deployment", &d.obs, &d.sim);
+    (report, meta)
 }
 
 /// One row of the E10 hardening-ablation matrix.
@@ -366,19 +387,32 @@ pub struct AblationRow {
 /// E10 — re-run the attack suite with each §III-B hardening switch turned
 /// off, one at a time.
 pub fn e10_hardening_ablation(seed: u64) -> Vec<AblationRow> {
+    e10_hardening_ablation_meta(seed).0
+}
+
+/// [`e10_hardening_ablation`] plus one determinism capture per ablation
+/// case (each case is its own deployment).
+pub fn e10_hardening_ablation_meta(seed: u64) -> (Vec<AblationRow>, Vec<RunMeta>) {
     let mut rows = Vec::new();
+    let mut metas = Vec::new();
     let mut configs: Vec<(String, HardeningProfile)> =
         vec![("(full hardening)".into(), HardeningProfile::deployed())];
     for &name in HardeningProfile::switch_names() {
         configs.push((format!("-{name}"), HardeningProfile::without(name)));
     }
     for (i, (label, profile)) in configs.into_iter().enumerate() {
-        rows.push(run_ablation_case(label, profile, seed + i as u64));
+        let (row, meta) = run_ablation_case(label, profile, seed + i as u64);
+        rows.push(row);
+        metas.push(meta);
     }
-    rows
+    (rows, metas)
 }
 
-fn run_ablation_case(label: String, profile: HardeningProfile, seed: u64) -> AblationRow {
+fn run_ablation_case(
+    label: String,
+    profile: HardeningProfile,
+    seed: u64,
+) -> (AblationRow, RunMeta) {
     let mut d = spire_target(profile, seed);
     d.run_for(SimDuration::from_secs(3));
     let frames_before = d.hmi(0).stats.frames_applied;
@@ -471,7 +505,7 @@ fn run_ablation_case(label: String, profile: HardeningProfile, seed: u64) -> Abl
     // Cross-interface ARP leak: the attacker resolved an internal address
     // on the external network.
     let internal_addr_leaked = d.sim.arp_entry(node, 0, replica_int).is_some();
-    AblationRow {
+    let row = AblationRow {
         disabled: label,
         scan_visible: !obs.scan_results.is_empty(),
         arp_poisoned,
@@ -484,7 +518,9 @@ fn run_ablation_case(label: String, profile: HardeningProfile, seed: u64) -> Abl
             .os
             .vulnerable_to(diversity::os::CveClass::DirtyCow),
         service_progressed: d.hmi(0).stats.frames_applied > frames_before,
-    }
+    };
+    let meta = RunMeta::capture(&format!("e10.{}", row.disabled), &d.obs, &d.sim);
+    (row, meta)
 }
 
 /// Renders the ablation matrix.

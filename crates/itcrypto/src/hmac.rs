@@ -19,33 +19,71 @@ const BLOCK: usize = 64;
 /// );
 /// ```
 pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> Digest {
-    let mut k = [0u8; BLOCK];
-    if key.len() > BLOCK {
-        let d = crate::sha256::sha256(key);
-        k[..32].copy_from_slice(d.as_bytes());
-    } else {
-        k[..key.len()].copy_from_slice(key);
-    }
-    let mut ipad = [0x36u8; BLOCK];
-    let mut opad = [0x5cu8; BLOCK];
-    for i in 0..BLOCK {
-        ipad[i] ^= k[i];
-        opad[i] ^= k[i];
-    }
-    let mut inner = Sha256::new();
-    inner.update(&ipad);
-    inner.update(msg);
-    let inner_digest = inner.finalize();
-    let mut outer = Sha256::new();
-    outer.update(&opad);
-    outer.update(inner_digest.as_bytes());
-    outer.finalize()
+    HmacKey::new(key).mac(msg)
 }
 
 /// Computes an HMAC over the concatenation of several parts.
 pub fn hmac_sha256_concat(key: &[u8], parts: &[&[u8]]) -> Digest {
-    let joined: Vec<u8> = parts.iter().flat_map(|p| p.iter().copied()).collect();
-    hmac_sha256(key, &joined)
+    HmacKey::new(key).mac_concat(parts)
+}
+
+/// A precomputed HMAC key: the ipad/opad blocks are absorbed into SHA-256
+/// midstates once at construction, so each [`HmacKey::mac`] costs two
+/// compressions for a short message instead of four plus the key-block
+/// setup. The Spines link layer MACs every keystream block and every
+/// frame, so this is the hottest constructor in the workload — callers
+/// that reuse a key (link crypto, stream cipher) keep one `HmacKey` and
+/// amortize the setup away. Produces bit-identical tags to the one-shot
+/// [`hmac_sha256`] (which is now a thin wrapper).
+#[derive(Clone)]
+pub struct HmacKey {
+    /// SHA-256 state after absorbing `key ^ ipad`.
+    inner: Sha256,
+    /// SHA-256 state after absorbing `key ^ opad`.
+    outer: Sha256,
+}
+
+impl HmacKey {
+    /// Prepares the midstates for `key` (hashed first if longer than the
+    /// 64-byte block, per RFC 2104).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            let d = crate::sha256::sha256(key);
+            k[..32].copy_from_slice(d.as_bytes());
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0x36u8; BLOCK];
+        let mut opad = [0x5cu8; BLOCK];
+        for i in 0..BLOCK {
+            ipad[i] ^= k[i];
+            opad[i] ^= k[i];
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        HmacKey { inner, outer }
+    }
+
+    /// Computes `HMAC-SHA-256(key, msg)` from the midstates.
+    pub fn mac(&self, msg: &[u8]) -> Digest {
+        self.mac_concat(&[msg])
+    }
+
+    /// Computes the HMAC over the concatenation of several parts without
+    /// joining them into one buffer.
+    pub fn mac_concat(&self, parts: &[&[u8]]) -> Digest {
+        let mut inner = self.inner.clone();
+        for p in parts {
+            inner.update(p);
+        }
+        let inner_digest = inner.finalize();
+        let mut outer = self.outer.clone();
+        outer.update(inner_digest.as_bytes());
+        outer.finalize()
+    }
 }
 
 /// Constant-time-ish tag comparison. The simulator has no real timing side
@@ -140,5 +178,30 @@ mod tests {
         let a2 = derive_key(b"m", b"a");
         assert_eq!(a, a2);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn precomputed_key_matches_oneshot() {
+        // Key lengths around the block size (including the hashed-key
+        // path) and message lengths around compression boundaries.
+        for key_len in [0usize, 1, 31, 32, 63, 64, 65, 131] {
+            let key: Vec<u8> = (0..key_len).map(|x| (x * 7) as u8).collect();
+            let hk = HmacKey::new(&key);
+            for msg_len in [0usize, 1, 16, 55, 56, 64, 100, 1000] {
+                let msg: Vec<u8> = (0..msg_len).map(|x| (x * 13) as u8).collect();
+                assert_eq!(
+                    hk.mac(&msg),
+                    hmac_sha256(&key, &msg),
+                    "key_len={key_len} msg_len={msg_len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn precomputed_concat_matches_joined() {
+        let hk = HmacKey::new(b"k");
+        assert_eq!(hk.mac_concat(&[b"abc", b"", b"def"]), hk.mac(b"abcdef"));
+        assert_eq!(hk.mac_concat(&[]), hk.mac(b""));
     }
 }

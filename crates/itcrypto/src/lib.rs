@@ -14,6 +14,8 @@
 //! * [`merkle`] — Merkle trees for state-transfer digests and checkpoints.
 //! * [`keys`] — key pairs, a PKI-style registry, and session keys.
 //! * [`stream`] — an HMAC-counter-mode stream cipher for link encryption.
+//! * [`verify_cache`] — bounded memoization of signature-verification
+//!   verdicts (digest-keyed, observationally invisible).
 //!
 //! # Examples
 //!
@@ -35,9 +37,11 @@ pub mod merkle;
 pub mod schnorr;
 pub mod sha256;
 pub mod stream;
+pub mod verify_cache;
 
 pub use hmac::hmac_sha256;
 pub use keys::{KeyPair, KeyRegistry, PublicKey};
 pub use merkle::MerkleTree;
 pub use schnorr::Signature;
 pub use sha256::{sha256, Digest};
+pub use verify_cache::VerifyCache;

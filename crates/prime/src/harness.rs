@@ -62,6 +62,15 @@ pub struct Cluster {
     pub partitioned: BTreeSet<u32>,
     /// Execution log per replica: (exec_seq, client, client_seq).
     pub exec_logs: Vec<Vec<(u64, u32, u64)>>,
+    /// Virtual time of each execution, parallel to `exec_logs`.
+    pub exec_times: Vec<Vec<SimTime>>,
+    /// Outbound-bandwidth model: virtual time a replica's NIC spends
+    /// serializing one outgoing message. `None` (the default) keeps the
+    /// classic infinite-capacity fabric that the protocol tests and E8
+    /// rely on; E11 sets it to expose the ordering-saturation knee.
+    out_cost: Option<SimDuration>,
+    /// Per-replica NIC-free time under the bandwidth model.
+    next_free: Vec<SimTime>,
 }
 
 impl Cluster {
@@ -113,7 +122,18 @@ impl Cluster {
             client_seqs: vec![0; clients as usize],
             partitioned: BTreeSet::new(),
             exec_logs: vec![Vec::new(); n as usize],
+            exec_times: vec![Vec::new(); n as usize],
+            out_cost: None,
+            next_free: vec![SimTime::ZERO; n as usize],
         }
+    }
+
+    /// Enables the finite outbound-capacity model: every message a replica
+    /// sends occupies its NIC for `per_msg` of virtual time, so a sender's
+    /// messages serialize and queueing delay appears once the offered load
+    /// exceeds what the NIC drains (the E11 saturation knee).
+    pub fn set_out_cost(&mut self, per_msg: SimDuration) {
+        self.out_cost = Some(per_msg);
     }
 
     /// Applies tighter timing to every replica (tests).
@@ -166,14 +186,14 @@ impl Cluster {
     fn dispatch(&mut self, from: ReplicaId, events: Vec<OutEvent>) {
         for ev in events {
             match ev {
-                OutEvent::Broadcast(msg) => {
+                OutEvent::Broadcast(env) => {
                     for to in 0..self.replicas.len() as u32 {
                         if to != from.0 {
-                            self.enqueue(ReplicaId(to), msg.clone());
+                            self.enqueue(ReplicaId(to), env.msg.clone());
                         }
                     }
                 }
-                OutEvent::Send(to, msg) => self.enqueue(to, msg),
+                OutEvent::Send(to, env) => self.enqueue(to, env.msg),
                 OutEvent::Execute {
                     exec_seq, update, ..
                 } => {
@@ -182,6 +202,7 @@ impl Cluster {
                         update.client,
                         update.client_seq,
                     ));
+                    self.exec_times[from.0 as usize].push(self.now);
                 }
                 _ => {}
             }
@@ -192,7 +213,15 @@ impl Cluster {
         if self.partitioned.contains(&msg.from.0) || self.partitioned.contains(&to.0) {
             return;
         }
-        let at = self.now + self.latency;
+        let at = match self.out_cost {
+            Some(cost) => {
+                let lane = &mut self.next_free[msg.from.0 as usize];
+                let depart = (*lane).max(self.now) + cost;
+                *lane = depart;
+                depart + self.latency
+            }
+            None => self.now + self.latency,
+        };
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(QueuedMsg { at, seq, to, msg });

@@ -1,8 +1,10 @@
 //! Prime protocol messages and their signed envelope.
 
+use bytes::Bytes;
 use itcrypto::keys::{KeyPair, KeyRegistry, Principal};
 use itcrypto::schnorr::Signature;
 use itcrypto::sha256::Digest;
+use itcrypto::verify_cache::VerifyCache;
 use simnet::wire::{DecodeError, Reader, Wire, Writer};
 
 use crate::types::{ReplicaId, SignedUpdate};
@@ -39,6 +41,22 @@ impl AruRow {
             &Self::signed_bytes(self.replica, &self.vector),
             &self.sig,
         )
+    }
+
+    /// [`AruRow::verify`] through a verdict cache. The hottest hit
+    /// source: the same row recurs in every pre-prepare matrix that
+    /// carries it and in repeated PO-ARU gossip.
+    pub fn verify_cached(&self, registry: &KeyRegistry, cache: &mut VerifyCache) -> bool {
+        let bytes = Self::signed_bytes(self.replica, &self.vector);
+        let key = VerifyCache::key(
+            b"prime.aru-row",
+            self.replica.0 as u64,
+            &bytes,
+            &self.sig.to_bytes(),
+        );
+        cache.check(key, || {
+            registry.verify(Principal::Replica(self.replica.0), &bytes, &self.sig)
+        })
     }
 }
 
@@ -432,6 +450,52 @@ impl SignedMsg {
             &self.sig,
         )
     }
+
+    /// [`SignedMsg::verify`] through a verdict cache. The key commits to
+    /// the full signed byte string and signature, so the cached verdict
+    /// is identical to the uncached one for any input, tampered or not.
+    pub fn verify_cached(&self, registry: &KeyRegistry, cache: &mut VerifyCache) -> bool {
+        let bytes = Self::signed_bytes(self.from, &self.msg);
+        let key = VerifyCache::key(
+            b"prime.msg",
+            self.from.0 as u64,
+            &bytes,
+            &self.sig.to_bytes(),
+        );
+        cache.check(key, || {
+            registry.verify(Principal::Replica(self.from.0), &bytes, &self.sig)
+        })
+    }
+}
+
+/// A signed message bundled with its wire bytes, produced in one pass at
+/// signing time ("serialize-once"). The wire encoding is recovered from
+/// the signing serialization instead of encoding the message a second
+/// time, and the [`Bytes`] payload is reference-counted, so broadcasting
+/// to `n - 1` peers clones a pointer, not the message.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// The signed message, for local dispatch without re-parsing.
+    pub msg: SignedMsg,
+    /// Exactly the bytes `msg.to_wire()` would produce, ready to send.
+    pub wire: Bytes,
+}
+
+impl Envelope {
+    /// Signs `msg` as `from`, deriving the wire bytes from the signing
+    /// serialization: the wire form is `from || msg || sig`, i.e. the
+    /// signed bytes minus the 5-byte domain tag, plus the signature.
+    pub fn sign(from: ReplicaId, msg: PrimeMsg, key: &mut KeyPair) -> Self {
+        let signed = SignedMsg::signed_bytes(from, &msg);
+        let sig = key.sign(&signed);
+        let mut wire = Vec::with_capacity(signed.len() - 5 + 16);
+        wire.extend_from_slice(&signed[5..]);
+        wire.extend_from_slice(&sig.to_bytes());
+        Envelope {
+            msg: SignedMsg { from, msg, sig },
+            wire: Bytes::from(wire),
+        }
+    }
 }
 
 impl Wire for SignedMsg {
@@ -473,6 +537,43 @@ mod tests {
     fn roundtrip(msg: PrimeMsg) {
         let bytes = msg.to_wire();
         assert_eq!(PrimeMsg::from_wire(&bytes).expect("roundtrip"), msg);
+    }
+
+    #[test]
+    fn envelope_wire_matches_encode() {
+        // The serialize-once wire bytes must be exactly what a separate
+        // `to_wire` pass would produce, for every message shape.
+        let mut kp = KeyPair::generate(9);
+        let vector = vec![1, 2, 3];
+        let sig = kp.sign(&AruRow::signed_bytes(ReplicaId(0), &vector));
+        let row = AruRow {
+            replica: ReplicaId(0),
+            vector,
+            sig,
+        };
+        let msgs = [
+            PrimeMsg::PoRequest {
+                origin: ReplicaId(1),
+                po_seq: 5,
+                update: sample_update(),
+            },
+            PrimeMsg::PrePrepare {
+                view: 1,
+                seq: 9,
+                matrix: vec![row.clone(), row],
+            },
+            PrimeMsg::Prepare {
+                view: 1,
+                seq: 9,
+                digest: Digest([7; 32]),
+            },
+            PrimeMsg::SuspectLeader { view: 4 },
+        ];
+        for msg in msgs {
+            let env = Envelope::sign(ReplicaId(1), msg, &mut kp);
+            assert_eq!(env.wire, env.msg.to_wire());
+            assert_eq!(SignedMsg::from_wire(&env.wire).expect("decodes"), env.msg);
+        }
     }
 
     #[test]

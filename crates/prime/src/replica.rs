@@ -41,11 +41,18 @@ use simnet::wire::Wire;
 
 use crate::application::Application;
 use crate::byzantine::ByzMode;
-use crate::messages::{AruRow, PrimeMsg, SignedMsg};
+use crate::messages::{AruRow, Envelope, PrimeMsg, SignedMsg};
 use crate::types::{Config, ReplicaId, SignedUpdate, Update};
+use itcrypto::verify_cache::VerifyCache;
 
 /// Bits of a composite pre-order sequence reserved for the counter.
 const PO_SEQ_BITS: u32 = 40;
+
+/// Entries held by each replica's verification-verdict cache. Sized to
+/// cover the working set of a busy window (rows from every peer across
+/// several pre-prepare rounds plus in-flight client updates) while
+/// keeping the worst case bounded.
+const VERIFY_CACHE_CAP: usize = 4096;
 
 /// Builds an incarnation-tagged pre-order sequence number.
 pub fn po_compose(incarnation: u32, seq: u64) -> u64 {
@@ -93,10 +100,11 @@ impl Default for Timing {
 /// Events a replica asks its owner to act on.
 #[derive(Clone, Debug)]
 pub enum OutEvent {
-    /// Send to every other replica.
-    Broadcast(SignedMsg),
+    /// Send to every other replica. The envelope carries the wire bytes
+    /// produced at signing time, so hosts fan out without re-encoding.
+    Broadcast(Envelope),
     /// Send to one replica.
-    Send(ReplicaId, SignedMsg),
+    Send(ReplicaId, Envelope),
     /// An update reached its global execution point.
     Execute {
         /// 1-based global execution sequence.
@@ -161,6 +169,8 @@ pub struct Replica<A: Application> {
     config: Config,
     registry: KeyRegistry,
     key: KeyPair,
+    /// Memoized signature-verification verdicts (bounded, FIFO).
+    verify_cache: VerifyCache,
     /// Fault-injection mode.
     pub byz: ByzMode,
     timing: Timing,
@@ -266,6 +276,7 @@ impl<A: Application> Replica<A> {
             config,
             registry,
             key,
+            verify_cache: VerifyCache::new(VERIFY_CACHE_CAP),
             byz: ByzMode::Correct,
             timing: Timing::default(),
             view: 0,
@@ -376,8 +387,8 @@ impl<A: Application> Replica<A> {
         &mut self.app
     }
 
-    fn sign(&mut self, msg: PrimeMsg) -> SignedMsg {
-        SignedMsg::sign(self.id, msg, &mut self.key)
+    fn sign(&mut self, msg: PrimeMsg) -> Envelope {
+        Envelope::sign(self.id, msg, &mut self.key)
     }
 
     fn matrix_digest(matrix: &[AruRow]) -> Digest {
@@ -397,7 +408,7 @@ impl<A: Application> Replica<A> {
         if self.byz.is_crashed() {
             return out;
         }
-        if !update.verify(&self.registry) {
+        if !update.verify_cached(&self.registry, &mut self.verify_cache) {
             self.stats.bad_sigs += 1;
             return out;
         }
@@ -422,7 +433,8 @@ impl<A: Application> Replica<A> {
             po_seq,
             update,
         });
-        self.po_envelopes.insert((self.id.0, po_seq), msg.clone());
+        self.po_envelopes
+            .insert((self.id.0, po_seq), msg.msg.clone());
         self.advance_my_aru();
         out.push(OutEvent::Broadcast(msg));
         self.note_unordered(now);
@@ -466,18 +478,31 @@ impl<A: Application> Replica<A> {
         if msg.from == self.id || msg.from.0 >= self.config.n() {
             return out;
         }
-        if !msg.verify(&self.registry) {
+        if !msg.verify_cached(&self.registry, &mut self.verify_cache) {
             self.stats.bad_sigs += 1;
             return out;
         }
         let from = msg.from;
-        match msg.msg.clone() {
+        let sig = msg.sig;
+        // Dispatch by move: only PoRequest needs the envelope again (it is
+        // stored for reconciliation replays), and it is rebuilt from the
+        // moved-out fields — no other variant pays a deep clone.
+        match msg.msg {
             PrimeMsg::PoRequest {
                 origin,
                 po_seq,
                 update,
             } => {
-                self.accept_po_request(msg, from, origin, po_seq, update, now, &mut out);
+                let envelope = SignedMsg {
+                    from,
+                    msg: PrimeMsg::PoRequest {
+                        origin,
+                        po_seq,
+                        update: update.clone(),
+                    },
+                    sig,
+                };
+                self.accept_po_request(envelope, from, origin, po_seq, update, now, &mut out);
             }
             PrimeMsg::PoAru { row } => {
                 self.on_po_aru(row, &mut out);
@@ -586,7 +611,7 @@ impl<A: Application> Replica<A> {
         if from != origin || origin.0 >= self.config.n() || po_counter(po_seq) == 0 {
             return;
         }
-        if !update.verify(&self.registry) {
+        if !update.verify_cached(&self.registry, &mut self.verify_cache) {
             self.stats.bad_sigs += 1;
             return;
         }
@@ -611,7 +636,7 @@ impl<A: Application> Replica<A> {
         if row.replica.0 >= self.config.n() || row.vector.len() != self.config.n() as usize {
             return;
         }
-        if !row.verify(&self.registry) {
+        if !row.verify_cached(&self.registry, &mut self.verify_cache) {
             self.stats.bad_sigs += 1;
             return;
         }
@@ -652,7 +677,9 @@ impl<A: Application> Replica<A> {
         // Validate the matrix: enough distinct, signed rows.
         let mut seen = BTreeSet::new();
         for row in &matrix {
-            if row.vector.len() != self.config.n() as usize || !row.verify(&self.registry) {
+            if row.vector.len() != self.config.n() as usize
+                || !row.verify_cached(&self.registry, &mut self.verify_cache)
+            {
                 return;
             }
             seen.insert(row.replica.0);
@@ -960,7 +987,7 @@ impl<A: Application> Replica<A> {
         let Ok(envelope) = SignedMsg::from_wire(original) else {
             return;
         };
-        if !envelope.verify(&self.registry) {
+        if !envelope.verify_cached(&self.registry, &mut self.verify_cache) {
             self.stats.bad_sigs += 1;
             return;
         }

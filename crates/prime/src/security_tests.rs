@@ -145,7 +145,7 @@ fn pre_prepare_from_non_leader_ignored() {
     assert!(
         !out.iter().any(|e| matches!(
             e,
-            crate::replica::OutEvent::Broadcast(m) if matches!(m.msg, PrimeMsg::Prepare { .. })
+            crate::replica::OutEvent::Broadcast(m) if matches!(m.msg.msg, PrimeMsg::Prepare { .. })
         )),
         "prepared a non-leader's pre-prepare"
     );
@@ -172,7 +172,7 @@ fn pre_prepare_with_undersized_matrix_ignored() {
     assert!(
         !out.iter().any(|e| matches!(
             e,
-            crate::replica::OutEvent::Broadcast(m) if matches!(m.msg, PrimeMsg::Prepare { .. })
+            crate::replica::OutEvent::Broadcast(m) if matches!(m.msg.msg, PrimeMsg::Prepare { .. })
         )),
         "prepared an undersized matrix"
     );

@@ -142,6 +142,26 @@ impl SignedUpdate {
             &self.sig,
         )
     }
+
+    /// [`SignedUpdate::verify`] through a verdict cache: the same client
+    /// signature is checked on submission and again inside every
+    /// PO-Request that relays the update.
+    pub fn verify_cached(
+        &self,
+        registry: &KeyRegistry,
+        cache: &mut itcrypto::verify_cache::VerifyCache,
+    ) -> bool {
+        let bytes = self.update.to_wire();
+        let key = itcrypto::verify_cache::VerifyCache::key(
+            b"prime.update",
+            self.update.client as u64,
+            &bytes,
+            &self.sig.to_bytes(),
+        );
+        cache.check(key, || {
+            registry.verify(Principal::Client(self.update.client), &bytes, &self.sig)
+        })
+    }
 }
 
 impl Wire for SignedUpdate {

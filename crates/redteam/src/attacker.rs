@@ -271,13 +271,7 @@ impl Attacker {
                     positions,
                     currents,
                 };
-                let pkt = Packet::udp(
-                    ctx.ip(0),
-                    hmi,
-                    ATTACK_PORT,
-                    HMI_PORT,
-                    Bytes::from(status.to_wire().to_vec()),
-                );
+                let pkt = Packet::udp(ctx.ip(0), hmi, ATTACK_PORT, HMI_PORT, status.to_wire());
                 ctx.send(0, pkt);
             }
             AttackStep::InjectCommercialCommand {
@@ -287,13 +281,7 @@ impl Attacker {
             } => {
                 self.observed.commands_injected += 1;
                 let cmd = CommercialCommand { breaker, close };
-                let pkt = Packet::udp(
-                    ctx.ip(0),
-                    master,
-                    ATTACK_PORT,
-                    MASTER_PORT,
-                    Bytes::from(cmd.to_wire().to_vec()),
-                );
+                let pkt = Packet::udp(ctx.ip(0), master, ATTACK_PORT, MASTER_PORT, cmd.to_wire());
                 ctx.send(0, pkt);
             }
             AttackStep::SpinesProbe {
@@ -490,7 +478,7 @@ impl Process for Attacker {
                     positions: vec![true; status.positions.len()],
                     currents: status.currents,
                 };
-                forwarded.payload = Bytes::from(rewritten.to_wire().to_vec());
+                forwarded.payload = rewritten.to_wire();
             }
         }
         // Re-inject toward the true destination. Our own ARP view of the

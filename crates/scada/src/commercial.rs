@@ -256,7 +256,7 @@ impl Process for CommercialMaster {
                             positions: self.positions.clone(),
                             currents: self.currents.clone(),
                         };
-                        let bytes = Bytes::from(status.to_wire().to_vec());
+                        let bytes = status.to_wire();
                         // Unauthenticated push to HMI + heartbeat to peer.
                         let to_hmi =
                             Packet::udp(ctx.ip(0), self.hmi, MASTER_PORT, HMI_PORT, bytes.clone());
@@ -268,13 +268,8 @@ impl Process for CommercialMaster {
                         positions: self.positions.clone(),
                         currents: self.currents.clone(),
                     };
-                    let to_peer = Packet::udp(
-                        ctx.ip(0),
-                        self.peer,
-                        MASTER_PORT,
-                        MASTER_PORT,
-                        Bytes::from(hb.to_wire().to_vec()),
-                    );
+                    let to_peer =
+                        Packet::udp(ctx.ip(0), self.peer, MASTER_PORT, MASTER_PORT, hb.to_wire());
                     ctx.send(0, to_peer);
                 } else if let Some(Response::Registers { values, .. }) =
                     Response::decode(&frame.pdu, &currents_req)
@@ -353,13 +348,7 @@ impl CommercialHmi {
     /// Sends an operator command toward the (believed) master.
     pub fn issue_command(&self, ctx: &mut Context<'_>, breaker: u16, close: bool) {
         let cmd = CommercialCommand { breaker, close };
-        let pkt = Packet::udp(
-            ctx.ip(0),
-            self.master,
-            HMI_PORT,
-            MASTER_PORT,
-            Bytes::from(cmd.to_wire().to_vec()),
-        );
+        let pkt = Packet::udp(ctx.ip(0), self.master, HMI_PORT, MASTER_PORT, cmd.to_wire());
         ctx.send(0, pkt);
     }
 }
@@ -493,7 +482,7 @@ mod tests {
                     self.master,
                     Port(6666),
                     MASTER_PORT,
-                    Bytes::from(cmd.to_wire().to_vec()),
+                    cmd.to_wire(),
                 );
                 ctx.send(0, pkt);
             }
@@ -530,13 +519,7 @@ mod tests {
                     positions: vec![true; 7],
                     currents: vec![0; 7],
                 };
-                let pkt = Packet::udp(
-                    ctx.ip(0),
-                    self.hmi,
-                    Port(6666),
-                    HMI_PORT,
-                    Bytes::from(status.to_wire().to_vec()),
-                );
+                let pkt = Packet::udp(ctx.ip(0), self.hmi, Port(6666), HMI_PORT, status.to_wire());
                 ctx.send(0, pkt);
             }
         }

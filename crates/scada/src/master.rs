@@ -130,7 +130,7 @@ mod tests {
     use bytes::Bytes;
 
     fn prime_update(seq: u64, u: &ScadaUpdate) -> Update {
-        Update::new(1, seq, Bytes::from(u.to_wire().to_vec()))
+        Update::new(1, seq, u.to_wire())
     }
 
     #[test]

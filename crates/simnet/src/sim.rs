@@ -253,6 +253,7 @@ pub struct Simulation {
     logs: Vec<(SimTime, NodeId, String)>,
     obs: ObsHub,
     net: NetCounters,
+    events_processed: u64,
 }
 
 impl Simulation {
@@ -274,12 +275,19 @@ impl Simulation {
             logs: Vec::new(),
             obs,
             net,
+            events_processed: 0,
         }
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Total events processed since construction (the denominator for
+    /// sim-events/sec throughput in `spire-sim bench`).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// The observability hub this engine stamps and counts into.
@@ -585,6 +593,7 @@ impl Simulation {
             self.dispatch(ev.kind);
             n += 1;
         }
+        self.events_processed += n;
         // Time always advances to the deadline even if the queue drained.
         if self.now < deadline {
             self.now = deadline;

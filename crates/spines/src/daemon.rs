@@ -9,7 +9,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use bytes::Bytes;
-use itcrypto::stream::{open, seal, SealedBox};
+use itcrypto::stream::{open_with, seal_with, LinkKeys, SealedBox};
 use simnet::types::IpAddr;
 use simnet::wire::{DecodeError, Reader, Wire, Writer};
 
@@ -138,6 +138,15 @@ pub struct SpinesDaemon {
     seen_order: VecDeque<(u32, u64)>,
     /// Outgoing nonce per neighbor (never reused on a link direction).
     nonces: BTreeMap<u32, u64>,
+    /// Pre-derived link keys per neighbor. Deriving costs four HMAC key
+    /// setups; every sealed/opened frame used to pay it, now only the
+    /// first frame per link does.
+    link_keys: BTreeMap<u32, LinkKeys>,
+    /// Pre-derived all-zero "keys" for the rebuilt-binary case
+    /// (`has_keys == false`), lazily built.
+    null_keys: Option<LinkKeys>,
+    /// Reverse address lookup (the config only stores id → addr).
+    addr_to_id: BTreeMap<IpAddr, u32>,
     forward_queue: FairQueue<SpinesMsg>,
     deliveries: Vec<Delivery>,
     /// Whether the daemon is running (attackers stop it in E3).
@@ -165,6 +174,7 @@ impl SpinesDaemon {
         assert!(cfg.daemons.contains_key(&id), "daemon id not in config");
         let hub = obs::ObsHub::new();
         let counters = DaemonObs::from_hub(&hub, &format!("spines.d{id}"));
+        let addr_to_id = cfg.daemons.iter().map(|(&d, &a)| (a, d)).collect();
         SpinesDaemon {
             cfg,
             id,
@@ -173,6 +183,9 @@ impl SpinesDaemon {
             seen: BTreeSet::new(),
             seen_order: VecDeque::new(),
             nonces: BTreeMap::new(),
+            link_keys: BTreeMap::new(),
+            null_keys: None,
+            addr_to_id,
             forward_queue: FairQueue::new(PER_SOURCE_CAP),
             deliveries: Vec::new(),
             running: true,
@@ -292,7 +305,7 @@ impl SpinesDaemon {
         if !self.running {
             return Vec::new();
         }
-        let Some(neighbor) = self.cfg.id_of(from) else {
+        let Some(neighbor) = self.addr_to_id.get(&from).copied() else {
             // Not a configured daemon: outsiders can't speak overlay.
             self.stats.auth_failures += 1;
             self.c.auth_failures.inc();
@@ -336,12 +349,33 @@ impl SpinesDaemon {
         out
     }
 
+    /// The cached real link keys for this daemon's link to `neighbor`.
+    fn real_keys(&mut self, neighbor: u32) -> &LinkKeys {
+        let (cfg, id) = (&self.cfg, self.id);
+        self.link_keys
+            .entry(neighbor)
+            .or_insert_with(|| LinkKeys::derive(&cfg.link_key(id, neighbor)))
+    }
+
+    /// The link keys used for *sealing* toward `neighbor`: the real keys,
+    /// or the all-zero keys when the binary was rebuilt without key
+    /// material (`has_keys == false`). Opening always uses the real keys —
+    /// a rebuilt binary can still read the network; it just cannot
+    /// produce frames its peers accept.
+    fn seal_keys(&mut self, neighbor: u32) -> &LinkKeys {
+        if self.has_keys {
+            self.real_keys(neighbor)
+        } else {
+            self.null_keys
+                .get_or_insert_with(|| LinkKeys::derive(&[0u8; 32]))
+        }
+    }
+
     fn decode_frame(&mut self, neighbor: u32, data: &[u8]) -> Result<SpinesMsg, FrameFailure> {
         let frame = LinkFrame::from_wire(data).map_err(|_| FrameFailure::Malformed)?;
         let plaintext = match (self.cfg.mode, frame) {
             (SpinesMode::IntrusionTolerant, LinkFrame::Sealed(sb)) => {
-                let key = self.cfg.link_key(self.id, neighbor);
-                let plain = open(&key, &sb).ok_or(FrameFailure::Auth)?;
+                let plain = open_with(self.real_keys(neighbor), &sb).ok_or(FrameFailure::Auth)?;
                 self.c.opened.inc();
                 plain
             }
@@ -388,6 +422,8 @@ impl SpinesDaemon {
 
     fn flood(&mut self, msg: &SpinesMsg, exclude: Option<u32>) -> Vec<(IpAddr, Bytes)> {
         let mut out = Vec::new();
+        // Serialize once; only the per-link sealing differs per neighbor.
+        let plaintext = msg.to_wire();
         for neighbor in self.cfg.neighbors(self.id) {
             if Some(neighbor) == exclude {
                 continue;
@@ -395,21 +431,14 @@ impl SpinesDaemon {
             let Some(addr) = self.cfg.addr_of(neighbor) else {
                 continue;
             };
-            let plaintext = msg.to_wire();
             let frame = match self.cfg.mode {
                 SpinesMode::Legacy => LinkFrame::Legacy(plaintext.to_vec()),
                 SpinesMode::IntrusionTolerant => {
                     let nonce = self.nonces.entry(neighbor).or_insert(0);
                     *nonce += 1;
-                    let key = if self.has_keys {
-                        self.cfg.link_key(self.id, neighbor)
-                    } else {
-                        // A rebuilt binary without the deployment keys
-                        // seals with the wrong key material.
-                        [0u8; 32]
-                    };
+                    let nonce = *nonce;
                     self.c.sealed.inc();
-                    LinkFrame::Sealed(seal(&key, *nonce, &plaintext))
+                    LinkFrame::Sealed(seal_with(self.seal_keys(neighbor), nonce, &plaintext))
                 }
             };
             self.stats.forwarded += 1;

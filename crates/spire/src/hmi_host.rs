@@ -182,16 +182,10 @@ impl HmiHost {
             close,
         };
         self.client_seq += 1;
-        let update = Update::new(
-            self.client,
-            self.client_seq,
-            Bytes::from(scada_update.to_wire().to_vec()),
-        );
+        let update = Update::new(self.client, self.client_seq, scada_update.to_wire());
         let sig = self.key.sign(&update.to_wire());
         let msg = ExternalMsg::ClientUpdate(SignedUpdate { update, sig });
-        let sends = self
-            .external
-            .multicast(GROUP_MASTERS, 1, Bytes::from(msg.to_wire().to_vec()));
+        let sends = self.external.multicast(GROUP_MASTERS, 1, msg.to_wire());
         Self::flush_sends(ctx, sends);
         self.obs.end_span(root);
         self.stats.commands_sent += 1;

@@ -124,18 +124,14 @@ impl ReplicaHost {
     fn route_events(&mut self, ctx: &mut Context<'_>, events: Vec<OutEvent>) {
         for event in events {
             match event {
-                OutEvent::Broadcast(msg) => {
-                    let sends = self.internal.multicast(
-                        GROUP_PRIME,
-                        1,
-                        Bytes::from(msg.to_wire().to_vec()),
-                    );
+                OutEvent::Broadcast(env) => {
+                    // Serialize-once: the envelope already carries the
+                    // wire bytes from signing time.
+                    let sends = self.internal.multicast(GROUP_PRIME, 1, env.wire);
                     Self::flush_sends(ctx, 0, INTERNAL_SPINES_PORT, sends);
                 }
-                OutEvent::Send(to, msg) => {
-                    let sends = self
-                        .internal
-                        .unicast(to.0, 1, Bytes::from(msg.to_wire().to_vec()));
+                OutEvent::Send(to, env) => {
+                    let sends = self.internal.unicast(to.0, 1, env.wire);
                     Self::flush_sends(ctx, 0, INTERNAL_SPINES_PORT, sends);
                 }
                 OutEvent::Execute { trace, .. } => {
@@ -196,9 +192,7 @@ impl ReplicaHost {
                         exec_seq,
                     };
                     let group = self.cfg.proxy_group(proxy);
-                    let sends =
-                        self.external
-                            .multicast(group, 1, Bytes::from(msg.to_wire().to_vec()));
+                    let sends = self.external.multicast(group, 1, msg.to_wire());
                     Self::flush_sends(ctx, 1, EXTERNAL_SPINES_PORT, sends);
                 }
                 MasterAction::HmiFrame {
@@ -217,9 +211,7 @@ impl ReplicaHost {
                             exec_seq,
                         };
                         let group = self.cfg.hmi_group(h);
-                        let sends =
-                            self.external
-                                .multicast(group, 1, Bytes::from(msg.to_wire().to_vec()));
+                        let sends = self.external.multicast(group, 1, msg.to_wire());
                         Self::flush_sends(ctx, 1, EXTERNAL_SPINES_PORT, sends);
                     }
                 }

@@ -17,11 +17,15 @@
 //!   e8             replica-requirement ablation (3f+1 vs 3f+2k+1)
 //!   e9             diversity/recovery race
 //!   e10            hardening ablation matrix
+//!   e11            ordering saturation: ramp the update rate, find the knee
+//!   bench          time e1-e11 wall-clock, report sim-events/sec
 //!   all            everything above, in order
 //!
 //! flags:
 //!   --seed N       simulation seed (default 42)
 //!   --days N       e4 compressed days (default 6)
+//!   --steps N      e11 ramp steps to run (default 6, i.e. the full ramp)
+//!   --json FILE    write e11 / bench results as JSON to FILE
 //!   --metrics      print the metrics registry + journal digest after
 //!                  e4/e5 (see EXPERIMENTS.md, "Observability")
 //!   --trace        echo journal records live as the simulation runs
@@ -34,6 +38,7 @@
 use std::process::ExitCode;
 
 use bench::figures::{fig1_conventional, fig2_spire, fig4_hmi};
+use bench::harness::{bench_json, render_bench, run_bench};
 use bench::mana_experiment::{e7_mana_detection, e7_roc, render_mana, render_roc};
 use bench::plant_experiments::{
     e4_plant_deployment_traced, e5_reaction_time_traced, render_reaction,
@@ -45,37 +50,43 @@ use bench::redteam_experiments::{
     e10_hardening_ablation, e1_commercial_attacks, e2_spire_network_attacks, e3_replica_excursion,
     render_ablation,
 };
+use bench::saturation::{e11_default_rates, e11_saturation, render_saturation, saturation_json};
 
 struct Options {
     seed: u64,
     days: u64,
+    steps: usize,
     metrics: bool,
     trace: bool,
     trace_export: Option<String>,
+    json: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         seed: 42,
         days: 6,
+        steps: e11_default_rates().len(),
         metrics: false,
         trace: false,
         trace_export: None,
+        json: None,
     };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            flag @ ("--seed" | "--days") => {
+            flag @ ("--seed" | "--days" | "--steps") => {
                 i += 1;
                 let value = args
                     .get(i)
                     .ok_or_else(|| format!("{flag} requires a value"))?;
-                let parsed = value
+                let parsed: u64 = value
                     .parse()
                     .map_err(|_| format!("{flag}: not a number: {value}"))?;
                 match flag {
                     "--seed" => opts.seed = parsed,
-                    _ => opts.days = parsed,
+                    "--days" => opts.days = parsed,
+                    _ => opts.steps = parsed as usize,
                 }
             }
             "--metrics" => opts.metrics = true,
@@ -87,11 +98,26 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| "--trace-export requires a file path".to_string())?;
                 opts.trace_export = Some(path.clone());
             }
+            "--json" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .ok_or_else(|| "--json requires a file path".to_string())?;
+                opts.json = Some(path.clone());
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
         i += 1;
     }
     Ok(opts)
+}
+
+/// Writes `json` to `path`, reporting rather than panicking on failure.
+fn write_json(path: &str, json: &str) {
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("json written to {path}"),
+        Err(err) => eprintln!("failed to write {path}: {err}"),
+    }
 }
 
 /// Writes the journal's span trees as Chrome trace-event JSON.
@@ -183,9 +209,26 @@ fn run(command: &str, opts: &Options) -> bool {
             render_diversity(&e9_diversity_ablation(opts.seed, 20))
         ),
         "e10" => println!("{}", render_ablation(&e10_hardening_ablation(opts.seed))),
+        "e11" => {
+            let rates = e11_default_rates();
+            let rates = &rates[..opts.steps.clamp(1, rates.len())];
+            let run = e11_saturation(opts.seed, rates);
+            println!("{}", render_saturation(&run));
+            if let Some(path) = &opts.json {
+                write_json(path, &saturation_json(&run));
+            }
+        }
+        "bench" => {
+            let r = run_bench(opts.seed);
+            println!("{}", render_bench(&r));
+            if let Some(path) = &opts.json {
+                write_json(path, &bench_json(&r));
+            }
+        }
         "all" => {
             for c in [
                 "figures", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10",
+                "e11",
             ] {
                 println!("\n===== {c} =====\n");
                 run(c, opts);
@@ -199,12 +242,14 @@ fn run(command: &str, opts: &Options) -> bool {
 /// Every runnable experiment id, as listed by usage and unknown-command
 /// errors.
 const COMMANDS: &[&str] = &[
-    "figures", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10", "all",
+    "figures", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10", "e11", "bench",
+    "all",
 ];
 
 fn usage() -> String {
     format!(
-        "usage: spire-sim <{}> [--seed N] [--days N] [--metrics] [--trace] [--trace-export FILE]",
+        "usage: spire-sim <{}> [--seed N] [--days N] [--steps N] [--metrics] [--trace] \
+         [--trace-export FILE] [--json FILE]",
         COMMANDS.join("|")
     )
 }

@@ -246,6 +246,21 @@ fn e9_defense_ordering_holds() {
 }
 
 #[test]
+fn e11_latency_flat_then_knee() {
+    // The paper's qualitative performance claim: bounded-delay ordering
+    // keeps latency flat as offered load grows, until the fabric
+    // saturates and queueing takes over (the knee).
+    for seed in [42, 1111] {
+        let run = bench::e11_saturation(seed, &bench::e11_default_rates());
+        assert!(
+            run.is_flat_then_knee(),
+            "seed {seed}:\n{}",
+            bench::saturation::render_saturation(&run)
+        );
+    }
+}
+
+#[test]
 fn e7b_roc_curves_separate_attacks_from_baseline() {
     let run = bench::mana_experiment::e7_roc(717);
     assert!(run.windows > 30, "10 s of 250 ms windows: {run:?}");

@@ -1,0 +1,159 @@
+//! Golden-digest pin: every experiment's observable behavior at
+//! [`GOLDEN_SEED`], folded into one digest per experiment (journal
+//! digests + simulator event counts + rendered result tables — see
+//! `bench::harness::experiment_fingerprint`).
+//!
+//! These digests are the contract that performance work is
+//! observationally invisible: serialize-once broadcast, verification
+//! memoization, and any future hot-path change must leave every byte of
+//! observable behavior — message bytes, event order, verdicts — exactly
+//! as it was. Any drift fails here.
+//!
+//! To regenerate after an *intentional* behavior change:
+//!
+//! ```text
+//! cargo test --release --test golden_digests -- --ignored --nocapture
+//! ```
+//!
+//! and paste the printed table over `GOLDEN`.
+
+use bench::harness::{experiment_fingerprint, FINGERPRINTED, GOLDEN_SEED};
+
+/// The pinned fingerprints at `GOLDEN_SEED`.
+const GOLDEN: &[(&str, &str)] = &[
+    (
+        "e1",
+        "8fa05857cd519de834ec54688c4e5a41a4d85ef510edbd2d4572f7ecc0c6c9fb",
+    ),
+    (
+        "e2",
+        "3baae5b52e6ee4a3974866943cb87f690797383403e952aa3263504082f84549",
+    ),
+    (
+        "e3",
+        "8d6be998073b5c4fb4c40318a4e2fd39c9aa0e93033b6937d4adf08d370da5f9",
+    ),
+    (
+        "e4",
+        "30245b3f3ec8608370abff900ab7baca296722f6f5cf1f44cb4018617e6e8433",
+    ),
+    (
+        "e5",
+        "8bcf2effa7a70d7f00e2b1359a193e6d6106ecadcc38481fbe8d92e5d6994ff2",
+    ),
+    (
+        "e6",
+        "f0795e0fac8bacba9973edd66a9fa1a13ec70869f64c6df805cc514e1bfc2885",
+    ),
+    (
+        "e7",
+        "aeedfec5a99b583d5ca913b0fc2ff9c681088779dc7cb9ab4ac5a2138ec17df7",
+    ),
+    (
+        "e7b",
+        "ee471a4bacc790ec8622ef244914da8cf94a1cf677b3ebe18d5f202bb828cbf6",
+    ),
+    (
+        "e8",
+        "1aeff346864cbb39620d55194546ed671c2be32dd3f52c301996d86008fb74b3",
+    ),
+    (
+        "e9",
+        "fdec6f6dbb10540a68d9199cca95a773385bd0365ad24dec60ad6583a201dda3",
+    ),
+    (
+        "e10",
+        "7bdb380856e1e63d9521254e9822b89e15df2bdc4952d9bb1691db54c1b9db81",
+    ),
+];
+
+fn pinned(id: &str) -> &'static str {
+    GOLDEN
+        .iter()
+        .find(|(g, _)| *g == id)
+        .map(|(_, d)| *d)
+        .expect("experiment is pinned")
+}
+
+fn check(id: &str) {
+    let actual = experiment_fingerprint(id, GOLDEN_SEED);
+    assert_eq!(
+        actual,
+        pinned(id),
+        "{id} fingerprint drifted at seed {GOLDEN_SEED}: observable behavior changed \
+         (if intentional, regenerate with `cargo test --release --test golden_digests \
+         -- --ignored --nocapture`)"
+    );
+}
+
+#[test]
+fn golden_covers_every_fingerprinted_experiment() {
+    let pinned: Vec<&str> = GOLDEN.iter().map(|(id, _)| *id).collect();
+    assert_eq!(pinned, FINGERPRINTED);
+}
+
+#[test]
+fn e1_digest_pinned() {
+    check("e1");
+}
+
+#[test]
+fn e2_digest_pinned() {
+    check("e2");
+}
+
+#[test]
+fn e3_digest_pinned() {
+    check("e3");
+}
+
+#[test]
+fn e4_digest_pinned() {
+    check("e4");
+}
+
+#[test]
+fn e5_digest_pinned() {
+    check("e5");
+}
+
+#[test]
+fn e6_digest_pinned() {
+    check("e6");
+}
+
+#[test]
+fn e7_digest_pinned() {
+    check("e7");
+}
+
+#[test]
+fn e7b_digest_pinned() {
+    check("e7b");
+}
+
+#[test]
+fn e8_digest_pinned() {
+    check("e8");
+}
+
+#[test]
+fn e9_digest_pinned() {
+    check("e9");
+}
+
+#[test]
+fn e10_digest_pinned() {
+    check("e10");
+}
+
+/// Prints the current fingerprint table for pasting into `GOLDEN`.
+#[test]
+#[ignore = "regeneration helper, not a check"]
+fn print_current_fingerprints() {
+    for id in FINGERPRINTED {
+        println!("    (\n        \"{id}\",\n        \"{}\",\n    ),", {
+            experiment_fingerprint(id, GOLDEN_SEED)
+        });
+    }
+}

@@ -400,3 +400,103 @@ proptest! {
         prop_assert!(n - f - k >= q, "quorum reachable with f+k unavailable");
     }
 }
+
+// ---- signature-verification memoization ----
+//
+// The verify cache must be observationally invisible: for any signed
+// message — well-formed, corrupted, or outright forged — the cached
+// verdict equals the uncached one, on the miss path, the hit path, and
+// after eviction.
+
+proptest! {
+    #[test]
+    fn verify_cache_agrees_with_uncached_for_arbitrary_messages(
+        signer_seed in any::<u64>(),
+        view in any::<u64>(),
+        seq in any::<u64>(),
+        digest in any::<[u8; 32]>(),
+        flip_sig in any::<u8>(),
+        wrong_sender in any::<bool>(),
+    ) {
+        use itcrypto::keys::{KeyPair, KeyRegistry, Principal};
+        use itcrypto::verify_cache::VerifyCache;
+        use prime::messages::{PrimeMsg, SignedMsg};
+        use prime::types::ReplicaId;
+
+        let mut kp = KeyPair::generate(signer_seed);
+        let mut registry = KeyRegistry::new();
+        registry.register(Principal::Replica(0), kp.public_key());
+        registry.register(Principal::Replica(1), KeyPair::generate(signer_seed ^ 1).public_key());
+
+        let msg = PrimeMsg::Prepare {
+            view,
+            seq,
+            digest: itcrypto::Digest(digest),
+        };
+        let mut signed = SignedMsg::sign(ReplicaId(0), msg, &mut kp);
+        // Corruptions: a flipped signature byte, or a claimed sender that
+        // did not produce the signature.
+        if flip_sig != 0 {
+            let mut bytes = signed.sig.to_bytes();
+            bytes[(flip_sig as usize) % bytes.len()] ^= flip_sig;
+            signed.sig = itcrypto::Signature::from_bytes(&bytes);
+        }
+        if wrong_sender {
+            signed.from = ReplicaId(1);
+        }
+
+        let mut cache = VerifyCache::new(16);
+        let uncached = signed.verify(&registry);
+        // Miss path, then hit path: both must agree with the uncached verdict.
+        prop_assert_eq!(signed.verify_cached(&registry, &mut cache), uncached);
+        prop_assert_eq!(signed.verify_cached(&registry, &mut cache), uncached);
+        prop_assert_eq!((cache.hits, cache.misses), (1, 1));
+    }
+
+    #[test]
+    fn verify_cache_eviction_never_flips_a_verdict(
+        n_msgs in 3usize..20,
+        cap in 1usize..4,
+        tamper_mask in any::<u32>(),
+    ) {
+        use itcrypto::keys::{KeyPair, KeyRegistry, Principal};
+        use itcrypto::verify_cache::VerifyCache;
+        use prime::messages::{PrimeMsg, SignedMsg};
+        use prime::types::ReplicaId;
+
+        let mut kp = KeyPair::generate(7);
+        let mut registry = KeyRegistry::new();
+        registry.register(Principal::Replica(0), kp.public_key());
+
+        let msgs: Vec<SignedMsg> = (0..n_msgs)
+            .map(|i| {
+                let mut m = SignedMsg::sign(
+                    ReplicaId(0),
+                    PrimeMsg::SuspectLeader { view: i as u64 },
+                    &mut kp,
+                );
+                if tamper_mask & (1 << (i % 32)) != 0 {
+                    let mut bytes = m.sig.to_bytes();
+                    bytes[i % bytes.len()] ^= 0x5a;
+                    m.sig = itcrypto::Signature::from_bytes(&bytes);
+                }
+                m
+            })
+            .collect();
+
+        // A cache smaller than the message set forces evictions; cycling
+        // through the set repeatedly exercises miss → hit → evict → miss.
+        let mut cache = VerifyCache::new(cap);
+        for round in 0..3 {
+            for m in &msgs {
+                prop_assert_eq!(
+                    m.verify_cached(&registry, &mut cache),
+                    m.verify(&registry),
+                    "round {}: cached verdict diverged",
+                    round
+                );
+            }
+        }
+        prop_assert!(cache.len() <= cap, "cache exceeded its bound");
+    }
+}
