@@ -28,4 +28,12 @@ echo "==> bench smoke (one E11 ramp step + golden digest pin)"
 cargo run -q --release --bin spire-sim -- e11 --steps 1 >/dev/null
 cargo test -q --release --test golden_digests
 
+echo "==> chaos smoke (short E12 soak, digest-pinned, + negative controls)"
+# One compressed day at seed 42 through the chaos CLI proves the E12
+# path end to end; the chaos_engine suite re-checks the pinned soak,
+# and proves deliberately over-budget plans DO trip the checker (the
+# invariants are falsifiable, not vacuously green).
+cargo run -q --release --bin spire-sim -- e12 --seed 42 --days 1 >/dev/null
+cargo test -q --release --test chaos_engine
+
 echo "All checks passed."

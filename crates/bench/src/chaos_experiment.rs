@@ -1,0 +1,177 @@
+//! Experiment E12: the chaos soak — compressed multi-day plant operation
+//! under a randomized-but-seeded fault schedule with continuous invariant
+//! checking (see EXPERIMENTS.md, "E12").
+
+use chaos::driver::ChaosDriver;
+use chaos::invariants::{CheckerConfig, InvariantChecker, InvariantReport};
+use chaos::plan::ChaosPlan;
+use plc::topology::Scenario;
+use prime::types::Config as PrimeConfig;
+use simnet::time::SimDuration;
+use spire::config::SpireConfig;
+use spire::deploy::Deployment;
+use spire::hardening::HardeningProfile;
+
+use crate::harness::RunMeta;
+use crate::plant_experiments::fast_timing;
+
+/// E12 result: the fault timeline's effect and every invariant's verdict.
+#[derive(Clone, Debug)]
+pub struct ChaosRun {
+    /// Days simulated (compressed).
+    pub days: u64,
+    /// Simulated seconds per compressed "day".
+    pub seconds_per_day: u64,
+    /// Faults the plan scheduled.
+    pub planned: usize,
+    /// Faults actually injected, by kind name (tag order).
+    pub injected: Vec<(&'static str, u64)>,
+    /// Total injections.
+    pub total_injected: u64,
+    /// Distinct fault kinds injected.
+    pub distinct_kinds: usize,
+    /// Per-invariant verdicts (checks + violations).
+    pub invariants: Vec<InvariantReport>,
+    /// True when no invariant ever fired.
+    pub all_green: bool,
+    /// Catch-up latencies (microseconds) observed after heals.
+    pub reconvergence_us: Vec<u64>,
+    /// Minimum executed update count across replicas at the end.
+    pub min_executed: u64,
+    /// Determinism capture (journal digest + event count).
+    pub meta: RunMeta,
+}
+
+/// E12 — the chaos soak. The E4 plant deployment (6 replicas, f=1, k=1,
+/// fast timing, 100 ms polling) runs for `days * seconds_per_day`
+/// simulated seconds while a [`ChaosPlan::within_budget`] schedule
+/// injects partitions, loss bursts, latency spikes, link flaps, crashes,
+/// Byzantine flips, clock skews, and unscheduled recoveries — and the
+/// invariant checker samples the paper's guarantees every 100 ms. A
+/// quiescence tail lets the last heals reconverge before the verdict.
+pub fn e12_chaos_soak(seed: u64, days: u64, seconds_per_day: u64) -> ChaosRun {
+    let mut prime_cfg = PrimeConfig::plant();
+    // Chaos deployments arm dedup-table transfer: without it, a replica
+    // catching up after a crash/partition replays duplicate orderings its
+    // peers suppressed, permanently forking its execution numbering — the
+    // first bug the agreement invariant caught (see DESIGN.md).
+    prime_cfg.transfer_dedup = true;
+    let cfg = SpireConfig::minimal(prime_cfg, Scenario::PlantSubset);
+    let mut d = Deployment::build(cfg, HardeningProfile::deployed(), seed);
+    for i in 0..prime_cfg.n() {
+        d.replica_mut(i).set_timing(fast_timing());
+    }
+    d.proxy_mut(0)
+        .set_poll_interval(SimDuration::from_millis(100));
+    d.proxy_mut(0).verbose_updates = true;
+    // Warm up: ARP, overlay discovery, first ordered updates.
+    d.run_for(SimDuration::from_secs(1));
+
+    let horizon = SimDuration::from_secs(days * seconds_per_day);
+    let plan = ChaosPlan::within_budget(seed, prime_cfg.n(), prime_cfg.ordering_quorum(), horizon);
+    let planned = plan.faults.len();
+    let mut checker = InvariantChecker::new(CheckerConfig::for_prime(&prime_cfg), &d);
+    let mut driver = ChaosDriver::new(plan);
+    let step = SimDuration::from_millis(100);
+    driver.run_soak(&mut d, &mut checker, horizon, step);
+    driver.heal_all(&mut d, &mut checker);
+    driver.run_quiesce(&mut d, &mut checker, SimDuration::from_secs(8), step);
+
+    let meta = RunMeta::capture("chaos", &d.obs, &d.sim);
+    ChaosRun {
+        days,
+        seconds_per_day,
+        planned,
+        injected: driver
+            .injected_counts()
+            .into_iter()
+            .map(|(k, c)| (k.name(), c))
+            .collect(),
+        total_injected: driver.total_injected(),
+        distinct_kinds: driver.distinct_kinds(),
+        invariants: checker.reports(),
+        all_green: checker.all_green(),
+        reconvergence_us: checker.reconvergence_us.clone(),
+        min_executed: d.min_executed(),
+        meta,
+    }
+}
+
+/// Renders the E12 verdict table.
+pub fn render_chaos(run: &ChaosRun) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "chaos soak: {} days x {} s/day   faults planned {} injected {} ({} kinds)\n",
+        run.days, run.seconds_per_day, run.planned, run.total_injected, run.distinct_kinds
+    ));
+    out.push_str("  injected by kind:\n");
+    for (name, count) in &run.injected {
+        out.push_str(&format!("    {name:<14} {count}\n"));
+    }
+    out.push_str("  invariants:\n");
+    for inv in &run.invariants {
+        out.push_str(&format!(
+            "    {:<18} checks {:>6}   violations {:>3}   {}\n",
+            inv.name,
+            inv.checks,
+            inv.violations,
+            if inv.violations == 0 { "GREEN" } else { "RED" }
+        ));
+    }
+    if run.reconvergence_us.is_empty() {
+        out.push_str("  reconvergence: no heal required catch-up\n");
+    } else {
+        let mut sorted = run.reconvergence_us.clone();
+        sorted.sort_unstable();
+        let p50 = sorted[sorted.len() / 2];
+        let max = *sorted.last().expect("non-empty");
+        out.push_str(&format!(
+            "  reconvergence: {} heals, p50 {:.3}s, max {:.3}s\n",
+            sorted.len(),
+            p50 as f64 / 1e6,
+            max as f64 / 1e6
+        ));
+    }
+    out.push_str(&format!(
+        "  min executed {}   all green: {}\n",
+        run.min_executed, run.all_green
+    ));
+    out
+}
+
+/// E12 results as JSON (for `spire-sim e12 --json`).
+pub fn chaos_json(run: &ChaosRun) -> String {
+    let injected: Vec<String> = run
+        .injected
+        .iter()
+        .map(|(name, count)| format!("{{\"kind\":\"{name}\",\"count\":{count}}}"))
+        .collect();
+    let invariants: Vec<String> = run
+        .invariants
+        .iter()
+        .map(|inv| {
+            format!(
+                "{{\"name\":\"{}\",\"checks\":{},\"violations\":{}}}",
+                inv.name, inv.checks, inv.violations
+            )
+        })
+        .collect();
+    let reconv: Vec<String> = run.reconvergence_us.iter().map(u64::to_string).collect();
+    format!(
+        "{{\n  \"days\": {},\n  \"seconds_per_day\": {},\n  \"planned\": {},\n  \
+         \"total_injected\": {},\n  \"distinct_kinds\": {},\n  \"injected\": [{}],\n  \
+         \"invariants\": [{}],\n  \"all_green\": {},\n  \"reconvergence_us\": [{}],\n  \
+         \"min_executed\": {},\n  \"journal_digest\": \"{}\"\n}}\n",
+        run.days,
+        run.seconds_per_day,
+        run.planned,
+        run.total_injected,
+        run.distinct_kinds,
+        injected.join(","),
+        invariants.join(","),
+        run.all_green,
+        reconv.join(","),
+        run.min_executed,
+        run.meta.journal_digest
+    )
+}

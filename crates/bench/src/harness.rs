@@ -18,6 +18,7 @@ use std::time::Instant;
 use itcrypto::sha256::sha256;
 use simnet::sim::Simulation;
 
+use crate::chaos_experiment::{e12_chaos_soak, render_chaos};
 use crate::mana_experiment::{e7_mana_detection, e7_roc, render_mana, render_roc};
 use crate::plant_experiments::{e4_plant_deployment, e5_reaction_time, render_reaction};
 use crate::recovery_experiments::{
@@ -62,7 +63,7 @@ fn meta_lines(out: &mut String, metas: &[RunMeta]) {
     }
 }
 
-/// Runs experiment `id` ("e1".."e10", "e7b") at `seed` — at a reduced size
+/// Runs experiment `id` ("e1".."e10", "e7b", "e12") at `seed` — at a reduced size
 /// where the full run would be slow — and folds its journal digests,
 /// event counts, and rendered result into one hex digest.
 ///
@@ -142,6 +143,11 @@ pub fn experiment_fingerprint(id: &str, seed: u64) -> String {
             meta_lines(&mut text, &metas);
             text.push_str(&render_ablation(&rows));
         }
+        "e12" => {
+            let run = e12_chaos_soak(seed, 1, 12);
+            meta_lines(&mut text, std::slice::from_ref(&run.meta));
+            text.push_str(&render_chaos(&run));
+        }
         other => panic!("unknown experiment id: {other}"),
     }
     sha256(text.as_bytes()).to_hex()
@@ -149,7 +155,7 @@ pub fn experiment_fingerprint(id: &str, seed: u64) -> String {
 
 /// The experiment ids covered by [`experiment_fingerprint`], in run order.
 pub const FINGERPRINTED: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10", "e12",
 ];
 
 /// One timed experiment in a bench run.

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos_experiment;
 pub mod figures;
 pub mod harness;
 pub mod mana_experiment;
@@ -18,6 +19,7 @@ pub mod recovery_experiments;
 pub mod redteam_experiments;
 pub mod saturation;
 
+pub use chaos_experiment::{chaos_json, e12_chaos_soak, render_chaos};
 pub use figures::{fig1_conventional, fig2_spire, fig4_hmi};
 pub use harness::{experiment_fingerprint, run_bench, RunMeta, GOLDEN_SEED};
 pub use mana_experiment::e7_mana_detection;

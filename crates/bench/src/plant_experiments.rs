@@ -14,7 +14,7 @@ use spire::deploy::Deployment;
 use spire::hardening::HardeningProfile;
 use spire::latency::{measure_spire, summarize, LatencySummary, Sample};
 
-fn fast_timing() -> Timing {
+pub(crate) fn fast_timing() -> Timing {
     Timing {
         aru_interval: SimDuration::from_millis(10),
         pp_interval: SimDuration::from_millis(10),

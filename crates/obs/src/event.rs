@@ -103,6 +103,30 @@ pub enum Event {
         /// The rejected earlier timestamp, in microseconds.
         to_us: u64,
     },
+    /// The chaos driver injected a fault (`kind` is the
+    /// `chaos::FaultKind` tag; `target` the replica/link it hit).
+    ChaosInject {
+        /// Fault-kind tag.
+        kind: u8,
+        /// Target component (replica id for most kinds).
+        target: u32,
+    },
+    /// The chaos driver healed a previously injected fault.
+    ChaosHeal {
+        /// Fault-kind tag.
+        kind: u8,
+        /// Target component (replica id for most kinds).
+        target: u32,
+    },
+    /// The continuous invariant checker recorded a violation
+    /// (`invariant` is the checker's invariant tag).
+    InvariantViolation {
+        /// Invariant tag (see `chaos::invariants`).
+        invariant: u8,
+        /// Invariant-specific detail (e.g. the execution sequence or the
+        /// replica involved).
+        detail: u64,
+    },
 }
 
 impl Event {
@@ -162,6 +186,21 @@ impl Event {
                 out.extend_from_slice(&from_us.to_le_bytes());
                 out.extend_from_slice(&to_us.to_le_bytes());
             }
+            Event::ChaosInject { kind, target } => {
+                out.push(10);
+                out.push(*kind);
+                out.extend_from_slice(&target.to_le_bytes());
+            }
+            Event::ChaosHeal { kind, target } => {
+                out.push(11);
+                out.push(*kind);
+                out.extend_from_slice(&target.to_le_bytes());
+            }
+            Event::InvariantViolation { invariant, detail } => {
+                out.push(12);
+                out.push(*invariant);
+                out.extend_from_slice(&detail.to_le_bytes());
+            }
         }
     }
 }
@@ -193,6 +232,15 @@ impl fmt::Display for Event {
             Event::SpanEnd { trace, span } => write!(f, "span t{trace}.s{span} end"),
             Event::ClockSkew { from_us, to_us } => {
                 write!(f, "clock skew rejected: {from_us}us -> {to_us}us")
+            }
+            Event::ChaosInject { kind, target } => {
+                write!(f, "chaos inject kind {kind} on target {target}")
+            }
+            Event::ChaosHeal { kind, target } => {
+                write!(f, "chaos heal kind {kind} on target {target}")
+            }
+            Event::InvariantViolation { invariant, detail } => {
+                write!(f, "invariant {invariant} violated (detail {detail})")
             }
         }
     }
@@ -278,6 +326,18 @@ mod tests {
             Event::ClockSkew {
                 from_us: 2,
                 to_us: 1,
+            },
+            Event::ChaosInject { kind: 0, target: 1 },
+            Event::ChaosInject { kind: 1, target: 1 },
+            Event::ChaosHeal { kind: 0, target: 1 },
+            Event::ChaosHeal { kind: 0, target: 2 },
+            Event::InvariantViolation {
+                invariant: 0,
+                detail: 1,
+            },
+            Event::InvariantViolation {
+                invariant: 1,
+                detail: 1,
             },
         ];
         let encoded: Vec<Vec<u8>> = events

@@ -71,6 +71,14 @@ pub struct Cluster {
     out_cost: Option<SimDuration>,
     /// Per-replica NIC-free time under the bandwidth model.
     next_free: Vec<SimTime>,
+    /// Uniform message-loss probability (0.0 = the classic lossless
+    /// fabric). Applied per enqueued message with a seeded generator so
+    /// lossy runs stay deterministic.
+    loss: f64,
+    /// splitmix64 state driving the loss rolls.
+    loss_state: u64,
+    /// Messages dropped by the loss model.
+    pub dropped_messages: u64,
 }
 
 impl Cluster {
@@ -125,6 +133,9 @@ impl Cluster {
             exec_times: vec![Vec::new(); n as usize],
             out_cost: None,
             next_free: vec![SimTime::ZERO; n as usize],
+            loss: 0.0,
+            loss_state: 0,
+            dropped_messages: 0,
         }
     }
 
@@ -134,6 +145,28 @@ impl Cluster {
     /// exceeds what the NIC drains (the E11 saturation knee).
     pub fn set_out_cost(&mut self, per_msg: SimDuration) {
         self.out_cost = Some(per_msg);
+    }
+
+    /// Enables uniform message loss: each enqueued message is dropped with
+    /// probability `loss`, rolled from a splitmix64 stream seeded by
+    /// `seed` (same seed + same run ⇒ same drops).
+    pub fn set_loss(&mut self, loss: f64, seed: u64) {
+        self.loss = loss;
+        self.loss_state = seed;
+    }
+
+    /// One deterministic Bernoulli roll from the loss stream.
+    fn loss_roll(&mut self) -> bool {
+        if self.loss <= 0.0 {
+            return false;
+        }
+        // splitmix64: tiny, seedable, and plenty for a drop decision.
+        self.loss_state = self.loss_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.loss_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z as f64 / u64::MAX as f64) < self.loss
     }
 
     /// Applies tighter timing to every replica (tests).
@@ -211,6 +244,10 @@ impl Cluster {
 
     fn enqueue(&mut self, to: ReplicaId, msg: SignedMsg) {
         if self.partitioned.contains(&msg.from.0) || self.partitioned.contains(&to.0) {
+            return;
+        }
+        if self.loss_roll() {
+            self.dropped_messages += 1;
             return;
         }
         let at = match self.out_cost {
@@ -498,6 +535,135 @@ mod tests {
             "partitioned replica caught up, got {}",
             c.replicas[3].exec_seq()
         );
+    }
+
+    #[test]
+    fn catchup_backoff_schedule_doubles_then_caps() {
+        use crate::replica::catchup_backoff;
+        let base = SimDuration::from_millis(200);
+        // First retry waits one plain timeout (pre-backoff behaviour),
+        // then the wait doubles per unanswered round and caps at 16×.
+        let expect_ms = [200u64, 400, 800, 1600, 3200, 3200, 3200];
+        for (attempt, &ms) in expect_ms.iter().enumerate() {
+            assert_eq!(
+                catchup_backoff(base, attempt as u32),
+                SimDuration::from_millis(ms),
+                "attempt {attempt}"
+            );
+        }
+        assert_eq!(catchup_backoff(base, 40), SimDuration::from_millis(3200));
+    }
+
+    #[test]
+    fn catchup_retransmits_follow_backoff_and_stay_bounded() {
+        let mut c = Cluster::new(Config::plant(), 1);
+        c.set_timing(fast_timing());
+        for i in 0..5 {
+            c.submit(0, format!("k{i}=v"));
+            c.run_for(SimDuration::from_millis(30));
+        }
+        c.run_for(SimDuration::from_millis(500));
+        assert_eq!(c.min_executed(), 5);
+        // Total blackout: every catch-up round goes unanswered. The
+        // recovering replica must retransmit on the backoff schedule
+        // (10 bounded retries ≈ 22 s at a 200 ms base) and then give up
+        // rather than spin forever.
+        c.set_loss(1.0, 7);
+        c.recover_replica(ReplicaId(5));
+        c.run_for(SimDuration::from_secs(10));
+        let early = c.replicas[5].stats.catchup_retransmits;
+        assert!(
+            (6..10).contains(&early),
+            "backoff should have spaced retries out, got {early} in 10 s"
+        );
+        c.run_for(SimDuration::from_secs(20));
+        assert_eq!(c.replicas[5].stats.catchup_retransmits, 10);
+        assert!(
+            !c.replicas[5].is_catching_up(),
+            "replica must give up after the attempt budget"
+        );
+        assert!(c.dropped_messages > 0);
+    }
+
+    /// Satellite: `Replica::recover()` + `request_catchup` under 30 %
+    /// message loss must still reconverge (retransmit-with-backoff rides
+    /// over lost catch-up rounds). Returns the recovered replica's
+    /// application digest for pinning.
+    fn recovery_reconverges_under_loss(seed: u64) -> String {
+        let mut c = Cluster::new(Config::plant(), 1);
+        c.set_timing(fast_timing());
+        for i in 0..20 {
+            c.submit(0, format!("k{i}=v{i}"));
+            c.run_for(SimDuration::from_millis(30));
+        }
+        c.run_for(SimDuration::from_millis(500));
+        assert_eq!(c.min_executed(), 20);
+        c.set_loss(0.3, seed);
+        c.recover_replica(ReplicaId(5));
+        c.run_for(SimDuration::from_secs(20));
+        assert_eq!(
+            c.replicas[5].exec_seq(),
+            20,
+            "recovered replica reconverged under 30% loss (seed {seed})"
+        );
+        assert_eq!(
+            c.replicas[5].app().digest(),
+            c.replicas[0].app().digest(),
+            "application state matches after reconvergence"
+        );
+        c.assert_consistent();
+        c.replicas[5].app().digest().to_hex()
+    }
+
+    /// The reconvergence digest is a pure function of the 20 executed
+    /// updates, so both loss seeds land on the same pinned state.
+    const RECONVERGENCE_DIGEST: &str =
+        "e67b60a1e408e4ac6985e15aa6ec9d0117e325f432cc4e3c5809680848a84e96";
+
+    #[test]
+    fn recovery_reconverges_under_30pct_loss_seed_42() {
+        assert_eq!(recovery_reconverges_under_loss(42), RECONVERGENCE_DIGEST);
+    }
+
+    #[test]
+    fn recovery_reconverges_under_30pct_loss_seed_1111() {
+        assert_eq!(recovery_reconverges_under_loss(1111), RECONVERGENCE_DIGEST);
+    }
+
+    /// With `transfer_dedup` armed, a recovered replica inherits its
+    /// peers' duplicate-suppression table through catch-up: every update
+    /// reaches every replica (each introduces it, like Spire's proxy
+    /// multicast), so duplicate orderings keep arriving after the
+    /// snapshot install, and without the table the recovered replica
+    /// executes copies its peers suppressed — forking its execution
+    /// numbering. Found by the chaos engine's agreement invariant.
+    #[test]
+    fn dedup_table_transfers_across_proactive_recovery() {
+        let mut config = Config::plant();
+        config.transfer_dedup = true;
+        let mut c = Cluster::new(config, 2);
+        c.set_timing(fast_timing());
+        for i in 0..12 {
+            c.submit(i % 2, format!("d{i}=v"));
+            c.run_for(SimDuration::from_millis(60));
+        }
+        c.run_for(SimDuration::from_millis(500));
+        assert_eq!(c.min_executed(), 12);
+        c.recover_replica(ReplicaId(5));
+        c.run_for(SimDuration::from_secs(2));
+        assert!(c.replicas[5].stats.catchups >= 1, "recovery caught up");
+        for i in 0..12 {
+            c.submit(i % 2, format!("p{i}=v"));
+            c.run_for(SimDuration::from_millis(60));
+        }
+        c.run_for(SimDuration::from_secs(1));
+        // Identical execution numbering everywhere: duplicates suppressed
+        // by veterans were also suppressed by the recovered replica.
+        for r in &c.replicas {
+            assert_eq!(r.exec_seq(), 24, "no duplicate executions leaked");
+        }
+        assert_eq!(c.replicas[5].app().digest(), c.replicas[0].app().digest());
+        c.assert_consistent();
     }
 
     #[test]

@@ -205,6 +205,22 @@ pub enum PrimeMsg {
         /// View at the snapshot.
         view: u64,
     },
+    /// Companion to [`PrimeMsg::CatchupReply`], sent immediately before
+    /// it when [`crate::types::Config::transfer_dedup`] is armed: the
+    /// sender's client duplicate-suppression table at the snapshot, one
+    /// `(client, contiguous_through, extras)` entry per client — the
+    /// executed client-seq set is `1..=contiguous_through` plus the
+    /// sparse `extras`. Without this, a recovered replica executes
+    /// duplicate orderings its peers suppressed and its execution
+    /// numbering (and app digest) silently forks from the quorum's. A
+    /// separate message (rather than a `CatchupReply` field) keeps the
+    /// legacy catch-up wire format byte-identical when the flag is off.
+    CatchupDedup {
+        /// Executed update count of the reply this table accompanies.
+        exec_seq: u64,
+        /// The dedup table.
+        dedup: Vec<(u32, u64, Vec<u64>)>,
+    },
 }
 
 impl PrimeMsg {
@@ -223,6 +239,7 @@ impl PrimeMsg {
             PrimeMsg::Checkpoint { .. } => 10,
             PrimeMsg::CatchupRequest { .. } => 11,
             PrimeMsg::CatchupReply { .. } => 12,
+            PrimeMsg::CatchupDedup { .. } => 13,
         }
     }
 }
@@ -320,6 +337,15 @@ impl Wire for PrimeMsg {
                 put_u64_vec(w, exec_cover);
                 w.put_u64(*view);
             }
+            PrimeMsg::CatchupDedup { exec_seq, dedup } => {
+                w.put_u64(*exec_seq);
+                w.put_u32(dedup.len() as u32);
+                for (client, through, extras) in dedup {
+                    w.put_u32(*client);
+                    w.put_u64(*through);
+                    put_u64_vec(w, extras);
+                }
+            }
         }
     }
 
@@ -411,6 +437,22 @@ impl Wire for PrimeMsg {
                 next_order_seq: r.get_u64()?,
                 exec_cover: get_u64_vec(r)?,
                 view: r.get_u64()?,
+            },
+            13 => PrimeMsg::CatchupDedup {
+                exec_seq: r.get_u64()?,
+                dedup: {
+                    let n = r.get_u32()? as usize;
+                    if n > 4096 {
+                        return Err(DecodeError::new("dedup table length"));
+                    }
+                    let mut table = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let client = r.get_u32()?;
+                        let through = r.get_u64()?;
+                        table.push((client, through, get_u64_vec(r)?));
+                    }
+                    table
+                },
             },
             _ => return Err(DecodeError::new("prime message tag")),
         })
@@ -638,6 +680,14 @@ mod tests {
             next_order_seq: 50,
             exec_cover: vec![9, 9, 9, 9],
             view: 2,
+        });
+        roundtrip(PrimeMsg::CatchupDedup {
+            exec_seq: 100,
+            dedup: vec![(7, 40, vec![42, 44]), (9, 0, vec![])],
+        });
+        roundtrip(PrimeMsg::CatchupDedup {
+            exec_seq: 3,
+            dedup: Vec::new(),
         });
     }
 

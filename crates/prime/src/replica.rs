@@ -45,6 +45,27 @@ use crate::messages::{AruRow, Envelope, PrimeMsg, SignedMsg};
 use crate::types::{Config, ReplicaId, SignedUpdate, Update};
 use itcrypto::verify_cache::VerifyCache;
 
+/// Compact client duplicate-suppression table, one
+/// `(client, contiguous_through, extras)` entry per client (see
+/// [`PrimeMsg::CatchupDedup`]).
+type DedupTable = Vec<(u32, u64, Vec<u64>)>;
+
+/// Deterministic digest of a dedup table, folded into the catch-up offer
+/// key so the f+1 matching rule covers the table.
+fn dedup_digest(table: &[(u32, u64, Vec<u64>)]) -> Digest {
+    let mut bytes = Vec::with_capacity(16 + table.len() * 24);
+    bytes.extend_from_slice(&(table.len() as u64).to_be_bytes());
+    for (client, through, extras) in table {
+        bytes.extend_from_slice(&client.to_be_bytes());
+        bytes.extend_from_slice(&through.to_be_bytes());
+        bytes.extend_from_slice(&(extras.len() as u64).to_be_bytes());
+        for e in extras {
+            bytes.extend_from_slice(&e.to_be_bytes());
+        }
+    }
+    sha256(&bytes)
+}
+
 /// Bits of a composite pre-order sequence reserved for the counter.
 const PO_SEQ_BITS: u32 = 40;
 
@@ -153,6 +174,8 @@ pub struct ReplicaStats {
     pub view_changes: u64,
     /// Catch-ups performed.
     pub catchups: u64,
+    /// Catch-up requests retransmitted after an unanswered round.
+    pub catchup_retransmits: u64,
     /// Messages rejected for bad signatures.
     pub bad_sigs: u64,
     /// Reconciliation fetches sent.
@@ -162,6 +185,10 @@ pub struct ReplicaStats {
 /// Per-view votes: sender → (max committed, prepared seq, prepared view,
 /// prepared matrix).
 type ViewChangeVotes = BTreeMap<u32, (u64, u64, u64, Vec<AruRow>)>;
+
+/// Catch-up offer groups, keyed by (exec_seq, app digest, dedup-table
+/// digest): offering senders, the offer, and its dedup table.
+type CatchupOffers = BTreeMap<(u64, Digest, Digest), (BTreeSet<u32>, PrimeMsg, DedupTable)>;
 
 /// One Prime replica hosting an application.
 pub struct Replica<A: Application> {
@@ -234,7 +261,13 @@ pub struct Replica<A: Application> {
     catching_up: bool,
     catchup_started: SimTime,
     catchup_attempts: u32,
-    catchup_offers: BTreeMap<(u64, Digest), (BTreeSet<u32>, PrimeMsg)>,
+    // Keyed by (exec_seq, app digest, dedup-table digest): the f+1
+    // matching-offer rule covers the dedup table too, so a lone faulty
+    // replica cannot poison the duplicate-suppression state.
+    catchup_offers: CatchupOffers,
+    // Per-sender dedup tables received via `CatchupDedup`, paired with
+    // the `CatchupReply` that follows from the same sender.
+    catchup_dedup: BTreeMap<u32, (u64, DedupTable)>,
 
     app: A,
     /// Counters.
@@ -320,6 +353,7 @@ impl<A: Application> Replica<A> {
             catchup_started: SimTime::ZERO,
             catchup_attempts: 0,
             catchup_offers: BTreeMap::new(),
+            catchup_dedup: BTreeMap::new(),
             app,
             stats: ReplicaStats::default(),
             obs: hub.clone(),
@@ -375,6 +409,11 @@ impl<A: Application> Replica<A> {
     /// Executed update count.
     pub fn exec_seq(&self) -> u64 {
         self.exec_seq
+    }
+
+    /// Whether a catch-up (state transfer) is in progress.
+    pub fn is_catching_up(&self) -> bool {
+        self.catching_up
     }
 
     /// The hosted application.
@@ -445,6 +484,38 @@ impl<A: Application> Replica<A> {
         self.executed_clients
             .get(&client)
             .is_some_and(|s| s.contains(&client_seq))
+    }
+
+    /// Compact encoding of `executed_clients` for state transfer: per
+    /// client, the largest `through` with `1..=through` all executed plus
+    /// the sparse executed seqs above it. The table travels with the
+    /// snapshot so a recovered replica suppresses exactly the duplicate
+    /// orderings its peers suppressed — otherwise its execution numbering
+    /// and application digest fork from the quorum's.
+    fn dedup_table(&self) -> Vec<(u32, u64, Vec<u64>)> {
+        self.executed_clients
+            .iter()
+            .map(|(client, set)| {
+                let mut through = 0u64;
+                while set.contains(&(through + 1)) {
+                    through += 1;
+                }
+                let extras: Vec<u64> = set.range(through + 1..).copied().collect();
+                (*client, through, extras)
+            })
+            .collect()
+    }
+
+    /// Rebuilds `executed_clients` from a transferred [`Self::dedup_table`].
+    fn install_dedup_table(&mut self, table: &[(u32, u64, Vec<u64>)]) {
+        self.executed_clients = table
+            .iter()
+            .map(|(client, through, extras)| {
+                let mut set: BTreeSet<u64> = (1..=*through).collect();
+                set.extend(extras.iter().copied());
+                (*client, set)
+            })
+            .collect();
     }
 
     fn advance_my_aru(&mut self) {
@@ -558,6 +629,15 @@ impl<A: Application> Replica<A> {
             }
             PrimeMsg::CatchupRequest { have_exec_seq } => {
                 if self.exec_seq > have_exec_seq {
+                    // The companion dedup table travels first so the
+                    // receiver can pair it with the reply behind it.
+                    if self.config.transfer_dedup {
+                        let table = self.sign(PrimeMsg::CatchupDedup {
+                            exec_seq: self.exec_seq,
+                            dedup: self.dedup_table(),
+                        });
+                        out.push(OutEvent::Send(from, table));
+                    }
                     let reply = PrimeMsg::CatchupReply {
                         exec_seq: self.exec_seq,
                         app_digest: self.app.digest(),
@@ -588,6 +668,11 @@ impl<A: Application> Replica<A> {
                     view,
                     &mut out,
                 );
+            }
+            PrimeMsg::CatchupDedup { exec_seq, dedup } => {
+                if self.catching_up {
+                    self.catchup_dedup.insert(from.0, (exec_seq, dedup));
+                }
             }
         }
         out
@@ -1187,6 +1272,7 @@ impl<A: Application> Replica<A> {
         self.catchup_started = now;
         self.catchup_attempts = 0;
         self.catchup_offers.clear();
+        self.catchup_dedup.clear();
         out.push(OutEvent::StateTransferRequested);
         let req = self.sign(PrimeMsg::CatchupRequest {
             have_exec_seq: self.exec_seq,
@@ -1212,7 +1298,13 @@ impl<A: Application> Replica<A> {
         if exec_cover.len() != self.config.n() as usize {
             return;
         }
-        let key = (exec_seq, app_digest);
+        // Pair the reply with the sender's `CatchupDedup` companion (sent
+        // just ahead of it); absent or mismatched means no table.
+        let dedup: DedupTable = match self.catchup_dedup.get(&from.0) {
+            Some((e, table)) if *e == exec_seq => table.clone(),
+            _ => Vec::new(),
+        };
+        let key = (exec_seq, app_digest, dedup_digest(&dedup));
         let offer = PrimeMsg::CatchupReply {
             exec_seq,
             app_digest,
@@ -1224,10 +1316,11 @@ impl<A: Application> Replica<A> {
         let entry = self
             .catchup_offers
             .entry(key)
-            .or_insert_with(|| (BTreeSet::new(), offer));
+            .or_insert_with(|| (BTreeSet::new(), offer, dedup));
         entry.0.insert(from.0);
         if entry.0.len() as u32 > self.config.f {
             // f+1 matching offers: at least one from a correct replica.
+            let dedup = entry.2.clone();
             let PrimeMsg::CatchupReply {
                 exec_seq,
                 app_digest,
@@ -1246,6 +1339,12 @@ impl<A: Application> Replica<A> {
                 return;
             }
             self.exec_seq = exec_seq;
+            if !dedup.is_empty() {
+                // Empty means the senders do not transfer their dedup
+                // tables (`Config::transfer_dedup` off); keep ours rather
+                // than wiping it.
+                self.install_dedup_table(&dedup);
+            }
             self.plan_cover = exec_cover;
             self.planned_through = next_order_seq.saturating_sub(1);
             self.max_committed = self.max_committed.max(self.planned_through);
@@ -1315,8 +1414,14 @@ impl<A: Application> Replica<A> {
         }
         // Retry catch-up: peers keep executing, so offers keyed on their
         // exact (exec_seq, digest) may never collect f+1 matches in one
-        // round; re-request until a consistent snapshot group forms.
-        if self.catching_up && now.since(self.catchup_started) >= self.timing.catchup_timeout {
+        // round — and under message loss a whole request/reply round can
+        // vanish. Re-request on an exponential backoff (first retry after
+        // one plain timeout, then doubling) until a consistent snapshot
+        // group forms or the attempt budget runs out.
+        if self.catching_up
+            && now.since(self.catchup_started)
+                >= catchup_backoff(self.timing.catchup_timeout, self.catchup_attempts)
+        {
             self.catchup_attempts += 1;
             if self.catchup_attempts > 10 {
                 // Not enough intact peers to form an f+1 snapshot group —
@@ -1327,8 +1432,10 @@ impl<A: Application> Replica<A> {
                 self.catching_up = false;
                 self.stall_since = None;
             } else {
+                self.stats.catchup_retransmits += 1;
                 self.catchup_started = now;
                 self.catchup_offers.clear();
+                self.catchup_dedup.clear();
                 let req = self.sign(PrimeMsg::CatchupRequest {
                     have_exec_seq: self.exec_seq,
                 });
@@ -1461,11 +1568,20 @@ impl<A: Application> Replica<A> {
         self.stable_checkpoint = 0;
         self.catching_up = false;
         self.catchup_offers.clear();
+        self.catchup_dedup.clear();
         self.app.install_snapshot(&[]);
         let mut out = Vec::new();
         self.request_catchup(now, &mut out);
         out
     }
+}
+
+/// The wait before catch-up retransmission number `attempt + 1`: one plain
+/// `base` timeout for the first retry (identical to a non-backoff retry),
+/// then doubling per unanswered round, capped at `16 × base` so a long
+/// partition cannot push the next retry arbitrarily far past its heal.
+pub fn catchup_backoff(base: SimDuration, attempt: u32) -> SimDuration {
+    base.saturating_mul(1u64 << attempt.min(4))
 }
 
 impl<A: Application> std::fmt::Debug for Replica<A> {

@@ -31,12 +31,26 @@ pub struct Config {
     pub f: u32,
     /// Maximum replicas simultaneously in proactive recovery.
     pub k: u32,
+    /// When set, catch-up replies carry the sender's client dedup table
+    /// so a recovering replica suppresses the same duplicate orderings
+    /// its peers already executed. Without it, a recovered replica's
+    /// execution numbering (and application digest) can permanently fork
+    /// from the veterans' under duplicate introduction — a divergence the
+    /// chaos invariant checker surfaced (see DESIGN.md, "Resilience &
+    /// chaos"). Off by default to keep the legacy experiments' catch-up
+    /// wire format (and their pinned digests) stable; chaos deployments
+    /// arm it.
+    pub transfer_dedup: bool,
 }
 
 impl Config {
     /// Creates a configuration.
     pub fn new(f: u32, k: u32) -> Self {
-        Config { f, k }
+        Config {
+            f,
+            k,
+            transfer_dedup: false,
+        }
     }
 
     /// The red-team deployment: `f = 1, k = 0` → 4 replicas (§IV-A).

@@ -154,6 +154,10 @@ enum EventKind {
     FrameAt {
         to: EndpointRef,
         frame: Frame,
+        /// The link the frame is in flight on; if that link goes down
+        /// before the arrival time, the frame is lost (no ghost
+        /// deliveries after a flap heals).
+        via: LinkId,
     },
     Timer {
         node: NodeId,
@@ -514,9 +518,48 @@ impl Simulation {
         self.nodes[node.0 as usize].up
     }
 
-    /// Takes a link up or down.
+    /// Takes a link up or down. Taking a link down also loses every frame
+    /// already in flight on it (see `EventKind::FrameAt`).
     pub fn set_link_up(&mut self, link: LinkId, up: bool) {
         self.links[link.0 as usize].0.up = up;
+    }
+
+    /// Whether a link is up.
+    pub fn link_up(&self, link: LinkId) -> bool {
+        self.links[link.0 as usize].0.up
+    }
+
+    /// A link's current spec (chaos windows save it before mutating).
+    pub fn link_spec(&self, link: LinkId) -> LinkSpec {
+        self.links[link.0 as usize].0.spec
+    }
+
+    /// Sets a link's random-loss probability (loss-burst injection).
+    pub fn set_link_loss(&mut self, link: LinkId, loss: f64) {
+        self.links[link.0 as usize].0.spec.loss = loss;
+    }
+
+    /// Sets a link's one-way latency (latency-spike injection).
+    pub fn set_link_latency(&mut self, link: LinkId, latency: SimDuration) {
+        self.links[link.0 as usize].0.spec.latency = latency;
+    }
+
+    /// The link attached to a node interface, if connected.
+    pub fn link_of(&self, node: NodeId, ifidx: usize) -> Option<LinkId> {
+        self.nodes[node.0 as usize].interfaces[ifidx].link
+    }
+
+    /// Partitions a switch: ports are assigned to groups (unlisted ports
+    /// are group 0) and frames only forward between ports of the same
+    /// group. Inert until set; [`Simulation::clear_switch_partition`]
+    /// heals.
+    pub fn set_switch_partition(&mut self, id: SwitchId, assignment: BTreeMap<usize, u32>) {
+        self.switches[id.0 as usize].set_partition(assignment);
+    }
+
+    /// Heals a switch partition.
+    pub fn clear_switch_partition(&mut self, id: SwitchId) {
+        self.switches[id.0 as usize].clear_partition();
     }
 
     /// Replaces a node's process (proactive recovery installs a fresh,
@@ -631,12 +674,20 @@ impl Simulation {
                     self.call_process(node, |p, ctx| p.on_timer(ctx, timer));
                 }
             }
-            EventKind::FrameAt { to, frame } => match to {
-                EndpointRef::SwitchPort { switch, port } => {
-                    self.frame_at_switch(switch, port, frame)
+            EventKind::FrameAt { to, frame, via } => {
+                // Frames queued on a link that has since gone down are
+                // lost, not delivered on heal.
+                if !self.links[via.0 as usize].0.up {
+                    self.net.frames_dropped.inc();
+                    return;
                 }
-                EndpointRef::Nic { node, ifidx } => self.frame_at_nic(node, ifidx, frame),
-            },
+                match to {
+                    EndpointRef::SwitchPort { switch, port } => {
+                        self.frame_at_switch(switch, port, frame)
+                    }
+                    EndpointRef::Nic { node, ifidx } => self.frame_at_nic(node, ifidx, frame),
+                }
+            }
             EventKind::ArpRetry {
                 node,
                 ifidx,
@@ -874,7 +925,14 @@ impl Simulation {
             return;
         }
         match link.schedule(a_to_b, frame.wire_size(), self.now) {
-            Some(arrive) => self.push_event(arrive, EventKind::FrameAt { to, frame }),
+            Some(arrive) => self.push_event(
+                arrive,
+                EventKind::FrameAt {
+                    to,
+                    frame,
+                    via: link_id,
+                },
+            ),
             None => self.net.frames_dropped.inc(),
         }
     }
@@ -891,6 +949,13 @@ impl Simulation {
         match decision {
             Forward::Ports(ports) => {
                 for port in ports {
+                    // An active partition confines frames to the ingress
+                    // port's group.
+                    if !self.switches[switch.0 as usize].same_partition_group(ingress, port) {
+                        self.switches[switch.0 as usize].partition_drops += 1;
+                        self.net.frames_dropped.inc();
+                        continue;
+                    }
                     if let Some(link_id) = self.switches[switch.0 as usize].ports[port] {
                         let from = EndpointRef::SwitchPort { switch, port };
                         self.transmit(link_id, from, frame.clone());
@@ -1509,5 +1574,118 @@ mod tests {
         // The red team saw *nothing*: no SYN-ACK, no RST.
         assert_eq!(sim.process_ref::<Scanner>(a).expect("scanner").responses, 0);
         assert_eq!(sim.firewall_drops(b), 10);
+    }
+
+    /// Two chatters on a direct link with ARP already warm; returns the
+    /// link so tests can flap or reshape it.
+    fn warm_direct_pair() -> (Simulation, NodeId, NodeId, LinkId) {
+        let mut sim = Simulation::new(3);
+        let a = sim.add_node(NodeSpec::new(
+            "a",
+            vec![InterfaceSpec::dynamic(IP_A)],
+            Chatter::new(IP_B, true),
+        ));
+        let b = sim.add_node(NodeSpec::new(
+            "b",
+            vec![InterfaceSpec::dynamic(IP_B)],
+            Chatter::new(IP_A, false),
+        ));
+        let link = sim.connect_direct((a, 0), (b, 0), LinkSpec::lan());
+        sim.run_for(SimDuration::from_millis(1));
+        assert_eq!(
+            sim.process_ref::<Chatter>(b)
+                .expect("chatter")
+                .received
+                .len(),
+            1
+        );
+        (sim, a, b, link)
+    }
+
+    #[test]
+    fn downed_link_drops_in_flight_frames() {
+        let (mut sim, a, b, link) = warm_direct_pair();
+        // Re-send, then take the link down while the frame is in flight:
+        // the frame must be lost, not delivered when the link heals.
+        sim.replace_process(a, Chatter::new(IP_B, true));
+        sim.run_for(SimDuration::from_micros(10));
+        sim.set_link_up(link, false);
+        assert!(!sim.link_up(link));
+        sim.run_for(SimDuration::from_millis(1));
+        sim.set_link_up(link, true);
+        sim.run_for(SimDuration::from_millis(5));
+        assert_eq!(
+            sim.process_ref::<Chatter>(b)
+                .expect("chatter")
+                .received
+                .len(),
+            1,
+            "ghost frame delivered after link heal"
+        );
+    }
+
+    #[test]
+    fn link_loss_and_latency_windows_apply() {
+        let (mut sim, a, b, link) = warm_direct_pair();
+        // Total loss: nothing new arrives.
+        sim.set_link_loss(link, 1.0);
+        sim.replace_process(a, Chatter::new(IP_B, true));
+        sim.run_for(SimDuration::from_millis(5));
+        assert_eq!(
+            sim.process_ref::<Chatter>(b)
+                .expect("chatter")
+                .received
+                .len(),
+            1
+        );
+        // Heal the loss, spike the latency: delivery happens, but late.
+        sim.set_link_loss(link, 0.0);
+        sim.set_link_latency(link, SimDuration::from_millis(2));
+        assert_eq!(sim.link_spec(link).latency, SimDuration::from_millis(2));
+        sim.replace_process(a, Chatter::new(IP_B, true));
+        sim.run_for(SimDuration::from_millis(1));
+        assert_eq!(
+            sim.process_ref::<Chatter>(b)
+                .expect("chatter")
+                .received
+                .len(),
+            1,
+            "frame arrived before the spiked latency elapsed"
+        );
+        sim.run_for(SimDuration::from_millis(5));
+        assert_eq!(
+            sim.process_ref::<Chatter>(b)
+                .expect("chatter")
+                .received
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn switch_partition_confines_frames_to_groups() {
+        let (mut sim, a, b) = two_hosts_on_switch(ArpMode::Dynamic);
+        let sw = SwitchId(0);
+        let mut groups = BTreeMap::new();
+        groups.insert(1usize, 1u32); // b's port in group 1, a's in group 0
+        sim.set_switch_partition(sw, groups);
+        sim.run_for(SimDuration::from_millis(10));
+        assert!(sim
+            .process_ref::<Chatter>(b)
+            .expect("chatter")
+            .received
+            .is_empty());
+        assert!(sim.switch(sw).partition_drops > 0);
+        assert!(sim.switch(sw).partition_active());
+        // Heal: the ARP retry re-broadcasts, resolution completes, and the
+        // packet parked during the partition finally delivers.
+        sim.clear_switch_partition(sw);
+        sim.run_for(SimDuration::from_millis(600));
+        assert!(!sim
+            .process_ref::<Chatter>(b)
+            .expect("chatter")
+            .received
+            .is_empty());
+        let _ = a;
     }
 }

@@ -67,8 +67,13 @@ pub struct Switch {
     pub ingress_violations: u64,
     /// Count of unknown-destination drops in static mode.
     pub unknown_dst_drops: u64,
+    /// Count of frames dropped by an active partition.
+    pub partition_drops: u64,
     /// Capture taps attached to this switch (span ports).
     pub taps: Vec<crate::capture::TapId>,
+    /// Active partition: port → group (unlisted ports are group 0).
+    /// Frames only forward between ports of the same group.
+    partition: Option<BTreeMap<usize, u32>>,
 }
 
 impl Switch {
@@ -81,7 +86,36 @@ impl Switch {
             cam: BTreeMap::new(),
             ingress_violations: 0,
             unknown_dst_drops: 0,
+            partition_drops: 0,
             taps: Vec::new(),
+            partition: None,
+        }
+    }
+
+    /// Activates a partition: ports are confined to their assigned group
+    /// (unlisted ports form group 0).
+    pub fn set_partition(&mut self, assignment: BTreeMap<usize, u32>) {
+        self.partition = Some(assignment);
+    }
+
+    /// Heals the partition.
+    pub fn clear_partition(&mut self) {
+        self.partition = None;
+    }
+
+    /// Whether a partition is currently active.
+    pub fn partition_active(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// Whether two ports may exchange frames under the active partition
+    /// (always true when none is set).
+    pub fn same_partition_group(&self, a: usize, b: usize) -> bool {
+        match &self.partition {
+            None => true,
+            Some(groups) => {
+                groups.get(&a).copied().unwrap_or(0) == groups.get(&b).copied().unwrap_or(0)
+            }
         }
     }
 

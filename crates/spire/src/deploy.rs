@@ -452,6 +452,32 @@ impl Deployment {
         Some(node)
     }
 
+    /// Partitions the internal (replication) switch so the `isolated`
+    /// replicas can only talk among themselves; everyone else stays in
+    /// the majority group. Internal switch port `i` hosts replica `i` by
+    /// construction. Returns false when no internal switch exists.
+    pub fn partition_internal(&mut self, isolated: &[u32]) -> bool {
+        let Some(sw) = self.internal_switch else {
+            return false;
+        };
+        let groups: BTreeMap<usize, u32> = isolated.iter().map(|&r| (r as usize, 1u32)).collect();
+        self.sim.set_switch_partition(sw, groups);
+        true
+    }
+
+    /// Heals an internal-switch partition (no-op when none is active).
+    pub fn heal_internal_partition(&mut self) {
+        if let Some(sw) = self.internal_switch {
+            self.sim.clear_switch_partition(sw);
+        }
+    }
+
+    /// The link attached to replica `i`'s interface `ifidx` (0 =
+    /// internal/replication, 1 = external/operations).
+    pub fn replica_link(&self, i: u32, ifidx: usize) -> Option<simnet::link::LinkId> {
+        self.sim.link_of(self.replica_nodes[i as usize], ifidx)
+    }
+
     /// Minimum executed count across correct replicas.
     pub fn min_executed(&self) -> u64 {
         (0..self.cfg.n())

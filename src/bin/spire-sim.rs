@@ -18,14 +18,16 @@
 //!   e9             diversity/recovery race
 //!   e10            hardening ablation matrix
 //!   e11            ordering saturation: ramp the update rate, find the knee
+//!   e12 [--days N] chaos soak: N compressed days under a seeded fault
+//!                  schedule with continuous invariant checking
 //!   bench          time e1-e11 wall-clock, report sim-events/sec
 //!   all            everything above, in order
 //!
 //! flags:
 //!   --seed N       simulation seed (default 42)
-//!   --days N       e4 compressed days (default 6)
+//!   --days N       e4/e12 compressed days (default 6)
 //!   --steps N      e11 ramp steps to run (default 6, i.e. the full ramp)
-//!   --json FILE    write e11 / bench results as JSON to FILE
+//!   --json FILE    write e11 / e12 / bench results as JSON to FILE
 //!   --metrics      print the metrics registry + journal digest after
 //!                  e4/e5 (see EXPERIMENTS.md, "Observability")
 //!   --trace        echo journal records live as the simulation runs
@@ -37,6 +39,7 @@
 
 use std::process::ExitCode;
 
+use bench::chaos_experiment::{chaos_json, e12_chaos_soak, render_chaos};
 use bench::figures::{fig1_conventional, fig2_spire, fig4_hmi};
 use bench::harness::{bench_json, render_bench, run_bench};
 use bench::mana_experiment::{e7_mana_detection, e7_roc, render_mana, render_roc};
@@ -112,24 +115,41 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-/// Writes `json` to `path`, reporting rather than panicking on failure.
-fn write_json(path: &str, json: &str) {
+/// Writes `json` to `path`. Returns false (and explains on stderr) when
+/// the path cannot be written, so `main` can exit nonzero.
+fn write_json(path: &str, json: &str) -> bool {
     match std::fs::write(path, json) {
-        Ok(()) => eprintln!("json written to {path}"),
-        Err(err) => eprintln!("failed to write {path}: {err}"),
+        Ok(()) => {
+            eprintln!("json written to {path}");
+            true
+        }
+        Err(err) => {
+            eprintln!("failed to write {path}: {err}");
+            false
+        }
     }
 }
 
-/// Writes the journal's span trees as Chrome trace-event JSON.
-fn export_trace(path: &str, journal: &[obs::TimedEvent]) {
+/// Writes the journal's span trees as Chrome trace-event JSON. Returns
+/// false (and explains on stderr) when the path cannot be written.
+fn export_trace(path: &str, journal: &[obs::TimedEvent]) -> bool {
     let json = obs::trace::chrome_trace_json(journal);
     match std::fs::write(path, &json) {
-        Ok(()) => eprintln!("trace written to {path} (open in https://ui.perfetto.dev)"),
-        Err(err) => eprintln!("failed to write {path}: {err}"),
+        Ok(()) => {
+            eprintln!("trace written to {path} (open in https://ui.perfetto.dev)");
+            true
+        }
+        Err(err) => {
+            eprintln!("failed to write {path}: {err}");
+            false
+        }
     }
 }
 
-fn run(command: &str, opts: &Options) -> bool {
+/// Runs `command`. `None` means the command is unknown; `Some(ok)` runs
+/// it, with `ok` false when a requested output file could not be written.
+fn run(command: &str, opts: &Options) -> Option<bool> {
+    let mut ok = true;
     match command {
         "figures" => {
             println!("{}", fig1_conventional(opts.seed));
@@ -180,7 +200,7 @@ fn run(command: &str, opts: &Options) -> bool {
                 println!("\n{}", r.obs.render());
             }
             if let Some(path) = &opts.trace_export {
-                export_trace(path, &r.obs.journal);
+                ok &= export_trace(path, &r.obs.journal);
             }
         }
         "e5" => {
@@ -190,7 +210,7 @@ fn run(command: &str, opts: &Options) -> bool {
                 println!("{}", r.obs.render());
             }
             if let Some(path) = &opts.trace_export {
-                export_trace(path, &r.obs.journal);
+                ok &= export_trace(path, &r.obs.journal);
             }
         }
         "e6" => println!("{:#?}", e6_ground_truth(opts.seed)),
@@ -215,35 +235,42 @@ fn run(command: &str, opts: &Options) -> bool {
             let run = e11_saturation(opts.seed, rates);
             println!("{}", render_saturation(&run));
             if let Some(path) = &opts.json {
-                write_json(path, &saturation_json(&run));
+                ok &= write_json(path, &saturation_json(&run));
+            }
+        }
+        "e12" => {
+            let run = e12_chaos_soak(opts.seed, opts.days, 30);
+            println!("{}", render_chaos(&run));
+            if let Some(path) = &opts.json {
+                ok &= write_json(path, &chaos_json(&run));
             }
         }
         "bench" => {
             let r = run_bench(opts.seed);
             println!("{}", render_bench(&r));
             if let Some(path) = &opts.json {
-                write_json(path, &bench_json(&r));
+                ok &= write_json(path, &bench_json(&r));
             }
         }
         "all" => {
             for c in [
                 "figures", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10",
-                "e11",
+                "e11", "e12",
             ] {
                 println!("\n===== {c} =====\n");
-                run(c, opts);
+                ok &= run(c, opts).unwrap_or(false);
             }
         }
-        _ => return false,
+        _ => return None,
     }
-    true
+    Some(ok)
 }
 
 /// Every runnable experiment id, as listed by usage and unknown-command
 /// errors.
 const COMMANDS: &[&str] = &[
-    "figures", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10", "e11", "bench",
-    "all",
+    "figures", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10", "e11", "e12",
+    "bench", "all",
 ];
 
 fn usage() -> String {
@@ -268,13 +295,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if run(command, &opts) {
-        ExitCode::SUCCESS
-    } else {
-        eprintln!(
-            "unknown command: {command}\navailable commands: {}",
-            COMMANDS.join(" ")
-        );
-        ExitCode::FAILURE
+    match run(command, &opts) {
+        Some(true) => ExitCode::SUCCESS,
+        Some(false) => ExitCode::FAILURE,
+        None => {
+            eprintln!(
+                "unknown command: {command}\navailable commands: {}",
+                COMMANDS.join(" ")
+            );
+            ExitCode::FAILURE
+        }
     }
 }

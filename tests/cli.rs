@@ -1,0 +1,64 @@
+//! `spire-sim` CLI contract: output-file failures surface as a nonzero
+//! exit code with a clear error, instead of vanishing on stderr while
+//! the process reports success.
+
+use std::process::Command;
+
+fn spire_sim(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_spire-sim"))
+        .args(args)
+        .output()
+        .expect("spire-sim runs")
+}
+
+/// `--days 0` keeps the soak to its warmup + quiescence tail, so these
+/// stay fast while still exercising the JSON writer.
+#[test]
+fn unwritable_json_path_exits_nonzero_with_clear_error() {
+    let out = spire_sim(&["e12", "--days", "0", "--json", "/nonexistent-dir/e12.json"]);
+    assert!(
+        !out.status.success(),
+        "unwritable --json must fail the process"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("failed to write /nonexistent-dir/e12.json"),
+        "stderr should name the path and the error, got: {stderr}"
+    );
+}
+
+#[test]
+fn unwritable_trace_export_exits_nonzero_with_clear_error() {
+    let out = spire_sim(&["e5", "--trace-export", "/nonexistent-dir/trace.json"]);
+    assert!(
+        !out.status.success(),
+        "unwritable --trace-export must fail the process"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("failed to write /nonexistent-dir/trace.json"),
+        "stderr should name the path and the error, got: {stderr}"
+    );
+}
+
+#[test]
+fn writable_json_path_exits_zero_and_writes_the_file() {
+    let dir = std::env::temp_dir().join("spire-sim-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("e12.json");
+    let path_str = path.to_str().expect("utf-8 path");
+    let out = spire_sim(&["e12", "--days", "0", "--json", path_str]);
+    assert!(out.status.success(), "writable --json must succeed");
+    let json = std::fs::read_to_string(&path).expect("json written");
+    assert!(json.contains("\"all_green\""));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unknown_command_exits_nonzero_and_lists_commands() {
+    let out = spire_sim(&["e99"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command: e99"));
+    assert!(stderr.contains("e12"), "help should list e12");
+}
