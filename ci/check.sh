@@ -36,4 +36,15 @@ echo "==> chaos smoke (short E12 soak, digest-pinned, + negative controls)"
 cargo run -q --release --bin spire-sim -- e12 --seed 42 --days 1 >/dev/null
 cargo test -q --release --test chaos_engine
 
+echo "==> site-failover smoke (E13, all three paper configs, digest-pinned)"
+# The e13 CLI run proves the multi-site path end to end (6@1 loses
+# liveness, 3+3 and 2+2+1+1 ride through); the site_failover suite
+# re-checks the failover/negative-control contracts and the Prime
+# liveness regressions E13 originally exposed.
+cargo run -q --release --bin spire-sim -- e13 --seed 42 >/dev/null
+cargo test -q --release --test site_failover
+
+echo "==> line-coverage gate (skips when cargo-llvm-cov is unavailable)"
+ci/coverage.sh
+
 echo "All checks passed."

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Line-coverage gate: measures workspace line coverage with
+# cargo-llvm-cov and fails when it drops more than MARGIN percentage
+# points below the recorded baseline in ci/coverage-baseline.txt.
+#
+# cargo-llvm-cov and a matching llvm-tools component are not part of the
+# offline image this repository is developed in, so the gate degrades to
+# a skip-with-notice when the tool is missing instead of failing the
+# pipeline. On a machine with the tool, the first run records the
+# baseline; commit that file so later runs enforce it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE_FILE=ci/coverage-baseline.txt
+MARGIN=2.0 # allowed regression, in percentage points
+
+if ! cargo llvm-cov --version >/dev/null 2>&1; then
+    echo "coverage: cargo-llvm-cov not installed; skipping the gate"
+    echo "coverage: enable with: cargo install cargo-llvm-cov && rustup component add llvm-tools"
+    exit 0
+fi
+
+echo "==> cargo llvm-cov (workspace line coverage)"
+current=$(cargo llvm-cov --workspace --json --summary-only 2>/dev/null |
+    python3 -c 'import json, sys; print("%.2f" % json.load(sys.stdin)["data"][0]["totals"]["lines"]["percent"])')
+echo "coverage: current line coverage ${current}%"
+
+baseline=$(grep -v '^#' "$BASELINE_FILE" | head -1)
+if [ "$baseline" = "unset" ]; then
+    # First run with tooling available: record and ask for a commit.
+    sed -i "s/^unset$/${current}/" "$BASELINE_FILE"
+    echo "coverage: baseline recorded as ${current}% — commit ${BASELINE_FILE}"
+    exit 0
+fi
+
+floor=$(awk -v b="$baseline" -v m="$MARGIN" 'BEGIN { printf "%.2f", b - m }')
+if awk -v c="$current" -v f="$floor" 'BEGIN { exit !(c < f) }'; then
+    echo "coverage: FAIL — ${current}% is below the allowed floor ${floor}%" \
+        "(baseline ${baseline}% - ${MARGIN} pp)"
+    exit 1
+fi
+echo "coverage: OK (baseline ${baseline}%, floor ${floor}%)"
+
+# Ratchet note: if coverage rose well past the baseline, suggest
+# re-recording so the floor tracks reality.
+if awk -v c="$current" -v b="$baseline" 'BEGIN { exit !(c > b + 1.0) }'; then
+    echo "coverage: note — coverage rose to ${current}%; consider updating ${BASELINE_FILE}"
+fi

@@ -29,6 +29,7 @@ use crate::redteam_experiments::{
     e3_replica_excursion_meta, render_ablation,
 };
 use crate::saturation::{e11_default_rates, e11_saturation, render_saturation};
+use crate::site_experiment::{e13_leg_by_id, render_leg};
 
 /// The seed at which the golden digests in `tests/golden_digests.rs` are
 /// pinned.
@@ -63,7 +64,8 @@ fn meta_lines(out: &mut String, metas: &[RunMeta]) {
     }
 }
 
-/// Runs experiment `id` ("e1".."e10", "e7b", "e12") at `seed` — at a reduced size
+/// Runs experiment `id` ("e1".."e10", "e7b", "e12", "e13a".."e13c") at
+/// `seed` — at a reduced size
 /// where the full run would be slow — and folds its journal digests,
 /// event counts, and rendered result into one hex digest.
 ///
@@ -148,6 +150,11 @@ pub fn experiment_fingerprint(id: &str, seed: u64) -> String {
             meta_lines(&mut text, std::slice::from_ref(&run.meta));
             text.push_str(&render_chaos(&run));
         }
+        "e13a" | "e13b" | "e13c" => {
+            let leg = e13_leg_by_id(id, seed);
+            meta_lines(&mut text, std::slice::from_ref(&leg.meta));
+            text.push_str(&render_leg(&leg));
+        }
         other => panic!("unknown experiment id: {other}"),
     }
     sha256(text.as_bytes()).to_hex()
@@ -155,7 +162,8 @@ pub fn experiment_fingerprint(id: &str, seed: u64) -> String {
 
 /// The experiment ids covered by [`experiment_fingerprint`], in run order.
 pub const FINGERPRINTED: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10", "e12",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10", "e12", "e13a", "e13b",
+    "e13c",
 ];
 
 /// One timed experiment in a bench run.

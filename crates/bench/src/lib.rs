@@ -18,6 +18,7 @@ pub mod plant_experiments;
 pub mod recovery_experiments;
 pub mod redteam_experiments;
 pub mod saturation;
+pub mod site_experiment;
 
 pub use chaos_experiment::{chaos_json, e12_chaos_soak, render_chaos};
 pub use figures::{fig1_conventional, fig2_spire, fig4_hmi};
@@ -29,3 +30,4 @@ pub use redteam_experiments::{
     e10_hardening_ablation, e1_commercial_attacks, e2_spire_network_attacks, e3_replica_excursion,
 };
 pub use saturation::{e11_default_rates, e11_saturation};
+pub use site_experiment::{e13_site_failover, render_site_failover, site_failover_json};

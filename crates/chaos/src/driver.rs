@@ -220,6 +220,25 @@ impl ChaosDriver {
                 let current = d.obs.now_us();
                 d.obs.set_now_us(current.saturating_sub(behind.as_micros()));
             }
+            Fault::SiteSever { site } => {
+                let site = *site as usize;
+                d.sever_site(site);
+                let severed: Vec<u32> = d
+                    .cfg
+                    .sites
+                    .as_ref()
+                    .map(|t| t.replicas_of(site).to_vec())
+                    .unwrap_or_default();
+                checker.partition_started(&severed);
+                // The management-plane failover runs immediately; when it
+                // installs a degraded epoch, the checker judges budget and
+                // progress against that epoch.
+                if let Some(spire::site::SurvivalMode::DegradedEpoch(m)) =
+                    d.failover_after_site_loss(site)
+                {
+                    checker.membership_changed(m.members().to_vec(), m.f, m.k, m.ordering_quorum());
+                }
+            }
         }
         if scheduled.duration > SimDuration::ZERO {
             self.active.push(ActiveFault {
@@ -265,6 +284,12 @@ impl ChaosDriver {
                 checker.byz_healed(*replica);
             }
             Fault::ClockSkew { .. } => {}
+            Fault::SiteSever { site } => {
+                d.heal_site(*site as usize);
+                d.failback_full_membership();
+                checker.membership_restored();
+                checker.partition_healed(d);
+            }
         }
     }
 }

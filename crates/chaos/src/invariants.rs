@@ -105,6 +105,16 @@ struct PendingReconvergence {
     deadline: SimTime,
 }
 
+/// A degraded membership epoch the management plane installed (site
+/// failover): while active, the fault budget and the progress baseline
+/// are judged against the epoch's members, not the static configuration.
+struct EpochView {
+    members: Vec<u32>,
+    f: u32,
+    k: u32,
+    quorum: u32,
+}
+
 /// The continuous checker. The driver notifies it of every injection and
 /// heal (so it can track the live fault budget) and calls
 /// [`observe`](InvariantChecker::observe) after each step.
@@ -120,6 +130,8 @@ pub struct InvariantChecker {
     byz: BTreeSet<u32>,
     /// Replicas isolated by an active partition.
     partitioned: Vec<u32>,
+    /// Active degraded membership epoch, if any (site failover).
+    epoch: Option<EpochView>,
     /// Since when the fault budget has held continuously.
     stable_since: Option<SimTime>,
     last_max_exec: u64,
@@ -148,6 +160,7 @@ impl InvariantChecker {
             recovering: BTreeSet::new(),
             byz: BTreeSet::new(),
             partitioned: Vec::new(),
+            epoch: None,
             stable_since: None,
             last_max_exec: 0,
             last_progress_at: d.now(),
@@ -201,6 +214,26 @@ impl InvariantChecker {
         self.partitioned = isolated.to_vec();
     }
 
+    /// The management plane installed a degraded membership epoch: the
+    /// fault budget and the progress baseline now come from the epoch
+    /// (`f`/`k`/`quorum` over `members`) instead of the static
+    /// configuration. The delay invariant re-arms after the grace window.
+    pub fn membership_changed(&mut self, members: Vec<u32>, f: u32, k: u32, quorum: u32) {
+        self.epoch = Some(EpochView {
+            members,
+            f,
+            k,
+            quorum,
+        });
+        self.stable_since = None;
+    }
+
+    /// The full static membership is back in force (site heal + failback).
+    pub fn membership_restored(&mut self) {
+        self.epoch = None;
+        self.stable_since = None;
+    }
+
     /// The active partition healed; the formerly isolated replicas must
     /// now reconverge.
     pub fn partition_healed(&mut self, d: &Deployment) {
@@ -238,8 +271,16 @@ impl InvariantChecker {
 
     /// Max executed seq over healthy replicas outside any active
     /// partition's isolated side (progress is defined by the majority).
+    /// Under a degraded membership epoch only the epoch's members count —
+    /// the severed replicas are not expected to make progress.
     fn max_healthy_exec(&self, d: &Deployment) -> u64 {
         (0..self.cfg.n)
+            .filter(|r| {
+                self.epoch
+                    .as_ref()
+                    .map(|e| e.members.contains(r))
+                    .unwrap_or(true)
+            })
             .filter(|r| self.healthy(*r) && !self.partitioned.contains(r))
             .map(|r| d.replica(r).replica.exec_seq())
             .max()
@@ -282,10 +323,30 @@ impl InvariantChecker {
 
     fn check_bounded_delay(&mut self, d: &Deployment, now: SimTime) {
         let within = self.cfg.assume_within_budget
-            || ((self.down.len() + self.byz.len()) as u32 <= self.cfg.f
-                && self.recovering.len() as u32 <= self.cfg.k
-                && (self.partitioned.is_empty()
-                    || self.cfg.n - self.partitioned.len() as u32 >= self.cfg.quorum));
+            || match &self.epoch {
+                None => {
+                    (self.down.len() + self.byz.len()) as u32 <= self.cfg.f
+                        && self.recovering.len() as u32 <= self.cfg.k
+                        && (self.partitioned.is_empty()
+                            || self.cfg.n - self.partitioned.len() as u32 >= self.cfg.quorum)
+                }
+                // Degraded epoch: only faults hitting epoch members count,
+                // against the epoch's own (usually zero) budget.
+                Some(e) => {
+                    let hit = |set: &BTreeSet<u32>| {
+                        e.members.iter().filter(|r| set.contains(r)).count() as u32
+                    };
+                    let partitioned_members = e
+                        .members
+                        .iter()
+                        .filter(|r| self.partitioned.contains(r))
+                        .count() as u32;
+                    hit(&self.down) + hit(&self.byz) <= e.f
+                        && hit(&self.recovering) <= e.k
+                        && (partitioned_members == 0
+                            || e.members.len() as u32 - partitioned_members >= e.quorum)
+                }
+            };
         if within {
             if self.stable_since.is_none() {
                 self.stable_since = Some(now);

@@ -29,10 +29,16 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simnet::time::SimDuration;
 
-/// The eight fault families the chaos driver can inject.
+/// The fault families the chaos driver can inject.
 ///
 /// The `u8` tag is stable and is what lands in the observability journal
 /// (`Event::ChaosInject { kind, .. }`), so it participates in run digests.
+///
+/// [`FaultKind::SiteSever`] is special: it is never dealt by the
+/// randomized [`ChaosPlan::within_budget`] deck ([`FaultKind::ALL`] stays
+/// the original eight so existing soak digests are unchanged) — site
+/// failover is always scheduled explicitly via
+/// [`ChaosPlan::site_failover`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FaultKind {
     /// Internal-network switch partition isolating a minority of replicas.
@@ -51,10 +57,16 @@ pub enum FaultKind {
     ClockSkew,
     /// An unscheduled proactive recovery (take down, re-diversify, rejoin).
     Recovery,
+    /// An entire site drops off the WAN (multi-site deployments; the E13
+    /// failover fault). Healing reconnects the site and fails back.
+    SiteSever,
 }
 
 impl FaultKind {
-    /// All kinds, in tag order.
+    /// The kinds the randomized within-budget deck rotates through, in
+    /// tag order. Deliberately excludes [`FaultKind::SiteSever`]: a site
+    /// loss is not a within-budget fault for single-site deployments, and
+    /// keeping the deck fixed preserves historical soak digests.
     pub const ALL: [FaultKind; 8] = [
         FaultKind::Partition,
         FaultKind::LinkLoss,
@@ -77,6 +89,7 @@ impl FaultKind {
             FaultKind::ByzFlip => 5,
             FaultKind::ClockSkew => 6,
             FaultKind::Recovery => 7,
+            FaultKind::SiteSever => 8,
         }
     }
 
@@ -91,6 +104,7 @@ impl FaultKind {
             FaultKind::ByzFlip => "byz-flip",
             FaultKind::ClockSkew => "clock-skew",
             FaultKind::Recovery => "recovery",
+            FaultKind::SiteSever => "site-sever",
         }
     }
 }
@@ -114,6 +128,9 @@ pub enum Fault {
     ClockSkew { behind: SimDuration },
     /// Proactively recover `replica` (down, clean image, rejoin).
     Recovery { replica: u32 },
+    /// Sever `site` from the WAN; the heal reconnects it and fails back
+    /// to the full membership.
+    SiteSever { site: u32 },
 }
 
 impl Fault {
@@ -128,6 +145,7 @@ impl Fault {
             Fault::ByzFlip { .. } => FaultKind::ByzFlip,
             Fault::ClockSkew { .. } => FaultKind::ClockSkew,
             Fault::Recovery { .. } => FaultKind::Recovery,
+            Fault::SiteSever { .. } => FaultKind::SiteSever,
         }
     }
 
@@ -143,6 +161,7 @@ impl Fault {
             | Fault::ByzFlip { replica, .. }
             | Fault::Recovery { replica } => *replica,
             Fault::ClockSkew { behind } => behind.as_micros() as u32,
+            Fault::SiteSever { site } => *site,
         }
     }
 }
@@ -264,6 +283,9 @@ impl ChaosPlan {
                     SimDuration::from_millis(rng.gen_range(500..1_000)),
                     Fault::Recovery { replica },
                 ),
+                // Never dealt: the deck is `FaultKind::ALL`, which
+                // excludes site severs by design.
+                FaultKind::SiteSever => unreachable!("site severs are scheduled explicitly"),
             };
             // Quiet tail: clamp windows so everything heals before the
             // horizon, dropping the fault if no meaningful window fits.
@@ -306,6 +328,18 @@ impl ChaosPlan {
                 at: SimDuration::from_millis(200),
                 duration: horizon,
                 fault: Fault::Partition { isolated },
+            }],
+        }
+    }
+
+    /// The E13 schedule: sever `site` at `at`, heal (reconnect + fail
+    /// back) after `duration`. Pure data, like every plan.
+    pub fn site_failover(site: u32, at: SimDuration, duration: SimDuration) -> Self {
+        ChaosPlan {
+            faults: vec![ScheduledFault {
+                at,
+                duration,
+                fault: Fault::SiteSever { site },
             }],
         }
     }
@@ -406,6 +440,22 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn site_sever_is_tagged_but_never_dealt_by_the_deck() {
+        assert_eq!(FaultKind::SiteSever.tag(), 8);
+        assert_eq!(FaultKind::SiteSever.name(), "site-sever");
+        assert!(
+            !FaultKind::ALL.contains(&FaultKind::SiteSever),
+            "the within-budget deck must stay the original eight kinds"
+        );
+        let plan =
+            ChaosPlan::site_failover(1, SimDuration::from_millis(200), SimDuration::from_secs(9));
+        assert_eq!(plan.faults.len(), 1);
+        assert_eq!(plan.faults[0].fault, Fault::SiteSever { site: 1 });
+        assert_eq!(plan.faults[0].fault.kind().tag(), 8);
+        assert_eq!(plan.faults[0].fault.target(), 1);
     }
 
     #[test]

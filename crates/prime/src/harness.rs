@@ -666,6 +666,141 @@ mod tests {
         c.assert_consistent();
     }
 
+    /// Losing a full "site" (replicas 3–5) leaves three survivors — below
+    /// the static quorum of 4 — so ordering halts until the management
+    /// plane installs a degraded membership epoch; under the epoch's
+    /// majority quorum (2) ordering must continue among the survivors.
+    #[test]
+    fn degraded_epoch_orders_after_site_loss() {
+        use crate::types::Membership;
+        let mut c = Cluster::new(Config::plant(), 1);
+        c.set_timing(fast_timing());
+        for i in 0..6 {
+            c.submit(0, format!("pre{i}=v"));
+            c.run_for(SimDuration::from_millis(40));
+        }
+        c.run_for(SimDuration::from_millis(400));
+        assert_eq!(c.min_executed(), 6);
+        c.partitioned.extend([3, 4, 5]);
+        let now = c.now();
+        for i in 0..3 {
+            c.replicas[i].set_membership(Membership::degraded(vec![0, 1, 2]), now);
+        }
+        for i in 0..8 {
+            c.submit(0, format!("sev{i}=v"));
+            c.run_for(SimDuration::from_millis(40));
+        }
+        c.run_for(SimDuration::from_secs(1));
+        assert_eq!(c.min_executed(), 14, "ordering live in the degraded epoch");
+        c.assert_consistent();
+    }
+
+    /// Losing the site that holds the view-0 leader: the epoch rotates
+    /// leadership over its own member list, so members[0] leads the same
+    /// view and no view change is needed to restore liveness.
+    #[test]
+    fn degraded_epoch_rotates_leadership_over_members() {
+        use crate::types::Membership;
+        let mut c = Cluster::new(Config::plant(), 1);
+        c.set_timing(fast_timing());
+        c.submit(0, "warm=v");
+        c.run_for(SimDuration::from_secs(1));
+        assert_eq!(c.min_executed(), 1);
+        c.partitioned.extend([0, 1, 2]);
+        let now = c.now();
+        for i in 3..6 {
+            c.replicas[i].set_membership(Membership::degraded(vec![3, 4, 5]), now);
+        }
+        assert!(c.replicas[3].is_leader(), "members[0] leads the epoch");
+        for i in 0..5 {
+            c.submit(0, format!("s{i}=v"));
+            c.run_for(SimDuration::from_millis(40));
+        }
+        c.run_for(SimDuration::from_secs(2));
+        for r in c.replicas.iter().skip(3) {
+            assert_eq!(r.exec_seq(), 6, "{:?} executed under the epoch", r.id());
+        }
+        c.assert_consistent();
+    }
+
+    /// Heal + failback: clearing the epoch restores the static quorum,
+    /// the healed replicas catch up via checkpoints + state transfer, and
+    /// the whole cluster converges on one history.
+    #[test]
+    fn failback_after_site_heal_restores_full_membership() {
+        use crate::types::Membership;
+        let mut config = Config::plant();
+        config.transfer_dedup = true;
+        let mut c = Cluster::new(config, 1);
+        c.set_timing(fast_timing());
+        for i in 0..6 {
+            c.submit(0, format!("pre{i}=v"));
+            c.run_for(SimDuration::from_millis(40));
+        }
+        c.run_for(SimDuration::from_millis(400));
+        assert_eq!(c.min_executed(), 6);
+        c.partitioned.extend([3, 4, 5]);
+        let now = c.now();
+        for i in 0..3 {
+            c.replicas[i].set_membership(Membership::degraded(vec![0, 1, 2]), now);
+        }
+        for i in 0..8 {
+            c.submit(0, format!("sev{i}=v"));
+            c.run_for(SimDuration::from_millis(40));
+        }
+        c.run_for(SimDuration::from_secs(1));
+        assert_eq!(c.min_executed(), 14);
+        // Site heals: failback to the full configuration.
+        c.partitioned.clear();
+        for i in 0..3 {
+            c.replicas[i].clear_membership();
+        }
+        for i in 0..6 {
+            c.submit(0, format!("post{i}=v"));
+            c.run_for(SimDuration::from_millis(40));
+        }
+        c.run_for(SimDuration::from_secs(5));
+        for r in &c.replicas {
+            assert_eq!(r.exec_seq(), 20, "{:?} converged after failback", r.id());
+        }
+        c.assert_consistent();
+    }
+
+    /// Messages from outside the epoch membership are dropped while the
+    /// epoch is active: stale votes from the severed side must not count
+    /// toward the reduced thresholds.
+    #[test]
+    fn epoch_ignores_non_member_messages() {
+        use crate::types::Membership;
+        let mut c = Cluster::new(Config::plant(), 1);
+        c.set_timing(fast_timing());
+        c.submit(0, "a=1");
+        c.run_for(SimDuration::from_secs(1));
+        let now = c.now();
+        c.replicas[0].set_membership(Membership::degraded(vec![0, 1, 2]), now);
+        // A perfectly valid checkpoint vote from r5 (a non-member) must
+        // not be admitted while the epoch is active.
+        let before = c.replicas[0].stats.bad_sigs;
+        let env = {
+            let r5 = &mut c.replicas[5];
+            let digest = r5.app().digest();
+            let exec = r5.exec_seq();
+            crate::messages::Envelope::sign(
+                ReplicaId(5),
+                crate::messages::PrimeMsg::Checkpoint {
+                    exec_seq: exec,
+                    app_digest: digest,
+                },
+                &mut KeyPair::generate(REPLICA_KEY_SEED + 5),
+            )
+        };
+        let out = c.replicas[0].on_message(env.msg, now);
+        assert!(out.is_empty(), "non-member message produced no effects");
+        assert_eq!(c.replicas[0].stats.bad_sigs, before);
+        c.replicas[0].clear_membership();
+        assert!(c.replicas[0].membership().is_none());
+    }
+
     #[test]
     fn duplicate_submissions_execute_once() {
         let mut c = Cluster::new(Config::red_team(), 1);

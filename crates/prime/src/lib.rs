@@ -55,4 +55,4 @@ pub use byzantine::ByzMode;
 pub use harness::Cluster;
 pub use messages::{PrimeMsg, SignedMsg};
 pub use replica::{OutEvent, Replica};
-pub use types::{Config, ReplicaId, SignedUpdate, Update};
+pub use types::{Config, Membership, ReplicaId, SignedUpdate, Update};

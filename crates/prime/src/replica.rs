@@ -42,7 +42,7 @@ use simnet::wire::Wire;
 use crate::application::Application;
 use crate::byzantine::ByzMode;
 use crate::messages::{AruRow, Envelope, PrimeMsg, SignedMsg};
-use crate::types::{Config, ReplicaId, SignedUpdate, Update};
+use crate::types::{Config, Membership, ReplicaId, SignedUpdate, Update};
 use itcrypto::verify_cache::VerifyCache;
 
 /// Compact client duplicate-suppression table, one
@@ -205,6 +205,16 @@ pub struct Replica<A: Application> {
     view: u64,
     in_view_change: bool,
     vc_target: u64,
+    /// When our view-change vote for `vc_target` last went out, so a
+    /// vote lost to a partition is retransmitted instead of deadlocking
+    /// the view change (see `tick`).
+    last_vc_broadcast_at: SimTime,
+
+    /// Restricted membership epoch, installed by the management plane
+    /// after a site loss leaves the survivors without the static quorum
+    /// (`None` = the full static configuration; the legacy single-site
+    /// path never sets it). See [`Membership`].
+    membership: Option<Membership>,
 
     // Pre-ordering.
     incarnation: u32,
@@ -315,6 +325,8 @@ impl<A: Application> Replica<A> {
             view: 0,
             in_view_change: false,
             vc_target: 0,
+            last_vc_broadcast_at: SimTime::ZERO,
+            membership: None,
             incarnation: 0,
             next_po_seq: 1,
             po_store: BTreeMap::new(),
@@ -403,7 +415,87 @@ impl<A: Application> Replica<A> {
 
     /// Whether this replica currently leads.
     pub fn is_leader(&self) -> bool {
-        self.config.leader_of(self.view) == self.id
+        self.active_leader_of(self.view) == self.id
+    }
+
+    /// The active membership epoch, if a degraded one is installed.
+    pub fn membership(&self) -> Option<&Membership> {
+        self.membership.as_ref()
+    }
+
+    /// Installs a restricted membership epoch (wide-area site failover).
+    ///
+    /// Only thresholds, leader rotation, and the peer filter change;
+    /// no view is forced and no ordering state is discarded. A committed
+    /// sequence is either already committed by a survivor or covered by a
+    /// surviving prepared certificate (commit quorum and survivor majority
+    /// intersect), so the ordinary suspicion → view-change machinery,
+    /// now running under the epoch's thresholds, re-establishes a live
+    /// leader without forking history. Vote state from non-members is
+    /// pruned so epoch thresholds count only epoch members.
+    pub fn set_membership(&mut self, m: Membership, now: SimTime) {
+        debug_assert!(m.contains(self.id), "epoch must include this replica");
+        for set in self.suspects.values_mut() {
+            set.retain(|id| m.contains(ReplicaId(*id)));
+        }
+        for votes in self.view_changes.values_mut() {
+            votes.retain(|id, _| m.contains(ReplicaId(*id)));
+        }
+        for votes in self.checkpoint_votes.values_mut() {
+            votes.retain(|id| m.contains(ReplicaId(*id)));
+        }
+        self.membership = Some(m);
+        // Anything still unordered must now make progress under the
+        // epoch; (re)arm the suspicion clock from the failover instant.
+        self.unordered_since = None;
+        self.note_unordered(now);
+    }
+
+    /// Removes the restricted epoch: the full static configuration's
+    /// thresholds and leader rotation apply again (site heal / failback).
+    pub fn clear_membership(&mut self) {
+        self.membership = None;
+    }
+
+    /// Leader of `view` under the active membership.
+    fn active_leader_of(&self, view: u64) -> ReplicaId {
+        match &self.membership {
+            Some(m) => m.leader_of(view),
+            None => self.config.leader_of(view),
+        }
+    }
+
+    /// Prepare/commit/install quorum under the active membership.
+    fn active_ordering_quorum(&self) -> u32 {
+        match &self.membership {
+            Some(m) => m.ordering_quorum(),
+            None => self.config.ordering_quorum(),
+        }
+    }
+
+    /// Leader-suspicion threshold under the active membership.
+    fn active_suspect_threshold(&self) -> u32 {
+        match &self.membership {
+            Some(m) => m.suspect_threshold(),
+            None => self.config.suspect_threshold(),
+        }
+    }
+
+    /// Intrusion budget under the active membership (join and catch-up
+    /// `f + 1` rules).
+    fn active_f(&self) -> u32 {
+        match &self.membership {
+            Some(m) => m.f,
+            None => self.config.f,
+        }
+    }
+
+    /// Whether a peer participates in the active membership.
+    fn is_active_member(&self, id: ReplicaId) -> bool {
+        match &self.membership {
+            Some(m) => m.contains(id),
+            None => true,
+        }
     }
 
     /// Executed update count.
@@ -547,6 +639,12 @@ impl<A: Application> Replica<A> {
             return out;
         }
         if msg.from == self.id || msg.from.0 >= self.config.n() {
+            return out;
+        }
+        // During a restricted epoch, peers outside the membership are on
+        // the severed side of the site partition: their (stale) protocol
+        // messages must not count toward the epoch's reduced thresholds.
+        if !self.is_active_member(msg.from) {
             return out;
         }
         if !msg.verify_cached(&self.registry, &mut self.verify_cache) {
@@ -753,7 +851,7 @@ impl<A: Application> Replica<A> {
         if view != self.view || self.in_view_change {
             return;
         }
-        if from != self.config.leader_of(view) {
+        if from != self.active_leader_of(view) {
             return;
         }
         if seq <= self.max_committed || seq == 0 {
@@ -769,13 +867,23 @@ impl<A: Application> Replica<A> {
             }
             seen.insert(row.replica.0);
         }
-        if (seen.len() as u32) < self.config.ordering_quorum() {
+        if (seen.len() as u32) < self.active_ordering_quorum() {
             return;
         }
         let digest = Self::matrix_digest(&matrix);
-        self.pre_prepares
-            .entry(seq)
-            .or_insert((view, matrix, digest));
+        // A proposal from a newer view supersedes an uncommitted entry a
+        // dead view left behind (a partition can cut a pre-prepare off
+        // from its prepare quorum; any value that might have committed is
+        // protected by the prepared-certificate carryover in
+        // `install_view`). Without the replacement the stale entry blocks
+        // this sequence in every later view and ordering wedges.
+        let replace = match self.pre_prepares.get(&seq) {
+            Some((stored_view, _, _)) => *stored_view < view,
+            None => true,
+        };
+        if replace {
+            self.pre_prepares.insert(seq, (view, matrix, digest));
+        }
         let stored = &self.pre_prepares[&seq];
         if stored.0 != view || stored.2 != digest {
             return; // conflicting proposal for this seq; ignore.
@@ -852,7 +960,7 @@ impl<A: Application> Replica<A> {
             .map_or(0, |s| s.len() as u32);
         // The leader does not send Prepare; its pre-prepare counts.
         let have = prepare_count + 1;
-        if have >= self.config.ordering_quorum() && self.sent_commit.insert((view, seq)) {
+        if have >= self.active_ordering_quorum() && self.sent_commit.insert((view, seq)) {
             self.prepared_cert = Some((seq, view, matrix.clone()));
             let commit = self.sign(PrimeMsg::Commit { view, seq, digest });
             self.commits
@@ -902,7 +1010,7 @@ impl<A: Application> Replica<A> {
             .commits
             .get(&(view, seq, digest))
             .map_or(0, |s| s.len() as u32);
-        if count >= self.config.ordering_quorum() {
+        if count >= self.active_ordering_quorum() {
             self.committed.insert(seq, matrix.clone());
             self.trace_ordering_phase(seq, obs::Stage::PrimeCommit);
             self.max_committed = self.max_committed.max(seq);
@@ -938,6 +1046,11 @@ impl<A: Application> Replica<A> {
     fn extend_plan(&mut self) {
         while let Some(matrix) = self.committed.get(&(self.planned_through + 1)) {
             let n = self.config.n() as usize;
+            // Deliberately the *static* coverage threshold even inside a
+            // restricted epoch: a commit processed by one survivor before
+            // the epoch switch and by another after it must yield the
+            // same execution plan, so the plan function cannot depend on
+            // epoch state.
             let threshold = self.config.coverage_threshold() as usize;
             let mut target = self.plan_cover.clone();
             for (origin, cover) in target.iter_mut().enumerate().take(n) {
@@ -1095,17 +1208,18 @@ impl<A: Application> Replica<A> {
         self.suspects.entry(view).or_default().insert(from.0);
         let count =
             self.suspects[&view].len() as u32 + u32::from(self.sent_suspect.contains(&view));
-        if view == self.view && count >= self.config.suspect_threshold() {
+        if view == self.view && count >= self.active_suspect_threshold() {
             self.start_view_change(view + 1, now, out);
         }
     }
 
-    fn start_view_change(&mut self, target: u64, _now: SimTime, out: &mut Vec<OutEvent>) {
+    fn start_view_change(&mut self, target: u64, now: SimTime, out: &mut Vec<OutEvent>) {
         if self.in_view_change && self.vc_target >= target {
             return;
         }
         self.in_view_change = true;
         self.vc_target = target;
+        self.last_vc_broadcast_at = now;
         let (prepared_seq, prepared_view, prepared_matrix) = match &self.prepared_cert {
             Some((s, v, m)) if *s > self.max_committed => (*s, *v, m.clone()),
             _ => (0, 0, Vec::new()),
@@ -1152,12 +1266,12 @@ impl<A: Application> Replica<A> {
         );
         let votes = self.view_changes[&new_view].len() as u32;
         // Join a view change once f+1 replicas are moving (can't all be faulty).
-        if votes > self.config.f && (!self.in_view_change || self.vc_target < new_view) {
+        if votes > self.active_f() && (!self.in_view_change || self.vc_target < new_view) {
             self.start_view_change(new_view, now, out);
         }
         // As the new leader, install the view once a quorum has voted.
-        if votes >= self.config.ordering_quorum()
-            && self.config.leader_of(new_view) == self.id
+        if votes >= self.active_ordering_quorum()
+            && self.active_leader_of(new_view) == self.id
             && self.view < new_view
         {
             self.install_view(new_view, now, out);
@@ -1218,7 +1332,7 @@ impl<A: Application> Replica<A> {
         now: SimTime,
         out: &mut Vec<OutEvent>,
     ) {
-        if view <= self.view || from != self.config.leader_of(view) {
+        if view <= self.view || from != self.active_leader_of(view) {
             return;
         }
         // Accept if we participated (sent or observed the view change).
@@ -1251,7 +1365,7 @@ impl<A: Application> Replica<A> {
             .or_default()
             .insert(from.0);
         let votes = self.checkpoint_votes[&(exec_seq, app_digest)].len() as u32;
-        if votes >= self.config.ordering_quorum() && exec_seq > self.stable_checkpoint {
+        if votes >= self.active_ordering_quorum() && exec_seq > self.stable_checkpoint {
             self.stable_checkpoint = exec_seq;
             out.push(OutEvent::CheckpointStable { exec_seq });
             // Garbage-collect old vote state.
@@ -1313,12 +1427,13 @@ impl<A: Application> Replica<A> {
             exec_cover,
             view,
         };
+        let active_f = self.active_f();
         let entry = self
             .catchup_offers
             .entry(key)
             .or_insert_with(|| (BTreeSet::new(), offer, dedup));
         entry.0.insert(from.0);
-        if entry.0.len() as u32 > self.config.f {
+        if entry.0.len() as u32 > active_f {
             // f+1 matching offers: at least one from a correct replica.
             let dedup = entry.2.clone();
             let PrimeMsg::CatchupReply {
@@ -1403,9 +1518,33 @@ impl<A: Application> Replica<A> {
                 out.push(OutEvent::Broadcast(msg));
                 // Count ourselves.
                 let count = self.suspects.entry(view).or_default().len() as u32 + 1;
-                if count >= self.config.suspect_threshold() {
+                if count >= self.active_suspect_threshold() {
                     self.start_view_change(view + 1, now, &mut out);
                 }
+            }
+        }
+        // A view change that cannot complete (votes lost to a partition
+        // that has since healed) must not deadlock: retransmit our vote
+        // until the view installs or a higher target supersedes it.
+        if self.in_view_change
+            && now.since(self.last_vc_broadcast_at) >= self.effective_suspect_timeout()
+        {
+            self.last_vc_broadcast_at = now;
+            let target = self.vc_target;
+            if let Some((max_committed, prepared_seq, prepared_view, matrix)) = self
+                .view_changes
+                .get(&target)
+                .and_then(|votes| votes.get(&self.id.0))
+                .cloned()
+            {
+                let vc = self.sign(PrimeMsg::ViewChange {
+                    new_view: target,
+                    max_committed,
+                    prepared_seq,
+                    prepared_view,
+                    prepared_matrix: matrix,
+                });
+                out.push(OutEvent::Broadcast(vc));
             }
         }
         // A committed-sequence gap is also a stall (see check_committed).
@@ -1469,14 +1608,20 @@ impl<A: Application> Replica<A> {
         if self.byz.is_mute_leader() {
             return;
         }
-        // Only one outstanding proposal at a time.
+        // Only one outstanding proposal at a time — but an entry left by
+        // a dead view does not count: it can never gather prepares in
+        // this view, so the new leader must re-propose the sequence.
         let next_seq = self.max_committed + 1;
-        if self.pre_prepares.contains_key(&next_seq) {
+        if self
+            .pre_prepares
+            .get(&next_seq)
+            .is_some_and(|(v, _, _)| *v == self.view)
+        {
             return;
         }
         // Collect rows; require a quorum of distinct replicas.
         let rows: Vec<AruRow> = self.latest_rows.values().cloned().collect();
-        if (rows.len() as u32) < self.config.ordering_quorum() {
+        if (rows.len() as u32) < self.active_ordering_quorum() {
             return;
         }
         // Only propose if coverage advances.
@@ -1524,7 +1669,9 @@ impl<A: Application> Replica<A> {
     }
 
     /// Proactive recovery: wipe all state (the replica restarts from a
-    /// clean, rediversified image) and rejoin via state transfer.
+    /// clean, rediversified image) and rejoin via state transfer. The
+    /// membership epoch, being management-plane configuration rather
+    /// than protocol state, survives the wipe.
     pub fn recover(&mut self, now: SimTime) -> Vec<OutEvent> {
         let n = self.config.n() as usize;
         // A fresh incarnation strictly above the previous one: derived

@@ -95,6 +95,85 @@ impl Config {
     }
 }
 
+/// A restricted membership epoch installed after losing an entire site.
+///
+/// When a wide-area deployment loses a site, the survivors may no longer
+/// hold the static ordering quorum `2f + k + 1` of the full configuration.
+/// If a majority of the original replicas survives, the management plane
+/// installs a *degraded epoch*: ordering continues among the listed
+/// `members` with reduced thresholds. Degraded epochs always run with
+/// `f = 0` — a membership small enough to need one cannot simultaneously
+/// mask an intrusion (quorum intersection `2q > m + f` would fail), which
+/// is exactly what the chaos invariant checker's beyond-budget negative
+/// control demonstrates. The quorum is a simple majority `⌊m/2⌋ + 1`,
+/// expressed as `k = q - 1` so the familiar `2f + k + 1` formula still
+/// yields it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Membership {
+    /// The surviving replica ids, sorted ascending.
+    members: Vec<u32>,
+    /// Intrusions tolerated within the epoch (always 0 for degraded epochs).
+    pub f: u32,
+    /// Recovery budget within the epoch.
+    pub k: u32,
+}
+
+impl Membership {
+    /// Builds a degraded epoch over `members`: `f = 0`, majority quorum.
+    ///
+    /// Panics if fewer than two members are given — a singleton cannot
+    /// form a meaningful ordering epoch.
+    pub fn degraded(mut members: Vec<u32>) -> Self {
+        assert!(
+            members.len() >= 2,
+            "a degraded epoch needs at least two members"
+        );
+        members.sort_unstable();
+        members.dedup();
+        let quorum = members.len() as u32 / 2 + 1;
+        Membership {
+            members,
+            f: 0,
+            k: quorum - 1,
+        }
+    }
+
+    /// Number of members `m`.
+    pub fn len(&self) -> u32 {
+        self.members.len() as u32
+    }
+
+    /// Whether the membership is empty (never true for constructed epochs).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `id` belongs to the epoch.
+    pub fn contains(&self, id: ReplicaId) -> bool {
+        self.members.binary_search(&id.0).is_ok()
+    }
+
+    /// The member ids, sorted ascending.
+    pub fn members(&self) -> &[u32] {
+        &self.members
+    }
+
+    /// Epoch ordering quorum `2f + k + 1`.
+    pub fn ordering_quorum(&self) -> u32 {
+        2 * self.f + self.k + 1
+    }
+
+    /// Epoch suspicion threshold `f + k + 1`.
+    pub fn suspect_threshold(&self) -> u32 {
+        self.f + self.k + 1
+    }
+
+    /// The epoch leader of a view: views rotate over the member list.
+    pub fn leader_of(&self, view: u64) -> ReplicaId {
+        ReplicaId(self.members[(view % self.members.len() as u64) as usize])
+    }
+}
+
 /// A client update: the unit Prime orders and the SCADA master executes.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Update {
@@ -228,6 +307,41 @@ mod tests {
         assert_eq!(c.leader_of(1), ReplicaId(1));
         assert_eq!(c.leader_of(4), ReplicaId(0));
         assert_eq!(c.replicas().count(), 4);
+    }
+
+    #[test]
+    fn degraded_membership_quorums() {
+        // 3+3 after losing one site: three survivors, majority quorum 2.
+        let m = Membership::degraded(vec![2, 0, 1]);
+        assert_eq!(m.members(), &[0, 1, 2]);
+        assert_eq!((m.f, m.k), (0, 1));
+        assert_eq!(m.ordering_quorum(), 2);
+        assert_eq!(m.suspect_threshold(), 2);
+        // Quorum intersection safety: 2q > m + f.
+        assert!(2 * m.ordering_quorum() > m.len() + m.f);
+        // Four survivors: majority quorum 3 — still safe.
+        let m4 = Membership::degraded(vec![0, 1, 2, 3]);
+        assert_eq!(m4.ordering_quorum(), 3);
+        assert!(2 * m4.ordering_quorum() > m4.len() + m4.f);
+    }
+
+    #[test]
+    fn degraded_membership_leader_rotates_over_members() {
+        let m = Membership::degraded(vec![0, 1, 2]);
+        assert_eq!(m.leader_of(0), ReplicaId(0));
+        assert_eq!(m.leader_of(4), ReplicaId(1));
+        // A gap-y membership still rotates over its own list.
+        let m = Membership::degraded(vec![0, 4, 5]);
+        assert_eq!(m.leader_of(1), ReplicaId(4));
+        assert_eq!(m.leader_of(2), ReplicaId(5));
+        assert!(m.contains(ReplicaId(4)));
+        assert!(!m.contains(ReplicaId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two members")]
+    fn degraded_membership_rejects_singleton() {
+        let _ = Membership::degraded(vec![3]);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Wide-area multi-site overlay topology.
+//!
+//! The deployed Spire configurations span several sites — control centers
+//! and data centers — connected by a Spines wide-area overlay. Each site
+//! runs its own daemons; inter-site links have distinct latency/loss
+//! profiles and are provisioned redundantly so that node-disjoint WAN
+//! routes exist between any two sites. Spire keeps *two* such overlays
+//! with disjoint roles: the **internal** (replication) overlay carries
+//! only Prime traffic between SCADA-master replicas, while the
+//! **external** (client) overlay connects replicas to PLC/RTU proxies and
+//! HMIs. A message belonging to one overlay must never traverse a link of
+//! the other — the overlays are separate networks with separate master
+//! secrets, not one network with two traffic classes.
+//!
+//! [`WanTopology`] is the declarative description: sites with per-overlay
+//! daemon homes, plus tagged inter-site links. From it the deployment
+//! derives each overlay's [`SpinesConfig`] (intra-site full mesh plus
+//! that overlay's WAN links only) and selects redundant node-disjoint
+//! routes via [`crate::routing::disjoint_routes`].
+
+use std::collections::BTreeSet;
+
+use simnet::types::{IpAddr, Port};
+
+use crate::config::{SpinesConfig, SpinesMode};
+use crate::routing;
+
+/// Which of Spire's two Spines networks a daemon or link belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Overlay {
+    /// The replication overlay: replicas only, Prime traffic only.
+    Internal,
+    /// The client overlay: replicas, proxies, and HMIs.
+    External,
+}
+
+/// One site of the wide-area deployment.
+#[derive(Clone, Debug)]
+pub struct WanSite {
+    /// Human-readable site name (e.g. `"cc-a"`, `"dc-1"`).
+    pub name: String,
+    /// Internal-overlay daemon ids homed at this site.
+    pub internal_daemons: Vec<u32>,
+    /// External-overlay daemon ids homed at this site.
+    pub external_daemons: Vec<u32>,
+}
+
+/// An inter-site WAN link between two daemons of one overlay.
+#[derive(Clone, Copy, Debug)]
+pub struct WanLink {
+    /// One endpoint daemon id.
+    pub a: u32,
+    /// The other endpoint daemon id.
+    pub b: u32,
+    /// The overlay the link belongs to.
+    pub overlay: Overlay,
+    /// One-way propagation delay in microseconds.
+    pub latency_us: u64,
+    /// Independent frame-loss probability in `[0, 1]`.
+    pub loss: f64,
+}
+
+/// A multi-site wide-area overlay description.
+#[derive(Clone, Debug, Default)]
+pub struct WanTopology {
+    /// The sites.
+    pub sites: Vec<WanSite>,
+    /// Inter-site links (both overlays, tagged).
+    pub links: Vec<WanLink>,
+}
+
+impl WanTopology {
+    /// Index of the site homing `daemon` on `overlay`, if any.
+    pub fn site_of(&self, overlay: Overlay, daemon: u32) -> Option<usize> {
+        self.sites.iter().position(|s| match overlay {
+            Overlay::Internal => s.internal_daemons.contains(&daemon),
+            Overlay::External => s.external_daemons.contains(&daemon),
+        })
+    }
+
+    /// The edge set of one overlay: a full mesh within each site (site
+    /// LANs are cheap and richly connected) plus exactly the inter-site
+    /// links tagged for that overlay. Links of the *other* overlay never
+    /// appear — this is what keeps internal traffic off external links.
+    pub fn overlay_edges(&self, overlay: Overlay) -> BTreeSet<(u32, u32)> {
+        let mut edges = BTreeSet::new();
+        for site in &self.sites {
+            let daemons = match overlay {
+                Overlay::Internal => &site.internal_daemons,
+                Overlay::External => &site.external_daemons,
+            };
+            for (i, &a) in daemons.iter().enumerate() {
+                for &b in &daemons[i + 1..] {
+                    edges.insert(if a <= b { (a, b) } else { (b, a) });
+                }
+            }
+        }
+        for link in &self.links {
+            if link.overlay == overlay {
+                edges.insert(if link.a <= link.b {
+                    (link.a, link.b)
+                } else {
+                    (link.b, link.a)
+                });
+            }
+        }
+        edges
+    }
+
+    /// Builds the [`SpinesConfig`] of one overlay from this topology.
+    pub fn overlay_config(
+        &self,
+        overlay: Overlay,
+        daemons: impl IntoIterator<Item = (u32, IpAddr)>,
+        port: Port,
+        master_secret: [u8; 32],
+        mode: SpinesMode,
+    ) -> SpinesConfig {
+        SpinesConfig::with_edges(
+            daemons,
+            self.overlay_edges(overlay),
+            port,
+            master_secret,
+            mode,
+        )
+    }
+
+    /// WAN route selection: the node-disjoint routes from `s` to `t`
+    /// using only `overlay`'s links. Pure topology analysis (IPs do not
+    /// influence routing), so daemon addresses are synthesized.
+    pub fn select_routes(&self, overlay: Overlay, s: u32, t: u32) -> Vec<Vec<u32>> {
+        let daemons: BTreeSet<u32> = self
+            .sites
+            .iter()
+            .flat_map(|site| match overlay {
+                Overlay::Internal => site.internal_daemons.iter().copied(),
+                Overlay::External => site.external_daemons.iter().copied(),
+            })
+            .collect();
+        let cfg = SpinesConfig::with_edges(
+            daemons
+                .into_iter()
+                .map(|d| (d, IpAddr::new(10, 99, (d >> 8) as u8, d as u8))),
+            self.overlay_edges(overlay),
+            Port(0),
+            [0; 32],
+            SpinesMode::IntrusionTolerant,
+        );
+        routing::disjoint_routes(&cfg, s, t)
+    }
+
+    /// The WAN link between `a` and `b` on `overlay`, if one is declared
+    /// (order-free). Used by the deployment to pick per-hop link specs.
+    pub fn link_between(&self, overlay: Overlay, a: u32, b: u32) -> Option<&WanLink> {
+        self.links
+            .iter()
+            .find(|l| l.overlay == overlay && ((l.a == a && l.b == b) || (l.a == b && l.b == a)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two sites, two replicas each; two redundant internal WAN links and
+    /// one external WAN link.
+    fn two_site() -> WanTopology {
+        WanTopology {
+            sites: vec![
+                WanSite {
+                    name: "cc-a".into(),
+                    internal_daemons: vec![0, 1],
+                    external_daemons: vec![0, 1, 10],
+                },
+                WanSite {
+                    name: "cc-b".into(),
+                    internal_daemons: vec![2, 3],
+                    external_daemons: vec![2, 3, 11],
+                },
+            ],
+            links: vec![
+                WanLink {
+                    a: 0,
+                    b: 2,
+                    overlay: Overlay::Internal,
+                    latency_us: 2_000,
+                    loss: 0.0,
+                },
+                WanLink {
+                    a: 1,
+                    b: 3,
+                    overlay: Overlay::Internal,
+                    latency_us: 3_000,
+                    loss: 0.0,
+                },
+                WanLink {
+                    a: 10,
+                    b: 11,
+                    overlay: Overlay::External,
+                    latency_us: 5_000,
+                    loss: 0.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn overlay_edges_are_disjoint_across_overlays() {
+        let t = two_site();
+        let internal = t.overlay_edges(Overlay::Internal);
+        assert!(internal.contains(&(0, 1)), "intra-site mesh");
+        assert!(internal.contains(&(0, 2)), "WAN link");
+        assert!(!internal.contains(&(10, 11)), "external WAN link excluded");
+        let external = t.overlay_edges(Overlay::External);
+        assert!(external.contains(&(10, 11)));
+        assert!(!external.contains(&(0, 2)), "internal WAN link excluded");
+    }
+
+    #[test]
+    fn select_routes_returns_disjoint_cross_site_routes() {
+        let t = two_site();
+        let routes = t.select_routes(Overlay::Internal, 0, 3);
+        // Two node-disjoint routes: 0-2-3 and 0-1-3 (via the 1↔3 link).
+        assert_eq!(routes.len(), 2);
+        let mut middles = BTreeSet::new();
+        for r in &routes {
+            assert_eq!(r.first(), Some(&0));
+            assert_eq!(r.last(), Some(&3));
+            for m in &r[1..r.len() - 1] {
+                assert!(middles.insert(*m), "routes share intermediate {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn internal_routes_never_use_external_links() {
+        let t = two_site();
+        let internal_edges = t.overlay_edges(Overlay::Internal);
+        for route in t.select_routes(Overlay::Internal, 1, 2) {
+            for hop in route.windows(2) {
+                let e = if hop[0] <= hop[1] {
+                    (hop[0], hop[1])
+                } else {
+                    (hop[1], hop[0])
+                };
+                assert!(internal_edges.contains(&e), "hop {e:?} not internal");
+            }
+        }
+    }
+
+    #[test]
+    fn site_and_link_lookup() {
+        let t = two_site();
+        assert_eq!(t.site_of(Overlay::Internal, 3), Some(1));
+        assert_eq!(t.site_of(Overlay::External, 10), Some(0));
+        assert_eq!(t.site_of(Overlay::Internal, 10), None);
+        let l = t.link_between(Overlay::Internal, 2, 0).expect("declared");
+        assert_eq!(l.latency_us, 2_000);
+        assert!(t.link_between(Overlay::External, 0, 2).is_none());
+    }
+
+    #[test]
+    fn overlay_config_carries_edges() {
+        let t = two_site();
+        let cfg = t.overlay_config(
+            Overlay::Internal,
+            (0..4u32).map(|d| (d, IpAddr::new(10, 10, 0, (d + 1) as u8))),
+            Port(8100),
+            [7; 32],
+            SpinesMode::IntrusionTolerant,
+        );
+        assert_eq!(cfg.edges, t.overlay_edges(Overlay::Internal));
+        assert_eq!(cfg.daemon_count(), 4);
+    }
+}

@@ -5,6 +5,9 @@ use plc::topology::Scenario;
 use prime::types::Config as PrimeConfig;
 use simnet::types::{IpAddr, Port};
 use spines::config::{SpinesConfig, SpinesMode};
+use spines::wan::{Overlay, WanLink, WanSite, WanTopology};
+
+use crate::site::SiteTopology;
 
 /// Spines port of the isolated internal (replication) network.
 pub const INTERNAL_SPINES_PORT: Port = Port(8100);
@@ -51,6 +54,10 @@ pub struct SpireConfig {
     /// Breaker-flip cycle armed on HMI 0 at start (§IV-A's "automatic
     /// update generation tool"): `(scenario, period, max_flips)`.
     pub cycle: Option<(Scenario, simnet::time::SimDuration, u64)>,
+    /// Multi-site placement. `None` keeps the single-LAN deployments of
+    /// §IV/§V exactly as before; `Some` spreads replicas over sites
+    /// joined by Spines WAN overlays.
+    pub sites: Option<SiteTopology>,
 }
 
 impl SpireConfig {
@@ -74,6 +81,7 @@ impl SpireConfig {
             internal_secret: [0x1A; 32],
             external_secret: [0x2B; 32],
             cycle: None,
+            sites: None,
         }
     }
 
@@ -103,6 +111,7 @@ impl SpireConfig {
             internal_secret: [0x3C; 32],
             external_secret: [0x4D; 32],
             cycle: None,
+            sites: None,
         }
     }
 
@@ -116,6 +125,7 @@ impl SpireConfig {
             internal_secret: [0x5E; 32],
             external_secret: [0x6F; 32],
             cycle: None,
+            sites: None,
         }
     }
 
@@ -127,6 +137,21 @@ impl SpireConfig {
         max_flips: u64,
     ) -> Self {
         self.cycle = Some((scenario, period, max_flips));
+        self
+    }
+
+    /// Spreads the deployment over `sites` (a wide-area configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the placement's replica count differs from `n`.
+    pub fn with_sites(mut self, sites: SiteTopology) -> Self {
+        assert_eq!(
+            sites.replica_count(),
+            self.n(),
+            "site placement must cover exactly the configured replicas"
+        );
+        self.sites = Some(sites);
         self
     }
 
@@ -227,17 +252,102 @@ impl SpireConfig {
         reg
     }
 
-    /// The isolated internal Spines overlay (replicas only, full mesh).
-    pub fn internal_spines(&self) -> SpinesConfig {
-        SpinesConfig::full_mesh(
-            (0..self.n()).map(|i| (i, self.internal_ip(i))),
-            INTERNAL_SPINES_PORT,
-            self.internal_secret,
-            SpinesMode::IntrusionTolerant,
-        )
+    /// The control-center site homing proxy `p` (multi-site only).
+    pub fn home_site_of_proxy(&self, proxy: u32) -> Option<usize> {
+        self.sites.as_ref().map(|s| s.home_of_proxy(proxy))
     }
 
-    /// The external Spines overlay (replicas + proxies + HMIs, full mesh).
+    /// The control-center site homing HMI `h` (multi-site only).
+    pub fn home_site_of_hmi(&self, hmi: u32) -> Option<usize> {
+        self.sites.as_ref().map(|s| s.home_of_hmi(hmi))
+    }
+
+    /// The Spines wide-area overlay description of a multi-site
+    /// deployment (`None` for single-LAN configurations).
+    ///
+    /// Each site homes its replicas' internal daemons, plus the external
+    /// daemons of its replicas and of the proxies/HMIs it hosts. Between
+    /// every pair of sites, each overlay gets up to two inter-site links
+    /// on *distinct* gateway replicas — so WAN routes between sites with
+    /// two or more replicas are node-disjoint — with the latency/loss
+    /// profile combining both sites' uplinks.
+    pub fn wan_topology(&self) -> Option<WanTopology> {
+        let topo = self.sites.as_ref()?;
+        let mut sites = Vec::new();
+        for (idx, site) in topo.sites.iter().enumerate() {
+            let mut external: Vec<u32> = site
+                .replicas
+                .iter()
+                .map(|&r| self.ext_daemon_of_replica(r))
+                .collect();
+            for p in &self.proxies {
+                if topo.home_of_proxy(p.index) == idx {
+                    external.push(self.ext_daemon_of_proxy(p.index));
+                }
+            }
+            for h in 0..self.hmis {
+                if topo.home_of_hmi(h) == idx {
+                    external.push(self.ext_daemon_of_hmi(h));
+                }
+            }
+            sites.push(WanSite {
+                name: site.name.clone(),
+                internal_daemons: site.replicas.clone(),
+                external_daemons: external,
+            });
+        }
+        let mut links = Vec::new();
+        for (i, a) in topo.sites.iter().enumerate() {
+            for b in &topo.sites[i + 1..] {
+                let latency_us = (a.wan_latency + b.wan_latency).as_micros();
+                let loss = (a.wan_loss + b.wan_loss).min(1.0);
+                let redundancy = 2.min(a.replicas.len()).min(b.replicas.len());
+                for g in 0..redundancy {
+                    links.push(WanLink {
+                        a: a.replicas[g],
+                        b: b.replicas[g],
+                        overlay: Overlay::Internal,
+                        latency_us,
+                        loss,
+                    });
+                    links.push(WanLink {
+                        a: self.ext_daemon_of_replica(a.replicas[g]),
+                        b: self.ext_daemon_of_replica(b.replicas[g]),
+                        overlay: Overlay::External,
+                        latency_us,
+                        loss,
+                    });
+                }
+            }
+        }
+        Some(WanTopology { sites, links })
+    }
+
+    /// The isolated internal Spines overlay: replicas only — a full mesh
+    /// in the single-LAN deployments, per-site meshes joined by redundant
+    /// WAN links in multi-site ones.
+    pub fn internal_spines(&self) -> SpinesConfig {
+        let daemons = (0..self.n()).map(|i| (i, self.internal_ip(i)));
+        match self.wan_topology() {
+            Some(wan) => wan.overlay_config(
+                Overlay::Internal,
+                daemons,
+                INTERNAL_SPINES_PORT,
+                self.internal_secret,
+                SpinesMode::IntrusionTolerant,
+            ),
+            None => SpinesConfig::full_mesh(
+                daemons,
+                INTERNAL_SPINES_PORT,
+                self.internal_secret,
+                SpinesMode::IntrusionTolerant,
+            ),
+        }
+    }
+
+    /// The external Spines overlay (replicas + proxies + HMIs): a full
+    /// mesh in the single-LAN deployments, per-site meshes joined by
+    /// redundant WAN links in multi-site ones.
     pub fn external_spines(&self) -> SpinesConfig {
         let mut daemons: Vec<(u32, IpAddr)> = (0..self.n())
             .map(|i| (self.ext_daemon_of_replica(i), self.replica_external_ip(i)))
@@ -248,12 +358,21 @@ impl SpireConfig {
         for h in 0..self.hmis {
             daemons.push((self.ext_daemon_of_hmi(h), self.hmi_ip(h)));
         }
-        SpinesConfig::full_mesh(
-            daemons,
-            EXTERNAL_SPINES_PORT,
-            self.external_secret,
-            SpinesMode::IntrusionTolerant,
-        )
+        match self.wan_topology() {
+            Some(wan) => wan.overlay_config(
+                Overlay::External,
+                daemons,
+                EXTERNAL_SPINES_PORT,
+                self.external_secret,
+                SpinesMode::IntrusionTolerant,
+            ),
+            None => SpinesConfig::full_mesh(
+                daemons,
+                EXTERNAL_SPINES_PORT,
+                self.external_secret,
+                SpinesMode::IntrusionTolerant,
+            ),
+        }
     }
 
     /// The group a proxy listens on for master commands.
@@ -326,6 +445,50 @@ mod tests {
         let c = SpireConfig::plant();
         let reg = c.registry();
         assert_eq!(reg.len() as u32, c.n() + c.proxies.len() as u32 + c.hmis);
+    }
+
+    #[test]
+    fn multi_site_overlays_use_redundant_disjoint_wan_links() {
+        let cfg = SpireConfig::plant().with_sites(SiteTopology::three_plus_three());
+        let wan = cfg.wan_topology().expect("multi-site");
+        let internal = wan.overlay_edges(Overlay::Internal);
+        // Per-site meshes plus exactly two WAN links on distinct gateways.
+        assert!(internal.contains(&(0, 1)) && internal.contains(&(3, 4)));
+        assert!(internal.contains(&(0, 3)) && internal.contains(&(1, 4)));
+        assert!(!internal.contains(&(2, 5)), "only two gateway pairs");
+        assert!(!internal.contains(&(0, 4)), "gateway pairing is aligned");
+        // Cross-site routes are redundant and node-disjoint.
+        let routes = wan.select_routes(Overlay::Internal, 0, 5);
+        assert_eq!(routes.len(), 2, "two node-disjoint WAN routes");
+        // The overlay configs carry the restricted edge sets (no longer a
+        // full mesh), and every daemon still appears.
+        let spines = cfg.internal_spines();
+        assert_eq!(spines.daemon_count(), 6);
+        assert_eq!(spines.edges.len(), 3 + 3 + 2);
+        let ext = cfg.external_spines();
+        assert_eq!(ext.daemon_count(), 6 + 17 + 3);
+        assert!(ext
+            .edges
+            .contains(&(cfg.ext_daemon_of_replica(0), cfg.ext_daemon_of_replica(3))));
+    }
+
+    #[test]
+    fn multi_site_homes_clients_at_control_centers_only() {
+        let cfg = SpireConfig::plant().with_sites(SiteTopology::two_two_one_one());
+        let wan = cfg.wan_topology().expect("multi-site");
+        for p in 0..cfg.proxies.len() as u32 {
+            let home = cfg.home_site_of_proxy(p).expect("homed");
+            assert!(home < 2, "proxies only at the two control centers");
+            assert!(wan.sites[home]
+                .external_daemons
+                .contains(&cfg.ext_daemon_of_proxy(p)));
+        }
+        for h in 0..cfg.hmis {
+            assert!(cfg.home_site_of_hmi(h).expect("homed") < 2);
+        }
+        // Data-center sites host replica daemons only.
+        assert_eq!(wan.sites[2].internal_daemons, vec![4]);
+        assert_eq!(wan.sites[2].external_daemons, vec![4]);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::hardening::HardeningProfile;
 use crate::hmi_host::HmiHost;
 use crate::proxy::{PlcProxy, PROXY_MODBUS_PORT};
 use crate::replica_host::ReplicaHost;
+use crate::site::SurvivalMode;
 
 /// Number of spare switch ports kept for attacker attachment.
 const SPARE_PORTS: usize = 4;
@@ -48,6 +49,15 @@ pub struct Deployment {
     pub hmi_nodes: Vec<NodeId>,
     /// The MANA tap on the external switch.
     pub external_tap: TapId,
+    /// Per-site internal switches (multi-site deployments only).
+    pub site_internal_switches: Vec<SwitchId>,
+    /// Per-site external switches (multi-site deployments only).
+    pub site_external_switches: Vec<SwitchId>,
+    /// Per-site internal WAN trunk links (multi-site only; the severing
+    /// point of a site's replication uplink).
+    internal_trunks: Vec<simnet::link::LinkId>,
+    /// Per-site external WAN trunk links (multi-site only).
+    external_trunks: Vec<simnet::link::LinkId>,
     /// Spare external-switch ports for attacker attachment.
     spare_external_ports: Vec<usize>,
     /// Spare internal-switch ports (if an internal switch exists).
@@ -125,82 +135,226 @@ impl Deployment {
             hmi_nodes.push(sim.add_node(spec));
         }
 
-        // ---- External switch: plan port assignments. ----
-        // ports: [replicas if1][proxies if0][hmis if0]
-        //        [replicas if0 if !isolated][proxy if1 + plc if0 if !behind_proxy][spares]
-        let mut plan: Vec<(NodeId, usize)> = Vec::new();
-        for (i, &node) in replica_nodes.iter().enumerate() {
-            let _ = i;
-            plan.push((node, 1));
-        }
-        for &node in &proxy_nodes {
-            plan.push((node, 0));
-        }
-        for &node in &hmi_nodes {
-            plan.push((node, 0));
-        }
-        if !hardening.isolated_internal {
-            for &node in &replica_nodes {
-                plan.push((node, 0));
-            }
-        }
-        if !hardening.plc_behind_proxy {
-            for &node in &proxy_nodes {
-                plan.push((node, 1));
-            }
-            for &node in &plc_nodes {
-                plan.push((node, 0));
-            }
-        }
-        let ext_ports = plan.len() + SPARE_PORTS;
-        let ext_mode = if hardening.static_switch {
-            let map: BTreeMap<MacAddr, usize> = plan
+        // ---- Switching fabric. ----
+        // Single-LAN deployments (§IV/§V, and `6@1`) get the original one-
+        // or two-switch fabric. Multi-site placements get per-site access
+        // switches joined star-wise through a WAN hub per overlay, with
+        // each site's trunk carrying that site's uplink latency/loss
+        // profile — the trunk is the thing E13 severs.
+        let multi_site = cfg
+            .sites
+            .as_ref()
+            .map(|t| t.site_count() > 1)
+            .unwrap_or(false);
+        let external_switch;
+        let external_tap;
+        let mut internal_switch = None;
+        let mut site_internal_switches = Vec::new();
+        let mut site_external_switches = Vec::new();
+        let mut internal_trunks = Vec::new();
+        let mut external_trunks = Vec::new();
+        let spare_external_ports: Vec<usize>;
+        let mut spare_internal_ports: Vec<usize> = Vec::new();
+
+        let static_mode = |plan: &[(NodeId, usize)], remote: &[(MacAddr, usize)]| {
+            let mut map: BTreeMap<MacAddr, usize> = plan
                 .iter()
                 .enumerate()
                 .map(|(port, &(node, ifidx))| (MacAddr::derived(node, ifidx as u8), port))
                 .collect();
+            for &(mac, port) in remote {
+                map.insert(mac, port);
+            }
             SwitchMode::Static {
                 map,
                 enforce_ingress: true,
             }
-        } else {
-            SwitchMode::Learning
         };
-        let external_switch = sim.add_switch(ext_ports, ext_mode);
-        for (port, &(node, ifidx)) in plan.iter().enumerate() {
-            sim.connect(node, ifidx, external_switch, port, LinkSpec::lan());
-        }
-        let spare_external_ports: Vec<usize> = (plan.len()..ext_ports).collect();
-        let external_tap = sim.add_tap(external_switch);
 
-        // ---- Internal switch (isolated replication network). ----
-        let mut spare_internal_ports = Vec::new();
-        let internal_switch = if hardening.isolated_internal {
-            let int_plan: Vec<(NodeId, usize)> =
-                replica_nodes.iter().map(|&node| (node, 0)).collect();
-            let int_ports = int_plan.len() + SPARE_PORTS;
-            let mode = if hardening.static_switch {
-                let map: BTreeMap<MacAddr, usize> = int_plan
-                    .iter()
-                    .enumerate()
-                    .map(|(port, &(node, ifidx))| (MacAddr::derived(node, ifidx as u8), port))
-                    .collect();
+        if multi_site {
+            let topo = cfg.sites.clone().expect("multi-site");
+            let nsites = topo.site_count();
+            let trunk_spec = |site: &crate::site::Site| {
+                let mut spec = LinkSpec::wan();
+                spec.latency = site.wan_latency;
+                spec.loss = site.wan_loss;
+                spec
+            };
+            // MAC inventory per overlay, with each MAC's home site.
+            let int_macs: Vec<(MacAddr, usize)> = (0..n)
+                .map(|r| {
+                    let home = topo.site_of_replica(r as u32).expect("replica homed");
+                    (MacAddr::derived(replica_nodes[r], 0), home)
+                })
+                .collect();
+            let mut ext_macs: Vec<(MacAddr, usize)> = (0..n)
+                .map(|r| {
+                    let home = topo.site_of_replica(r as u32).expect("replica homed");
+                    (MacAddr::derived(replica_nodes[r], 1), home)
+                })
+                .collect();
+            for (p, &node) in proxy_nodes.iter().enumerate().take(n_proxies) {
+                ext_macs.push((MacAddr::derived(node, 0), topo.home_of_proxy(p as u32)));
+            }
+            for (h, &node) in hmi_nodes.iter().enumerate().take(n_hmis) {
+                ext_macs.push((MacAddr::derived(node, 0), topo.home_of_hmi(h as u32)));
+            }
+
+            // Internal overlay: per-site replica switches + WAN hub.
+            let int_hub_mode = if hardening.static_switch {
                 SwitchMode::Static {
-                    map,
+                    map: int_macs.iter().map(|&(mac, home)| (mac, home)).collect(),
                     enforce_ingress: true,
                 }
             } else {
                 SwitchMode::Learning
             };
-            let sw = sim.add_switch(int_ports, mode);
-            for (port, &(node, ifidx)) in int_plan.iter().enumerate() {
+            let int_hub = sim.add_switch(nsites, int_hub_mode);
+            for (s, site) in topo.sites.iter().enumerate() {
+                let plan: Vec<(NodeId, usize)> = site
+                    .replicas
+                    .iter()
+                    .map(|&r| (replica_nodes[r as usize], 0))
+                    .collect();
+                let trunk_port = plan.len();
+                let mode = if hardening.static_switch {
+                    let remote: Vec<(MacAddr, usize)> = int_macs
+                        .iter()
+                        .filter(|&&(_, home)| home != s)
+                        .map(|&(mac, _)| (mac, trunk_port))
+                        .collect();
+                    static_mode(&plan, &remote)
+                } else {
+                    SwitchMode::Learning
+                };
+                let sw = sim.add_switch(plan.len() + 1, mode);
+                for (port, &(node, ifidx)) in plan.iter().enumerate() {
+                    sim.connect(node, ifidx, sw, port, LinkSpec::lan());
+                }
+                internal_trunks.push(sim.connect_switches(
+                    (sw, trunk_port),
+                    (int_hub, s),
+                    trunk_spec(site),
+                ));
+                site_internal_switches.push(sw);
+            }
+
+            // External overlay: per-site access switches + WAN hub (with
+            // spare hub ports for attacker attachment).
+            let ext_hub_ports = nsites + SPARE_PORTS;
+            let ext_hub_mode = if hardening.static_switch {
+                SwitchMode::Static {
+                    map: ext_macs.iter().map(|&(mac, home)| (mac, home)).collect(),
+                    enforce_ingress: true,
+                }
+            } else {
+                SwitchMode::Learning
+            };
+            let ext_hub = sim.add_switch(ext_hub_ports, ext_hub_mode);
+            for (s, site) in topo.sites.iter().enumerate() {
+                let mut plan: Vec<(NodeId, usize)> = site
+                    .replicas
+                    .iter()
+                    .map(|&r| (replica_nodes[r as usize], 1))
+                    .collect();
+                for p in 0..n_proxies {
+                    if topo.home_of_proxy(p as u32) == s {
+                        plan.push((proxy_nodes[p], 0));
+                        if !hardening.plc_behind_proxy {
+                            plan.push((proxy_nodes[p], 1));
+                            plan.push((plc_nodes[p], 0));
+                        }
+                    }
+                }
+                for (h, &node) in hmi_nodes.iter().enumerate().take(n_hmis) {
+                    if topo.home_of_hmi(h as u32) == s {
+                        plan.push((node, 0));
+                    }
+                }
+                let trunk_port = plan.len();
+                let mode = if hardening.static_switch {
+                    let remote: Vec<(MacAddr, usize)> = ext_macs
+                        .iter()
+                        .filter(|&&(_, home)| home != s)
+                        .map(|&(mac, _)| (mac, trunk_port))
+                        .collect();
+                    static_mode(&plan, &remote)
+                } else {
+                    SwitchMode::Learning
+                };
+                let sw = sim.add_switch(plan.len() + 1, mode);
+                for (port, &(node, ifidx)) in plan.iter().enumerate() {
+                    sim.connect(node, ifidx, sw, port, LinkSpec::lan());
+                }
+                external_trunks.push(sim.connect_switches(
+                    (sw, trunk_port),
+                    (ext_hub, s),
+                    trunk_spec(site),
+                ));
+                site_external_switches.push(sw);
+            }
+            external_switch = ext_hub;
+            external_tap = sim.add_tap(ext_hub);
+            spare_external_ports = (nsites..ext_hub_ports).collect();
+        } else {
+            // ---- External switch: plan port assignments. ----
+            // ports: [replicas if1][proxies if0][hmis if0]
+            //        [replicas if0 if !isolated][proxy if1 + plc if0 if !behind_proxy][spares]
+            let mut plan: Vec<(NodeId, usize)> = Vec::new();
+            for &node in &replica_nodes {
+                plan.push((node, 1));
+            }
+            for &node in &proxy_nodes {
+                plan.push((node, 0));
+            }
+            for &node in &hmi_nodes {
+                plan.push((node, 0));
+            }
+            if !hardening.isolated_internal {
+                for &node in &replica_nodes {
+                    plan.push((node, 0));
+                }
+            }
+            if !hardening.plc_behind_proxy {
+                for &node in &proxy_nodes {
+                    plan.push((node, 1));
+                }
+                for &node in &plc_nodes {
+                    plan.push((node, 0));
+                }
+            }
+            let ext_ports = plan.len() + SPARE_PORTS;
+            let ext_mode = if hardening.static_switch {
+                static_mode(&plan, &[])
+            } else {
+                SwitchMode::Learning
+            };
+            let sw = sim.add_switch(ext_ports, ext_mode);
+            for (port, &(node, ifidx)) in plan.iter().enumerate() {
                 sim.connect(node, ifidx, sw, port, LinkSpec::lan());
             }
-            spare_internal_ports = (int_plan.len()..int_ports).collect();
-            Some(sw)
-        } else {
-            None
-        };
+            external_switch = sw;
+            spare_external_ports = (plan.len()..ext_ports).collect();
+            external_tap = sim.add_tap(sw);
+
+            // ---- Internal switch (isolated replication network). ----
+            if hardening.isolated_internal {
+                let int_plan: Vec<(NodeId, usize)> =
+                    replica_nodes.iter().map(|&node| (node, 0)).collect();
+                let int_ports = int_plan.len() + SPARE_PORTS;
+                let mode = if hardening.static_switch {
+                    static_mode(&int_plan, &[])
+                } else {
+                    SwitchMode::Learning
+                };
+                let sw = sim.add_switch(int_ports, mode);
+                for (port, &(node, ifidx)) in int_plan.iter().enumerate() {
+                    sim.connect(node, ifidx, sw, port, LinkSpec::lan());
+                }
+                spare_internal_ports = (int_plan.len()..int_ports).collect();
+                internal_switch = Some(sw);
+            }
+        }
 
         // ---- PLC cables (or exposed PLCs, handled above). ----
         if hardening.plc_behind_proxy {
@@ -279,6 +433,10 @@ impl Deployment {
             plc_nodes,
             hmi_nodes,
             external_tap,
+            site_internal_switches,
+            site_external_switches,
+            internal_trunks,
+            external_trunks,
             spare_external_ports,
             spare_internal_ports,
         }
@@ -439,6 +597,12 @@ impl Deployment {
         let mac = MacAddr::derived(node, 0);
         self.sim
             .authorize_switch_port(self.external_switch, mac, port);
+        // Multi-site: the drop is at the WAN hub, so each site switch
+        // learns the attacker's MAC behind its trunk (last port).
+        for &sw in &self.site_external_switches {
+            let trunk_port = self.sim.switch(sw).port_count() - 1;
+            self.sim.authorize_switch_port(sw, mac, trunk_port);
+        }
         node
     }
 
@@ -470,6 +634,91 @@ impl Deployment {
         if let Some(sw) = self.internal_switch {
             self.sim.clear_switch_partition(sw);
         }
+    }
+
+    /// Severs an entire site from the deployment — the E13 fault.
+    ///
+    /// Multi-site placements lose the site's internal *and* external WAN
+    /// trunks (everything inside the site keeps running, cut off from the
+    /// world). The single-site `6@1` placement has no trunks to cut:
+    /// losing "the site" takes down every replica's access links instead,
+    /// which is the point — there is no remaining site to fail over to.
+    ///
+    /// No-op for deployments without a site topology.
+    pub fn sever_site(&mut self, site: usize) {
+        self.set_site_connectivity(site, false);
+    }
+
+    /// Reconnects a severed site (reverse of [`Deployment::sever_site`]).
+    pub fn heal_site(&mut self, site: usize) {
+        self.set_site_connectivity(site, true);
+    }
+
+    fn set_site_connectivity(&mut self, site: usize, up: bool) {
+        if !self.internal_trunks.is_empty() {
+            self.sim.set_link_up(self.internal_trunks[site], up);
+            self.sim.set_link_up(self.external_trunks[site], up);
+        } else if let Some(topo) = &self.cfg.sites {
+            let nodes: Vec<NodeId> = topo
+                .replicas_of(site)
+                .iter()
+                .map(|&r| self.replica_nodes[r as usize])
+                .collect();
+            for node in nodes {
+                for ifidx in 0..2 {
+                    if let Some(link) = self.sim.link_of(node, ifidx) {
+                        self.sim.set_link_up(link, up);
+                    }
+                }
+            }
+        }
+    }
+
+    /// What ordering can still do after losing `site` (see
+    /// [`crate::site::SiteTopology::survival_after_losing`]). `None` for
+    /// deployments without a site topology.
+    pub fn site_survival(&self, site: usize) -> Option<SurvivalMode> {
+        self.cfg
+            .sites
+            .as_ref()
+            .map(|t| t.survival_after_losing(&self.cfg.prime, site))
+    }
+
+    /// The management-plane failover after `site` is lost: when the
+    /// survivors cannot meet the native quorum but a degraded membership
+    /// epoch is possible, installs that epoch on every survivor. Returns
+    /// the survival mode so the caller knows what to expect (`None` when
+    /// no site topology is configured).
+    pub fn failover_after_site_loss(&mut self, site: usize) -> Option<SurvivalMode> {
+        let survival = self.site_survival(site)?;
+        if let SurvivalMode::DegradedEpoch(membership) = &survival {
+            let now = self.now();
+            let members = membership.members().to_vec();
+            for r in members {
+                let m = membership.clone();
+                self.replica_mut(r).replica.set_membership(m, now);
+            }
+        }
+        Some(survival)
+    }
+
+    /// The management-plane failback once a severed site heals: every
+    /// replica returns to the full static membership (the previously
+    /// severed ones never left it) and the protocol's catch-up machinery
+    /// brings them up to date.
+    pub fn failback_full_membership(&mut self) {
+        for i in 0..self.cfg.n() {
+            self.replica_mut(i).replica.clear_membership();
+        }
+    }
+
+    /// Minimum executed count across the given (presumed live) replicas.
+    pub fn min_executed_among(&self, replicas: &[u32]) -> u64 {
+        replicas
+            .iter()
+            .map(|&i| self.replica(i).replica.exec_seq())
+            .min()
+            .unwrap_or(0)
     }
 
     /// The link attached to replica `i`'s interface `ifidx` (0 =
@@ -666,6 +915,112 @@ mod tests {
         d.run_for(SimDuration::from_secs(5));
         assert!(d.min_executed() >= 1);
         assert!(d.hmi(0).stats.frames_applied >= 1);
+    }
+
+    #[test]
+    fn multi_site_deployment_runs_end_to_end() {
+        let cfg = SpireConfig::minimal(PrimeConfig::plant(), Scenario::PlantSubset)
+            .with_sites(crate::site::SiteTopology::three_plus_three());
+        let mut d = Deployment::build(cfg, HardeningProfile::deployed(), 7);
+        for i in 0..6 {
+            d.replica_mut(i).set_timing(fast_timing());
+        }
+        assert_eq!(d.site_internal_switches.len(), 2);
+        assert_eq!(d.site_external_switches.len(), 2);
+        d.run_for(SimDuration::from_secs(5));
+        // Ordering spans the WAN: replicas at *both* sites execute, and
+        // the site-0 HMI sees vote-gated frames assembled from replies
+        // that crossed the trunks.
+        assert!(d.min_executed() >= 1, "all six replicas execute");
+        assert!(d.hmi(0).stats.frames_applied >= 1);
+    }
+
+    #[test]
+    fn severed_site_triggers_degraded_epoch_and_failback() {
+        let cfg = SpireConfig::minimal(PrimeConfig::plant(), Scenario::PlantSubset)
+            .with_sites(crate::site::SiteTopology::three_plus_three());
+        let mut d = Deployment::build(cfg, HardeningProfile::deployed(), 9);
+        for i in 0..6 {
+            d.replica_mut(i).set_timing(fast_timing());
+        }
+        d.run_for(SimDuration::from_secs(3));
+        let before = d.min_executed_among(&[0, 1, 2]);
+        assert!(before >= 1);
+        // Lose cc-b entirely: three survivors < native quorum 4.
+        d.sever_site(1);
+        match d.failover_after_site_loss(1) {
+            Some(crate::site::SurvivalMode::DegradedEpoch(m)) => {
+                assert_eq!(m.members(), &[0, 1, 2]);
+            }
+            other => panic!("expected degraded epoch, got {other:?}"),
+        }
+        d.run_for(SimDuration::from_secs(5));
+        let during = d.min_executed_among(&[0, 1, 2]);
+        assert!(
+            during > before,
+            "degraded epoch keeps ordering: {during} > {before}"
+        );
+        // The cut-off minority must not have advanced past the survivors.
+        assert!(d.min_executed_among(&[3, 4, 5]) <= during);
+        // Heal and fail back: everyone reconverges on one state.
+        d.heal_site(1);
+        d.failback_full_membership();
+        d.run_for(SimDuration::from_secs(6));
+        let finals: Vec<u64> = (0..6).map(|i| d.replica(i).replica.exec_seq()).collect();
+        assert!(
+            finals.iter().all(|&e| e >= during),
+            "severed replicas caught up: {finals:?}"
+        );
+        assert!(d.min_executed() > during, "full membership makes progress");
+    }
+
+    #[test]
+    fn native_quorum_site_loss_needs_no_reconfiguration() {
+        let cfg = SpireConfig::minimal(PrimeConfig::plant(), Scenario::PlantSubset)
+            .with_sites(crate::site::SiteTopology::two_two_one_one());
+        let mut d = Deployment::build(cfg, HardeningProfile::deployed(), 11);
+        for i in 0..6 {
+            d.replica_mut(i).set_timing(fast_timing());
+        }
+        d.run_for(SimDuration::from_secs(3));
+        let survivors = [0u32, 1, 4, 5];
+        let before = d.min_executed_among(&survivors);
+        d.sever_site(1);
+        assert_eq!(
+            d.failover_after_site_loss(1),
+            Some(crate::site::SurvivalMode::NativeQuorum)
+        );
+        d.run_for(SimDuration::from_secs(5));
+        let during = d.min_executed_among(&survivors);
+        assert!(
+            during > before,
+            "native quorum rides through: {during} > {before}"
+        );
+    }
+
+    #[test]
+    fn single_site_placement_loses_everything_on_sever() {
+        let cfg = SpireConfig::minimal(PrimeConfig::plant(), Scenario::PlantSubset)
+            .with_sites(crate::site::SiteTopology::six_at_one());
+        let mut d = Deployment::build(cfg, HardeningProfile::deployed(), 13);
+        for i in 0..6 {
+            d.replica_mut(i).set_timing(fast_timing());
+        }
+        // 6@1 keeps the classic single-LAN fabric (no trunks to cut).
+        assert!(d.site_internal_switches.is_empty());
+        d.run_for(SimDuration::from_secs(3));
+        let before = d.min_executed();
+        assert!(before >= 1);
+        d.sever_site(0);
+        assert_eq!(d.site_survival(0), Some(crate::site::SurvivalMode::Lost));
+        let frames_before = d.hmi(0).stats.frames_applied;
+        d.run_for(SimDuration::from_secs(4));
+        assert_eq!(d.min_executed(), before, "no replica can execute anything");
+        assert_eq!(
+            d.hmi(0).stats.frames_applied,
+            frames_before,
+            "the HMI goes dark"
+        );
     }
 
     #[test]

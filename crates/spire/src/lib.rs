@@ -28,6 +28,8 @@
 //!   breaker-cycle update generator from the red-team exercise.
 //! * [`hardening`] — the §III-B low-level hardening profile as explicit,
 //!   individually-toggleable switches (the E10 ablation flips them).
+//! * [`site`] — multi-site (wide-area) placements of the plant replicas
+//!   and the site-loss survival math the E13 failover experiment tests.
 //! * [`deploy`] — builds the whole system on a [`simnet::Simulation`].
 //! * [`latency`] — the §V end-to-end reaction-time harness.
 
@@ -42,6 +44,7 @@ pub mod latency;
 pub mod messages;
 pub mod proxy;
 pub mod replica_host;
+pub mod site;
 pub mod vote;
 
 pub use config::SpireConfig;
@@ -50,3 +53,4 @@ pub use hardening::HardeningProfile;
 pub use hmi_host::HmiHost;
 pub use proxy::PlcProxy;
 pub use replica_host::ReplicaHost;
+pub use site::{Site, SiteKind, SiteTopology, SurvivalMode};

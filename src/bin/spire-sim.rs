@@ -20,6 +20,8 @@
 //!   e11            ordering saturation: ramp the update rate, find the knee
 //!   e12 [--days N] chaos soak: N compressed days under a seeded fault
 //!                  schedule with continuous invariant checking
+//!   e13            wide-area site failover: sever + heal one full site
+//!                  per paper configuration (6@1, 3+3, 2+2+1+1)
 //!   bench          time e1-e11 wall-clock, report sim-events/sec
 //!   all            everything above, in order
 //!
@@ -27,7 +29,7 @@
 //!   --seed N       simulation seed (default 42)
 //!   --days N       e4/e12 compressed days (default 6)
 //!   --steps N      e11 ramp steps to run (default 6, i.e. the full ramp)
-//!   --json FILE    write e11 / e12 / bench results as JSON to FILE
+//!   --json FILE    write e11 / e12 / e13 / bench results as JSON to FILE
 //!   --metrics      print the metrics registry + journal digest after
 //!                  e4/e5 (see EXPERIMENTS.md, "Observability")
 //!   --trace        echo journal records live as the simulation runs
@@ -54,6 +56,7 @@ use bench::redteam_experiments::{
     render_ablation,
 };
 use bench::saturation::{e11_default_rates, e11_saturation, render_saturation, saturation_json};
+use bench::site_experiment::{e13_site_failover, render_site_failover, site_failover_json};
 
 struct Options {
     seed: u64,
@@ -245,6 +248,13 @@ fn run(command: &str, opts: &Options) -> Option<bool> {
                 ok &= write_json(path, &chaos_json(&run));
             }
         }
+        "e13" => {
+            let run = e13_site_failover(opts.seed);
+            println!("{}", render_site_failover(&run));
+            if let Some(path) = &opts.json {
+                ok &= write_json(path, &site_failover_json(&run));
+            }
+        }
         "bench" => {
             let r = run_bench(opts.seed);
             println!("{}", render_bench(&r));
@@ -255,7 +265,7 @@ fn run(command: &str, opts: &Options) -> Option<bool> {
         "all" => {
             for c in [
                 "figures", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10",
-                "e11", "e12",
+                "e11", "e12", "e13",
             ] {
                 println!("\n===== {c} =====\n");
                 ok &= run(c, opts).unwrap_or(false);
@@ -270,7 +280,7 @@ fn run(command: &str, opts: &Options) -> Option<bool> {
 /// errors.
 const COMMANDS: &[&str] = &[
     "figures", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10", "e11", "e12",
-    "bench", "all",
+    "e13", "bench", "all",
 ];
 
 fn usage() -> String {

@@ -74,6 +74,18 @@ const GOLDEN: &[(&str, &str)] = &[
         "e12",
         "7b22a3c488ecd5a7d6370c375ec26f3fdf17e69a51b938aac4c01ef0a204c451",
     ),
+    (
+        "e13a",
+        "c25bbd190891ba6ea5e8157b0b7a3c42fe8f7f6fee38bcd5161d5b0f0e7aed0e",
+    ),
+    (
+        "e13b",
+        "f4d4dcb88d24db9e2fcd79d303454b1f01351899fbbfd6b83fcd92913c9b3f42",
+    ),
+    (
+        "e13c",
+        "ce51ee7f56a8290713d0577ea7cbd16b29bb545f9a2fcba5070e41815fef51f3",
+    ),
 ];
 
 fn pinned(id: &str) -> &'static str {
@@ -159,6 +171,35 @@ fn e10_digest_pinned() {
 #[test]
 fn e12_digest_pinned() {
     check("e12");
+}
+
+#[test]
+fn e13a_digest_pinned() {
+    check("e13a");
+}
+
+#[test]
+fn e13b_digest_pinned() {
+    check("e13b");
+}
+
+#[test]
+fn e13c_digest_pinned() {
+    check("e13c");
+}
+
+/// The issue's acceptance bar: the e13 fingerprints must be stable
+/// across two runs in the same process at the golden seed.
+#[test]
+fn e13_fingerprints_stable_across_two_runs() {
+    for id in ["e13a", "e13b", "e13c"] {
+        let first = experiment_fingerprint(id, GOLDEN_SEED);
+        let second = experiment_fingerprint(id, GOLDEN_SEED);
+        assert_eq!(
+            first, second,
+            "{id} fingerprint unstable at seed {GOLDEN_SEED}"
+        );
+    }
 }
 
 /// Prints the current fingerprint table for pasting into `GOLDEN`.

@@ -500,3 +500,224 @@ proptest! {
         prop_assert!(cache.len() <= cap, "cache exceeded its bound");
     }
 }
+
+// ---- wide-area Spines overlays (E13 tentpole) ----
+//
+// The WAN route selector must deliver the redundancy the topology
+// offers — k node-disjoint inter-site links yield at least k mutually
+// node-disjoint routes — and the internal (replication) overlay must
+// never route over links that belong only to the external (client)
+// overlay, for ANY link tagging.
+
+use spines::wan::{Overlay, WanLink, WanSite, WanTopology};
+
+/// A two-site topology: `na`/`nb` internal daemons per site (site A ids
+/// `0..na`, site B ids `10..10+nb`), the given internal WAN links, the
+/// given external WAN links, and one proxy daemon per site (20, 21) on
+/// the external overlay.
+fn two_site_wan(
+    na: u32,
+    nb: u32,
+    internal_links: &[(u32, u32)],
+    external_links: &[(u32, u32)],
+) -> WanTopology {
+    let link = |&(a, b): &(u32, u32), overlay| WanLink {
+        a,
+        b,
+        overlay,
+        latency_us: 2_000,
+        loss: 0.0,
+    };
+    WanTopology {
+        sites: vec![
+            WanSite {
+                name: "cc-a".into(),
+                internal_daemons: (0..na).collect(),
+                external_daemons: (0..na).chain([20]).collect(),
+            },
+            WanSite {
+                name: "cc-b".into(),
+                internal_daemons: (10..10 + nb).collect(),
+                external_daemons: (10..10 + nb).chain([21]).collect(),
+            },
+        ],
+        links: internal_links
+            .iter()
+            .map(|l| link(l, Overlay::Internal))
+            .chain(external_links.iter().map(|l| link(l, Overlay::External)))
+            .collect(),
+    }
+}
+
+/// Asserts the routes are internally node-disjoint `s → t` paths whose
+/// every hop is an edge of `overlay`.
+fn assert_routes_well_formed(
+    t: &WanTopology,
+    overlay: Overlay,
+    routes: &[Vec<u32>],
+    s: u32,
+    d: u32,
+) {
+    let edges = t.overlay_edges(overlay);
+    let mut middles = std::collections::BTreeSet::new();
+    for route in routes {
+        assert_eq!(route.first(), Some(&s));
+        assert_eq!(route.last(), Some(&d));
+        for m in &route[1..route.len() - 1] {
+            assert!(middles.insert(*m), "routes share intermediate daemon {m}");
+        }
+        for hop in route.windows(2) {
+            let e = if hop[0] <= hop[1] {
+                (hop[0], hop[1])
+            } else {
+                (hop[1], hop[0])
+            };
+            assert!(
+                edges.contains(&e),
+                "hop {e:?} is not a link of the {overlay:?} overlay"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// k parallel node-disjoint inter-site links (daemon i of site A to
+    /// daemon i of site B) must yield at least k mutually node-disjoint
+    /// internal routes between the sites — the redundancy the topology
+    /// offers is the redundancy the selector delivers.
+    #[test]
+    fn wan_route_selection_is_node_disjoint_when_topology_offers(
+        na in 1u32..4,
+        nb in 1u32..4,
+        k_seed in any::<u32>(),
+    ) {
+        let k = 1 + k_seed % na.min(nb);
+        let internal: Vec<(u32, u32)> = (0..k).map(|i| (i, 10 + i)).collect();
+        let t = two_site_wan(na, nb, &internal, &[(20, 21)]);
+        let routes = t.select_routes(Overlay::Internal, 0, 10);
+        prop_assert!(
+            routes.len() as u32 >= k,
+            "topology offers {} disjoint links but selector found {} routes",
+            k,
+            routes.len()
+        );
+        assert_routes_well_formed(&t, Overlay::Internal, &routes, 0, 10);
+    }
+
+    /// For ANY tagging of inter-site links — including external-only
+    /// links whose endpoints are replica daemons — internal routes use
+    /// only internal-overlay links, and vice versa. The overlays are
+    /// separate networks, not traffic classes on one network.
+    #[test]
+    fn overlay_routes_never_cross_overlays(
+        na in 1u32..4,
+        nb in 1u32..4,
+        internal_mask in any::<u16>(),
+        external_mask in any::<u16>(),
+    ) {
+        // Candidate inter-site pairs (i, 10+j); each mask bit tags one
+        // pair into an overlay. Both masks may select the same pair —
+        // a link provisioned on both networks is legal.
+        let pairs: Vec<(u32, u32)> = (0..na)
+            .flat_map(|i| (0..nb).map(move |j| (i, 10 + j)))
+            .collect();
+        let pick = |mask: u16| -> Vec<(u32, u32)> {
+            pairs
+                .iter()
+                .enumerate()
+                .filter(|(idx, _)| mask & (1 << (idx % 16)) != 0)
+                .map(|(_, &p)| p)
+                .collect()
+        };
+        let mut internal = pick(internal_mask);
+        if internal.is_empty() {
+            internal.push((0, 10)); // keep the sites internally connected
+        }
+        let mut external = pick(external_mask);
+        external.push((20, 21));
+        let t = two_site_wan(na, nb, &internal, &external);
+
+        let routes = t.select_routes(Overlay::Internal, 0, 10);
+        prop_assert!(!routes.is_empty(), "sites are internally connected");
+        assert_routes_well_formed(&t, Overlay::Internal, &routes, 0, 10);
+
+        let ext_routes = t.select_routes(Overlay::External, 20, 21);
+        prop_assert!(!ext_routes.is_empty());
+        assert_routes_well_formed(&t, Overlay::External, &ext_routes, 20, 21);
+    }
+}
+
+// ---- Modbus framing: round-trip and malformed-frame rejection ----
+
+proptest! {
+    /// RTU frames round-trip exactly for any unit id and PDU.
+    #[test]
+    fn rtu_frame_roundtrip(
+        unit in any::<u8>(),
+        pdu in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let f = modbus::frame::RtuFrame { unit, pdu };
+        prop_assert_eq!(modbus::frame::RtuFrame::decode(&f.encode()), Some(f));
+    }
+
+    /// TCP frames round-trip exactly for any transaction, unit, and PDU.
+    #[test]
+    fn tcp_frame_roundtrip(
+        transaction in any::<u16>(),
+        unit in any::<u8>(),
+        pdu in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let f = modbus::frame::TcpFrame::new(transaction, unit, pdu);
+        prop_assert_eq!(modbus::frame::TcpFrame::decode(&f.encode()), Some(f));
+    }
+
+    /// Malformed TCP frames — truncated anywhere, or with an oversized
+    /// declared length — are rejected with `None`, never a panic.
+    #[test]
+    fn malformed_tcp_frames_rejected(
+        transaction in any::<u16>(),
+        unit in any::<u8>(),
+        pdu in proptest::collection::vec(any::<u8>(), 1..64),
+        cut in any::<usize>(),
+        inflate in 1u16..16,
+    ) {
+        let bytes = modbus::frame::TcpFrame::new(transaction, unit, pdu).encode();
+        // Truncation: every strict prefix fails to parse.
+        let cut = cut % bytes.len();
+        prop_assert_eq!(modbus::frame::TcpFrame::decode(&bytes[..cut]), None);
+        // Oversized declared length: header promises more than arrived.
+        let mut oversized = bytes.clone();
+        let declared = u16::from_be_bytes([bytes[4], bytes[5]]);
+        oversized[4..6].copy_from_slice(&(declared.saturating_add(inflate)).to_be_bytes());
+        prop_assert_eq!(modbus::frame::TcpFrame::decode(&oversized), None);
+    }
+
+    /// Truncated RTU frames are rejected (the CRC no longer matches, or
+    /// the frame is below the minimum length), never a panic.
+    #[test]
+    fn truncated_rtu_frames_rejected(
+        unit in any::<u8>(),
+        pdu in proptest::collection::vec(any::<u8>(), 1..64),
+        cut in any::<usize>(),
+    ) {
+        let bytes = modbus::frame::RtuFrame { unit, pdu }.encode();
+        let cut = cut % bytes.len();
+        prop_assert_eq!(modbus::frame::RtuFrame::decode(&bytes[..cut]), None);
+    }
+
+    /// A PDU whose function code is not one the reproduction's PLCs
+    /// implement is rejected by `Request::decode` — error, never panic —
+    /// even when the rest of the PDU is perfectly plausible.
+    #[test]
+    fn bad_function_codes_rejected(
+        fc in any::<u8>(),
+        body in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        const KNOWN: &[u8] = &[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x0F, 0x10, 0x2B, 0x5A, 0x5B];
+        if !KNOWN.contains(&fc) {
+            let mut pdu = vec![fc];
+            pdu.extend_from_slice(&body);
+            prop_assert_eq!(Request::decode(&pdu), None);
+        }
+    }
+}
