@@ -28,6 +28,17 @@ echo "==> bench smoke (one E11 ramp step + golden digest pin)"
 cargo run -q --release --bin spire-sim -- e11 --steps 1 >/dev/null
 cargo test -q --release --test golden_digests
 
+echo "==> parallel scheduler equivalence (sequential <-> threaded digests)"
+# The conservative parallel core must be bit-for-bit digest-identical to
+# the sequential engine at every thread count. A 4-thread E4 day through
+# the CLI smokes the sharded path end to end; the release equivalence
+# suite re-checks every fingerprinted experiment at threads {1,2,4} and
+# seeds {42, 1111, 7} against the sequential reference, plus the
+# 2-thread bench scaling-curve smoke (the curve asserts digest-identity
+# at every point it times).
+cargo run -q --release --bin spire-sim -- e4 --threads 4 --days 1 >/dev/null
+cargo test -q --release --test parallel_equivalence
+
 echo "==> chaos smoke (short E12 soak, digest-pinned, + negative controls)"
 # One compressed day at seed 42 through the chaos CLI proves the E12
 # path end to end; the chaos_engine suite re-checks the pinned soak,

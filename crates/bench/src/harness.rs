@@ -186,6 +186,63 @@ pub struct BenchReport {
     pub seed: u64,
     /// Per-experiment timings, in run order.
     pub entries: Vec<BenchEntry>,
+    /// E4 re-timed under the parallel scheduler, one point per thread
+    /// count (see [`e4_scaling_curve`]).
+    pub scaling: Vec<ScalingPoint>,
+}
+
+/// One point of the E4 thread-scaling curve.
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// Simulator worker threads.
+    pub threads: usize,
+    /// Wall-clock milliseconds for the E4 run.
+    pub wall_ms: f64,
+    /// Simulator events processed (identical at every thread count — the
+    /// parallel scheduler is digest-equivalent, not approximately so).
+    pub sim_events: u64,
+    /// Throughput in simulator events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Speedup relative to the curve's single-threaded point.
+    pub speedup: f64,
+}
+
+/// Times E4 (tier-1 size: one compressed day of 30 s) once per thread
+/// count and returns the scaling curve. Asserts that every run produced
+/// the identical journal digest and event count — the bench refuses to
+/// report a "speedup" that bought its speed by changing behavior.
+///
+/// # Panics
+/// Panics if `thread_counts` is empty or any run's digest diverges.
+pub fn e4_scaling_curve(seed: u64, thread_counts: &[usize]) -> Vec<ScalingPoint> {
+    let saved = simnet::sim::default_threads();
+    let mut curve: Vec<ScalingPoint> = Vec::new();
+    let mut reference: Option<(String, u64)> = None;
+    let mut base_ms = f64::NAN;
+    for &threads in thread_counts {
+        simnet::sim::set_default_threads(threads);
+        let (run, ms) = timed(|| e4_plant_deployment(seed, 1, 30));
+        let (digest, events) = (run.meta.journal_digest, run.meta.sim_events);
+        match &reference {
+            None => {
+                base_ms = ms;
+                reference = Some((digest, events));
+            }
+            Some((d, e)) => {
+                assert_eq!(d, &digest, "e4 digest diverged at {threads} threads");
+                assert_eq!(*e, events, "e4 event count diverged at {threads} threads");
+            }
+        }
+        curve.push(ScalingPoint {
+            threads,
+            wall_ms: ms,
+            sim_events: events,
+            events_per_sec: events as f64 / (ms / 1000.0),
+            speedup: base_ms / ms,
+        });
+    }
+    simnet::sim::set_default_threads(saved);
+    curve
 }
 
 fn entry(name: &str, wall_ms: f64, sim_events: Option<u64>) -> BenchEntry {
@@ -257,7 +314,13 @@ pub fn run_bench(seed: u64) -> BenchReport {
     let (_, ms) = timed(|| e11_saturation(seed, &e11_default_rates()));
     entries.push(entry("e11", ms, None));
 
-    BenchReport { seed, entries }
+    let scaling = e4_scaling_curve(seed, &[1, 2, 4, 8]);
+
+    BenchReport {
+        seed,
+        entries,
+        scaling,
+    }
 }
 
 /// Renders the bench report as a table.
@@ -281,6 +344,22 @@ pub fn render_bench(r: &BenchReport) -> String {
     }
     let total: f64 = r.entries.iter().map(|e| e.wall_ms).sum();
     let _ = writeln!(out, "total  {total:>10.1}");
+    if !r.scaling.is_empty() {
+        let _ = writeln!(out, "\ne4 thread scaling (digest-identical at every point)");
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10} {:>14} {:>8}",
+            "threads", "wall_ms", "events/sec", "speedup"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(44));
+        for p in &r.scaling {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>10.1} {:>14.0} {:>7.2}x",
+                p.threads, p.wall_ms, p.events_per_sec, p.speedup
+            );
+        }
+    }
     out
 }
 
@@ -289,7 +368,7 @@ pub fn render_bench(r: &BenchReport) -> String {
 /// Hand-rolled: the workspace deliberately has no serde dependency, and
 /// the schema is five fixed keys.
 pub fn bench_json(r: &BenchReport) -> String {
-    let mut out = String::from("{\n  \"schema\": \"spire-bench-v1\",\n");
+    let mut out = String::from("{\n  \"schema\": \"spire-bench-v2\",\n");
     let _ = writeln!(out, "  \"seed\": {},", r.seed);
     out.push_str("  \"entries\": [\n");
     for (i, e) in r.entries.iter().enumerate() {
@@ -303,6 +382,16 @@ pub fn bench_json(r: &BenchReport) -> String {
                 .map_or("null".into(), |v| format!("{v:.1}")),
         );
         out.push_str(if i + 1 < r.entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"e4_scaling\": [\n");
+    for (i, p) in r.scaling.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"threads\": {}, \"wall_ms\": {:.3}, \"sim_events\": {}, \
+             \"events_per_sec\": {:.1}, \"speedup\": {:.3}}}",
+            p.threads, p.wall_ms, p.sim_events, p.events_per_sec, p.speedup,
+        );
+        out.push_str(if i + 1 < r.scaling.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     out
@@ -349,11 +438,20 @@ mod tests {
                     events_per_sec: Some(50_000.0),
                 },
             ],
+            scaling: vec![ScalingPoint {
+                threads: 4,
+                wall_ms: 25.0,
+                sim_events: 5000,
+                events_per_sec: 200_000.0,
+                speedup: 4.0,
+            }],
         };
         let json = bench_json(&r);
-        assert!(json.contains("\"schema\": \"spire-bench-v1\""));
+        assert!(json.contains("\"schema\": \"spire-bench-v2\""));
         assert!(json.contains("\"sim_events\": null"));
         assert!(json.contains("\"sim_events\": 5000"));
+        assert!(json.contains("\"e4_scaling\""));
+        assert!(json.contains("\"speedup\": 4.000"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -16,13 +16,17 @@
 //! Components hold a private hub by default, so unit tests need no
 //! wiring; a deployment replaces it with one shared hub via each
 //! component's `attach_obs`, making every counter and journal record
-//! land in the same registry. Handles are `Rc`-shared: the simulation
-//! is single-threaded and hot paths (per-frame drop accounting) want a
-//! cached `Counter` rather than a name lookup.
+//! land in the same registry. Handles are `Arc`-shared so the parallel
+//! scheduler's worker threads can increment them directly, and hot
+//! paths (per-frame drop accounting) cache a `Counter` rather than
+//! re-resolving the name. Journal appends made inside a parallel shard
+//! window detour through a thread-local [`sink::ShardSink`] so the
+//! merged journal stays byte-identical to a sequential run.
 
 pub mod event;
 pub mod hist;
 pub mod report;
+pub mod sink;
 pub mod trace;
 
 pub use event::{Event, TimedEvent};
@@ -31,14 +35,18 @@ pub use report::ObsReport;
 pub use trace::{SpanId, Stage, TraceCtx, TraceId};
 
 use itcrypto::sha256::{Digest, Sha256};
-use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A named monotone counter. Cloning shares the underlying cell, so
 /// hot paths cache the handle instead of re-resolving the name.
+///
+/// Backed by a relaxed atomic: increments commute, and the parallel
+/// scheduler only *reads* counters at window barriers, so the final
+/// value is exact regardless of which worker thread incremented.
 #[derive(Clone, Debug, Default)]
-pub struct Counter(Rc<Cell<u64>>);
+pub struct Counter(Arc<AtomicU64>);
 
 impl Counter {
     /// Adds one.
@@ -48,80 +56,95 @@ impl Counter {
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
-        self.0.set(self.0.get() + n);
+        self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.0.get()
+        self.0.load(Ordering::Relaxed)
     }
 }
 
 /// A named instantaneous value (last write wins).
 #[derive(Clone, Debug, Default)]
-pub struct Gauge(Rc<Cell<i64>>);
+pub struct Gauge(Arc<AtomicI64>);
 
 impl Gauge {
     /// Overwrites the value.
     pub fn set(&self, v: i64) {
-        self.0.set(v);
+        self.0.store(v, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
-        self.0.get()
+        self.0.load(Ordering::Relaxed)
     }
 }
 
 /// A shared histogram handle (see [`Histogram`] for the bucketing).
+///
+/// Bucket increments commute, so concurrent recording from worker
+/// threads yields the same histogram as any sequential interleaving.
 #[derive(Clone, Debug, Default)]
-pub struct HistogramHandle(Rc<RefCell<Histogram>>);
+pub struct HistogramHandle(Arc<Mutex<Histogram>>);
 
 impl HistogramHandle {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Histogram> {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Records one sample (typically microseconds of simulated time).
     pub fn record(&self, value: u64) {
-        self.0.borrow_mut().record(value);
+        self.lock().record(value);
     }
 
     /// Snapshot of count/min/p50/p99/max/mean.
     pub fn summary(&self) -> HistogramSummary {
-        self.0.borrow().summary()
+        self.lock().summary()
     }
 
     /// Value at quantile `q` in `[0, 1]` (clamped to observed min/max).
     pub fn quantile(&self, q: f64) -> u64 {
-        self.0.borrow().quantile(q)
+        self.lock().quantile(q)
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.0.borrow().count()
+        self.lock().count()
     }
 }
 
 #[derive(Default)]
 struct Inner {
     /// Simulated time in microseconds, advanced by the scheduler.
-    now_us: Cell<u64>,
-    counters: RefCell<BTreeMap<String, Counter>>,
-    gauges: RefCell<BTreeMap<String, Gauge>>,
-    histograms: RefCell<BTreeMap<String, HistogramHandle>>,
-    journal: RefCell<Vec<TimedEvent>>,
+    now_us: AtomicU64,
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, HistogramHandle>>,
+    journal: Mutex<Vec<TimedEvent>>,
     /// When set, journal appends are echoed to stdout (`--trace`).
-    trace: Cell<bool>,
+    trace: AtomicBool,
     /// When set, span APIs allocate ids and journal start/end records.
-    tracing: Cell<bool>,
+    tracing: AtomicBool,
     /// Last allocated trace id (ids start at 1).
-    last_trace: Cell<u64>,
+    last_trace: AtomicU64,
     /// Last allocated span id (ids start at 1; 0 encodes "root").
-    last_span: Cell<u64>,
+    last_span: AtomicU64,
+}
+
+/// Locks `m`, shrugging off poison: every guarded structure stays
+/// internally consistent even if an unrelated panic unwound mid-hold.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// The observability hub: metrics registry + event journal, stamped
 /// with simulated time. Cheap to clone; clones share all state.
 #[derive(Clone, Default)]
 pub struct ObsHub {
-    inner: Rc<Inner>,
+    inner: Arc<Inner>,
 }
 
 impl ObsHub {
@@ -132,7 +155,7 @@ impl ObsHub {
 
     /// Whether two handles share the same underlying registry.
     pub fn same_hub(&self, other: &ObsHub) -> bool {
-        Rc::ptr_eq(&self.inner, &other.inner)
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     // ---- simulated clock ----
@@ -143,7 +166,20 @@ impl ObsHub {
     /// younger simulation) is journaled as a [`Event::ClockSkew`] and
     /// otherwise ignored, so span durations can never underflow.
     pub fn set_now_us(&self, now_us: u64) {
-        let cur = self.inner.now_us.get();
+        if let Some(cur) = sink::now_us() {
+            // A shard sink is installed on this thread: the clock (and
+            // any skew record) belongs to the shard, not the shared hub.
+            if now_us < cur {
+                self.journal(Event::ClockSkew {
+                    from_us: cur,
+                    to_us: now_us,
+                });
+                return;
+            }
+            sink::set_now_us(now_us);
+            return;
+        }
+        let cur = self.inner.now_us.load(Ordering::Relaxed);
         if now_us < cur {
             self.journal(Event::ClockSkew {
                 from_us: cur,
@@ -151,19 +187,21 @@ impl ObsHub {
             });
             return;
         }
-        self.inner.now_us.set(now_us);
+        self.inner.now_us.store(now_us, Ordering::Relaxed);
     }
 
-    /// Current simulated time in microseconds.
+    /// Current simulated time in microseconds. Inside a parallel shard
+    /// window this is the shard's clock, so in-dispatch readers observe
+    /// per-event time exactly as under the sequential scheduler.
     pub fn now_us(&self) -> u64 {
-        self.inner.now_us.get()
+        sink::now_us().unwrap_or_else(|| self.inner.now_us.load(Ordering::Relaxed))
     }
 
     // ---- metrics registry ----
 
     /// Returns the counter registered under `name`, creating it at zero.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut reg = self.inner.counters.borrow_mut();
+        let mut reg = lock(&self.inner.counters);
         if let Some(c) = reg.get(name) {
             return c.clone();
         }
@@ -174,18 +212,12 @@ impl ObsHub {
 
     /// Current value of counter `name` (zero if never registered).
     pub fn counter_value(&self, name: &str) -> u64 {
-        self.inner
-            .counters
-            .borrow()
-            .get(name)
-            .map_or(0, Counter::get)
+        lock(&self.inner.counters).get(name).map_or(0, Counter::get)
     }
 
     /// Sum of all counters whose name starts with `prefix`.
     pub fn counter_sum(&self, prefix: &str) -> u64 {
-        self.inner
-            .counters
-            .borrow()
+        lock(&self.inner.counters)
             .iter()
             .filter(|(name, _)| name.starts_with(prefix))
             .map(|(_, c)| c.get())
@@ -194,7 +226,7 @@ impl ObsHub {
 
     /// Returns the gauge registered under `name`, creating it at zero.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut reg = self.inner.gauges.borrow_mut();
+        let mut reg = lock(&self.inner.gauges);
         if let Some(g) = reg.get(name) {
             return g.clone();
         }
@@ -205,7 +237,7 @@ impl ObsHub {
 
     /// Returns the histogram registered under `name`, creating it empty.
     pub fn histogram(&self, name: &str) -> HistogramHandle {
-        let mut reg = self.inner.histograms.borrow_mut();
+        let mut reg = lock(&self.inner.histograms);
         if let Some(h) = reg.get(name) {
             return h.clone();
         }
@@ -218,36 +250,52 @@ impl ObsHub {
 
     /// Enables/disables echoing journal records to stdout as they land.
     pub fn set_trace(&self, on: bool) {
-        self.inner.trace.set(on);
+        self.inner.trace.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether journal records are echoed to stdout as they land.
+    pub fn trace_echo(&self) -> bool {
+        self.inner.trace.load(Ordering::Relaxed)
     }
 
     /// Appends `event` to the journal at the current simulated time.
+    /// Inside a parallel shard window the record lands in the thread's
+    /// [`sink::ShardSink`] instead, stamped with the shard's clock; the
+    /// coordinator splices the per-shard runs back into this journal in
+    /// sequential order at the window barrier. (Stdout echo only exists
+    /// on the shared path — echoing forces the sequential scheduler.)
     pub fn journal(&self, event: Event) {
+        let Some(event) = sink::append(event) else {
+            return;
+        };
         let rec = TimedEvent {
-            at_us: self.now_us(),
+            at_us: self.inner.now_us.load(Ordering::Relaxed),
             event,
         };
-        if self.inner.trace.get() {
+        if self.trace_echo() {
             println!("[{:>12.6}s] {}", rec.at_us as f64 / 1e6, rec.event);
         }
-        self.inner.journal.borrow_mut().push(rec);
+        lock(&self.inner.journal).push(rec);
+    }
+
+    /// Appends pre-stamped records (a merged shard window) verbatim.
+    pub fn journal_extend(&self, records: impl IntoIterator<Item = TimedEvent>) {
+        lock(&self.inner.journal).extend(records);
     }
 
     /// Number of journal records.
     pub fn journal_len(&self) -> usize {
-        self.inner.journal.borrow().len()
+        lock(&self.inner.journal).len()
     }
 
     /// A copy of the journal (tests and report rendering).
     pub fn journal_records(&self) -> Vec<TimedEvent> {
-        self.inner.journal.borrow().clone()
+        lock(&self.inner.journal).clone()
     }
 
     /// Number of journal records matching `pred`.
     pub fn journal_count(&self, pred: impl Fn(&Event) -> bool) -> usize {
-        self.inner
-            .journal
-            .borrow()
+        lock(&self.inner.journal)
             .iter()
             .filter(|r| pred(&r.event))
             .count()
@@ -259,7 +307,7 @@ impl ObsHub {
     pub fn journal_digest(&self) -> Digest {
         let mut h = Sha256::new();
         let mut buf = Vec::with_capacity(64);
-        for rec in self.inner.journal.borrow().iter() {
+        for rec in lock(&self.inner.journal).iter() {
             buf.clear();
             rec.encode_into(&mut buf);
             h.update(&buf);
@@ -272,12 +320,12 @@ impl ObsHub {
     /// Enables/disables causal tracing. Off by default: untraced runs
     /// journal no span records and keep their historical digests.
     pub fn set_tracing(&self, on: bool) {
-        self.inner.tracing.set(on);
+        self.inner.tracing.store(on, Ordering::Relaxed);
     }
 
     /// Whether span APIs are live.
     pub fn tracing(&self) -> bool {
-        self.inner.tracing.get()
+        self.inner.tracing.load(Ordering::Relaxed)
     }
 
     /// Opens a new trace: allocates a trace id, journals the root
@@ -287,8 +335,7 @@ impl ObsHub {
         if !self.tracing() {
             return None;
         }
-        let trace = TraceId(self.inner.last_trace.get() + 1);
-        self.inner.last_trace.set(trace.0);
+        let trace = TraceId(self.inner.last_trace.fetch_add(1, Ordering::Relaxed) + 1);
         Some(self.open_span(trace, None, stage, node))
     }
 
@@ -343,8 +390,7 @@ impl ObsHub {
         stage: trace::Stage,
         node: u32,
     ) -> TraceCtx {
-        let span = SpanId(self.inner.last_span.get() + 1);
-        self.inner.last_span.set(span.0);
+        let span = SpanId(self.inner.last_span.fetch_add(1, Ordering::Relaxed) + 1);
         self.journal(Event::SpanStart {
             trace,
             span,
@@ -359,33 +405,28 @@ impl ObsHub {
 
     /// Snapshot of every metric plus the journal digest.
     pub fn report(&self) -> ObsReport {
+        // Snapshot the journal once up front: the std Mutex is not
+        // reentrant, so the digest/len helpers below must not run while
+        // a guard temporary from this expression is still alive.
+        let journal = self.journal_records();
         ObsReport {
-            counters: self
-                .inner
-                .counters
-                .borrow()
+            counters: lock(&self.inner.counters)
                 .iter()
                 .map(|(name, c)| (name.clone(), c.get()))
                 .collect(),
-            gauges: self
-                .inner
-                .gauges
-                .borrow()
+            gauges: lock(&self.inner.gauges)
                 .iter()
                 .map(|(name, g)| (name.clone(), g.get()))
                 .collect(),
-            histograms: self
-                .inner
-                .histograms
-                .borrow()
+            histograms: lock(&self.inner.histograms)
                 .iter()
                 .filter(|(_, h)| h.count() > 0)
                 .map(|(name, h)| (name.clone(), h.summary()))
                 .collect(),
-            critical_paths: trace::critical_paths(&self.inner.journal.borrow()),
-            journal_len: self.journal_len(),
+            critical_paths: trace::critical_paths(&journal),
+            journal_len: journal.len(),
             journal_digest: self.journal_digest().to_hex(),
-            journal: self.journal_records(),
+            journal,
         }
     }
 }
@@ -394,7 +435,7 @@ impl std::fmt::Debug for ObsHub {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ObsHub")
             .field("now_us", &self.now_us())
-            .field("counters", &self.inner.counters.borrow().len())
+            .field("counters", &lock(&self.inner.counters).len())
             .field("journal_len", &self.journal_len())
             .finish()
     }

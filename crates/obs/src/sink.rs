@@ -1,0 +1,129 @@
+//! Thread-local journal sinks for sharded (parallel) simulation.
+//!
+//! The run digest is a hash over the journal *in order*, so a parallel
+//! scheduler cannot let worker threads append to the shared journal
+//! directly — the interleaving would be nondeterministic. Instead, each
+//! worker installs a [`ShardSink`] on its own thread for the duration of
+//! a synchronization window: every [`crate::ObsHub::journal`] call made
+//! from that thread (engine drop accounting, host-process events, chaos
+//! records) lands in the sink, stamped with the *shard's* current
+//! simulated time. At the window barrier the coordinator splices the
+//! per-event record runs back together in the exact order the sequential
+//! engine would have produced, so the merged journal — and therefore the
+//! digest — is byte-identical to a single-threaded run.
+//!
+//! While no sink is installed (the sequential engine, test code, the
+//! coordinator between windows), journal calls go straight to the hub as
+//! they always have.
+
+use std::cell::RefCell;
+
+use crate::event::{Event, TimedEvent};
+
+/// A per-thread journal buffer with its own simulated clock.
+#[derive(Debug, Default)]
+pub struct ShardSink {
+    now_us: u64,
+    records: Vec<TimedEvent>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ShardSink>> = const { RefCell::new(None) };
+}
+
+/// Installs a sink on the current thread, starting at `now_us`. The
+/// `records` buffer is reused across windows to avoid reallocation.
+///
+/// # Panics
+///
+/// Panics if a sink is already installed (windows never nest).
+pub fn install(now_us: u64, records: Vec<TimedEvent>) {
+    ACTIVE.with(|a| {
+        let mut a = a.borrow_mut();
+        assert!(a.is_none(), "shard sink already installed on this thread");
+        *a = Some(ShardSink { now_us, records });
+    });
+}
+
+/// Removes the current thread's sink and returns the buffered records.
+///
+/// # Panics
+///
+/// Panics if no sink is installed.
+pub fn take() -> Vec<TimedEvent> {
+    ACTIVE.with(|a| {
+        a.borrow_mut()
+            .take()
+            .expect("no shard sink installed on this thread")
+            .records
+    })
+}
+
+/// Whether a sink is installed on the current thread.
+pub fn is_active() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+/// Advances the sink's simulated clock (the engine calls this once per
+/// dispatched event; shard-local event order keeps it monotone).
+///
+/// # Panics
+///
+/// Panics if no sink is installed.
+pub fn set_now_us(now_us: u64) {
+    ACTIVE.with(|a| {
+        a.borrow_mut().as_mut().expect("no shard sink").now_us = now_us;
+    });
+}
+
+/// Number of records buffered so far (the engine brackets each event
+/// dispatch with this to attribute record runs to events).
+pub fn len() -> usize {
+    ACTIVE.with(|a| a.borrow().as_ref().map_or(0, |s| s.records.len()))
+}
+
+/// Appends `event` to the active sink, if any. Returns the event back
+/// when no sink is installed (the hub then journals it itself).
+pub(crate) fn append(event: Event) -> Option<Event> {
+    ACTIVE.with(|a| {
+        let mut a = a.borrow_mut();
+        match a.as_mut() {
+            Some(sink) => {
+                sink.records.push(TimedEvent {
+                    at_us: sink.now_us,
+                    event,
+                });
+                None
+            }
+            None => Some(event),
+        }
+    })
+}
+
+/// The active sink's clock, if one is installed. [`crate::ObsHub::now_us`]
+/// consults this so in-dispatch readers observe per-event time exactly as
+/// they would under the sequential scheduler.
+pub(crate) fn now_us() -> Option<u64> {
+    ACTIVE.with(|a| a.borrow().as_ref().map(|s| s.now_us))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_captures_records_with_its_own_clock() {
+        assert!(!is_active());
+        install(10, Vec::new());
+        assert!(is_active());
+        assert!(append(Event::AuthFailure { daemon: 1 }).is_none());
+        set_now_us(25);
+        assert!(append(Event::AuthFailure { daemon: 2 }).is_none());
+        assert_eq!(len(), 2);
+        let records = take();
+        assert_eq!(records[0].at_us, 10);
+        assert_eq!(records[1].at_us, 25);
+        assert!(!is_active());
+        assert!(append(Event::AuthFailure { daemon: 3 }).is_some());
+    }
+}

@@ -29,10 +29,13 @@
 
 pub mod arp;
 pub mod capture;
+mod exec;
 pub mod firewall;
 pub mod link;
 pub mod packet;
 pub mod process;
+pub mod queue;
+mod shard;
 pub mod sim;
 pub mod switch;
 pub mod time;

@@ -151,7 +151,11 @@ impl<'a> Context<'a> {
 /// All callbacks receive a [`Context`] for reading node identity/time and
 /// buffering side effects. Default implementations ignore the event, so
 /// simple processes implement only what they need.
-pub trait Process: Any {
+///
+/// `Send` because the parallel scheduler moves whole shards — nodes and
+/// their processes — onto worker threads between window barriers. Only
+/// one thread ever touches a process at a time, so `Sync` is not needed.
+pub trait Process: Any + Send {
     /// Called once when the simulation starts (or the node is replaced).
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         let _ = ctx;

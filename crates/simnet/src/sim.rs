@@ -1,26 +1,30 @@
-//! The simulation engine: world state, event queue, and delivery semantics.
+//! The simulation engine: world construction, scheduling, and the
+//! sequential event loop.
+//!
+//! Delivery semantics live in `crate::exec`; event storage lives in
+//! [`crate::queue`]; the conservative parallel scheduler lives in
+//! `crate::shard` (both private modules). This module owns the public
+//! API and the sequential
+//! reference loop that the parallel scheduler is proven digest-identical
+//! against.
 
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
 
-use bytes::Bytes;
-use obs::event::DropKind;
-use obs::{Event as ObsEvent, ObsHub};
+use obs::ObsHub;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 use crate::arp::{ArpMode, ArpTable};
 use crate::capture::{PacketRecord, Tap, TapId};
-use crate::firewall::{Direction, Firewall};
+use crate::exec::{EventKind, EventSink, Exec, Interface, NetCounters, Node, World};
+use crate::firewall::Firewall;
 use crate::link::{Link, LinkId, LinkSpec};
-use crate::packet::{ArpBody, ArpOp, EtherPayload, Frame, Packet, TransportKind};
-use crate::process::{Action, Context, Process};
-use crate::switch::{Forward, Switch, SwitchId, SwitchMode};
+use crate::process::Process;
+use crate::queue::EventQueue;
+use crate::switch::{Switch, SwitchId, SwitchMode};
 use crate::time::{SimDuration, SimTime};
-use crate::types::{IpAddr, MacAddr, NodeId, Port};
-
-/// How long a host waits on an unanswered ARP request before
-/// re-broadcasting it (see [`EventKind::ArpRetry`]).
-const ARP_RETRY_INTERVAL: SimDuration = SimDuration::from_millis(250);
+use crate::types::{IpAddr, MacAddr, NodeId};
 
 /// Where a link terminates.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -123,86 +127,6 @@ impl NodeSpec {
     }
 }
 
-struct Interface {
-    mac: MacAddr,
-    ip: IpAddr,
-    arp: ArpTable,
-    link: Option<LinkId>,
-    /// Packets parked while dynamic ARP resolves their next hop.
-    pending: BTreeMap<IpAddr, Vec<Packet>>,
-}
-
-struct Node {
-    #[allow(dead_code)]
-    name: String,
-    firewall: Firewall,
-    interfaces: Vec<Interface>,
-    listeners: BTreeSet<Port>,
-    process: Option<Box<dyn Process>>,
-    promiscuous: bool,
-    answers_arp_for_other_ifaces: bool,
-    strict_interface_binding: bool,
-    up: bool,
-    /// Bumped on process replacement; stale Start/Timer events are dropped.
-    generation: u32,
-    /// Inbound packets the firewall silently dropped.
-    pub firewall_drops: u64,
-}
-
-#[derive(Debug)]
-enum EventKind {
-    FrameAt {
-        to: EndpointRef,
-        frame: Frame,
-        /// The link the frame is in flight on; if that link goes down
-        /// before the arrival time, the frame is lost (no ghost
-        /// deliveries after a flap heals).
-        via: LinkId,
-    },
-    Timer {
-        node: NodeId,
-        timer: u64,
-        generation: u32,
-    },
-    Start {
-        node: NodeId,
-        generation: u32,
-    },
-    /// Re-sends an ARP request if a resolution is still outstanding;
-    /// without this, one lost request/reply frame on a lossy link would
-    /// park the destination's packets forever.
-    ArpRetry {
-        node: NodeId,
-        ifidx: usize,
-        dst_ip: IpAddr,
-        generation: u32,
-    },
-}
-
-struct Event {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
-        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
-    }
-}
-
 /// Aggregate counters for a run, derived from the [`ObsHub`] registry.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
@@ -220,44 +144,46 @@ pub struct SimStats {
     pub arp_rejected: u64,
 }
 
-/// Cached handles for the engine's hot-path counters, re-registered
-/// whenever the hub changes (see [`Simulation::attach_obs`]).
-struct NetCounters {
-    frames_sent: obs::Counter,
-    frames_delivered: obs::Counter,
-    frames_dropped: obs::Counter,
-    packets_to_process: obs::Counter,
-    firewall_drops: obs::Counter,
-    arp_rejected: obs::Counter,
+thread_local! {
+    static DEFAULT_THREADS: Cell<usize> = const { Cell::new(1) };
 }
 
-impl NetCounters {
-    fn from_hub(hub: &ObsHub) -> Self {
-        NetCounters {
-            frames_sent: hub.counter("net.frames_sent"),
-            frames_delivered: hub.counter("net.frames_delivered"),
-            frames_dropped: hub.counter("net.frames_dropped"),
-            packets_to_process: hub.counter("net.packets_to_process"),
-            firewall_drops: hub.counter("net.firewall_drops"),
-            arp_rejected: hub.counter("net.arp_rejected"),
-        }
+/// Sets the worker-thread count newly created [`Simulation`]s default to
+/// (thread-local, so parallel test binaries cannot race each other).
+/// `spire-sim --threads N` routes through here so every simulation an
+/// experiment builds inherits the setting.
+pub fn set_default_threads(n: usize) {
+    DEFAULT_THREADS.with(|c| c.set(n.max(1)));
+}
+
+/// The current thread-local default worker-thread count.
+pub fn default_threads() -> usize {
+    DEFAULT_THREADS.with(|c| c.get())
+}
+
+/// The sequential scheduler's sink: assigns the global sequence number at
+/// creation time, exactly as the pre-parallel engine did.
+struct GlobalSink<'a> {
+    queue: &'a mut EventQueue<EventKind>,
+    seq: &'a mut u64,
+}
+
+impl EventSink for GlobalSink<'_> {
+    fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = *self.seq;
+        *self.seq += 1;
+        self.queue.insert(at.as_micros(), seq, kind);
     }
 }
 
 /// The simulation world and scheduler.
 pub struct Simulation {
-    now: SimTime,
-    seq: u64,
-    queue: BinaryHeap<Event>,
-    nodes: Vec<Node>,
-    switches: Vec<Switch>,
-    links: Vec<(Link, EndpointRef, EndpointRef)>,
-    taps: Vec<(Tap, SwitchId)>,
-    rng: StdRng,
-    logs: Vec<(SimTime, NodeId, String)>,
-    obs: ObsHub,
-    net: NetCounters,
-    events_processed: u64,
+    pub(crate) now: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) queue: EventQueue<EventKind>,
+    pub(crate) world: World,
+    pub(crate) threads: usize,
+    pub(crate) events_processed: u64,
 }
 
 impl Simulation {
@@ -270,15 +196,18 @@ impl Simulation {
         Simulation {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
-            nodes: Vec::new(),
-            switches: Vec::new(),
-            links: Vec::new(),
-            taps: Vec::new(),
-            rng: StdRng::seed_from_u64(seed),
-            logs: Vec::new(),
-            obs,
-            net,
+            queue: EventQueue::new(),
+            world: World {
+                nodes: Vec::new(),
+                switches: Vec::new(),
+                links: Vec::new(),
+                taps: Vec::new(),
+                logs: Vec::new(),
+                rng: StdRng::seed_from_u64(seed),
+                obs,
+                net,
+            },
+            threads: default_threads(),
             events_processed: 0,
         }
     }
@@ -294,9 +223,22 @@ impl Simulation {
         self.events_processed
     }
 
+    /// Sets the worker-thread count for subsequent runs. `1` (or `0`)
+    /// means strictly sequential; `n >= 2` enables the conservative
+    /// parallel scheduler when the topology yields at least two shards.
+    /// Digests are identical either way — that is the point.
+    pub fn set_threads(&mut self, n: usize) {
+        self.threads = n.max(1);
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// The observability hub this engine stamps and counts into.
     pub fn obs(&self) -> &ObsHub {
-        &self.obs
+        &self.world.obs
     }
 
     /// Redirects all engine metrics and journal records to `hub` (a
@@ -304,40 +246,46 @@ impl Simulation {
     /// process). Values already accumulated carry over.
     pub fn attach_obs(&mut self, hub: &ObsHub) {
         let fresh = NetCounters::from_hub(hub);
-        fresh.frames_sent.add(self.net.frames_sent.get());
-        fresh.frames_delivered.add(self.net.frames_delivered.get());
-        fresh.frames_dropped.add(self.net.frames_dropped.get());
+        fresh.frames_sent.add(self.world.net.frames_sent.get());
+        fresh
+            .frames_delivered
+            .add(self.world.net.frames_delivered.get());
+        fresh
+            .frames_dropped
+            .add(self.world.net.frames_dropped.get());
         fresh
             .packets_to_process
-            .add(self.net.packets_to_process.get());
-        fresh.firewall_drops.add(self.net.firewall_drops.get());
-        fresh.arp_rejected.add(self.net.arp_rejected.get());
+            .add(self.world.net.packets_to_process.get());
+        fresh
+            .firewall_drops
+            .add(self.world.net.firewall_drops.get());
+        fresh.arp_rejected.add(self.world.net.arp_rejected.get());
         hub.set_now_us(self.now.as_micros());
-        self.obs = hub.clone();
-        self.net = fresh;
+        self.world.obs = hub.clone();
+        self.world.net = fresh;
     }
 
     /// Aggregate counters (a registry snapshot, kept for API stability).
     pub fn stats(&self) -> SimStats {
         SimStats {
-            frames_sent: self.net.frames_sent.get(),
-            frames_delivered: self.net.frames_delivered.get(),
-            frames_dropped: self.net.frames_dropped.get(),
-            packets_to_process: self.net.packets_to_process.get(),
-            firewall_drops: self.net.firewall_drops.get(),
-            arp_rejected: self.net.arp_rejected.get(),
+            frames_sent: self.world.net.frames_sent.get(),
+            frames_delivered: self.world.net.frames_delivered.get(),
+            frames_dropped: self.world.net.frames_dropped.get(),
+            packets_to_process: self.world.net.packets_to_process.get(),
+            firewall_drops: self.world.net.firewall_drops.get(),
+            arp_rejected: self.world.net.arp_rejected.get(),
         }
     }
 
     /// All log lines emitted so far as `(time, node, line)`.
     pub fn logs(&self) -> &[(SimTime, NodeId, String)] {
-        &self.logs
+        &self.world.logs
     }
 
     /// Adds a node; MACs are derived deterministically. Schedules its
     /// `on_start` at the current time.
     pub fn add_node(&mut self, spec: NodeSpec) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
+        let id = NodeId(self.world.nodes.len() as u32);
         let interfaces = spec
             .interfaces
             .into_iter()
@@ -350,7 +298,7 @@ impl Simulation {
                 pending: BTreeMap::new(),
             })
             .collect();
-        self.nodes.push(Node {
+        self.world.nodes.push(Some(Node {
             name: spec.name,
             firewall: spec.firewall,
             interfaces,
@@ -362,7 +310,7 @@ impl Simulation {
             up: true,
             generation: 0,
             firewall_drops: 0,
-        });
+        }));
         self.push_event(
             self.now,
             EventKind::Start {
@@ -375,27 +323,29 @@ impl Simulation {
 
     /// Adds a switch.
     pub fn add_switch(&mut self, port_count: usize, mode: SwitchMode) -> SwitchId {
-        let id = SwitchId(self.switches.len() as u32);
-        self.switches.push(Switch::new(id, port_count, mode));
+        let id = SwitchId(self.world.switches.len() as u32);
+        self.world
+            .switches
+            .push(Some(Switch::new(id, port_count, mode)));
         id
     }
 
     /// Attaches a capture tap (span port) to a switch.
     pub fn add_tap(&mut self, switch: SwitchId) -> TapId {
-        let id = TapId(self.taps.len() as u32);
-        self.taps.push((Tap::new(), switch));
-        self.switches[switch.0 as usize].taps.push(id);
+        let id = TapId(self.world.taps.len() as u32);
+        self.world.taps.push(Some((Tap::new(), switch)));
+        self.world.switch_mut(switch).taps.push(id);
         id
     }
 
     /// Read access to a tap's records.
     pub fn tap(&self, tap: TapId) -> &Tap {
-        &self.taps[tap.0 as usize].0
+        &self.world.taps[tap.0 as usize].as_ref().expect("tap").0
     }
 
     /// Drains a tap's buffered records.
     pub fn drain_tap(&mut self, tap: TapId) -> Vec<PacketRecord> {
-        self.taps[tap.0 as usize].0.drain()
+        self.world.tap_mut(tap).0.drain()
     }
 
     /// Connects a node interface to a switch port.
@@ -412,19 +362,19 @@ impl Simulation {
         spec: LinkSpec,
     ) -> LinkId {
         assert!(
-            self.nodes[node.0 as usize].interfaces[ifidx].link.is_none(),
+            self.world.node(node).interfaces[ifidx].link.is_none(),
             "interface already connected"
         );
         assert!(
-            self.switches[switch.0 as usize].ports[port].is_none(),
+            self.world.switch(switch).ports[port].is_none(),
             "switch port already connected"
         );
-        let id = LinkId(self.links.len() as u32);
+        let id = LinkId(self.world.links.len() as u32);
         let a = EndpointRef::Nic { node, ifidx };
         let b = EndpointRef::SwitchPort { switch, port };
-        self.links.push((Link::new(spec), a, b));
-        self.nodes[node.0 as usize].interfaces[ifidx].link = Some(id);
-        self.switches[switch.0 as usize].ports[port] = Some(id);
+        self.world.links.push(Some((Link::new(spec), a, b)));
+        self.world.node_mut(node).interfaces[ifidx].link = Some(id);
+        self.world.switch_mut(switch).ports[port] = Some(id);
         id
     }
 
@@ -437,14 +387,14 @@ impl Simulation {
         spec: LinkSpec,
     ) -> LinkId {
         assert!(
-            self.nodes[a.0 .0 as usize].interfaces[a.1].link.is_none(),
+            self.world.node(a.0).interfaces[a.1].link.is_none(),
             "interface already connected"
         );
         assert!(
-            self.nodes[b.0 .0 as usize].interfaces[b.1].link.is_none(),
+            self.world.node(b.0).interfaces[b.1].link.is_none(),
             "interface already connected"
         );
-        let id = LinkId(self.links.len() as u32);
+        let id = LinkId(self.world.links.len() as u32);
         let ea = EndpointRef::Nic {
             node: a.0,
             ifidx: a.1,
@@ -453,9 +403,9 @@ impl Simulation {
             node: b.0,
             ifidx: b.1,
         };
-        self.links.push((Link::new(spec), ea, eb));
-        self.nodes[a.0 .0 as usize].interfaces[a.1].link = Some(id);
-        self.nodes[b.0 .0 as usize].interfaces[b.1].link = Some(id);
+        self.world.links.push(Some((Link::new(spec), ea, eb)));
+        self.world.node_mut(a.0).interfaces[a.1].link = Some(id);
+        self.world.node_mut(b.0).interfaces[b.1].link = Some(id);
         id
     }
 
@@ -468,14 +418,14 @@ impl Simulation {
         spec: LinkSpec,
     ) -> LinkId {
         assert!(
-            self.switches[a.0 .0 as usize].ports[a.1].is_none(),
+            self.world.switch(a.0).ports[a.1].is_none(),
             "switch port already connected"
         );
         assert!(
-            self.switches[b.0 .0 as usize].ports[b.1].is_none(),
+            self.world.switch(b.0).ports[b.1].is_none(),
             "switch port already connected"
         );
-        let id = LinkId(self.links.len() as u32);
+        let id = LinkId(self.world.links.len() as u32);
         let ea = EndpointRef::SwitchPort {
             switch: a.0,
             port: a.1,
@@ -484,69 +434,69 @@ impl Simulation {
             switch: b.0,
             port: b.1,
         };
-        self.links.push((Link::new(spec), ea, eb));
-        self.switches[a.0 .0 as usize].ports[a.1] = Some(id);
-        self.switches[b.0 .0 as usize].ports[b.1] = Some(id);
+        self.world.links.push(Some((Link::new(spec), ea, eb)));
+        self.world.switch_mut(a.0).ports[a.1] = Some(id);
+        self.world.switch_mut(b.0).ports[b.1] = Some(id);
         id
     }
 
     /// Installs a static ARP entry on a node interface.
     pub fn install_arp(&mut self, node: NodeId, ifidx: usize, ip: IpAddr, mac: MacAddr) {
-        self.nodes[node.0 as usize].interfaces[ifidx]
+        self.world.node_mut(node).interfaces[ifidx]
             .arp
             .install(ip, mac);
     }
 
     /// The derived MAC of a node interface.
     pub fn mac_of(&self, node: NodeId, ifidx: usize) -> MacAddr {
-        self.nodes[node.0 as usize].interfaces[ifidx].mac
+        self.world.node(node).interfaces[ifidx].mac
     }
 
     /// The IP of a node interface.
     pub fn ip_of(&self, node: NodeId, ifidx: usize) -> IpAddr {
-        self.nodes[node.0 as usize].interfaces[ifidx].ip
+        self.world.node(node).interfaces[ifidx].ip
     }
 
     /// Takes a node up or down (crash / power off). Down nodes drop all
     /// frames and timers.
     pub fn set_node_up(&mut self, node: NodeId, up: bool) {
-        self.nodes[node.0 as usize].up = up;
+        self.world.node_mut(node).up = up;
     }
 
     /// Whether a node is up.
     pub fn node_up(&self, node: NodeId) -> bool {
-        self.nodes[node.0 as usize].up
+        self.world.node(node).up
     }
 
     /// Takes a link up or down. Taking a link down also loses every frame
     /// already in flight on it (see `EventKind::FrameAt`).
     pub fn set_link_up(&mut self, link: LinkId, up: bool) {
-        self.links[link.0 as usize].0.up = up;
+        self.world.link_mut(link).0.up = up;
     }
 
     /// Whether a link is up.
     pub fn link_up(&self, link: LinkId) -> bool {
-        self.links[link.0 as usize].0.up
+        self.world.link(link).0.up
     }
 
     /// A link's current spec (chaos windows save it before mutating).
     pub fn link_spec(&self, link: LinkId) -> LinkSpec {
-        self.links[link.0 as usize].0.spec
+        self.world.link(link).0.spec
     }
 
     /// Sets a link's random-loss probability (loss-burst injection).
     pub fn set_link_loss(&mut self, link: LinkId, loss: f64) {
-        self.links[link.0 as usize].0.spec.loss = loss;
+        self.world.link_mut(link).0.spec.loss = loss;
     }
 
     /// Sets a link's one-way latency (latency-spike injection).
     pub fn set_link_latency(&mut self, link: LinkId, latency: SimDuration) {
-        self.links[link.0 as usize].0.spec.latency = latency;
+        self.world.link_mut(link).0.spec.latency = latency;
     }
 
     /// The link attached to a node interface, if connected.
     pub fn link_of(&self, node: NodeId, ifidx: usize) -> Option<LinkId> {
-        self.nodes[node.0 as usize].interfaces[ifidx].link
+        self.world.node(node).interfaces[ifidx].link
     }
 
     /// Partitions a switch: ports are assigned to groups (unlisted ports
@@ -554,18 +504,18 @@ impl Simulation {
     /// group. Inert until set; [`Simulation::clear_switch_partition`]
     /// heals.
     pub fn set_switch_partition(&mut self, id: SwitchId, assignment: BTreeMap<usize, u32>) {
-        self.switches[id.0 as usize].set_partition(assignment);
+        self.world.switch_mut(id).set_partition(assignment);
     }
 
     /// Heals a switch partition.
     pub fn clear_switch_partition(&mut self, id: SwitchId) {
-        self.switches[id.0 as usize].clear_partition();
+        self.world.switch_mut(id).clear_partition();
     }
 
     /// Replaces a node's process (proactive recovery installs a fresh,
     /// rediversified replica). Schedules `on_start` for the new process.
     pub fn replace_process(&mut self, node: NodeId, process: Box<dyn Process>) {
-        let n = &mut self.nodes[node.0 as usize];
+        let n = self.world.node_mut(node);
         n.process = Some(process);
         n.generation += 1;
         let generation = n.generation;
@@ -574,7 +524,7 @@ impl Simulation {
 
     /// Immutable access to a node's process, downcast to `T`.
     pub fn process_ref<T: Process>(&self, node: NodeId) -> Option<&T> {
-        let p = self.nodes[node.0 as usize].process.as_deref()?;
+        let p = self.world.node(node).process.as_deref()?;
         (p as &dyn std::any::Any).downcast_ref::<T>()
     }
 
@@ -583,41 +533,37 @@ impl Simulation {
     /// Mutating process state from outside the event loop is reserved for
     /// test setup and attacker "hands-on-keyboard" actions.
     pub fn process_mut<T: Process>(&mut self, node: NodeId) -> Option<&mut T> {
-        let p = self.nodes[node.0 as usize].process.as_deref_mut()?;
+        let p = self.world.node_mut(node).process.as_deref_mut()?;
         (p as &mut dyn std::any::Any).downcast_mut::<T>()
     }
 
     /// A node's static switch-facing state: count of inbound firewall drops.
     pub fn firewall_drops(&self, node: NodeId) -> u64 {
-        self.nodes[node.0 as usize].firewall_drops
+        self.world.node(node).firewall_drops
     }
 
     /// Count of ARP learn attempts rejected by a node interface (evidence
     /// of poisoning attempts bouncing off static tables).
     pub fn arp_rejections(&self, node: NodeId, ifidx: usize) -> u64 {
-        self.nodes[node.0 as usize].interfaces[ifidx]
-            .arp
-            .rejected_updates
+        self.world.node(node).interfaces[ifidx].arp.rejected_updates
     }
 
     /// Resolves an IP in a node interface's ARP table (diagnostics: lets
     /// experiments check what a host — or an attacker — has learned).
     pub fn arp_entry(&self, node: NodeId, ifidx: usize, ip: IpAddr) -> Option<MacAddr> {
-        self.nodes[node.0 as usize].interfaces[ifidx]
-            .arp
-            .resolve(ip)
+        self.world.node(node).interfaces[ifidx].arp.resolve(ip)
     }
 
     /// Reads a switch's counters.
     pub fn switch(&self, id: SwitchId) -> &Switch {
-        &self.switches[id.0 as usize]
+        self.world.switch(id)
     }
 
     /// Authorizes `mac` on `port` of a static switch (the operator — or an
     /// attacker with physical access to patch panels — amending the static
     /// MAC-to-port map). No-op for learning switches.
     pub fn authorize_switch_port(&mut self, id: SwitchId, mac: MacAddr, port: usize) {
-        if let SwitchMode::Static { map, .. } = &mut self.switches[id.0 as usize].mode {
+        if let SwitchMode::Static { map, .. } = &mut self.world.switch_mut(id).mode {
             map.insert(mac, port);
         }
     }
@@ -626,21 +572,34 @@ impl Simulation {
     /// Returns the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut n = 0;
-        while let Some(ev) = self.queue.peek() {
-            if ev.at > deadline {
+        if self.parallel_eligible(deadline) {
+            n += crate::shard::run_parallel(self, deadline).unwrap_or(0);
+        }
+        // Sequential loop: the only path when threads == 1, the mop-up
+        // (normally a no-op) when the parallel scheduler ran or bailed.
+        while let Some((at, _key)) = self.queue.peek() {
+            if at > deadline.as_micros() {
                 break;
             }
-            let ev = self.queue.pop().expect("peeked");
-            self.now = ev.at;
-            self.obs.set_now_us(self.now.as_micros());
-            self.dispatch(ev.kind);
+            let (at, _key, kind) = self.queue.pop().expect("peeked");
+            self.now = SimTime(at);
+            self.world.obs.set_now_us(at);
+            Exec {
+                world: &mut self.world,
+                now: self.now,
+                sink: &mut GlobalSink {
+                    queue: &mut self.queue,
+                    seq: &mut self.seq,
+                },
+            }
+            .dispatch(kind);
             n += 1;
         }
         self.events_processed += n;
         // Time always advances to the deadline even if the queue drained.
         if self.now < deadline {
             self.now = deadline;
-            self.obs.set_now_us(self.now.as_micros());
+            self.world.obs.set_now_us(deadline.as_micros());
         }
         n
     }
@@ -651,503 +610,31 @@ impl Simulation {
         self.run_until(deadline)
     }
 
-    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+    /// Whether this run may go through the parallel scheduler at all.
+    /// Conservative by design: any feature whose output order the shards
+    /// cannot reproduce exactly (trace spans, live trace echo, lossy links
+    /// drawing from the shared RNG, a shared hub whose clock has moved
+    /// past ours) falls back to the sequential reference loop, which is
+    /// always digest-correct.
+    fn parallel_eligible(&self, deadline: SimTime) -> bool {
+        self.threads >= 2
+            && deadline > self.now
+            && !self.queue.is_empty()
+            && !self.world.obs.tracing()
+            && !self.world.obs.trace_echo()
+            && self.world.obs.now_us() == self.now.as_micros()
+            && self
+                .world
+                .links
+                .iter()
+                .flatten()
+                .all(|(l, _, _)| l.spec.loss == 0.0)
+    }
+
+    pub(crate) fn push_event(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Event { at, seq, kind });
-    }
-
-    fn dispatch(&mut self, kind: EventKind) {
-        match kind {
-            EventKind::Start { node, generation } => {
-                if self.nodes[node.0 as usize].generation == generation {
-                    self.call_process(node, |p, ctx| p.on_start(ctx));
-                }
-            }
-            EventKind::Timer {
-                node,
-                timer,
-                generation,
-            } => {
-                let n = &self.nodes[node.0 as usize];
-                if n.up && n.generation == generation {
-                    self.call_process(node, |p, ctx| p.on_timer(ctx, timer));
-                }
-            }
-            EventKind::FrameAt { to, frame, via } => {
-                // Frames queued on a link that has since gone down are
-                // lost, not delivered on heal.
-                if !self.links[via.0 as usize].0.up {
-                    self.net.frames_dropped.inc();
-                    return;
-                }
-                match to {
-                    EndpointRef::SwitchPort { switch, port } => {
-                        self.frame_at_switch(switch, port, frame)
-                    }
-                    EndpointRef::Nic { node, ifidx } => self.frame_at_nic(node, ifidx, frame),
-                }
-            }
-            EventKind::ArpRetry {
-                node,
-                ifidx,
-                dst_ip,
-                generation,
-            } => {
-                self.arp_retry(node, ifidx, dst_ip, generation);
-            }
-        }
-    }
-
-    /// Invokes a process callback with a fresh [`Context`], then applies the
-    /// buffered actions.
-    fn call_process<F>(&mut self, node: NodeId, f: F)
-    where
-        F: FnOnce(&mut dyn Process, &mut Context<'_>),
-    {
-        let Some(mut process) = self.nodes[node.0 as usize].process.take() else {
-            return;
-        };
-        let interfaces: Vec<(MacAddr, IpAddr)> = self.nodes[node.0 as usize]
-            .interfaces
-            .iter()
-            .map(|i| (i.mac, i.ip))
-            .collect();
-        let mut actions = Vec::new();
-        {
-            let mut ctx = Context {
-                node,
-                now: self.now,
-                interfaces: &interfaces,
-                actions: &mut actions,
-                rng: &mut self.rng,
-                trace: None,
-            };
-            f(process.as_mut(), &mut ctx);
-        }
-        // Only put the process back if nothing replaced it meanwhile
-        // (replace_process cannot run during dispatch, so this is safe).
-        self.nodes[node.0 as usize].process = Some(process);
-        self.apply_actions(node, actions);
-    }
-
-    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action>) {
-        for action in actions {
-            match action {
-                Action::SendPacket { ifidx, packet } => self.host_send(node, ifidx, packet),
-                Action::SendRawFrame { ifidx, frame } => {
-                    self.transmit_from_nic(node, ifidx, frame);
-                }
-                Action::SetTimer { delay, timer } => {
-                    let at = self.now + delay;
-                    let generation = self.nodes[node.0 as usize].generation;
-                    self.push_event(
-                        at,
-                        EventKind::Timer {
-                            node,
-                            timer,
-                            generation,
-                        },
-                    );
-                }
-                Action::Listen(port) => {
-                    self.nodes[node.0 as usize].listeners.insert(port);
-                }
-                Action::Unlisten(port) => {
-                    self.nodes[node.0 as usize].listeners.remove(&port);
-                }
-                Action::Log(line) => {
-                    self.logs.push((self.now, node, line));
-                }
-            }
-        }
-    }
-
-    /// The normal host send path: outbound firewall, ARP resolution, frame
-    /// construction, transmission.
-    fn host_send(&mut self, node: NodeId, ifidx: usize, packet: Packet) {
-        {
-            let n = &mut self.nodes[node.0 as usize];
-            if !n.up {
-                return;
-            }
-            if !n.firewall.permits(Direction::Outbound, &packet) {
-                n.firewall_drops += 1;
-                self.net.firewall_drops.inc();
-                self.obs.journal(ObsEvent::PacketDrop {
-                    node: node.0,
-                    kind: DropKind::Firewall,
-                });
-                return;
-            }
-        }
-        let dst_ip = packet.dst_ip;
-        if dst_ip == IpAddr::BROADCAST {
-            let src_mac = self.nodes[node.0 as usize].interfaces[ifidx].mac;
-            let frame = Frame {
-                src_mac,
-                dst_mac: MacAddr::BROADCAST,
-                payload: EtherPayload::Ip(packet),
-            };
-            self.transmit_from_nic(node, ifidx, frame);
-            return;
-        }
-        let (resolved, src_mac, src_ip) = {
-            let iface = &self.nodes[node.0 as usize].interfaces[ifidx];
-            (iface.arp.resolve(dst_ip), iface.mac, iface.ip)
-        };
-        match resolved {
-            Some(dst_mac) => {
-                let frame = Frame {
-                    src_mac,
-                    dst_mac,
-                    payload: EtherPayload::Ip(packet),
-                };
-                self.transmit_from_nic(node, ifidx, frame);
-            }
-            None => {
-                let iface = &mut self.nodes[node.0 as usize].interfaces[ifidx];
-                if iface.arp.mode() == ArpMode::Static {
-                    // Hardened host: unknown peers are unreachable, full stop.
-                    self.net.frames_dropped.inc();
-                    return;
-                }
-                // One in-flight ARP resolution per destination: further
-                // packets just park on the pending queue (hosts do not
-                // emit one ARP request per queued datagram).
-                let resolution_in_flight = iface.pending.contains_key(&dst_ip);
-                iface.pending.entry(dst_ip).or_default().push(packet);
-                if resolution_in_flight {
-                    return;
-                }
-                let frame = Frame {
-                    src_mac,
-                    dst_mac: MacAddr::BROADCAST,
-                    payload: EtherPayload::Arp(ArpBody {
-                        op: ArpOp::Request,
-                        sender_ip: src_ip,
-                        sender_mac: src_mac,
-                        target_ip: dst_ip,
-                    }),
-                };
-                self.transmit_from_nic(node, ifidx, frame);
-                let generation = self.nodes[node.0 as usize].generation;
-                let at = self.now + ARP_RETRY_INTERVAL;
-                self.push_event(
-                    at,
-                    EventKind::ArpRetry {
-                        node,
-                        ifidx,
-                        dst_ip,
-                        generation,
-                    },
-                );
-            }
-        }
-    }
-
-    /// Fires while an ARP resolution is outstanding: re-broadcasts the
-    /// request (the first one may have been lost) or, if the mapping
-    /// arrived through an opportunistic learn that bypassed the reply
-    /// path, flushes the parked packets directly.
-    fn arp_retry(&mut self, node: NodeId, ifidx: usize, dst_ip: IpAddr, generation: u32) {
-        let (still_pending, resolved, src_mac, src_ip) = {
-            let n = &self.nodes[node.0 as usize];
-            if !n.up || n.generation != generation {
-                return;
-            }
-            let iface = &n.interfaces[ifidx];
-            (
-                iface.pending.contains_key(&dst_ip),
-                iface.arp.resolve(dst_ip).is_some(),
-                iface.mac,
-                iface.ip,
-            )
-        };
-        if !still_pending {
-            return;
-        }
-        if resolved {
-            let ready = self.nodes[node.0 as usize].interfaces[ifidx]
-                .pending
-                .remove(&dst_ip)
-                .unwrap_or_default();
-            for pkt in ready {
-                self.host_send(node, ifidx, pkt);
-            }
-            return;
-        }
-        let frame = Frame {
-            src_mac,
-            dst_mac: MacAddr::BROADCAST,
-            payload: EtherPayload::Arp(ArpBody {
-                op: ArpOp::Request,
-                sender_ip: src_ip,
-                sender_mac: src_mac,
-                target_ip: dst_ip,
-            }),
-        };
-        self.transmit_from_nic(node, ifidx, frame);
-        let at = self.now + ARP_RETRY_INTERVAL;
-        self.push_event(
-            at,
-            EventKind::ArpRetry {
-                node,
-                ifidx,
-                dst_ip,
-                generation,
-            },
-        );
-    }
-
-    fn transmit_from_nic(&mut self, node: NodeId, ifidx: usize, frame: Frame) {
-        if !self.nodes[node.0 as usize].up {
-            return;
-        }
-        let Some(link_id) = self.nodes[node.0 as usize].interfaces[ifidx].link else {
-            self.net.frames_dropped.inc();
-            return;
-        };
-        let from = EndpointRef::Nic { node, ifidx };
-        self.transmit(link_id, from, frame);
-    }
-
-    fn transmit(&mut self, link_id: LinkId, from: EndpointRef, frame: Frame) {
-        self.net.frames_sent.inc();
-        let (link, a, b) = &mut self.links[link_id.0 as usize];
-        let a_to_b = *a == from;
-        debug_assert!(a_to_b || *b == from, "endpoint not on link");
-        let to = if a_to_b { *b } else { *a };
-        let loss = link.spec.loss;
-        if loss > 0.0 && self.rng.gen::<f64>() < loss {
-            link.loss_drops += 1;
-            self.net.frames_dropped.inc();
-            return;
-        }
-        match link.schedule(a_to_b, frame.wire_size(), self.now) {
-            Some(arrive) => self.push_event(
-                arrive,
-                EventKind::FrameAt {
-                    to,
-                    frame,
-                    via: link_id,
-                },
-            ),
-            None => self.net.frames_dropped.inc(),
-        }
-    }
-
-    fn frame_at_switch(&mut self, switch: SwitchId, ingress: usize, frame: Frame) {
-        // Span-port capture sees every frame entering the switch.
-        let tap_ids = self.switches[switch.0 as usize].taps.clone();
-        for tap_id in tap_ids {
-            let rec = PacketRecord::from_frame(self.now, switch, &frame);
-            self.taps[tap_id.0 as usize].0.record(rec);
-        }
-        let decision =
-            self.switches[switch.0 as usize].forward(ingress, frame.src_mac, frame.dst_mac);
-        match decision {
-            Forward::Ports(ports) => {
-                for port in ports {
-                    // An active partition confines frames to the ingress
-                    // port's group.
-                    if !self.switches[switch.0 as usize].same_partition_group(ingress, port) {
-                        self.switches[switch.0 as usize].partition_drops += 1;
-                        self.net.frames_dropped.inc();
-                        continue;
-                    }
-                    if let Some(link_id) = self.switches[switch.0 as usize].ports[port] {
-                        let from = EndpointRef::SwitchPort { switch, port };
-                        self.transmit(link_id, from, frame.clone());
-                    }
-                }
-            }
-            Forward::Drop(_) => {
-                self.net.frames_dropped.inc();
-            }
-        }
-    }
-
-    fn frame_at_nic(&mut self, node: NodeId, ifidx: usize, frame: Frame) {
-        if !self.nodes[node.0 as usize].up {
-            self.net.frames_dropped.inc();
-            return;
-        }
-        self.net.frames_delivered.inc();
-        let (my_mac, my_ip) = {
-            let iface = &self.nodes[node.0 as usize].interfaces[ifidx];
-            (iface.mac, iface.ip)
-        };
-        let addressed_to_me = frame.dst_mac == my_mac || frame.dst_mac.is_broadcast();
-        if !addressed_to_me {
-            if self.nodes[node.0 as usize].promiscuous {
-                self.call_process(node, |p, ctx| p.on_promiscuous(ctx, ifidx, &frame));
-            }
-            return;
-        }
-        match frame.payload {
-            EtherPayload::Arp(arp) => self.handle_arp(node, ifidx, my_mac, my_ip, arp),
-            EtherPayload::Ip(packet) => self.handle_ip(node, ifidx, my_mac, my_ip, packet),
-        }
-    }
-
-    fn handle_arp(
-        &mut self,
-        node: NodeId,
-        ifidx: usize,
-        my_mac: MacAddr,
-        my_ip: IpAddr,
-        arp: ArpBody,
-    ) {
-        match arp.op {
-            ArpOp::Request => {
-                // Opportunistic learn of the requester (dynamic mode only).
-                {
-                    let iface = &mut self.nodes[node.0 as usize].interfaces[ifidx];
-                    if iface.arp.mode() == ArpMode::Dynamic {
-                        iface.arp.learn(arp.sender_ip, arp.sender_mac);
-                    }
-                }
-                let answers_cross = self.nodes[node.0 as usize].answers_arp_for_other_ifaces;
-                let owns_target = arp.target_ip == my_ip
-                    || (answers_cross
-                        && self.nodes[node.0 as usize]
-                            .interfaces
-                            .iter()
-                            .any(|i| i.ip == arp.target_ip));
-                if owns_target {
-                    let reply = Frame {
-                        src_mac: my_mac,
-                        dst_mac: arp.sender_mac,
-                        payload: EtherPayload::Arp(ArpBody {
-                            op: ArpOp::Reply,
-                            sender_ip: arp.target_ip,
-                            sender_mac: my_mac,
-                            target_ip: arp.sender_ip,
-                        }),
-                    };
-                    self.transmit_from_nic(node, ifidx, reply);
-                }
-            }
-            ArpOp::Reply => {
-                let learned = {
-                    let iface = &mut self.nodes[node.0 as usize].interfaces[ifidx];
-                    let before = iface.arp.rejected_updates;
-                    let ok = iface.arp.learn(arp.sender_ip, arp.sender_mac);
-                    let rejected = iface.arp.rejected_updates - before;
-                    if !ok && rejected > 0 {
-                        self.net.arp_rejected.add(rejected);
-                        self.obs.journal(ObsEvent::PacketDrop {
-                            node: node.0,
-                            kind: DropKind::Arp,
-                        });
-                    }
-                    ok
-                };
-                if learned {
-                    // Flush packets that were waiting for this resolution.
-                    let ready = self.nodes[node.0 as usize].interfaces[ifidx]
-                        .pending
-                        .remove(&arp.sender_ip)
-                        .unwrap_or_default();
-                    for pkt in ready {
-                        self.host_send(node, ifidx, pkt);
-                    }
-                }
-            }
-        }
-    }
-
-    fn handle_ip(
-        &mut self,
-        node: NodeId,
-        ifidx: usize,
-        _my_mac: MacAddr,
-        my_ip: IpAddr,
-        packet: Packet,
-    ) {
-        let is_mine = if self.nodes[node.0 as usize].strict_interface_binding {
-            // Strong-host model: only the arrival interface's own address.
-            packet.dst_ip == my_ip || packet.dst_ip == IpAddr::BROADCAST
-        } else {
-            packet.dst_ip == my_ip
-                || packet.dst_ip == IpAddr::BROADCAST
-                || self.nodes[node.0 as usize]
-                    .interfaces
-                    .iter()
-                    .any(|i| i.ip == packet.dst_ip)
-        };
-        if !is_mine {
-            // Steered here by a poisoned ARP entry: transit traffic.
-            let trace = packet.trace;
-            self.call_process(node, move |p, ctx| {
-                ctx.trace = trace;
-                p.on_transit(ctx, ifidx, packet);
-            });
-            return;
-        }
-        let permitted = self.nodes[node.0 as usize]
-            .firewall
-            .permits(Direction::Inbound, &packet);
-        if !permitted {
-            let n = &mut self.nodes[node.0 as usize];
-            n.firewall_drops += 1;
-            self.net.firewall_drops.inc();
-            self.obs.journal(ObsEvent::PacketDrop {
-                node: node.0,
-                kind: DropKind::Firewall,
-            });
-            if packet.kind == TransportKind::TcpSyn && n.firewall.responds_to_blocked_syn() {
-                self.respond(node, ifidx, &packet, TransportKind::TcpRst);
-            }
-            return;
-        }
-        match packet.kind {
-            TransportKind::TcpSyn => {
-                let open = self.nodes[node.0 as usize]
-                    .listeners
-                    .contains(&packet.dst_port);
-                let kind = if open {
-                    TransportKind::TcpSynAck
-                } else {
-                    TransportKind::TcpRst
-                };
-                self.respond(node, ifidx, &packet, kind);
-                if open {
-                    self.net.packets_to_process.inc();
-                    let trace = packet.trace;
-                    self.call_process(node, move |p, ctx| {
-                        ctx.trace = trace;
-                        p.on_packet(ctx, packet);
-                    });
-                }
-            }
-            TransportKind::Ping => {
-                self.respond(node, ifidx, &packet, TransportKind::Pong);
-            }
-            _ => {
-                self.net.packets_to_process.inc();
-                let trace = packet.trace;
-                self.call_process(node, move |p, ctx| {
-                    ctx.trace = trace;
-                    p.on_packet(ctx, packet);
-                });
-            }
-        }
-    }
-
-    fn respond(&mut self, node: NodeId, ifidx: usize, to: &Packet, kind: TransportKind) {
-        let my_ip = self.nodes[node.0 as usize].interfaces[ifidx].ip;
-        let reply = Packet {
-            src_ip: my_ip,
-            dst_ip: to.src_ip,
-            src_port: to.dst_port,
-            dst_port: to.src_port,
-            kind,
-            payload: Bytes::new(),
-            trace: to.trace,
-        };
-        self.host_send(node, ifidx, reply);
+        self.queue.insert(at.as_micros(), seq, kind);
     }
 }
 
@@ -1155,10 +642,11 @@ impl std::fmt::Debug for Simulation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
             .field("now", &self.now)
-            .field("nodes", &self.nodes.len())
-            .field("switches", &self.switches.len())
-            .field("links", &self.links.len())
+            .field("nodes", &self.world.nodes.len())
+            .field("switches", &self.world.switches.len())
+            .field("links", &self.world.links.len())
             .field("queued_events", &self.queue.len())
+            .field("threads", &self.threads)
             .finish()
     }
 }
@@ -1166,6 +654,10 @@ impl std::fmt::Debug for Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packet::{Frame, Packet, TransportKind};
+    use crate::process::{Context, Process};
+    use crate::types::Port;
+    use bytes::Bytes;
 
     /// Sends one datagram to a peer on start; records everything received.
     struct Chatter {
@@ -1491,7 +983,7 @@ mod tests {
         impl Process for RawSender {
             fn on_start(&mut self, ctx: &mut Context<'_>) {
                 let pkt = Packet::udp(ctx.ip(0), self.target_ip, Port(5), Port(2000), Bytes::new());
-                let frame = crate::packet::Frame {
+                let frame = Frame {
                     src_mac: ctx.mac(0),
                     dst_mac: MacAddr::BROADCAST,
                     payload: crate::packet::EtherPayload::Ip(pkt),

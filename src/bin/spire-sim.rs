@@ -29,6 +29,9 @@
 //!   --seed N       simulation seed (default 42)
 //!   --days N       e4/e12 compressed days (default 6)
 //!   --steps N      e11 ramp steps to run (default 6, i.e. the full ramp)
+//!   --threads N    simulator worker threads (default 1). Any value
+//!                  produces bit-for-bit identical results; the
+//!                  conservative parallel scheduler only changes speed
 //!   --json FILE    write e11 / e12 / e13 / bench results as JSON to FILE
 //!   --metrics      print the metrics registry + journal digest after
 //!                  e4/e5 (see EXPERIMENTS.md, "Observability")
@@ -62,6 +65,7 @@ struct Options {
     seed: u64,
     days: u64,
     steps: usize,
+    threads: usize,
     metrics: bool,
     trace: bool,
     trace_export: Option<String>,
@@ -73,6 +77,7 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
         seed: 42,
         days: 6,
         steps: e11_default_rates().len(),
+        threads: 1,
         metrics: false,
         trace: false,
         trace_export: None,
@@ -81,7 +86,7 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            flag @ ("--seed" | "--days" | "--steps") => {
+            flag @ ("--seed" | "--days" | "--steps" | "--threads") => {
                 i += 1;
                 let value = args
                     .get(i)
@@ -92,7 +97,8 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
                 match flag {
                     "--seed" => opts.seed = parsed,
                     "--days" => opts.days = parsed,
-                    _ => opts.steps = parsed as usize,
+                    "--steps" => opts.steps = parsed as usize,
+                    _ => opts.threads = (parsed as usize).max(1),
                 }
             }
             "--metrics" => opts.metrics = true,
@@ -285,8 +291,8 @@ const COMMANDS: &[&str] = &[
 
 fn usage() -> String {
     format!(
-        "usage: spire-sim <{}> [--seed N] [--days N] [--steps N] [--metrics] [--trace] \
-         [--trace-export FILE] [--json FILE]",
+        "usage: spire-sim <{}> [--seed N] [--days N] [--steps N] [--threads N] [--metrics] \
+         [--trace] [--trace-export FILE] [--json FILE]",
         COMMANDS.join("|")
     )
 }
@@ -305,6 +311,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Every simulation built from here on shards onto this many worker
+    // threads (digest-identical to --threads 1 at any count).
+    simnet::sim::set_default_threads(opts.threads);
     match run(command, &opts) {
         Some(true) => ExitCode::SUCCESS,
         Some(false) => ExitCode::FAILURE,

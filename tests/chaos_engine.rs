@@ -121,6 +121,58 @@ fn beyond_budget_partition_trips_the_bounded_delay_invariant() {
     );
 }
 
+/// Runs the full E12 soak (warm-up, fault schedule, heal, quiescence)
+/// with the simulator forced to `threads`, returning the journal digest,
+/// total event count, and the exact timed sequence of
+/// `ChaosInject`/`ChaosHeal` records.
+fn chaos_soak_journal(
+    seed: u64,
+    threads: usize,
+) -> (itcrypto::sha256::Digest, u64, Vec<(u64, obs::Event)>) {
+    simnet::sim::set_default_threads(threads);
+    let (mut d, prime_cfg) = chaos_deployment(seed);
+    let horizon = SimDuration::from_secs(10);
+    let plan = ChaosPlan::within_budget(seed, prime_cfg.n(), prime_cfg.ordering_quorum(), horizon);
+    let mut checker = InvariantChecker::new(CheckerConfig::for_prime(&prime_cfg), &d);
+    let mut driver = ChaosDriver::new(plan);
+    let step = SimDuration::from_millis(100);
+    driver.run_soak(&mut d, &mut checker, horizon, step);
+    driver.heal_all(&mut d, &mut checker);
+    driver.run_quiesce(&mut d, &mut checker, SimDuration::from_secs(8), step);
+    simnet::sim::set_default_threads(1);
+    let chaos_seq = d
+        .obs
+        .journal_records()
+        .into_iter()
+        .filter(|r| {
+            matches!(
+                r.event,
+                obs::Event::ChaosInject { .. } | obs::Event::ChaosHeal { .. }
+            )
+        })
+        .map(|r| (r.at_us, r.event))
+        .collect();
+    (d.obs.journal_digest(), d.sim.events_processed(), chaos_seq)
+}
+
+/// Parallel-scheduler regression: the chaos soak — whose lossy fault
+/// windows force the scheduler to drop in and out of the parallel path —
+/// must produce, at 4 threads, the identical journal digest and the
+/// identical timed `ChaosInject`/`ChaosHeal` sequence as a
+/// single-threaded run.
+#[test]
+fn e12_soak_at_four_threads_matches_single_threaded_run() {
+    let (digest_1, events_1, seq_1) = chaos_soak_journal(42, 1);
+    let (digest_4, events_4, seq_4) = chaos_soak_journal(42, 4);
+    assert_eq!(
+        seq_1, seq_4,
+        "chaos injection/heal sequence diverged under parallel execution"
+    );
+    assert!(!seq_1.is_empty(), "soak injected no faults");
+    assert_eq!(digest_1, digest_4, "journal digest diverged at 4 threads");
+    assert_eq!(events_1, events_4, "event count diverged at 4 threads");
+}
+
 proptest! {
     /// Property: for ANY seed, a within-budget plan actually respects the
     /// budget — disruptive fault windows (partition, crash, byz-flip,

@@ -1,0 +1,112 @@
+//! Sequential↔parallel equivalence suite: the conservative parallel
+//! scheduler must be *bit-for-bit* digest-identical to the sequential
+//! engine — same journal bytes, same event counts, same rendered result
+//! tables — at every seed and thread count. Each experiment is
+//! fingerprinted at threads ∈ {1, 2, 4} and compared against the
+//! sequential reference; at the golden seed the reference is additionally
+//! cross-checked against the pinned table in `tests/golden_digests.rs`,
+//! so a bug that corrupted both engines identically would still fail.
+//!
+//! The full matrix (e1–e13 × seeds {42, 1111, 7} × threads {1, 2, 4})
+//! runs in release builds; debug builds trim to the golden seed and the
+//! fastest experiments to keep `cargo test -q` inside its time budget
+//! (the full matrix still runs under `ci/check.sh`, which tests in
+//! release).
+
+use bench::harness::{experiment_fingerprint, FINGERPRINTED, GOLDEN_SEED};
+use simnet::sim::set_default_threads;
+
+/// Runs `id` at `seed` with the scheduler forced to `threads`.
+/// `set_default_threads` is thread-local, and the libtest harness runs
+/// each `#[test]` on its own thread, so tests cannot race each other's
+/// setting; resetting to 1 keeps later fingerprints in the same test
+/// honest.
+fn fingerprint_at(id: &str, seed: u64, threads: usize) -> String {
+    set_default_threads(threads);
+    let digest = experiment_fingerprint(id, seed);
+    set_default_threads(1);
+    digest
+}
+
+/// Asserts the parallel digests equal the sequential one for `id` at
+/// `seed`, across every checked thread count.
+fn check_equivalence(id: &str, seed: u64) {
+    let sequential = fingerprint_at(id, seed, 1);
+    for threads in [2, 4] {
+        let parallel = fingerprint_at(id, seed, threads);
+        assert_eq!(
+            parallel, sequential,
+            "{id} at seed {seed} diverged with {threads} threads"
+        );
+    }
+}
+
+/// Seeds exercised beyond the golden one. Release-only: the full matrix
+/// is ~180 experiment runs, far past the debug-build time budget.
+#[cfg(not(debug_assertions))]
+const EXTRA_SEEDS: &[u64] = &[1111, 7];
+#[cfg(debug_assertions)]
+const EXTRA_SEEDS: &[u64] = &[];
+
+/// Experiments checked in debug builds: the cheapest representatives of
+/// each scheduler regime (multi-switch LAN, proxy/PLC cables, WAN sites).
+const DEBUG_IDS: &[&str] = &["e1", "e2", "e8", "e13a"];
+
+fn in_budget(id: &str) -> bool {
+    !cfg!(debug_assertions) || DEBUG_IDS.contains(&id)
+}
+
+#[test]
+fn golden_seed_matrix() {
+    for id in FINGERPRINTED {
+        if in_budget(id) {
+            check_equivalence(id, GOLDEN_SEED);
+        }
+    }
+}
+
+#[test]
+fn extra_seeds_matrix() {
+    for &seed in EXTRA_SEEDS {
+        for id in FINGERPRINTED {
+            check_equivalence(id, seed);
+        }
+    }
+}
+
+/// The bench harness's E4 scaling curve asserts digest-identity at every
+/// point it times (it panics on divergence); two points suffice as a CI
+/// smoke that the `spire-sim bench` scaling path works. Release-only:
+/// two debug-build E4 days would blow the `cargo test -q` budget.
+#[cfg(not(debug_assertions))]
+#[test]
+fn bench_scaling_curve_smoke() {
+    let curve = bench::harness::e4_scaling_curve(GOLDEN_SEED, &[1, 2]);
+    assert_eq!(curve.len(), 2);
+    assert!(curve.iter().all(|p| p.sim_events > 0));
+    assert!((curve[0].speedup - 1.0).abs() < f64::EPSILON);
+}
+
+/// The sequential reference itself must match the pinned golden table —
+/// guards against the (sequential) refactor and the equivalence suite
+/// drifting together.
+#[test]
+fn sequential_reference_matches_pinned_golden() {
+    // Spot-check the experiments the parallel scheduler leans on most:
+    // e4 (plant deployment, the bench target) and e12 (chaos engine).
+    const PINNED: &[(&str, &str)] = &[
+        (
+            "e4",
+            "30245b3f3ec8608370abff900ab7baca296722f6f5cf1f44cb4018617e6e8433",
+        ),
+        (
+            "e12",
+            "7b22a3c488ecd5a7d6370c375ec26f3fdf17e69a51b938aac4c01ef0a204c451",
+        ),
+    ];
+    for (id, want) in PINNED {
+        if in_budget(id) || cfg!(not(debug_assertions)) {
+            assert_eq!(&fingerprint_at(id, GOLDEN_SEED, 4), want, "{id} drifted");
+        }
+    }
+}

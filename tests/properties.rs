@@ -721,3 +721,160 @@ proptest! {
         }
     }
 }
+
+// ---- simnet event queue: the parallel scheduler's ordering substrate ----
+
+proptest! {
+    /// The slab-backed indexed queue agrees with a naive model (a plain
+    /// vector scanned for its minimum) under arbitrary interleavings of
+    /// schedule, cancel, rekey, and pop — same liveness, same payloads,
+    /// same total (time, key) pop order. This is the structure the
+    /// parallel scheduler trusts for shard-local ordering and for
+    /// rekeying provisional events to their barrier-assigned sequence
+    /// numbers.
+    #[test]
+    fn event_queue_matches_naive_model(
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>()), 1..200),
+    ) {
+        let mut queue = simnet::queue::EventQueue::new();
+        // Live events as (at, key, payload); minimum found by linear scan.
+        let mut model: Vec<(u64, u64, u32)> = Vec::new();
+        // Every handle ever issued, with the (at, key) it was issued for
+        // (possibly stale after cancel/rekey/pop — exactly the point).
+        let mut handles: Vec<(simnet::queue::EventHandle, u64, u64)> = Vec::new();
+        let mut next_key = 0u64;
+        for (i, &(sel, arg)) in ops.iter().enumerate() {
+            let at = (arg % 64) as u64;
+            match sel % 8 {
+                0..=2 => {
+                    let key = next_key;
+                    next_key += 1;
+                    let h = queue.insert(at, key, i as u32);
+                    handles.push((h, at, key));
+                    model.push((at, key, i as u32));
+                }
+                3 | 4 => {
+                    let popped = queue.pop();
+                    let min = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &(a, k, _))| (a, k))
+                        .map(|(mi, _)| mi);
+                    match (popped, min) {
+                        (Some(got), Some(mi)) => {
+                            prop_assert_eq!(got, model.remove(mi));
+                        }
+                        (None, None) => {}
+                        _ => prop_assert!(false, "pop emptiness diverged"),
+                    }
+                }
+                5 | 6 => {
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let (h, hat, hkey) = handles[arg as usize % handles.len()];
+                    let mi = model.iter().position(|&(a, k, _)| (a, k) == (hat, hkey));
+                    match (queue.cancel(h), mi) {
+                        (Some(p), Some(mi)) => {
+                            let (_, _, mp) = model.remove(mi);
+                            prop_assert_eq!(p, mp);
+                        }
+                        (None, None) => {}
+                        _ => prop_assert!(false, "cancel liveness diverged"),
+                    }
+                }
+                _ => {
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let idx = arg as usize % handles.len();
+                    let (h, hat, hkey) = handles[idx];
+                    let key = next_key;
+                    next_key += 1;
+                    let mi = model.iter().position(|&(a, k, _)| (a, k) == (hat, hkey));
+                    match (queue.rekey(h, key), mi) {
+                        (Some(nh), Some(mi)) => {
+                            model[mi].1 = key;
+                            handles[idx] = (nh, hat, key);
+                        }
+                        (None, None) => {}
+                        _ => prop_assert!(false, "rekey liveness diverged"),
+                    }
+                }
+            }
+            prop_assert_eq!(queue.len(), model.len());
+        }
+        model.sort_unstable();
+        for &expected in &model {
+            prop_assert_eq!(queue.pop(), Some(expected));
+        }
+        prop_assert_eq!(queue.pop(), None);
+    }
+
+    /// Shard-merge ordering is total and deterministic: a mix of
+    /// already-sequenced ("global") and provisional ("pending", high bit
+    /// set) events pops in identical, fully sorted order no matter what
+    /// permutation they were inserted in and no matter what order the
+    /// pending ones were rekeyed to their assigned sequence numbers —
+    /// the invariant the window-barrier replay relies on.
+    #[test]
+    fn queue_order_independent_of_insertion_and_rekey_permutation(
+        ats in proptest::collection::vec(any::<u8>(), 2..50),
+        perm_seed in any::<u64>(),
+    ) {
+        const PENDING: u64 = 1 << 63;
+        let events: Vec<(u64, u64)> = ats
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                let key = if i % 2 == 0 { i as u64 } else { PENDING | i as u64 };
+                ((a % 16) as u64, key)
+            })
+            .collect();
+        // Deterministic Fisher-Yates permutation from the seed.
+        let mut order: Vec<usize> = (0..events.len()).collect();
+        let mut s = perm_seed | 1;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let mut q1 = simnet::queue::EventQueue::new();
+        let mut q2 = simnet::queue::EventQueue::new();
+        let mut h1 = vec![None; events.len()];
+        let mut h2 = vec![None; events.len()];
+        for (i, &(at, key)) in events.iter().enumerate() {
+            h1[i] = Some(q1.insert(at, key, i as u32));
+        }
+        for &i in &order {
+            let (at, key) = events[i];
+            h2[i] = Some(q2.insert(at, key, i as u32));
+        }
+        // Rekey pending events to their "assigned" numbers — forward
+        // order in one queue, reverse in the other.
+        for (i, &(_, key)) in events.iter().enumerate() {
+            if key & PENDING != 0 {
+                prop_assert!(q1.rekey(h1[i].unwrap(), 1000 + i as u64).is_some());
+            }
+        }
+        for &i in order.iter().rev() {
+            if events[i].1 & PENDING != 0 {
+                prop_assert!(q2.rekey(h2[i].unwrap(), 1000 + i as u64).is_some());
+            }
+        }
+        let mut expect: Vec<(u64, u64, u32)> = events
+            .iter()
+            .enumerate()
+            .map(|(i, &(at, key))| {
+                let k = if key & PENDING != 0 { 1000 + i as u64 } else { key };
+                (at, k, i as u32)
+            })
+            .collect();
+        expect.sort_unstable();
+        for &e in &expect {
+            prop_assert_eq!(q1.pop(), Some(e));
+            prop_assert_eq!(q2.pop(), Some(e));
+        }
+        prop_assert_eq!(q1.pop(), None);
+        prop_assert_eq!(q2.pop(), None);
+    }
+}
