@@ -28,6 +28,27 @@ echo "==> bench smoke (one E11 ramp step + golden digest pin)"
 cargo run -q --release --bin spire-sim -- e11 --steps 1 >/dev/null
 cargo test -q --release --test golden_digests
 
+echo "==> profiler smoke (1-step E11 with --prof: folded stacks + exact telescoping)"
+# The profiled run must write non-empty folded stacks and its per-step
+# attribution table must telescope exactly — every simulated microsecond
+# charged to exactly one phase.
+prof_out=$(mktemp -d)
+cargo run -q --release --bin spire-sim -- e11 --steps 1 --prof "$prof_out/e11.folded" \
+    > "$prof_out/e11_prof.out"
+test -s "$prof_out/e11.folded"
+grep -q "telescoping: exact" "$prof_out/e11_prof.out"
+
+echo "==> profiler digest invariance (prof on/off journals byte-identical)"
+# The cost attribution engine must be observationally invisible: the same
+# e4 run with and without --prof reports the identical journal record
+# count and digest.
+cargo run -q --release --bin spire-sim -- e4 --days 1 --metrics \
+    > "$prof_out/e4_plain.out"
+cargo run -q --release --bin spire-sim -- e4 --days 1 --metrics --prof "$prof_out/e4.folded" \
+    > "$prof_out/e4_prof.out"
+diff <(grep "^journal:" "$prof_out/e4_plain.out") <(grep "^journal:" "$prof_out/e4_prof.out")
+rm -rf "$prof_out"
+
 echo "==> parallel scheduler equivalence (sequential <-> threaded digests)"
 # The conservative parallel core must be bit-for-bit digest-identical to
 # the sequential engine at every thread count. A 4-thread E4 day through

@@ -61,6 +61,10 @@ pub struct SaturationStep {
     pub p99_us: u64,
     /// Worst latency, microseconds.
     pub max_us: u64,
+    /// Simulated time the step consumed (warm-up + window + settle).
+    pub sim_elapsed_us: u64,
+    /// Per-step cost attribution, present when the profiler is enabled.
+    pub prof: Option<obs::prof::Profile>,
 }
 
 /// The full E11 ramp at one seed.
@@ -111,6 +115,19 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 }
 
 fn run_step(seed: u64, rate: u64) -> SaturationStep {
+    if obs::prof::enabled() {
+        // Carve this step's charges out of the thread-wide profile so the
+        // attribution report can telescope each step against its own
+        // simulated time (the cluster clock starts at zero).
+        let (mut step, prof) = obs::prof::capture(|| run_step_inner(seed, rate));
+        step.prof = Some(prof);
+        step
+    } else {
+        run_step_inner(seed, rate)
+    }
+}
+
+fn run_step_inner(seed: u64, rate: u64) -> SaturationStep {
     // Fresh cluster per step so steps are independent and any order of
     // rates reproduces the same numbers.
     let mut c = Cluster::new(PrimeConfig::plant(), 1);
@@ -161,6 +178,8 @@ fn run_step(seed: u64, rate: u64) -> SaturationStep {
         p90_us: percentile(&latencies, 0.90),
         p99_us: percentile(&latencies, 0.99),
         max_us: percentile(&latencies, 1.0),
+        sim_elapsed_us: c.now().as_micros(),
+        prof: None,
     }
 }
 
@@ -207,6 +226,90 @@ pub fn render_saturation(run: &SaturationRun) -> String {
     out
 }
 
+/// Collapses a step profile into protocol-level aggregates and returns
+/// the dominant one (preorder/order/catchup/execute) by charged
+/// simulated time. Timer cadence and idle are excluded: at saturation
+/// the question is which protocol stage eats the lane, not how long the
+/// cluster sat between events.
+fn dominant_protocol_phase(prof: &obs::prof::Profile) -> Option<(&'static str, u64)> {
+    let mut groups: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    for (stack, cost) in prof.rows() {
+        let group = if stack.starts_with("prime;preorder") {
+            "prime;preorder"
+        } else if stack.starts_with("prime;order") {
+            "prime;order"
+        } else if stack.starts_with("prime;catchup") {
+            "prime;catchup"
+        } else if stack.starts_with("prime;execute") {
+            "prime;execute"
+        } else {
+            continue;
+        };
+        *groups.entry(group).or_default() += cost.time_us;
+    }
+    groups.into_iter().max_by_key(|&(_, t)| t)
+}
+
+/// Renders the per-step cost attribution for a profiled ramp
+/// (`spire-sim e11 --prof`): one markdown table per step, each with an
+/// exact telescoping verdict against that step's simulated time, plus a
+/// knee-attribution summary naming the protocol phase that dominates at
+/// and past the knee.
+pub fn saturation_attribution(run: &SaturationRun) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("## E11 cost attribution (seed {})\n", run.seed);
+    let knee = run.knee_index();
+    for (i, s) in run.steps.iter().enumerate() {
+        let Some(prof) = &s.prof else { continue };
+        let marker = match knee {
+            Some(k) if i == k => " — knee",
+            Some(k) if i > k => " — past knee",
+            _ => "",
+        };
+        let _ = writeln!(out, "\n### {} updates/s{marker}\n", s.offered_per_s);
+        out.push_str(&obs::report::attribution_markdown(
+            prof,
+            Some(s.sim_elapsed_us),
+        ));
+        if let Some((group, t)) = dominant_protocol_phase(prof) {
+            let _ = writeln!(out, "dominant protocol phase: {group} ({t} us)");
+        }
+    }
+    out.push('\n');
+    match knee {
+        Some(k) => {
+            let mut agg = obs::prof::Profile::new();
+            for s in &run.steps[k..] {
+                if let Some(p) = &s.prof {
+                    agg.merge(p);
+                }
+            }
+            match dominant_protocol_phase(&agg) {
+                Some((group, t)) => {
+                    let _ = writeln!(
+                        out,
+                        "knee attribution: at and past the knee ({} updates/s), \
+                         {group} dominates protocol cost with {t} us of charged \
+                         simulated time",
+                        run.steps[k].offered_per_s
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "knee attribution: no profiled steps at the knee");
+                }
+            }
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "no knee within the ramp; attribution reflects pre-saturation cost"
+            );
+        }
+    }
+    out
+}
+
 /// Serializes the ramp as JSON (`spire-sim e11 --json FILE`).
 pub fn saturation_json(run: &SaturationRun) -> String {
     use std::fmt::Write as _;
@@ -243,6 +346,37 @@ mod tests {
         assert_eq!(s.submitted, 100);
         assert_eq!(s.executed, s.submitted, "drain executes every update");
         assert!(s.p50_us > 0 && s.p50_us <= s.p99_us && s.p99_us <= s.max_us);
+    }
+
+    #[test]
+    fn profiled_step_telescopes_exactly() {
+        obs::prof::set_enabled(true);
+        let s = run_step(7, 50);
+        obs::prof::set_enabled(false);
+        let _ = obs::prof::take();
+        let prof = s.prof.clone().expect("profiling was enabled");
+        assert!(!prof.folded().is_empty(), "folded output has rows");
+        assert_eq!(
+            prof.total_time_us(),
+            s.sim_elapsed_us,
+            "attribution rows telescope exactly to the step's simulated time"
+        );
+        let report = saturation_attribution(&SaturationRun {
+            seed: 7,
+            steps: vec![s],
+        });
+        assert!(report.contains("telescoping: exact"), "report: {report}");
+        assert!(
+            report.contains("dominant protocol phase"),
+            "report: {report}"
+        );
+    }
+
+    #[test]
+    fn unprofiled_step_carries_no_profile() {
+        let s = run_step(1, 50);
+        assert!(s.prof.is_none());
+        assert!(s.sim_elapsed_us > 0);
     }
 
     #[test]

@@ -127,6 +127,41 @@ pub enum Event {
         /// replica involved).
         detail: u64,
     },
+    /// Periodic per-replica Prime health snapshot (the flight recorder).
+    /// Emitted every `prof::health_every()` protocol ticks; off by
+    /// default so historical digests are untouched, and fully
+    /// seed-deterministic when on (gauges are pure replica state read at
+    /// deterministic tick times).
+    ReplicaHealth {
+        /// Snapshotting replica id.
+        replica: u32,
+        /// Current view number.
+        view: u64,
+        /// Sum of per-origin pre-ordering ARU counters (cumulative
+        /// updates contiguously received across all origins).
+        aru: u64,
+        /// PO-queue depth: updates received into pre-ordering but not
+        /// yet executed here (eligible-but-unplanned plus the planned
+        /// execution backlog). Drains to ~0 in a healthy quiet cluster.
+        po_queue: u32,
+        /// Ordering sequences proposed but not yet committed here.
+        in_flight: u32,
+        /// Turnaround-time estimate: age of the oldest known unordered
+        /// update, microseconds (0 = nothing waiting).
+        tat_us: u64,
+        /// Whether a catch-up (state transfer) is in progress.
+        catching_up: bool,
+    },
+    /// Periodic per-link Spines queue-depth snapshot, journaled by the
+    /// replica host on the same cadence as [`Event::ReplicaHealth`].
+    LinkHealth {
+        /// Owning Spines daemon id.
+        daemon: u32,
+        /// Which overlay: 0 = internal (replication), 1 = external.
+        link: u8,
+        /// Forwarding fair-queue depth at snapshot time.
+        depth: u32,
+    },
 }
 
 impl Event {
@@ -201,6 +236,34 @@ impl Event {
                 out.push(*invariant);
                 out.extend_from_slice(&detail.to_le_bytes());
             }
+            Event::ReplicaHealth {
+                replica,
+                view,
+                aru,
+                po_queue,
+                in_flight,
+                tat_us,
+                catching_up,
+            } => {
+                out.push(13);
+                out.extend_from_slice(&replica.to_le_bytes());
+                out.extend_from_slice(&view.to_le_bytes());
+                out.extend_from_slice(&aru.to_le_bytes());
+                out.extend_from_slice(&po_queue.to_le_bytes());
+                out.extend_from_slice(&in_flight.to_le_bytes());
+                out.extend_from_slice(&tat_us.to_le_bytes());
+                out.push(u8::from(*catching_up));
+            }
+            Event::LinkHealth {
+                daemon,
+                link,
+                depth,
+            } => {
+                out.push(14);
+                out.extend_from_slice(&daemon.to_le_bytes());
+                out.push(*link);
+                out.extend_from_slice(&depth.to_le_bytes());
+            }
         }
     }
 }
@@ -241,6 +304,27 @@ impl fmt::Display for Event {
             }
             Event::InvariantViolation { invariant, detail } => {
                 write!(f, "invariant {invariant} violated (detail {detail})")
+            }
+            Event::ReplicaHealth {
+                replica,
+                view,
+                aru,
+                po_queue,
+                in_flight,
+                tat_us,
+                catching_up,
+            } => write!(
+                f,
+                "health r{replica}: view {view} aru {aru} po_queue {po_queue} \
+                 in_flight {in_flight} tat {tat_us}us catching_up {catching_up}"
+            ),
+            Event::LinkHealth {
+                daemon,
+                link,
+                depth,
+            } => {
+                let overlay = if *link == 0 { "int" } else { "ext" };
+                write!(f, "health link d{daemon} {overlay}: queue depth {depth}")
             }
         }
     }
@@ -338,6 +422,34 @@ mod tests {
             Event::InvariantViolation {
                 invariant: 1,
                 detail: 1,
+            },
+            Event::ReplicaHealth {
+                replica: 0,
+                view: 1,
+                aru: 2,
+                po_queue: 3,
+                in_flight: 4,
+                tat_us: 5,
+                catching_up: false,
+            },
+            Event::ReplicaHealth {
+                replica: 0,
+                view: 1,
+                aru: 2,
+                po_queue: 3,
+                in_flight: 4,
+                tat_us: 5,
+                catching_up: true,
+            },
+            Event::LinkHealth {
+                daemon: 1,
+                link: 0,
+                depth: 7,
+            },
+            Event::LinkHealth {
+                daemon: 1,
+                link: 1,
+                depth: 7,
             },
         ];
         let encoded: Vec<Vec<u8>> = events

@@ -25,6 +25,7 @@
 
 pub mod event;
 pub mod hist;
+pub mod prof;
 pub mod report;
 pub mod sink;
 pub mod trace;

@@ -103,6 +103,69 @@ impl ObsReport {
     }
 }
 
+/// Renders a [`crate::prof::Profile`] as a markdown attribution table:
+/// one row per phase stack (simulated time, share, events, bytes, and
+/// per-class crypto-operation counts), a telescoped total row, and a
+/// telescoping verdict line. When `expected_total_us` is given (the
+/// run's independently measured elapsed simulated time) the verdict
+/// states whether the rows sum to it exactly; otherwise it just states
+/// the sum. This is the single renderer the CLI and EXPERIMENTS.md use,
+/// so the telescoping check is not re-implemented ad hoc per call site.
+pub fn attribution_markdown(
+    profile: &crate::prof::Profile,
+    expected_total_us: Option<u64>,
+) -> String {
+    use std::fmt::Write as _;
+    let total = profile.total();
+    let mut out = String::new();
+    out.push_str("| phase | time_us | share | events | bytes | sign | verify | hmac |\n");
+    out.push_str("|---|---:|---:|---:|---:|---:|---:|---:|\n");
+    for (stack, cost) in profile.rows() {
+        let share = if total.time_us > 0 {
+            100.0 * cost.time_us as f64 / total.time_us as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.1}% | {} | {} | {} | {} | {} |",
+            stack, cost.time_us, share, cost.events, cost.bytes, cost.sign, cost.verify, cost.hmac
+        );
+    }
+    let _ = writeln!(
+        out,
+        "| **total** | **{}** | 100.0% | {} | {} | {} | {} | {} |",
+        total.time_us, total.events, total.bytes, total.sign, total.verify, total.hmac
+    );
+    match expected_total_us {
+        Some(expect) if expect == total.time_us => {
+            let _ = writeln!(
+                out,
+                "\ntelescoping: exact ({} us across {} phases == {} us simulated)",
+                total.time_us,
+                profile.len(),
+                expect
+            );
+        }
+        Some(expect) => {
+            let _ = writeln!(
+                out,
+                "\ntelescoping: MISMATCH (rows sum to {} us, simulated total {} us)",
+                total.time_us, expect
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "\nrows sum to {} us of simulated time across {} phases",
+                total.time_us,
+                profile.len()
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +199,39 @@ mod tests {
         assert_eq!(r.counter("missing"), 0);
         assert_eq!(r.histogram("hmi.reaction_us").map(|s| s.p50), Some(70));
         assert!(r.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn attribution_markdown_reports_telescoping_verdict() {
+        use crate::prof::{PhaseCost, Profile};
+        let mut p = Profile::new();
+        p.charge(
+            "prime;order",
+            PhaseCost {
+                time_us: 30,
+                events: 2,
+                sign: 1,
+                ..PhaseCost::default()
+            },
+        );
+        p.charge(
+            "idle",
+            PhaseCost {
+                time_us: 70,
+                ..PhaseCost::default()
+            },
+        );
+        let exact = attribution_markdown(&p, Some(100));
+        assert!(exact.contains("telescoping: exact"), "{exact}");
+        assert!(
+            exact.contains("| prime;order | 30 | 30.0% | 2 |"),
+            "{exact}"
+        );
+        assert!(exact.contains("| **total** | **100** |"), "{exact}");
+        let bad = attribution_markdown(&p, Some(99));
+        assert!(bad.contains("telescoping: MISMATCH"), "{bad}");
+        let free = attribution_markdown(&p, None);
+        assert!(free.contains("rows sum to 100 us"), "{free}");
     }
 
     #[test]

@@ -241,6 +241,7 @@ impl Process for PlcEmulator {
             self.invalid_frames += 1;
             return;
         };
+        obs::prof::charge_msg("plc;io", 1, 0);
         let resp = self.handle_request_traced(&req, ctx.trace());
         if matches!(req, Request::ReadDiscreteInputs { .. }) {
             if let Some(detect) = self.visible_trace.take() {

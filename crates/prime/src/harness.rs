@@ -220,13 +220,23 @@ impl Cluster {
         for ev in events {
             match ev {
                 OutEvent::Broadcast(env) => {
+                    // Serialize-once: `env.wire` is the message's exact
+                    // wire image, so its length is the per-copy byte cost.
+                    obs::prof::charge_msg(
+                        env.msg.msg.prof_stack(),
+                        0,
+                        env.wire.len() as u64 * (self.replicas.len() as u64 - 1),
+                    );
                     for to in 0..self.replicas.len() as u32 {
                         if to != from.0 {
                             self.enqueue(ReplicaId(to), env.msg.clone());
                         }
                     }
                 }
-                OutEvent::Send(to, env) => self.enqueue(to, env.msg),
+                OutEvent::Send(to, env) => {
+                    obs::prof::charge_msg(env.msg.msg.prof_stack(), 0, env.wire.len() as u64);
+                    self.enqueue(to, env.msg)
+                }
                 OutEvent::Execute {
                     exec_seq, update, ..
                 } => {
@@ -265,8 +275,15 @@ impl Cluster {
     }
 
     /// Runs the cluster for `dur` of virtual time.
+    ///
+    /// When `obs::prof` is enabled, this loop is the profiler's time
+    /// source: every gap of virtual time is charged to exactly one
+    /// stack — the message delivery or tick that ends it, or `idle`
+    /// for the trailing drain — so the per-phase attribution rows
+    /// telescope to the elapsed virtual time with zero remainder.
     pub fn run_for(&mut self, dur: SimDuration) {
         let deadline = self.now + dur;
+        let profiling = obs::prof::enabled();
         loop {
             let next_msg_at = self.queue.peek().map(|m| m.at);
             let next_event = match next_msg_at {
@@ -276,13 +293,23 @@ impl Cluster {
             if next_event > deadline {
                 break;
             }
+            let dt = next_event.since(self.now).as_micros();
             self.now = next_event;
             if Some(next_event) == next_msg_at {
                 let qm = self.queue.pop().expect("peeked");
+                if profiling {
+                    let stack = qm.msg.msg.prof_stack();
+                    obs::prof::charge_time(stack, dt);
+                    obs::prof::charge_msg(stack, 1, 0);
+                }
                 let now = self.now;
                 let events = self.replicas[qm.to.0 as usize].on_message(qm.msg, now);
                 self.dispatch(qm.to, events);
             } else {
+                if profiling {
+                    obs::prof::charge_time("prime;timer", dt);
+                    obs::prof::charge_msg("prime;timer", 1, 0);
+                }
                 let now = self.now;
                 for i in 0..self.replicas.len() {
                     if self.partitioned.contains(&(i as u32)) {
@@ -293,6 +320,9 @@ impl Cluster {
                 }
                 self.next_tick += self.tick_interval;
             }
+        }
+        if profiling {
+            obs::prof::charge_time("idle", deadline.since(self.now).as_micros());
         }
         self.now = deadline;
     }

@@ -224,6 +224,30 @@ pub enum PrimeMsg {
 }
 
 impl PrimeMsg {
+    /// The profiler phase stack this message belongs to, in folded-stack
+    /// form (`subsystem;phase;kind`). The middle segment is the paper's
+    /// protocol-phase taxonomy — pre-ordering, ordering, and the
+    /// checkpoint/catch-up machinery — so `obs::prof` attribution tables
+    /// aggregate cleanly per phase.
+    pub fn prof_stack(&self) -> &'static str {
+        match self {
+            PrimeMsg::PoRequest { .. } => "prime;preorder;po_request",
+            PrimeMsg::PoAru { .. } => "prime;preorder;po_aru",
+            PrimeMsg::PoFetch { .. } => "prime;preorder;po_fetch",
+            PrimeMsg::PoData { .. } => "prime;preorder;po_data",
+            PrimeMsg::PrePrepare { .. } => "prime;order;pre_prepare",
+            PrimeMsg::Prepare { .. } => "prime;order;prepare",
+            PrimeMsg::Commit { .. } => "prime;order;commit",
+            PrimeMsg::SuspectLeader { .. } => "prime;order;suspect",
+            PrimeMsg::ViewChange { .. } => "prime;order;view_change",
+            PrimeMsg::NewView { .. } => "prime;order;new_view",
+            PrimeMsg::Checkpoint { .. } => "prime;catchup;checkpoint",
+            PrimeMsg::CatchupRequest { .. } => "prime;catchup;request",
+            PrimeMsg::CatchupReply { .. } => "prime;catchup;reply",
+            PrimeMsg::CatchupDedup { .. } => "prime;catchup;dedup",
+        }
+    }
+
     fn tag(&self) -> u8 {
         match self {
             PrimeMsg::PoRequest { .. } => 0,

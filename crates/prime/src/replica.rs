@@ -284,8 +284,10 @@ pub struct Replica<A: Application> {
     pub stats: ReplicaStats,
 
     // Observability: hub for journal records (detached until
-    // `attach_obs`) plus cached registry counter handles.
+    // `attach_obs`) plus cached registry counter handles. `health_ticks`
+    // counts protocol ticks for the flight recorder's snapshot cadence.
     obs: obs::ObsHub,
+    health_ticks: u64,
     c_view_changes: obs::Counter,
     c_executed: obs::Counter,
     c_suspects_sent: obs::Counter,
@@ -369,6 +371,7 @@ impl<A: Application> Replica<A> {
             app,
             stats: ReplicaStats::default(),
             obs: hub.clone(),
+            health_ticks: 0,
             c_view_changes: view_changes,
             c_executed: executed,
             c_suspects_sent: suspects_sent,
@@ -519,6 +522,7 @@ impl<A: Application> Replica<A> {
     }
 
     fn sign(&mut self, msg: PrimeMsg) -> Envelope {
+        obs::prof::charge_crypto(msg.prof_stack(), obs::prof::CryptoOp::Sign, 1);
         Envelope::sign(self.id, msg, &mut self.key)
     }
 
@@ -532,6 +536,22 @@ impl<A: Application> Replica<A> {
 
     /// Injects a client update received from the external network.
     pub fn submit(&mut self, update: SignedUpdate, now: SimTime) -> Vec<OutEvent> {
+        if obs::prof::enabled() {
+            // Attribute the real (cache-missing) signature verifications
+            // this submission triggers to the pre-ordering intro path.
+            let miss0 = self.verify_cache.misses;
+            let out = self.submit_inner(update, now);
+            obs::prof::charge_crypto(
+                "prime;preorder;po_request",
+                obs::prof::CryptoOp::Verify,
+                self.verify_cache.misses - miss0,
+            );
+            return out;
+        }
+        self.submit_inner(update, now)
+    }
+
+    fn submit_inner(&mut self, update: SignedUpdate, now: SimTime) -> Vec<OutEvent> {
         let mut out = Vec::new();
         // Always consume the pending context so it cannot leak onto an
         // unrelated later submission.
@@ -634,6 +654,25 @@ impl<A: Application> Replica<A> {
 
     /// Handles a signed peer message.
     pub fn on_message(&mut self, msg: SignedMsg, now: SimTime) -> Vec<OutEvent> {
+        if obs::prof::enabled() {
+            // Every real verification this message triggers — its own
+            // envelope plus any matrix rows or nested updates checked
+            // while handling it — lands on the message's phase stack.
+            // Cache hits are free and are deliberately not charged.
+            let stack = msg.msg.prof_stack();
+            let miss0 = self.verify_cache.misses;
+            let out = self.on_message_inner(msg, now);
+            obs::prof::charge_crypto(
+                stack,
+                obs::prof::CryptoOp::Verify,
+                self.verify_cache.misses - miss0,
+            );
+            return out;
+        }
+        self.on_message_inner(msg, now)
+    }
+
+    fn on_message_inner(&mut self, msg: SignedMsg, now: SimTime) -> Vec<OutEvent> {
         let mut out = Vec::new();
         if self.byz.is_crashed() {
             return out;
@@ -1140,6 +1179,7 @@ impl<A: Application> Replica<A> {
             } else {
                 None
             };
+            obs::prof::charge_msg("prime;execute", 1, 0);
             out.push(OutEvent::Execute {
                 exec_seq: self.exec_seq,
                 update,
@@ -1480,6 +1520,16 @@ impl<A: Application> Replica<A> {
         if self.byz.is_crashed() {
             return out;
         }
+        // Flight recorder: journal a health snapshot every N ticks when
+        // the cadence is armed (off by default, so historical digests
+        // are untouched; deterministic and pinnable when on).
+        let health_every = obs::prof::health_every();
+        if health_every > 0 {
+            self.health_ticks += 1;
+            if self.health_ticks.is_multiple_of(health_every) {
+                self.journal_health(now);
+            }
+        }
         // Gossip PO-ARU when it changed or periodically.
         if (self.my_aru != self.last_gossiped_aru
             || now.since(self.last_aru_at) >= self.timing.aru_interval.saturating_mul(5))
@@ -1488,6 +1538,7 @@ impl<A: Application> Replica<A> {
             self.last_aru_at = now;
             self.last_gossiped_aru = self.my_aru.clone();
             let vector = self.my_aru.clone();
+            obs::prof::charge_crypto("prime;preorder;po_aru", obs::prof::CryptoOp::Sign, 1);
             let sig = self.key.sign(&AruRow::signed_bytes(self.id, &vector));
             let row = AruRow {
                 replica: self.id,
@@ -1591,6 +1642,61 @@ impl<A: Application> Replica<A> {
             }
         }
         out
+    }
+
+    /// Journals one [`obs::Event::ReplicaHealth`] flight-recorder record:
+    /// every gauge is pure replica state read at a deterministic tick, so
+    /// snapshot-enabled runs digest deterministically per seed.
+    fn journal_health(&mut self, now: SimTime) {
+        // PO-queue depth: the planned backlog plus eligible pre-ordered
+        // updates whose delivery is still outstanding. Eligibility uses
+        // the composed aru/cover comparison (matching
+        // `has_unordered_eligible`), and slots whose update already
+        // executed via another origin's pre-ordering are excluded — a
+        // lossy window can leave such duplicate slots uncoverable
+        // forever, but they are residue, not backlog, and the gauge an
+        // operator watches must drain once the system has recovered.
+        let mut po_queue = self.exec_plan.len() as u64;
+        for (origin, (&a, &c)) in self.my_aru.iter().zip(self.plan_cover.iter()).enumerate() {
+            if a <= c {
+                continue;
+            }
+            let inc = po_incarnation(a);
+            let start = if inc == po_incarnation(c) {
+                po_counter(c) + 1
+            } else {
+                1
+            };
+            for counter in start..=po_counter(a) {
+                let pending = match self
+                    .po_store
+                    .get(&(origin as u32, po_compose(inc, counter)))
+                {
+                    Some(signed) => !self
+                        .executed_clients
+                        .get(&signed.update.client)
+                        .is_some_and(|set| set.contains(&signed.update.client_seq)),
+                    // A hole we would have to fetch is outstanding work.
+                    None => true,
+                };
+                if pending {
+                    po_queue += 1;
+                }
+            }
+        }
+        let in_flight = self.pre_prepares.range(self.max_committed + 1..).count();
+        let tat_us = self
+            .unordered_since
+            .map_or(0, |since| now.since(since).as_micros());
+        self.obs.journal(obs::Event::ReplicaHealth {
+            replica: self.id.0,
+            view: self.view,
+            aru: self.my_aru.iter().map(|&v| po_counter(v)).sum(),
+            po_queue: po_queue.min(u32::MAX as u64) as u32,
+            in_flight: in_flight.min(u32::MAX as usize) as u32,
+            tat_us,
+            catching_up: self.catching_up,
+        });
     }
 
     fn effective_suspect_timeout(&self) -> SimDuration {

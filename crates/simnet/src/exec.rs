@@ -89,6 +89,35 @@ pub(crate) enum EventKind {
     },
 }
 
+impl EventKind {
+    /// The profiler stack this event dispatches under: frames charge
+    /// the shared network lane, timers/starts/ARP retries charge the
+    /// owning host by node name (sanitized so the folded-stack format
+    /// survives arbitrary names).
+    pub(crate) fn prof_stack(&self, world: &World) -> String {
+        let host = |node: NodeId| {
+            let name: String = world
+                .node(node)
+                .name
+                .chars()
+                .map(|c| {
+                    if c == ';' || c.is_whitespace() {
+                        '-'
+                    } else {
+                        c
+                    }
+                })
+                .collect();
+            format!("host;{name}")
+        };
+        match self {
+            EventKind::FrameAt { .. } => "net;frame".to_string(),
+            EventKind::Timer { node, .. } | EventKind::Start { node, .. } => host(*node),
+            EventKind::ArpRetry { node, .. } => format!("{};arp", host(*node)),
+        }
+    }
+}
+
 /// Cached handles for the engine's hot-path counters, re-registered
 /// whenever the hub changes (see [`crate::sim::Simulation::attach_obs`]).
 /// Handles are `Arc`-backed, so shard clones share the same atomics —

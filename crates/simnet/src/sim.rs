@@ -577,11 +577,21 @@ impl Simulation {
         }
         // Sequential loop: the only path when threads == 1, the mop-up
         // (normally a no-op) when the parallel scheduler ran or bailed.
+        // With `obs::prof` enabled this loop is also the profiler's time
+        // source: each gap of simulated time is charged to the event
+        // that ends it (and the trailing drain to `idle`), so the
+        // attribution rows telescope exactly to the elapsed time.
+        let profiling = obs::prof::enabled();
         while let Some((at, _key)) = self.queue.peek() {
             if at > deadline.as_micros() {
                 break;
             }
             let (at, _key, kind) = self.queue.pop().expect("peeked");
+            if profiling {
+                let stack = kind.prof_stack(&self.world);
+                obs::prof::charge_time(&stack, at.saturating_sub(self.now.as_micros()));
+                obs::prof::charge_msg(&stack, 1, 0);
+            }
             self.now = SimTime(at);
             self.world.obs.set_now_us(at);
             Exec {
@@ -598,6 +608,9 @@ impl Simulation {
         self.events_processed += n;
         // Time always advances to the deadline even if the queue drained.
         if self.now < deadline {
+            if profiling {
+                obs::prof::charge_time("idle", deadline.since(self.now).as_micros());
+            }
             self.now = deadline;
             self.world.obs.set_now_us(deadline.as_micros());
         }
@@ -620,6 +633,11 @@ impl Simulation {
         self.threads >= 2
             && deadline > self.now
             && !self.queue.is_empty()
+            // Profiling charges and health snapshots are driven by
+            // thread-local state the shard workers cannot see; both
+            // force the (digest-identical) sequential reference loop.
+            && !obs::prof::enabled()
+            && obs::prof::health_every() == 0
             && !self.world.obs.tracing()
             && !self.world.obs.trace_echo()
             && self.world.obs.now_us() == self.now.as_micros()

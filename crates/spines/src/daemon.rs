@@ -222,6 +222,13 @@ impl SpinesDaemon {
         self.id
     }
 
+    /// Current forwarding fair-queue depth (summed across sources) —
+    /// the per-link gauge the flight recorder's [`obs::Event::LinkHealth`]
+    /// snapshots record.
+    pub fn forward_depth(&self) -> usize {
+        self.forward_queue.len()
+    }
+
     /// Journals one overlay-hop forwarding span: an instant
     /// [`obs::Stage::SpinesHop`] child of `parent`, attributed to
     /// `node` (the hosting component's id). Hosts call this when a
@@ -375,6 +382,7 @@ impl SpinesDaemon {
         let frame = LinkFrame::from_wire(data).map_err(|_| FrameFailure::Malformed)?;
         let plaintext = match (self.cfg.mode, frame) {
             (SpinesMode::IntrusionTolerant, LinkFrame::Sealed(sb)) => {
+                obs::prof::charge_crypto("spines;hop", obs::prof::CryptoOp::Hmac, 1);
                 let plain = open_with(self.real_keys(neighbor), &sb).ok_or(FrameFailure::Auth)?;
                 self.c.opened.inc();
                 plain
@@ -438,11 +446,13 @@ impl SpinesDaemon {
                     *nonce += 1;
                     let nonce = *nonce;
                     self.c.sealed.inc();
+                    obs::prof::charge_crypto("spines;hop", obs::prof::CryptoOp::Hmac, 1);
                     LinkFrame::Sealed(seal_with(self.seal_keys(neighbor), nonce, &plaintext))
                 }
             };
             self.stats.forwarded += 1;
             self.c.forwarded.inc();
+            obs::prof::charge_msg("spines;hop", 1, plaintext.len() as u64);
             out.push((addr, frame.to_wire()));
         }
         out

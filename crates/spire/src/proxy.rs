@@ -201,6 +201,7 @@ impl PlcProxy {
     fn publish_status(&mut self, ctx: &mut Context<'_>) {
         self.poll_seq += 1;
         self.stats.polls_completed += 1;
+        obs::prof::charge_msg("proxy;io", 1, 0);
         self.polls_since_update += 1;
         let changed = self.positions != self.last_sent_positions;
         // Steady heartbeat every 10 polls keeps MANA's baseline regular

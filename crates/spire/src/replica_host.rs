@@ -57,6 +57,8 @@ pub struct ReplicaHost {
     pub stats: HostStats,
     /// Observability hub (detached until [`ReplicaHost::attach_obs`]).
     obs: obs::ObsHub,
+    /// Ticks elapsed since start, for flight-recorder snapshot cadence.
+    health_ticks: u64,
 }
 
 impl ReplicaHost {
@@ -82,6 +84,7 @@ impl ReplicaHost {
             pending_recovery: false,
             stats: HostStats::default(),
             obs: obs::ObsHub::new(),
+            health_ticks: 0,
         }
     }
 
@@ -136,6 +139,7 @@ impl ReplicaHost {
                 }
                 OutEvent::Execute { trace, .. } => {
                     self.stats.executed += 1;
+                    obs::prof::charge_msg("scada;apply", 1, 0);
                     // Outgoing application messages (commands/frames)
                     // produced by this execution inherit its context.
                     if trace.is_some() {
@@ -269,6 +273,22 @@ impl Process for ReplicaHost {
         let events = self.replica.tick(ctx.now());
         self.route_events(ctx, events);
         self.drain_deliveries(ctx);
+        let health_every = obs::prof::health_every();
+        if health_every > 0 {
+            self.health_ticks += 1;
+            if self.health_ticks.is_multiple_of(health_every) {
+                self.obs.journal(obs::Event::LinkHealth {
+                    daemon: self.internal.id(),
+                    link: 0,
+                    depth: self.internal.forward_depth() as u32,
+                });
+                self.obs.journal(obs::Event::LinkHealth {
+                    daemon: self.external.id(),
+                    link: 1,
+                    depth: self.external.forward_depth() as u32,
+                });
+            }
+        }
         ctx.set_timer(TICK, TICK_TIMER);
     }
 

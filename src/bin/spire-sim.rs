@@ -40,6 +40,16 @@
 //!                  write the causal span trees of e4/e5 as Chrome
 //!                  trace-event JSON (open in Perfetto; see
 //!                  EXPERIMENTS.md, "Tracing")
+//!   --prof FILE    enable the deterministic cost profiler: per-phase
+//!                  attribution (simulated time, bytes, crypto ops)
+//!                  prints after the run and folded stacks — ready for
+//!                  `flamegraph.pl`/speedscope — are written to FILE.
+//!                  e11 additionally prints a per-step attribution
+//!                  report with an exact telescoping verdict
+//!   --health-every N
+//!                  flight recorder: journal per-replica Prime health
+//!                  gauges and per-link Spines queue depths every N
+//!                  protocol ticks (default 0 = off)
 //! ```
 
 use std::process::ExitCode;
@@ -58,7 +68,9 @@ use bench::redteam_experiments::{
     e10_hardening_ablation, e1_commercial_attacks, e2_spire_network_attacks, e3_replica_excursion,
     render_ablation,
 };
-use bench::saturation::{e11_default_rates, e11_saturation, render_saturation, saturation_json};
+use bench::saturation::{
+    e11_default_rates, e11_saturation, render_saturation, saturation_attribution, saturation_json,
+};
 use bench::site_experiment::{e13_site_failover, render_site_failover, site_failover_json};
 
 struct Options {
@@ -70,6 +82,8 @@ struct Options {
     trace: bool,
     trace_export: Option<String>,
     json: Option<String>,
+    prof: Option<String>,
+    health_every: u64,
 }
 
 fn parse_flags(args: &[String]) -> Result<Options, String> {
@@ -82,11 +96,13 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
         trace: false,
         trace_export: None,
         json: None,
+        prof: None,
+        health_every: 0,
     };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            flag @ ("--seed" | "--days" | "--steps" | "--threads") => {
+            flag @ ("--seed" | "--days" | "--steps" | "--threads" | "--health-every") => {
                 i += 1;
                 let value = args
                     .get(i)
@@ -98,6 +114,7 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
                     "--seed" => opts.seed = parsed,
                     "--days" => opts.days = parsed,
                     "--steps" => opts.steps = parsed as usize,
+                    "--health-every" => opts.health_every = parsed,
                     _ => opts.threads = (parsed as usize).max(1),
                 }
             }
@@ -116,6 +133,13 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
                     .get(i)
                     .ok_or_else(|| "--json requires a file path".to_string())?;
                 opts.json = Some(path.clone());
+            }
+            "--prof" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .ok_or_else(|| "--prof requires a file path".to_string())?;
+                opts.prof = Some(path.clone());
             }
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -146,6 +170,22 @@ fn export_trace(path: &str, journal: &[obs::TimedEvent]) -> bool {
     match std::fs::write(path, &json) {
         Ok(()) => {
             eprintln!("trace written to {path} (open in https://ui.perfetto.dev)");
+            true
+        }
+        Err(err) => {
+            eprintln!("failed to write {path}: {err}");
+            false
+        }
+    }
+}
+
+/// Writes the profiler's folded-stack output (`stack value` lines, the
+/// format `flamegraph.pl` and speedscope ingest). Returns false (and
+/// explains on stderr) when the path cannot be written.
+fn write_folded(path: &str, profile: &obs::prof::Profile) -> bool {
+    match std::fs::write(path, profile.folded()) {
+        Ok(()) => {
+            eprintln!("folded stacks written to {path}");
             true
         }
         Err(err) => {
@@ -243,6 +283,9 @@ fn run(command: &str, opts: &Options) -> Option<bool> {
             let rates = &rates[..opts.steps.clamp(1, rates.len())];
             let run = e11_saturation(opts.seed, rates);
             println!("{}", render_saturation(&run));
+            if obs::prof::enabled() {
+                println!("{}", saturation_attribution(&run));
+            }
             if let Some(path) = &opts.json {
                 ok &= write_json(path, &saturation_json(&run));
             }
@@ -292,7 +335,7 @@ const COMMANDS: &[&str] = &[
 fn usage() -> String {
     format!(
         "usage: spire-sim <{}> [--seed N] [--days N] [--steps N] [--threads N] [--metrics] \
-         [--trace] [--trace-export FILE] [--json FILE]",
+         [--trace] [--trace-export FILE] [--json FILE] [--prof FILE] [--health-every N]",
         COMMANDS.join("|")
     )
 }
@@ -314,15 +357,29 @@ fn main() -> ExitCode {
     // Every simulation built from here on shards onto this many worker
     // threads (digest-identical to --threads 1 at any count).
     simnet::sim::set_default_threads(opts.threads);
-    match run(command, &opts) {
-        Some(true) => ExitCode::SUCCESS,
-        Some(false) => ExitCode::FAILURE,
+    // Arm the profiler/flight recorder before any simulation runs; both
+    // force the sequential scheduler and neither perturbs run digests.
+    obs::prof::set_enabled(opts.prof.is_some());
+    obs::prof::set_health_every(opts.health_every);
+    let mut ok = match run(command, &opts) {
+        Some(ok) => ok,
         None => {
             eprintln!(
                 "unknown command: {command}\navailable commands: {}",
                 COMMANDS.join(" ")
             );
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
+    };
+    if let Some(path) = &opts.prof {
+        let profile = obs::prof::take();
+        obs::prof::set_enabled(false);
+        println!("{}", obs::report::attribution_markdown(&profile, None));
+        ok &= write_folded(path, &profile);
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

@@ -173,6 +173,86 @@ fn e12_soak_at_four_threads_matches_single_threaded_run() {
     assert_eq!(events_1, events_4, "event count diverged at 4 threads");
 }
 
+/// Flight-recorder regression: run the E12 soak with HealthSnapshot
+/// records armed, heal everything, quiesce — then read the journal back.
+/// After the heal the recorder must show the system recovered: every
+/// replica's final snapshot has its PO queue drained (the backlog built
+/// up during fault windows is gone), is not stuck catching up, and its
+/// view has stopped moving; every daemon's final link snapshot shows an
+/// empty forwarding queue.
+#[test]
+fn e12_health_snapshots_show_recovery_after_heal() {
+    obs::prof::set_health_every(5);
+    let (mut d, prime_cfg) = chaos_deployment(42);
+    let horizon = SimDuration::from_secs(10);
+    let plan = ChaosPlan::within_budget(42, prime_cfg.n(), prime_cfg.ordering_quorum(), horizon);
+    let mut checker = InvariantChecker::new(CheckerConfig::for_prime(&prime_cfg), &d);
+    let mut driver = ChaosDriver::new(plan);
+    let step = SimDuration::from_millis(100);
+    driver.run_soak(&mut d, &mut checker, horizon, step);
+    driver.heal_all(&mut d, &mut checker);
+    driver.run_quiesce(&mut d, &mut checker, SimDuration::from_secs(8), step);
+    obs::prof::set_health_every(0);
+
+    let mut replica_tail: std::collections::BTreeMap<u32, Vec<(u64, u64, u32, bool)>> =
+        std::collections::BTreeMap::new();
+    let mut link_tail: std::collections::BTreeMap<(u32, u8), u32> =
+        std::collections::BTreeMap::new();
+    for r in d.obs.journal_records() {
+        match r.event {
+            obs::Event::ReplicaHealth {
+                replica,
+                view,
+                po_queue,
+                catching_up,
+                ..
+            } => replica_tail.entry(replica).or_default().push((
+                r.at_us,
+                view,
+                po_queue,
+                catching_up,
+            )),
+            obs::Event::LinkHealth {
+                daemon,
+                link,
+                depth,
+            } => {
+                link_tail.insert((daemon, link), depth);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(
+        replica_tail.len() as u32,
+        prime_cfg.n(),
+        "every replica journals health snapshots"
+    );
+    assert!(!link_tail.is_empty(), "link snapshots were journaled");
+    for (replica, snaps) in &replica_tail {
+        assert!(snaps.len() >= 2, "replica {replica} snapshotted repeatedly");
+        let (_, last_view, last_po, last_catching) = *snaps.last().unwrap();
+        let (_, prev_view, _, _) = snaps[snaps.len() - 2];
+        assert!(
+            !last_catching,
+            "replica {replica} still catching up after heal + quiesce"
+        );
+        assert!(
+            last_po <= 2,
+            "replica {replica} PO queue not drained after heal: {last_po}"
+        );
+        assert_eq!(
+            last_view, prev_view,
+            "replica {replica} view still moving at end of quiescence"
+        );
+    }
+    for ((daemon, link), depth) in &link_tail {
+        assert_eq!(
+            *depth, 0,
+            "daemon {daemon} link {link} forwarding queue not empty after quiesce"
+        );
+    }
+}
+
 proptest! {
     /// Property: for ANY seed, a within-budget plan actually respects the
     /// budget — disruptive fault windows (partition, crash, byz-flip,

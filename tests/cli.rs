@@ -42,6 +42,56 @@ fn unwritable_trace_export_exits_nonzero_with_clear_error() {
 }
 
 #[test]
+fn unwritable_prof_path_exits_nonzero_with_clear_error() {
+    let out = spire_sim(&[
+        "e11",
+        "--steps",
+        "1",
+        "--prof",
+        "/nonexistent-dir/e11.folded",
+    ]);
+    assert!(
+        !out.status.success(),
+        "unwritable --prof must fail the process"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("failed to write /nonexistent-dir/e11.folded"),
+        "stderr should name the path and the error, got: {stderr}"
+    );
+    // The attribution report still prints — only the file write failed.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("telescoping: exact"),
+        "attribution should print before the write fails, got: {stdout}"
+    );
+}
+
+#[test]
+fn writable_prof_path_exits_zero_and_writes_folded_stacks() {
+    let dir = std::env::temp_dir().join("spire-sim-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("e11.folded");
+    let path_str = path.to_str().expect("utf-8 path");
+    let out = spire_sim(&["e11", "--steps", "1", "--prof", path_str]);
+    assert!(out.status.success(), "writable --prof must succeed");
+    let folded = std::fs::read_to_string(&path).expect("folded written");
+    assert!(
+        folded.lines().all(|l| {
+            let mut parts = l.rsplitn(2, ' ');
+            let value = parts.next().unwrap_or("");
+            parts.next().is_some() && value.parse::<u64>().is_ok()
+        }) && !folded.is_empty(),
+        "every line is `stack value`, got: {folded}"
+    );
+    assert!(
+        folded.contains("prime;order"),
+        "protocol phases appear in the folded stacks, got: {folded}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn writable_json_path_exits_zero_and_writes_the_file() {
     let dir = std::env::temp_dir().join("spire-sim-cli-test");
     std::fs::create_dir_all(&dir).expect("temp dir");
