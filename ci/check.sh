@@ -28,6 +28,20 @@ echo "==> bench smoke (one E11 ramp step + golden digest pin)"
 cargo run -q --release --bin spire-sim -- e11 --steps 1 >/dev/null
 cargo test -q --release --test golden_digests
 
+echo "==> batched-E11 smoke (1 step with --batch/--pipeline + exact telescoping)"
+# One batched ramp step through the CLI proves the Merkle-batched
+# dissemination + pipelined sequencing path end to end, and its profiled
+# attribution must still telescope exactly (batch_* stacks included).
+batch_out=$(mktemp -d)
+cargo run -q --release --bin spire-sim -- e11 --steps 1 --batch 16 --pipeline 4 \
+    --prof "$batch_out/e11b.folded" > "$batch_out/e11b_prof.out"
+test -s "$batch_out/e11b.folded"
+grep -q "telescoping: exact" "$batch_out/e11b_prof.out"
+rm -rf "$batch_out"
+
+echo "==> batched ordering knee (>=5x move at equal pre-knee tail, <15% dissemination)"
+cargo test -q --release --test batched_saturation
+
 echo "==> profiler smoke (1-step E11 with --prof: folded stacks + exact telescoping)"
 # The profiled run must write non-empty folded stacks and its per-step
 # attribution table must telescope exactly — every simulated microsecond

@@ -50,7 +50,20 @@ pub struct ChaosRun {
 /// invariant checker samples the paper's guarantees every 100 ms. A
 /// quiescence tail lets the last heals reconverge before the verdict.
 pub fn e12_chaos_soak(seed: u64, days: u64, seconds_per_day: u64) -> ChaosRun {
-    let mut prime_cfg = PrimeConfig::plant();
+    e12_chaos_soak_with(seed, days, seconds_per_day, PrimeConfig::plant())
+}
+
+/// E12 with an explicit Prime configuration — the regression harness for
+/// running the soak with Merkle batching, pipelined sequencing, and
+/// chunked state transfer armed (`Config::with_batching`): batches must
+/// survive crash + restart and catch-up without duplicating or dropping
+/// member updates, under the same invariant checker as the stock soak.
+pub fn e12_chaos_soak_with(
+    seed: u64,
+    days: u64,
+    seconds_per_day: u64,
+    mut prime_cfg: PrimeConfig,
+) -> ChaosRun {
     // Chaos deployments arm dedup-table transfer: without it, a replica
     // catching up after a crash/partition replays duplicate orderings its
     // peers suppressed, permanently forking its execution numbering — the

@@ -28,7 +28,10 @@ use crate::redteam_experiments::{
     e10_hardening_ablation_meta, e1_commercial_attacks_meta, e2_spire_network_attacks,
     e3_replica_excursion_meta, render_ablation,
 };
-use crate::saturation::{e11_default_rates, e11_saturation, render_saturation};
+use crate::saturation::{
+    e11_batched_rates, e11_default_rates, e11_saturation, e11_saturation_with, render_saturation,
+    SaturationOpts, SaturationRun,
+};
 use crate::site_experiment::{e13_leg_by_id, render_leg};
 
 /// The seed at which the golden digests in `tests/golden_digests.rs` are
@@ -64,8 +67,8 @@ fn meta_lines(out: &mut String, metas: &[RunMeta]) {
     }
 }
 
-/// Runs experiment `id` ("e1".."e10", "e7b", "e12", "e13a".."e13c") at
-/// `seed` — at a reduced size
+/// Runs experiment `id` ("e1".."e10", "e7b", "e11b", "e12",
+/// "e13a".."e13c") at `seed` — at a reduced size
 /// where the full run would be slow — and folds its journal digests,
 /// event counts, and rendered result into one hex digest.
 ///
@@ -145,6 +148,15 @@ pub fn experiment_fingerprint(id: &str, seed: u64) -> String {
             meta_lines(&mut text, &metas);
             text.push_str(&render_ablation(&rows));
         }
+        "e11b" => {
+            // Batched E11 at a reduced ramp (Cluster-based: no simnet
+            // journal; the rendered ramp is the record). 100/s closes
+            // batches as singletons, 800/s forms multi-member batches and
+            // keeps the pipeline window occupied, so both dissemination
+            // paths land in the fingerprint.
+            let run = e11_saturation_with(seed, &[100, 800], SaturationOpts::batched());
+            text.push_str(&render_saturation(&run));
+        }
         "e12" => {
             let run = e12_chaos_soak(seed, 1, 12);
             meta_lines(&mut text, std::slice::from_ref(&run.meta));
@@ -162,8 +174,8 @@ pub fn experiment_fingerprint(id: &str, seed: u64) -> String {
 
 /// The experiment ids covered by [`experiment_fingerprint`], in run order.
 pub const FINGERPRINTED: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10", "e12", "e13a", "e13b",
-    "e13c",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10", "e11b", "e12", "e13a",
+    "e13b", "e13c",
 ];
 
 /// One timed experiment in a bench run.
@@ -189,6 +201,56 @@ pub struct BenchReport {
     /// E4 re-timed under the parallel scheduler, one point per thread
     /// count (see [`e4_scaling_curve`]).
     pub scaling: Vec<ScalingPoint>,
+    /// E11 knee curves, unbatched reference first, batched second —
+    /// the before/after record of the ordering-knee optimization.
+    pub e11_knees: Vec<KneeCurve>,
+}
+
+/// One E11 latency point carried into the bench report.
+#[derive(Clone, Debug)]
+pub struct KneePoint {
+    /// Offered client updates per second.
+    pub offered_per_s: u64,
+    /// Achieved ordering throughput.
+    pub ordered_per_s: f64,
+    /// Median submit→execute latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+}
+
+/// A compact E11 ramp summary for one protocol variant.
+#[derive(Clone, Debug)]
+pub struct KneeCurve {
+    /// `Config::batch_max` the ramp ran with (0 = legacy).
+    pub batch_max: u32,
+    /// `Config::pipeline` the ramp ran with (1 = serialized).
+    pub pipeline: u32,
+    /// Offered rate of the knee step, if the ramp found one.
+    pub knee_offered_per_s: Option<u64>,
+    /// One point per ramp step.
+    pub points: Vec<KneePoint>,
+}
+
+impl KneeCurve {
+    /// Collapses a saturation run into the bench-report form.
+    pub fn from_run(run: &SaturationRun) -> Self {
+        KneeCurve {
+            batch_max: run.opts.batch_max,
+            pipeline: run.opts.pipeline,
+            knee_offered_per_s: run.knee_index().map(|k| run.steps[k].offered_per_s),
+            points: run
+                .steps
+                .iter()
+                .map(|s| KneePoint {
+                    offered_per_s: s.offered_per_s,
+                    ordered_per_s: s.ordered_per_s,
+                    p50_us: s.p50_us,
+                    p99_us: s.p99_us,
+                })
+                .collect(),
+        }
+    }
 }
 
 /// One point of the E4 thread-scaling curve.
@@ -261,8 +323,10 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 }
 
 /// Times e1–e11 wall-clock at `seed` (e4 at its tier-1 size, e5 at 8
-/// flips, e9 at 20 trials, e11 over the default rate ramp) and reports
-/// sim-events/sec wherever a simulator ran.
+/// flips, e9 at 20 trials, e11 over the default rate ramp, e11b — the
+/// batched variant — over the extended ramp) and reports sim-events/sec
+/// wherever a simulator ran. The two E11 runs are kept as before/after
+/// knee curves in [`BenchReport::e11_knees`].
 pub fn run_bench(seed: u64) -> BenchReport {
     let mut entries = Vec::new();
 
@@ -311,8 +375,12 @@ pub fn run_bench(seed: u64) -> BenchReport {
         Some(metas.iter().map(|m| m.sim_events).sum()),
     ));
 
-    let (_, ms) = timed(|| e11_saturation(seed, &e11_default_rates()));
+    let (run_legacy, ms) = timed(|| e11_saturation(seed, &e11_default_rates()));
     entries.push(entry("e11", ms, None));
+
+    let (run_batched, ms) =
+        timed(|| e11_saturation_with(seed, &e11_batched_rates(), SaturationOpts::batched()));
+    entries.push(entry("e11b", ms, None));
 
     let scaling = e4_scaling_curve(seed, &[1, 2, 4, 8]);
 
@@ -320,6 +388,10 @@ pub fn run_bench(seed: u64) -> BenchReport {
         seed,
         entries,
         scaling,
+        e11_knees: vec![
+            KneeCurve::from_run(&run_legacy),
+            KneeCurve::from_run(&run_batched),
+        ],
     }
 }
 
@@ -360,15 +432,48 @@ pub fn render_bench(r: &BenchReport) -> String {
             );
         }
     }
+    if !r.e11_knees.is_empty() {
+        let _ = writeln!(out, "\ne11 ordering knee (before/after batching)");
+        let _ = writeln!(
+            out,
+            "{:<20} {:>14} {:>12}",
+            "variant", "knee_offered/s", "ramp_top/s"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(48));
+        for c in &r.e11_knees {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>14} {:>12}",
+                format!("batch={} pipe={}", c.batch_max, c.pipeline),
+                c.knee_offered_per_s
+                    .map_or("none".into(), |v| v.to_string()),
+                c.points.last().map_or(0, |p| p.offered_per_s),
+            );
+        }
+        if let (Some(Some(before)), Some(Some(after))) = (
+            r.e11_knees.first().map(|c| c.knee_offered_per_s),
+            r.e11_knees.last().map(|c| c.knee_offered_per_s),
+        ) {
+            let _ = writeln!(
+                out,
+                "knee moved {:.1}x ({} -> {} updates/s)",
+                after as f64 / before as f64,
+                before,
+                after
+            );
+        }
+    }
     out
 }
 
 /// Serializes the bench report as JSON (`spire-sim bench --json FILE`).
 ///
 /// Hand-rolled: the workspace deliberately has no serde dependency, and
-/// the schema is five fixed keys.
+/// the schema is a handful of fixed keys. Schema v3 adds `e11_knees`:
+/// the before/after ordering-knee curves (unbatched reference, then
+/// batched).
 pub fn bench_json(r: &BenchReport) -> String {
-    let mut out = String::from("{\n  \"schema\": \"spire-bench-v2\",\n");
+    let mut out = String::from("{\n  \"schema\": \"spire-bench-v3\",\n");
     let _ = writeln!(out, "  \"seed\": {},", r.seed);
     out.push_str("  \"entries\": [\n");
     for (i, e) in r.entries.iter().enumerate() {
@@ -392,6 +497,32 @@ pub fn bench_json(r: &BenchReport) -> String {
             p.threads, p.wall_ms, p.sim_events, p.events_per_sec, p.speedup,
         );
         out.push_str(if i + 1 < r.scaling.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"e11_knees\": [\n");
+    for (i, c) in r.e11_knees.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"batch_max\": {}, \"pipeline\": {}, \"knee_offered_per_s\": {}, \"points\": [",
+            c.batch_max,
+            c.pipeline,
+            c.knee_offered_per_s
+                .map_or("null".into(), |v| v.to_string()),
+        );
+        for (j, p) in c.points.iter().enumerate() {
+            let _ = write!(
+                out,
+                "      {{\"offered_per_s\": {}, \"ordered_per_s\": {:.1}, \
+                 \"p50_us\": {}, \"p99_us\": {}}}",
+                p.offered_per_s, p.ordered_per_s, p.p50_us, p.p99_us,
+            );
+            out.push_str(if j + 1 < c.points.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("    ]}");
+        out.push_str(if i + 1 < r.e11_knees.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     out.push_str("  ]\n}\n");
     out
@@ -445,13 +576,37 @@ mod tests {
                 events_per_sec: 200_000.0,
                 speedup: 4.0,
             }],
+            e11_knees: vec![
+                KneeCurve {
+                    batch_max: 0,
+                    pipeline: 1,
+                    knee_offered_per_s: Some(1600),
+                    points: vec![KneePoint {
+                        offered_per_s: 1600,
+                        ordered_per_s: 1500.0,
+                        p50_us: 2000,
+                        p99_us: 9000,
+                    }],
+                },
+                KneeCurve {
+                    batch_max: 16,
+                    pipeline: 4,
+                    knee_offered_per_s: None,
+                    points: vec![],
+                },
+            ],
         };
         let json = bench_json(&r);
-        assert!(json.contains("\"schema\": \"spire-bench-v2\""));
+        assert!(json.contains("\"schema\": \"spire-bench-v3\""));
         assert!(json.contains("\"sim_events\": null"));
         assert!(json.contains("\"sim_events\": 5000"));
         assert!(json.contains("\"e4_scaling\""));
         assert!(json.contains("\"speedup\": 4.000"));
+        assert!(json.contains("\"e11_knees\""));
+        assert!(json.contains("\"knee_offered_per_s\": 1600"));
+        assert!(json.contains("\"knee_offered_per_s\": null"));
+        assert!(json.contains("\"batch_max\": 16"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

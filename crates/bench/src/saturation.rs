@@ -30,6 +30,36 @@ const WINDOW: SimDuration = SimDuration::from_secs(2);
 /// Drain time after the window so every accepted update executes.
 const SETTLE: SimDuration = SimDuration::from_secs(3);
 
+/// Protocol knobs for a saturation ramp variant: the legacy per-update
+/// dissemination path, or Merkle-batched dissemination with pipelined
+/// sequencing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SaturationOpts {
+    /// `Config::batch_max` (0 = legacy per-update PoRequests).
+    pub batch_max: u32,
+    /// `Config::pipeline` (1 = serialized ordering).
+    pub pipeline: u32,
+}
+
+impl SaturationOpts {
+    /// The unbatched reference configuration (the seed repo's E11).
+    pub fn legacy() -> Self {
+        SaturationOpts {
+            batch_max: 0,
+            pipeline: 1,
+        }
+    }
+
+    /// The batched configuration benchmarked in EXPERIMENTS.md: up to 16
+    /// updates per Merkle batch, 4 sequences in flight.
+    pub fn batched() -> Self {
+        SaturationOpts {
+            batch_max: 16,
+            pipeline: 4,
+        }
+    }
+}
+
 fn e11_timing() -> Timing {
     Timing {
         aru_interval: SimDuration::from_millis(10),
@@ -72,6 +102,8 @@ pub struct SaturationStep {
 pub struct SaturationRun {
     /// The seed the ramp ran at.
     pub seed: u64,
+    /// The protocol variant the ramp ran with.
+    pub opts: SaturationOpts,
     /// One step per offered rate, in ramp order.
     pub steps: Vec<SaturationStep>,
 }
@@ -106,6 +138,13 @@ pub fn e11_default_rates() -> Vec<u64> {
     vec![50, 100, 200, 400, 800, 1600]
 }
 
+/// The extended ramp for the batched configuration: the legacy rates
+/// continued past the old knee (1600/s unbatched) far enough that the
+/// batched knee lands inside the sweep.
+pub fn e11_batched_rates() -> Vec<u64> {
+    vec![50, 100, 200, 400, 800, 1600, 3200, 6400, 9600, 19200, 25600]
+}
+
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -114,23 +153,28 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx]
 }
 
-fn run_step(seed: u64, rate: u64) -> SaturationStep {
+fn run_step(seed: u64, rate: u64, opts: SaturationOpts) -> SaturationStep {
     if obs::prof::enabled() {
         // Carve this step's charges out of the thread-wide profile so the
         // attribution report can telescope each step against its own
         // simulated time (the cluster clock starts at zero).
-        let (mut step, prof) = obs::prof::capture(|| run_step_inner(seed, rate));
+        let (mut step, prof) = obs::prof::capture(|| run_step_inner(seed, rate, opts));
         step.prof = Some(prof);
         step
     } else {
-        run_step_inner(seed, rate)
+        run_step_inner(seed, rate, opts)
     }
 }
 
-fn run_step_inner(seed: u64, rate: u64) -> SaturationStep {
+fn run_step_inner(seed: u64, rate: u64, opts: SaturationOpts) -> SaturationStep {
     // Fresh cluster per step so steps are independent and any order of
     // rates reproduces the same numbers.
-    let mut c = Cluster::new(PrimeConfig::plant(), 1);
+    let cfg = if opts.batch_max > 0 || opts.pipeline > 1 {
+        PrimeConfig::plant().with_batching(opts.batch_max, opts.pipeline)
+    } else {
+        PrimeConfig::plant()
+    };
+    let mut c = Cluster::new(cfg, 1);
     c.set_timing(e11_timing());
     c.set_out_cost(OUT_COST);
     // Warm up past the first ARU exchange; the seed enters as a
@@ -185,11 +229,17 @@ fn run_step_inner(seed: u64, rate: u64) -> SaturationStep {
 
 /// E11 — run the ramp: one fresh 6-replica cluster per offered rate, a
 /// fixed submission window, then a drain; report throughput and latency
-/// percentiles per step.
+/// percentiles per step. Runs the legacy (unbatched) configuration.
 pub fn e11_saturation(seed: u64, rates: &[u64]) -> SaturationRun {
+    e11_saturation_with(seed, rates, SaturationOpts::legacy())
+}
+
+/// E11 with explicit protocol knobs (`spire-sim e11 --batch N --pipeline K`).
+pub fn e11_saturation_with(seed: u64, rates: &[u64], opts: SaturationOpts) -> SaturationRun {
     SaturationRun {
         seed,
-        steps: rates.iter().map(|&r| run_step(seed, r)).collect(),
+        opts,
+        steps: rates.iter().map(|&r| run_step(seed, r, opts)).collect(),
     }
 }
 
@@ -197,6 +247,13 @@ pub fn e11_saturation(seed: u64, rates: &[u64]) -> SaturationRun {
 pub fn render_saturation(run: &SaturationRun) -> String {
     use std::fmt::Write as _;
     let mut out = format!("E11 ordering saturation (seed {})\n", run.seed);
+    if run.opts.batch_max > 0 || run.opts.pipeline > 1 {
+        let _ = writeln!(
+            out,
+            "batching: batch_max={} pipeline={}",
+            run.opts.batch_max, run.opts.pipeline
+        );
+    }
     let _ = writeln!(
         out,
         "{:>10} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
@@ -313,8 +370,13 @@ pub fn saturation_attribution(run: &SaturationRun) -> String {
 /// Serializes the ramp as JSON (`spire-sim e11 --json FILE`).
 pub fn saturation_json(run: &SaturationRun) -> String {
     use std::fmt::Write as _;
-    let mut out = String::from("{\n  \"schema\": \"spire-e11-v1\",\n");
+    let mut out = String::from("{\n  \"schema\": \"spire-e11-v2\",\n");
     let _ = writeln!(out, "  \"seed\": {},", run.seed);
+    let _ = writeln!(
+        out,
+        "  \"batch_max\": {},\n  \"pipeline\": {},",
+        run.opts.batch_max, run.opts.pipeline
+    );
     let _ = writeln!(
         out,
         "  \"knee_offered_per_s\": {},",
@@ -342,16 +404,35 @@ mod tests {
 
     #[test]
     fn one_step_runs_and_orders_everything() {
-        let s = run_step(1, 50);
+        let s = run_step(1, 50, SaturationOpts::legacy());
         assert_eq!(s.submitted, 100);
         assert_eq!(s.executed, s.submitted, "drain executes every update");
         assert!(s.p50_us > 0 && s.p50_us <= s.p99_us && s.p99_us <= s.max_us);
     }
 
     #[test]
+    fn batched_step_orders_everything_with_comparable_latency() {
+        let legacy = run_step(1, 50, SaturationOpts::legacy());
+        let batched = run_step(1, 50, SaturationOpts::batched());
+        assert_eq!(batched.submitted, 100);
+        assert_eq!(
+            batched.executed, batched.submitted,
+            "no member lost to batching"
+        );
+        // Pre-knee the batch rate-limiter flushes singletons immediately,
+        // so tail latency stays in the same regime as the legacy path.
+        assert!(
+            batched.p99_us <= 2 * legacy.p99_us.max(1),
+            "batched p99 {} vs legacy p99 {}",
+            batched.p99_us,
+            legacy.p99_us
+        );
+    }
+
+    #[test]
     fn profiled_step_telescopes_exactly() {
         obs::prof::set_enabled(true);
-        let s = run_step(7, 50);
+        let s = run_step(7, 50, SaturationOpts::legacy());
         obs::prof::set_enabled(false);
         let _ = obs::prof::take();
         let prof = s.prof.clone().expect("profiling was enabled");
@@ -363,6 +444,7 @@ mod tests {
         );
         let report = saturation_attribution(&SaturationRun {
             seed: 7,
+            opts: SaturationOpts::legacy(),
             steps: vec![s],
         });
         assert!(report.contains("telescoping: exact"), "report: {report}");
@@ -374,9 +456,23 @@ mod tests {
 
     #[test]
     fn unprofiled_step_carries_no_profile() {
-        let s = run_step(1, 50);
+        let s = run_step(1, 50, SaturationOpts::legacy());
         assert!(s.prof.is_none());
         assert!(s.sim_elapsed_us > 0);
+    }
+
+    #[test]
+    fn batched_profiled_step_telescopes_exactly() {
+        obs::prof::set_enabled(true);
+        let s = run_step(7, 50, SaturationOpts::batched());
+        obs::prof::set_enabled(false);
+        let _ = obs::prof::take();
+        let prof = s.prof.clone().expect("profiling was enabled");
+        assert_eq!(
+            prof.total_time_us(),
+            s.sim_elapsed_us,
+            "batched stacks (batch_request/batch_member) stay inside the telescope"
+        );
     }
 
     #[test]

@@ -114,15 +114,27 @@ impl MerkleTree {
 
     /// Verifies that `leaf_data` is included under `root` via `proof`.
     pub fn verify(root: Digest, leaf_data: &[u8], proof: &Proof) -> bool {
+        proof.fold_root(leaf_data) == root
+    }
+}
+
+impl Proof {
+    /// Folds `leaf_data` up the proof path and returns the root the proof
+    /// commits to. Callers that authenticate roots by signature (Prime's
+    /// batched pre-ordering) fold first, then check the signature over
+    /// the folded root — a corrupted leaf or path yields a different
+    /// root, so the signature check fails exactly as it would have for
+    /// the full leaf set.
+    pub fn fold_root(&self, leaf_data: &[u8]) -> Digest {
         let mut acc = hash_leaf(leaf_data);
-        for (sibling, sibling_is_left) in &proof.path {
+        for (sibling, sibling_is_left) in &self.path {
             acc = if *sibling_is_left {
                 hash_node(sibling, &acc)
             } else {
                 hash_node(&acc, sibling)
             };
         }
-        acc == root
+        acc
     }
 }
 

@@ -2,12 +2,19 @@
 
 use bytes::Bytes;
 use itcrypto::keys::{KeyPair, KeyRegistry, Principal};
+use itcrypto::merkle::MerkleTree;
 use itcrypto::schnorr::Signature;
 use itcrypto::sha256::Digest;
 use itcrypto::verify_cache::VerifyCache;
 use simnet::wire::{DecodeError, Reader, Wire, Writer};
 
 use crate::types::{ReplicaId, SignedUpdate};
+
+/// Decode cap on batch membership (updates per batch / chunk count).
+const BATCH_DECODE_CAP: usize = 4096;
+
+/// Decode cap on Merkle inclusion-proof depth (covers 2^64 leaves).
+const PROOF_PATH_CAP: usize = 64;
 
 /// A signed PO-ARU vector as carried inside a pre-prepare matrix row.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -87,6 +94,169 @@ impl Wire for AruRow {
             replica,
             vector,
             sig: Signature::from_bytes(&sig),
+        })
+    }
+}
+
+/// A Merkle-batched run of pre-order requests: `updates[i]` occupies the
+/// origin's pre-order slot `first_po_seq + i`, and one origin signature
+/// over the Merkle root of the (sequence, update) leaves authenticates
+/// the whole run — the per-update signing and per-message NIC cost that
+/// saturates E11 collapses to one signature and one broadcast per batch.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PoBatch {
+    /// Disseminating replica.
+    pub origin: ReplicaId,
+    /// Composite pre-order sequence of `updates[0]`; members are
+    /// consecutive within the origin's incarnation.
+    pub first_po_seq: u64,
+    /// The batched client updates, in sequence order.
+    pub updates: Vec<SignedUpdate>,
+    /// Origin's signature over [`PoBatch::signed_root_bytes`].
+    pub root_sig: Signature,
+}
+
+impl PoBatch {
+    /// The Merkle leaf for one member: the composite sequence bound to
+    /// the signed update's wire bytes. Binding the sequence into the
+    /// leaf means a proof for member `i` cannot be replayed to fill a
+    /// different slot, even across the tree's odd-node promotions.
+    pub fn leaf_bytes(po_seq: u64, update: &SignedUpdate) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(po_seq);
+        update.encode(&mut w);
+        w.finish().to_vec()
+    }
+
+    /// The Merkle tree over the batch's leaves.
+    pub fn tree(&self) -> MerkleTree {
+        MerkleTree::from_leaves(
+            self.updates
+                .iter()
+                .enumerate()
+                .map(|(i, u)| Self::leaf_bytes(self.first_po_seq + i as u64, u)),
+        )
+    }
+
+    /// The batch's Merkle root, recomputed from its members.
+    pub fn root(&self) -> Digest {
+        self.tree().root()
+    }
+
+    /// The byte string `root_sig` covers: a domain tag, the batch
+    /// coordinates, and the Merkle root.
+    pub fn signed_root_bytes(
+        origin: ReplicaId,
+        first_po_seq: u64,
+        count: u32,
+        root: Digest,
+    ) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_raw(b"po-batch")
+            .put_u32(origin.0)
+            .put_u64(first_po_seq)
+            .put_u32(count)
+            .put_raw(root.as_bytes());
+        w.finish().to_vec()
+    }
+
+    /// Builds and signs a batch as `origin`.
+    pub fn sign(
+        origin: ReplicaId,
+        first_po_seq: u64,
+        updates: Vec<SignedUpdate>,
+        key: &mut KeyPair,
+    ) -> Self {
+        let mut batch = PoBatch {
+            origin,
+            first_po_seq,
+            updates,
+            root_sig: Signature::from_bytes(&[0; 16]),
+        };
+        let bytes = Self::signed_root_bytes(
+            origin,
+            first_po_seq,
+            batch.updates.len() as u32,
+            batch.root(),
+        );
+        batch.root_sig = key.sign(&bytes);
+        batch
+    }
+
+    /// Verifies an origin signature over batch coordinates and a Merkle
+    /// root through the verdict cache. This is the shared key path for
+    /// both whole-batch verification (root recomputed from every member)
+    /// and single-member verification (root folded from an inclusion
+    /// proof): the cache keys on the *root*, not on per-update digests,
+    /// so one real verification covers the batch and every later member
+    /// check of it. A corrupted member or path changes the computed root,
+    /// which changes the key — the cached verdict is always identical to
+    /// the uncached one.
+    pub fn verify_root_cached(
+        registry: &KeyRegistry,
+        cache: &mut VerifyCache,
+        origin: ReplicaId,
+        first_po_seq: u64,
+        count: u32,
+        root: Digest,
+        sig: &Signature,
+    ) -> bool {
+        let bytes = Self::signed_root_bytes(origin, first_po_seq, count, root);
+        let key = VerifyCache::key(b"prime.po-batch", origin.0 as u64, &bytes, &sig.to_bytes());
+        cache.check(key, || {
+            registry.verify(Principal::Replica(origin.0), &bytes, sig)
+        })
+    }
+
+    /// Verifies this batch's root signature (recomputing the root from
+    /// the members) through the verdict cache.
+    pub fn verify_cached(&self, registry: &KeyRegistry, cache: &mut VerifyCache) -> bool {
+        if self.updates.is_empty() {
+            return false;
+        }
+        Self::verify_root_cached(
+            registry,
+            cache,
+            self.origin,
+            self.first_po_seq,
+            self.updates.len() as u32,
+            self.root(),
+            &self.root_sig,
+        )
+    }
+}
+
+impl Wire for PoBatch {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.origin.0)
+            .put_u64(self.first_po_seq)
+            .put_u32(self.updates.len() as u32);
+        for u in &self.updates {
+            u.encode(w);
+        }
+        w.put_raw(&self.root_sig.to_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let origin = ReplicaId(r.get_u32()?);
+        let first_po_seq = r.get_u64()?;
+        let n = r.get_u32()? as usize;
+        if n == 0 || n > BATCH_DECODE_CAP {
+            return Err(DecodeError::new("batch size"));
+        }
+        let mut updates = Vec::with_capacity(n);
+        for _ in 0..n {
+            updates.push(SignedUpdate::decode(r)?);
+        }
+        let sig: [u8; 16] = r
+            .get_raw(16)?
+            .try_into()
+            .map_err(|_| DecodeError::new("sig"))?;
+        Ok(PoBatch {
+            origin,
+            first_po_seq,
+            updates,
+            root_sig: Signature::from_bytes(&sig),
         })
     }
 }
@@ -221,6 +391,64 @@ pub enum PrimeMsg {
         /// The dedup table.
         dedup: Vec<(u32, u64, Vec<u64>)>,
     },
+    /// Pre-ordering: a Merkle-batched run of client updates occupying
+    /// consecutive pre-order slots of `batch.origin`. Only sent when
+    /// [`crate::types::Config::batch_max`] is armed; the legacy wire
+    /// format (per-update [`PrimeMsg::PoRequest`]) is untouched when off.
+    PoRequestBatch {
+        /// The batch.
+        batch: PoBatch,
+    },
+    /// Reconciliation: a single member of a disseminated batch, served in
+    /// answer to [`PrimeMsg::PoFetch`] with a Merkle inclusion proof.
+    /// The receiver folds `(first_po_seq + index, update)` up `path`,
+    /// and checks `root_sig` over the folded root: the origin's batch
+    /// signature authenticates the member without shipping the batch.
+    PoBatchMember {
+        /// The batch's origin.
+        origin: ReplicaId,
+        /// Composite sequence of the batch's first member.
+        first_po_seq: u64,
+        /// Batch size (binds the signed root coordinates).
+        count: u32,
+        /// This member's index within the batch.
+        index: u32,
+        /// The member update.
+        update: SignedUpdate,
+        /// Inclusion-proof path, `(sibling, sibling_is_left)` bottom-up.
+        path: Vec<(Digest, bool)>,
+        /// The origin's signature over the batch root coordinates.
+        root_sig: Signature,
+    },
+    /// Windowed view-change vote, sent instead of [`PrimeMsg::ViewChange`]
+    /// when [`crate::types::Config::pipeline`] exceeds 1: with several
+    /// sequences in flight, a replica can hold multiple prepared-but-
+    /// uncommitted certificates, and every one above the committed
+    /// watermark must survive into the new view.
+    ViewChangeWindow {
+        /// The view being moved to.
+        new_view: u64,
+        /// Highest global sequence this replica has committed.
+        max_committed: u64,
+        /// `(seq, prepared_view, matrix)` per surviving certificate,
+        /// ascending by sequence.
+        certs: Vec<(u64, u64, Vec<AruRow>)>,
+    },
+    /// Catch-up: one chunk of a large application snapshot, sent ahead of
+    /// a [`PrimeMsg::CatchupReply`] whose `snapshot` field is then empty
+    /// (see [`crate::types::Config::transfer_chunk`]). The receiver
+    /// reassembles chunks per `(sender, exec_seq)` and splices the
+    /// snapshot back into the reply before the usual f+1 matching rule.
+    CatchupChunk {
+        /// Executed update count of the snapshot being chunked.
+        exec_seq: u64,
+        /// This chunk's index.
+        index: u32,
+        /// Total chunks in the snapshot.
+        count: u32,
+        /// The chunk bytes.
+        data: Vec<u8>,
+    },
 }
 
 impl PrimeMsg {
@@ -245,6 +473,10 @@ impl PrimeMsg {
             PrimeMsg::CatchupRequest { .. } => "prime;catchup;request",
             PrimeMsg::CatchupReply { .. } => "prime;catchup;reply",
             PrimeMsg::CatchupDedup { .. } => "prime;catchup;dedup",
+            PrimeMsg::PoRequestBatch { .. } => "prime;preorder;batch_request",
+            PrimeMsg::PoBatchMember { .. } => "prime;preorder;batch_member",
+            PrimeMsg::ViewChangeWindow { .. } => "prime;order;view_change",
+            PrimeMsg::CatchupChunk { .. } => "prime;catchup;chunk",
         }
     }
 
@@ -264,6 +496,10 @@ impl PrimeMsg {
             PrimeMsg::CatchupRequest { .. } => 11,
             PrimeMsg::CatchupReply { .. } => 12,
             PrimeMsg::CatchupDedup { .. } => 13,
+            PrimeMsg::PoRequestBatch { .. } => 14,
+            PrimeMsg::PoBatchMember { .. } => 15,
+            PrimeMsg::ViewChangeWindow { .. } => 16,
+            PrimeMsg::CatchupChunk { .. } => 17,
         }
     }
 }
@@ -369,6 +605,53 @@ impl Wire for PrimeMsg {
                     w.put_u64(*through);
                     put_u64_vec(w, extras);
                 }
+            }
+            PrimeMsg::PoRequestBatch { batch } => batch.encode(w),
+            PrimeMsg::PoBatchMember {
+                origin,
+                first_po_seq,
+                count,
+                index,
+                update,
+                path,
+                root_sig,
+            } => {
+                w.put_u32(origin.0)
+                    .put_u64(*first_po_seq)
+                    .put_u32(*count)
+                    .put_u32(*index);
+                update.encode(w);
+                w.put_u32(path.len() as u32);
+                for (sibling, is_left) in path {
+                    w.put_raw(sibling.as_bytes()).put_u8(u8::from(*is_left));
+                }
+                w.put_raw(&root_sig.to_bytes());
+            }
+            PrimeMsg::ViewChangeWindow {
+                new_view,
+                max_committed,
+                certs,
+            } => {
+                w.put_u64(*new_view)
+                    .put_u64(*max_committed)
+                    .put_u32(certs.len() as u32);
+                for (seq, prepared_view, matrix) in certs {
+                    w.put_u64(*seq)
+                        .put_u64(*prepared_view)
+                        .put_u32(matrix.len() as u32);
+                    for row in matrix {
+                        row.encode(w);
+                    }
+                }
+            }
+            PrimeMsg::CatchupChunk {
+                exec_seq,
+                index,
+                count,
+                data,
+            } => {
+                w.put_u64(*exec_seq).put_u32(*index).put_u32(*count);
+                w.put_bytes(data);
             }
         }
     }
@@ -477,6 +760,75 @@ impl Wire for PrimeMsg {
                     }
                     table
                 },
+            },
+            14 => PrimeMsg::PoRequestBatch {
+                batch: PoBatch::decode(r)?,
+            },
+            15 => {
+                let origin = ReplicaId(r.get_u32()?);
+                let first_po_seq = r.get_u64()?;
+                let count = r.get_u32()?;
+                let index = r.get_u32()?;
+                if count as usize > BATCH_DECODE_CAP || index >= count {
+                    return Err(DecodeError::new("batch member coordinates"));
+                }
+                let update = SignedUpdate::decode(r)?;
+                let n = r.get_u32()? as usize;
+                if n > PROOF_PATH_CAP {
+                    return Err(DecodeError::new("proof path length"));
+                }
+                let mut path = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let sibling = digest(r)?;
+                    let is_left = r.get_u8()? != 0;
+                    path.push((sibling, is_left));
+                }
+                let sig: [u8; 16] = r
+                    .get_raw(16)?
+                    .try_into()
+                    .map_err(|_| DecodeError::new("sig"))?;
+                PrimeMsg::PoBatchMember {
+                    origin,
+                    first_po_seq,
+                    count,
+                    index,
+                    update,
+                    path,
+                    root_sig: Signature::from_bytes(&sig),
+                }
+            }
+            16 => {
+                let new_view = r.get_u64()?;
+                let max_committed = r.get_u64()?;
+                let n = r.get_u32()? as usize;
+                if n > 1024 {
+                    return Err(DecodeError::new("vc window size"));
+                }
+                let mut certs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let seq = r.get_u64()?;
+                    let prepared_view = r.get_u64()?;
+                    let m = r.get_u32()? as usize;
+                    if m > 1024 {
+                        return Err(DecodeError::new("vc matrix size"));
+                    }
+                    let mut matrix = Vec::with_capacity(m);
+                    for _ in 0..m {
+                        matrix.push(AruRow::decode(r)?);
+                    }
+                    certs.push((seq, prepared_view, matrix));
+                }
+                PrimeMsg::ViewChangeWindow {
+                    new_view,
+                    max_committed,
+                    certs,
+                }
+            }
+            17 => PrimeMsg::CatchupChunk {
+                exec_seq: r.get_u64()?,
+                index: r.get_u32()?,
+                count: r.get_u32()?,
+                data: r.get_bytes()?,
             },
             _ => return Err(DecodeError::new("prime message tag")),
         })
@@ -713,6 +1065,107 @@ mod tests {
             exec_seq: 3,
             dedup: Vec::new(),
         });
+        let batch = PoBatch::sign(
+            ReplicaId(2),
+            9,
+            vec![sample_update(), sample_update()],
+            &mut kp,
+        );
+        roundtrip(PrimeMsg::PoRequestBatch {
+            batch: batch.clone(),
+        });
+        let proof = batch.tree().prove(1).expect("in range");
+        roundtrip(PrimeMsg::PoBatchMember {
+            origin: ReplicaId(2),
+            first_po_seq: 9,
+            count: 2,
+            index: 1,
+            update: sample_update(),
+            path: proof.path,
+            root_sig: batch.root_sig,
+        });
+        roundtrip(PrimeMsg::ViewChangeWindow {
+            new_view: 6,
+            max_committed: 10,
+            certs: vec![(11, 4, vec![row.clone()]), (12, 5, vec![row.clone()])],
+        });
+        roundtrip(PrimeMsg::ViewChangeWindow {
+            new_view: 6,
+            max_committed: 10,
+            certs: Vec::new(),
+        });
+        roundtrip(PrimeMsg::CatchupChunk {
+            exec_seq: 100,
+            index: 1,
+            count: 3,
+            data: vec![9, 8, 7],
+        });
+    }
+
+    #[test]
+    fn batch_root_signature_verifies_and_detects_member_tamper() {
+        let mut kp = KeyPair::generate(5);
+        let mut reg = KeyRegistry::new();
+        reg.register(Principal::Replica(1), kp.public_key());
+        let mut cache = VerifyCache::new(64);
+        let batch = PoBatch::sign(
+            ReplicaId(1),
+            4,
+            vec![sample_update(), sample_update(), sample_update()],
+            &mut kp,
+        );
+        assert!(batch.verify_cached(&reg, &mut cache));
+        // Second verification is a cache hit on the root key.
+        let hits = cache.hits;
+        assert!(batch.verify_cached(&reg, &mut cache));
+        assert!(cache.hits > hits);
+        // A tampered member changes the recomputed root: different cache
+        // key, fresh verification, rejection — cached == uncached.
+        let mut bad = batch.clone();
+        bad.updates[1].update.client_seq += 1;
+        assert!(!bad.verify_cached(&reg, &mut cache));
+        assert!(!bad.verify_cached(&reg, &mut cache));
+        // An empty batch is rejected outright.
+        let mut empty = batch.clone();
+        empty.updates.clear();
+        assert!(!empty.verify_cached(&reg, &mut cache));
+    }
+
+    #[test]
+    fn batch_member_proof_folds_to_signed_root() {
+        let mut kp = KeyPair::generate(6);
+        let mut reg = KeyRegistry::new();
+        reg.register(Principal::Replica(0), kp.public_key());
+        let mut cache = VerifyCache::new(64);
+        let updates = vec![sample_update(), sample_update(), sample_update()];
+        let batch = PoBatch::sign(ReplicaId(0), 7, updates.clone(), &mut kp);
+        let tree = batch.tree();
+        for (i, u) in updates.iter().enumerate() {
+            let proof = tree.prove(i).expect("in range");
+            let folded = proof.fold_root(&PoBatch::leaf_bytes(7 + i as u64, u));
+            assert!(PoBatch::verify_root_cached(
+                &reg,
+                &mut cache,
+                ReplicaId(0),
+                7,
+                updates.len() as u32,
+                folded,
+                &batch.root_sig,
+            ));
+        }
+        // Folding with the wrong sequence (a replayed index) yields a
+        // different root, so the signature check fails.
+        let proof = tree.prove(0).expect("in range");
+        let folded = proof.fold_root(&PoBatch::leaf_bytes(8, &updates[0]));
+        assert!(!PoBatch::verify_root_cached(
+            &reg,
+            &mut cache,
+            ReplicaId(0),
+            7,
+            updates.len() as u32,
+            folded,
+            &batch.root_sig,
+        ));
     }
 
     #[test]

@@ -1,0 +1,769 @@
+//! Pre-ordering and ordering log: PO-Request acceptance, cumulative
+//! PO-ARU aggregation, the Pre-Prepare/Prepare/Commit pipeline, plan
+//! extension and execution, checkpoints, and catch-up state transfer.
+
+use super::*;
+
+impl<A: Application> Replica<A> {
+    /// Accepts a PO-Request whose signed envelope came from its origin —
+    /// directly or replayed inside a `PoData` reconciliation reply.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn accept_po_request(
+        &mut self,
+        envelope: SignedMsg,
+        from: ReplicaId,
+        origin: ReplicaId,
+        po_seq: u64,
+        update: SignedUpdate,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
+        // Only the origin may bind (origin, po_seq) → update: a faulty
+        // relayer must not be able to fill foreign slots.
+        if from != origin || origin.0 >= self.config.n() || po_counter(po_seq) == 0 {
+            return;
+        }
+        if !update.verify_cached(&self.registry, &mut self.verify_cache) {
+            self.stats.bad_sigs += 1;
+            return;
+        }
+        // Incarnation tracking: a higher incarnation from the origin means
+        // it recovered; contiguity restarts in the new incarnation.
+        let inc = po_incarnation(po_seq);
+        let o = origin.0 as usize;
+        if origin != self.id && inc > self.origin_inc[o] {
+            self.origin_inc[o] = inc;
+            self.aru_counter[o] = 0;
+        }
+        self.po_store.entry((origin.0, po_seq)).or_insert(update);
+        self.po_envelopes
+            .entry((origin.0, po_seq))
+            .or_insert(envelope);
+        self.advance_my_aru();
+        self.note_unordered(now);
+        self.try_execute(now, out);
+    }
+
+    pub(super) fn on_po_aru(&mut self, row: AruRow, _out: &mut [OutEvent]) {
+        if row.replica.0 >= self.config.n() || row.vector.len() != self.config.n() as usize {
+            return;
+        }
+        if !row.verify_cached(&self.registry, &mut self.verify_cache) {
+            self.stats.bad_sigs += 1;
+            return;
+        }
+        let entry = self.latest_rows.entry(row.replica.0);
+        match entry {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(row);
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                // Keep the row with the largest total coverage (monotone).
+                let old_sum: u64 = o.get().vector.iter().sum();
+                let new_sum: u64 = row.vector.iter().sum();
+                if new_sum > old_sum {
+                    o.insert(row);
+                }
+            }
+        }
+    }
+
+    pub(super) fn on_pre_prepare(
+        &mut self,
+        from: ReplicaId,
+        view: u64,
+        seq: u64,
+        matrix: Vec<AruRow>,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
+        if view != self.view || self.in_view_change {
+            return;
+        }
+        if from != self.active_leader_of(view) {
+            return;
+        }
+        if seq <= self.max_committed || seq == 0 {
+            return;
+        }
+        // Validate the matrix: enough distinct, signed rows.
+        let mut seen = BTreeSet::new();
+        for row in &matrix {
+            if row.vector.len() != self.config.n() as usize
+                || !row.verify_cached(&self.registry, &mut self.verify_cache)
+            {
+                return;
+            }
+            seen.insert(row.replica.0);
+        }
+        if (seen.len() as u32) < self.active_ordering_quorum() {
+            return;
+        }
+        let digest = Self::matrix_digest(&matrix);
+        // A proposal from a newer view supersedes an uncommitted entry a
+        // dead view left behind (a partition can cut a pre-prepare off
+        // from its prepare quorum; any value that might have committed is
+        // protected by the prepared-certificate carryover in
+        // `install_view`). Without the replacement the stale entry blocks
+        // this sequence in every later view and ordering wedges.
+        let replace = match self.pre_prepares.get(&seq) {
+            Some((stored_view, _, _)) => *stored_view < view,
+            None => true,
+        };
+        if replace {
+            self.pre_prepares.insert(seq, (view, matrix, digest));
+        }
+        let stored = &self.pre_prepares[&seq];
+        if stored.0 != view || stored.2 != digest {
+            return; // conflicting proposal for this seq; ignore.
+        }
+        // Leader's proposal advanced things: reset the suspicion clock.
+        self.unordered_since = Some(now);
+        if self.sent_prepare.insert((view, seq)) {
+            if !self.trace_phase.contains_key(&seq) {
+                self.trace_ordering_phase(seq, obs::Stage::PrimePrePrepare);
+            }
+            let prep = self.sign(PrimeMsg::Prepare { view, seq, digest });
+            self.prepares
+                .entry((view, seq, digest))
+                .or_default()
+                .insert(self.id.0);
+            out.push(OutEvent::Broadcast(prep));
+        }
+        self.check_prepared(view, seq, digest, now, out);
+    }
+
+    pub(super) fn on_prepare(
+        &mut self,
+        from: ReplicaId,
+        view: u64,
+        seq: u64,
+        digest: Digest,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
+        if view != self.view {
+            return;
+        }
+        self.prepares
+            .entry((view, seq, digest))
+            .or_default()
+            .insert(from.0);
+        self.check_prepared(view, seq, digest, now, out);
+    }
+
+    /// Opens the next ordering-phase span for `seq`, ending the
+    /// previous one. The first phase (pre-prepare) parents on the
+    /// oldest traced in-flight update — exact when a single traced
+    /// update is in flight (the E5 measurement), approximate under
+    /// concurrent traced load.
+    pub(super) fn trace_ordering_phase(&mut self, seq: u64, stage: obs::Stage) {
+        let parent = match self.trace_phase.get(&seq) {
+            Some(prev) => Some(*prev),
+            None => self.trace_queue.values().next().copied(),
+        };
+        if let Some(span) = self.obs.start_span(parent, stage, self.id.0) {
+            if let Some(prev) = self.trace_phase.insert(seq, span) {
+                self.obs.end_span(Some(prev));
+            }
+        }
+    }
+
+    pub(super) fn check_prepared(
+        &mut self,
+        view: u64,
+        seq: u64,
+        digest: Digest,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
+        let Some((pp_view, matrix, pp_digest)) = self.pre_prepares.get(&seq) else {
+            return;
+        };
+        if *pp_view != view || *pp_digest != digest {
+            return;
+        }
+        let prepare_count = self
+            .prepares
+            .get(&(view, seq, digest))
+            .map_or(0, |s| s.len() as u32);
+        // The leader does not send Prepare; its pre-prepare counts.
+        let have = prepare_count + 1;
+        if have >= self.active_ordering_quorum() && self.sent_commit.insert((view, seq)) {
+            self.prepared_cert = Some((seq, view, matrix.clone()));
+            // The window form keeps every uncommitted certificate; with
+            // the pipeline off it mirrors `prepared_cert` (at most one
+            // live entry) and is never put on the wire.
+            self.prepared_certs.insert(seq, (view, matrix.clone()));
+            let commit = self.sign(PrimeMsg::Commit { view, seq, digest });
+            self.commits
+                .entry((view, seq, digest))
+                .or_default()
+                .insert(self.id.0);
+            out.push(OutEvent::Broadcast(commit));
+            self.trace_ordering_phase(seq, obs::Stage::PrimePrepare);
+            self.check_committed(view, seq, digest, now, out);
+        }
+    }
+
+    pub(super) fn on_commit(
+        &mut self,
+        from: ReplicaId,
+        view: u64,
+        seq: u64,
+        digest: Digest,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
+        self.commits
+            .entry((view, seq, digest))
+            .or_default()
+            .insert(from.0);
+        self.check_committed(view, seq, digest, now, out);
+    }
+
+    pub(super) fn check_committed(
+        &mut self,
+        view: u64,
+        seq: u64,
+        digest: Digest,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
+        if self.committed.contains_key(&seq) {
+            return;
+        }
+        let Some((pp_view, matrix, pp_digest)) = self.pre_prepares.get(&seq) else {
+            return;
+        };
+        if *pp_view != view || *pp_digest != digest {
+            return;
+        }
+        let count = self
+            .commits
+            .get(&(view, seq, digest))
+            .map_or(0, |s| s.len() as u32);
+        if count >= self.active_ordering_quorum() {
+            self.committed.insert(seq, matrix.clone());
+            self.trace_ordering_phase(seq, obs::Stage::PrimeCommit);
+            self.max_committed = self.max_committed.max(seq);
+            if self
+                .prepared_cert
+                .as_ref()
+                .is_some_and(|(s, _, _)| *s == seq)
+            {
+                self.prepared_cert = None;
+            }
+            let watermark = self.max_committed;
+            self.prepared_certs.retain(|s, _| *s > watermark);
+            self.extend_plan();
+            // A committed sequence beyond our contiguous plan means we
+            // missed earlier commits (partition): treat as a stall so the
+            // tick driver escalates to catch-up.
+            if self.max_committed > self.planned_through {
+                self.stall_since.get_or_insert(now);
+            } else if self.exec_plan.is_empty() {
+                self.stall_since = None;
+            }
+            self.try_execute(now, out);
+            // Ordering-phase spans for sequences at or below this one
+            // have served their purpose; drop them, ending any still
+            // open so the journal stays balanced.
+            let keep = self.trace_phase.split_off(&(seq + 1));
+            for (_, span) in std::mem::replace(&mut self.trace_phase, keep) {
+                self.obs.end_span(Some(span));
+            }
+        }
+    }
+
+    /// Extends the execution plan with newly covered updates from
+    /// contiguous committed sequences.
+    pub(super) fn extend_plan(&mut self) {
+        while let Some(matrix) = self.committed.get(&(self.planned_through + 1)) {
+            let n = self.config.n() as usize;
+            // Deliberately the *static* coverage threshold even inside a
+            // restricted epoch: a commit processed by one survivor before
+            // the epoch switch and by another after it must yield the
+            // same execution plan, so the plan function cannot depend on
+            // epoch state.
+            let threshold = self.config.coverage_threshold() as usize;
+            let mut target = self.plan_cover.clone();
+            for (origin, cover) in target.iter_mut().enumerate().take(n) {
+                let mut column: Vec<u64> = matrix.iter().map(|row| row.vector[origin]).collect();
+                column.sort_unstable_by(|a, b| b.cmp(a));
+                if column.len() >= threshold {
+                    *cover = (*cover).max(column[threshold - 1]);
+                }
+            }
+            for (origin, (&from_cover, &to_cover)) in self
+                .plan_cover
+                .clone()
+                .iter()
+                .zip(target.iter())
+                .enumerate()
+            {
+                if to_cover <= from_cover {
+                    continue;
+                }
+                if po_incarnation(from_cover) == po_incarnation(to_cover) {
+                    for s in from_cover + 1..=to_cover {
+                        self.exec_plan.push_back((origin as u32, s));
+                    }
+                } else {
+                    // Incarnation jump: the tail of the old incarnation is
+                    // abandoned deterministically (all replicas process the
+                    // same committed matrices in order, so all abandon the
+                    // same slots); the new incarnation executes from 1.
+                    let inc = po_incarnation(to_cover);
+                    for c in 1..=po_counter(to_cover) {
+                        self.exec_plan
+                            .push_back((origin as u32, po_compose(inc, c)));
+                    }
+                }
+            }
+            self.plan_cover = target;
+            self.planned_through += 1;
+        }
+    }
+
+    /// Drains the execution plan while updates are available.
+    pub(super) fn try_execute(&mut self, now: SimTime, out: &mut Vec<OutEvent>) {
+        while let Some(&(origin, po_seq)) = self.exec_plan.front() {
+            let Some(signed) = self.po_store.get(&(origin, po_seq)) else {
+                // Missing: reconciliation.
+                self.stall_since.get_or_insert(now);
+                if now.since(self.last_fetch_at) >= SimDuration::from_millis(50) {
+                    self.last_fetch_at = now;
+                    self.stats.fetches += 1;
+                    let fetch = self.sign(PrimeMsg::PoFetch {
+                        origin: ReplicaId(origin),
+                        po_seq,
+                    });
+                    out.push(OutEvent::Broadcast(fetch));
+                }
+                return;
+            };
+            let update = signed.update.clone();
+            self.exec_plan.pop_front();
+            self.stall_since = None;
+            let client_set = self.executed_clients.entry(update.client).or_default();
+            if !client_set.insert(update.client_seq) {
+                self.stats.dup_suppressed += 1;
+                continue;
+            }
+            self.exec_seq += 1;
+            self.stats.executed += 1;
+            self.c_executed.inc();
+            self.app.execute(&update, self.exec_seq);
+            // Close the update's pre-ordering span and stamp the
+            // execution instant, parented on the latest ordering phase
+            // (falling back to the queue span under catch-up paths
+            // that bypass the three-phase rounds).
+            let queue = self.trace_queue.remove(&(update.client, update.client_seq));
+            let trace = if queue.is_some() {
+                let parent = self
+                    .trace_phase
+                    .iter()
+                    .next_back()
+                    .map(|(_, ctx)| *ctx)
+                    .or(queue);
+                let span = self
+                    .obs
+                    .instant_span(parent, obs::Stage::PrimeExecute, self.id.0);
+                self.obs.end_span(queue);
+                span
+            } else {
+                None
+            };
+            obs::prof::charge_msg("prime;execute", 1, 0);
+            out.push(OutEvent::Execute {
+                exec_seq: self.exec_seq,
+                update,
+                trace,
+            });
+            // Checkpoint when due.
+            if self.exec_seq - self.last_checkpoint_at_exec >= self.timing.checkpoint_interval {
+                self.last_checkpoint_at_exec = self.exec_seq;
+                let cp = self.sign(PrimeMsg::Checkpoint {
+                    exec_seq: self.exec_seq,
+                    app_digest: self.app.digest(),
+                });
+                // Vote for our own checkpoint too.
+                self.checkpoint_votes
+                    .entry((self.exec_seq, self.app.digest()))
+                    .or_default()
+                    .insert(self.id.0);
+                out.push(OutEvent::Broadcast(cp));
+            }
+        }
+        // Plan drained: if nothing eligible remains, clear suspicion clock.
+        if !self.has_unordered_eligible() {
+            self.unordered_since = None;
+        }
+    }
+
+    pub(super) fn has_unordered_eligible(&self) -> bool {
+        self.my_aru
+            .iter()
+            .zip(self.plan_cover.iter())
+            .any(|(a, c)| a > c)
+            || !self.exec_plan.is_empty()
+    }
+
+    pub(super) fn note_unordered(&mut self, now: SimTime) {
+        if self.has_unordered_eligible() && self.unordered_since.is_none() {
+            self.unordered_since = Some(now);
+        }
+    }
+
+    pub(super) fn on_po_data(&mut self, original: &[u8], now: SimTime, out: &mut Vec<OutEvent>) {
+        // The payload must be the origin's own signed PoRequest envelope.
+        let Ok(envelope) = SignedMsg::from_wire(original) else {
+            return;
+        };
+        if !envelope.verify_cached(&self.registry, &mut self.verify_cache) {
+            self.stats.bad_sigs += 1;
+            return;
+        }
+        let PrimeMsg::PoRequest {
+            origin,
+            po_seq,
+            update,
+        } = envelope.msg.clone()
+        else {
+            return;
+        };
+        let from = envelope.from;
+        self.accept_po_request(envelope, from, origin, po_seq, update, now, out);
+    }
+
+    pub(super) fn on_checkpoint(
+        &mut self,
+        from: ReplicaId,
+        exec_seq: u64,
+        app_digest: Digest,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
+        self.checkpoint_votes
+            .entry((exec_seq, app_digest))
+            .or_default()
+            .insert(from.0);
+        let votes = self.checkpoint_votes[&(exec_seq, app_digest)].len() as u32;
+        if votes >= self.active_ordering_quorum() && exec_seq > self.stable_checkpoint {
+            self.stable_checkpoint = exec_seq;
+            out.push(OutEvent::CheckpointStable { exec_seq });
+            // Garbage-collect old vote state.
+            self.checkpoint_votes.retain(|(s, _), _| *s >= exec_seq);
+            // If we are far behind a stable checkpoint, catch up.
+            if self.exec_seq + self.timing.checkpoint_interval < exec_seq {
+                self.request_catchup(now, out);
+            }
+        }
+    }
+
+    /// Requests replication + application state transfer from peers.
+    pub fn request_catchup(&mut self, now: SimTime, out: &mut Vec<OutEvent>) {
+        if self.catching_up {
+            return;
+        }
+        self.catching_up = true;
+        self.catchup_started = now;
+        self.catchup_attempts = 0;
+        self.catchup_offers.clear();
+        self.catchup_dedup.clear();
+        self.catchup_chunks.clear();
+        out.push(OutEvent::StateTransferRequested);
+        let req = self.sign(PrimeMsg::CatchupRequest {
+            have_exec_seq: self.exec_seq,
+        });
+        out.push(OutEvent::Broadcast(req));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn on_catchup_reply(
+        &mut self,
+        from: ReplicaId,
+        exec_seq: u64,
+        app_digest: Digest,
+        snapshot: Vec<u8>,
+        next_order_seq: u64,
+        exec_cover: Vec<u64>,
+        view: u64,
+        out: &mut Vec<OutEvent>,
+    ) {
+        if !self.catching_up || exec_seq <= self.exec_seq {
+            return;
+        }
+        if exec_cover.len() != self.config.n() as usize {
+            return;
+        }
+        // A reply with an empty snapshot is the splice marker for a
+        // chunked transfer: reassemble the sender's buffered chunks if
+        // they are complete and match this reply's exec_seq. A sender
+        // with chunking off that legitimately has an empty snapshot has
+        // no buffered chunks, so the reply passes through unchanged.
+        let snapshot = if snapshot.is_empty() {
+            match self.catchup_chunks.get(&from.0) {
+                Some((chunk_seq, count, parts))
+                    if *chunk_seq == exec_seq && parts.len() as u32 == *count =>
+                {
+                    let mut whole = Vec::new();
+                    for part in parts.values() {
+                        whole.extend_from_slice(part);
+                    }
+                    whole
+                }
+                _ => snapshot,
+            }
+        } else {
+            snapshot
+        };
+        // Pair the reply with the sender's `CatchupDedup` companion (sent
+        // just ahead of it); absent or mismatched means no table.
+        let dedup: DedupTable = match self.catchup_dedup.get(&from.0) {
+            Some((e, table)) if *e == exec_seq => table.clone(),
+            _ => Vec::new(),
+        };
+        let key = (exec_seq, app_digest, dedup_digest(&dedup));
+        let offer = PrimeMsg::CatchupReply {
+            exec_seq,
+            app_digest,
+            snapshot,
+            next_order_seq,
+            exec_cover,
+            view,
+        };
+        let active_f = self.active_f();
+        let entry = self
+            .catchup_offers
+            .entry(key)
+            .or_insert_with(|| (BTreeSet::new(), offer, dedup));
+        entry.0.insert(from.0);
+        if entry.0.len() as u32 > active_f {
+            // f+1 matching offers: at least one from a correct replica.
+            let dedup = entry.2.clone();
+            let PrimeMsg::CatchupReply {
+                exec_seq,
+                app_digest,
+                snapshot,
+                next_order_seq,
+                exec_cover,
+                view,
+            } = entry.1.clone()
+            else {
+                return;
+            };
+            self.app.install_snapshot(&snapshot);
+            if self.app.digest() != app_digest {
+                // Corrupt snapshot from a faulty replica; discard the group.
+                self.catchup_offers.remove(&key);
+                return;
+            }
+            self.exec_seq = exec_seq;
+            if !dedup.is_empty() {
+                // Empty means the senders do not transfer their dedup
+                // tables (`Config::transfer_dedup` off); keep ours rather
+                // than wiping it.
+                self.install_dedup_table(&dedup);
+            }
+            self.plan_cover = exec_cover;
+            self.planned_through = next_order_seq.saturating_sub(1);
+            self.max_committed = self.max_committed.max(self.planned_through);
+            self.exec_plan.clear();
+            self.view = self.view.max(view);
+            self.in_view_change = false;
+            self.catching_up = false;
+            self.catchup_chunks.clear();
+            self.stall_since = None;
+            self.last_checkpoint_at_exec = exec_seq;
+            self.stats.catchups += 1;
+            out.push(OutEvent::StateTransferInstalled { exec_seq });
+        }
+    }
+
+    pub(super) fn maybe_propose(&mut self, now: SimTime, out: &mut Vec<OutEvent>) {
+        if let ByzMode::DelayLeader(extra) = self.byz {
+            if now.since(self.last_pp_at) < self.timing.pp_interval + extra {
+                return;
+            }
+        } else if now.since(self.last_pp_at) < self.timing.pp_interval {
+            return;
+        }
+        if self.byz.is_mute_leader() {
+            return;
+        }
+        if self.config.pipeline > 1 {
+            self.maybe_propose_pipelined(now, out);
+            return;
+        }
+        // Only one outstanding proposal at a time — but an entry left by
+        // a dead view does not count: it can never gather prepares in
+        // this view, so the new leader must re-propose the sequence.
+        let next_seq = self.max_committed + 1;
+        if self
+            .pre_prepares
+            .get(&next_seq)
+            .is_some_and(|(v, _, _)| *v == self.view)
+        {
+            return;
+        }
+        // Collect rows; require a quorum of distinct replicas.
+        let rows: Vec<AruRow> = self.latest_rows.values().cloned().collect();
+        if (rows.len() as u32) < self.active_ordering_quorum() {
+            return;
+        }
+        // Only propose if coverage advances.
+        let n = self.config.n() as usize;
+        let threshold = self.config.coverage_threshold() as usize;
+        let mut cover = vec![0u64; n];
+        for (origin, c) in cover.iter_mut().enumerate() {
+            let mut column: Vec<u64> = rows.iter().map(|r| r.vector[origin]).collect();
+            column.sort_unstable_by(|a, b| b.cmp(a));
+            if column.len() >= threshold {
+                *c = column[threshold - 1];
+            }
+        }
+        if cover
+            .iter()
+            .zip(self.plan_cover.iter())
+            .all(|(c, p)| c <= p)
+        {
+            return;
+        }
+        self.last_pp_at = now;
+        self.propose_matrix(next_seq, rows, now, out);
+    }
+
+    /// Pipelined proposal path (`Config::pipeline > 1`): up to `pipeline`
+    /// sequences may be in flight above the committed watermark at once,
+    /// so the three ordering rounds of sequence `s+1` overlap the
+    /// dissemination that feeds `s+2` instead of serializing behind the
+    /// commit of `s`. The next free slot is proposed when the current
+    /// quorum rows advance coverage beyond everything already planned
+    /// *or in flight* — computed statelessly by folding the in-flight
+    /// pre-prepare matrices over the plan cover, so no extra state can
+    /// drift across view changes or recoveries.
+    pub(super) fn maybe_propose_pipelined(&mut self, now: SimTime, out: &mut Vec<OutEvent>) {
+        let n = self.config.n() as usize;
+        let threshold = self.config.coverage_threshold() as usize;
+        let window = self.config.pipeline as u64;
+        let fold = |cover: &mut [u64], rows: &[AruRow]| {
+            for (origin, c) in cover.iter_mut().enumerate() {
+                let mut column: Vec<u64> = rows.iter().map(|r| r.vector[origin]).collect();
+                column.sort_unstable_by(|a, b| b.cmp(a));
+                if column.len() >= threshold {
+                    *c = (*c).max(column[threshold - 1]);
+                }
+            }
+        };
+        // Coverage already promised: the executed/planned prefix plus
+        // every proposal of this view still in flight above it.
+        let mut covered = self.plan_cover.clone();
+        let mut in_flight_tip = self.max_committed;
+        for (seq, (view, matrix, _)) in self.pre_prepares.range(self.max_committed + 1..) {
+            if *view != self.view {
+                continue;
+            }
+            fold(&mut covered, matrix);
+            in_flight_tip = in_flight_tip.max(*seq);
+        }
+        // The lowest window slot not yet proposed in this view. Slots
+        // from dead views do not count (they can never gather prepares
+        // here), and a slot *below* the in-flight tip is a hole a view
+        // change left behind: it must be re-proposed for the committed
+        // prefix to become contiguous again.
+        let mut next_seq = 0;
+        for seq in self.max_committed + 1..=self.max_committed + window {
+            if self
+                .pre_prepares
+                .get(&seq)
+                .is_none_or(|(v, _, _)| *v != self.view)
+            {
+                next_seq = seq;
+                break;
+            }
+        }
+        if next_seq == 0 {
+            return; // window full
+        }
+        let rows: Vec<AruRow> = self.latest_rows.values().cloned().collect();
+        if (rows.len() as u32) < self.active_ordering_quorum() {
+            return;
+        }
+        // Filling a hole is unconditional (liveness); opening a new tip
+        // slot must advance coverage past everything already promised.
+        if next_seq > in_flight_tip {
+            let mut cover = vec![0u64; n];
+            fold(&mut cover, &rows);
+            if cover.iter().zip(covered.iter()).all(|(c, p)| c <= p) {
+                return;
+            }
+        }
+        self.last_pp_at = now;
+        self.propose_matrix(next_seq, rows, now, out);
+    }
+
+    pub(super) fn propose_matrix(
+        &mut self,
+        seq: u64,
+        matrix: Vec<AruRow>,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
+        let digest = Self::matrix_digest(&matrix);
+        let view = self.view;
+        self.stats.proposals += 1;
+        self.pre_prepares
+            .insert(seq, (view, matrix.clone(), digest));
+        if !self.trace_phase.contains_key(&seq) {
+            self.trace_ordering_phase(seq, obs::Stage::PrimePrePrepare);
+        }
+        // The leader counts as prepared implicitly; it still must collect
+        // the quorum of Prepares from followers.
+        let msg = self.sign(PrimeMsg::PrePrepare { view, seq, matrix });
+        out.push(OutEvent::Broadcast(msg));
+        let _ = now;
+    }
+
+    /// Buffers one chunk of a chunked catch-up transfer, keyed by
+    /// sender. The chunks carry no signature of their own beyond the
+    /// envelope; integrity is enforced end-to-end, because the installed
+    /// snapshot must reproduce the `app_digest` that f+1 senders agreed
+    /// on (`on_catchup_reply`), so corrupt or missing chunks discard the
+    /// offer group exactly like a corrupt monolithic snapshot.
+    pub(super) fn on_catchup_chunk(
+        &mut self,
+        from: ReplicaId,
+        exec_seq: u64,
+        index: u32,
+        count: u32,
+        data: Vec<u8>,
+    ) {
+        if !self.catching_up || count == 0 || index >= count {
+            return;
+        }
+        let entry = self
+            .catchup_chunks
+            .entry(from.0)
+            .or_insert_with(|| (exec_seq, count, BTreeMap::new()));
+        if entry.0 != exec_seq || entry.1 != count {
+            // A newer transfer from the same sender supersedes the old
+            // buffer; a stale chunk for an older one is dropped.
+            if exec_seq > entry.0 {
+                *entry = (exec_seq, count, BTreeMap::new());
+            } else {
+                return;
+            }
+        }
+        entry.2.insert(index, data);
+    }
+}
+
+/// The wait before catch-up retransmission number `attempt + 1`: one plain
+/// `base` timeout for the first retry (identical to a non-backoff retry),
+/// then doubling per unanswered round, capped at `16 × base` so a long
+/// partition cannot push the next retry arbitrarily far past its heal.
+pub fn catchup_backoff(base: SimDuration, attempt: u32) -> SimDuration {
+    base.saturating_mul(1u64 << attempt.min(4))
+}

@@ -45,6 +45,12 @@ use crate::messages::{AruRow, Envelope, PrimeMsg, SignedMsg};
 use crate::types::{Config, Membership, ReplicaId, SignedUpdate, Update};
 use itcrypto::verify_cache::VerifyCache;
 
+mod batch;
+mod log;
+mod view;
+
+pub use log::catchup_backoff;
+
 /// Compact client duplicate-suppression table, one
 /// `(client, contiguous_through, extras)` entry per client (see
 /// [`PrimeMsg::CatchupDedup`]).
@@ -180,6 +186,10 @@ pub struct ReplicaStats {
     pub bad_sigs: u64,
     /// Reconciliation fetches sent.
     pub fetches: u64,
+    /// Pre-order batches closed and broadcast (batching on).
+    pub batches_sent: u64,
+    /// Pre-order batches accepted from peers (batching on).
+    pub batches_accepted: u64,
 }
 
 /// Per-view votes: sender → (max committed, prepared seq, prepared view,
@@ -189,6 +199,14 @@ type ViewChangeVotes = BTreeMap<u32, (u64, u64, u64, Vec<AruRow>)>;
 /// Catch-up offer groups, keyed by (exec_seq, app digest, dedup-table
 /// digest): offering senders, the offer, and its dedup table.
 type CatchupOffers = BTreeMap<(u64, Digest, Digest), (BTreeSet<u32>, PrimeMsg, DedupTable)>;
+
+/// One voter's in-flight prepared certificates from a
+/// `ViewChangeWindow`: (seq, view, prepared matrix) per slot.
+type CertWindow = Vec<(u64, u64, Vec<AruRow>)>;
+
+/// Chunked catch-up reassembly state: (exec_seq, chunk count,
+/// index → chunk data).
+type ChunkReassembly = (u64, u32, BTreeMap<u32, Vec<u8>>);
 
 /// One Prime replica hosting an application.
 pub struct Replica<A: Application> {
@@ -266,6 +284,33 @@ pub struct Replica<A: Application> {
     last_checkpoint_at_exec: u64,
     checkpoint_votes: BTreeMap<(u64, Digest), BTreeSet<u32>>,
     stable_checkpoint: u64,
+
+    // Batched pre-ordering (armed by `Config::batch_max > 0`; empty and
+    // inert otherwise so the legacy per-update path is byte-identical).
+    /// Locally introduced updates whose dissemination is deferred until
+    /// the batch closes, with the po_seq assigned at submit time.
+    batch_pending: Vec<(u64, SignedUpdate)>,
+    /// When the previous batch closed: the rate-limiter reference point
+    /// for the `batch_delay` close trigger.
+    last_batch_at: SimTime,
+    /// Signed batches originated here or accepted from peers, keyed by
+    /// (origin, first_po_seq) — the reconciliation source for
+    /// `PoBatchMember` replies to `PoFetch`.
+    po_batches: BTreeMap<(u32, u64), crate::messages::PoBatch>,
+
+    // Pipelined sequencing (armed by `Config::pipeline > 1`).
+    /// All prepared-but-uncommitted certificates, seq → (view, matrix).
+    /// Maintained alongside the legacy single `prepared_cert` so the
+    /// pipeline-off wire behavior stays byte-identical.
+    prepared_certs: BTreeMap<u64, (u64, Vec<AruRow>)>,
+    /// Certificate windows received in `ViewChangeWindow` votes:
+    /// new_view → voter → certs.
+    vc_windows: BTreeMap<u64, BTreeMap<u32, CertWindow>>,
+
+    // Chunked catch-up (armed by the *sender's* `Config::transfer_chunk`).
+    /// Reassembly buffers keyed by sender: (exec_seq, chunk count,
+    /// index → data).
+    catchup_chunks: BTreeMap<u32, ChunkReassembly>,
 
     // Catch-up.
     catching_up: bool,
@@ -363,6 +408,12 @@ impl<A: Application> Replica<A> {
             last_checkpoint_at_exec: 0,
             checkpoint_votes: BTreeMap::new(),
             stable_checkpoint: 0,
+            batch_pending: Vec::new(),
+            last_batch_at: SimTime::ZERO,
+            po_batches: BTreeMap::new(),
+            prepared_certs: BTreeMap::new(),
+            vc_windows: BTreeMap::new(),
+            catchup_chunks: BTreeMap::new(),
             catching_up: false,
             catchup_started: SimTime::ZERO,
             catchup_attempts: 0,
@@ -579,15 +630,29 @@ impl<A: Application> Replica<A> {
         self.next_po_seq += 1;
         self.stats.po_introduced += 1;
         self.po_store.insert((self.id.0, po_seq), update.clone());
-        let msg = self.sign(PrimeMsg::PoRequest {
-            origin: self.id,
-            po_seq,
-            update,
-        });
-        self.po_envelopes
-            .insert((self.id.0, po_seq), msg.msg.clone());
+        if self.config.batch_max > 0 {
+            // Batched dissemination: the slot is pre-ordered (stored and
+            // counted in our ARU) immediately — only the broadcast is
+            // deferred until the batch closes. Coverage still requires
+            // f+k+1 replicas to hold the update, so a batch lost with a
+            // crashed origin simply never reaches coverage.
+            self.batch_pending.push((po_seq, update));
+            if self.batch_pending.len() as u32 >= self.config.batch_max
+                || now.since(self.last_batch_at) >= self.config.batch_delay
+            {
+                self.flush_batch(now, &mut out);
+            }
+        } else {
+            let msg = self.sign(PrimeMsg::PoRequest {
+                origin: self.id,
+                po_seq,
+                update,
+            });
+            self.po_envelopes
+                .insert((self.id.0, po_seq), msg.msg.clone());
+            out.push(OutEvent::Broadcast(msg));
+        }
         self.advance_my_aru();
-        out.push(OutEvent::Broadcast(msg));
         self.note_unordered(now);
         out
     }
@@ -729,6 +794,8 @@ impl<A: Application> Replica<A> {
                     let original = envelope.to_wire().to_vec();
                     let reply = self.sign(PrimeMsg::PoData { original });
                     out.push(OutEvent::Send(from, reply));
+                } else if let Some(reply) = self.batch_member_reply(origin, po_seq) {
+                    out.push(OutEvent::Send(from, reply));
                 }
             }
             PrimeMsg::PoData { original } => {
@@ -775,10 +842,32 @@ impl<A: Application> Replica<A> {
                         });
                         out.push(OutEvent::Send(from, table));
                     }
+                    // With chunking armed the snapshot travels as
+                    // `CatchupChunk` messages ahead of the reply (whose
+                    // own snapshot is left empty as the splice marker),
+                    // so one large transfer does not occupy the NIC lane
+                    // in a single burst that stalls the ordering pipeline.
+                    let full = self.app.snapshot();
+                    let chunk = self.config.transfer_chunk as usize;
+                    let snapshot = if chunk > 0 && !full.is_empty() {
+                        let count = full.len().div_ceil(chunk) as u32;
+                        for (index, part) in full.chunks(chunk).enumerate() {
+                            let m = self.sign(PrimeMsg::CatchupChunk {
+                                exec_seq: self.exec_seq,
+                                index: index as u32,
+                                count,
+                                data: part.to_vec(),
+                            });
+                            out.push(OutEvent::Send(from, m));
+                        }
+                        Vec::new()
+                    } else {
+                        full
+                    };
                     let reply = PrimeMsg::CatchupReply {
                         exec_seq: self.exec_seq,
                         app_digest: self.app.digest(),
-                        snapshot: self.app.snapshot(),
+                        snapshot,
                         next_order_seq: self.planned_through + 1,
                         exec_cover: self.plan_cover.clone(),
                         view: self.view,
@@ -811,707 +900,47 @@ impl<A: Application> Replica<A> {
                     self.catchup_dedup.insert(from.0, (exec_seq, dedup));
                 }
             }
+            PrimeMsg::PoRequestBatch { batch } => {
+                self.accept_po_batch(from, batch, now, &mut out);
+            }
+            PrimeMsg::PoBatchMember {
+                origin,
+                first_po_seq,
+                count,
+                index,
+                update,
+                path,
+                root_sig,
+            } => {
+                self.accept_po_batch_member(
+                    origin,
+                    first_po_seq,
+                    count,
+                    index,
+                    update,
+                    path,
+                    &root_sig,
+                    now,
+                    &mut out,
+                );
+            }
+            PrimeMsg::ViewChangeWindow {
+                new_view,
+                max_committed,
+                certs,
+            } => {
+                self.on_view_change_window(from, new_view, max_committed, certs, now, &mut out);
+            }
+            PrimeMsg::CatchupChunk {
+                exec_seq,
+                index,
+                count,
+                data,
+            } => {
+                self.on_catchup_chunk(from, exec_seq, index, count, data);
+            }
         }
         out
-    }
-
-    /// Accepts a PO-Request whose signed envelope came from its origin —
-    /// directly or replayed inside a `PoData` reconciliation reply.
-    #[allow(clippy::too_many_arguments)]
-    fn accept_po_request(
-        &mut self,
-        envelope: SignedMsg,
-        from: ReplicaId,
-        origin: ReplicaId,
-        po_seq: u64,
-        update: SignedUpdate,
-        now: SimTime,
-        out: &mut Vec<OutEvent>,
-    ) {
-        // Only the origin may bind (origin, po_seq) → update: a faulty
-        // relayer must not be able to fill foreign slots.
-        if from != origin || origin.0 >= self.config.n() || po_counter(po_seq) == 0 {
-            return;
-        }
-        if !update.verify_cached(&self.registry, &mut self.verify_cache) {
-            self.stats.bad_sigs += 1;
-            return;
-        }
-        // Incarnation tracking: a higher incarnation from the origin means
-        // it recovered; contiguity restarts in the new incarnation.
-        let inc = po_incarnation(po_seq);
-        let o = origin.0 as usize;
-        if origin != self.id && inc > self.origin_inc[o] {
-            self.origin_inc[o] = inc;
-            self.aru_counter[o] = 0;
-        }
-        self.po_store.entry((origin.0, po_seq)).or_insert(update);
-        self.po_envelopes
-            .entry((origin.0, po_seq))
-            .or_insert(envelope);
-        self.advance_my_aru();
-        self.note_unordered(now);
-        self.try_execute(now, out);
-    }
-
-    fn on_po_aru(&mut self, row: AruRow, _out: &mut [OutEvent]) {
-        if row.replica.0 >= self.config.n() || row.vector.len() != self.config.n() as usize {
-            return;
-        }
-        if !row.verify_cached(&self.registry, &mut self.verify_cache) {
-            self.stats.bad_sigs += 1;
-            return;
-        }
-        let entry = self.latest_rows.entry(row.replica.0);
-        match entry {
-            std::collections::btree_map::Entry::Vacant(v) => {
-                v.insert(row);
-            }
-            std::collections::btree_map::Entry::Occupied(mut o) => {
-                // Keep the row with the largest total coverage (monotone).
-                let old_sum: u64 = o.get().vector.iter().sum();
-                let new_sum: u64 = row.vector.iter().sum();
-                if new_sum > old_sum {
-                    o.insert(row);
-                }
-            }
-        }
-    }
-
-    fn on_pre_prepare(
-        &mut self,
-        from: ReplicaId,
-        view: u64,
-        seq: u64,
-        matrix: Vec<AruRow>,
-        now: SimTime,
-        out: &mut Vec<OutEvent>,
-    ) {
-        if view != self.view || self.in_view_change {
-            return;
-        }
-        if from != self.active_leader_of(view) {
-            return;
-        }
-        if seq <= self.max_committed || seq == 0 {
-            return;
-        }
-        // Validate the matrix: enough distinct, signed rows.
-        let mut seen = BTreeSet::new();
-        for row in &matrix {
-            if row.vector.len() != self.config.n() as usize
-                || !row.verify_cached(&self.registry, &mut self.verify_cache)
-            {
-                return;
-            }
-            seen.insert(row.replica.0);
-        }
-        if (seen.len() as u32) < self.active_ordering_quorum() {
-            return;
-        }
-        let digest = Self::matrix_digest(&matrix);
-        // A proposal from a newer view supersedes an uncommitted entry a
-        // dead view left behind (a partition can cut a pre-prepare off
-        // from its prepare quorum; any value that might have committed is
-        // protected by the prepared-certificate carryover in
-        // `install_view`). Without the replacement the stale entry blocks
-        // this sequence in every later view and ordering wedges.
-        let replace = match self.pre_prepares.get(&seq) {
-            Some((stored_view, _, _)) => *stored_view < view,
-            None => true,
-        };
-        if replace {
-            self.pre_prepares.insert(seq, (view, matrix, digest));
-        }
-        let stored = &self.pre_prepares[&seq];
-        if stored.0 != view || stored.2 != digest {
-            return; // conflicting proposal for this seq; ignore.
-        }
-        // Leader's proposal advanced things: reset the suspicion clock.
-        self.unordered_since = Some(now);
-        if self.sent_prepare.insert((view, seq)) {
-            if !self.trace_phase.contains_key(&seq) {
-                self.trace_ordering_phase(seq, obs::Stage::PrimePrePrepare);
-            }
-            let prep = self.sign(PrimeMsg::Prepare { view, seq, digest });
-            self.prepares
-                .entry((view, seq, digest))
-                .or_default()
-                .insert(self.id.0);
-            out.push(OutEvent::Broadcast(prep));
-        }
-        self.check_prepared(view, seq, digest, now, out);
-    }
-
-    fn on_prepare(
-        &mut self,
-        from: ReplicaId,
-        view: u64,
-        seq: u64,
-        digest: Digest,
-        now: SimTime,
-        out: &mut Vec<OutEvent>,
-    ) {
-        if view != self.view {
-            return;
-        }
-        self.prepares
-            .entry((view, seq, digest))
-            .or_default()
-            .insert(from.0);
-        self.check_prepared(view, seq, digest, now, out);
-    }
-
-    /// Opens the next ordering-phase span for `seq`, ending the
-    /// previous one. The first phase (pre-prepare) parents on the
-    /// oldest traced in-flight update — exact when a single traced
-    /// update is in flight (the E5 measurement), approximate under
-    /// concurrent traced load.
-    fn trace_ordering_phase(&mut self, seq: u64, stage: obs::Stage) {
-        let parent = match self.trace_phase.get(&seq) {
-            Some(prev) => Some(*prev),
-            None => self.trace_queue.values().next().copied(),
-        };
-        if let Some(span) = self.obs.start_span(parent, stage, self.id.0) {
-            if let Some(prev) = self.trace_phase.insert(seq, span) {
-                self.obs.end_span(Some(prev));
-            }
-        }
-    }
-
-    fn check_prepared(
-        &mut self,
-        view: u64,
-        seq: u64,
-        digest: Digest,
-        now: SimTime,
-        out: &mut Vec<OutEvent>,
-    ) {
-        let Some((pp_view, matrix, pp_digest)) = self.pre_prepares.get(&seq) else {
-            return;
-        };
-        if *pp_view != view || *pp_digest != digest {
-            return;
-        }
-        let prepare_count = self
-            .prepares
-            .get(&(view, seq, digest))
-            .map_or(0, |s| s.len() as u32);
-        // The leader does not send Prepare; its pre-prepare counts.
-        let have = prepare_count + 1;
-        if have >= self.active_ordering_quorum() && self.sent_commit.insert((view, seq)) {
-            self.prepared_cert = Some((seq, view, matrix.clone()));
-            let commit = self.sign(PrimeMsg::Commit { view, seq, digest });
-            self.commits
-                .entry((view, seq, digest))
-                .or_default()
-                .insert(self.id.0);
-            out.push(OutEvent::Broadcast(commit));
-            self.trace_ordering_phase(seq, obs::Stage::PrimePrepare);
-            self.check_committed(view, seq, digest, now, out);
-        }
-    }
-
-    fn on_commit(
-        &mut self,
-        from: ReplicaId,
-        view: u64,
-        seq: u64,
-        digest: Digest,
-        now: SimTime,
-        out: &mut Vec<OutEvent>,
-    ) {
-        self.commits
-            .entry((view, seq, digest))
-            .or_default()
-            .insert(from.0);
-        self.check_committed(view, seq, digest, now, out);
-    }
-
-    fn check_committed(
-        &mut self,
-        view: u64,
-        seq: u64,
-        digest: Digest,
-        now: SimTime,
-        out: &mut Vec<OutEvent>,
-    ) {
-        if self.committed.contains_key(&seq) {
-            return;
-        }
-        let Some((pp_view, matrix, pp_digest)) = self.pre_prepares.get(&seq) else {
-            return;
-        };
-        if *pp_view != view || *pp_digest != digest {
-            return;
-        }
-        let count = self
-            .commits
-            .get(&(view, seq, digest))
-            .map_or(0, |s| s.len() as u32);
-        if count >= self.active_ordering_quorum() {
-            self.committed.insert(seq, matrix.clone());
-            self.trace_ordering_phase(seq, obs::Stage::PrimeCommit);
-            self.max_committed = self.max_committed.max(seq);
-            if self
-                .prepared_cert
-                .as_ref()
-                .is_some_and(|(s, _, _)| *s == seq)
-            {
-                self.prepared_cert = None;
-            }
-            self.extend_plan();
-            // A committed sequence beyond our contiguous plan means we
-            // missed earlier commits (partition): treat as a stall so the
-            // tick driver escalates to catch-up.
-            if self.max_committed > self.planned_through {
-                self.stall_since.get_or_insert(now);
-            } else if self.exec_plan.is_empty() {
-                self.stall_since = None;
-            }
-            self.try_execute(now, out);
-            // Ordering-phase spans for sequences at or below this one
-            // have served their purpose; drop them, ending any still
-            // open so the journal stays balanced.
-            let keep = self.trace_phase.split_off(&(seq + 1));
-            for (_, span) in std::mem::replace(&mut self.trace_phase, keep) {
-                self.obs.end_span(Some(span));
-            }
-        }
-    }
-
-    /// Extends the execution plan with newly covered updates from
-    /// contiguous committed sequences.
-    fn extend_plan(&mut self) {
-        while let Some(matrix) = self.committed.get(&(self.planned_through + 1)) {
-            let n = self.config.n() as usize;
-            // Deliberately the *static* coverage threshold even inside a
-            // restricted epoch: a commit processed by one survivor before
-            // the epoch switch and by another after it must yield the
-            // same execution plan, so the plan function cannot depend on
-            // epoch state.
-            let threshold = self.config.coverage_threshold() as usize;
-            let mut target = self.plan_cover.clone();
-            for (origin, cover) in target.iter_mut().enumerate().take(n) {
-                let mut column: Vec<u64> = matrix.iter().map(|row| row.vector[origin]).collect();
-                column.sort_unstable_by(|a, b| b.cmp(a));
-                if column.len() >= threshold {
-                    *cover = (*cover).max(column[threshold - 1]);
-                }
-            }
-            for (origin, (&from_cover, &to_cover)) in self
-                .plan_cover
-                .clone()
-                .iter()
-                .zip(target.iter())
-                .enumerate()
-            {
-                if to_cover <= from_cover {
-                    continue;
-                }
-                if po_incarnation(from_cover) == po_incarnation(to_cover) {
-                    for s in from_cover + 1..=to_cover {
-                        self.exec_plan.push_back((origin as u32, s));
-                    }
-                } else {
-                    // Incarnation jump: the tail of the old incarnation is
-                    // abandoned deterministically (all replicas process the
-                    // same committed matrices in order, so all abandon the
-                    // same slots); the new incarnation executes from 1.
-                    let inc = po_incarnation(to_cover);
-                    for c in 1..=po_counter(to_cover) {
-                        self.exec_plan
-                            .push_back((origin as u32, po_compose(inc, c)));
-                    }
-                }
-            }
-            self.plan_cover = target;
-            self.planned_through += 1;
-        }
-    }
-
-    /// Drains the execution plan while updates are available.
-    fn try_execute(&mut self, now: SimTime, out: &mut Vec<OutEvent>) {
-        while let Some(&(origin, po_seq)) = self.exec_plan.front() {
-            let Some(signed) = self.po_store.get(&(origin, po_seq)) else {
-                // Missing: reconciliation.
-                self.stall_since.get_or_insert(now);
-                if now.since(self.last_fetch_at) >= SimDuration::from_millis(50) {
-                    self.last_fetch_at = now;
-                    self.stats.fetches += 1;
-                    let fetch = self.sign(PrimeMsg::PoFetch {
-                        origin: ReplicaId(origin),
-                        po_seq,
-                    });
-                    out.push(OutEvent::Broadcast(fetch));
-                }
-                return;
-            };
-            let update = signed.update.clone();
-            self.exec_plan.pop_front();
-            self.stall_since = None;
-            let client_set = self.executed_clients.entry(update.client).or_default();
-            if !client_set.insert(update.client_seq) {
-                self.stats.dup_suppressed += 1;
-                continue;
-            }
-            self.exec_seq += 1;
-            self.stats.executed += 1;
-            self.c_executed.inc();
-            self.app.execute(&update, self.exec_seq);
-            // Close the update's pre-ordering span and stamp the
-            // execution instant, parented on the latest ordering phase
-            // (falling back to the queue span under catch-up paths
-            // that bypass the three-phase rounds).
-            let queue = self.trace_queue.remove(&(update.client, update.client_seq));
-            let trace = if queue.is_some() {
-                let parent = self
-                    .trace_phase
-                    .iter()
-                    .next_back()
-                    .map(|(_, ctx)| *ctx)
-                    .or(queue);
-                let span = self
-                    .obs
-                    .instant_span(parent, obs::Stage::PrimeExecute, self.id.0);
-                self.obs.end_span(queue);
-                span
-            } else {
-                None
-            };
-            obs::prof::charge_msg("prime;execute", 1, 0);
-            out.push(OutEvent::Execute {
-                exec_seq: self.exec_seq,
-                update,
-                trace,
-            });
-            // Checkpoint when due.
-            if self.exec_seq - self.last_checkpoint_at_exec >= self.timing.checkpoint_interval {
-                self.last_checkpoint_at_exec = self.exec_seq;
-                let cp = self.sign(PrimeMsg::Checkpoint {
-                    exec_seq: self.exec_seq,
-                    app_digest: self.app.digest(),
-                });
-                // Vote for our own checkpoint too.
-                self.checkpoint_votes
-                    .entry((self.exec_seq, self.app.digest()))
-                    .or_default()
-                    .insert(self.id.0);
-                out.push(OutEvent::Broadcast(cp));
-            }
-        }
-        // Plan drained: if nothing eligible remains, clear suspicion clock.
-        if !self.has_unordered_eligible() {
-            self.unordered_since = None;
-        }
-    }
-
-    fn has_unordered_eligible(&self) -> bool {
-        self.my_aru
-            .iter()
-            .zip(self.plan_cover.iter())
-            .any(|(a, c)| a > c)
-            || !self.exec_plan.is_empty()
-    }
-
-    fn note_unordered(&mut self, now: SimTime) {
-        if self.has_unordered_eligible() && self.unordered_since.is_none() {
-            self.unordered_since = Some(now);
-        }
-    }
-
-    fn on_po_data(&mut self, original: &[u8], now: SimTime, out: &mut Vec<OutEvent>) {
-        // The payload must be the origin's own signed PoRequest envelope.
-        let Ok(envelope) = SignedMsg::from_wire(original) else {
-            return;
-        };
-        if !envelope.verify_cached(&self.registry, &mut self.verify_cache) {
-            self.stats.bad_sigs += 1;
-            return;
-        }
-        let PrimeMsg::PoRequest {
-            origin,
-            po_seq,
-            update,
-        } = envelope.msg.clone()
-        else {
-            return;
-        };
-        let from = envelope.from;
-        self.accept_po_request(envelope, from, origin, po_seq, update, now, out);
-    }
-
-    fn on_suspect(&mut self, from: ReplicaId, view: u64, now: SimTime, out: &mut Vec<OutEvent>) {
-        if view < self.view {
-            return;
-        }
-        self.suspects.entry(view).or_default().insert(from.0);
-        let count =
-            self.suspects[&view].len() as u32 + u32::from(self.sent_suspect.contains(&view));
-        if view == self.view && count >= self.active_suspect_threshold() {
-            self.start_view_change(view + 1, now, out);
-        }
-    }
-
-    fn start_view_change(&mut self, target: u64, now: SimTime, out: &mut Vec<OutEvent>) {
-        if self.in_view_change && self.vc_target >= target {
-            return;
-        }
-        self.in_view_change = true;
-        self.vc_target = target;
-        self.last_vc_broadcast_at = now;
-        let (prepared_seq, prepared_view, prepared_matrix) = match &self.prepared_cert {
-            Some((s, v, m)) if *s > self.max_committed => (*s, *v, m.clone()),
-            _ => (0, 0, Vec::new()),
-        };
-        let vc = PrimeMsg::ViewChange {
-            new_view: target,
-            max_committed: self.max_committed,
-            prepared_seq,
-            prepared_view,
-            prepared_matrix: prepared_matrix.clone(),
-        };
-        // Record our own vote.
-        self.view_changes.entry(target).or_default().insert(
-            self.id.0,
-            (
-                self.max_committed,
-                prepared_seq,
-                prepared_view,
-                prepared_matrix,
-            ),
-        );
-        let vc = self.sign(vc);
-        out.push(OutEvent::Broadcast(vc));
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn on_view_change(
-        &mut self,
-        from: ReplicaId,
-        new_view: u64,
-        max_committed: u64,
-        prepared_seq: u64,
-        prepared_view: u64,
-        prepared_matrix: Vec<AruRow>,
-        now: SimTime,
-        out: &mut Vec<OutEvent>,
-    ) {
-        if new_view <= self.view {
-            return;
-        }
-        self.view_changes.entry(new_view).or_default().insert(
-            from.0,
-            (max_committed, prepared_seq, prepared_view, prepared_matrix),
-        );
-        let votes = self.view_changes[&new_view].len() as u32;
-        // Join a view change once f+1 replicas are moving (can't all be faulty).
-        if votes > self.active_f() && (!self.in_view_change || self.vc_target < new_view) {
-            self.start_view_change(new_view, now, out);
-        }
-        // As the new leader, install the view once a quorum has voted.
-        if votes >= self.active_ordering_quorum()
-            && self.active_leader_of(new_view) == self.id
-            && self.view < new_view
-        {
-            self.install_view(new_view, now, out);
-        }
-    }
-
-    fn install_view(&mut self, new_view: u64, now: SimTime, out: &mut Vec<OutEvent>) {
-        let votes = self
-            .view_changes
-            .get(&new_view)
-            .cloned()
-            .unwrap_or_default();
-        let max_committed_any = votes
-            .values()
-            .map(|(mc, _, _, _)| *mc)
-            .max()
-            .unwrap_or(0)
-            .max(self.max_committed);
-        // Highest prepared certificate above the committed watermark, by
-        // (prepared_view, seq).
-        let best_prepared = votes
-            .values()
-            .filter(|(_, ps, _, _)| *ps > max_committed_any)
-            .max_by_key(|(_, ps, pv, _)| (*pv, *ps))
-            .cloned();
-        let start_seq = match &best_prepared {
-            Some((_, ps, _, _)) => *ps + 1,
-            None => max_committed_any + 1,
-        };
-        self.view = new_view;
-        self.in_view_change = false;
-        self.unordered_since = None;
-        self.stats.view_changes += 1;
-        self.c_view_changes.inc();
-        self.obs.journal(obs::Event::ViewChange {
-            replica: self.id.0,
-            view: new_view,
-        });
-        out.push(OutEvent::ViewChanged { view: new_view });
-        let nv = self.sign(PrimeMsg::NewView {
-            view: new_view,
-            start_seq,
-        });
-        out.push(OutEvent::Broadcast(nv));
-        // Re-propose the surviving prepared matrix under the new view.
-        if let Some((_, ps, _, matrix)) = best_prepared {
-            if !matrix.is_empty() {
-                self.propose_matrix(ps, matrix, now, out);
-            }
-        }
-    }
-
-    fn on_new_view(
-        &mut self,
-        from: ReplicaId,
-        view: u64,
-        _start_seq: u64,
-        now: SimTime,
-        out: &mut Vec<OutEvent>,
-    ) {
-        if view <= self.view || from != self.active_leader_of(view) {
-            return;
-        }
-        // Accept if we participated (sent or observed the view change).
-        let votes = self.view_changes.get(&view).map_or(0, |m| m.len() as u32);
-        if votes == 0 {
-            return;
-        }
-        self.view = view;
-        self.in_view_change = false;
-        self.unordered_since = Some(now);
-        self.stats.view_changes += 1;
-        self.c_view_changes.inc();
-        self.obs.journal(obs::Event::ViewChange {
-            replica: self.id.0,
-            view,
-        });
-        out.push(OutEvent::ViewChanged { view });
-    }
-
-    fn on_checkpoint(
-        &mut self,
-        from: ReplicaId,
-        exec_seq: u64,
-        app_digest: Digest,
-        now: SimTime,
-        out: &mut Vec<OutEvent>,
-    ) {
-        self.checkpoint_votes
-            .entry((exec_seq, app_digest))
-            .or_default()
-            .insert(from.0);
-        let votes = self.checkpoint_votes[&(exec_seq, app_digest)].len() as u32;
-        if votes >= self.active_ordering_quorum() && exec_seq > self.stable_checkpoint {
-            self.stable_checkpoint = exec_seq;
-            out.push(OutEvent::CheckpointStable { exec_seq });
-            // Garbage-collect old vote state.
-            self.checkpoint_votes.retain(|(s, _), _| *s >= exec_seq);
-            // If we are far behind a stable checkpoint, catch up.
-            if self.exec_seq + self.timing.checkpoint_interval < exec_seq {
-                self.request_catchup(now, out);
-            }
-        }
-    }
-
-    /// Requests replication + application state transfer from peers.
-    pub fn request_catchup(&mut self, now: SimTime, out: &mut Vec<OutEvent>) {
-        if self.catching_up {
-            return;
-        }
-        self.catching_up = true;
-        self.catchup_started = now;
-        self.catchup_attempts = 0;
-        self.catchup_offers.clear();
-        self.catchup_dedup.clear();
-        out.push(OutEvent::StateTransferRequested);
-        let req = self.sign(PrimeMsg::CatchupRequest {
-            have_exec_seq: self.exec_seq,
-        });
-        out.push(OutEvent::Broadcast(req));
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn on_catchup_reply(
-        &mut self,
-        from: ReplicaId,
-        exec_seq: u64,
-        app_digest: Digest,
-        snapshot: Vec<u8>,
-        next_order_seq: u64,
-        exec_cover: Vec<u64>,
-        view: u64,
-        out: &mut Vec<OutEvent>,
-    ) {
-        if !self.catching_up || exec_seq <= self.exec_seq {
-            return;
-        }
-        if exec_cover.len() != self.config.n() as usize {
-            return;
-        }
-        // Pair the reply with the sender's `CatchupDedup` companion (sent
-        // just ahead of it); absent or mismatched means no table.
-        let dedup: DedupTable = match self.catchup_dedup.get(&from.0) {
-            Some((e, table)) if *e == exec_seq => table.clone(),
-            _ => Vec::new(),
-        };
-        let key = (exec_seq, app_digest, dedup_digest(&dedup));
-        let offer = PrimeMsg::CatchupReply {
-            exec_seq,
-            app_digest,
-            snapshot,
-            next_order_seq,
-            exec_cover,
-            view,
-        };
-        let active_f = self.active_f();
-        let entry = self
-            .catchup_offers
-            .entry(key)
-            .or_insert_with(|| (BTreeSet::new(), offer, dedup));
-        entry.0.insert(from.0);
-        if entry.0.len() as u32 > active_f {
-            // f+1 matching offers: at least one from a correct replica.
-            let dedup = entry.2.clone();
-            let PrimeMsg::CatchupReply {
-                exec_seq,
-                app_digest,
-                snapshot,
-                next_order_seq,
-                exec_cover,
-                view,
-            } = entry.1.clone()
-            else {
-                return;
-            };
-            self.app.install_snapshot(&snapshot);
-            if self.app.digest() != app_digest {
-                // Corrupt snapshot from a faulty replica; discard the group.
-                self.catchup_offers.remove(&key);
-                return;
-            }
-            self.exec_seq = exec_seq;
-            if !dedup.is_empty() {
-                // Empty means the senders do not transfer their dedup
-                // tables (`Config::transfer_dedup` off); keep ours rather
-                // than wiping it.
-                self.install_dedup_table(&dedup);
-            }
-            self.plan_cover = exec_cover;
-            self.planned_through = next_order_seq.saturating_sub(1);
-            self.max_committed = self.max_committed.max(self.planned_through);
-            self.exec_plan.clear();
-            self.view = self.view.max(view);
-            self.in_view_change = false;
-            self.catching_up = false;
-            self.stall_since = None;
-            self.last_checkpoint_at_exec = exec_seq;
-            self.stats.catchups += 1;
-            out.push(OutEvent::StateTransferInstalled { exec_seq });
-        }
     }
 
     /// Periodic driver: gossip PO-ARUs, propose as leader, check timeouts.
@@ -1529,6 +958,14 @@ impl<A: Application> Replica<A> {
             if self.health_ticks.is_multiple_of(health_every) {
                 self.journal_health(now);
             }
+        }
+        // Close a stale batch: end-of-burst stragglers must not wait for
+        // the next submission to trigger the rate-limiter.
+        if self.config.batch_max > 0
+            && !self.batch_pending.is_empty()
+            && now.since(self.last_batch_at) >= self.config.batch_delay
+        {
+            self.flush_batch(now, &mut out);
         }
         // Gossip PO-ARU when it changed or periodically.
         if (self.my_aru != self.last_gossiped_aru
@@ -1588,14 +1025,29 @@ impl<A: Application> Replica<A> {
                 .and_then(|votes| votes.get(&self.id.0))
                 .cloned()
             {
-                let vc = self.sign(PrimeMsg::ViewChange {
-                    new_view: target,
-                    max_committed,
-                    prepared_seq,
-                    prepared_view,
-                    prepared_matrix: matrix,
-                });
-                out.push(OutEvent::Broadcast(vc));
+                if self.config.pipeline > 1 {
+                    let certs = self
+                        .vc_windows
+                        .get(&target)
+                        .and_then(|w| w.get(&self.id.0))
+                        .cloned()
+                        .unwrap_or_default();
+                    let vc = self.sign(PrimeMsg::ViewChangeWindow {
+                        new_view: target,
+                        max_committed,
+                        certs,
+                    });
+                    out.push(OutEvent::Broadcast(vc));
+                } else {
+                    let vc = self.sign(PrimeMsg::ViewChange {
+                        new_view: target,
+                        max_committed,
+                        prepared_seq,
+                        prepared_view,
+                        prepared_matrix: matrix,
+                    });
+                    out.push(OutEvent::Broadcast(vc));
+                }
             }
         }
         // A committed-sequence gap is also a stall (see check_committed).
@@ -1626,6 +1078,7 @@ impl<A: Application> Replica<A> {
                 self.catchup_started = now;
                 self.catchup_offers.clear();
                 self.catchup_dedup.clear();
+                self.catchup_chunks.clear();
                 let req = self.sign(PrimeMsg::CatchupRequest {
                     have_exec_seq: self.exec_seq,
                 });
@@ -1703,77 +1156,6 @@ impl<A: Application> Replica<A> {
         self.timing.suspect_timeout
     }
 
-    fn maybe_propose(&mut self, now: SimTime, out: &mut Vec<OutEvent>) {
-        if let ByzMode::DelayLeader(extra) = self.byz {
-            if now.since(self.last_pp_at) < self.timing.pp_interval + extra {
-                return;
-            }
-        } else if now.since(self.last_pp_at) < self.timing.pp_interval {
-            return;
-        }
-        if self.byz.is_mute_leader() {
-            return;
-        }
-        // Only one outstanding proposal at a time — but an entry left by
-        // a dead view does not count: it can never gather prepares in
-        // this view, so the new leader must re-propose the sequence.
-        let next_seq = self.max_committed + 1;
-        if self
-            .pre_prepares
-            .get(&next_seq)
-            .is_some_and(|(v, _, _)| *v == self.view)
-        {
-            return;
-        }
-        // Collect rows; require a quorum of distinct replicas.
-        let rows: Vec<AruRow> = self.latest_rows.values().cloned().collect();
-        if (rows.len() as u32) < self.active_ordering_quorum() {
-            return;
-        }
-        // Only propose if coverage advances.
-        let n = self.config.n() as usize;
-        let threshold = self.config.coverage_threshold() as usize;
-        let mut cover = vec![0u64; n];
-        for (origin, c) in cover.iter_mut().enumerate() {
-            let mut column: Vec<u64> = rows.iter().map(|r| r.vector[origin]).collect();
-            column.sort_unstable_by(|a, b| b.cmp(a));
-            if column.len() >= threshold {
-                *c = column[threshold - 1];
-            }
-        }
-        if cover
-            .iter()
-            .zip(self.plan_cover.iter())
-            .all(|(c, p)| c <= p)
-        {
-            return;
-        }
-        self.last_pp_at = now;
-        self.propose_matrix(next_seq, rows, now, out);
-    }
-
-    fn propose_matrix(
-        &mut self,
-        seq: u64,
-        matrix: Vec<AruRow>,
-        now: SimTime,
-        out: &mut Vec<OutEvent>,
-    ) {
-        let digest = Self::matrix_digest(&matrix);
-        let view = self.view;
-        self.stats.proposals += 1;
-        self.pre_prepares
-            .insert(seq, (view, matrix.clone(), digest));
-        if !self.trace_phase.contains_key(&seq) {
-            self.trace_ordering_phase(seq, obs::Stage::PrimePrePrepare);
-        }
-        // The leader counts as prepared implicitly; it still must collect
-        // the quorum of Prepares from followers.
-        let msg = self.sign(PrimeMsg::PrePrepare { view, seq, matrix });
-        out.push(OutEvent::Broadcast(msg));
-        let _ = now;
-    }
-
     /// Proactive recovery: wipe all state (the replica restarts from a
     /// clean, rediversified image) and rejoin via state transfer. The
     /// membership epoch, being management-plane configuration rather
@@ -1804,6 +1186,12 @@ impl<A: Application> Replica<A> {
         self.committed.clear();
         self.max_committed = 0;
         self.prepared_cert = None;
+        self.batch_pending.clear();
+        self.last_batch_at = SimTime::ZERO;
+        self.po_batches.clear();
+        self.prepared_certs.clear();
+        self.vc_windows.clear();
+        self.catchup_chunks.clear();
         self.planned_through = 0;
         self.plan_cover = vec![0; n];
         self.exec_plan.clear();
@@ -1827,14 +1215,6 @@ impl<A: Application> Replica<A> {
         self.request_catchup(now, &mut out);
         out
     }
-}
-
-/// The wait before catch-up retransmission number `attempt + 1`: one plain
-/// `base` timeout for the first retry (identical to a non-backoff retry),
-/// then doubling per unanswered round, capped at `16 × base` so a long
-/// partition cannot push the next retry arbitrarily far past its heal.
-pub fn catchup_backoff(base: SimDuration, attempt: u32) -> SimDuration {
-    base.saturating_mul(1u64 << attempt.min(4))
 }
 
 impl<A: Application> std::fmt::Debug for Replica<A> {

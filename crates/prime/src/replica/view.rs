@@ -1,0 +1,288 @@
+//! Leader election: suspicion, view changes (single-certificate legacy
+//! form and the pipelined certificate-window form), and view installation.
+
+use super::*;
+
+impl<A: Application> Replica<A> {
+    pub(super) fn on_suspect(
+        &mut self,
+        from: ReplicaId,
+        view: u64,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
+        if view < self.view {
+            return;
+        }
+        self.suspects.entry(view).or_default().insert(from.0);
+        let count =
+            self.suspects[&view].len() as u32 + u32::from(self.sent_suspect.contains(&view));
+        if view == self.view && count >= self.active_suspect_threshold() {
+            self.start_view_change(view + 1, now, out);
+        }
+    }
+
+    pub(super) fn start_view_change(&mut self, target: u64, now: SimTime, out: &mut Vec<OutEvent>) {
+        if self.in_view_change && self.vc_target >= target {
+            return;
+        }
+        self.in_view_change = true;
+        self.vc_target = target;
+        self.last_vc_broadcast_at = now;
+        if self.config.pipeline > 1 {
+            self.start_view_change_window(target, out);
+            return;
+        }
+        let (prepared_seq, prepared_view, prepared_matrix) = match &self.prepared_cert {
+            Some((s, v, m)) if *s > self.max_committed => (*s, *v, m.clone()),
+            _ => (0, 0, Vec::new()),
+        };
+        let vc = PrimeMsg::ViewChange {
+            new_view: target,
+            max_committed: self.max_committed,
+            prepared_seq,
+            prepared_view,
+            prepared_matrix: prepared_matrix.clone(),
+        };
+        // Record our own vote.
+        self.view_changes.entry(target).or_default().insert(
+            self.id.0,
+            (
+                self.max_committed,
+                prepared_seq,
+                prepared_view,
+                prepared_matrix,
+            ),
+        );
+        let vc = self.sign(vc);
+        out.push(OutEvent::Broadcast(vc));
+    }
+
+    /// The pipelined vote form: every prepared-but-uncommitted
+    /// certificate above the committed watermark travels in one
+    /// `ViewChangeWindow`, so a view change cannot orphan the tail of an
+    /// in-flight window the way a single-certificate vote would. The
+    /// legacy vote table still counts this vote (keyed on its best
+    /// certificate) so join and quorum logic is shared with the
+    /// single-certificate form.
+    fn start_view_change_window(&mut self, target: u64, out: &mut Vec<OutEvent>) {
+        let certs: Vec<(u64, u64, Vec<AruRow>)> = self
+            .prepared_certs
+            .range(self.max_committed + 1..)
+            .map(|(seq, (view, matrix))| (*seq, *view, matrix.clone()))
+            .collect();
+        let (ps, pv, pm) = certs
+            .iter()
+            .max_by_key(|(seq, view, _)| (*view, *seq))
+            .map(|(seq, view, matrix)| (*seq, *view, matrix.clone()))
+            .unwrap_or((0, 0, Vec::new()));
+        self.view_changes
+            .entry(target)
+            .or_default()
+            .insert(self.id.0, (self.max_committed, ps, pv, pm));
+        self.vc_windows
+            .entry(target)
+            .or_default()
+            .insert(self.id.0, certs.clone());
+        let vc = self.sign(PrimeMsg::ViewChangeWindow {
+            new_view: target,
+            max_committed: self.max_committed,
+            certs,
+        });
+        out.push(OutEvent::Broadcast(vc));
+    }
+
+    /// Receives a pipelined certificate-window vote. Feeds the shared
+    /// vote table (via the window's best certificate) so the f+1 join
+    /// and quorum install rules are identical to the legacy form, while
+    /// the full window is retained for per-sequence re-proposal at
+    /// install time.
+    pub(super) fn on_view_change_window(
+        &mut self,
+        from: ReplicaId,
+        new_view: u64,
+        max_committed: u64,
+        certs: Vec<(u64, u64, Vec<AruRow>)>,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
+        if new_view <= self.view {
+            return;
+        }
+        // Certificates must be strictly ascending and above the voter's
+        // own watermark; a malformed window is discarded whole.
+        let mut last = max_committed;
+        for (seq, _, _) in &certs {
+            if *seq <= last {
+                return;
+            }
+            last = *seq;
+        }
+        let (ps, pv, pm) = certs
+            .iter()
+            .max_by_key(|(seq, view, _)| (*view, *seq))
+            .map(|(seq, view, matrix)| (*seq, *view, matrix.clone()))
+            .unwrap_or((0, 0, Vec::new()));
+        self.vc_windows
+            .entry(new_view)
+            .or_default()
+            .insert(from.0, certs);
+        self.view_changes
+            .entry(new_view)
+            .or_default()
+            .insert(from.0, (max_committed, ps, pv, pm));
+        let votes = self.view_changes[&new_view].len() as u32;
+        if votes > self.active_f() && (!self.in_view_change || self.vc_target < new_view) {
+            self.start_view_change(new_view, now, out);
+        }
+        if votes >= self.active_ordering_quorum()
+            && self.active_leader_of(new_view) == self.id
+            && self.view < new_view
+        {
+            self.install_view(new_view, now, out);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn on_view_change(
+        &mut self,
+        from: ReplicaId,
+        new_view: u64,
+        max_committed: u64,
+        prepared_seq: u64,
+        prepared_view: u64,
+        prepared_matrix: Vec<AruRow>,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
+        if new_view <= self.view {
+            return;
+        }
+        self.view_changes.entry(new_view).or_default().insert(
+            from.0,
+            (max_committed, prepared_seq, prepared_view, prepared_matrix),
+        );
+        let votes = self.view_changes[&new_view].len() as u32;
+        // Join a view change once f+1 replicas are moving (can't all be faulty).
+        if votes > self.active_f() && (!self.in_view_change || self.vc_target < new_view) {
+            self.start_view_change(new_view, now, out);
+        }
+        // As the new leader, install the view once a quorum has voted.
+        if votes >= self.active_ordering_quorum()
+            && self.active_leader_of(new_view) == self.id
+            && self.view < new_view
+        {
+            self.install_view(new_view, now, out);
+        }
+    }
+
+    pub(super) fn install_view(&mut self, new_view: u64, now: SimTime, out: &mut Vec<OutEvent>) {
+        let votes = self
+            .view_changes
+            .get(&new_view)
+            .cloned()
+            .unwrap_or_default();
+        let max_committed_any = votes
+            .values()
+            .map(|(mc, _, _, _)| *mc)
+            .max()
+            .unwrap_or(0)
+            .max(self.max_committed);
+        // Highest prepared certificate above the committed watermark, by
+        // (prepared_view, seq).
+        let best_prepared = votes
+            .values()
+            .filter(|(_, ps, _, _)| *ps > max_committed_any)
+            .max_by_key(|(_, ps, pv, _)| (*pv, *ps))
+            .cloned();
+        // Pipelined votes carry whole certificate windows: collect, per
+        // sequence above the watermark, the certificate with the highest
+        // prepared view (a prepared certificate is unique per view, so
+        // ties agree on the matrix). Empty unless peers sent
+        // `ViewChangeWindow`, i.e. never on the legacy path.
+        let mut window_certs: BTreeMap<u64, (u64, Vec<AruRow>)> = BTreeMap::new();
+        for window in self
+            .vc_windows
+            .get(&new_view)
+            .into_iter()
+            .flat_map(|w| w.values())
+        {
+            for (seq, pv, matrix) in window {
+                if *seq <= max_committed_any {
+                    continue;
+                }
+                let entry = window_certs.entry(*seq).or_insert((*pv, matrix.clone()));
+                if *pv > entry.0 {
+                    *entry = (*pv, matrix.clone());
+                }
+            }
+        }
+        let start_seq = if let Some((&top, _)) = window_certs.iter().next_back() {
+            top + 1
+        } else {
+            match &best_prepared {
+                Some((_, ps, _, _)) => *ps + 1,
+                None => max_committed_any + 1,
+            }
+        };
+        self.view = new_view;
+        self.in_view_change = false;
+        self.unordered_since = None;
+        self.stats.view_changes += 1;
+        self.c_view_changes.inc();
+        self.obs.journal(obs::Event::ViewChange {
+            replica: self.id.0,
+            view: new_view,
+        });
+        out.push(OutEvent::ViewChanged { view: new_view });
+        let nv = self.sign(PrimeMsg::NewView {
+            view: new_view,
+            start_seq,
+        });
+        out.push(OutEvent::Broadcast(nv));
+        // Re-propose surviving prepared matrices under the new view: the
+        // whole per-sequence window when pipelined votes were collected,
+        // the single best certificate otherwise.
+        if window_certs.is_empty() {
+            if let Some((_, ps, _, matrix)) = best_prepared {
+                if !matrix.is_empty() {
+                    self.propose_matrix(ps, matrix, now, out);
+                }
+            }
+        } else {
+            for (seq, (_, matrix)) in window_certs {
+                if !matrix.is_empty() {
+                    self.propose_matrix(seq, matrix, now, out);
+                }
+            }
+        }
+    }
+
+    pub(super) fn on_new_view(
+        &mut self,
+        from: ReplicaId,
+        view: u64,
+        _start_seq: u64,
+        now: SimTime,
+        out: &mut Vec<OutEvent>,
+    ) {
+        if view <= self.view || from != self.active_leader_of(view) {
+            return;
+        }
+        // Accept if we participated (sent or observed the view change).
+        let votes = self.view_changes.get(&view).map_or(0, |m| m.len() as u32);
+        if votes == 0 {
+            return;
+        }
+        self.view = view;
+        self.in_view_change = false;
+        self.unordered_since = Some(now);
+        self.stats.view_changes += 1;
+        self.c_view_changes.inc();
+        self.obs.journal(obs::Event::ViewChange {
+            replica: self.id.0,
+            view,
+        });
+        out.push(OutEvent::ViewChanged { view });
+    }
+}

@@ -6,6 +6,7 @@ use bytes::Bytes;
 use itcrypto::keys::{KeyRegistry, Principal};
 use itcrypto::schnorr::Signature;
 use itcrypto::sha256::{sha256, Digest};
+use simnet::time::SimDuration;
 use simnet::wire::{DecodeError, Reader, Wire, Writer};
 
 /// A replica index in `0..n`.
@@ -41,6 +42,31 @@ pub struct Config {
     /// wire format (and their pinned digests) stable; chaos deployments
     /// arm it.
     pub transfer_dedup: bool,
+    /// Maximum client updates packed into one `PoRequestBatch` before the
+    /// batch closes and disseminates (0 = batching off: every update goes
+    /// out as a legacy per-update `PoRequest`, byte-identical to the
+    /// pre-batching wire format). Batching amortizes the per-message NIC
+    /// cost of pre-order dissemination — the E11 saturation bottleneck —
+    /// across many updates with a single Merkle-root signature.
+    pub batch_max: u32,
+    /// Time-trigger for batch close: a pending batch older than this
+    /// disseminates even if below `batch_max`. The trigger is evaluated
+    /// as a rate limiter — the first update after a quiet period ships
+    /// immediately as a singleton batch — so pre-saturation latency
+    /// matches the unbatched protocol.
+    pub batch_delay: SimDuration,
+    /// Ordering pipeline depth: how many Pre-Prepare sequences the leader
+    /// may keep in flight at once (1 = the legacy serialized ordering,
+    /// byte-identical wire behavior). Depths above 1 overlap ordering
+    /// rounds with dissemination and switch view-change votes to the
+    /// windowed `ViewChangeWindow` certificate carrier.
+    pub pipeline: u32,
+    /// Catch-up snapshot chunk size in bytes (0 = off: snapshots travel
+    /// whole inside `CatchupReply`, the legacy wire format). When armed,
+    /// snapshots larger than this split into `CatchupChunk` messages so a
+    /// large state transfer does not occupy the sender's NIC lane in one
+    /// long burst.
+    pub transfer_chunk: u32,
 }
 
 impl Config {
@@ -50,7 +76,19 @@ impl Config {
             f,
             k,
             transfer_dedup: false,
+            batch_max: 0,
+            batch_delay: SimDuration::from_millis(5),
+            pipeline: 1,
+            transfer_chunk: 0,
         }
+    }
+
+    /// Arms Merkle-batched pre-order dissemination and pipelined
+    /// sequencing on top of this configuration (builder-style).
+    pub fn with_batching(mut self, batch_max: u32, pipeline: u32) -> Self {
+        self.batch_max = batch_max;
+        self.pipeline = pipeline.max(1);
+        self
     }
 
     /// The red-team deployment: `f = 1, k = 0` → 4 replicas (§IV-A).

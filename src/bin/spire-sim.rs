@@ -28,7 +28,12 @@
 //! flags:
 //!   --seed N       simulation seed (default 42)
 //!   --days N       e4/e12 compressed days (default 6)
-//!   --steps N      e11 ramp steps to run (default 6, i.e. the full ramp)
+//!   --steps N      e11 ramp steps to run (default: the full ramp)
+//!   --batch N      e11: Merkle-batch PO-Request dissemination, up to N
+//!                  updates per batch (default 0 = legacy per-update
+//!                  broadcast). Selects the extended rate ramp
+//!   --pipeline K   e11: keep up to K sequences in flight (default 1 =
+//!                  serialized ordering)
 //!   --threads N    simulator worker threads (default 1). Any value
 //!                  produces bit-for-bit identical results; the
 //!                  conservative parallel scheduler only changes speed
@@ -69,7 +74,8 @@ use bench::redteam_experiments::{
     render_ablation,
 };
 use bench::saturation::{
-    e11_default_rates, e11_saturation, render_saturation, saturation_attribution, saturation_json,
+    e11_batched_rates, e11_default_rates, e11_saturation_with, render_saturation,
+    saturation_attribution, saturation_json, SaturationOpts,
 };
 use bench::site_experiment::{e13_site_failover, render_site_failover, site_failover_json};
 
@@ -84,13 +90,17 @@ struct Options {
     json: Option<String>,
     prof: Option<String>,
     health_every: u64,
+    batch: u32,
+    pipeline: u32,
 }
 
 fn parse_flags(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         seed: 42,
         days: 6,
-        steps: e11_default_rates().len(),
+        // "Whole ramp" by default; --steps N truncates whichever ramp
+        // (legacy or batched) the e11 arm selects.
+        steps: usize::MAX,
         threads: 1,
         metrics: false,
         trace: false,
@@ -98,11 +108,14 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
         json: None,
         prof: None,
         health_every: 0,
+        batch: 0,
+        pipeline: 1,
     };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            flag @ ("--seed" | "--days" | "--steps" | "--threads" | "--health-every") => {
+            flag @ ("--seed" | "--days" | "--steps" | "--threads" | "--health-every"
+            | "--batch" | "--pipeline") => {
                 i += 1;
                 let value = args
                     .get(i)
@@ -115,6 +128,8 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
                     "--days" => opts.days = parsed,
                     "--steps" => opts.steps = parsed as usize,
                     "--health-every" => opts.health_every = parsed,
+                    "--batch" => opts.batch = parsed as u32,
+                    "--pipeline" => opts.pipeline = (parsed as u32).max(1),
                     _ => opts.threads = (parsed as usize).max(1),
                 }
             }
@@ -279,9 +294,17 @@ fn run(command: &str, opts: &Options) -> Option<bool> {
         ),
         "e10" => println!("{}", render_ablation(&e10_hardening_ablation(opts.seed))),
         "e11" => {
-            let rates = e11_default_rates();
+            let sat_opts = SaturationOpts {
+                batch_max: opts.batch,
+                pipeline: opts.pipeline,
+            };
+            let rates = if opts.batch > 0 {
+                e11_batched_rates()
+            } else {
+                e11_default_rates()
+            };
             let rates = &rates[..opts.steps.clamp(1, rates.len())];
-            let run = e11_saturation(opts.seed, rates);
+            let run = e11_saturation_with(opts.seed, rates, sat_opts);
             println!("{}", render_saturation(&run));
             if obs::prof::enabled() {
                 println!("{}", saturation_attribution(&run));
@@ -334,8 +357,9 @@ const COMMANDS: &[&str] = &[
 
 fn usage() -> String {
     format!(
-        "usage: spire-sim <{}> [--seed N] [--days N] [--steps N] [--threads N] [--metrics] \
-         [--trace] [--trace-export FILE] [--json FILE] [--prof FILE] [--health-every N]",
+        "usage: spire-sim <{}> [--seed N] [--days N] [--steps N] [--batch N] [--pipeline K] \
+         [--threads N] [--metrics] [--trace] [--trace-export FILE] [--json FILE] [--prof FILE] \
+         [--health-every N]",
         COMMANDS.join("|")
     )
 }

@@ -14,7 +14,7 @@ use spire::config::SpireConfig;
 use spire::deploy::Deployment;
 use spire::hardening::HardeningProfile;
 
-use bench::chaos_experiment::e12_chaos_soak;
+use bench::chaos_experiment::{e12_chaos_soak, e12_chaos_soak_with};
 
 fn fast_timing() -> Timing {
     Timing {
@@ -77,6 +77,34 @@ fn e12_soak_is_deterministic() {
     assert_eq!(a.meta.sim_events, b.meta.sim_events);
     assert_eq!(a.injected, b.injected);
     assert_eq!(a.reconvergence_us, b.reconvergence_us);
+}
+
+/// The batched configuration (Merkle-batched dissemination, pipelined
+/// sequencing, chunked state transfer) must ride through the same chaos
+/// schedule as the stock soak: batches survive crash + restart and
+/// catch-up without duplicating or dropping member updates — the
+/// agreement and dedup invariants would trip on either. And the batched
+/// soak must be exactly as deterministic as the legacy one.
+#[test]
+fn e12_soak_stays_green_with_batching_and_chunked_transfer() {
+    let mut cfg = PrimeConfig::plant().with_batching(16, 4);
+    cfg.transfer_chunk = 64;
+    let run = e12_chaos_soak_with(42, 1, 12, cfg);
+    assert!(
+        run.distinct_kinds >= 5,
+        "expected >= 5 distinct fault kinds, got {} ({:?})",
+        run.distinct_kinds,
+        run.injected
+    );
+    assert!(
+        run.all_green,
+        "invariant violations with batching armed: {:?}",
+        run.invariants
+    );
+    assert!(run.min_executed > 0);
+    let again = e12_chaos_soak_with(42, 1, 12, cfg);
+    assert_eq!(run.meta.journal_digest, again.meta.journal_digest);
+    assert_eq!(run.meta.sim_events, again.meta.sim_events);
 }
 
 /// Negative control: `f + 2` simultaneous crashes (3 of 6 replicas) leave

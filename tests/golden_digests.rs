@@ -71,6 +71,10 @@ const GOLDEN: &[(&str, &str)] = &[
         "7bdb380856e1e63d9521254e9822b89e15df2bdc4952d9bb1691db54c1b9db81",
     ),
     (
+        "e11b",
+        "ddf735f710a6484fcee7f9f74d5dc49b080c077eaa4cf83eea7f07bcc6ebfbf7",
+    ),
+    (
         "e12",
         "7b22a3c488ecd5a7d6370c375ec26f3fdf17e69a51b938aac4c01ef0a204c451",
     ),
@@ -166,6 +170,26 @@ fn e9_digest_pinned() {
 #[test]
 fn e10_digest_pinned() {
     check("e10");
+}
+
+#[test]
+fn e11b_digest_pinned() {
+    check("e11b");
+}
+
+/// The batched-E11 fingerprint is additionally pinned at a second seed:
+/// batching touches the wire format and the ordering pipeline, so one
+/// seed's stability is not enough evidence that the batch close / flush
+/// timing is deterministic. Release-only — a second debug-build batched
+/// ramp would blow the `cargo test -q` budget.
+#[cfg(not(debug_assertions))]
+#[test]
+fn e11b_digest_pinned_at_second_seed() {
+    assert_eq!(
+        experiment_fingerprint("e11b", 1111),
+        "b6809b988ed44f78793e272acaba82d3289c03a902c6180455e106dc8579f224",
+        "e11b fingerprint drifted at seed 1111"
+    );
 }
 
 #[test]

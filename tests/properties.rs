@@ -878,3 +878,195 @@ proptest! {
         prop_assert_eq!(q2.pop(), None);
     }
 }
+
+// ---- Merkle-batched PO-Request dissemination (E11 tentpole) ----
+//
+// Batching must be a pure amortization of the pre-ordering hot path:
+// the wire form must roundtrip for any member set, every member must
+// carry a valid inclusion proof (and any corrupted leaf must fail),
+// the root-signature verdict must be identical through the verify
+// cache and without it, and a batched cluster must deliver the exact
+// client update sequence of an unbatched one.
+
+/// A batch signed by replica 2 over sequential client updates, plus a
+/// registry holding the origin's and the client's keys.
+fn batch_fixture(
+    payloads: &[Vec<u8>],
+    first_po_seq: u64,
+) -> (prime::messages::PoBatch, itcrypto::keys::KeyRegistry) {
+    use itcrypto::keys::{KeyPair, KeyRegistry, Principal};
+    use prime::types::{ReplicaId, SignedUpdate};
+
+    let mut okey = KeyPair::generate(11);
+    let mut ckey = KeyPair::generate(12);
+    let mut registry = KeyRegistry::new();
+    registry.register(Principal::Replica(2), okey.public_key());
+    registry.register(Principal::Client(0), ckey.public_key());
+    let updates: Vec<SignedUpdate> = payloads
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let update = Update::new(0, i as u64 + 1, p.clone());
+            let sig = ckey.sign(&update.to_wire());
+            SignedUpdate { update, sig }
+        })
+        .collect();
+    let batch = prime::messages::PoBatch::sign(ReplicaId(2), first_po_seq, updates, &mut okey);
+    (batch, registry)
+}
+
+proptest! {
+    #[test]
+    fn po_batch_encoding_roundtrips_for_arbitrary_member_sets(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 1..24),
+        first_po_seq in 1u64..1_000_000_000,
+    ) {
+        use prime::messages::{PoBatch, PrimeMsg};
+
+        let (batch, _) = batch_fixture(&payloads, first_po_seq);
+        let decoded = PoBatch::from_wire(&batch.to_wire()).expect("batch decodes");
+        prop_assert_eq!(&decoded, &batch);
+        // And through the full protocol-message envelope.
+        let msg = PrimeMsg::PoRequestBatch {
+            batch: batch.clone(),
+        };
+        let rt = PrimeMsg::from_wire(&msg.to_wire()).expect("message decodes");
+        prop_assert_eq!(rt, msg);
+    }
+
+    #[test]
+    fn po_batch_inclusion_proofs_verify_every_member_and_reject_corruption(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 1..24),
+        corrupt_at in any::<usize>(),
+        corrupt_byte in 1u8..255,
+    ) {
+        use prime::messages::PoBatch;
+
+        let (batch, _) = batch_fixture(&payloads, 1);
+        let tree = batch.tree();
+        for (i, update) in batch.updates.iter().enumerate() {
+            let leaf = PoBatch::leaf_bytes(batch.first_po_seq + i as u64, update);
+            let proof = tree.prove(i).expect("index in range");
+            prop_assert!(MerkleTree::verify(tree.root(), &leaf, &proof));
+            prop_assert_eq!(proof.fold_root(&leaf), tree.root());
+            // A leaf claiming a different slot must not verify.
+            let wrong_slot = PoBatch::leaf_bytes(batch.first_po_seq + i as u64 + 1, update);
+            prop_assert!(!MerkleTree::verify(tree.root(), &wrong_slot, &proof));
+        }
+        // A corrupted member's leaf must fail against the signed root.
+        let i = corrupt_at % batch.updates.len();
+        let mut bad = batch.updates[i].clone();
+        if bad.update.payload.is_empty() {
+            bad.update.client_seq ^= u64::from(corrupt_byte);
+        } else {
+            let mut p = bad.update.payload.to_vec();
+            let at = corrupt_at % p.len();
+            p[at] ^= corrupt_byte;
+            bad.update.payload = p.into();
+        }
+        let bad_leaf = PoBatch::leaf_bytes(batch.first_po_seq + i as u64, &bad);
+        let proof = tree.prove(i).expect("index in range");
+        prop_assert!(!MerkleTree::verify(tree.root(), &bad_leaf, &proof));
+    }
+
+    #[test]
+    fn po_batch_cached_verdict_equals_uncached_for_corrupted_members(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 1..16),
+        tamper in any::<bool>(),
+        tamper_at in any::<usize>(),
+        tamper_byte in 1u8..255,
+    ) {
+        use itcrypto::verify_cache::VerifyCache;
+        use itcrypto::keys::Principal;
+        use prime::messages::PoBatch;
+
+        let (mut batch, registry) = batch_fixture(&payloads, 1);
+        if tamper {
+            let i = tamper_at % batch.updates.len();
+            batch.updates[i].update.client_seq ^= u64::from(tamper_byte);
+        }
+        // The uncached verdict: the origin's signature over the batch
+        // coordinates and the root recomputed from the (possibly
+        // corrupted) members.
+        let bytes = PoBatch::signed_root_bytes(
+            batch.origin,
+            batch.first_po_seq,
+            batch.updates.len() as u32,
+            batch.root(),
+        );
+        let uncached = registry.verify(
+            Principal::Replica(batch.origin.0),
+            &bytes,
+            &batch.root_sig,
+        );
+        prop_assert_eq!(uncached, !tamper);
+        // Miss path, then hit path: both must agree with the uncached
+        // verdict (the cache keys on the recomputed root, so a corrupted
+        // member can never hit a stale "valid" entry).
+        let mut cache = VerifyCache::new(16);
+        prop_assert_eq!(batch.verify_cached(&registry, &mut cache), uncached);
+        prop_assert_eq!(batch.verify_cached(&registry, &mut cache), uncached);
+        prop_assert_eq!((cache.hits, cache.misses), (1, 1));
+    }
+}
+
+/// Batched and unbatched clusters must deliver the *identical* client
+/// update sequence. A deterministic sweep (cluster runs are too heavy
+/// for the 64-case proptest loop) over batch sizes, pipeline depths,
+/// and submission burst shapes — bursts keep several updates inside one
+/// batch window (the 5 ms default delay), singleton gaps exercise the
+/// immediate-flush path.
+#[test]
+fn batched_cluster_delivers_identical_client_update_sequence() {
+    use prime::harness::Cluster;
+    use prime::replica::Timing;
+    use simnet::time::SimDuration;
+
+    let run = |cfg: Config, n_updates: usize, burst: usize| {
+        let mut c = Cluster::new(cfg, 1);
+        c.set_timing(Timing {
+            aru_interval: SimDuration::from_millis(10),
+            pp_interval: SimDuration::from_millis(10),
+            suspect_timeout: SimDuration::from_millis(400),
+            checkpoint_interval: 10,
+            catchup_timeout: SimDuration::from_millis(200),
+        });
+        for i in 0..n_updates {
+            c.submit(0, format!("k{i}=1"));
+            if i % burst == burst - 1 {
+                c.run_for(SimDuration::from_millis(7));
+            }
+        }
+        c.run_for(SimDuration::from_secs(2));
+        c.assert_consistent();
+        c.exec_logs[0]
+            .iter()
+            .map(|&(_, client, client_seq)| (client, client_seq))
+            .collect::<Vec<_>>()
+    };
+    for &(n_updates, batch_max, pipeline, burst) in &[
+        (1usize, 1u32, 1u32, 1usize),
+        (5, 2, 4, 2),
+        (8, 16, 4, 3),
+        (12, 4, 2, 3),
+        (16, 8, 1, 2),
+        (7, 3, 8, 1),
+    ] {
+        let legacy = run(Config::plant(), n_updates, burst);
+        let batched = run(
+            Config::plant().with_batching(batch_max, pipeline),
+            n_updates,
+            burst,
+        );
+        assert_eq!(
+            legacy.len(),
+            n_updates,
+            "unbatched run executed everything (batch={batch_max} pipe={pipeline})"
+        );
+        assert_eq!(
+            legacy, batched,
+            "batching changed the delivered sequence \
+             (n={n_updates} batch={batch_max} pipe={pipeline} burst={burst})"
+        );
+    }
+}
