@@ -90,6 +90,13 @@ echo "==> site-failover smoke (E13, all three paper configs, digest-pinned)"
 cargo run -q --release --bin spire-sim -- e13 --seed 42 >/dev/null
 cargo test -q --release --test site_failover
 
+echo "==> intrusion-response smoke (E16 campaigns + feedback-beats-periodic contract)"
+# One wave of both campaign shapes through the CLI proves the closed-loop
+# path end to end; the response suite re-checks the periodic-vs-feedback
+# contract at seeds {42, 1111} and the over-budget negative control.
+cargo run -q --release --bin spire-sim -- e16 --seed 42 --days 1 >/dev/null
+cargo test -q --release --test response
+
 echo "==> line-coverage gate (skips when cargo-llvm-cov is unavailable)"
 ci/coverage.sh
 

@@ -28,6 +28,7 @@ use crate::redteam_experiments::{
     e10_hardening_ablation_meta, e1_commercial_attacks_meta, e2_spire_network_attacks,
     e3_replica_excursion_meta, render_ablation,
 };
+use crate::response_experiment::{e16_campaign, render_campaign, Shape};
 use crate::saturation::{
     e11_batched_rates, e11_default_rates, e11_saturation, e11_saturation_with, render_saturation,
     SaturationOpts, SaturationRun,
@@ -68,7 +69,7 @@ fn meta_lines(out: &mut String, metas: &[RunMeta]) {
 }
 
 /// Runs experiment `id` ("e1".."e10", "e7b", "e11b", "e12",
-/// "e13a".."e13c") at `seed` — at a reduced size
+/// "e13a".."e13c", "e16a"/"e16b") at `seed` — at a reduced size
 /// where the full run would be slow — and folds its journal digests,
 /// event counts, and rendered result into one hex digest.
 ///
@@ -167,6 +168,17 @@ pub fn experiment_fingerprint(id: &str, seed: u64) -> String {
             meta_lines(&mut text, std::slice::from_ref(&leg.meta));
             text.push_str(&render_leg(&leg));
         }
+        "e16a" | "e16b" => {
+            let shape = if id == "e16a" {
+                Shape::ImplantFlood
+            } else {
+                Shape::DoubleCompromise
+            };
+            let run = e16_campaign(seed, shape, 1);
+            meta_lines(&mut text, std::slice::from_ref(&run.periodic.meta));
+            meta_lines(&mut text, std::slice::from_ref(&run.feedback.meta));
+            text.push_str(&render_campaign(&run));
+        }
         other => panic!("unknown experiment id: {other}"),
     }
     sha256(text.as_bytes()).to_hex()
@@ -175,7 +187,7 @@ pub fn experiment_fingerprint(id: &str, seed: u64) -> String {
 /// The experiment ids covered by [`experiment_fingerprint`], in run order.
 pub const FINGERPRINTED: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10", "e11b", "e12", "e13a",
-    "e13b", "e13c",
+    "e13b", "e13c", "e16a", "e16b",
 ];
 
 /// One timed experiment in a bench run.

@@ -17,6 +17,7 @@ pub mod mana_experiment;
 pub mod plant_experiments;
 pub mod recovery_experiments;
 pub mod redteam_experiments;
+pub mod response_experiment;
 pub mod saturation;
 pub mod site_experiment;
 

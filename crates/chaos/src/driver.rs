@@ -27,6 +27,7 @@ use spire::deploy::Deployment;
 
 use crate::invariants::InvariantChecker;
 use crate::plan::{ChaosPlan, Fault, FaultKind, ScheduledFault};
+use crate::signal::{ChaosSignal, SignalFeed, SignalKind};
 
 /// A fault currently in force, with whatever must be restored at heal.
 struct ActiveFault {
@@ -48,6 +49,8 @@ pub struct ChaosDriver {
     flip_interval: SimDuration,
     next_flip: Option<SimTime>,
     breaker_closed: bool,
+    /// Optional machine-readable inject/heal feed (`chaos::signal`).
+    signals: Option<SignalFeed>,
 }
 
 impl ChaosDriver {
@@ -64,7 +67,15 @@ impl ChaosDriver {
             flip_interval: SimDuration::from_secs(2),
             next_flip: None,
             breaker_closed: true,
+            signals: None,
         }
+    }
+
+    /// Attaches a signal feed: every injection and heal is published as a
+    /// typed [`ChaosSignal`] in addition to being journaled. Publication
+    /// is observation-only, so attaching a feed never changes the digest.
+    pub fn attach_signals(&mut self, feed: SignalFeed) {
+        self.signals = Some(feed);
     }
 
     /// Runs the soak for `dur`, stepping the deployment by `step` between
@@ -102,8 +113,9 @@ impl ChaosDriver {
 
     /// Heals every still-active fault immediately (end of soak).
     pub fn heal_all(&mut self, d: &mut Deployment, checker: &mut InvariantChecker) {
+        let now = d.now();
         for active in std::mem::take(&mut self.active) {
-            self.heal(d, checker, active);
+            self.heal(d, checker, active, now);
         }
     }
 
@@ -165,7 +177,7 @@ impl ChaosDriver {
             }
         });
         for active in due {
-            self.heal(d, checker, active);
+            self.heal(d, checker, active, now);
         }
     }
 
@@ -182,6 +194,15 @@ impl ChaosDriver {
             kind: kind.tag(),
             target: scheduled.fault.target(),
         });
+        if let Some(feed) = &self.signals {
+            feed.publish(ChaosSignal {
+                kind: SignalKind::Injected,
+                code: kind.tag(),
+                target: scheduled.fault.target(),
+                value: scheduled.duration.as_micros(),
+                at: now,
+            });
+        }
         let mut saved = None;
         match &scheduled.fault {
             Fault::Partition { isolated } => {
@@ -249,12 +270,27 @@ impl ChaosDriver {
         }
     }
 
-    fn heal(&mut self, d: &mut Deployment, checker: &mut InvariantChecker, active: ActiveFault) {
+    fn heal(
+        &mut self,
+        d: &mut Deployment,
+        checker: &mut InvariantChecker,
+        active: ActiveFault,
+        now: SimTime,
+    ) {
         let kind = active.fault.kind();
         d.obs.journal(obs::Event::ChaosHeal {
             kind: kind.tag(),
             target: active.fault.target(),
         });
+        if let Some(feed) = &self.signals {
+            feed.publish(ChaosSignal {
+                kind: SignalKind::Healed,
+                code: kind.tag(),
+                target: active.fault.target(),
+                value: 0,
+                at: now,
+            });
+        }
         match &active.fault {
             Fault::Partition { .. } => {
                 d.heal_internal_partition();

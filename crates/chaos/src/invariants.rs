@@ -34,6 +34,8 @@ use prime::application::Application;
 use simnet::time::{SimDuration, SimTime};
 use spire::deploy::Deployment;
 
+use crate::signal::{ChaosSignal, SignalFeed, SignalKind};
+
 /// Checker tuning knobs and the fault budget it enforces.
 #[derive(Clone, Copy, Debug)]
 pub struct CheckerConfig {
@@ -145,6 +147,8 @@ pub struct InvariantChecker {
     pub reconvergence_us: Vec<u64>,
     checks: [u64; 4],
     violations: [u64; 4],
+    /// Optional machine-readable signal feed (`chaos::signal`).
+    signals: Option<SignalFeed>,
 }
 
 impl InvariantChecker {
@@ -170,7 +174,15 @@ impl InvariantChecker {
             reconvergence_us: Vec::new(),
             checks: [0; 4],
             violations: [0; 4],
+            signals: None,
         }
+    }
+
+    /// Attaches a signal feed: reconvergence outcomes and invariant
+    /// violations are published as typed [`ChaosSignal`]s in addition to
+    /// journaling. Observation-only — the digest is unaffected.
+    pub fn attach_signals(&mut self, feed: SignalFeed) {
+        self.signals = Some(feed);
     }
 
     // ---- driver notifications --------------------------------------
@@ -383,8 +395,17 @@ impl InvariantChecker {
             if exec >= p.target {
                 self.checks[INV_RECONVERGENCE] += 1;
                 self.recovering.remove(&p.replica);
-                self.reconvergence_us
-                    .push(now.since(p.healed_at).as_micros());
+                let latency = now.since(p.healed_at).as_micros();
+                self.reconvergence_us.push(latency);
+                if let Some(feed) = &self.signals {
+                    feed.publish(ChaosSignal {
+                        kind: SignalKind::ReconvergenceDone,
+                        code: 0,
+                        target: p.replica,
+                        value: latency,
+                        at: now,
+                    });
+                }
             } else if now > p.deadline {
                 self.checks[INV_RECONVERGENCE] += 1;
                 self.recovering.remove(&p.replica);
@@ -393,6 +414,15 @@ impl InvariantChecker {
                     invariant: INV_RECONVERGENCE as u8,
                     detail: p.replica as u64,
                 });
+                if let Some(feed) = &self.signals {
+                    feed.publish(ChaosSignal {
+                        kind: SignalKind::ReconvergenceTimeout,
+                        code: INV_RECONVERGENCE as u8,
+                        target: p.replica,
+                        value: 0,
+                        at: now,
+                    });
+                }
             } else {
                 still.push(p);
             }
@@ -400,12 +430,21 @@ impl InvariantChecker {
         self.pending = still;
     }
 
-    fn violation(&mut self, invariant: usize, detail: u64, _now: SimTime) {
+    fn violation(&mut self, invariant: usize, detail: u64, now: SimTime) {
         self.violations[invariant] += 1;
         self.obs.journal(obs::Event::InvariantViolation {
             invariant: invariant as u8,
             detail,
         });
+        if let Some(feed) = &self.signals {
+            feed.publish(ChaosSignal {
+                kind: SignalKind::Violation,
+                code: invariant as u8,
+                target: 0,
+                value: detail,
+                at: now,
+            });
+        }
     }
 
     // ---- reporting --------------------------------------------------

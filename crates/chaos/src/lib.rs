@@ -13,6 +13,12 @@
 //! seed replays the same soak byte-for-byte. See `EXPERIMENTS.md` (E12)
 //! for the chaos-soak experiment built on this crate.
 
+//! For consumers that must *react* to chaos rather than audit it after
+//! the fact (the `response` controller, tests), [`signal`] adds a typed,
+//! deterministic publish/subscribe feed of injections, heals,
+//! reconvergence outcomes, and violations.
+
 pub mod driver;
 pub mod invariants;
 pub mod plan;
+pub mod signal;

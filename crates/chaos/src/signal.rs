@@ -1,0 +1,134 @@
+//! Deterministic, machine-readable chaos signal feed.
+//!
+//! The driver journals injections/heals and the checker journals
+//! violations, but the journal is a byte-encoded digest input — consumers
+//! that want to *react* to chaos (the response controller, tests) would
+//! have to re-parse it. The feed fixes that: the driver and checker
+//! publish typed [`ChaosSignal`] records into a shared, append-only
+//! buffer, in the exact order the underlying events happen, so a consumer
+//! polling [`SignalFeed::drain_from`] with its own cursor sees a
+//! deterministic stream for a given seed.
+//!
+//! The feed is an observation channel, not a side channel: publishing
+//! never mutates the deployment, and nothing in the driver or checker
+//! reads it back. Attaching a feed therefore cannot change a run's
+//! journal digest.
+
+use std::sync::{Arc, Mutex};
+
+use simnet::time::SimTime;
+
+/// What happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SignalKind {
+    /// The driver injected a fault (`code` = `FaultKind` tag).
+    Injected,
+    /// The driver healed a fault (`code` = `FaultKind` tag).
+    Healed,
+    /// A healed replica caught back up (`value` = latency in µs).
+    ReconvergenceDone,
+    /// A healed replica missed the reconvergence window.
+    ReconvergenceTimeout,
+    /// An invariant fired (`code` = invariant tag, `value` = detail).
+    Violation,
+}
+
+/// One feed record. Flat fields (no per-kind payload enums) keep
+/// consumers' match arms and the determinism proptests simple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosSignal {
+    /// What happened.
+    pub kind: SignalKind,
+    /// Kind-specific tag: `FaultKind` tag for inject/heal, invariant tag
+    /// for violations, 0 otherwise.
+    pub code: u8,
+    /// Affected component (replica id for most signals).
+    pub target: u32,
+    /// Kind-specific value: reconvergence latency (µs) or violation
+    /// detail, 0 otherwise.
+    pub value: u64,
+    /// Simulated time the signal was published.
+    pub at: SimTime,
+}
+
+/// Shared append-only signal buffer. Clones share state (the `ObsHub`
+/// idiom); publication order is the single-threaded simulation's event
+/// order, so reads are seed-deterministic.
+#[derive(Clone, Default)]
+pub struct SignalFeed {
+    inner: Arc<Mutex<Vec<ChaosSignal>>>,
+}
+
+impl SignalFeed {
+    /// An empty feed.
+    pub fn new() -> Self {
+        SignalFeed::default()
+    }
+
+    /// Appends a signal.
+    pub fn publish(&self, sig: ChaosSignal) {
+        self.inner.lock().unwrap().push(sig);
+    }
+
+    /// Total signals published so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// True when nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns every signal published since `cursor` and advances the
+    /// cursor past them. Each consumer owns its cursor, so multiple
+    /// consumers can tail the same feed independently.
+    pub fn drain_from(&self, cursor: &mut usize) -> Vec<ChaosSignal> {
+        let inner = self.inner.lock().unwrap();
+        let fresh = inner[(*cursor).min(inner.len())..].to_vec();
+        *cursor = inner.len();
+        fresh
+    }
+
+    /// A snapshot of the full history.
+    pub fn all(&self) -> Vec<ChaosSignal> {
+        self.inner.lock().unwrap().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(kind: SignalKind, target: u32) -> ChaosSignal {
+        ChaosSignal {
+            kind,
+            code: 0,
+            target,
+            value: 0,
+            at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn cursors_are_independent_and_order_preserving() {
+        let feed = SignalFeed::new();
+        let clone = feed.clone();
+        feed.publish(sig(SignalKind::Injected, 1));
+        clone.publish(sig(SignalKind::Healed, 1));
+
+        let mut a = 0;
+        let mut b = 0;
+        let first = feed.drain_from(&mut a);
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].kind, SignalKind::Injected);
+        assert_eq!(first[1].kind, SignalKind::Healed);
+        assert!(feed.drain_from(&mut a).is_empty());
+
+        feed.publish(sig(SignalKind::Violation, 2));
+        assert_eq!(feed.drain_from(&mut a).len(), 1);
+        // The second consumer still sees the full history.
+        assert_eq!(clone.drain_from(&mut b).len(), 3);
+        assert_eq!(feed.len(), 3);
+    }
+}

@@ -87,6 +87,43 @@ impl RecoveryScheduler {
         started
     }
 
+    /// Starts an immediate, out-of-band recovery of `replica` (the
+    /// response controller's feedback path: a *suspected* replica jumps
+    /// the round-robin queue). Returns `None` — and schedules nothing —
+    /// if the `k` budget is already spent or the replica is already down,
+    /// so a triggered recovery can never overdraw the budget the periodic
+    /// path respects. A fresh diverse variant is compiled exactly as for
+    /// periodic rejuvenations.
+    pub fn trigger(&mut self, replica: u32, now: SimTime) -> Option<RecoveryEvent> {
+        let before = self.in_flight.len();
+        self.in_flight.retain(|e| e.finish > now);
+        self.completed += (before - self.in_flight.len()) as u64;
+        if (self.in_flight.len() as u32) >= self.k
+            || self.in_flight.iter().any(|e| e.replica == replica)
+        {
+            return None;
+        }
+        self.seed_counter += 1;
+        let event = RecoveryEvent {
+            replica,
+            start: now,
+            finish: now + self.downtime,
+            new_variant: MultiCompiler::compile(self.seed_counter),
+        };
+        self.in_flight.push(event);
+        Some(event)
+    }
+
+    /// Re-anchors the periodic clock so the first rejuvenation fires one
+    /// interval after `now`. Deployments that spend a warm-up or training
+    /// phase before the recovery policy goes live call this once at
+    /// go-live; otherwise the first [`RecoveryScheduler::poll`] would
+    /// back-fill every interval elapsed since sim-zero as an immediate
+    /// burst of recoveries.
+    pub fn align(&mut self, now: SimTime) {
+        self.next_start = now + self.interval;
+    }
+
     /// Replicas currently down for recovery at `now`.
     pub fn down_at(&self, now: SimTime) -> Vec<u32> {
         self.in_flight
@@ -139,6 +176,24 @@ mod tests {
         let resumed = s.poll(SimTime(75_000_000));
         assert_eq!(resumed.len(), 1);
         assert_eq!(resumed[0].replica, 1);
+        assert_eq!(s.completed, 1);
+    }
+
+    #[test]
+    fn triggered_recovery_respects_k_and_rotates_variants() {
+        let mut s = sched();
+        let e = s.trigger(4, SimTime(5_000_000)).expect("budget free");
+        assert_eq!(e.replica, 4);
+        assert_eq!(e.finish, SimTime(25_000_000));
+        // k = 1: a second trigger while the first is down is refused,
+        // as is re-triggering the same replica.
+        assert!(s.trigger(2, SimTime(6_000_000)).is_none());
+        assert!(s.trigger(4, SimTime(6_000_000)).is_none());
+        // After it finishes, the budget frees up and variants rotate.
+        let e2 = s
+            .trigger(4, SimTime(30_000_000))
+            .expect("budget free again");
+        assert_ne!(e.new_variant.layout, e2.new_variant.layout);
         assert_eq!(s.completed, 1);
     }
 

@@ -73,6 +73,18 @@ pub struct Alert {
     pub peak_z: f64,
 }
 
+/// One scored monitoring window, buffered for machine consumption
+/// (the response controller polls these instead of parsing alerts).
+#[derive(Clone, Copy, Debug)]
+pub struct WindowScore {
+    /// Window start time.
+    pub start: SimTime,
+    /// Peak per-feature z-score of the window.
+    pub max_z: f64,
+    /// Whether the model flagged the window anomalous.
+    pub flagged: bool,
+}
+
 /// One MANA deployment (out-of-band, per network).
 pub struct ManaInstance {
     /// Instance name ("MANA 1", ...).
@@ -87,6 +99,13 @@ pub struct ManaInstance {
     pub windows_scored: u64,
     /// Windows flagged anomalous.
     pub windows_flagged: u64,
+    /// When armed via [`ManaInstance::journal_scores`]: the hub every
+    /// scored window is journaled to, and the subject id it is
+    /// attributed to.
+    journal: Option<(obs::ObsHub, u32)>,
+    /// Scored windows buffered since the last
+    /// [`ManaInstance::take_window_scores`] (only while armed).
+    window_scores: Vec<WindowScore>,
 }
 
 impl ManaInstance {
@@ -101,7 +120,25 @@ impl ManaInstance {
             alerts: Vec::new(),
             windows_scored: 0,
             windows_flagged: 0,
+            journal: None,
+            window_scores: Vec::new(),
         }
+    }
+
+    /// Arms per-window score journaling: every window scored after
+    /// training lands in `hub`'s journal as [`obs::Event::AnomalyScore`]
+    /// attributed to `subject` (replica index, or `1000 + p` for proxy
+    /// `p`), and is buffered for [`ManaInstance::take_window_scores`].
+    /// Off by default so historical digests are untouched; when armed the
+    /// scores fold into the digest, making detector output replayable.
+    pub fn journal_scores(&mut self, hub: obs::ObsHub, subject: u32) {
+        self.journal = Some((hub, subject));
+    }
+
+    /// Drains the scored-window buffer (empty unless
+    /// [`ManaInstance::journal_scores`] armed the instance).
+    pub fn take_window_scores(&mut self) -> Vec<WindowScore> {
+        std::mem::take(&mut self.window_scores)
     }
 
     /// Whether the baseline has been fitted.
@@ -129,7 +166,22 @@ impl ManaInstance {
                 Some(model) => {
                     self.windows_scored += 1;
                     let score = model.score(&w);
-                    if model.is_anomalous(&score) {
+                    let flagged = model.is_anomalous(&score);
+                    if let Some((hub, subject)) = &self.journal {
+                        // Quantize to thousandths so the f64 score has a
+                        // fixed byte encoding in the digest.
+                        let score_milli = (score.max_z.clamp(0.0, 1e12) * 1000.0).round() as u64;
+                        hub.journal(obs::Event::AnomalyScore {
+                            replica: *subject,
+                            score_milli,
+                        });
+                        self.window_scores.push(WindowScore {
+                            start: w.window_start,
+                            max_z: score.max_z,
+                            flagged,
+                        });
+                    }
+                    if flagged {
                         self.windows_flagged += 1;
                         self.raise(w.window_start, &score);
                     }
@@ -379,6 +431,32 @@ mod tests {
             latency_ms <= 200,
             "near-real-time detection, got {latency_ms} ms"
         );
+    }
+
+    #[test]
+    fn armed_instance_journals_and_buffers_window_scores() {
+        let mut mana = trained_instance();
+        let hub = obs::ObsHub::new();
+        mana.journal_scores(hub.clone(), 3);
+        mana.ingest(baseline_traffic(60_000, 61_000));
+        mana.advance_to(SimTime(61_000 * MS));
+        let scores = mana.take_window_scores();
+        assert!(!scores.is_empty());
+        assert!(scores.iter().all(|s| !s.flagged), "clean traffic");
+        let journaled =
+            hub.journal_count(|e| matches!(e, obs::Event::AnomalyScore { replica: 3, .. }));
+        assert_eq!(journaled, scores.len());
+        // Drained: a second take returns nothing until more windows score.
+        assert!(mana.take_window_scores().is_empty());
+    }
+
+    #[test]
+    fn unarmed_instance_journals_nothing() {
+        let mut mana = trained_instance();
+        mana.ingest(baseline_traffic(60_000, 61_000));
+        mana.advance_to(SimTime(61_000 * MS));
+        assert!(mana.windows_scored > 0);
+        assert!(mana.take_window_scores().is_empty());
     }
 
     #[test]

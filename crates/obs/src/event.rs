@@ -162,6 +162,38 @@ pub enum Event {
         /// Forwarding fair-queue depth at snapshot time.
         depth: u32,
     },
+    /// A MANA detector scored an observation window for a subject
+    /// (replica or proxy). Off by default — instances journal only after
+    /// `mana::ids::ManaInstance::journal_scores` arms them — so
+    /// historical digests are untouched; when armed the scores fold into
+    /// the digest like any other record.
+    AnomalyScore {
+        /// Subject id (replica index, or `1000 + p` for proxy `p`).
+        replica: u32,
+        /// Peak per-feature z-score of the window, in fixed-point
+        /// thousandths (f64 scores are quantized so the encoding is
+        /// byte-stable).
+        score_milli: u64,
+    },
+    /// The response controller moved between degraded-mode states.
+    ResponseTransition {
+        /// Previous `response::ResponseState` tag.
+        from: u8,
+        /// New state tag.
+        to: u8,
+        /// Transition-cause tag (see `response::controller`).
+        reason: u8,
+    },
+    /// The response controller fired an actuator.
+    ResponseActuation {
+        /// Actuator tag: 0 = take-down, 1 = restore, 2 = throttle,
+        /// 3 = unthrottle.
+        actuator: u8,
+        /// Target component (replica id or proxy id).
+        target: u32,
+        /// Actuator parameter (e.g. throttle interval in microseconds).
+        param: u64,
+    },
 }
 
 impl Event {
@@ -264,6 +296,30 @@ impl Event {
                 out.push(*link);
                 out.extend_from_slice(&depth.to_le_bytes());
             }
+            Event::AnomalyScore {
+                replica,
+                score_milli,
+            } => {
+                out.push(15);
+                out.extend_from_slice(&replica.to_le_bytes());
+                out.extend_from_slice(&score_milli.to_le_bytes());
+            }
+            Event::ResponseTransition { from, to, reason } => {
+                out.push(16);
+                out.push(*from);
+                out.push(*to);
+                out.push(*reason);
+            }
+            Event::ResponseActuation {
+                actuator,
+                target,
+                param,
+            } => {
+                out.push(17);
+                out.push(*actuator);
+                out.extend_from_slice(&target.to_le_bytes());
+                out.extend_from_slice(&param.to_le_bytes());
+            }
         }
     }
 }
@@ -326,6 +382,21 @@ impl fmt::Display for Event {
                 let overlay = if *link == 0 { "int" } else { "ext" };
                 write!(f, "health link d{daemon} {overlay}: queue depth {depth}")
             }
+            Event::AnomalyScore {
+                replica,
+                score_milli,
+            } => write!(f, "anomaly score {score_milli}m on subject {replica}"),
+            Event::ResponseTransition { from, to, reason } => {
+                write!(f, "response state {from} -> {to} (reason {reason})")
+            }
+            Event::ResponseActuation {
+                actuator,
+                target,
+                param,
+            } => write!(
+                f,
+                "response actuator {actuator} on target {target} (param {param})"
+            ),
         }
     }
 }
@@ -450,6 +521,34 @@ mod tests {
                 daemon: 1,
                 link: 1,
                 depth: 7,
+            },
+            Event::AnomalyScore {
+                replica: 2,
+                score_milli: 6500,
+            },
+            Event::AnomalyScore {
+                replica: 2,
+                score_milli: 6501,
+            },
+            Event::ResponseTransition {
+                from: 0,
+                to: 1,
+                reason: 0,
+            },
+            Event::ResponseTransition {
+                from: 0,
+                to: 1,
+                reason: 1,
+            },
+            Event::ResponseActuation {
+                actuator: 0,
+                target: 3,
+                param: 0,
+            },
+            Event::ResponseActuation {
+                actuator: 2,
+                target: 3,
+                param: 500_000,
             },
         ];
         let encoded: Vec<Vec<u8>> = events

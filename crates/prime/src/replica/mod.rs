@@ -192,6 +192,27 @@ pub struct ReplicaStats {
     pub batches_accepted: u64,
 }
 
+/// One flight-recorder health snapshot, as computed by
+/// [`Replica::health_sample`]. Field meanings match
+/// [`obs::Event::ReplicaHealth`], which journals the same gauges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthSample {
+    /// Snapshotting replica id.
+    pub replica: u32,
+    /// Current view number.
+    pub view: u64,
+    /// Sum of per-origin pre-ordering ARU counters.
+    pub aru: u64,
+    /// PO-queue depth (received into pre-ordering, not yet executed).
+    pub po_queue: u32,
+    /// Ordering sequences proposed but not yet committed here.
+    pub in_flight: u32,
+    /// Age of the oldest known unordered update, microseconds.
+    pub tat_us: u64,
+    /// Whether a catch-up (state transfer) is in progress.
+    pub catching_up: bool,
+}
+
 /// Per-view votes: sender → (max committed, prepared seq, prepared view,
 /// prepared matrix).
 type ViewChangeVotes = BTreeMap<u32, (u64, u64, u64, Vec<AruRow>)>;
@@ -1097,10 +1118,11 @@ impl<A: Application> Replica<A> {
         out
     }
 
-    /// Journals one [`obs::Event::ReplicaHealth`] flight-recorder record:
-    /// every gauge is pure replica state read at a deterministic tick, so
-    /// snapshot-enabled runs digest deterministically per seed.
-    fn journal_health(&mut self, now: SimTime) {
+    /// Computes the flight-recorder health gauges from pure replica
+    /// state. Public so a live consumer (the response controller) can
+    /// probe the same gauges the journal records, without journal parsing
+    /// and regardless of whether periodic snapshots are armed.
+    pub fn health_sample(&self, now: SimTime) -> HealthSample {
         // PO-queue depth: the planned backlog plus eligible pre-ordered
         // updates whose delivery is still outstanding. Eligibility uses
         // the composed aru/cover comparison (matching
@@ -1141,7 +1163,7 @@ impl<A: Application> Replica<A> {
         let tat_us = self
             .unordered_since
             .map_or(0, |since| now.since(since).as_micros());
-        self.obs.journal(obs::Event::ReplicaHealth {
+        HealthSample {
             replica: self.id.0,
             view: self.view,
             aru: self.my_aru.iter().map(|&v| po_counter(v)).sum(),
@@ -1149,6 +1171,22 @@ impl<A: Application> Replica<A> {
             in_flight: in_flight.min(u32::MAX as usize) as u32,
             tat_us,
             catching_up: self.catching_up,
+        }
+    }
+
+    /// Journals one [`obs::Event::ReplicaHealth`] flight-recorder record:
+    /// every gauge is pure replica state read at a deterministic tick, so
+    /// snapshot-enabled runs digest deterministically per seed.
+    fn journal_health(&mut self, now: SimTime) {
+        let s = self.health_sample(now);
+        self.obs.journal(obs::Event::ReplicaHealth {
+            replica: s.replica,
+            view: s.view,
+            aru: s.aru,
+            po_queue: s.po_queue,
+            in_flight: s.in_flight,
+            tat_us: s.tat_us,
+            catching_up: s.catching_up,
         });
     }
 

@@ -1,0 +1,746 @@
+//! The deterministic feedback controller.
+//!
+//! Inputs are *observations* a real deployment could make — detector
+//! scores, protocol health gauges, reachability, and the typed chaos
+//! signal feed. The controller never reads fault schedules or any other
+//! oracle: a compromised replica is found because spoofed traffic lights
+//! up its MANA instance or its gauges degrade, not because the harness
+//! whispered the injection.
+//!
+//! Safety argument (the budget guard): the controller initiates at most
+//! `k` concurrent recoveries, refuses to start one while any replica is
+//! unreachable for reasons it did not cause, and serializes its own
+//! disruptive windows with a global cool-down plus a per-replica
+//! re-recovery cool-down. With at most `f` intrusions assumed, the
+//! live-fault set it can add to never exceeds the `3f + 2k + 1` sizing
+//! the deployment was built for — mirroring the discipline
+//! `ChaosPlan::within_budget` applies to fault schedules.
+
+use chaos::signal::{ChaosSignal, SignalKind};
+use simnet::time::{SimDuration, SimTime};
+
+/// Degraded-mode states, ordered by severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ResponseState {
+    /// All quiet; no suspicion outstanding.
+    Normal,
+    /// At least one replica has accumulated (unconfirmed) suspicion.
+    Suspicious,
+    /// A proxy update-rate cap is in force.
+    Throttled,
+    /// A controller-initiated recovery has the suspect down.
+    Isolating,
+    /// A restored replica is still catching back up.
+    Recovering,
+}
+
+impl ResponseState {
+    /// Journal tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            ResponseState::Normal => 0,
+            ResponseState::Suspicious => 1,
+            ResponseState::Throttled => 2,
+            ResponseState::Isolating => 3,
+            ResponseState::Recovering => 4,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResponseState::Normal => "normal",
+            ResponseState::Suspicious => "suspicious",
+            ResponseState::Throttled => "throttled",
+            ResponseState::Isolating => "isolating",
+            ResponseState::Recovering => "recovering",
+        }
+    }
+}
+
+/// Transition/actuation cause tags (journaled in
+/// [`obs::Event::ResponseTransition`]).
+pub const REASON_ANOMALY: u8 = 0;
+/// Health-gauge degradation (PO queue / TAT over the red line).
+pub const REASON_HEALTH: u8 = 1;
+/// View churn implicating an abandoned leader.
+pub const REASON_VIEW_CHURN: u8 = 2;
+/// Proxy flooding.
+pub const REASON_FLOOD: u8 = 3;
+/// A scheduled restore came due.
+pub const REASON_RESTORE: u8 = 4;
+/// The calm hysteresis window elapsed.
+pub const REASON_CALM: u8 = 5;
+
+/// One replica's observation for a controller tick.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplicaObservation {
+    /// Replica index.
+    pub replica: u32,
+    /// Whether the replica's node is reachable.
+    pub up: bool,
+    /// Latest MANA peak z-score attributed to this replica's traffic
+    /// (0.0 when no window scored recently).
+    pub anomaly_z: f64,
+    /// Flight-recorder PO-queue depth.
+    pub po_queue: u32,
+    /// Flight-recorder turnaround-time estimate, microseconds.
+    pub tat_us: u64,
+    /// Current view number.
+    pub view: u64,
+    /// Whether a catch-up (state transfer) is in progress.
+    pub catching_up: bool,
+}
+
+/// One proxy's observation for a controller tick.
+#[derive(Clone, Copy, Debug)]
+pub struct ProxyObservation {
+    /// Proxy index.
+    pub proxy: u32,
+    /// Latest MANA peak z-score attributed to this proxy's traffic.
+    pub anomaly_z: f64,
+}
+
+/// Everything the controller sees in one tick.
+#[derive(Clone, Debug, Default)]
+pub struct ControllerInput {
+    /// Simulated time of the tick.
+    pub now: SimTime,
+    /// Per-replica observations, in replica-index order.
+    pub replicas: Vec<ReplicaObservation>,
+    /// Per-proxy observations, in proxy-index order.
+    pub proxies: Vec<ProxyObservation>,
+    /// Chaos signals published since the previous tick.
+    pub signals: Vec<ChaosSignal>,
+}
+
+impl Default for ReplicaObservation {
+    fn default() -> Self {
+        ReplicaObservation {
+            replica: 0,
+            up: true,
+            anomaly_z: 0.0,
+            po_queue: 0,
+            tat_us: 0,
+            view: 0,
+            catching_up: false,
+        }
+    }
+}
+
+/// An actuator command the caller must apply to the deployment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Actuation {
+    /// Take `replica` down for an immediate clean-image recovery.
+    TakeDown {
+        /// Suspect replica.
+        replica: u32,
+    },
+    /// Restore `replica` (its recovery downtime elapsed).
+    Restore {
+        /// Recovering replica.
+        replica: u32,
+    },
+    /// Cap proxy `proxy`'s status-update rate.
+    Throttle {
+        /// Flooding proxy.
+        proxy: u32,
+        /// Minimum spacing between updates.
+        min_interval: SimDuration,
+    },
+    /// Lift the cap on proxy `proxy`.
+    Unthrottle {
+        /// Calmed proxy.
+        proxy: u32,
+    },
+}
+
+impl Actuation {
+    /// Journal actuator tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            Actuation::TakeDown { .. } => 0,
+            Actuation::Restore { .. } => 1,
+            Actuation::Throttle { .. } => 2,
+            Actuation::Unthrottle { .. } => 3,
+        }
+    }
+
+    /// Target component.
+    pub fn target(self) -> u32 {
+        match self {
+            Actuation::TakeDown { replica } | Actuation::Restore { replica } => replica,
+            Actuation::Throttle { proxy, .. } | Actuation::Unthrottle { proxy } => proxy,
+        }
+    }
+
+    /// Journal parameter (throttle interval in µs, else 0).
+    pub fn param(self) -> u64 {
+        match self {
+            Actuation::Throttle { min_interval, .. } => min_interval.as_micros(),
+            _ => 0,
+        }
+    }
+}
+
+/// Controller tuning knobs and the budget it must respect.
+#[derive(Clone, Copy, Debug)]
+pub struct ResponseConfig {
+    /// Replica count.
+    pub n: u32,
+    /// Intrusion budget (informational; sizing assumption).
+    pub f: u32,
+    /// Concurrent-recovery budget the controller must respect.
+    pub k: u32,
+    /// Per-replica z-score at/above which a tick counts anomalous.
+    pub suspect_z: f64,
+    /// Per-proxy z-score at/above which a throttle engages.
+    pub flood_z: f64,
+    /// Consecutive anomalous ticks before a recovery is triggered.
+    pub confirm_ticks: u32,
+    /// Consecutive calm ticks before de-escalating to Normal (and before
+    /// a throttle lifts) — the hysteresis that prevents flapping.
+    pub calm_ticks: u32,
+    /// TAT red line, microseconds.
+    pub tat_red_us: u64,
+    /// PO-queue red line.
+    pub po_queue_red: u32,
+    /// How long a triggered recovery keeps the replica down.
+    pub recovery_downtime: SimDuration,
+    /// Minimum spacing between controller-initiated disruptive windows
+    /// (measured restore-to-next-takedown).
+    pub cooldown: SimDuration,
+    /// Minimum spacing between recoveries of the *same* replica.
+    pub replica_cooldown: SimDuration,
+    /// Update cap pushed into a throttled proxy.
+    pub throttle_interval: SimDuration,
+}
+
+impl ResponseConfig {
+    /// Defaults for an `n = 3f + 2k + 1` deployment.
+    pub fn for_budget(n: u32, f: u32, k: u32) -> Self {
+        ResponseConfig {
+            n,
+            f,
+            k,
+            suspect_z: 6.0,
+            flood_z: 8.0,
+            confirm_ticks: 3,
+            calm_ticks: 30,
+            tat_red_us: 3_000_000,
+            po_queue_red: 500,
+            recovery_downtime: SimDuration::from_millis(1_200),
+            cooldown: SimDuration::from_secs(3),
+            replica_cooldown: SimDuration::from_secs(10),
+            throttle_interval: SimDuration::from_millis(400),
+        }
+    }
+}
+
+/// Controller counters for reporting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResponseStats {
+    /// Feedback recoveries triggered.
+    pub recoveries_started: u64,
+    /// Restores issued.
+    pub recoveries_completed: u64,
+    /// Reconvergence confirmations consumed from the signal feed.
+    pub reconvergences_confirmed: u64,
+    /// Throttles engaged.
+    pub throttles: u64,
+    /// Throttles lifted.
+    pub unthrottles: u64,
+    /// State transitions journaled.
+    pub transitions: u64,
+}
+
+/// The feedback controller. Pure state machine: [`Controller::step`] is
+/// deterministic in (config, observation stream); all time comes from
+/// the input.
+pub struct Controller {
+    cfg: ResponseConfig,
+    state: ResponseState,
+    obs: Option<obs::ObsHub>,
+    /// Per-replica consecutive-anomalous-tick counters.
+    suspicion: Vec<u32>,
+    /// Cause tag of each replica's latest suspicion increment.
+    suspect_reason: Vec<u8>,
+    /// Highest view observed so far.
+    last_view: u64,
+    /// Controller-initiated downs: (replica, restore due).
+    down: Vec<(u32, SimTime)>,
+    /// Restored replicas not yet confirmed reconverged, with a
+    /// consecutive-healthy-tick streak as the signal-less fallback.
+    awaiting: Vec<(u32, u32)>,
+    /// When the controller's last disruptive window ended.
+    last_window_end: SimTime,
+    /// Per-replica last restore time.
+    last_recovered: Vec<Option<SimTime>>,
+    /// Per-proxy throttle flags and calm streaks.
+    throttled: Vec<bool>,
+    proxy_calm: Vec<u32>,
+    /// Consecutive globally-calm ticks (hysteresis toward Normal).
+    calm_streak: u32,
+    /// Every actuation emitted, with its tick time (test/report surface).
+    actions: Vec<(SimTime, Actuation)>,
+    /// Every state transition: (at, from, to, reason).
+    transitions: Vec<(SimTime, u8, u8, u8)>,
+    /// Counters.
+    pub stats: ResponseStats,
+}
+
+impl Controller {
+    /// A controller in `Normal` state.
+    pub fn new(cfg: ResponseConfig) -> Self {
+        let n = cfg.n as usize;
+        Controller {
+            cfg,
+            state: ResponseState::Normal,
+            obs: None,
+            suspicion: vec![0; n],
+            suspect_reason: vec![REASON_ANOMALY; n],
+            last_view: 0,
+            down: Vec::new(),
+            awaiting: Vec::new(),
+            last_window_end: SimTime::ZERO,
+            last_recovered: vec![None; n],
+            throttled: Vec::new(),
+            proxy_calm: Vec::new(),
+            calm_streak: 0,
+            actions: Vec::new(),
+            transitions: Vec::new(),
+            stats: ResponseStats::default(),
+        }
+    }
+
+    /// Attaches a hub: every actuation and state transition is journaled
+    /// as [`obs::Event::ResponseActuation`] / [`ResponseTransition`],
+    /// folding the controller's behavior into the run digest.
+    ///
+    /// [`ResponseTransition`]: obs::Event::ResponseTransition
+    pub fn attach_obs(&mut self, hub: obs::ObsHub) {
+        self.obs = Some(hub);
+    }
+
+    /// Current degraded-mode state.
+    pub fn state(&self) -> ResponseState {
+        self.state
+    }
+
+    /// Replicas currently down on the controller's initiative.
+    pub fn isolated(&self) -> Vec<u32> {
+        self.down.iter().map(|(r, _)| *r).collect()
+    }
+
+    /// Every actuation emitted so far, with tick times.
+    pub fn actions(&self) -> &[(SimTime, Actuation)] {
+        &self.actions
+    }
+
+    /// Every state transition journaled so far: (at, from, to, reason).
+    pub fn transitions(&self) -> &[(SimTime, u8, u8, u8)] {
+        &self.transitions
+    }
+
+    fn emit(&mut self, now: SimTime, act: Actuation) {
+        if let Some(hub) = &self.obs {
+            hub.journal(obs::Event::ResponseActuation {
+                actuator: act.tag(),
+                target: act.target(),
+                param: act.param(),
+            });
+        }
+        self.actions.push((now, act));
+    }
+
+    fn transition(&mut self, now: SimTime, to: ResponseState, reason: u8) {
+        if to == self.state {
+            return;
+        }
+        let from = self.state;
+        self.state = to;
+        self.stats.transitions += 1;
+        if let Some(hub) = &self.obs {
+            hub.journal(obs::Event::ResponseTransition {
+                from: from.tag(),
+                to: to.tag(),
+                reason,
+            });
+        }
+        self.transitions.push((now, from.tag(), to.tag(), reason));
+    }
+
+    /// One controller tick: consumes the observations, returns the
+    /// actuations the caller must apply. Call at a fixed cadence.
+    pub fn step(&mut self, input: &ControllerInput) -> Vec<Actuation> {
+        let now = input.now;
+        let n = self.cfg.n as usize;
+        self.throttled
+            .resize(input.proxies.len().max(self.throttled.len()), false);
+        self.proxy_calm.resize(self.throttled.len(), 0);
+        let mut out = Vec::new();
+
+        // 1. Signal feed: recovery confirmations and violation evidence.
+        //    Injection signals are deliberately ignored — detection must
+        //    come from observable behavior, not the fault schedule.
+        let mut violation_seen = false;
+        for sig in &input.signals {
+            match sig.kind {
+                SignalKind::ReconvergenceDone => {
+                    let before = self.awaiting.len();
+                    self.awaiting.retain(|(r, _)| *r != sig.target);
+                    if self.awaiting.len() < before {
+                        self.stats.reconvergences_confirmed += 1;
+                    }
+                }
+                SignalKind::ReconvergenceTimeout => {
+                    // A failed catch-up keeps the replica suspect; the
+                    // per-replica cool-down spaces any re-recovery.
+                    self.awaiting.retain(|(r, _)| *r != sig.target);
+                    if (sig.target as usize) < n {
+                        self.suspicion[sig.target as usize] = self.cfg.confirm_ticks;
+                        self.suspect_reason[sig.target as usize] = REASON_HEALTH;
+                    }
+                }
+                SignalKind::Violation => violation_seen = true,
+                SignalKind::Injected | SignalKind::Healed => {}
+            }
+        }
+
+        // 2. Restores that came due.
+        let due: Vec<u32> = self
+            .down
+            .iter()
+            .filter(|(_, t)| now >= *t)
+            .map(|(r, _)| *r)
+            .collect();
+        for r in due {
+            self.down.retain(|(dr, _)| *dr != r);
+            self.last_window_end = now;
+            self.last_recovered[r as usize] = Some(now);
+            self.awaiting.push((r, 0));
+            self.stats.recoveries_completed += 1;
+            let act = Actuation::Restore { replica: r };
+            self.emit(now, act);
+            out.push(act);
+            self.transition(now, ResponseState::Recovering, REASON_RESTORE);
+        }
+
+        // 3. View churn: a view change abandons a leader; the abandoned
+        //    leader earns suspicion (classic BFT forensics heuristic).
+        let max_view = input
+            .replicas
+            .iter()
+            .map(|r| r.view)
+            .max()
+            .unwrap_or(self.last_view);
+        if max_view > self.last_view {
+            let suspect = (self.last_view % self.cfg.n as u64) as usize;
+            if suspect < n {
+                self.suspicion[suspect] = self.suspicion[suspect].saturating_add(1);
+                self.suspect_reason[suspect] = REASON_VIEW_CHURN;
+            }
+            self.last_view = max_view;
+        }
+
+        // 4. Per-replica suspicion from detector scores and gauges.
+        let mut external_down = false;
+        for ob in &input.replicas {
+            let r = ob.replica as usize;
+            if r >= n {
+                continue;
+            }
+            let ours = self.down.iter().any(|(dr, _)| *dr == ob.replica);
+            if !ob.up && !ours {
+                external_down = true;
+            }
+            if !ob.up || ob.catching_up || ours {
+                continue;
+            }
+            let anomalous_det = ob.anomaly_z >= self.cfg.suspect_z;
+            let anomalous_health =
+                ob.tat_us >= self.cfg.tat_red_us || ob.po_queue >= self.cfg.po_queue_red;
+            if anomalous_det || anomalous_health {
+                self.suspicion[r] = self.suspicion[r].saturating_add(1);
+                self.suspect_reason[r] = if anomalous_det {
+                    REASON_ANOMALY
+                } else {
+                    REASON_HEALTH
+                };
+            } else {
+                self.suspicion[r] = self.suspicion[r].saturating_sub(1);
+            }
+            // A restored replica that looks healthy for a confirmation
+            // streak counts as reconverged even without the signal feed.
+            if let Some(entry) = self.awaiting.iter_mut().find(|(ar, _)| *ar == ob.replica) {
+                if !ob.catching_up && self.suspicion[r] == 0 {
+                    entry.1 += 1;
+                } else {
+                    entry.1 = 0;
+                }
+            }
+        }
+        let confirm = self.cfg.confirm_ticks;
+        self.awaiting.retain(|(_, streak)| *streak < confirm);
+
+        // 5. Proxy throttling.
+        for ob in &input.proxies {
+            let p = ob.proxy as usize;
+            if p >= self.throttled.len() {
+                continue;
+            }
+            if !self.throttled[p] && ob.anomaly_z >= self.cfg.flood_z {
+                self.throttled[p] = true;
+                self.proxy_calm[p] = 0;
+                self.stats.throttles += 1;
+                let act = Actuation::Throttle {
+                    proxy: ob.proxy,
+                    min_interval: self.cfg.throttle_interval,
+                };
+                self.emit(now, act);
+                out.push(act);
+                self.transition(now, ResponseState::Throttled, REASON_FLOOD);
+            } else if self.throttled[p] {
+                if ob.anomaly_z < self.cfg.suspect_z {
+                    self.proxy_calm[p] += 1;
+                } else {
+                    self.proxy_calm[p] = 0;
+                }
+                if self.proxy_calm[p] >= self.cfg.calm_ticks {
+                    self.throttled[p] = false;
+                    self.stats.unthrottles += 1;
+                    let act = Actuation::Unthrottle { proxy: ob.proxy };
+                    self.emit(now, act);
+                    out.push(act);
+                }
+            }
+        }
+
+        // 6. The budget-guarded recovery trigger: pick the most-suspect
+        //    confirmed replica, if any, and only when a new disruptive
+        //    window is safe to open.
+        let budget_free = (self.down.len() as u32) < self.cfg.k
+            && !external_down
+            && now.since(self.last_window_end) >= self.cfg.cooldown;
+        if budget_free {
+            let mut best: Option<(u32, u32)> = None; // (suspicion, replica)
+            for ob in &input.replicas {
+                let r = ob.replica as usize;
+                if r >= n || !ob.up || ob.catching_up {
+                    continue;
+                }
+                if self.down.iter().any(|(dr, _)| *dr == ob.replica) {
+                    continue;
+                }
+                if self.suspicion[r] < self.cfg.confirm_ticks {
+                    continue;
+                }
+                if let Some(at) = self.last_recovered[r] {
+                    if now.since(at) < self.cfg.replica_cooldown {
+                        continue;
+                    }
+                }
+                let candidate = (self.suspicion[r], ob.replica);
+                // Highest suspicion wins; ties go to the lowest index.
+                let better = match best {
+                    None => true,
+                    Some((s, r0)) => candidate.0 > s || (candidate.0 == s && candidate.1 < r0),
+                };
+                if better {
+                    best = Some(candidate);
+                }
+            }
+            if let Some((_, r)) = best {
+                let reason = self.suspect_reason[r as usize];
+                self.suspicion[r as usize] = 0;
+                self.down.push((r, now + self.cfg.recovery_downtime));
+                self.stats.recoveries_started += 1;
+                let act = Actuation::TakeDown { replica: r };
+                self.emit(now, act);
+                out.push(act);
+                self.transition(now, ResponseState::Isolating, reason);
+            }
+        }
+
+        // 7. Resolve the degraded-mode state with hysteresis.
+        let active = if !self.down.is_empty() {
+            Some(ResponseState::Isolating)
+        } else if !self.awaiting.is_empty() {
+            Some(ResponseState::Recovering)
+        } else if self.throttled.iter().any(|t| *t) {
+            Some(ResponseState::Throttled)
+        } else if self.suspicion.iter().any(|s| *s > 0) {
+            Some(ResponseState::Suspicious)
+        } else {
+            None
+        };
+        match active {
+            Some(state) => {
+                self.calm_streak = 0;
+                // Escalation is immediate; de-escalation between elevated
+                // states also tracks the live condition (the calm window
+                // only gates the final drop to Normal).
+                let reason = match state {
+                    ResponseState::Isolating => self
+                        .suspect_reason
+                        .iter()
+                        .copied()
+                        .max()
+                        .unwrap_or(REASON_ANOMALY),
+                    ResponseState::Recovering => REASON_RESTORE,
+                    ResponseState::Throttled => REASON_FLOOD,
+                    _ => self
+                        .suspect_reason
+                        .iter()
+                        .copied()
+                        .max()
+                        .unwrap_or(REASON_ANOMALY),
+                };
+                self.transition(now, state, reason);
+            }
+            None => {
+                if violation_seen {
+                    self.calm_streak = 0;
+                } else if self.state != ResponseState::Normal {
+                    self.calm_streak += 1;
+                    if self.calm_streak >= self.cfg.calm_ticks {
+                        self.transition(now, ResponseState::Normal, REASON_CALM);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ResponseConfig {
+        ResponseConfig::for_budget(6, 1, 1)
+    }
+
+    fn quiet_input(now_ms: u64, n: u32) -> ControllerInput {
+        ControllerInput {
+            now: SimTime(now_ms * 1_000),
+            replicas: (0..n)
+                .map(|r| ReplicaObservation {
+                    replica: r,
+                    ..ReplicaObservation::default()
+                })
+                .collect(),
+            proxies: vec![ProxyObservation {
+                proxy: 0,
+                anomaly_z: 0.0,
+            }],
+            signals: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn quiet_stream_stays_normal_and_silent() {
+        let mut c = Controller::new(cfg());
+        for t in 0..100 {
+            let acts = c.step(&quiet_input(t * 100, 6));
+            assert!(acts.is_empty());
+        }
+        assert_eq!(c.state(), ResponseState::Normal);
+        assert!(c.transitions().is_empty());
+    }
+
+    #[test]
+    fn confirmed_anomaly_triggers_one_bounded_recovery() {
+        let mut c = Controller::new(cfg());
+        // Past the initial cool-down, replica 4 scores hot every tick.
+        let mut took_down_at = None;
+        for t in 0..200u64 {
+            let mut input = quiet_input(4000 + t * 100, 6);
+            if c.isolated().is_empty() {
+                input.replicas[4].anomaly_z = 9.0;
+            } else {
+                input.replicas[4].up = false;
+            }
+            for act in c.step(&input) {
+                if let Actuation::TakeDown { replica } = act {
+                    assert_eq!(replica, 4);
+                    assert!(took_down_at.is_none() || c.stats.recoveries_started <= 2);
+                    took_down_at.get_or_insert(t);
+                }
+            }
+            assert!(c.isolated().len() <= 1, "k = 1 respected");
+        }
+        let first = took_down_at.expect("recovery triggered");
+        assert!(first >= 2, "confirmation ticks enforced, got {first}");
+        assert!(c.stats.recoveries_completed >= 1);
+    }
+
+    #[test]
+    fn no_takedown_while_external_replica_down() {
+        let mut c = Controller::new(cfg());
+        for t in 0..100u64 {
+            let mut input = quiet_input(10_000 + t * 100, 6);
+            input.replicas[2].up = false; // externally down, not ours
+            input.replicas[4].anomaly_z = 12.0;
+            for act in c.step(&input) {
+                assert!(
+                    !matches!(act, Actuation::TakeDown { .. }),
+                    "budget guard must refuse while replica 2 is down"
+                );
+            }
+        }
+        assert!(c.suspicion.iter().any(|s| *s > 0));
+        assert_eq!(c.state(), ResponseState::Suspicious);
+    }
+
+    #[test]
+    fn flood_throttles_then_calm_unthrottles_with_hysteresis() {
+        let mut c = Controller::new(cfg());
+        let mut throttle_at = None;
+        let mut unthrottle_at = None;
+        for t in 0..100u64 {
+            let mut input = quiet_input(t * 100, 6);
+            input.proxies[0].anomaly_z = if t < 10 { 11.0 } else { 0.0 };
+            for act in c.step(&input) {
+                match act {
+                    Actuation::Throttle { proxy, .. } => {
+                        assert_eq!(proxy, 0);
+                        throttle_at.get_or_insert(t);
+                    }
+                    Actuation::Unthrottle { .. } => {
+                        unthrottle_at.get_or_insert(t);
+                    }
+                    _ => panic!("unexpected {act:?}"),
+                }
+            }
+        }
+        assert_eq!(throttle_at, Some(0));
+        let lifted = unthrottle_at.expect("throttle lifted");
+        // Last hot tick is t = 9, so the calm streak completes no
+        // earlier than 9 + calm_ticks.
+        assert!(
+            lifted >= 9 + cfg().calm_ticks as u64,
+            "hysteresis: lifted at {lifted}"
+        );
+        assert_eq!(c.stats.throttles, 1);
+        assert_eq!(c.stats.unthrottles, 1);
+    }
+
+    #[test]
+    fn transitions_are_journaled_when_attached() {
+        let hub = obs::ObsHub::new();
+        let mut c = Controller::new(cfg());
+        c.attach_obs(hub.clone());
+        let mut input = quiet_input(0, 6);
+        input.proxies[0].anomaly_z = 11.0;
+        c.step(&input);
+        assert_eq!(
+            hub.journal_count(|e| matches!(e, obs::Event::ResponseTransition { .. })),
+            1
+        );
+        assert_eq!(
+            hub.journal_count(|e| matches!(e, obs::Event::ResponseActuation { actuator: 2, .. })),
+            1
+        );
+    }
+}

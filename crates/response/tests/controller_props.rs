@@ -1,0 +1,156 @@
+//! Property tests for the response controller: determinism (same
+//! observation stream ⇒ identical actuator sequence) and the budget
+//! guard (controller-initiated recoveries never exceed the `f`/`k`
+//! disruptive-window discipline, mirroring `ChaosPlan::within_budget`).
+
+use proptest::prelude::*;
+use response::{
+    Actuation, Controller, ControllerInput, ProxyObservation, ReplicaObservation, ResponseConfig,
+};
+use simnet::time::SimTime;
+
+const N: u32 = 6;
+const TICK_US: u64 = 100_000;
+const TICKS: u64 = 400;
+
+/// SplitMix64 — a self-contained deterministic stream per seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// A hostile but *observable* world: random anomaly scores, random
+/// external crashes, view bumps, floods. The controller's own downs are
+/// reflected back as `up = false`, exactly as a deployment would.
+fn drive(seed: u64, cfg: ResponseConfig) -> (Controller, Vec<(u64, bool)>) {
+    let mut rng = Rng(seed ^ 0x5eed_50de);
+    let mut c = Controller::new(cfg);
+    let mut ours_down: Vec<u32> = Vec::new();
+    // Externally-crashed replicas: (replica, ticks remaining).
+    let mut ext_down: Vec<(u32, u64)> = Vec::new();
+    let mut view = 0u64;
+    // Per tick: was any replica externally down when the tick was fed?
+    let mut ext_down_log = Vec::new();
+    for t in 0..TICKS {
+        let now = SimTime(t * TICK_US);
+        ext_down.retain_mut(|(_, left)| {
+            *left -= 1;
+            *left > 0
+        });
+        if rng.below(40) == 0 && ext_down.len() < 2 {
+            ext_down.push((rng.below(N as u64) as u32, 5 + rng.below(20)));
+        }
+        if rng.below(60) == 0 {
+            view += 1;
+        }
+        let replicas: Vec<ReplicaObservation> = (0..N)
+            .map(|r| {
+                let externally_down = ext_down.iter().any(|(dr, _)| *dr == r);
+                ReplicaObservation {
+                    replica: r,
+                    up: !externally_down && !ours_down.contains(&r),
+                    anomaly_z: rng.below(150) as f64 / 10.0,
+                    po_queue: rng.below(700) as u32,
+                    tat_us: rng.below(4_000_000),
+                    view,
+                    catching_up: rng.below(30) == 0,
+                }
+            })
+            .collect();
+        let any_ext_down = !ext_down.is_empty();
+        ext_down_log.push((t, any_ext_down));
+        let input = ControllerInput {
+            now,
+            replicas,
+            proxies: vec![ProxyObservation {
+                proxy: 0,
+                anomaly_z: rng.below(120) as f64 / 10.0,
+            }],
+            signals: Vec::new(),
+        };
+        for act in c.step(&input) {
+            match act {
+                Actuation::TakeDown { replica } => ours_down.push(replica),
+                Actuation::Restore { replica } => ours_down.retain(|r| *r != replica),
+                _ => {}
+            }
+        }
+    }
+    (c, ext_down_log)
+}
+
+proptest! {
+    /// Determinism: the controller is a pure function of its observation
+    /// stream — same seed, twice, must produce identical actuation and
+    /// transition sequences.
+    #[test]
+    fn same_stream_same_actuator_sequence(seed in any::<u64>()) {
+        let cfg = ResponseConfig::for_budget(N, 1, 1);
+        let (a, _) = drive(seed, cfg);
+        let (b, _) = drive(seed, cfg);
+        prop_assert_eq!(a.actions(), b.actions());
+        prop_assert_eq!(a.transitions(), b.transitions());
+    }
+
+    /// Budget guard: replaying the action log, controller-initiated downs
+    /// never exceed `k` concurrently, never open while an external crash
+    /// is live, honor the restore-to-next-takedown cool-down, and honor
+    /// the per-replica re-recovery cool-down.
+    #[test]
+    fn recoveries_never_exceed_the_disruptive_budget(seed in any::<u64>()) {
+        let cfg = ResponseConfig::for_budget(N, 1, 1);
+        let (c, ext_down_log) = drive(seed, cfg);
+        let mut down: Vec<u32> = Vec::new();
+        let mut last_restore: Option<SimTime> = None;
+        let mut last_restore_of = vec![None::<SimTime>; N as usize];
+        for (at, act) in c.actions() {
+            match act {
+                Actuation::TakeDown { replica } => {
+                    down.push(*replica);
+                    prop_assert!(
+                        down.len() as u32 <= cfg.k,
+                        "seed {seed}: {} concurrent controller downs at {at:?}",
+                        down.len()
+                    );
+                    let tick = at.as_micros() / TICK_US;
+                    let ext = ext_down_log.iter().find(|(t, _)| *t == tick).map(|(_, e)| *e);
+                    prop_assert_eq!(
+                        ext, Some(false),
+                        "seed {}: takedown at tick {} with an external crash live",
+                        seed, tick
+                    );
+                    if let Some(end) = last_restore {
+                        prop_assert!(
+                            at.since(end).as_micros() >= cfg.cooldown.as_micros(),
+                            "seed {seed}: windows not serialized ({end:?} -> {at:?})"
+                        );
+                    }
+                    if let Some(prev) = last_restore_of[*replica as usize] {
+                        prop_assert!(
+                            at.since(prev).as_micros() >= cfg.replica_cooldown.as_micros(),
+                            "seed {seed}: replica {replica} re-recovered too soon"
+                        );
+                    }
+                }
+                Actuation::Restore { replica } => {
+                    prop_assert!(down.contains(replica), "restore without takedown");
+                    down.retain(|r| r != replica);
+                    last_restore = Some(*at);
+                    last_restore_of[*replica as usize] = Some(*at);
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -510,6 +510,26 @@ impl Deployment {
             .expect("hmi")
     }
 
+    /// Whether replica `i`'s node is currently up (reachable on the
+    /// overlays). Observable health, not oracle knowledge: a response
+    /// controller may key off this without peeking at fault schedules.
+    pub fn replica_up(&self, i: u32) -> bool {
+        self.sim.node_up(self.replica_nodes[i as usize])
+    }
+
+    /// Probes replica `i`'s flight-recorder health gauges (PO-queue
+    /// depth, TAT, view, catch-up flag) at the current simulated time.
+    /// Works whether or not periodic health journaling is armed.
+    pub fn replica_health(&self, i: u32) -> prime::replica::HealthSample {
+        self.replica(i).replica.health_sample(self.now())
+    }
+
+    /// Pushes a status-update rate limit into proxy `p` (`None` lifts
+    /// it) — the response controller's throttling actuator.
+    pub fn set_proxy_rate_limit(&mut self, p: u32, min_interval: Option<SimDuration>) {
+        self.proxy_mut(p).set_update_rate_limit(min_interval);
+    }
+
     /// Takes replica `i` down for proactive recovery (or a crash).
     pub fn take_replica_down(&mut self, i: u32) {
         self.obs.journal(obs::Event::RecoveryStart { replica: i });

@@ -20,7 +20,7 @@ use prime::types::{SignedUpdate, Update};
 use scada::updates::ScadaUpdate;
 use simnet::packet::Packet;
 use simnet::process::{Context, Process};
-use simnet::time::SimDuration;
+use simnet::time::{SimDuration, SimTime};
 use simnet::types::{IpAddr, Port};
 use simnet::wire::Wire;
 use spines::daemon::SpinesDaemon;
@@ -50,6 +50,8 @@ pub struct ProxyStats {
     pub commands_actuated: u64,
     /// Commands received that are still below the vote threshold.
     pub commands_pending: u64,
+    /// Status updates suppressed by an active rate limit.
+    pub updates_throttled: u64,
 }
 
 /// The PLC proxy process.
@@ -69,6 +71,11 @@ pub struct PlcProxy {
     poll_interval: SimDuration,
     /// Send a status update every poll (true) or only on change/heartbeat.
     pub verbose_updates: bool,
+    /// Response-controller throttle: minimum spacing between status
+    /// updates. `None` (default) disables the limit entirely.
+    update_min_interval: Option<SimDuration>,
+    /// When the last status update went out (for throttle spacing).
+    last_update_at: SimTime,
     outstanding: Option<Outstanding>,
     positions: Vec<bool>,
     currents: Vec<u16>,
@@ -125,6 +132,8 @@ impl PlcProxy {
             transaction: 0,
             poll_interval: SimDuration::from_millis(100),
             verbose_updates: false,
+            update_min_interval: None,
+            last_update_at: SimTime::ZERO,
             outstanding: None,
             positions: Vec::new(),
             currents: Vec::new(),
@@ -172,6 +181,22 @@ impl PlcProxy {
         self.poll_interval = interval;
     }
 
+    /// Applies (or with `None` lifts) a status-update rate limit: while
+    /// set, at most one update is multicast per `min_interval`, and
+    /// suppressed updates count in `stats.updates_throttled`. This is the
+    /// response controller's flooding actuator — polling of the field
+    /// device continues untouched, only the overlay-facing update rate is
+    /// capped, so a flooding (or flooded) proxy cannot saturate the
+    /// replication path.
+    pub fn set_update_rate_limit(&mut self, min_interval: Option<SimDuration>) {
+        self.update_min_interval = min_interval;
+    }
+
+    /// The active update rate limit, if any.
+    pub fn update_rate_limit(&self) -> Option<SimDuration> {
+        self.update_min_interval
+    }
+
     fn send_modbus(&mut self, ctx: &mut Context<'_>, req: Request) {
         self.transaction = self.transaction.wrapping_add(1);
         let frame = TcpFrame::new(self.transaction, 1, req.encode());
@@ -209,6 +234,13 @@ impl PlcProxy {
         if !self.verbose_updates && !changed && self.polls_since_update < 10 {
             return;
         }
+        if let Some(min) = self.update_min_interval {
+            if ctx.now().since(self.last_update_at) < min {
+                self.stats.updates_throttled += 1;
+                return;
+            }
+        }
+        self.last_update_at = ctx.now();
         self.polls_since_update = 0;
         self.last_sent_positions = self.positions.clone();
         // The proxy turns field state into a signed client update here;

@@ -22,12 +22,14 @@
 //!                  schedule with continuous invariant checking
 //!   e13            wide-area site failover: sever + heal one full site
 //!                  per paper configuration (6@1, 3+3, 2+2+1+1)
+//!   e16 [--days N] closed-loop intrusion response: both attack-campaign
+//!                  shapes, periodic vs feedback recovery (N waves each)
 //!   bench          time e1-e11 wall-clock, report sim-events/sec
 //!   all            everything above, in order
 //!
 //! flags:
 //!   --seed N       simulation seed (default 42)
-//!   --days N       e4/e12 compressed days (default 6)
+//!   --days N       e4/e12 compressed days, e16 campaign waves (default 6)
 //!   --steps N      e11 ramp steps to run (default: the full ramp)
 //!   --batch N      e11: Merkle-batch PO-Request dissemination, up to N
 //!                  updates per batch (default 0 = legacy per-update
@@ -73,6 +75,7 @@ use bench::redteam_experiments::{
     e10_hardening_ablation, e1_commercial_attacks, e2_spire_network_attacks, e3_replica_excursion,
     render_ablation,
 };
+use bench::response_experiment::{campaign_json, e16_campaign, render_campaign, Shape};
 use bench::saturation::{
     e11_batched_rates, e11_default_rates, e11_saturation_with, render_saturation,
     saturation_attribution, saturation_json, SaturationOpts,
@@ -327,6 +330,16 @@ fn run(command: &str, opts: &Options) -> Option<bool> {
                 ok &= write_json(path, &site_failover_json(&run));
             }
         }
+        "e16" => {
+            let a = e16_campaign(opts.seed, Shape::ImplantFlood, opts.days);
+            let b = e16_campaign(opts.seed, Shape::DoubleCompromise, opts.days);
+            println!("{}", render_campaign(&a));
+            println!("{}", render_campaign(&b));
+            if let Some(path) = &opts.json {
+                let json = format!("[\n{},\n{}\n]\n", campaign_json(&a), campaign_json(&b));
+                ok &= write_json(path, &json);
+            }
+        }
         "bench" => {
             let r = run_bench(opts.seed);
             println!("{}", render_bench(&r));
@@ -337,7 +350,7 @@ fn run(command: &str, opts: &Options) -> Option<bool> {
         "all" => {
             for c in [
                 "figures", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10",
-                "e11", "e12", "e13",
+                "e11", "e12", "e13", "e16",
             ] {
                 println!("\n===== {c} =====\n");
                 ok &= run(c, opts).unwrap_or(false);
@@ -352,7 +365,7 @@ fn run(command: &str, opts: &Options) -> Option<bool> {
 /// errors.
 const COMMANDS: &[&str] = &[
     "figures", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e7b", "e8", "e9", "e10", "e11", "e12",
-    "e13", "bench", "all",
+    "e13", "e16", "bench", "all",
 ];
 
 fn usage() -> String {

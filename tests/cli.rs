@@ -28,6 +28,26 @@ fn unwritable_json_path_exits_nonzero_with_clear_error() {
 }
 
 #[test]
+fn e16_unwritable_json_path_exits_nonzero_with_clear_error() {
+    let out = spire_sim(&["e16", "--days", "0", "--json", "/nonexistent-dir/e16.json"]);
+    assert!(
+        !out.status.success(),
+        "unwritable e16 --json must fail the process"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("failed to write /nonexistent-dir/e16.json"),
+        "stderr should name the path and the error, got: {stderr}"
+    );
+    // Both campaign tables still print — only the file write failed.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("e16a campaign") && stdout.contains("e16b campaign"),
+        "campaign tables should print before the write fails, got: {stdout}"
+    );
+}
+
+#[test]
 fn unwritable_trace_export_exits_nonzero_with_clear_error() {
     let out = spire_sim(&["e5", "--trace-export", "/nonexistent-dir/trace.json"]);
     assert!(

@@ -90,6 +90,14 @@ const GOLDEN: &[(&str, &str)] = &[
         "e13c",
         "ce51ee7f56a8290713d0577ea7cbd16b29bb545f9a2fcba5070e41815fef51f3",
     ),
+    (
+        "e16a",
+        "67d011a9442ad6c287760d2fa80d2c2966eef64af0dc9eee8fbdb3b243d8e124",
+    ),
+    (
+        "e16b",
+        "060a83049ad91c9e561333c91843ab2c31500c6023eda7273bdc3247883ce794",
+    ),
 ];
 
 fn pinned(id: &str) -> &'static str {
@@ -210,6 +218,36 @@ fn e13b_digest_pinned() {
 #[test]
 fn e13c_digest_pinned() {
     check("e13c");
+}
+
+#[test]
+fn e16a_digest_pinned() {
+    check("e16a");
+}
+
+#[test]
+fn e16b_digest_pinned() {
+    check("e16b");
+}
+
+/// The E16 campaigns are additionally pinned at a second seed: the
+/// closed loop feeds detector scores back into node up/downs, so one
+/// seed's stability is weak evidence that the controller's actuation
+/// timeline is deterministic. Release-only — a second debug-build
+/// campaign pair would blow the `cargo test -q` budget.
+#[cfg(not(debug_assertions))]
+#[test]
+fn e16_digests_pinned_at_second_seed() {
+    assert_eq!(
+        experiment_fingerprint("e16a", 1111),
+        "b016d7d679cf6ee928e1a37c4a8e7b9e321b75b29553fbb2b0130900c84384f7",
+        "e16a fingerprint drifted at seed 1111"
+    );
+    assert_eq!(
+        experiment_fingerprint("e16b", 1111),
+        "f695a8e05549b69e6e875428032f17221ce77b9e526c8077977c32613ab11fbb",
+        "e16b fingerprint drifted at seed 1111"
+    );
 }
 
 /// The issue's acceptance bar: the e13 fingerprints must be stable
